@@ -1,0 +1,61 @@
+// Regenerates Figure 10: matching performance of the experts each method
+// identifies, against the unfiltered population. A matcher is "selected"
+// when predicted expert in all four characteristics; performance is the
+// true final P / R / Res / |Cal| of the selected group (variance shown
+// as the paper's error bars).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/utilization.h"
+
+namespace {
+
+void PrintUtilization(const char* title,
+                      const std::vector<mexi::UtilizationResult>& results) {
+  std::printf("%s\n", title);
+  std::printf("%-13s %5s | %-12s %-12s %-12s %-12s\n", "method", "n", "P",
+              "R", "Res", "|Cal| (low=good)");
+  for (const auto& r : results) {
+    const auto& g = r.performance;
+    std::printf(
+        "%-13s %5zu | %.2f (±%.2f) %.2f (±%.2f) %.2f (±%.2f) %.2f "
+        "(±%.2f)\n",
+        r.method.c_str(), g.count, g.precision, g.var_precision, g.recall,
+        g.var_recall, g.resolution, g.var_resolution, g.calibration,
+        g.var_calibration);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mexi;
+  const auto po = bench::BuildPoInput();
+
+  // Fig. 10 compares MExI against the crowdsourcing quality baselines.
+  std::vector<CharacterizerFactory> methods;
+  methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
+  methods.push_back([] { return std::make_unique<QualTestCharacterizer>(); });
+  methods.push_back(
+      [] { return std::make_unique<SelfAssessCharacterizer>(); });
+  methods.push_back([] {
+    // Expert *selection* runs MExI at the balanced operating point
+    // (rare-label detection), unlike the Table II accuracy protocol.
+    MexiConfig config = Mexi50Config();
+    config.balanced_selection = true;
+    return std::make_unique<Mexi>(config);
+  });
+
+  ExperimentConfig config;
+  config.folds = 5;
+  config.seed = 780;
+  const auto results = RunUtilizationExperiment(po->input, methods, config);
+
+  PrintUtilization(
+      "Figure 10: performance of identified experts vs no_filter\n"
+      "(paper: MExI lifts P .55->.78, R .29->.55, Res .41->.73 and\n"
+      " cuts |Cal| .35->.11 over no_filter)",
+      results);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Figure 9: proportion of matching experts by type, with the
+// multi-expertise breakdown (how many of each type's experts also hold
+// 1, 2 or all 3 of the other characteristics).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace mexi;
+  const auto po = bench::BuildPoInput();
+  const auto measures = ComputeAllMeasures(po->input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+
+  const auto& names = CharacteristicNames();
+  const double n = static_cast<double>(labels.size());
+
+  std::printf("Figure 9: proportion of matching experts by type\n");
+  std::printf("(paper: precise=.53 thorough=.15 correlated=.33");
+  std::printf(" calibrated=.42)\n\n");
+  std::printf("%-12s %6s | breakdown by total expertise count\n", "type",
+              "share");
+  std::printf("%-12s %6s | %7s %7s %7s %7s\n", "", "", "only", "+1", "+2",
+              "all 4");
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    std::size_t held = 0;
+    std::size_t by_count[5] = {0, 0, 0, 0, 0};
+    for (const auto& label : labels) {
+      const auto bits = label.ToVector();
+      if (bits[c] != 1) continue;
+      ++held;
+      ++by_count[label.Count()];
+    }
+    std::printf("%-12s %5.0f%% | %6.0f%% %6.0f%% %6.0f%% %6.0f%%\n",
+                names[c].c_str(), 100.0 * static_cast<double>(held) / n,
+                held ? 100.0 * by_count[1] / static_cast<double>(held) : 0.0,
+                held ? 100.0 * by_count[2] / static_cast<double>(held) : 0.0,
+                held ? 100.0 * by_count[3] / static_cast<double>(held) : 0.0,
+                held ? 100.0 * by_count[4] / static_cast<double>(held)
+                     : 0.0);
+  }
+
+  std::size_t full = 0;
+  for (const auto& label : labels) full += label.IsFullExpert();
+  std::printf("\nfull experts (all four types): %zu of %zu (%.0f%%)\n",
+              full, labels.size(), 100.0 * static_cast<double>(full) / n);
+
+  // The paper notes all thorough experts hold >= 1 other expertise.
+  std::size_t thorough_only = 0;
+  for (const auto& label : labels) {
+    if (label.thorough && label.Count() == 1) ++thorough_only;
+  }
+  std::printf("thorough-only experts: %zu (paper: 0)\n", thorough_only);
+  return 0;
+}

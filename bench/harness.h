@@ -1,0 +1,104 @@
+#ifndef MEXI_BENCH_HARNESS_H_
+#define MEXI_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/mexi.h"
+#include "sim/study.h"
+
+namespace mexi::bench {
+
+/// A simulated study bundled with the evaluation views into it (owning).
+struct StudyInput {
+  sim::Study study;
+  EvaluationInput input;
+
+  explicit StudyInput(sim::Study s) : study(std::move(s)) {
+    input.reference = &study.reference;
+    input.context.source_size = study.task.source.size();
+    input.context.target_size = study.task.target.size();
+    input.context.warmup_source_size = study.warmup_task.source.size();
+    input.context.warmup_target_size = study.warmup_task.target.size();
+    input.context.warmup_reference = &study.warmup_reference;
+    for (auto& matcher : study.matchers) {
+      MatcherView view;
+      view.history = &matcher.history;
+      view.movement = &matcher.movement;
+      view.warmup_history = &matcher.warmup_history;
+      view.source_size = study.task.source.size();
+      view.target_size = study.task.target.size();
+      input.matchers.push_back(view);
+    }
+  }
+
+  StudyInput(const StudyInput&) = delete;
+  StudyInput& operator=(const StudyInput&) = delete;
+};
+
+/// The paper's populations: 106 PO matchers / 34 OAEI matchers.
+inline std::unique_ptr<StudyInput> BuildPoInput(std::uint64_t seed = 45) {
+  sim::StudyConfig config;
+  config.num_matchers = 106;
+  config.seed = seed;
+  return std::make_unique<StudyInput>(sim::BuildPurchaseOrderStudy(config));
+}
+
+inline std::unique_ptr<StudyInput> BuildOaeiInput(std::uint64_t seed = 46) {
+  sim::StudyConfig config;
+  config.num_matchers = 34;
+  config.seed = seed;
+  return std::make_unique<StudyInput>(sim::BuildOaeiStudy(config));
+}
+
+/// The ten methods of Table II in paper order: 7 baselines + 3 MExI
+/// variants.
+inline std::vector<CharacterizerFactory> TableTwoMethods(
+    std::uint64_t seed = 5) {
+  std::vector<CharacterizerFactory> methods;
+  methods.push_back(
+      [seed] { return std::make_unique<RandCharacterizer>(seed + 1); });
+  methods.push_back(
+      [seed] { return std::make_unique<RandFreqCharacterizer>(seed + 2); });
+  methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
+  methods.push_back([] { return std::make_unique<QualTestCharacterizer>(); });
+  methods.push_back(
+      [] { return std::make_unique<SelfAssessCharacterizer>(); });
+  methods.push_back([seed] { return MakeLrsmBaseline(seed + 3); });
+  methods.push_back([seed] { return MakeBehBaseline(seed + 4); });
+  methods.push_back(
+      [] { return std::make_unique<Mexi>(MexiEmptyConfig()); });
+  methods.push_back([] { return std::make_unique<Mexi>(Mexi50Config()); });
+  methods.push_back([] { return std::make_unique<Mexi>(Mexi70Config()); });
+  return methods;
+}
+
+/// Prints a Table II-style accuracy table with significance stars.
+inline void PrintAccuracyTable(const std::string& title,
+                               const std::vector<MethodResult>& results) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-13s %-6s %-6s %-7s %-7s %-6s\n", "Method", "A_P", "A_R",
+              "A_Res", "A_Cal", "A_ML");
+  for (const auto& r : results) {
+    auto cell = [&](double value, bool star) {
+      static char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), "%.2f%s", value,
+                    star ? "*" : " ");
+      return std::string(buffer);
+    };
+    std::printf("%-13s %-6s %-6s %-7s %-7s %-6s\n", r.method.c_str(),
+                cell(r.a_c[0], r.significant[0]).c_str(),
+                cell(r.a_c[1], r.significant[1]).c_str(),
+                cell(r.a_c[2], r.significant[2]).c_str(),
+                cell(r.a_c[3], r.significant[3]).c_str(),
+                cell(r.a_ml, r.significant[4]).c_str());
+  }
+}
+
+}  // namespace mexi::bench
+
+#endif  // MEXI_BENCH_HARNESS_H_

@@ -1,0 +1,143 @@
+// Google-benchmark micro-benchmarks of the performance-critical paths:
+// similarity-matrix construction, matching predictors, classifier
+// training, the neural building blocks and the behavioral simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/features/aggregated_features.h"
+#include "matching/predictors.h"
+#include "matching/similarity.h"
+#include "ml/nn/cnn.h"
+#include "ml/nn/lstm.h"
+#include "ml/random_forest.h"
+#include "schema/generators.h"
+#include "sim/matcher_sim.h"
+#include "sim/study.h"
+
+namespace {
+
+using namespace mexi;
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  const auto pair = schema::GeneratePurchaseOrderTask(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matching::BuildSimilarityMatrix(pair.source, pair.target));
+  }
+}
+BENCHMARK(BM_SimilarityMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_MatchingPredictors(benchmark::State& state) {
+  const auto pair = schema::GeneratePurchaseOrderTask(2);
+  const auto matrix =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::ComputePredictors(matrix));
+  }
+}
+BENCHMARK(BM_MatchingPredictors)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateMatcher(benchmark::State& state) {
+  const auto pair = schema::GeneratePurchaseOrderTask(3);
+  const auto similarity =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  const auto reference = matching::MatchMatrix::FromReference(
+      pair.reference, pair.source.size(), pair.target.size());
+  sim::SimulationTask task;
+  task.pair = &pair;
+  task.similarity = &similarity;
+  task.reference = &reference;
+  stats::Rng rng(4);
+  const auto profile = sim::SampleProfile(sim::Archetype::kExpertA, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::SimulateMatcher(task, profile, rng));
+  }
+}
+BENCHMARK(BM_SimulateMatcher)->Unit(benchmark::kMillisecond);
+
+void BM_BehavioralFeatures(benchmark::State& state) {
+  matching::DecisionHistory history;
+  for (int i = 0; i < 60; ++i) {
+    history.Add({static_cast<std::size_t>(i % 30),
+                 static_cast<std::size_t>(i % 10), 0.5,
+                 static_cast<double>(i) * 10.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BehavioralFeatures(history));
+  }
+}
+BENCHMARK(BM_BehavioralFeatures);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  stats::Rng rng(5);
+  ml::Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row;
+    for (int f = 0; f < 30; ++f) row.push_back(rng.Gaussian());
+    data.Add(row, row[0] > 0.0 ? 1 : 0);
+  }
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.Fit(data);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Unit(benchmark::kMillisecond);
+
+void BM_LstmEpoch(benchmark::State& state) {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 16;
+  config.dense_dim = 24;
+  config.num_labels = 4;
+  config.epochs = 1;
+  stats::Rng rng(6);
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 50; ++i) {
+    ml::Sequence seq;
+    for (int t = 0; t < 50; ++t) {
+      seq.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  for (auto _ : state) {
+    ml::LstmSequenceModel model(config);
+    benchmark::DoNotOptimize(model.Fit(sequences, targets));
+  }
+}
+BENCHMARK(BM_LstmEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_CnnEpoch(benchmark::State& state) {
+  ml::CnnImageModel::Config config;
+  config.image_rows = 20;
+  config.image_cols = 32;
+  config.epochs = 1;
+  stats::Rng rng(7);
+  std::vector<ml::Image> images;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 50; ++i) {
+    images.push_back(ml::Matrix::RandomGaussian(20, 32, 1.0, rng));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  for (auto _ : state) {
+    ml::CnnImageModel model(config);
+    benchmark::DoNotOptimize(model.Fit(images, targets));
+  }
+}
+BENCHMARK(BM_CnnEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_BuildStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::StudyConfig config;
+    config.num_matchers = static_cast<std::size_t>(state.range(0));
+    config.seed = 8;
+    benchmark::DoNotOptimize(sim::BuildPurchaseOrderStudy(config));
+  }
+}
+BENCHMARK(BM_BuildStudy)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

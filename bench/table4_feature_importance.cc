@@ -1,0 +1,100 @@
+// Regenerates Table IV: the top-2 most informative features of every
+// feature set for every expertise characteristic. The paper uses SHAP;
+// this reproduction substitutes model-agnostic permutation importance
+// (see DESIGN.md §1) over per-set random forests evaluated on held-out
+// matchers.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "ml/feature_importance.h"
+#include "ml/random_forest.h"
+
+int main() {
+  using namespace mexi;
+  const auto po = bench::BuildPoInput();
+
+  // Labels from population thresholds.
+  const auto measures = ComputeAllMeasures(po->input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+
+  // Train/holdout split (2:1) of the matchers.
+  const std::size_t n = po->input.matchers.size();
+  std::vector<MatcherView> train_views, test_views;
+  std::vector<ExpertLabel> train_labels, test_labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 3 == 2) {
+      test_views.push_back(po->input.matchers[i]);
+      test_labels.push_back(labels[i]);
+    } else {
+      train_views.push_back(po->input.matchers[i]);
+      train_labels.push_back(labels[i]);
+    }
+  }
+
+  // A full MExI_50 provides the fused feature encoding (including the
+  // trained network coefficients).
+  Mexi mexi(Mexi50Config());
+  mexi.Fit(train_views, train_labels, po->input.context);
+
+  auto extract = [&](const MatcherView& view) {
+    return mexi.ExtractFeatures(*view.history, *view.movement,
+                                view.source_size, view.target_size);
+  };
+  std::vector<FeatureVector> train_phi, test_phi;
+  for (const auto& v : train_views) train_phi.push_back(extract(v));
+  for (const auto& v : test_views) test_phi.push_back(extract(v));
+  const std::vector<std::string> all_names = train_phi[0].names();
+
+  const std::map<std::string, std::string> kSetPrefix = {
+      {"Phi_LRSM", "lrsm."}, {"Phi_Mou", "mou."}, {"Phi_Beh", "beh."},
+      {"Phi_Con", "con."},   {"Phi_Seq", "seq."}, {"Phi_Spa", "spa."}};
+
+  std::printf(
+      "Table IV: top-2 informative features per feature set and\n"
+      "characteristic (permutation importance; SHAP substitute)\n\n");
+  std::printf("%-9s | %-11s | %-28s %-28s\n", "set", "label", "top-1",
+              "top-2");
+
+  stats::Rng rng(4242);
+  for (const auto& [set_name, prefix] : kSetPrefix) {
+    // Column subset of this feature set.
+    std::vector<std::size_t> columns;
+    std::vector<std::string> column_names;
+    for (std::size_t f = 0; f < all_names.size(); ++f) {
+      if (all_names[f].rfind(prefix, 0) == 0) {
+        columns.push_back(f);
+        column_names.push_back(all_names[f]);
+      }
+    }
+    if (columns.empty()) continue;
+
+    for (std::size_t c = 0; c < CharacteristicNames().size(); ++c) {
+      ml::Dataset train, test;
+      train.feature_names = column_names;
+      for (std::size_t i = 0; i < train_phi.size(); ++i) {
+        std::vector<double> row;
+        for (std::size_t f : columns) row.push_back(train_phi[i].values()[f]);
+        train.Add(row, train_labels[i].ToVector()[c]);
+      }
+      for (std::size_t i = 0; i < test_phi.size(); ++i) {
+        std::vector<double> row;
+        for (std::size_t f : columns) row.push_back(test_phi[i].values()[f]);
+        test.Add(row, test_labels[i].ToVector()[c]);
+      }
+      ml::RandomForest model;
+      model.Fit(train);
+      const auto ranked =
+          ml::PermutationImportance(model, test, column_names, 5, rng);
+      std::printf("%-9s | %-11s | %-28s %-28s\n", set_name.c_str(),
+                  CharacteristicNames()[c].c_str(),
+                  ranked.empty() ? "-" : ranked[0].name.c_str(),
+                  ranked.size() > 1 ? ranked[1].name.c_str() : "-");
+    }
+  }
+  return 0;
+}

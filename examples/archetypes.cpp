@@ -1,0 +1,91 @@
+// Archetypes: reproduces the qualitative figures 1/4/5/6 — one simulated
+// matcher per archetype over the Purchase-Order task, printing the
+// accumulated Precision / Recall / mean-confidence curves, the
+// accumulated resolution & calibration (Fig. 6), and an ASCII rendering
+// of the move-over heat map.
+
+#include <cstdio>
+#include <string>
+
+#include "core/expert_model.h"
+#include "matching/similarity.h"
+#include "schema/generators.h"
+#include "sim/matcher_sim.h"
+
+namespace {
+
+using namespace mexi;
+
+void PrintCurve(const char* name, const std::vector<double>& values) {
+  std::printf("  %-12s", name);
+  // Sample ten evenly spaced points along the session.
+  for (int k = 1; k <= 10; ++k) {
+    const std::size_t idx =
+        values.empty() ? 0 : (values.size() * k) / 10 - 1;
+    std::printf(" %5.2f", values.empty() ? 0.0 : values[idx]);
+  }
+  std::printf("\n");
+}
+
+void PrintHeatMap(const matching::MovementMap& movement) {
+  const ml::Matrix heat =
+      movement.HeatMap(matching::MovementType::kMove, 10, 32);
+  static const char* kShades = " .:-=+*#%@";
+  for (std::size_t r = 0; r < heat.rows(); ++r) {
+    std::printf("  |");
+    for (std::size_t c = 0; c < heat.cols(); ++c) {
+      const int level =
+          static_cast<int>(heat(r, c) * 9.0 + 0.5);
+      std::printf("%c", kShades[level < 0 ? 0 : (level > 9 ? 9 : level)]);
+    }
+    std::printf("|\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto pair = schema::GeneratePurchaseOrderTask(2021);
+  const auto similarity =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  const auto reference = matching::MatchMatrix::FromReference(
+      pair.reference, pair.source.size(), pair.target.size());
+
+  sim::SimulationTask task;
+  task.pair = &pair;
+  task.similarity = &similarity;
+  task.reference = &reference;
+
+  const sim::Archetype archetypes[] = {
+      sim::Archetype::kExpertA, sim::Archetype::kSloppyB,
+      sim::Archetype::kNarrowC, sim::Archetype::kUnreliableD};
+
+  stats::Rng rng(7);
+  for (const auto archetype : archetypes) {
+    const auto profile = sim::SampleProfile(archetype, rng);
+    const auto trace = sim::SimulateMatcher(task, profile, rng);
+    const auto curves = ComputeAccumulatedCurves(
+        trace.history, pair.source.size(), pair.target.size(), reference);
+
+    std::printf("=== Matcher %s (%zu decisions) ===\n",
+                sim::ArchetypeName(archetype).c_str(),
+                trace.history.size());
+    std::printf("  curves at 10%%..100%% of the session:\n");
+    PrintCurve("Precision", curves.precision);
+    PrintCurve("Recall", curves.recall);
+    PrintCurve("Confidence", curves.mean_confidence);
+    PrintCurve("Resolution", curves.resolution);
+    PrintCurve("Calibration", curves.calibration);
+    std::printf("  move-over heat map (Fig. 1 right):\n");
+    PrintHeatMap(trace.movement);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shapes (paper Figs. 1/4/5/6): A keeps precision high\n"
+      "while recall climbs and confidence tracks precision; B's\n"
+      "precision sinks under over-confidence; C stays precise but its\n"
+      "recall plateaus early; D matches A quantitatively but its\n"
+      "resolution stays low and its confidence sits below precision.\n");
+  return 0;
+}

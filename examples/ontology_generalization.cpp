@@ -1,0 +1,85 @@
+// Ontology generalization: train MExI on the schema-matching (PO) crowd
+// and characterize matchers of a *different* task — OAEI-style ontology
+// alignment — exactly the paper's generalizability experiment
+// (Table IIb) on the public API.
+
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/mexi.h"
+#include "sim/study.h"
+
+namespace {
+
+mexi::EvaluationInput ViewsOf(const mexi::sim::Study& study) {
+  mexi::EvaluationInput input;
+  input.reference = &study.reference;
+  input.context.source_size = study.task.source.size();
+  input.context.target_size = study.task.target.size();
+  for (const auto& m : study.matchers) {
+    mexi::MatcherView view;
+    view.history = &m.history;
+    view.movement = &m.movement;
+    view.warmup_history = &m.warmup_history;
+    view.source_size = study.task.source.size();
+    view.target_size = study.task.target.size();
+    input.matchers.push_back(view);
+  }
+  return input;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mexi;
+
+  sim::StudyConfig po_config;
+  po_config.num_matchers = 60;
+  po_config.seed = 42;
+  const sim::Study po = sim::BuildPurchaseOrderStudy(po_config);
+
+  sim::StudyConfig oaei_config;
+  oaei_config.num_matchers = 20;
+  oaei_config.seed = 43;
+  const sim::Study oaei = sim::BuildOaeiStudy(oaei_config);
+
+  std::printf("train task: %s/%s (%zu x %zu elements), %zu matchers\n",
+              po.task.source.name().c_str(), po.task.target.name().c_str(),
+              po.task.source.size(), po.task.target.size(),
+              po.matchers.size());
+  std::printf("test task:  %s/%s (%zu x %zu elements), %zu matchers\n\n",
+              oaei.task.source.name().c_str(),
+              oaei.task.target.name().c_str(), oaei.task.source.size(),
+              oaei.task.target.size(), oaei.matchers.size());
+
+  const EvaluationInput po_input = ViewsOf(po);
+  const EvaluationInput oaei_input = ViewsOf(oaei);
+
+  // Labels and thresholds come from the PO population only.
+  const auto po_measures = ComputeAllMeasures(po_input);
+  const ExpertThresholds thresholds = FitThresholds(po_measures);
+  const auto po_labels = LabelsFromMeasures(po_measures, thresholds);
+
+  Mexi mexi(Mexi50Config());
+  mexi.Fit(po_input.matchers, po_labels, po_input.context);
+
+  // Characterize the ontology-alignment matchers with the PO-trained
+  // model; grade against labels computed with the PO thresholds.
+  const auto oaei_measures = ComputeAllMeasures(oaei_input);
+  const auto oaei_labels = LabelsFromMeasures(oaei_measures, thresholds);
+  const auto predictions = mexi.CharacterizeAll(oaei_input.matchers);
+
+  const auto a_c = PerLabelAccuracy(oaei_labels, predictions);
+  std::printf("cross-task identification accuracy:\n");
+  const auto& names = CharacteristicNames();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    std::printf("  A_%-10s = %.2f\n", names[c].c_str(), a_c[c]);
+  }
+  std::printf("  A_ML         = %.2f\n",
+              MultiLabelAccuracy(oaei_labels, predictions));
+  std::printf(
+      "\nA model trained on schema matchers transfers to ontology\n"
+      "alignment because the behavioral encoding (predictors, traces,\n"
+      "consensus, networks) is task-shape independent (Table IIb).\n");
+  return 0;
+}

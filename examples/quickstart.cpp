@@ -1,0 +1,73 @@
+// Quickstart: the paper's running example (Example 1 / Table I) on the
+// public API — build a decision history, project it onto a matching
+// matrix (Eq. 1), compute the four expertise measures (Eqs. 2-5) and
+// characterize the matcher.
+
+#include <cstdio>
+
+#include "core/expert_model.h"
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+
+int main() {
+  using namespace mexi;
+
+  // The PO1/PO2 example: 4x4 element space; the reference match is
+  // {M11, M12, M23, M34} (1-based, as printed in the paper).
+  const matching::MatchMatrix reference =
+      matching::MatchMatrix::FromReference(
+          {{0, 0}, {0, 1}, {1, 2}, {2, 3}}, 4, 4);
+
+  // Table I: the human matcher's five decisions. Note the mind change on
+  // M11 — first 0.9 at t=8, lowered to 0.5 at t=16 after encountering
+  // poTime.
+  matching::DecisionHistory history;
+  history.Add({2, 3, 1.0, 3.0});    // M34: city <-> city
+  history.Add({0, 0, 0.9, 8.0});    // M11: poDay <-> orderDate
+  history.Add({0, 1, 0.5, 15.0});   // M12
+  history.Add({0, 0, 0.5, 16.0});   // M11 revisited
+  history.Add({1, 0, 0.45, 34.0});  // M21
+
+  std::printf("Decision history (Table I):\n");
+  std::printf("%4s %6s %11s %6s\n", "#", "entry", "confidence", "time");
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& d = history.at(i);
+    std::printf("%4zu  M%zu%zu %11.2f %6.1f\n", i + 1, d.source + 1,
+                d.target + 1, d.confidence, d.timestamp);
+  }
+
+  // Eq. 1: the latest confidence per pair becomes the matrix entry.
+  const matching::MatchMatrix matrix = history.ToMatrix(4, 4);
+  std::printf("\nProjected match sigma (Eq. 1):\n");
+  for (const auto& [i, j] : matrix.Match()) {
+    std::printf("  M%zu%zu = %.2f\n", i + 1, j + 1, matrix.At(i, j));
+  }
+
+  // Eqs. 2-5.
+  const ExpertMeasures m = ComputeMeasures(history, 4, 4, reference);
+  std::printf("\nExpertise measures:\n");
+  std::printf("  Precision   P(H)   = %.2f\n", m.precision);
+  std::printf("  Recall      R(H)   = %.2f\n", m.recall);
+  std::printf("  Resolution  Res(H) = %.2f (p = %.2f)\n", m.resolution,
+              m.resolution_pvalue);
+  std::printf("  Calibration Cal(H) = %+.2f (mean confidence %.2f)\n",
+              m.calibration, history.MeanConfidence());
+
+  // Characterization with the paper's experimental thresholds.
+  ExpertThresholds thresholds;
+  thresholds.delta_res = 0.5;
+  thresholds.delta_cal = 0.205;  // the paper's 20th percentile
+  const ExpertLabel label = Characterize(m, thresholds);
+  std::printf("\nCharacterization:\n");
+  const auto& names = CharacteristicNames();
+  const auto bits = label.ToVector();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    std::printf("  %-11s %s\n", names[c].c_str(),
+                bits[c] ? "yes" : "no");
+  }
+  std::printf(
+      "\nAs in the paper: precise and thorough; resolution 1.0 is not\n"
+      "statistically significant on 4 decisions, so not correlated; the\n"
+      "slight under-confidence is within the calibration threshold.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "core/baselines.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+namespace {
+
+/// Measures of a warm-up history against the warm-up reference; returns
+/// false when the matcher has no warm-up data.
+bool WarmupMeasures(const MatcherView& matcher, const TaskContext& context,
+                    double* precision, double* calibration) {
+  if (matcher.warmup_history == nullptr ||
+      context.warmup_reference == nullptr ||
+      matcher.warmup_history->empty()) {
+    return false;
+  }
+  const ExpertMeasures m = ComputeMeasures(
+      *matcher.warmup_history, context.warmup_source_size,
+      context.warmup_target_size, *context.warmup_reference);
+  *precision = m.precision;
+  *calibration = m.calibration;
+  return true;
+}
+
+ExpertLabel UniformLabel(bool expert) {
+  ExpertLabel label;
+  label.precise = label.thorough = label.correlated = label.calibrated =
+      expert;
+  return label;
+}
+
+}  // namespace
+
+RandCharacterizer::RandCharacterizer(std::uint64_t seed) : rng_(seed) {}
+
+void RandCharacterizer::Fit(const std::vector<MatcherView>& train,
+                            const std::vector<ExpertLabel>& labels,
+                            const TaskContext& context) {
+  (void)train;
+  (void)labels;
+  (void)context;
+}
+
+ExpertLabel RandCharacterizer::Characterize(
+    const MatcherView& matcher) const {
+  (void)matcher;
+  ExpertLabel label;
+  label.precise = rng_.Bernoulli(0.5);
+  label.thorough = rng_.Bernoulli(0.5);
+  label.correlated = rng_.Bernoulli(0.5);
+  label.calibrated = rng_.Bernoulli(0.5);
+  return label;
+}
+
+RandFreqCharacterizer::RandFreqCharacterizer(std::uint64_t seed)
+    : rng_(seed) {}
+
+void RandFreqCharacterizer::Fit(const std::vector<MatcherView>& train,
+                                const std::vector<ExpertLabel>& labels,
+                                const TaskContext& context) {
+  (void)train;
+  (void)context;
+  if (labels.empty()) {
+    throw std::invalid_argument("RandFreqCharacterizer::Fit: no labels");
+  }
+  frequencies_.assign(4, 0.0);
+  for (const auto& label : labels) {
+    const std::vector<int> bits = label.ToVector();
+    for (std::size_t c = 0; c < 4; ++c) frequencies_[c] += bits[c];
+  }
+  for (auto& f : frequencies_) f /= static_cast<double>(labels.size());
+}
+
+ExpertLabel RandFreqCharacterizer::Characterize(
+    const MatcherView& matcher) const {
+  (void)matcher;
+  std::vector<int> bits(4, 0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    bits[c] = rng_.Bernoulli(frequencies_[c]) ? 1 : 0;
+  }
+  return ExpertLabel::FromVector(bits);
+}
+
+void ConfCharacterizer::Fit(const std::vector<MatcherView>& train,
+                            const std::vector<ExpertLabel>& labels,
+                            const TaskContext& context) {
+  (void)labels;
+  (void)context;
+  std::vector<double> means;
+  means.reserve(train.size());
+  for (const auto& matcher : train) {
+    means.push_back(matcher.history->MeanConfidence());
+  }
+  threshold_ = stats::Mean(means);
+}
+
+ExpertLabel ConfCharacterizer::Characterize(
+    const MatcherView& matcher) const {
+  return UniformLabel(matcher.history->MeanConfidence() > threshold_);
+}
+
+void QualTestCharacterizer::Fit(const std::vector<MatcherView>& train,
+                                const std::vector<ExpertLabel>& labels,
+                                const TaskContext& context) {
+  (void)train;
+  (void)labels;
+  context_ = context;
+}
+
+ExpertLabel QualTestCharacterizer::Characterize(
+    const MatcherView& matcher) const {
+  double precision = 0.0, calibration = 0.0;
+  if (!WarmupMeasures(matcher, context_, &precision, &calibration)) {
+    return UniformLabel(false);
+  }
+  return UniformLabel(precision > 0.5);
+}
+
+void SelfAssessCharacterizer::Fit(const std::vector<MatcherView>& train,
+                                  const std::vector<ExpertLabel>& labels,
+                                  const TaskContext& context) {
+  (void)train;
+  (void)labels;
+  context_ = context;
+}
+
+ExpertLabel SelfAssessCharacterizer::Characterize(
+    const MatcherView& matcher) const {
+  double precision = 0.0, calibration = 0.0;
+  if (!WarmupMeasures(matcher, context_, &precision, &calibration)) {
+    return UniformLabel(false);
+  }
+  return UniformLabel(std::fabs(calibration) < 0.2 && precision > 0.6);
+}
+
+std::unique_ptr<Characterizer> MakeLrsmBaseline(std::uint64_t seed) {
+  MexiConfig config;
+  config.name = "LRSM";
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.use_lrsm = true;
+  config.use_beh = false;
+  config.use_mou = false;
+  config.use_seq = false;
+  config.use_spa = false;
+  config.use_con = false;
+  config.seed = seed;
+  return std::make_unique<Mexi>(config);
+}
+
+std::unique_ptr<Characterizer> MakeBehBaseline(std::uint64_t seed) {
+  MexiConfig config;
+  config.name = "BEH";
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.use_lrsm = false;
+  config.use_beh = true;
+  config.use_mou = true;
+  config.use_seq = false;
+  config.use_spa = false;
+  config.use_con = false;
+  config.seed = seed;
+  return std::make_unique<Mexi>(config);
+}
+
+std::vector<std::unique_ptr<Characterizer>> MakeAllBaselines(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<Characterizer>> out;
+  out.push_back(std::make_unique<RandCharacterizer>(seed + 1));
+  out.push_back(std::make_unique<RandFreqCharacterizer>(seed + 2));
+  out.push_back(std::make_unique<ConfCharacterizer>());
+  out.push_back(std::make_unique<QualTestCharacterizer>());
+  out.push_back(std::make_unique<SelfAssessCharacterizer>());
+  out.push_back(MakeLrsmBaseline(seed + 3));
+  out.push_back(MakeBehBaseline(seed + 4));
+  return out;
+}
+
+}  // namespace mexi

@@ -1,0 +1,100 @@
+#ifndef MEXI_CORE_BASELINES_H_
+#define MEXI_CORE_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/mexi.h"
+#include "stats/rng.h"
+
+namespace mexi {
+
+/// "Rand": assigns each characteristic by a fair coin (Section IV-B2).
+class RandCharacterizer : public Characterizer {
+ public:
+  explicit RandCharacterizer(std::uint64_t seed = 1);
+  std::string Name() const override { return "Rand"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+ private:
+  mutable stats::Rng rng_;
+};
+
+/// "Rand_Freq": assigns each characteristic by its training frequency.
+class RandFreqCharacterizer : public Characterizer {
+ public:
+  explicit RandFreqCharacterizer(std::uint64_t seed = 2);
+  std::string Name() const override { return "Rand_Freq"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+ private:
+  mutable stats::Rng rng_;
+  std::vector<double> frequencies_ = std::vector<double>(4, 0.5);
+};
+
+/// "Conf": trusts self-reported confidence (Oyama et al.): a matcher is
+/// deemed an expert in every characteristic when its mean reported
+/// confidence exceeds the training population's mean.
+class ConfCharacterizer : public Characterizer {
+ public:
+  std::string Name() const override { return "Conf"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+ private:
+  double threshold_ = 0.5;
+};
+
+/// "Qual. Test": grades the warm-up phase as a qualification test
+/// (Zhang et al.): expert in everything iff warm-up precision > 0.5.
+class QualTestCharacterizer : public Characterizer {
+ public:
+  std::string Name() const override { return "Qual. Test"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+ private:
+  TaskContext context_;
+};
+
+/// "Self-Assess": pre-selection rule of Gadiraju et al.: expert iff
+/// |Cal| < 0.2 and P > 0.6 over the warm-up phase.
+class SelfAssessCharacterizer : public Characterizer {
+ public:
+  std::string Name() const override { return "Self-Assess"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+ private:
+  TaskContext context_;
+};
+
+/// "LRSM" (Gal et al.): learned characterizer over matching-predictor
+/// features only.
+std::unique_ptr<Characterizer> MakeLrsmBaseline(std::uint64_t seed = 11);
+
+/// "BEH" (Goyal et al.): learned characterizer over aggregated
+/// behavioral + mouse features only.
+std::unique_ptr<Characterizer> MakeBehBaseline(std::uint64_t seed = 12);
+
+/// All seven baselines, in the paper's Table II order.
+std::vector<std::unique_ptr<Characterizer>> MakeAllBaselines(
+    std::uint64_t seed = 5);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_BASELINES_H_

@@ -1,0 +1,98 @@
+#include "core/boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+matching::MatchMatrix AdjustForBias(const matching::MatchMatrix& matrix,
+                                    double bias) {
+  matching::MatchMatrix adjusted(matrix.source_size(),
+                                 matrix.target_size());
+  for (const auto& [i, j] : matrix.Match()) {
+    // Keep a floor above zero so a corrected entry stays in the match.
+    adjusted.Set(i, j,
+                 stats::Clamp(matrix.At(i, j) - bias, 0.01, 1.0));
+  }
+  return adjusted;
+}
+
+std::vector<double> ExpertiseWeights(
+    const std::vector<ExpertLabel>& predictions) {
+  std::vector<double> weights;
+  weights.reserve(predictions.size());
+  for (const auto& label : predictions) {
+    weights.push_back(1.0 + static_cast<double>(label.Count()));
+  }
+  return weights;
+}
+
+matching::MatchMatrix FuseCrowd(
+    const std::vector<matching::MatchMatrix>& matrices,
+    const std::vector<double>& weights, std::size_t match_size) {
+  if (matrices.empty() || matrices.size() != weights.size()) {
+    throw std::invalid_argument("FuseCrowd: bad input sizes");
+  }
+  const std::size_t rows = matrices[0].source_size();
+  const std::size_t cols = matrices[0].target_size();
+  double total_weight = 0.0;
+  double weighted_sizes = 0.0;
+  ml::Matrix support(rows, cols, 0.0);
+  for (std::size_t m = 0; m < matrices.size(); ++m) {
+    if (matrices[m].source_size() != rows ||
+        matrices[m].target_size() != cols) {
+      throw std::invalid_argument("FuseCrowd: matrix shape mismatch");
+    }
+    if (weights[m] < 0.0) {
+      throw std::invalid_argument("FuseCrowd: negative weight");
+    }
+    total_weight += weights[m];
+    weighted_sizes +=
+        weights[m] * static_cast<double>(matrices[m].MatchSize());
+    for (const auto& [i, j] : matrices[m].Match()) {
+      support(i, j) += weights[m] * matrices[m].At(i, j);
+    }
+  }
+  if (match_size == 0) {
+    match_size = total_weight > 0.0
+                     ? static_cast<std::size_t>(
+                           std::lround(weighted_sizes / total_weight))
+                     : 0;
+  }
+
+  // Keep the top `match_size` supported pairs.
+  std::vector<std::pair<double, std::pair<std::size_t, std::size_t>>>
+      ranked;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (support(i, j) > 0.0) ranked.push_back({support(i, j), {i, j}});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  matching::MatchMatrix fused(rows, cols);
+  const double peak = ranked.empty() ? 1.0 : ranked.front().first;
+  for (std::size_t k = 0; k < std::min(match_size, ranked.size()); ++k) {
+    const auto& [score, pair] = ranked[k];
+    fused.Set(pair.first, pair.second,
+              stats::Clamp(score / peak, 0.01, 1.0));
+  }
+  return fused;
+}
+
+MatchQuality EvaluateMatch(const matching::MatchMatrix& match,
+                           const matching::MatchMatrix& reference) {
+  MatchQuality quality;
+  quality.precision = match.PrecisionAgainst(reference);
+  quality.recall = match.RecallAgainst(reference);
+  quality.f1 = quality.precision + quality.recall > 0.0
+                   ? 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall)
+                   : 0.0;
+  return quality;
+}
+
+}  // namespace mexi

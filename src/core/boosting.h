@@ -1,0 +1,52 @@
+#ifndef MEXI_CORE_BOOSTING_H_
+#define MEXI_CORE_BOOSTING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "matching/match_matrix.h"
+
+namespace mexi {
+
+/// Tools for *using* expertise characterizations to improve the final
+/// crowd match — the paper's motivation ("we show that our approach can
+/// improve matching results by filtering out inexpert matchers") plus
+/// the Ipeirotis-et-al. observation it cites: predictably biased
+/// confidence can be corrected rather than discarded.
+
+/// Confidence-bias correction: shifts every declared confidence by
+/// -bias (an over-confident matcher's entries come down, an
+/// under-confident one's go up) and clamps into (0, 1]. Entries never
+/// drop out of the match: correction re-scores, it does not retract.
+/// `bias` is the matcher's (estimated) calibration, Eq. 5.
+matching::MatchMatrix AdjustForBias(const matching::MatchMatrix& matrix,
+                                    double bias);
+
+/// Per-matcher fusion weights from predicted characterizations:
+/// 1 + number of predicted expertise characteristics (so a full expert
+/// counts 5x a predicted non-expert). Parallel to `predictions`.
+std::vector<double> ExpertiseWeights(
+    const std::vector<ExpertLabel>& predictions);
+
+/// Weighted crowd fusion: each element pair accumulates support
+/// sum_m weight[m] * M_m(i, j); the fused match keeps the `match_size`
+/// best-supported pairs (0 = the weighted mean of the individual match
+/// sizes, i.e. the crowd votes on a typical-size match).
+/// All matrices must share the reference's dimensions.
+matching::MatchMatrix FuseCrowd(
+    const std::vector<matching::MatchMatrix>& matrices,
+    const std::vector<double>& weights, std::size_t match_size = 0);
+
+/// P / R / F1 of a fused match against the reference.
+struct MatchQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+MatchQuality EvaluateMatch(const matching::MatchMatrix& match,
+                           const matching::MatchMatrix& reference);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_BOOSTING_H_

@@ -1,0 +1,22 @@
+#include "core/characterizer.h"
+
+namespace mexi {
+
+void Characterizer::AdaptToPopulation(
+    const std::vector<MatcherView>& population) {
+  (void)population;  // most methods need no adaptation
+}
+
+double Characterizer::ExpertScore(const MatcherView& matcher) const {
+  return static_cast<double>(Characterize(matcher).Count()) / 4.0;
+}
+
+std::vector<ExpertLabel> Characterizer::CharacterizeAll(
+    const std::vector<MatcherView>& matchers) const {
+  std::vector<ExpertLabel> out;
+  out.reserve(matchers.size());
+  for (const auto& matcher : matchers) out.push_back(Characterize(matcher));
+  return out;
+}
+
+}  // namespace mexi

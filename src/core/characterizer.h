@@ -1,0 +1,54 @@
+#ifndef MEXI_CORE_CHARACTERIZER_H_
+#define MEXI_CORE_CHARACTERIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/matcher_view.h"
+
+namespace mexi {
+
+/// A matching-expert characterizer f : D -> Y (Problem 1): anything that
+/// can be fitted on labeled matchers and then predicts the 4-bit
+/// expertise characterization of unseen matchers. MExI and all seven
+/// baselines implement this interface, which is what the evaluation
+/// harness iterates over.
+class Characterizer {
+ public:
+  virtual ~Characterizer() = default;
+
+  /// Human-readable method name as printed in the result tables.
+  virtual std::string Name() const = 0;
+
+  /// Trains on labeled matchers. `context` carries task dimensions and
+  /// the warm-up reference (for qualification baselines).
+  virtual void Fit(const std::vector<MatcherView>& train,
+                   const std::vector<ExpertLabel>& labels,
+                   const TaskContext& context) = 0;
+
+  /// Predicts the characterization of one matcher. Requires Fit().
+  virtual ExpertLabel Characterize(const MatcherView& matcher) const = 0;
+
+  /// Unsupervised adaptation to a new *population* before
+  /// characterizing it (no labels involved). The default is a no-op;
+  /// MExI rebuilds its consensuality statistics here, which is what
+  /// makes the PO -> OAEI transfer of Table IIb work: agreement among
+  /// matchers is a property of the population at hand, not of the
+  /// training task.
+  virtual void AdaptToPopulation(const std::vector<MatcherView>& population);
+
+  /// Graded expertise score in [0, 1] used for budgeted selection
+  /// (e.g., "keep the best k matchers"). Default: the fraction of
+  /// predicted characteristics; probabilistic methods override with a
+  /// smoother score.
+  virtual double ExpertScore(const MatcherView& matcher) const;
+
+  /// Batch prediction.
+  std::vector<ExpertLabel> CharacterizeAll(
+      const std::vector<MatcherView>& matchers) const;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_CHARACTERIZER_H_

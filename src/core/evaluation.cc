@@ -1,0 +1,224 @@
+#include "core/evaluation.h"
+
+#include <stdexcept>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "stats/hypothesis.h"
+
+namespace mexi {
+
+namespace {
+
+/// Jaccard of one predicted/true label pair (both-empty counts as 1).
+double LabelJaccard(const ExpertLabel& truth, const ExpertLabel& predicted) {
+  const std::vector<int> t = truth.ToVector();
+  const std::vector<int> p = predicted.ToVector();
+  int inter = 0, uni = 0;
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    inter += (t[c] == 1 && p[c] == 1) ? 1 : 0;
+    uni += (t[c] == 1 || p[c] == 1) ? 1 : 0;
+  }
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+/// Appends one test matcher's outcome to a method's running result.
+void Accumulate(MethodResult& result, const ExpertLabel& truth,
+                const ExpertLabel& predicted) {
+  const std::vector<int> t = truth.ToVector();
+  const std::vector<int> p = predicted.ToVector();
+  for (std::size_t c = 0; c < 4; ++c) {
+    result.per_matcher_correct[c].push_back(t[c] == p[c] ? 1.0 : 0.0);
+  }
+  result.per_matcher_jaccard.push_back(LabelJaccard(truth, predicted));
+}
+
+void Finalize(MethodResult& result) {
+  for (std::size_t c = 0; c < 4; ++c) {
+    double total = 0.0;
+    for (double v : result.per_matcher_correct[c]) total += v;
+    result.a_c[c] = result.per_matcher_correct[c].empty()
+                        ? 0.0
+                        : total / static_cast<double>(
+                                      result.per_matcher_correct[c].size());
+  }
+  double total = 0.0;
+  for (double v : result.per_matcher_jaccard) total += v;
+  result.a_ml = result.per_matcher_jaccard.empty()
+                    ? 0.0
+                    : total / static_cast<double>(
+                                  result.per_matcher_jaccard.size());
+}
+
+}  // namespace
+
+std::array<double, 4> PerLabelAccuracy(
+    const std::vector<ExpertLabel>& truth,
+    const std::vector<ExpertLabel>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("PerLabelAccuracy: size mismatch");
+  }
+  std::array<double, 4> out = {0.0, 0.0, 0.0, 0.0};
+  if (truth.empty()) return out;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const std::vector<int> t = truth[i].ToVector();
+    const std::vector<int> p = predicted[i].ToVector();
+    for (std::size_t c = 0; c < 4; ++c) out[c] += t[c] == p[c] ? 1.0 : 0.0;
+  }
+  for (auto& v : out) v /= static_cast<double>(truth.size());
+  return out;
+}
+
+double MultiLabelAccuracy(const std::vector<ExpertLabel>& truth,
+                          const std::vector<ExpertLabel>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("MultiLabelAccuracy: size mismatch");
+  }
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    total += LabelJaccard(truth[i], predicted[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+std::vector<ExpertMeasures> ComputeAllMeasures(
+    const EvaluationInput& input) {
+  if (input.reference == nullptr) {
+    throw std::invalid_argument("ComputeAllMeasures: null reference");
+  }
+  std::vector<ExpertMeasures> out;
+  out.reserve(input.matchers.size());
+  for (const auto& matcher : input.matchers) {
+    out.push_back(ComputeMeasures(*matcher.history, matcher.source_size,
+                                  matcher.target_size,
+                                  *input.reference));
+  }
+  return out;
+}
+
+std::vector<ExpertLabel> LabelsFromMeasures(
+    const std::vector<ExpertMeasures>& measures,
+    const ExpertThresholds& thresholds) {
+  std::vector<ExpertLabel> out;
+  out.reserve(measures.size());
+  for (const auto& m : measures) out.push_back(Characterize(m, thresholds));
+  return out;
+}
+
+std::vector<MethodResult> RunKFoldExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config) {
+  const std::vector<ExpertMeasures> measures = ComputeAllMeasures(input);
+  stats::Rng rng(config.seed);
+  ml::KFold folds(input.matchers.size(), config.folds, rng);
+
+  std::vector<MethodResult> results(methods.size());
+  for (std::size_t f = 0; f < folds.num_folds(); ++f) {
+    const std::vector<std::size_t> train_idx = folds.TrainIndices(f);
+    const std::vector<std::size_t>& test_idx = folds.TestIndices(f);
+
+    // Thresholds come from the fold's training population (Section
+    // II-B2: "we set thresholds with respect to the train set matchers").
+    std::vector<ExpertMeasures> train_measures;
+    std::vector<MatcherView> train_views;
+    for (std::size_t idx : train_idx) {
+      train_measures.push_back(measures[idx]);
+      train_views.push_back(input.matchers[idx]);
+    }
+    const ExpertThresholds thresholds = FitThresholds(train_measures);
+    const std::vector<ExpertLabel> train_labels =
+        LabelsFromMeasures(train_measures, thresholds);
+
+    std::vector<MatcherView> test_views;
+    std::vector<ExpertLabel> test_labels;
+    for (std::size_t idx : test_idx) {
+      test_views.push_back(input.matchers[idx]);
+      test_labels.push_back(Characterize(measures[idx], thresholds));
+    }
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      std::unique_ptr<Characterizer> method = methods[m]();
+      method->Fit(train_views, train_labels, input.context);
+      if (results[m].method.empty()) results[m].method = method->Name();
+      for (std::size_t i = 0; i < test_views.size(); ++i) {
+        Accumulate(results[m], test_labels[i],
+                   method->Characterize(test_views[i]));
+      }
+    }
+  }
+  for (auto& result : results) Finalize(result);
+  return results;
+}
+
+std::vector<MethodResult> RunTransferExperiment(
+    const EvaluationInput& train_input, const EvaluationInput& test_input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config) {
+  (void)config;
+  const std::vector<ExpertMeasures> train_measures =
+      ComputeAllMeasures(train_input);
+  const ExpertThresholds thresholds = FitThresholds(train_measures);
+  const std::vector<ExpertLabel> train_labels =
+      LabelsFromMeasures(train_measures, thresholds);
+
+  const std::vector<ExpertMeasures> test_measures =
+      ComputeAllMeasures(test_input);
+  const std::vector<ExpertLabel> test_labels =
+      LabelsFromMeasures(test_measures, thresholds);
+
+  std::vector<MethodResult> results(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::unique_ptr<Characterizer> method = methods[m]();
+    method->Fit(train_input.matchers, train_labels, train_input.context);
+    // Unsupervised population adaptation (consensuality is a property
+    // of the population being characterized).
+    method->AdaptToPopulation(test_input.matchers);
+    results[m].method = method->Name();
+    for (std::size_t i = 0; i < test_input.matchers.size(); ++i) {
+      // Test-time characterization uses the *test* task's context only
+      // through the matcher's own traces; the trained method carries its
+      // training context (this is exactly the paper's cross-task
+      // transfer, where matrix dimensions differ).
+      Accumulate(results[m], test_labels[i],
+                 method->Characterize(test_input.matchers[i]));
+    }
+  }
+  for (auto& result : results) Finalize(result);
+  return results;
+}
+
+void MarkSignificance(std::vector<MethodResult>& results,
+                      const std::string& baseline_name,
+                      const ExperimentConfig& config) {
+  const MethodResult* baseline = nullptr;
+  for (const auto& result : results) {
+    if (result.method == baseline_name) {
+      baseline = &result;
+      break;
+    }
+  }
+  if (baseline == nullptr) {
+    throw std::invalid_argument("MarkSignificance: unknown baseline " +
+                                baseline_name);
+  }
+  stats::Rng rng(config.seed + 99);
+  for (auto& result : results) {
+    if (&result == baseline) continue;
+    for (std::size_t c = 0; c < 4; ++c) {
+      const auto test = stats::BootstrapMeanDifferenceTest(
+          result.per_matcher_correct[c], baseline->per_matcher_correct[c],
+          config.bootstrap_replicates, config.alpha, rng);
+      result.significant[c] =
+          test.significant && test.observed_difference > 0.0;
+    }
+    const auto test = stats::BootstrapMeanDifferenceTest(
+        result.per_matcher_jaccard, baseline->per_matcher_jaccard,
+        config.bootstrap_replicates, config.alpha, rng);
+    result.significant[4] =
+        test.significant && test.observed_difference > 0.0;
+  }
+}
+
+}  // namespace mexi

@@ -1,0 +1,98 @@
+#ifndef MEXI_CORE_EVALUATION_H_
+#define MEXI_CORE_EVALUATION_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/expert_model.h"
+#include "core/matcher_view.h"
+#include "matching/match_matrix.h"
+#include "stats/rng.h"
+
+namespace mexi {
+
+/// One labeled evaluation population: the matchers, the task context and
+/// the main-task reference (used only to derive ground-truth labels, as
+/// in the paper's protocol).
+struct EvaluationInput {
+  std::vector<MatcherView> matchers;
+  TaskContext context;
+  const matching::MatchMatrix* reference = nullptr;
+};
+
+/// Eq. 6: per-characteristic accuracies [A_P, A_R, A_Res, A_Cal].
+std::array<double, 4> PerLabelAccuracy(
+    const std::vector<ExpertLabel>& truth,
+    const std::vector<ExpertLabel>& predicted);
+
+/// Eq. 7: multi-label Jaccard accuracy A_ML.
+double MultiLabelAccuracy(const std::vector<ExpertLabel>& truth,
+                          const std::vector<ExpertLabel>& predicted);
+
+/// A factory producing a fresh characterizer; one is constructed per
+/// fold so no state leaks between folds.
+using CharacterizerFactory =
+    std::function<std::unique_ptr<Characterizer>()>;
+
+/// Aggregate result of one method across folds, including the
+/// per-matcher samples needed by the bootstrap significance tests.
+struct MethodResult {
+  std::string method;
+  std::array<double, 4> a_c = {0.0, 0.0, 0.0, 0.0};
+  double a_ml = 0.0;
+  /// Per test matcher: 0/1 correctness per characteristic.
+  std::array<std::vector<double>, 4> per_matcher_correct;
+  /// Per test matcher: Jaccard score of the full characterization.
+  std::vector<double> per_matcher_jaccard;
+  /// Significance flags vs. a designated baseline (filled by
+  /// MarkSignificance): [A_P, A_R, A_Res, A_Cal, A_ML].
+  std::array<bool, 5> significant = {false, false, false, false, false};
+};
+
+struct ExperimentConfig {
+  std::size_t folds = 5;
+  int bootstrap_replicates = 2000;
+  double alpha = 0.05;
+  std::uint64_t seed = 777;
+};
+
+/// The paper's Expert Identification experiment (Table IIa): labels are
+/// computed with thresholds fitted on each fold's training population;
+/// every method is trained on the fold's train matchers and evaluated on
+/// the held-out fold; results average over folds.
+std::vector<MethodResult> RunKFoldExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config);
+
+/// The Generalizability experiment (Table IIb): train on `train_input`
+/// (PO matchers), test on `test_input` (OAEI matchers). Thresholds are
+/// fitted on the training population.
+std::vector<MethodResult> RunTransferExperiment(
+    const EvaluationInput& train_input, const EvaluationInput& test_input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config);
+
+/// Two-sample bootstrap tests of every method against the named baseline
+/// (the paper's asterisks, p < alpha), over per-matcher correctness /
+/// Jaccard samples. Sets `significant` on each result; the baseline's
+/// own flags stay false.
+void MarkSignificance(std::vector<MethodResult>& results,
+                      const std::string& baseline_name,
+                      const ExperimentConfig& config);
+
+/// Ground-truth labels of a population: measures per matcher plus
+/// thresholds fitted on the (train) measures you pass in.
+std::vector<ExpertMeasures> ComputeAllMeasures(
+    const EvaluationInput& input);
+std::vector<ExpertLabel> LabelsFromMeasures(
+    const std::vector<ExpertMeasures>& measures,
+    const ExpertThresholds& thresholds);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_EVALUATION_H_

@@ -1,0 +1,145 @@
+#include "core/expert_model.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+ExpertMeasures ComputeMeasures(const matching::DecisionHistory& history,
+                               std::size_t source_size,
+                               std::size_t target_size,
+                               const matching::MatchMatrix& reference) {
+  ExpertMeasures m;
+  const matching::MatchMatrix matrix =
+      history.ToMatrix(source_size, target_size);
+  m.precision = matrix.PrecisionAgainst(reference);
+  m.recall = matrix.RecallAgainst(reference);
+
+  // Resolution: confidence vs. correctness over the final match entries.
+  std::vector<double> confidences;
+  std::vector<double> correctness;
+  for (const auto& [i, j] : matrix.Match()) {
+    confidences.push_back(matrix.At(i, j));
+    correctness.push_back(reference.At(i, j) > 0.0 ? 1.0 : 0.0);
+  }
+  const stats::CorrelationResult gamma =
+      stats::GoodmanKruskalGamma(confidences, correctness);
+  m.resolution = gamma.value;
+  m.resolution_pvalue = gamma.p_value;
+
+  // Calibration: history-wide mean reported confidence minus precision.
+  m.calibration = history.MeanConfidence() - m.precision;
+  return m;
+}
+
+ExpertThresholds FitThresholds(const std::vector<ExpertMeasures>& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("FitThresholds: empty training population");
+  }
+  std::vector<double> resolutions;
+  std::vector<double> abs_calibrations;
+  resolutions.reserve(train.size());
+  abs_calibrations.reserve(train.size());
+  for (const auto& m : train) {
+    resolutions.push_back(m.resolution);
+    abs_calibrations.push_back(std::fabs(m.calibration));
+  }
+  ExpertThresholds t;
+  t.delta_res = stats::Percentile(resolutions, 80.0);
+  t.delta_cal = stats::Percentile(abs_calibrations, 20.0);
+  return t;
+}
+
+std::vector<int> ExpertLabel::ToVector() const {
+  return {precise ? 1 : 0, thorough ? 1 : 0, correlated ? 1 : 0,
+          calibrated ? 1 : 0};
+}
+
+ExpertLabel ExpertLabel::FromVector(const std::vector<int>& bits) {
+  if (bits.size() != 4) {
+    throw std::invalid_argument("ExpertLabel::FromVector: need 4 bits");
+  }
+  ExpertLabel label;
+  label.precise = bits[0] == 1;
+  label.thorough = bits[1] == 1;
+  label.correlated = bits[2] == 1;
+  label.calibrated = bits[3] == 1;
+  return label;
+}
+
+bool ExpertLabel::IsFullExpert() const {
+  return precise && thorough && correlated && calibrated;
+}
+
+int ExpertLabel::Count() const {
+  return (precise ? 1 : 0) + (thorough ? 1 : 0) + (correlated ? 1 : 0) +
+         (calibrated ? 1 : 0);
+}
+
+ExpertLabel Characterize(const ExpertMeasures& measures,
+                         const ExpertThresholds& thresholds) {
+  ExpertLabel label;
+  label.precise = measures.precision > thresholds.delta_p;
+  label.thorough = measures.recall > thresholds.delta_r;
+  label.correlated = measures.resolution > thresholds.delta_res &&
+                     measures.resolution_pvalue < thresholds.resolution_alpha;
+  label.calibrated =
+      std::fabs(measures.calibration) < thresholds.delta_cal;
+  return label;
+}
+
+const std::vector<std::string>& CharacteristicNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "precise", "thorough", "correlated", "calibrated"};
+  return *kNames;
+}
+
+AccumulatedCurves ComputeAccumulatedCurves(
+    const matching::DecisionHistory& history, std::size_t source_size,
+    std::size_t target_size, const matching::MatchMatrix& reference) {
+  AccumulatedCurves curves;
+  // Incremental state: latest confidence per pair plus running counts.
+  std::map<matching::ElementPair, double> latest;
+  const std::size_t ref_size = reference.MatchSize();
+  std::vector<double> all_confidences;
+
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    const auto& d = history.at(k);
+    if (d.source >= source_size || d.target >= target_size) {
+      throw std::out_of_range("ComputeAccumulatedCurves: pair range");
+    }
+    latest[{d.source, d.target}] = d.confidence;
+    all_confidences.push_back(d.confidence);
+
+    std::size_t declared = 0, correct = 0;
+    std::vector<double> conf, corr;
+    for (const auto& [pair, confidence] : latest) {
+      if (confidence <= 0.0) continue;
+      ++declared;
+      const bool is_correct = reference.At(pair.first, pair.second) > 0.0;
+      correct += static_cast<std::size_t>(is_correct);
+      conf.push_back(confidence);
+      corr.push_back(is_correct ? 1.0 : 0.0);
+    }
+    const double precision =
+        declared > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(declared)
+                     : 0.0;
+    curves.precision.push_back(precision);
+    curves.recall.push_back(
+        ref_size > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(ref_size)
+                     : 0.0);
+    curves.mean_confidence.push_back(stats::Mean(all_confidences));
+    curves.resolution.push_back(
+        stats::GoodmanKruskalGamma(conf, corr).value);
+    curves.calibration.push_back(stats::Mean(all_confidences) - precision);
+  }
+  return curves;
+}
+
+}  // namespace mexi

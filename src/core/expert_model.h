@@ -1,0 +1,97 @@
+#ifndef MEXI_CORE_EXPERT_MODEL_H_
+#define MEXI_CORE_EXPERT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+
+namespace mexi {
+
+/// The four measures of Section II-B evaluated on one matcher's history
+/// against a reference match.
+struct ExpertMeasures {
+  /// P(H), Eq. 2: correct declared pairs / declared pairs.
+  double precision = 0.0;
+  /// R(H), Eq. 3: correct declared pairs / reference pairs.
+  double recall = 0.0;
+  /// Res(H), Eq. 4: Goodman-Kruskal gamma between final confidences and
+  /// correctness.
+  double resolution = 0.0;
+  /// Two-sided p-value of the resolution.
+  double resolution_pvalue = 1.0;
+  /// Cal(H), Eq. 5: mean reported confidence minus precision
+  /// (positive = overconfident; closer to 0 is better).
+  double calibration = 0.0;
+};
+
+/// Computes all four measures from a decision history. Confidences for
+/// resolution/calibration are the *final* per-pair confidences (the
+/// matrix projection), and calibration uses the history-wide mean
+/// confidence exactly as Eq. 5 prescribes.
+ExpertMeasures ComputeMeasures(const matching::DecisionHistory& history,
+                               std::size_t source_size,
+                               std::size_t target_size,
+                               const matching::MatchMatrix& reference);
+
+/// Expertise thresholds (Section II-B). delta_p/delta_r are absolute;
+/// delta_res/delta_cal are percentiles of the training population, set
+/// by FitThresholds.
+struct ExpertThresholds {
+  double delta_p = 0.5;
+  double delta_r = 0.5;
+  double delta_res = 0.5;
+  double delta_cal = 0.2;
+  double resolution_alpha = 0.05;
+};
+
+/// Fits the population-relative thresholds on training measures:
+/// delta_res = 80th percentile of resolutions, delta_cal = 20th
+/// percentile of |calibration| (the paper's Section II-B2 protocol).
+ExpertThresholds FitThresholds(const std::vector<ExpertMeasures>& train);
+
+/// The 4-bit expertise characterization Y (Problem 1).
+struct ExpertLabel {
+  bool precise = false;
+  bool thorough = false;
+  bool correlated = false;
+  bool calibrated = false;
+
+  /// {0,1}^4 vector in the fixed order [P, R, Res, Cal].
+  std::vector<int> ToVector() const;
+  static ExpertLabel FromVector(const std::vector<int>& bits);
+
+  /// Expert in all four characteristics.
+  bool IsFullExpert() const;
+
+  /// Number of characteristics held.
+  int Count() const;
+
+  bool operator==(const ExpertLabel& other) const = default;
+};
+
+/// Applies Eqs. 2-5's indicator functions.
+ExpertLabel Characterize(const ExpertMeasures& measures,
+                         const ExpertThresholds& thresholds);
+
+/// Names of the four characteristics, order-matched to ToVector().
+const std::vector<std::string>& CharacteristicNames();
+
+/// Per-decision accumulated curves behind Figures 1/4/5/6: after each
+/// decision k, the measures of the history prefix [0, k].
+struct AccumulatedCurves {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> mean_confidence;
+  std::vector<double> resolution;
+  std::vector<double> calibration;
+};
+
+AccumulatedCurves ComputeAccumulatedCurves(
+    const matching::DecisionHistory& history, std::size_t source_size,
+    std::size_t target_size, const matching::MatchMatrix& reference);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_EXPERT_MODEL_H_

@@ -1,0 +1,140 @@
+#include "core/features/aggregated_features.h"
+
+#include <cmath>
+
+#include "matching/predictors.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+FeatureVector LrsmFeatures(const matching::DecisionHistory& history,
+                           std::size_t source_size,
+                           std::size_t target_size) {
+  FeatureVector out;
+  const matching::MatchMatrix matrix =
+      history.ToMatrix(source_size, target_size);
+  for (const auto& predictor : matching::ComputePredictors(matrix)) {
+    out.Add("lrsm." + predictor.name, predictor.value);
+  }
+  return out;
+}
+
+FeatureVector BehavioralFeatures(const matching::DecisionHistory& history) {
+  FeatureVector out;
+  const std::vector<double> conf = history.Confidences();
+  const std::vector<double> elapsed = history.ElapsedTimes();
+
+  out.Add("beh.avgConf", stats::Mean(conf));
+  out.Add("beh.stdConf", stats::StdDev(conf));
+  out.Add("beh.maxConf", stats::Max(conf));
+  out.Add("beh.minConf", conf.empty() ? 0.0 : stats::Min(conf));
+  out.Add("beh.medianConf", stats::Median(conf));
+
+  out.Add("beh.avgTime", stats::Mean(elapsed));
+  out.Add("beh.stdTime", stats::StdDev(elapsed));
+  out.Add("beh.maxTime", stats::Max(elapsed));
+  out.Add("beh.minTime", elapsed.empty() ? 0.0 : stats::Min(elapsed));
+  out.Add("beh.totalTime",
+          history.empty() ? 0.0
+                          : history.at(history.size() - 1).timestamp -
+                                history.at(0).timestamp);
+
+  out.Add("beh.countDecisions", static_cast<double>(history.size()));
+  out.Add("beh.countDistinctCorr",
+          static_cast<double>(history.DistinctPairs()));
+  out.Add("beh.countMindChange",
+          static_cast<double>(history.MindChanges()));
+  out.Add("beh.mindChangeRate",
+          history.empty() ? 0.0
+                          : static_cast<double>(history.MindChanges()) /
+                                static_cast<double>(history.size()));
+
+  // Temporal development: linear trends of confidence and pace capture
+  // the decline / drift phenomena of Ackerman et al.
+  std::vector<double> order(conf.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<double>(i);
+  }
+  out.Add("beh.confTrend", stats::PearsonCorrelation(order, conf));
+  std::vector<double> elapsed_order(elapsed.size());
+  for (std::size_t i = 0; i < elapsed_order.size(); ++i) {
+    elapsed_order[i] = static_cast<double>(i);
+  }
+  out.Add("beh.timeTrend", stats::PearsonCorrelation(elapsed_order, elapsed));
+  out.Add("beh.lastConf", conf.empty() ? 0.0 : conf.back());
+  out.Add("beh.firstConf", conf.empty() ? 0.0 : conf.front());
+  return out;
+}
+
+FeatureVector MouseFeatures(const matching::MovementMap& movement) {
+  FeatureVector out;
+  const double total = static_cast<double>(movement.size());
+
+  out.Add("mou.totalLength", movement.TotalPathLength());
+  out.Add("mou.totalTime", movement.TotalTime());
+  out.Add("mou.countEvents", total);
+  out.Add("mou.avgX", movement.MeanX());
+  out.Add("mou.avgY", movement.MeanY());
+
+  double var_x = 0.0, var_y = 0.0;
+  const double mx = movement.MeanX();
+  const double my = movement.MeanY();
+  for (const auto& e : movement.events()) {
+    var_x += (e.x - mx) * (e.x - mx);
+    var_y += (e.y - my) * (e.y - my);
+  }
+  out.Add("mou.stdX", total > 0 ? std::sqrt(var_x / total) : 0.0);
+  out.Add("mou.stdY", total > 0 ? std::sqrt(var_y / total) : 0.0);
+
+  const double moves = static_cast<double>(
+      movement.CountOfType(matching::MovementType::kMove));
+  const double lclicks = static_cast<double>(
+      movement.CountOfType(matching::MovementType::kLeftClick));
+  const double rclicks = static_cast<double>(
+      movement.CountOfType(matching::MovementType::kRightClick));
+  const double scrolls = static_cast<double>(
+      movement.CountOfType(matching::MovementType::kScroll));
+  out.Add("mou.countMove", moves);
+  out.Add("mou.countLClick", lclicks);
+  out.Add("mou.countRClick", rclicks);
+  out.Add("mou.countScroll", scrolls);
+  out.Add("mou.clickRate", total > 0 ? (lclicks + rclicks) / total : 0.0);
+  out.Add("mou.scrollRate", total > 0 ? scrolls / total : 0.0);
+  out.Add("mou.avgSpeed", movement.TotalTime() > 0.0
+                              ? movement.TotalPathLength() /
+                                    movement.TotalTime()
+                              : 0.0);
+
+  // Share of activity per UI region ("on focus" style features): the
+  // regions match sim::ScreenLayout, normalized to the screen size so
+  // the features transfer across tasks.
+  const double w = movement.screen_width();
+  const double h = movement.screen_height();
+  struct Region {
+    const char* name;
+    double x0, y0, x1, y1;
+  };
+  const Region regions[] = {
+      {"sourceTree", 0.03, 0.04, 0.46, 0.42},
+      {"targetTree", 0.54, 0.04, 0.98, 0.42},
+      {"propsBox", 0.38, 0.42, 0.62, 0.53},
+      {"matchTable", 0.08, 0.54, 0.92, 0.97},
+  };
+  for (const auto& region : regions) {
+    double count = 0.0;
+    for (const auto& e : movement.events()) {
+      const double rx = e.x / w;
+      const double ry = e.y / h;
+      if (rx >= region.x0 && rx <= region.x1 && ry >= region.y0 &&
+          ry <= region.y1) {
+        count += 1.0;
+      }
+    }
+    out.Add(std::string("mou.share.") + region.name,
+            total > 0 ? count / total : 0.0);
+  }
+  return out;
+}
+
+}  // namespace mexi

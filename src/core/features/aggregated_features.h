@@ -1,0 +1,32 @@
+#ifndef MEXI_CORE_FEATURES_AGGREGATED_FEATURES_H_
+#define MEXI_CORE_FEATURES_AGGREGATED_FEATURES_H_
+
+#include "core/features/feature_vector.h"
+#include "matching/decision_history.h"
+#include "matching/movement.h"
+
+namespace mexi {
+
+/// Phi_LRSM(H): matching-predictor features over the final matching
+/// matrix (Section III-A, precision & thoroughness features). Feature
+/// names are "lrsm.<predictor>".
+FeatureVector LrsmFeatures(const matching::DecisionHistory& history,
+                           std::size_t source_size,
+                           std::size_t target_size);
+
+/// Phi_Beh(H): aggregations over confidence, decision times and changed
+/// decisions (Section III-A, calibration features; after Rzeszotarski &
+/// Kittur-style behavioral traces). Names are "beh.<stat>"; the Table IV
+/// features avgTime / countDistinctCorr / countMindChange / maxTime /
+/// avgConf appear under those names.
+FeatureVector BehavioralFeatures(const matching::DecisionHistory& history);
+
+/// Phi_Mou(G): aggregated mouse features following Goyal et al. /
+/// Rzeszotarski & Kittur: totalLength, totalTime, avgX/avgY, per-type
+/// event counts and rates, and the share of activity per UI region.
+/// Names are "mou.<stat>".
+FeatureVector MouseFeatures(const matching::MovementMap& movement);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_AGGREGATED_FEATURES_H_

@@ -1,0 +1,47 @@
+#include "core/features/consensus.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+ConsensusMap::ConsensusMap(
+    const std::vector<const matching::DecisionHistory*>& train,
+    std::size_t source_size, std::size_t target_size)
+    : counts_(source_size, target_size, 0.0), num_matchers_(train.size()) {
+  for (const auto* history : train) {
+    if (history == nullptr) {
+      throw std::invalid_argument("ConsensusMap: null history");
+    }
+    const matching::MatchMatrix matrix =
+        history->ToMatrix(source_size, target_size);
+    for (const auto& [i, j] : matrix.Match()) {
+      counts_(i, j) += 1.0;
+    }
+  }
+}
+
+double ConsensusMap::Share(std::size_t i, std::size_t j) const {
+  if (num_matchers_ == 0) return 0.0;
+  // Out-of-range pairs (a foreign task's elements) have no consensus.
+  if (i >= counts_.rows() || j >= counts_.cols()) return 0.0;
+  return counts_(i, j) / static_cast<double>(num_matchers_);
+}
+
+double ConsensusMap::Count(std::size_t i, std::size_t j) const {
+  if (i >= counts_.rows() || j >= counts_.cols()) return 0.0;
+  return counts_(i, j);
+}
+
+double ConsensusMap::MeanShare(
+    const matching::DecisionHistory& history) const {
+  if (empty()) return 0.0;
+  std::vector<double> shares;
+  for (const auto& [i, j] : history.FinalPairs()) {
+    shares.push_back(Share(i, j));
+  }
+  return stats::Mean(shares);
+}
+
+}  // namespace mexi

@@ -1,0 +1,47 @@
+#ifndef MEXI_CORE_FEATURES_CONSENSUS_H_
+#define MEXI_CORE_FEATURES_CONSENSUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "matching/decision_history.h"
+#include "ml/matrix.h"
+
+namespace mexi {
+
+/// Consensus statistics over a training population: for every element
+/// pair, the share of training matchers whose *final* matching matrix
+/// contains it. This is the paper's pi_i sequential signal ("the number
+/// of human matchers in the training set that selected h.e as part of
+/// their final matching matrix") and the consensuality dimension of the
+/// correlation features. Computed on the training set only — test
+/// matchers are scored against the trained map.
+class ConsensusMap {
+ public:
+  ConsensusMap() = default;
+
+  /// Builds the map from training histories.
+  ConsensusMap(const std::vector<const matching::DecisionHistory*>& train,
+               std::size_t source_size, std::size_t target_size);
+
+  bool empty() const { return counts_.empty(); }
+  std::size_t num_matchers() const { return num_matchers_; }
+
+  /// Share of training matchers that included (i, j); in [0, 1].
+  double Share(std::size_t i, std::size_t j) const;
+
+  /// Raw matcher count for (i, j).
+  double Count(std::size_t i, std::size_t j) const;
+
+  /// Mean consensus share over a history's distinct final pairs — the
+  /// aggregate consensuality of one matcher.
+  double MeanShare(const matching::DecisionHistory& history) const;
+
+ private:
+  ml::Matrix counts_;
+  std::size_t num_matchers_ = 0;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_CONSENSUS_H_

@@ -1,0 +1,61 @@
+#include "core/features/consistency_features.h"
+
+#include <map>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+FeatureVector ConsistencyFeatures(const matching::DecisionHistory& history,
+                                  const ConsensusMap& consensus) {
+  FeatureVector out;
+
+  // Final-pair consensus statistics.
+  std::map<matching::ElementPair, double> latest;
+  for (const auto& d : history.decisions()) {
+    latest[{d.source, d.target}] = d.confidence;
+  }
+  std::vector<double> shares, confidences;
+  for (const auto& [pair, confidence] : latest) {
+    if (confidence <= 0.0) continue;
+    shares.push_back(consensus.Share(pair.first, pair.second));
+    confidences.push_back(confidence);
+  }
+  out.Add("con.meanConsensus", stats::Mean(shares));
+  out.Add("con.stdConsensus", stats::StdDev(shares));
+
+  double weighted = 0.0, weight_total = 0.0;
+  std::size_t minority = 0, majority = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    weighted += confidences[i] * shares[i];
+    weight_total += confidences[i];
+    minority += static_cast<std::size_t>(shares[i] < 0.15);
+    majority += static_cast<std::size_t>(shares[i] > 0.5);
+  }
+  out.Add("con.weightedConsensus",
+          weight_total > 0.0 ? weighted / weight_total : 0.0);
+  out.Add("con.minorityShare",
+          shares.empty() ? 0.0
+                         : static_cast<double>(minority) /
+                               static_cast<double>(shares.size()));
+  out.Add("con.majorityShare",
+          shares.empty() ? 0.0
+                         : static_cast<double>(majority) /
+                               static_cast<double>(shares.size()));
+  out.Add("con.confConsensusCorr",
+          stats::PearsonCorrelation(confidences, shares));
+
+  // Temporal dimension: consensus of pairs in decision order.
+  std::vector<double> order, ordered_shares;
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    const auto& d = history.at(k);
+    order.push_back(static_cast<double>(k));
+    ordered_shares.push_back(consensus.Share(d.source, d.target));
+  }
+  out.Add("con.temporalConsensusTrend",
+          stats::PearsonCorrelation(order, ordered_shares));
+  return out;
+}
+
+}  // namespace mexi

@@ -1,0 +1,33 @@
+#ifndef MEXI_CORE_FEATURES_CONSISTENCY_FEATURES_H_
+#define MEXI_CORE_FEATURES_CONSISTENCY_FEATURES_H_
+
+#include "core/features/consensus.h"
+#include "core/features/feature_vector.h"
+#include "matching/decision_history.h"
+
+namespace mexi {
+
+/// Match-consistency features (the paper's correlation-feature group,
+/// Section III-A): consensuality — how the matcher's decisions relate to
+/// the training population's — and temporal consistency. Ackerman et al.
+/// showed these dimensions predict confidence and quality; consensus
+/// features also dominate the paper's Table IV importance analysis.
+/// Names are "con.<stat>":
+///  * meanConsensus / stdConsensus — moments of the consensus share over
+///    the matcher's final pairs.
+///  * weightedConsensus — confidence-weighted mean consensus.
+///  * minorityShare — fraction of final pairs almost nobody else chose
+///    (< 0.15 share).
+///  * majorityShare — fraction of final pairs most others chose (> 0.5).
+///  * confConsensusCorr — Pearson correlation between the matcher's
+///    final confidences and the pairs' consensus (self-monitoring
+///    against the crowd; predictive of resolution).
+///  * temporalConsensusTrend — correlation between decision order and
+///    decided-pair consensus (negative = drifts to idiosyncratic pairs
+///    late in the session).
+FeatureVector ConsistencyFeatures(const matching::DecisionHistory& history,
+                                  const ConsensusMap& consensus);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_CONSISTENCY_FEATURES_H_

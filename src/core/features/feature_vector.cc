@@ -1,0 +1,31 @@
+#include "core/features/feature_vector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mexi {
+
+void FeatureVector::Add(std::string name, double value) {
+  names_.push_back(std::move(name));
+  values_.push_back(value);
+}
+
+void FeatureVector::Extend(const FeatureVector& other) {
+  names_.insert(names_.end(), other.names_.begin(), other.names_.end());
+  values_.insert(values_.end(), other.values_.begin(),
+                 other.values_.end());
+}
+
+double FeatureVector::at(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    throw std::out_of_range("FeatureVector::at: unknown feature " + name);
+  }
+  return values_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+bool FeatureVector::Has(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+}  // namespace mexi

@@ -1,0 +1,39 @@
+#ifndef MEXI_CORE_FEATURES_FEATURE_VECTOR_H_
+#define MEXI_CORE_FEATURES_FEATURE_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+namespace mexi {
+
+/// A named, ordered feature vector. Feature sets append into one shared
+/// vector so names stay aligned with values all the way into the
+/// classifiers and the permutation-importance analysis (Table IV).
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+
+  /// Appends one named feature.
+  void Add(std::string name, double value);
+
+  /// Appends all features of `other`.
+  void Extend(const FeatureVector& other);
+
+  std::size_t size() const { return values_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value lookup by name; throws std::out_of_range if absent.
+  double at(const std::string& name) const;
+
+  /// True when a feature of that name exists.
+  bool Has(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> values_;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_FEATURE_VECTOR_H_

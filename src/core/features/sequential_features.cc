@@ -1,0 +1,83 @@
+#include "core/features/sequential_features.h"
+
+#include <stdexcept>
+
+namespace mexi {
+
+SequentialFeatureExtractor::Config
+SequentialFeatureExtractor::DefaultConfig() {
+  Config config;
+  config.lstm.input_dim = 3;
+  config.lstm.hidden_dim = 16;
+  config.lstm.dense_dim = 24;
+  config.lstm.num_labels = 4;
+  config.lstm.dropout = 0.5;
+  config.lstm.epochs = 25;
+  config.lstm.adam.learning_rate = 0.003;
+  config.lstm.batch_size = 8;
+  return config;
+}
+
+SequentialFeatureExtractor::SequentialFeatureExtractor(const Config& config)
+    : config_(config), model_(config.lstm) {}
+
+ml::Sequence SequentialFeatureExtractor::Encode(
+    const matching::DecisionHistory& history) const {
+  ml::Sequence sequence;
+  sequence.reserve(history.size());
+  double prev_time = history.empty() ? 0.0 : history.at(0).timestamp;
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    const auto& d = history.at(k);
+    const double dt = k == 0 ? 0.0 : d.timestamp - prev_time;
+    prev_time = d.timestamp;
+    const double squashed_dt = dt / (dt + config_.time_scale);
+    const double consensus =
+        consensus_.empty() ? 0.0 : consensus_.Share(d.source, d.target);
+    sequence.push_back({d.confidence, squashed_dt, consensus});
+  }
+  return sequence;
+}
+
+void SequentialFeatureExtractor::Fit(
+    const std::vector<const matching::DecisionHistory*>& histories,
+    const std::vector<ExpertLabel>& labels, const ConsensusMap& consensus) {
+  if (histories.size() != labels.size() || histories.empty()) {
+    throw std::invalid_argument(
+        "SequentialFeatureExtractor::Fit: bad input sizes");
+  }
+  consensus_ = consensus;
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  sequences.reserve(histories.size());
+  targets.reserve(histories.size());
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    sequences.push_back(Encode(*histories[i]));
+    const std::vector<int> bits = labels[i].ToVector();
+    targets.push_back(std::vector<double>(bits.begin(), bits.end()));
+  }
+  model_ = ml::LstmSequenceModel(config_.lstm);
+  model_.Fit(sequences, targets);
+  fitted_ = true;
+}
+
+void SequentialFeatureExtractor::SetConsensus(
+    const ConsensusMap& consensus) {
+  consensus_ = consensus;
+}
+
+FeatureVector SequentialFeatureExtractor::Extract(
+    const matching::DecisionHistory& history) const {
+  if (!fitted_) {
+    throw std::logic_error("SequentialFeatureExtractor: not fitted");
+  }
+  const std::vector<double> coefficients =
+      model_.Predict(Encode(history));
+  FeatureVector out;
+  const auto& names = CharacteristicNames();
+  for (std::size_t c = 0; c < coefficients.size(); ++c) {
+    out.Add("seq." + names[c], coefficients[c]);
+  }
+  return out;
+}
+
+}  // namespace mexi

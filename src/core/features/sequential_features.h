@@ -1,0 +1,64 @@
+#ifndef MEXI_CORE_FEATURES_SEQUENTIAL_FEATURES_H_
+#define MEXI_CORE_FEATURES_SEQUENTIAL_FEATURES_H_
+
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/features/consensus.h"
+#include "core/features/feature_vector.h"
+#include "matching/decision_history.h"
+#include "ml/nn/lstm.h"
+
+namespace mexi {
+
+/// Phi_Seq(H): the LSTM late-fusion features of Section III-B.
+///
+/// During training an LSTM consumes each matcher's decision sequence —
+/// per step the declared confidence, the (squashed) time spent until the
+/// decision, and the training-population consensus of the decided pair —
+/// and learns the four expertise labels. At extraction time the trained
+/// network's four label coefficients become features
+/// "seq.<characteristic>", fused into Phi(D).
+class SequentialFeatureExtractor {
+ public:
+  struct Config {
+    ml::LstmSequenceModel::Config lstm;
+    /// Squash scale for inter-decision seconds: dt -> dt / (dt + scale).
+    double time_scale = 60.0;
+  };
+
+  explicit SequentialFeatureExtractor(const Config& config = DefaultConfig());
+
+  /// The default network: input [confidence, time, consensus].
+  static Config DefaultConfig();
+
+  /// Trains the LSTM on training histories and their labels. The
+  /// consensus map must be built from the same training population.
+  void Fit(const std::vector<const matching::DecisionHistory*>& histories,
+           const std::vector<ExpertLabel>& labels,
+           const ConsensusMap& consensus);
+
+  /// Extracts the four label-coefficient features for one history.
+  /// Requires Fit() first.
+  FeatureVector Extract(const matching::DecisionHistory& history) const;
+
+  /// The sequence encoding used for both training and extraction
+  /// (exposed for tests).
+  ml::Sequence Encode(const matching::DecisionHistory& history) const;
+
+  /// Swaps the consensus map used at extraction time (population
+  /// adaptation for cross-task transfer). The trained LSTM weights stay.
+  void SetConsensus(const ConsensusMap& consensus);
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  Config config_;
+  ConsensusMap consensus_;
+  mutable ml::LstmSequenceModel model_;
+  bool fitted_ = false;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_SEQUENTIAL_FEATURES_H_

@@ -1,0 +1,136 @@
+#include "core/features/spatial_features.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi {
+
+SpatialFeatureExtractor::Config SpatialFeatureExtractor::DefaultConfig() {
+  Config config;
+  config.cnn.image_rows = 20;
+  config.cnn.image_cols = 32;
+  config.cnn.conv1_filters = 4;
+  config.cnn.conv2_filters = 6;
+  config.cnn.dense_dim = 16;
+  config.cnn.num_labels = 4;
+  config.cnn.epochs = 14;
+  config.cnn.adam.learning_rate = 0.003;
+  config.cnn.batch_size = 8;
+  return config;
+}
+
+SpatialFeatureExtractor::SpatialFeatureExtractor(const Config& config)
+    : config_(config) {}
+
+const char* SpatialFeatureExtractor::MapName(matching::MovementType type) {
+  switch (type) {
+    case matching::MovementType::kMove:
+      return "Move";
+    case matching::MovementType::kLeftClick:
+      return "LMouse";
+    case matching::MovementType::kRightClick:
+      return "RMouse";
+    case matching::MovementType::kScroll:
+      return "SMouse";
+  }
+  return "Unknown";
+}
+
+void SpatialFeatureExtractor::Pretrain(ml::CnnImageModel& model,
+                                       stats::Rng& rng) const {
+  if (config_.pretrain_images == 0) return;
+  const std::size_t rows = config_.cnn.image_rows;
+  const std::size_t cols = config_.cnn.image_cols;
+  // Pretext task: classify which quadrant-ish UI regions carry mass.
+  // Region centers in relative coordinates (match the UI layout).
+  const double centers[4][2] = {
+      {0.25, 0.25}, {0.75, 0.25}, {0.5, 0.48}, {0.5, 0.78}};
+  std::vector<ml::Image> images;
+  std::vector<std::vector<double>> targets;
+  for (std::size_t n = 0; n < config_.pretrain_images; ++n) {
+    ml::Image image(rows, cols, 0.0);
+    std::vector<double> target(4, 0.0);
+    const int blobs = 1 + static_cast<int>(rng.UniformIndex(3));
+    for (int b = 0; b < blobs; ++b) {
+      const std::size_t region = rng.UniformIndex(4);
+      target[region] = 1.0;
+      const double cx = centers[region][0] * static_cast<double>(cols);
+      const double cy = centers[region][1] * static_cast<double>(rows);
+      const double sx = rng.Uniform(1.5, 4.0);
+      const double sy = rng.Uniform(1.0, 3.0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const double dx = (static_cast<double>(c) - cx) / sx;
+          const double dy = (static_cast<double>(r) - cy) / sy;
+          image(r, c) += std::exp(-0.5 * (dx * dx + dy * dy));
+        }
+      }
+    }
+    const double peak = image.MaxAbs();
+    if (peak > 0.0) image *= 1.0 / peak;
+    images.push_back(std::move(image));
+    targets.push_back(std::move(target));
+  }
+  model.Fit(images, targets, config_.pretrain_epochs);
+}
+
+void SpatialFeatureExtractor::Fit(
+    const std::vector<const matching::MovementMap*>& movements,
+    const std::vector<ExpertLabel>& labels) {
+  if (movements.size() != labels.size() || movements.empty()) {
+    throw std::invalid_argument(
+        "SpatialFeatureExtractor::Fit: bad input sizes");
+  }
+  std::vector<std::vector<double>> targets;
+  targets.reserve(labels.size());
+  for (const auto& label : labels) {
+    const std::vector<int> bits = label.ToVector();
+    targets.push_back(std::vector<double>(bits.begin(), bits.end()));
+  }
+
+  models_.clear();
+  stats::Rng rng(config_.seed);
+  for (int type = 0; type < matching::kNumMovementTypes; ++type) {
+    ml::CnnImageModel::Config cnn_config = config_.cnn;
+    cnn_config.seed = rng.NextU64();
+    auto model = std::make_unique<ml::CnnImageModel>(cnn_config);
+    stats::Rng pretrain_rng = rng.Split();
+    Pretrain(*model, pretrain_rng);
+
+    std::vector<ml::Image> images;
+    images.reserve(movements.size());
+    for (const auto* movement : movements) {
+      images.push_back(movement->HeatMap(
+          static_cast<matching::MovementType>(type),
+          config_.cnn.image_rows, config_.cnn.image_cols));
+    }
+    model->Fit(images, targets);  // fine-tune on the real heat maps
+    models_.push_back(std::move(model));
+  }
+  fitted_ = true;
+}
+
+FeatureVector SpatialFeatureExtractor::Extract(
+    const matching::MovementMap& movement) const {
+  if (!fitted_) {
+    throw std::logic_error("SpatialFeatureExtractor: not fitted");
+  }
+  FeatureVector out;
+  const auto& names = CharacteristicNames();
+  for (int type = 0; type < matching::kNumMovementTypes; ++type) {
+    const ml::Image image = movement.HeatMap(
+        static_cast<matching::MovementType>(type), config_.cnn.image_rows,
+        config_.cnn.image_cols);
+    const std::vector<double> coefficients =
+        models_[static_cast<std::size_t>(type)]->Predict(image);
+    for (std::size_t c = 0; c < coefficients.size(); ++c) {
+      out.Add(std::string("spa.") +
+                  MapName(static_cast<matching::MovementType>(type)) + "." +
+                  names[c],
+              coefficients[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mexi

@@ -1,0 +1,63 @@
+#ifndef MEXI_CORE_FEATURES_SPATIAL_FEATURES_H_
+#define MEXI_CORE_FEATURES_SPATIAL_FEATURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/features/feature_vector.h"
+#include "matching/movement.h"
+#include "ml/nn/cnn.h"
+
+namespace mexi {
+
+/// Phi_Spa(G): the CNN late-fusion features of Section III-B.
+///
+/// Four convolutional networks are trained, one per movement heat map
+/// (move-over, left click, right click, scrolling), each predicting the
+/// four expertise labels from the heat-map image. The paper fine-tunes a
+/// pre-trained ResNet; this implementation reproduces the recipe at
+/// laptop scale: each network is first pre-trained on a synthetic
+/// attention-pattern pretext task, then fine-tuned on the matchers' heat
+/// maps (see DESIGN.md §1). At extraction time the 4x4 label
+/// coefficients become features "spa.<MapName>.<characteristic>" with
+/// the paper's map names Move / LMouse / RMouse / SMouse.
+class SpatialFeatureExtractor {
+ public:
+  struct Config {
+    ml::CnnImageModel::Config cnn;
+    /// Pretext-task images per network (0 disables pretraining).
+    std::size_t pretrain_images = 64;
+    int pretrain_epochs = 4;
+    std::uint64_t seed = 97;
+  };
+
+  explicit SpatialFeatureExtractor(const Config& config = DefaultConfig());
+
+  static Config DefaultConfig();
+
+  /// Paper-style heat-map names indexed by MovementType.
+  static const char* MapName(matching::MovementType type);
+
+  /// Pre-trains (optionally) and fine-tunes the four networks.
+  void Fit(const std::vector<const matching::MovementMap*>& movements,
+           const std::vector<ExpertLabel>& labels);
+
+  /// Extracts the 16 label-coefficient features for one movement map.
+  FeatureVector Extract(const matching::MovementMap& movement) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  /// Builds the pretext dataset: synthetic Gaussian-blob attention maps
+  /// whose labels encode which UI regions carry mass.
+  void Pretrain(ml::CnnImageModel& model, stats::Rng& rng) const;
+
+  Config config_;
+  std::vector<std::unique_ptr<ml::CnnImageModel>> models_;
+  bool fitted_ = false;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_FEATURES_SPATIAL_FEATURES_H_

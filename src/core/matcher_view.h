@@ -1,0 +1,42 @@
+#ifndef MEXI_CORE_MATCHER_VIEW_H_
+#define MEXI_CORE_MATCHER_VIEW_H_
+
+#include <cstddef>
+
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+#include "matching/movement.h"
+
+namespace mexi {
+
+/// A non-owning view of one human matcher's observable data
+/// D = (H, G), plus the warm-up history used only by the
+/// qualification-style baselines. Pointers must outlive the view.
+struct MatcherView {
+  const matching::DecisionHistory* history = nullptr;
+  const matching::MovementMap* movement = nullptr;
+  /// May be null; required only by Qual. Test / Self-Assess baselines.
+  const matching::DecisionHistory* warmup_history = nullptr;
+  /// Matrix dimensions of the task this matcher worked on. Carried per
+  /// matcher (not per experiment) because the generalizability
+  /// experiment characterizes OAEI matchers with a PO-trained model —
+  /// matrix-shaped features must use the matcher's own task size.
+  std::size_t source_size = 0;
+  std::size_t target_size = 0;
+};
+
+/// Task-level context shared by characterizers: the matching-matrix
+/// dimensions of the main (training) task, and the warm-up task's
+/// dimensions plus reference (the warm-up is the gold-question phase,
+/// so baselines may legitimately grade against it).
+struct TaskContext {
+  std::size_t source_size = 0;
+  std::size_t target_size = 0;
+  std::size_t warmup_source_size = 0;
+  std::size_t warmup_target_size = 0;
+  const matching::MatchMatrix* warmup_reference = nullptr;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_MATCHER_VIEW_H_

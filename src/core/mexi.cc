@@ -1,0 +1,341 @@
+#include "core/mexi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/features/aggregated_features.h"
+#include "core/features/consistency_features.h"
+#include "ml/model_selection.h"
+#include "stats/correlation.h"
+
+namespace mexi {
+
+Mexi::Mexi(const MexiConfig& config) : config_(config) {}
+
+namespace {
+
+/// Top-k feature indices by |point-biserial correlation| with the label.
+std::vector<std::size_t> SelectFeatures(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels, std::size_t k) {
+  const std::size_t d = rows.empty() ? 0 : rows[0].size();
+  if (k == 0 || k >= d) {
+    std::vector<std::size_t> all(d);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::vector<double> y(labels.begin(), labels.end());
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(d);
+  std::vector<double> column(rows.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][f];
+    const double score =
+        std::fabs(stats::PearsonCorrelation(column, y));
+    scored.emplace_back(score, f);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), std::greater<>());
+  std::vector<std::size_t> selected;
+  selected.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) selected.push_back(scored[i].second);
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<double> Project(const std::vector<double>& row,
+                            const std::vector<std::size_t>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(row[idx]);
+  return out;
+}
+
+}  // namespace
+
+void Mexi::Fit(const std::vector<MatcherView>& train,
+               const std::vector<ExpertLabel>& labels,
+               const TaskContext& context) {
+  if (train.size() != labels.size() || train.empty()) {
+    throw std::invalid_argument("Mexi::Fit: bad input sizes");
+  }
+  context_ = context;
+  stats::Rng rng(config_.seed);
+
+  // 1. Sub-matcher augmentation. Windows exist to give the deep
+  // networks enough data (Section IV-B1); the final per-label
+  // classifiers are trained on the full matchers, whose distribution
+  // matches what Characterize sees at test time.
+  std::vector<SubMatcherUnit> units;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    for (auto& unit :
+         BuildSubMatchers(train[i], i, config_.submatcher_mode)) {
+      units.push_back(std::move(unit));
+    }
+  }
+  std::vector<ExpertLabel> unit_labels;
+  unit_labels.reserve(units.size());
+  for (const auto& unit : units) unit_labels.push_back(labels[unit.parent]);
+
+  // 2. Training-population consensus (full histories, not windows).
+  std::vector<const matching::DecisionHistory*> train_histories;
+  train_histories.reserve(train.size());
+  for (const auto& m : train) train_histories.push_back(m.history);
+  consensus_ = ConsensusMap(train_histories, context.source_size,
+                            context.target_size);
+
+  // 3. Late-fusion networks. The label coefficients fed to the final
+  // classifiers are produced *out-of-fold* (2-fold stacking split by
+  // parent matcher): in-sample coefficients would mirror the training
+  // labels and trick the classifier selection into over-trusting the
+  // nets. Deployment extractors are then trained on all units.
+  std::vector<FeatureVector> seq_oof(train.size());
+  std::vector<FeatureVector> spa_oof(train.size());
+  if (config_.oof_fusion && (config_.use_seq || config_.use_spa)) {
+    for (std::size_t half = 0; half < 2; ++half) {
+      std::vector<std::size_t> fit_units, predict_matchers;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        if (units[u].parent % 2 != half) fit_units.push_back(u);
+      }
+      for (std::size_t i = half; i < train.size(); i += 2) {
+        predict_matchers.push_back(i);
+      }
+      if (fit_units.empty() || predict_matchers.empty()) continue;
+      std::vector<ExpertLabel> fit_labels;
+      for (std::size_t u : fit_units) fit_labels.push_back(unit_labels[u]);
+
+      if (config_.use_seq) {
+        std::vector<const matching::DecisionHistory*> fit_histories;
+        for (std::size_t u : fit_units) {
+          fit_histories.push_back(&units[u].history);
+        }
+        SequentialFeatureExtractor::Config seq_config = config_.seq;
+        seq_config.lstm.seed = rng.NextU64();
+        SequentialFeatureExtractor oof(seq_config);
+        oof.Fit(fit_histories, fit_labels, consensus_);
+        for (std::size_t i : predict_matchers) {
+          seq_oof[i] = oof.Extract(*train[i].history);
+        }
+      }
+      if (config_.use_spa) {
+        std::vector<const matching::MovementMap*> fit_movements;
+        for (std::size_t u : fit_units) {
+          fit_movements.push_back(&units[u].movement);
+        }
+        SpatialFeatureExtractor::Config spa_config = config_.spa;
+        spa_config.seed = rng.NextU64();
+        SpatialFeatureExtractor oof(spa_config);
+        oof.Fit(fit_movements, fit_labels);
+        for (std::size_t i : predict_matchers) {
+          spa_oof[i] = oof.Extract(*train[i].movement);
+        }
+      }
+    }
+  }
+  if (config_.use_seq) {
+    std::vector<const matching::DecisionHistory*> unit_histories;
+    unit_histories.reserve(units.size());
+    for (const auto& unit : units) unit_histories.push_back(&unit.history);
+    SequentialFeatureExtractor::Config seq_config = config_.seq;
+    seq_config.lstm.seed = rng.NextU64();
+    seq_extractor_ =
+        std::make_unique<SequentialFeatureExtractor>(seq_config);
+    seq_extractor_->Fit(unit_histories, unit_labels, consensus_);
+  } else {
+    seq_extractor_.reset();
+  }
+  if (config_.use_spa) {
+    std::vector<const matching::MovementMap*> unit_movements;
+    unit_movements.reserve(units.size());
+    for (const auto& unit : units) unit_movements.push_back(&unit.movement);
+    SpatialFeatureExtractor::Config spa_config = config_.spa;
+    spa_config.seed = rng.NextU64();
+    spa_extractor_ = std::make_unique<SpatialFeatureExtractor>(spa_config);
+    spa_extractor_->Fit(unit_movements, unit_labels);
+  } else {
+    spa_extractor_.reset();
+  }
+  fitted_ = true;  // extractors ready; ExtractFeatures is now usable
+
+  // 4. Fused feature table over the full train matchers: aggregated
+  // features plus the out-of-fold network coefficients.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> feature_names;
+  rows.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    FeatureVector phi =
+        AggregatedPart(*train[i].history, *train[i].movement,
+                       train[i].source_size, train[i].target_size);
+    if (config_.use_seq) {
+      phi.Extend(seq_oof[i].size() > 0
+                     ? seq_oof[i]
+                     : seq_extractor_->Extract(*train[i].history));
+    }
+    if (config_.use_spa) {
+      phi.Extend(spa_oof[i].size() > 0
+                     ? spa_oof[i]
+                     : spa_extractor_->Extract(*train[i].movement));
+    }
+    if (feature_names.empty()) feature_names = phi.names();
+    rows.push_back(phi.values());
+  }
+  if (!rows.empty() && rows[0].empty()) {
+    throw std::logic_error("Mexi::Fit: no feature sets enabled");
+  }
+
+  // 5. One binary classifier per characteristic over the selected
+  // feature subset, zoo-selected by CV.
+  label_classifiers_.clear();
+  selected_models_.clear();
+  selected_features_.clear();
+  label_thresholds_.clear();
+  const auto zoo = ml::DefaultModelZoo();
+  for (std::size_t c = 0; c < CharacteristicNames().size(); ++c) {
+    std::vector<int> bits;
+    bits.reserve(labels.size());
+    for (const auto& label : labels) bits.push_back(label.ToVector()[c]);
+
+    const std::vector<std::size_t> selected =
+        SelectFeatures(rows, bits, config_.max_features);
+    selected_features_.push_back(selected);
+
+    ml::Dataset dataset;
+    for (std::size_t idx : selected) {
+      dataset.feature_names.push_back(feature_names[idx]);
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      dataset.Add(Project(rows[i], selected), bits[i]);
+    }
+    ml::SelectionReport report;
+    stats::Rng selection_rng = rng.Split();
+    label_classifiers_.push_back(ml::SelectAndTrain(
+        zoo, dataset, config_.selection_folds, selection_rng, &report,
+        config_.balanced_selection));
+    selected_models_.push_back(report.selected_name);
+    // Tune the decision threshold of the selected model on out-of-fold
+    // probabilities (rare labels need thresholds below 0.5 to ever
+    // fire — a requirement for identifying full experts, Figs. 10/11).
+    if (config_.balanced_selection) {
+      stats::Rng threshold_rng = rng.Split();
+      label_thresholds_.push_back(ml::TuneDecisionThreshold(
+          *label_classifiers_.back(), dataset, config_.selection_folds,
+          threshold_rng));
+    } else {
+      label_thresholds_.push_back(0.5);
+    }
+  }
+}
+
+void Mexi::AdaptToPopulation(const std::vector<MatcherView>& population) {
+  if (population.empty() || !fitted_) return;
+  std::vector<const matching::DecisionHistory*> histories;
+  histories.reserve(population.size());
+  for (const auto& m : population) histories.push_back(m.history);
+  consensus_ = ConsensusMap(histories, population[0].source_size,
+                            population[0].target_size);
+  if (seq_extractor_ != nullptr) seq_extractor_->SetConsensus(consensus_);
+}
+
+FeatureVector Mexi::AggregatedPart(
+    const matching::DecisionHistory& history,
+    const matching::MovementMap& movement, std::size_t source_size,
+    std::size_t target_size) const {
+  FeatureVector phi;
+  if (config_.use_lrsm) {
+    phi.Extend(LrsmFeatures(history, source_size, target_size));
+  }
+  if (config_.use_beh) {
+    phi.Extend(BehavioralFeatures(history));
+  }
+  if (config_.use_con) {
+    // Consensuality & temporal consistency: the correlation-feature
+    // group (Section III-A).
+    phi.Extend(ConsistencyFeatures(history, consensus_));
+  }
+  if (config_.use_mou) {
+    phi.Extend(MouseFeatures(movement));
+  }
+  return phi;
+}
+
+FeatureVector Mexi::ExtractFeatures(
+    const matching::DecisionHistory& history,
+    const matching::MovementMap& movement, std::size_t source_size,
+    std::size_t target_size) const {
+  if (!fitted_) {
+    throw std::logic_error("Mexi::ExtractFeatures before Fit");
+  }
+  FeatureVector phi =
+      AggregatedPart(history, movement, source_size, target_size);
+  if (config_.use_seq && seq_extractor_ != nullptr) {
+    phi.Extend(seq_extractor_->Extract(history));
+  }
+  if (config_.use_spa && spa_extractor_ != nullptr) {
+    phi.Extend(spa_extractor_->Extract(movement));
+  }
+  return phi;
+}
+
+ExpertLabel Mexi::Characterize(const MatcherView& matcher) const {
+  if (label_classifiers_.empty()) {
+    throw std::logic_error("Mexi::Characterize before Fit");
+  }
+  const FeatureVector phi =
+      ExtractFeatures(*matcher.history, *matcher.movement,
+                      matcher.source_size, matcher.target_size);
+  std::vector<int> bits;
+  for (std::size_t c = 0; c < label_classifiers_.size(); ++c) {
+    const double probability = label_classifiers_[c]->PredictProba(
+        Project(phi.values(), selected_features_[c]));
+    bits.push_back(probability >= label_thresholds_[c] ? 1 : 0);
+  }
+  return ExpertLabel::FromVector(bits);
+}
+
+std::vector<double> Mexi::CharacterizeProba(
+    const MatcherView& matcher) const {
+  if (label_classifiers_.empty()) {
+    throw std::logic_error("Mexi::CharacterizeProba before Fit");
+  }
+  const FeatureVector phi =
+      ExtractFeatures(*matcher.history, *matcher.movement,
+                      matcher.source_size, matcher.target_size);
+  std::vector<double> probabilities;
+  for (std::size_t c = 0; c < label_classifiers_.size(); ++c) {
+    probabilities.push_back(label_classifiers_[c]->PredictProba(
+        Project(phi.values(), selected_features_[c])));
+  }
+  return probabilities;
+}
+
+double Mexi::ExpertScore(const MatcherView& matcher) const {
+  const std::vector<double> probabilities = CharacterizeProba(matcher);
+  double total = 0.0;
+  for (double p : probabilities) total += p;
+  return total / static_cast<double>(probabilities.size());
+}
+
+MexiConfig MexiEmptyConfig() {
+  MexiConfig config;
+  config.name = "MExI_0";
+  config.submatcher_mode = SubmatcherMode::kNone;
+  return config;
+}
+
+MexiConfig Mexi50Config() {
+  MexiConfig config;
+  config.name = "MExI_50";
+  config.submatcher_mode = SubmatcherMode::kFixed50;
+  return config;
+}
+
+MexiConfig Mexi70Config() {
+  MexiConfig config;
+  config.name = "MExI_70";
+  config.submatcher_mode = SubmatcherMode::kMulti70;
+  return config;
+}
+
+}  // namespace mexi

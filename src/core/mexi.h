@@ -1,0 +1,138 @@
+#ifndef MEXI_CORE_MEXI_H_
+#define MEXI_CORE_MEXI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/features/consensus.h"
+#include "core/features/feature_vector.h"
+#include "core/features/sequential_features.h"
+#include "core/features/spatial_features.h"
+#include "core/submatcher.h"
+#include "ml/classifier.h"
+
+namespace mexi {
+
+/// Configuration of the MExI framework (Section III).
+///
+/// The five feature-set switches implement the Table III ablation: an
+/// *include* run enables exactly one set, an *exclude* run disables
+/// exactly one. Sub-matcher augmentation selects the paper's MExI_∅ /
+/// MExI_50 / MExI_70 variants.
+struct MexiConfig {
+  std::string name = "MExI";
+  SubmatcherMode submatcher_mode = SubmatcherMode::kFixed50;
+
+  bool use_lrsm = true;
+  bool use_beh = true;
+  bool use_mou = true;
+  bool use_seq = true;
+  bool use_spa = true;
+  /// Match-consistency (consensuality) features — part of MExI's novel
+  /// correlation-feature group, not part of the LRSM/BEH baselines.
+  bool use_con = true;
+
+  SequentialFeatureExtractor::Config seq;
+  SpatialFeatureExtractor::Config spa;
+
+  /// Folds for the per-label classifier selection CV.
+  std::size_t selection_folds = 3;
+  /// Operating point of the per-label classifiers. `false` (default)
+  /// selects classifiers by plain CV accuracy — the paper's Table II
+  /// protocol, which maximizes the A_c scores. `true` selects by
+  /// *balanced* accuracy and tunes per-label decision thresholds; use
+  /// this when the goal is *finding* the rare full experts (the
+  /// utilization experiments, Figs. 10/11): the cognitive labels are
+  /// ~20% positive, and accuracy-optimal classifiers may never predict
+  /// them.
+  bool balanced_selection = false;
+  /// Per-label univariate feature selection: keep the `max_features`
+  /// strongest features (by |point-biserial correlation| with the label
+  /// on the training table) before classifier training. 0 keeps all.
+  std::size_t max_features = 32;
+  /// Out-of-fold stacking for the network label coefficients (see
+  /// DESIGN.md §5). Disable only to reproduce the naive in-sample
+  /// late-fusion ablation (bench/ablation_fusion).
+  bool oof_fusion = true;
+  std::uint64_t seed = 4242;
+};
+
+/// The MExI matching-expert identification framework.
+///
+/// Training (Section III-B): build sub-matcher units; compute the
+/// training-population consensus; train the LSTM on the decision
+/// sequences and the four CNNs on the movement heat maps; fuse their
+/// label coefficients with Phi_LRSM, Phi_Beh and Phi_Mou into Phi(D);
+/// then train one binary classifier per expertise characteristic,
+/// selecting the top performer from the model zoo by cross validation.
+class Mexi : public Characterizer {
+ public:
+  explicit Mexi(const MexiConfig& config = MexiConfig());
+
+  std::string Name() const override { return config_.name; }
+
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override;
+
+  ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+  /// Rebuilds the consensuality statistics over `population` (their
+  /// final matrices; no labels). Call before characterizing matchers of
+  /// a different task than the training one.
+  void AdaptToPopulation(
+      const std::vector<MatcherView>& population) override;
+
+  /// Mean per-label expertise probability (smoother than the default
+  /// predicted-characteristic count).
+  double ExpertScore(const MatcherView& matcher) const override;
+
+  /// Per-label expertise probabilities (useful for ranking matchers).
+  std::vector<double> CharacterizeProba(const MatcherView& matcher) const;
+
+  /// The fused feature encoding Phi(D) of one matcher under the current
+  /// configuration. Requires Fit(). Exposed for the ablation analysis
+  /// and Table IV's feature-importance study.
+  FeatureVector ExtractFeatures(const matching::DecisionHistory& history,
+                                const matching::MovementMap& movement,
+                                std::size_t source_size,
+                                std::size_t target_size) const;
+
+  /// Names of the classifiers selected per label (after Fit).
+  const std::vector<std::string>& selected_models() const {
+    return selected_models_;
+  }
+
+  const MexiConfig& config() const { return config_; }
+
+ private:
+  /// Phi_LRSM + Phi_Beh + Phi_Mou only (no network coefficients).
+  FeatureVector AggregatedPart(const matching::DecisionHistory& history,
+                               const matching::MovementMap& movement,
+                               std::size_t source_size,
+                               std::size_t target_size) const;
+
+  MexiConfig config_;
+  TaskContext context_;
+  ConsensusMap consensus_;
+  std::unique_ptr<SequentialFeatureExtractor> seq_extractor_;
+  std::unique_ptr<SpatialFeatureExtractor> spa_extractor_;
+  std::vector<std::unique_ptr<ml::BinaryClassifier>> label_classifiers_;
+  std::vector<std::string> selected_models_;
+  /// Per-label indices of the selected features (into the fused vector).
+  std::vector<std::vector<std::size_t>> selected_features_;
+  /// Per-label tuned probability decision thresholds.
+  std::vector<double> label_thresholds_;
+  bool fitted_ = false;
+};
+
+/// Factory presets matching the paper's method names.
+MexiConfig MexiEmptyConfig();    // MExI_∅
+MexiConfig Mexi50Config();       // MExI_50
+MexiConfig Mexi70Config();       // MExI_70
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_MEXI_H_

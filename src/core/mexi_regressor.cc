@@ -1,0 +1,126 @@
+#include "core/mexi_regressor.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/features/aggregated_features.h"
+#include "core/features/consistency_features.h"
+
+namespace mexi {
+
+namespace {
+
+std::vector<std::unique_ptr<ml::Regressor>> RegressorZoo() {
+  std::vector<std::unique_ptr<ml::Regressor>> zoo;
+  zoo.push_back(std::make_unique<ml::RidgeRegression>());
+  zoo.push_back(std::make_unique<ml::RandomForestRegressor>());
+  zoo.push_back(std::make_unique<ml::KnnRegressor>());
+  return zoo;
+}
+
+double CrossValidatedMae(const ml::Regressor& prototype,
+                         const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& targets,
+                         std::size_t folds, stats::Rng& rng) {
+  ml::KFold kfold(rows.size(), std::max<std::size_t>(2, folds), rng);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t f = 0; f < kfold.num_folds(); ++f) {
+    std::vector<std::vector<double>> train_rows;
+    std::vector<double> train_targets;
+    for (std::size_t idx : kfold.TrainIndices(f)) {
+      train_rows.push_back(rows[idx]);
+      train_targets.push_back(targets[idx]);
+    }
+    auto model = prototype.Clone();
+    model->Fit(train_rows, train_targets);
+    for (std::size_t idx : kfold.TestIndices(f)) {
+      total += std::fabs(model->Predict(rows[idx]) - targets[idx]);
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count)
+                   : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+MexiRegressor::MexiRegressor() : MexiRegressor(Config()) {}
+
+MexiRegressor::MexiRegressor(const Config& config) : config_(config) {}
+
+FeatureVector MexiRegressor::Encode(const MatcherView& matcher) const {
+  FeatureVector phi;
+  phi.Extend(LrsmFeatures(*matcher.history, matcher.source_size,
+                          matcher.target_size));
+  phi.Extend(BehavioralFeatures(*matcher.history));
+  phi.Extend(ConsistencyFeatures(*matcher.history, consensus_));
+  phi.Extend(MouseFeatures(*matcher.movement));
+  return phi;
+}
+
+void MexiRegressor::Fit(const std::vector<MatcherView>& train,
+                        const std::vector<ExpertMeasures>& measures,
+                        const TaskContext& context) {
+  if (train.size() != measures.size() || train.size() < 4) {
+    throw std::invalid_argument("MexiRegressor::Fit: bad input sizes");
+  }
+  std::vector<const matching::DecisionHistory*> histories;
+  histories.reserve(train.size());
+  for (const auto& m : train) histories.push_back(m.history);
+  consensus_ = ConsensusMap(histories, context.source_size,
+                            context.target_size);
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(train.size());
+  for (const auto& view : train) rows.push_back(Encode(view).values());
+
+  const auto zoo = RegressorZoo();
+  regressors_.clear();
+  selected_models_.clear();
+  stats::Rng rng(config_.seed);
+  // Targets in the canonical order P, R, Res, Cal.
+  for (int measure = 0; measure < 4; ++measure) {
+    std::vector<double> targets;
+    targets.reserve(train.size());
+    for (const auto& m : measures) {
+      targets.push_back(measure == 0   ? m.precision
+                        : measure == 1 ? m.recall
+                        : measure == 2 ? m.resolution
+                                       : m.calibration);
+    }
+    double best_mae = std::numeric_limits<double>::infinity();
+    const ml::Regressor* best = nullptr;
+    for (const auto& prototype : zoo) {
+      stats::Rng fold_rng = rng.Split();
+      const double mae = CrossValidatedMae(
+          *prototype, rows, targets, config_.selection_folds, fold_rng);
+      if (mae < best_mae) {
+        best_mae = mae;
+        best = prototype.get();
+      }
+    }
+    auto model = best->Clone();
+    model->Fit(rows, targets);
+    selected_models_.push_back(model->Name());
+    regressors_.push_back(std::move(model));
+  }
+  fitted_ = true;
+}
+
+ExpertMeasures MexiRegressor::Estimate(const MatcherView& matcher) const {
+  if (!fitted_) {
+    throw std::logic_error("MexiRegressor::Estimate before Fit");
+  }
+  const std::vector<double> row = Encode(matcher).values();
+  ExpertMeasures out;
+  out.precision = regressors_[0]->Predict(row);
+  out.recall = regressors_[1]->Predict(row);
+  out.resolution = regressors_[2]->Predict(row);
+  out.calibration = regressors_[3]->Predict(row);
+  return out;
+}
+
+}  // namespace mexi

@@ -1,0 +1,61 @@
+#ifndef MEXI_CORE_MEXI_REGRESSOR_H_
+#define MEXI_CORE_MEXI_REGRESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/features/consensus.h"
+#include "core/features/feature_vector.h"
+#include "core/matcher_view.h"
+#include "ml/regression.h"
+
+namespace mexi {
+
+/// The regression repositioning of Problem 1 the paper sketches
+/// ("it can be easily repositioned as a regression problem, estimating
+/// expertise level"): instead of 4 binary characteristics, estimate the
+/// four continuous measures — precision, recall, resolution and
+/// calibration — directly from the aggregated behavioral encoding
+/// (Phi_LRSM + Phi_Beh + Phi_Con + Phi_Mou). One regressor per measure,
+/// selected from {ridge, regression forest, k-NN} by validation MAE.
+class MexiRegressor {
+ public:
+  struct Config {
+    /// Validation folds for regressor selection.
+    std::size_t selection_folds = 3;
+    std::uint64_t seed = 6161;
+  };
+
+  MexiRegressor();
+  explicit MexiRegressor(const Config& config);
+
+  /// Trains on matchers with their measured expertise levels.
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertMeasures>& measures,
+           const TaskContext& context);
+
+  /// Estimated [precision, recall, resolution, calibration].
+  ExpertMeasures Estimate(const MatcherView& matcher) const;
+
+  /// Names of the regressors selected per measure (after Fit).
+  const std::vector<std::string>& selected_models() const {
+    return selected_models_;
+  }
+
+  /// The aggregated feature encoding used (exposed for tests).
+  FeatureVector Encode(const MatcherView& matcher) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  Config config_;
+  ConsensusMap consensus_;
+  std::vector<std::unique_ptr<ml::Regressor>> regressors_;
+  std::vector<std::string> selected_models_;
+  bool fitted_ = false;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_MEXI_REGRESSOR_H_

@@ -1,0 +1,83 @@
+#include "core/submatcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mexi {
+
+namespace {
+
+/// One window [start, start+size) as a unit, movement sliced to the
+/// window's time span.
+SubMatcherUnit MakeUnit(const MatcherView& matcher, std::size_t parent,
+                        std::size_t start, std::size_t size) {
+  SubMatcherUnit unit;
+  unit.parent = parent;
+  unit.history = matcher.history->Window(start, size);
+  if (!unit.history.empty() && matcher.movement != nullptr) {
+    const double t0 = unit.history.at(0).timestamp;
+    const double t1 = unit.history.at(unit.history.size() - 1).timestamp;
+    unit.movement = matcher.movement->TimeSlice(t0, t1);
+  } else if (matcher.movement != nullptr) {
+    unit.movement = *matcher.movement;
+  }
+  return unit;
+}
+
+void AddWindows(const MatcherView& matcher, std::size_t parent,
+                std::size_t window, std::size_t stride,
+                std::vector<SubMatcherUnit>* out) {
+  const std::size_t n = matcher.history->size();
+  if (n <= window) {
+    out->push_back(MakeUnit(matcher, parent, 0, n));
+    return;
+  }
+  for (std::size_t start = 0; start + window <= n; start += stride) {
+    out->push_back(MakeUnit(matcher, parent, start, window));
+    if (start + stride + window > n && start + window < n) {
+      // Final, right-aligned window so the tail is covered.
+      out->push_back(MakeUnit(matcher, parent, n - window, window));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SubMatcherUnit> BuildSubMatchers(const MatcherView& matcher,
+                                             std::size_t parent_index,
+                                             SubmatcherMode mode) {
+  if (matcher.history == nullptr) {
+    throw std::invalid_argument("BuildSubMatchers: null history");
+  }
+  std::vector<SubMatcherUnit> out;
+  switch (mode) {
+    case SubmatcherMode::kNone:
+      out.push_back(
+          MakeUnit(matcher, parent_index, 0, matcher.history->size()));
+      break;
+    case SubmatcherMode::kFixed50:
+      // The full history is always a unit (test-time inputs are full
+      // histories, so training must see their distribution too); the
+      // windows augment it.
+      out.push_back(
+          MakeUnit(matcher, parent_index, 0, matcher.history->size()));
+      if (matcher.history->size() > 50) {
+        AddWindows(matcher, parent_index, 50, 25, &out);
+      }
+      break;
+    case SubmatcherMode::kMulti70:
+      out.push_back(
+          MakeUnit(matcher, parent_index, 0, matcher.history->size()));
+      for (std::size_t window : {30u, 40u, 50u, 60u, 70u}) {
+        if (matcher.history->size() > window) {
+          AddWindows(matcher, parent_index, window,
+                     std::max<std::size_t>(1, window / 2), &out);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace mexi

@@ -1,0 +1,40 @@
+#ifndef MEXI_CORE_SUBMATCHER_H_
+#define MEXI_CORE_SUBMATCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/matcher_view.h"
+#include "matching/decision_history.h"
+#include "matching/movement.h"
+
+namespace mexi {
+
+/// Sub-matcher augmentation modes (Section IV-B1):
+///  * kNone    — MExI_∅: every matcher is one training unit.
+///  * kFixed50 — MExI_50: overlapping windows of 50 consecutive
+///               decisions (stride 25).
+///  * kMulti70 — MExI_70: windows of 30, 40, 50, 60 and 70 decisions
+///               (stride = half the window size), reusing subsets with
+///               different sizes.
+/// Windows are clipped to the available history; matchers shorter than a
+/// window still contribute their full history once.
+enum class SubmatcherMode { kNone = 0, kFixed50, kMulti70 };
+
+/// A materialized training unit: a decision window plus the movement
+/// events of its time span, tagged with the parent matcher index (labels
+/// are inherited from the parent).
+struct SubMatcherUnit {
+  matching::DecisionHistory history;
+  matching::MovementMap movement{1280.0, 800.0};
+  std::size_t parent = 0;
+};
+
+/// Builds the training units for one matcher under `mode`.
+std::vector<SubMatcherUnit> BuildSubMatchers(const MatcherView& matcher,
+                                             std::size_t parent_index,
+                                             SubmatcherMode mode);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_SUBMATCHER_H_

@@ -1,0 +1,198 @@
+#include "core/utilization.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/dataset.h"
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+namespace {
+
+/// Materialized early-prefix traces for one population.
+struct EarlyTraces {
+  std::vector<matching::DecisionHistory> histories;
+  std::vector<matching::MovementMap> movements;
+};
+
+EarlyTraces BuildEarlyTraces(const EvaluationInput& input,
+                             std::size_t early_decisions) {
+  EarlyTraces traces;
+  traces.histories.reserve(input.matchers.size());
+  traces.movements.reserve(input.matchers.size());
+  for (const auto& matcher : input.matchers) {
+    matching::DecisionHistory prefix =
+        matcher.history->Prefix(early_decisions);
+    if (!prefix.empty()) {
+      const double t1 = prefix.at(prefix.size() - 1).timestamp;
+      traces.movements.push_back(matcher.movement->TimeSlice(0.0, t1));
+    } else {
+      traces.movements.push_back(*matcher.movement);
+    }
+    traces.histories.push_back(std::move(prefix));
+  }
+  return traces;
+}
+
+std::vector<UtilizationResult> RunSelectionExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config, std::size_t early_decisions) {
+  const std::vector<ExpertMeasures> measures = ComputeAllMeasures(input);
+
+  // Optional early-identification traces (empty = use full traces).
+  EarlyTraces early;
+  const bool use_early = early_decisions > 0;
+  if (use_early) early = BuildEarlyTraces(input, early_decisions);
+
+  stats::Rng rng(config.seed);
+  ml::KFold folds(input.matchers.size(), config.folds, rng);
+
+  std::vector<std::vector<bool>> selected(
+      methods.size(), std::vector<bool>(input.matchers.size(), false));
+  std::vector<std::vector<double>> scores(
+      methods.size(), std::vector<double>(input.matchers.size(), 0.0));
+
+  for (std::size_t f = 0; f < folds.num_folds(); ++f) {
+    std::vector<ExpertMeasures> train_measures;
+    std::vector<MatcherView> train_views;
+    for (std::size_t idx : folds.TrainIndices(f)) {
+      train_measures.push_back(measures[idx]);
+      train_views.push_back(input.matchers[idx]);
+    }
+    const ExpertThresholds thresholds = FitThresholds(train_measures);
+    const std::vector<ExpertLabel> train_labels =
+        LabelsFromMeasures(train_measures, thresholds);
+
+    // Early identification trains on the same truncated traces it will
+    // characterize (labels still come from full performance — no labels
+    // are needed for the truncated decisions, as the paper notes).
+    std::vector<MatcherView> fit_views = train_views;
+    if (use_early) {
+      std::size_t v = 0;
+      for (std::size_t idx : folds.TrainIndices(f)) {
+        fit_views[v].history = &early.histories[idx];
+        fit_views[v].movement = &early.movements[idx];
+        ++v;
+      }
+    }
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      std::unique_ptr<Characterizer> method = methods[m]();
+      method->Fit(fit_views, train_labels, input.context);
+      for (std::size_t idx : folds.TestIndices(f)) {
+        MatcherView view = input.matchers[idx];
+        if (use_early) {
+          view.history = &early.histories[idx];
+          view.movement = &early.movements[idx];
+        }
+        scores[m][idx] = method->ExpertScore(view);
+        if (method->Characterize(view).IsFullExpert()) {
+          selected[m][idx] = true;
+        }
+      }
+    }
+  }
+
+  // Budgeted fallback: a method that never predicts a full expert (the
+  // strict conjunction of four rare labels can go empty, especially
+  // from early prefixes) still discharges a crowd by keeping its
+  // top-scored ~5%. This mirrors how a deployment with a fixed expert
+  // budget would act on graded scores.
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    bool any = false;
+    for (bool b : selected[m]) any = any || b;
+    if (any) continue;
+    const std::size_t keep = std::max<std::size_t>(
+        1, input.matchers.size() / 20);
+    std::vector<std::size_t> order(input.matchers.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return scores[m][a] > scores[m][b];
+              });
+    for (std::size_t k = 0; k < keep; ++k) selected[m][order[k]] = true;
+  }
+
+  std::vector<UtilizationResult> results;
+  // no_filter row first: the whole population.
+  UtilizationResult no_filter;
+  no_filter.method = "no_filter";
+  no_filter.performance = AggregateGroup(
+      measures, std::vector<bool>(input.matchers.size(), true));
+  results.push_back(no_filter);
+
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    UtilizationResult result;
+    result.method = methods[m]()->Name();
+    result.performance = AggregateGroup(measures, selected[m]);
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace
+
+GroupPerformance AggregateGroup(const std::vector<ExpertMeasures>& measures,
+                                const std::vector<bool>& selected) {
+  if (measures.size() != selected.size()) {
+    throw std::invalid_argument("AggregateGroup: size mismatch");
+  }
+  std::vector<double> p, r, res, cal;
+  for (std::size_t i = 0; i < measures.size(); ++i) {
+    if (!selected[i]) continue;
+    p.push_back(measures[i].precision);
+    r.push_back(measures[i].recall);
+    res.push_back(measures[i].resolution);
+    cal.push_back(std::fabs(measures[i].calibration));
+  }
+  GroupPerformance out;
+  out.count = p.size();
+  out.precision = stats::Mean(p);
+  out.recall = stats::Mean(r);
+  out.resolution = stats::Mean(res);
+  out.calibration = stats::Mean(cal);
+  out.var_precision = stats::Variance(p);
+  out.var_recall = stats::Variance(r);
+  out.var_resolution = stats::Variance(res);
+  out.var_calibration = stats::Variance(cal);
+  return out;
+}
+
+std::vector<bool> SelectPredictedExperts(
+    const std::vector<ExpertLabel>& predictions, bool require_all) {
+  std::vector<bool> out(predictions.size(), false);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    out[i] = require_all ? predictions[i].IsFullExpert()
+                         : predictions[i].Count() > 0;
+  }
+  return out;
+}
+
+std::vector<UtilizationResult> RunUtilizationExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config) {
+  return RunSelectionExperiment(input, methods, config,
+                                /*early_decisions=*/0);
+}
+
+std::vector<UtilizationResult> RunEarlyIdentificationExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config, std::size_t early_decisions) {
+  if (early_decisions == 0) {
+    std::vector<double> lengths;
+    lengths.reserve(input.matchers.size());
+    for (const auto& matcher : input.matchers) {
+      lengths.push_back(static_cast<double>(matcher.history->size()));
+    }
+    early_decisions = std::max<std::size_t>(
+        1, static_cast<std::size_t>(stats::Median(lengths) / 2.0));
+  }
+  return RunSelectionExperiment(input, methods, config, early_decisions);
+}
+
+}  // namespace mexi

@@ -1,0 +1,67 @@
+#ifndef MEXI_CORE_UTILIZATION_H_
+#define MEXI_CORE_UTILIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/evaluation.h"
+#include "core/expert_model.h"
+
+namespace mexi {
+
+/// Mean matching performance (with variances) of a group of matchers —
+/// the bars and error bars of Figures 10/11.
+struct GroupPerformance {
+  double precision = 0.0;
+  double recall = 0.0;
+  double resolution = 0.0;
+  /// Mean |calibration| (lower is better, as the paper notes).
+  double calibration = 0.0;
+  double var_precision = 0.0;
+  double var_recall = 0.0;
+  double var_resolution = 0.0;
+  double var_calibration = 0.0;
+  std::size_t count = 0;
+};
+
+/// Aggregates measures over the selected subset; `selected` is parallel
+/// to `measures`. An empty selection yields a zeroed result.
+GroupPerformance AggregateGroup(const std::vector<ExpertMeasures>& measures,
+                                const std::vector<bool>& selected);
+
+/// Select matchers predicted to be experts. Full experts (all four
+/// characteristics) when `require_all` — the paper's Fig. 10 filter;
+/// otherwise any matcher with at least one predicted characteristic.
+std::vector<bool> SelectPredictedExperts(
+    const std::vector<ExpertLabel>& predictions, bool require_all = true);
+
+/// The utilization experiment (Fig. 10): k-fold over the population;
+/// per fold, fit the method on train matchers and select predicted full
+/// experts among the test matchers; aggregate the *true final*
+/// performance of everyone ever selected. The "no_filter" row is the
+/// whole population.
+struct UtilizationResult {
+  std::string method;
+  GroupPerformance performance;
+};
+
+std::vector<UtilizationResult> RunUtilizationExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config);
+
+/// The early-identification experiment (Fig. 11): identical protocol,
+/// but each test matcher is characterized from only its first
+/// `early_decisions` decisions (the paper uses half the median number of
+/// decisions). Selected matchers are still scored on their *full*
+/// performance. When `early_decisions` is 0, half the population median
+/// is used.
+std::vector<UtilizationResult> RunEarlyIdentificationExperiment(
+    const EvaluationInput& input,
+    const std::vector<CharacterizerFactory>& methods,
+    const ExperimentConfig& config, std::size_t early_decisions = 0);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_UTILIZATION_H_

@@ -1,0 +1,123 @@
+#include "matching/decision_history.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::matching {
+
+void DecisionHistory::Add(const Decision& decision) {
+  if (decision.confidence < 0.0 || decision.confidence > 1.0) {
+    throw std::invalid_argument("DecisionHistory::Add: confidence range");
+  }
+  if (!decisions_.empty() &&
+      decision.timestamp < decisions_.back().timestamp) {
+    throw std::invalid_argument(
+        "DecisionHistory::Add: timestamps must be non-decreasing");
+  }
+  decisions_.push_back(decision);
+}
+
+MatchMatrix DecisionHistory::ToMatrix(std::size_t source_size,
+                                      std::size_t target_size) const {
+  MatchMatrix m(source_size, target_size);
+  // Decisions are time-ordered, so a simple overwrite realizes the
+  // "latest confidence wins" rule of Eq. 1.
+  for (const auto& d : decisions_) {
+    m.Set(d.source, d.target, d.confidence);
+  }
+  return m;
+}
+
+DecisionHistory DecisionHistory::Prefix(std::size_t count) const {
+  DecisionHistory out;
+  const std::size_t n = std::min(count, decisions_.size());
+  for (std::size_t i = 0; i < n; ++i) out.decisions_.push_back(decisions_[i]);
+  return out;
+}
+
+DecisionHistory DecisionHistory::Window(std::size_t start,
+                                        std::size_t count) const {
+  DecisionHistory out;
+  const std::size_t end = std::min(start + count, decisions_.size());
+  for (std::size_t i = std::min(start, decisions_.size()); i < end; ++i) {
+    out.decisions_.push_back(decisions_[i]);
+  }
+  return out;
+}
+
+std::vector<double> DecisionHistory::Confidences() const {
+  std::vector<double> out;
+  out.reserve(decisions_.size());
+  for (const auto& d : decisions_) out.push_back(d.confidence);
+  return out;
+}
+
+std::vector<double> DecisionHistory::ElapsedTimes() const {
+  std::vector<double> out;
+  if (decisions_.size() < 2) return out;
+  out.reserve(decisions_.size() - 1);
+  for (std::size_t i = 1; i < decisions_.size(); ++i) {
+    out.push_back(decisions_[i].timestamp - decisions_[i - 1].timestamp);
+  }
+  return out;
+}
+
+std::size_t DecisionHistory::DistinctPairs() const {
+  std::set<ElementPair> seen;
+  for (const auto& d : decisions_) seen.insert({d.source, d.target});
+  return seen.size();
+}
+
+std::vector<ElementPair> DecisionHistory::FinalPairs() const {
+  std::map<ElementPair, double> latest;
+  for (const auto& d : decisions_) {
+    latest[{d.source, d.target}] = d.confidence;
+  }
+  std::vector<ElementPair> out;
+  for (const auto& [pair, confidence] : latest) {
+    if (confidence > 0.0) out.push_back(pair);
+  }
+  return out;
+}
+
+std::size_t DecisionHistory::MindChanges() const {
+  std::set<ElementPair> seen;
+  std::size_t changes = 0;
+  for (const auto& d : decisions_) {
+    if (!seen.insert({d.source, d.target}).second) ++changes;
+  }
+  return changes;
+}
+
+double DecisionHistory::MeanConfidence() const {
+  return stats::Mean(Confidences());
+}
+
+DecisionHistory DecisionHistory::Preprocessed(std::size_t warmup,
+                                              double stddev_limit) const {
+  DecisionHistory trimmed;
+  for (std::size_t i = std::min(warmup, decisions_.size());
+       i < decisions_.size(); ++i) {
+    trimmed.decisions_.push_back(decisions_[i]);
+  }
+  const std::vector<double> elapsed = trimmed.ElapsedTimes();
+  if (elapsed.size() < 2) return trimmed;
+  const double mean = stats::Mean(elapsed);
+  const double sd = stats::StdDev(elapsed);
+
+  DecisionHistory out;
+  out.decisions_.push_back(trimmed.decisions_.front());
+  for (std::size_t i = 1; i < trimmed.decisions_.size(); ++i) {
+    const double dt = elapsed[i - 1];
+    if (sd > 0.0 && std::fabs(dt - mean) > stddev_limit * sd) continue;
+    out.decisions_.push_back(trimmed.decisions_[i]);
+  }
+  return out;
+}
+
+}  // namespace mexi::matching

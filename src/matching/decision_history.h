@@ -1,0 +1,83 @@
+#ifndef MEXI_MATCHING_DECISION_HISTORY_H_
+#define MEXI_MATCHING_DECISION_HISTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "matching/match_matrix.h"
+
+namespace mexi::matching {
+
+/// One matching decision: the paper's history triplet
+/// <(a_i, b_j), c, t> — an element pair, a confidence in [0, 1] and a
+/// timestamp (Section II-A2).
+struct Decision {
+  std::size_t source = 0;
+  std::size_t target = 0;
+  double confidence = 0.0;
+  double timestamp = 0.0;
+};
+
+/// A decision history H: the time-ordered sequence of a human matcher's
+/// decisions, including revisits (a later decision on the same pair
+/// overrides the earlier confidence when projecting to a matrix, Eq. 1).
+class DecisionHistory {
+ public:
+  DecisionHistory() = default;
+
+  /// Appends a decision. Timestamps must be non-decreasing; throws
+  /// std::invalid_argument otherwise (the paper's timestamps induce a
+  /// total order).
+  void Add(const Decision& decision);
+
+  std::size_t size() const { return decisions_.size(); }
+  bool empty() const { return decisions_.empty(); }
+  const Decision& at(std::size_t i) const { return decisions_.at(i); }
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+  /// Eq. 1: projects the history onto a matching matrix by assigning
+  /// each entry its latest confidence.
+  MatchMatrix ToMatrix(std::size_t source_size,
+                       std::size_t target_size) const;
+
+  /// Prefix of the history up to (excluding) `count` decisions — used by
+  /// the early-identification experiment (Fig. 11) and sub-matchers.
+  DecisionHistory Prefix(std::size_t count) const;
+
+  /// Contiguous window [start, start+count); clipped to the history end.
+  DecisionHistory Window(std::size_t start, std::size_t count) const;
+
+  /// All confidences in decision order.
+  std::vector<double> Confidences() const;
+
+  /// Inter-decision elapsed times (t_k - t_{k-1}); size() - 1 values.
+  std::vector<double> ElapsedTimes() const;
+
+  /// Number of distinct element pairs decided on.
+  std::size_t DistinctPairs() const;
+
+  /// The final match sigma as pairs: distinct element pairs whose
+  /// *latest* confidence is non-zero, without materializing a matrix
+  /// (usable when task dimensions are unknown or foreign).
+  std::vector<ElementPair> FinalPairs() const;
+
+  /// Number of mind changes: decisions whose pair was already decided.
+  std::size_t MindChanges() const;
+
+  /// Mean reported confidence (the paper's H.c-bar in Eq. 5).
+  double MeanConfidence() const;
+
+  /// Preprocessing per Section IV-A: drops the first `warmup` decisions
+  /// (response-time warm-up) and then removes decisions whose elapsed
+  /// time is more than `stddev_limit` standard deviations from this
+  /// matcher's mean elapsed time.
+  DecisionHistory Preprocessed(std::size_t warmup = 3,
+                               double stddev_limit = 2.0) const;
+
+ private:
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_DECISION_HISTORY_H_

@@ -1,0 +1,280 @@
+#include "matching/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mexi::matching {
+
+namespace {
+
+std::runtime_error ParseError(const char* what, std::size_t line) {
+  std::ostringstream message;
+  message << "csv parse error at line " << line << ": " << what;
+  return std::runtime_error(message.str());
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+char TypeChar(MovementType type) {
+  switch (type) {
+    case MovementType::kMove:
+      return 'm';
+    case MovementType::kLeftClick:
+      return 'l';
+    case MovementType::kRightClick:
+      return 'r';
+    case MovementType::kScroll:
+      return 's';
+  }
+  return '?';
+}
+
+MovementType TypeFromChar(char c, std::size_t line) {
+  switch (c) {
+    case 'm':
+      return MovementType::kMove;
+    case 'l':
+      return MovementType::kLeftClick;
+    case 'r':
+      return MovementType::kRightClick;
+    case 's':
+      return MovementType::kScroll;
+    default:
+      throw ParseError("unknown movement type", line);
+  }
+}
+
+double ParseDouble(const std::string& text, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError("bad number", line);
+  }
+}
+
+long ParseLong(const std::string& text, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError("bad integer", line);
+  }
+}
+
+}  // namespace
+
+void WriteDecisionsCsv(const std::vector<LoadedMatcher>& matchers,
+                       std::ostream& out) {
+  out << "matcher_id,source,target,confidence,timestamp\n";
+  for (const auto& matcher : matchers) {
+    for (const auto& d : matcher.history.decisions()) {
+      out << matcher.id << ',' << d.source << ',' << d.target << ','
+          << d.confidence << ',' << d.timestamp << '\n';
+    }
+  }
+}
+
+void WriteMovementsCsv(const std::vector<LoadedMatcher>& matchers,
+                       std::ostream& out) {
+  out << "matcher_id,x,y,type,timestamp\n";
+  double width = 1280.0, height = 800.0;
+  if (!matchers.empty()) {
+    width = matchers.front().movement.screen_width();
+    height = matchers.front().movement.screen_height();
+  }
+  out << "#screen," << width << ',' << height << '\n';
+  for (const auto& matcher : matchers) {
+    for (const auto& e : matcher.movement.events()) {
+      out << matcher.id << ',' << e.x << ',' << e.y << ','
+          << TypeChar(e.type) << ',' << e.timestamp << '\n';
+    }
+  }
+}
+
+void WriteReferenceCsv(const std::vector<ElementPair>& reference,
+                       std::ostream& out) {
+  out << "source,target\n";
+  for (const auto& [i, j] : reference) out << i << ',' << j << '\n';
+}
+
+std::vector<LoadedMatcher> ReadDecisionsCsv(std::istream& in) {
+  std::vector<LoadedMatcher> matchers;
+  std::map<int, std::size_t> index_of_id;
+
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      saw_header = true;  // skip the header row
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 5) throw ParseError("expected 5 fields", line_number);
+    const int id = static_cast<int>(ParseLong(fields[0], line_number));
+    auto [it, inserted] = index_of_id.try_emplace(id, matchers.size());
+    if (inserted) {
+      LoadedMatcher matcher;
+      matcher.id = id;
+      matchers.push_back(std::move(matcher));
+    }
+    Decision d;
+    const long source = ParseLong(fields[1], line_number);
+    const long target = ParseLong(fields[2], line_number);
+    if (source < 0 || target < 0) {
+      throw ParseError("negative element index", line_number);
+    }
+    d.source = static_cast<std::size_t>(source);
+    d.target = static_cast<std::size_t>(target);
+    d.confidence = ParseDouble(fields[3], line_number);
+    d.timestamp = ParseDouble(fields[4], line_number);
+    try {
+      matchers[it->second].history.Add(d);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(e.what(), line_number);
+    }
+  }
+  return matchers;
+}
+
+void ReadMovementsCsv(std::istream& in,
+                      std::vector<LoadedMatcher>* matchers) {
+  std::map<int, std::size_t> index_of_id;
+  for (std::size_t i = 0; i < matchers->size(); ++i) {
+    index_of_id[(*matchers)[i].id] = i;
+  }
+
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  double width = 1280.0, height = 800.0;
+  bool screen_known = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line.rfind("#screen,", 0) == 0) {
+      const auto fields = SplitCsvLine(line.substr(8));
+      if (fields.size() != 2) {
+        throw ParseError("bad #screen line", line_number);
+      }
+      width = ParseDouble(fields[0], line_number);
+      height = ParseDouble(fields[1], line_number);
+      screen_known = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    if (!saw_header) {
+      saw_header = true;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 5) throw ParseError("expected 5 fields", line_number);
+    const int id = static_cast<int>(ParseLong(fields[0], line_number));
+    const auto it = index_of_id.find(id);
+    if (it == index_of_id.end()) {
+      throw ParseError("movement for unknown matcher id", line_number);
+    }
+    LoadedMatcher& matcher = (*matchers)[it->second];
+    if (screen_known && matcher.movement.empty() &&
+        (matcher.movement.screen_width() != width ||
+         matcher.movement.screen_height() != height)) {
+      matcher.movement = MovementMap(width, height);
+    }
+    MovementEvent e;
+    e.x = ParseDouble(fields[1], line_number);
+    e.y = ParseDouble(fields[2], line_number);
+    if (fields[3].size() != 1) throw ParseError("bad type", line_number);
+    e.type = TypeFromChar(fields[3][0], line_number);
+    e.timestamp = ParseDouble(fields[4], line_number);
+    try {
+      matcher.movement.Add(e);
+    } catch (const std::invalid_argument& err) {
+      throw ParseError(err.what(), line_number);
+    }
+  }
+}
+
+std::vector<ElementPair> ReadReferenceCsv(std::istream& in) {
+  std::vector<ElementPair> reference;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      saw_header = true;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 2) throw ParseError("expected 2 fields", line_number);
+    const long i = ParseLong(fields[0], line_number);
+    const long j = ParseLong(fields[1], line_number);
+    if (i < 0 || j < 0) throw ParseError("negative index", line_number);
+    reference.emplace_back(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j));
+  }
+  return reference;
+}
+
+namespace {
+
+std::ofstream OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
+}
+
+std::ifstream OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  return in;
+}
+
+}  // namespace
+
+void SaveMatchersToFiles(const std::vector<LoadedMatcher>& matchers,
+                         const std::string& decisions_path,
+                         const std::string& movements_path) {
+  auto decisions = OpenForWrite(decisions_path);
+  WriteDecisionsCsv(matchers, decisions);
+  auto movements = OpenForWrite(movements_path);
+  WriteMovementsCsv(matchers, movements);
+}
+
+std::vector<LoadedMatcher> LoadMatchersFromFiles(
+    const std::string& decisions_path, const std::string& movements_path) {
+  auto decisions = OpenForRead(decisions_path);
+  std::vector<LoadedMatcher> matchers = ReadDecisionsCsv(decisions);
+  auto movements = OpenForRead(movements_path);
+  ReadMovementsCsv(movements, &matchers);
+  return matchers;
+}
+
+void SaveReferenceToFile(const std::vector<ElementPair>& reference,
+                         const std::string& path) {
+  auto out = OpenForWrite(path);
+  WriteReferenceCsv(reference, out);
+}
+
+std::vector<ElementPair> LoadReferenceFromFile(const std::string& path) {
+  auto in = OpenForRead(path);
+  return ReadReferenceCsv(in);
+}
+
+}  // namespace mexi::matching

@@ -1,0 +1,78 @@
+#ifndef MEXI_MATCHING_IO_H_
+#define MEXI_MATCHING_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+#include "matching/movement.h"
+
+namespace mexi::matching {
+
+/// CSV persistence for the observable matcher data, so MExI can run on
+/// real logged studies (Ontobuilder/Ghost-Mouse-style exports) rather
+/// than only on the built-in simulator.
+///
+/// Formats (all have a header row; fields are comma-separated, no
+/// quoting — the data is purely numeric):
+///
+///   decisions:  matcher_id,source,target,confidence,timestamp
+///   movements:  matcher_id,x,y,type,timestamp        (type: m|l|r|s)
+///   reference:  source,target
+///
+/// Readers throw std::runtime_error with a line number on malformed
+/// input. Multiple matchers share one file, keyed by matcher_id; rows of
+/// one matcher must be timestamp-ordered (DecisionHistory/MovementMap
+/// enforce it).
+
+/// One matcher's traces as loaded from disk.
+struct LoadedMatcher {
+  int id = 0;
+  DecisionHistory history;
+  MovementMap movement{1280.0, 800.0};
+};
+
+/// Writes all matchers' decisions to `out` (header + one row per
+/// decision).
+void WriteDecisionsCsv(const std::vector<LoadedMatcher>& matchers,
+                       std::ostream& out);
+
+/// Writes all matchers' movement events to `out`. The first data line
+/// carries the screen size as a pseudo-event per matcher is avoided:
+/// screen dimensions travel in the header as "#screen,<w>,<h>" comment
+/// on line 2.
+void WriteMovementsCsv(const std::vector<LoadedMatcher>& matchers,
+                       std::ostream& out);
+
+/// Writes reference correspondences.
+void WriteReferenceCsv(const std::vector<ElementPair>& reference,
+                       std::ostream& out);
+
+/// Reads decisions; matchers are created/looked up by id, ordered by
+/// first appearance.
+std::vector<LoadedMatcher> ReadDecisionsCsv(std::istream& in);
+
+/// Merges movement events from `in` into `matchers` (matcher ids must
+/// already exist from ReadDecisionsCsv; unknown ids throw).
+void ReadMovementsCsv(std::istream& in,
+                      std::vector<LoadedMatcher>* matchers);
+
+/// Reads reference correspondences.
+std::vector<ElementPair> ReadReferenceCsv(std::istream& in);
+
+/// Convenience file-path wrappers (throw std::runtime_error on I/O
+/// failure).
+void SaveMatchersToFiles(const std::vector<LoadedMatcher>& matchers,
+                         const std::string& decisions_path,
+                         const std::string& movements_path);
+std::vector<LoadedMatcher> LoadMatchersFromFiles(
+    const std::string& decisions_path, const std::string& movements_path);
+void SaveReferenceToFile(const std::vector<ElementPair>& reference,
+                         const std::string& path);
+std::vector<ElementPair> LoadReferenceFromFile(const std::string& path);
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_IO_H_

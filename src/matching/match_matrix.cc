@@ -1,0 +1,85 @@
+#include "matching/match_matrix.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::matching {
+
+MatchMatrix::MatchMatrix(std::size_t source_size, std::size_t target_size)
+    : values_(source_size, target_size, 0.0) {}
+
+MatchMatrix MatchMatrix::FromReference(
+    const std::vector<ElementPair>& correspondences,
+    std::size_t source_size, std::size_t target_size) {
+  MatchMatrix m(source_size, target_size);
+  for (const auto& [i, j] : correspondences) {
+    if (i >= source_size || j >= target_size) {
+      throw std::out_of_range("MatchMatrix::FromReference: pair range");
+    }
+    m.values_(i, j) = 1.0;
+  }
+  return m;
+}
+
+double MatchMatrix::At(std::size_t i, std::size_t j) const {
+  return values_.At(i, j);
+}
+
+void MatchMatrix::Set(std::size_t i, std::size_t j, double value) {
+  values_.At(i, j) = stats::Clamp(value, 0.0, 1.0);
+}
+
+std::vector<ElementPair> MatchMatrix::Match() const {
+  std::vector<ElementPair> out;
+  for (std::size_t i = 0; i < values_.rows(); ++i) {
+    for (std::size_t j = 0; j < values_.cols(); ++j) {
+      if (values_(i, j) > 0.0) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+std::size_t MatchMatrix::MatchSize() const {
+  std::size_t count = 0;
+  for (double v : values_.data()) count += static_cast<std::size_t>(v > 0.0);
+  return count;
+}
+
+std::vector<double> MatchMatrix::MatchValues() const {
+  std::vector<double> out;
+  for (double v : values_.data()) {
+    if (v > 0.0) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t MatchMatrix::IntersectionSize(const MatchMatrix& reference)
+    const {
+  if (reference.source_size() != source_size() ||
+      reference.target_size() != target_size()) {
+    throw std::invalid_argument("MatchMatrix::IntersectionSize: shape");
+  }
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < values_.data().size(); ++k) {
+    count += static_cast<std::size_t>(values_.data()[k] > 0.0 &&
+                                      reference.values_.data()[k] > 0.0);
+  }
+  return count;
+}
+
+double MatchMatrix::PrecisionAgainst(const MatchMatrix& reference) const {
+  const std::size_t sigma = MatchSize();
+  if (sigma == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(reference)) /
+         static_cast<double>(sigma);
+}
+
+double MatchMatrix::RecallAgainst(const MatchMatrix& reference) const {
+  const std::size_t ref_size = reference.MatchSize();
+  if (ref_size == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(reference)) /
+         static_cast<double>(ref_size);
+}
+
+}  // namespace mexi::matching

@@ -1,0 +1,71 @@
+#ifndef MEXI_MATCHING_MATCH_MATRIX_H_
+#define MEXI_MATCHING_MATCH_MATRIX_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace mexi::matching {
+
+/// An element-pair index: (source element, target element).
+using ElementPair = std::pair<std::size_t, std::size_t>;
+
+/// A matching matrix M(S, S'): entry (i, j) holds the degree of
+/// alignment in [0, 1] between source element i and target element j
+/// (Section II-A1 of the paper). A *match* sigma is the set of non-zero
+/// entries.
+class MatchMatrix {
+ public:
+  MatchMatrix() = default;
+
+  /// Creates an all-zero n x m matrix.
+  MatchMatrix(std::size_t source_size, std::size_t target_size);
+
+  /// Builds an exact 0/1 reference matrix M^e from correspondence pairs.
+  static MatchMatrix FromReference(
+      const std::vector<ElementPair>& correspondences,
+      std::size_t source_size, std::size_t target_size);
+
+  std::size_t source_size() const { return values_.rows(); }
+  std::size_t target_size() const { return values_.cols(); }
+
+  /// Degree of alignment of (i, j); bounds-checked.
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Sets entry (i, j); values are clamped into [0, 1].
+  void Set(std::size_t i, std::size_t j, double value);
+
+  /// The match sigma: all element pairs with a non-zero entry.
+  std::vector<ElementPair> Match() const;
+
+  /// Number of non-zero entries.
+  std::size_t MatchSize() const;
+
+  /// Confidence values of the non-zero entries (same order as Match()).
+  std::vector<double> MatchValues() const;
+
+  /// |sigma(this) ∩ M^e+|: how many of this matrix's non-zero entries are
+  /// part of `reference`'s non-zero set.
+  std::size_t IntersectionSize(const MatchMatrix& reference) const;
+
+  /// Precision of this match against `reference` (Eq. 2 left); 0 when
+  /// this match is empty.
+  double PrecisionAgainst(const MatchMatrix& reference) const;
+
+  /// Recall of this match against `reference` (Eq. 3 left); 0 when the
+  /// reference is empty.
+  double RecallAgainst(const MatchMatrix& reference) const;
+
+  /// Underlying dense values (for predictors and heat-map style use).
+  const ml::Matrix& values() const { return values_; }
+  ml::Matrix& values() { return values_; }
+
+ private:
+  ml::Matrix values_;
+};
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_MATCH_MATRIX_H_

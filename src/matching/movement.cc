@@ -1,0 +1,101 @@
+#include "matching/movement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::matching {
+
+MovementMap::MovementMap(double screen_width, double screen_height)
+    : screen_width_(screen_width), screen_height_(screen_height) {
+  if (screen_width <= 0.0 || screen_height <= 0.0) {
+    throw std::invalid_argument("MovementMap: screen size must be positive");
+  }
+}
+
+void MovementMap::Add(MovementEvent event) {
+  if (!events_.empty() && event.timestamp < events_.back().timestamp) {
+    throw std::invalid_argument(
+        "MovementMap::Add: timestamps must be non-decreasing");
+  }
+  event.x = stats::Clamp(event.x, 0.0, screen_width_);
+  event.y = stats::Clamp(event.y, 0.0, screen_height_);
+  events_.push_back(event);
+}
+
+std::vector<MovementEvent> MovementMap::EventsOfType(
+    MovementType type) const {
+  std::vector<MovementEvent> out;
+  for (const auto& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+ml::Matrix MovementMap::HeatMap(MovementType type, std::size_t rows,
+                                std::size_t cols) const {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("MovementMap::HeatMap: zero grid");
+  }
+  ml::Matrix heat(rows, cols, 0.0);
+  for (const auto& e : events_) {
+    if (e.type != type) continue;
+    std::size_t r = static_cast<std::size_t>(
+        e.y / screen_height_ * static_cast<double>(rows));
+    std::size_t c = static_cast<std::size_t>(
+        e.x / screen_width_ * static_cast<double>(cols));
+    r = std::min(r, rows - 1);
+    c = std::min(c, cols - 1);
+    heat(r, c) += 1.0;
+  }
+  const double peak = heat.MaxAbs();
+  if (peak > 0.0) heat *= 1.0 / peak;
+  return heat;
+}
+
+double MovementMap::TotalPathLength() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    const double dx = events_[i].x - events_[i - 1].x;
+    const double dy = events_[i].y - events_[i - 1].y;
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  return total;
+}
+
+double MovementMap::TotalTime() const {
+  if (events_.size() < 2) return 0.0;
+  return events_.back().timestamp - events_.front().timestamp;
+}
+
+double MovementMap::MeanX() const {
+  if (events_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : events_) total += e.x;
+  return total / static_cast<double>(events_.size());
+}
+
+double MovementMap::MeanY() const {
+  if (events_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : events_) total += e.y;
+  return total / static_cast<double>(events_.size());
+}
+
+MovementMap MovementMap::TimeSlice(double t0, double t1) const {
+  MovementMap out(screen_width_, screen_height_);
+  for (const auto& e : events_) {
+    if (e.timestamp >= t0 && e.timestamp <= t1) out.Add(e);
+  }
+  return out;
+}
+
+std::size_t MovementMap::CountOfType(MovementType type) const {
+  std::size_t count = 0;
+  for (const auto& e : events_) count += static_cast<std::size_t>(e.type == type);
+  return count;
+}
+
+}  // namespace mexi::matching

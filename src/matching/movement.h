@@ -1,0 +1,76 @@
+#ifndef MEXI_MATCHING_MOVEMENT_H_
+#define MEXI_MATCHING_MOVEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace mexi::matching {
+
+/// Mouse event type (the paper's v in {move, left click, right click,
+/// scrolling}).
+enum class MovementType { kMove = 0, kLeftClick, kRightClick, kScroll };
+
+inline constexpr int kNumMovementTypes = 4;
+
+/// One recorded mouse event: the paper's map triplet <(x, y), v, t>.
+struct MovementEvent {
+  double x = 0.0;
+  double y = 0.0;
+  MovementType type = MovementType::kMove;
+  double timestamp = 0.0;
+};
+
+/// A movement map G: the time-ordered mouse trace of one matcher over a
+/// screen of known size, with heat-map aggregation (Section II-A2).
+class MovementMap {
+ public:
+  /// Screen dimensions in pixels; both must be positive.
+  MovementMap(double screen_width, double screen_height);
+
+  /// Appends an event; timestamps must be non-decreasing and positions
+  /// are clamped into the screen.
+  void Add(MovementEvent event);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<MovementEvent>& events() const { return events_; }
+  double screen_width() const { return screen_width_; }
+  double screen_height() const { return screen_height_; }
+
+  /// Events of one type only.
+  std::vector<MovementEvent> EventsOfType(MovementType type) const;
+
+  /// Builds the heat map G_v for movement type `type`, downsampled to a
+  /// rows x cols grid and normalized so the peak cell is 1 (all-zero when
+  /// no events of that type exist). This is the CNN input.
+  ml::Matrix HeatMap(MovementType type, std::size_t rows,
+                     std::size_t cols) const;
+
+  /// Total Euclidean path length over consecutive events (all types).
+  double TotalPathLength() const;
+
+  /// Total time span (last - first timestamp); 0 for < 2 events.
+  double TotalTime() const;
+
+  /// Mean x / y position over all events.
+  double MeanX() const;
+  double MeanY() const;
+
+  /// Count of events of one type.
+  std::size_t CountOfType(MovementType type) const;
+
+  /// The sub-trace of events with timestamp in [t0, t1] (same screen).
+  /// Used to pair movement windows with sub-matcher decision windows.
+  MovementMap TimeSlice(double t0, double t1) const;
+
+ private:
+  double screen_width_;
+  double screen_height_;
+  std::vector<MovementEvent> events_;
+};
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_MOVEMENT_H_

@@ -1,0 +1,191 @@
+#include "matching/predictors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/pca.h"
+
+namespace mexi::matching {
+
+namespace {
+
+struct Dominance {
+  std::size_t row_dominants = 0;
+  std::size_t col_dominants = 0;
+  std::size_t both_dominants = 0;
+  double bpm = 0.0;  // mean top-vs-runner-up row margin
+};
+
+Dominance ComputeDominance(const ml::Matrix& m) {
+  Dominance dom;
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  std::vector<double> row_max(rows, 0.0), col_max(cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      row_max[i] = std::max(row_max[i], m(i, j));
+      col_max[j] = std::max(col_max[j], m(i, j));
+    }
+  }
+  double margin_total = 0.0;
+  std::size_t margin_rows = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (row_max[i] <= 0.0) continue;
+    // Runner-up in row i.
+    double second = 0.0;
+    bool counted_top = false;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = m(i, j);
+      if (v == row_max[i] && !counted_top) {
+        counted_top = true;
+        continue;
+      }
+      second = std::max(second, v);
+    }
+    margin_total += row_max[i] - second;
+    ++margin_rows;
+  }
+  if (margin_rows > 0) {
+    dom.bpm = margin_total / static_cast<double>(margin_rows);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = m(i, j);
+      if (v <= 0.0) continue;
+      const bool is_row_dom = v >= row_max[i];
+      const bool is_col_dom = v >= col_max[j];
+      dom.row_dominants += static_cast<std::size_t>(is_row_dom);
+      dom.col_dominants += static_cast<std::size_t>(is_col_dom);
+      dom.both_dominants +=
+          static_cast<std::size_t>(is_row_dom && is_col_dom);
+    }
+  }
+  return dom;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PredictorNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "avgConf",  "stdConf",  "maxConf",     "minConf",  "matchRatio",
+      "rowCoverage", "colCoverage", "dom",   "bpm",      "bbm",
+      "mcd",      "norm1",    "norm2",       "normsinf", "entropy",
+      "pca1",     "pca2",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& PrecisionLeaningPredictors() {
+  static const auto* kNames = new std::vector<std::string>{
+      "avgConf", "maxConf", "dom", "bpm", "bbm", "mcd", "pca1",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& RecallLeaningPredictors() {
+  static const auto* kNames = new std::vector<std::string>{
+      "matchRatio", "rowCoverage", "colCoverage", "stdConf",
+      "norm1",      "norm2",       "normsinf",    "entropy",
+      "pca2",       "minConf",
+  };
+  return *kNames;
+}
+
+std::vector<NamedValue> ComputePredictors(const MatchMatrix& matrix) {
+  const ml::Matrix& m = matrix.values();
+  std::vector<NamedValue> out;
+  out.reserve(PredictorNames().size());
+  auto emit = [&](const std::string& name, double value) {
+    out.push_back(NamedValue{name, value});
+  };
+
+  const std::vector<double> sigma = matrix.MatchValues();
+  const double sigma_size = static_cast<double>(sigma.size());
+  const double total_cells =
+      static_cast<double>(m.rows()) * static_cast<double>(m.cols());
+
+  emit("avgConf", stats::Mean(sigma));
+  emit("stdConf", stats::StdDev(sigma));
+  emit("maxConf", stats::Max(sigma));
+  emit("minConf", sigma.empty() ? 0.0 : stats::Min(sigma));
+  emit("matchRatio", total_cells > 0.0 ? sigma_size / total_cells : 0.0);
+
+  std::size_t rows_covered = 0, cols_covered = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) > 0.0) {
+        ++rows_covered;
+        break;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      if (m(i, j) > 0.0) {
+        ++cols_covered;
+        break;
+      }
+    }
+  }
+  emit("rowCoverage", m.rows() > 0 ? static_cast<double>(rows_covered) /
+                                         static_cast<double>(m.rows())
+                                   : 0.0);
+  emit("colCoverage", m.cols() > 0 ? static_cast<double>(cols_covered) /
+                                         static_cast<double>(m.cols())
+                                   : 0.0);
+
+  const Dominance dom = ComputeDominance(m);
+  emit("dom", sigma_size > 0.0
+                  ? static_cast<double>(dom.both_dominants) / sigma_size
+                  : 0.0);
+  emit("bpm", dom.bpm);
+  const double max_dom = static_cast<double>(
+      std::max(dom.row_dominants, dom.col_dominants));
+  const double min_dom = static_cast<double>(
+      std::min(dom.row_dominants, dom.col_dominants));
+  emit("bbm", max_dom > 0.0 ? min_dom / max_dom : 0.0);
+
+  // Match competitor deviation.
+  double mcd_total = 0.0;
+  std::size_t mcd_count = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) row_sum += m(i, j);
+    const double row_mean =
+        m.cols() > 0 ? row_sum / static_cast<double>(m.cols()) : 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) > 0.0) {
+        mcd_total += m(i, j) - row_mean;
+        ++mcd_count;
+      }
+    }
+  }
+  emit("mcd", mcd_count > 0 ? mcd_total / static_cast<double>(mcd_count)
+                            : 0.0);
+
+  const double norm_scale = sigma_size > 0.0 ? sigma_size : 1.0;
+  emit("norm1", m.L1Norm() / std::sqrt(norm_scale));
+  emit("norm2", m.FrobeniusNorm() / std::sqrt(norm_scale));
+  emit("normsinf", m.InfNorm() / std::sqrt(norm_scale));
+  emit("entropy", stats::Entropy(sigma));
+
+  // PCA over matrix rows; degenerate matrices yield (0, 0).
+  double pca1 = 0.0, pca2 = 0.0;
+  if (m.rows() >= 2 && m.cols() >= 2 && !sigma.empty()) {
+    std::vector<std::vector<double>> rows(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i) rows[i] = m.Row(i);
+    const stats::PcaResult pca = stats::Pca(rows);
+    if (!pca.explained_variance_ratio.empty()) {
+      pca1 = pca.explained_variance_ratio[0];
+    }
+    if (pca.explained_variance_ratio.size() > 1) {
+      pca2 = pca.explained_variance_ratio[1];
+    }
+  }
+  emit("pca1", pca1);
+  emit("pca2", pca2);
+  return out;
+}
+
+}  // namespace mexi::matching

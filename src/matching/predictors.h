@@ -1,0 +1,58 @@
+#ifndef MEXI_MATCHING_PREDICTORS_H_
+#define MEXI_MATCHING_PREDICTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "matching/match_matrix.h"
+
+namespace mexi::matching {
+
+/// A named predictor value.
+struct NamedValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Matching predictors: reference-free quality estimates of a matching
+/// matrix (Sagi & Gal, VLDBJ'13; used as learning features by LRSM, Gal
+/// et al., TKDE'19). The full set computed here, with definitions:
+///
+///  * avgConf / stdConf / maxConf / minConf — moments of the non-zero
+///    entries.
+///  * matchRatio — |sigma| / (n*m), how much of the space is claimed.
+///  * rowCoverage / colCoverage — fraction of rows / columns with at
+///    least one non-zero entry (recall-leaning).
+///  * dom — share of non-zero entries that dominate both their row and
+///    their column (precision-leaning).
+///  * bpm — binary precision measure: mean margin between each claimed
+///    row's top entry and its runner-up; confident, unambiguous
+///    matrices score high.
+///  * bbm — binary balance measure: ratio of column-dominant to
+///    row-dominant counts (in [0, 1], min/max), capturing the
+///    asymmetry of the claimed match.
+///  * mcd — match competitor deviation: mean (entry - row mean) over
+///    non-zero entries.
+///  * norm1 / norm2 / normsinf — L1 / Frobenius / L-infinity matrix
+///    norms normalized by the claimed match size; norm predictors
+///    quantify the matrix's "mass of error" and lean towards recall.
+///  * entropy — Shannon entropy of the normalized non-zero entries
+///    (uncertainty / diversity; recall-leaning).
+///  * pca1 / pca2 — explained-variance ratios of the top two principal
+///    components of the matrix rows (diversity structure).
+///
+/// All predictors are 0 for an empty match.
+std::vector<NamedValue> ComputePredictors(const MatchMatrix& matrix);
+
+/// Names of the predictors ComputePredictors emits, in order.
+const std::vector<std::string>& PredictorNames();
+
+/// Subsets that the literature found to lean toward precision / recall —
+/// used to organize the paper's Phi_LRSM precision and thoroughness
+/// feature groups.
+const std::vector<std::string>& PrecisionLeaningPredictors();
+const std::vector<std::string>& RecallLeaningPredictors();
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_PREDICTORS_H_

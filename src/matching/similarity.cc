@@ -1,0 +1,153 @@
+#include "matching/similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "schema/tokenizer.h"
+#include "stats/descriptive.h"
+
+namespace mexi::matching {
+
+namespace {
+
+template <typename T>
+double JaccardOfSets(const std::set<T>& a, const std::set<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = 0;
+  for (const auto& item : a) inter += b.count(item);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double LevenshteinSimilarity(const std::string& a_raw,
+                             const std::string& b_raw) {
+  const std::string a = schema::ToLowerAscii(a_raw);
+  const std::string b = schema::ToLowerAscii(b_raw);
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> prev(m + 1), curr(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  const double dist = static_cast<double>(prev[m]);
+  const double max_len = static_cast<double>(std::max(n, m));
+  return 1.0 - dist / max_len;
+}
+
+double JaroWinklerSimilarity(const std::string& a_raw,
+                             const std::string& b_raw) {
+  const std::string a = schema::ToLowerAscii(a_raw);
+  const std::string b = schema::ToLowerAscii(b_raw);
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t window =
+      std::max<std::size_t>(1, std::max(n, m) / 2) - 1;
+
+  std::vector<bool> a_matched(n, false), b_matched(m, false);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > window ? i - window : 0;
+    const std::size_t hi = std::min(m, i + window + 1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions among matched characters.
+  std::size_t transpositions = 0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  const double mm = static_cast<double>(matches);
+  const double jaro =
+      (mm / static_cast<double>(n) + mm / static_cast<double>(m) +
+       (mm - static_cast<double>(transpositions) / 2.0) / mm) /
+      3.0;
+
+  std::size_t prefix = 0;
+  for (std::size_t i = 0; i < std::min({n, m, std::size_t{4}}); ++i) {
+    if (a[i] == b[i]) {
+      ++prefix;
+    } else {
+      break;
+    }
+  }
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double TrigramSimilarity(const std::string& a, const std::string& b) {
+  const auto grams_a = schema::CharacterNgrams(a, 3);
+  const auto grams_b = schema::CharacterNgrams(b, 3);
+  const std::set<std::string> sa(grams_a.begin(), grams_a.end());
+  const std::set<std::string> sb(grams_b.begin(), grams_b.end());
+  if (sa.empty() && sb.empty()) {
+    // Both too short for trigrams; fall back to exact comparison.
+    return schema::ToLowerAscii(a) == schema::ToLowerAscii(b) ? 1.0 : 0.0;
+  }
+  return JaccardOfSets(sa, sb);
+}
+
+double TokenJaccardSimilarity(const std::string& a, const std::string& b) {
+  const auto tokens_a = schema::TokenizeName(a);
+  const auto tokens_b = schema::TokenizeName(b);
+  const std::set<std::string> sa(tokens_a.begin(), tokens_a.end());
+  const std::set<std::string> sb(tokens_b.begin(), tokens_b.end());
+  return JaccardOfSets(sa, sb);
+}
+
+double CompositeSimilarity(const schema::Attribute& a,
+                           const schema::Attribute& b,
+                           const CompositeWeights& weights) {
+  double score = weights.levenshtein * LevenshteinSimilarity(a.name, b.name) +
+                 weights.jaro_winkler * JaroWinklerSimilarity(a.name, b.name) +
+                 weights.trigram * TrigramSimilarity(a.name, b.name) +
+                 weights.token_jaccard *
+                     TokenJaccardSimilarity(a.name, b.name);
+  score += a.type == b.type ? weights.datatype_bonus
+                            : -weights.datatype_bonus;
+  const std::set<std::string> ia(a.instances.begin(), a.instances.end());
+  const std::set<std::string> ib(b.instances.begin(), b.instances.end());
+  score += weights.instance_weight * JaccardOfSets(ia, ib);
+  return stats::Clamp(score, 0.0, 1.0);
+}
+
+MatchMatrix BuildSimilarityMatrix(const schema::Schema& source,
+                                  const schema::Schema& target,
+                                  const CompositeWeights& weights) {
+  MatchMatrix m(source.size(), target.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const auto& a = source.attribute(i);
+    if (!a.children.empty()) continue;  // grouping node
+    for (std::size_t j = 0; j < target.size(); ++j) {
+      const auto& b = target.attribute(j);
+      if (!b.children.empty()) continue;
+      m.Set(i, j, CompositeSimilarity(a, b, weights));
+    }
+  }
+  return m;
+}
+
+}  // namespace mexi::matching

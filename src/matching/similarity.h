@@ -1,0 +1,55 @@
+#ifndef MEXI_MATCHING_SIMILARITY_H_
+#define MEXI_MATCHING_SIMILARITY_H_
+
+#include <string>
+
+#include "matching/match_matrix.h"
+#include "schema/schema.h"
+
+namespace mexi::matching {
+
+/// Normalized Levenshtein similarity in [0, 1]: 1 - distance/max_len.
+double LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro-Winkler similarity in [0, 1] (prefix weight 0.1, max prefix 4).
+double JaroWinklerSimilarity(const std::string& a, const std::string& b);
+
+/// Jaccard similarity of character trigram sets.
+double TrigramSimilarity(const std::string& a, const std::string& b);
+
+/// Jaccard similarity of the word-token sets produced by TokenizeName,
+/// with synonym-insensitive comparison left to the composite matcher.
+double TokenJaccardSimilarity(const std::string& a, const std::string& b);
+
+/// Weights of the composite first-line matcher.
+struct CompositeWeights {
+  double levenshtein = 0.25;
+  double jaro_winkler = 0.2;
+  double trigram = 0.2;
+  double token_jaccard = 0.35;
+  /// Added when datatypes agree, subtracted when they clash.
+  double datatype_bonus = 0.08;
+  /// Jaccard weight of instance-value overlap.
+  double instance_weight = 0.07;
+};
+
+/// COMA-style composite similarity between two schema attributes: a
+/// weighted blend of the four name measures plus datatype compatibility
+/// and instance overlap, clamped to [0, 1]. This is the algorithmic
+/// first-line matcher whose landscape drives the human simulator's
+/// perceived difficulty.
+double CompositeSimilarity(const schema::Attribute& a,
+                           const schema::Attribute& b,
+                           const CompositeWeights& weights = {});
+
+/// Builds the full similarity matrix of a schema pair using
+/// CompositeSimilarity. Internal (grouping) elements get similarity 0
+/// against everything so only leaves can match — mirroring how the
+/// reference matches are leaf-only.
+MatchMatrix BuildSimilarityMatrix(const schema::Schema& source,
+                                  const schema::Schema& target,
+                                  const CompositeWeights& weights = {});
+
+}  // namespace mexi::matching
+
+#endif  // MEXI_MATCHING_SIMILARITY_H_

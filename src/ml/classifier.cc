@@ -1,0 +1,55 @@
+#include "ml/classifier.h"
+
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void BinaryClassifier::Fit(const Dataset& data) {
+  if (data.NumExamples() == 0) {
+    throw std::invalid_argument("BinaryClassifier::Fit: empty dataset");
+  }
+  bool all_same = true;
+  for (int y : data.labels) {
+    if (y != data.labels[0]) {
+      all_same = false;
+      break;
+    }
+  }
+  if (all_same) {
+    constant_label_ = data.labels[0];
+  } else {
+    constant_label_ = -1;
+    FitImpl(data);
+  }
+  fitted_ = true;
+}
+
+double BinaryClassifier::PredictProba(const std::vector<double>& row) const {
+  if (!fitted_) {
+    throw std::logic_error("BinaryClassifier::PredictProba before Fit");
+  }
+  if (constant_label_ >= 0) return static_cast<double>(constant_label_);
+  return PredictProbaImpl(row);
+}
+
+int BinaryClassifier::Predict(const std::vector<double>& row) const {
+  return PredictProba(row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<double> BinaryClassifier::PredictProbaAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(PredictProba(row));
+  return out;
+}
+
+std::vector<int> BinaryClassifier::PredictAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Predict(row));
+  return out;
+}
+
+}  // namespace mexi::ml

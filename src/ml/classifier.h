@@ -1,0 +1,64 @@
+#ifndef MEXI_ML_CLASSIFIER_H_
+#define MEXI_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace mexi::ml {
+
+/// Abstract binary probabilistic classifier.
+///
+/// Every expert characteristic in MExI (precise / thorough / correlated /
+/// calibrated) is learned by one `BinaryClassifier` following the
+/// binary-relevance transformation of Read et al. The base class
+/// centralizes two behaviors every implementation needs:
+///   * degenerate training sets (a single class present) collapse to a
+///     constant predictor instead of tripping up the optimizers, and
+///   * batch prediction helpers.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on `data`. Throws std::invalid_argument on an empty table.
+  void Fit(const Dataset& data);
+
+  /// Probability that `row` belongs to the positive class.
+  /// Requires Fit() first.
+  double PredictProba(const std::vector<double>& row) const;
+
+  /// Hard 0/1 decision at threshold 0.5.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Batch versions of the two predictors.
+  std::vector<double> PredictProbaAll(
+      const std::vector<std::vector<double>>& rows) const;
+  std::vector<int> PredictAll(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Fresh untrained copy with identical hyper-parameters.
+  virtual std::unique_ptr<BinaryClassifier> Clone() const = 0;
+
+  /// Human-readable identifier ("RandomForest", "LinearSVM", ...).
+  virtual std::string Name() const = 0;
+
+  bool fitted() const { return fitted_; }
+
+ protected:
+  /// Implementation hook; called only for non-degenerate training sets.
+  virtual void FitImpl(const Dataset& data) = 0;
+
+  /// Implementation hook; called only after successful FitImpl.
+  virtual double PredictProbaImpl(const std::vector<double>& row) const = 0;
+
+ private:
+  bool fitted_ = false;
+  /// -1 = model trained normally; 0/1 = constant predictor fallback.
+  int constant_label_ = -1;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_CLASSIFIER_H_

@@ -1,0 +1,118 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void Dataset::Add(std::vector<double> row, int label) {
+  if (!features.empty() && row.size() != features[0].size()) {
+    throw std::invalid_argument("Dataset::Add: feature dimension mismatch");
+  }
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("Dataset::Add: label must be 0 or 1");
+  }
+  features.push_back(std::move(row));
+  labels.push_back(label);
+}
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= features.size()) {
+      throw std::out_of_range("Dataset::Subset: index out of range");
+    }
+    out.features.push_back(features[idx]);
+    out.labels.push_back(labels[idx]);
+  }
+  return out;
+}
+
+double Dataset::PositiveRate() const {
+  if (labels.empty()) return 0.0;
+  double positives = 0.0;
+  for (int y : labels) positives += y;
+  return positives / static_cast<double>(labels.size());
+}
+
+KFold::KFold(std::size_t n, std::size_t k, stats::Rng& rng) {
+  if (k < 2 || k > n) {
+    throw std::invalid_argument("KFold: need 2 <= k <= n");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  folds_.resize(k);
+  for (std::size_t i = 0; i < n; ++i) folds_[i % k].push_back(order[i]);
+}
+
+const std::vector<std::size_t>& KFold::TestIndices(std::size_t f) const {
+  return folds_.at(f);
+}
+
+std::vector<std::size_t> KFold::TrainIndices(std::size_t f) const {
+  if (f >= folds_.size()) throw std::out_of_range("KFold: bad fold");
+  std::vector<std::size_t> out;
+  for (std::size_t g = 0; g < folds_.size(); ++g) {
+    if (g == f) continue;
+    out.insert(out.end(), folds_[g].begin(), folds_[g].end());
+  }
+  return out;
+}
+
+void Standardizer::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("Standardizer::Fit: empty input");
+  }
+  const std::size_t dims = rows[0].size();
+  means_.assign(dims, 0.0);
+  scales_.assign(dims, 1.0);
+  for (const auto& row : rows) {
+    if (row.size() != dims) {
+      throw std::invalid_argument("Standardizer::Fit: ragged input");
+    }
+    for (std::size_t d = 0; d < dims; ++d) means_[d] += row[d];
+  }
+  for (auto& m : means_) m /= static_cast<double>(rows.size());
+  std::vector<double> var(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double delta = row[d] - means_[d];
+      var[d] += delta * delta;
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double sd = std::sqrt(var[d] / static_cast<double>(rows.size()));
+    scales_[d] = sd > 1e-12 ? sd : 1.0;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> Standardizer::Transform(
+    const std::vector<double>& row) const {
+  if (!fitted_) {
+    throw std::logic_error("Standardizer::Transform before Fit");
+  }
+  if (row.size() != means_.size()) {
+    throw std::invalid_argument("Standardizer::Transform: dim mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = (row[d] - means_[d]) / scales_[d];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Standardizer::TransformAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Transform(row));
+  return out;
+}
+
+}  // namespace mexi::ml

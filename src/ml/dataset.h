@@ -1,0 +1,89 @@
+#ifndef MEXI_ML_DATASET_H_
+#define MEXI_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// A supervised-learning table: one row of features per example plus a
+/// binary label (0/1) per example.
+struct Dataset {
+  /// features[i] is example i's feature vector; all rows share a size.
+  std::vector<std::vector<double>> features;
+  /// labels[i] in {0, 1}.
+  std::vector<int> labels;
+  /// Optional column names, parallel to feature dimensions; may be empty.
+  std::vector<std::string> feature_names;
+
+  std::size_t NumExamples() const { return features.size(); }
+  std::size_t NumFeatures() const {
+    return features.empty() ? 0 : features[0].size();
+  }
+
+  /// Appends one example. Throws on dimension mismatch with existing rows.
+  void Add(std::vector<double> row, int label);
+
+  /// Returns the subset selected by `indices` (duplicates allowed, which
+  /// makes this usable for bootstrap resampling too).
+  Dataset Subset(const std::vector<std::size_t>& indices) const;
+
+  /// Fraction of positive labels; 0 when empty.
+  double PositiveRate() const;
+};
+
+/// Index-based K-fold splitter.
+///
+/// The paper's protocol ("randomly split the matchers into 5 folds and
+/// repeat an experiment 5 times") is reproduced by shuffling once and
+/// cutting into `k` near-equal folds; fold f's test set is fold f and its
+/// train set is everything else.
+class KFold {
+ public:
+  /// Shuffles [0, n) with `rng` and prepares `k` folds. Requires 2 <= k <= n.
+  KFold(std::size_t n, std::size_t k, stats::Rng& rng);
+
+  std::size_t num_folds() const { return folds_.size(); }
+
+  /// Test indices of fold `f`.
+  const std::vector<std::size_t>& TestIndices(std::size_t f) const;
+
+  /// Train indices of fold `f` (all other folds, original shuffle order).
+  std::vector<std::size_t> TrainIndices(std::size_t f) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> folds_;
+};
+
+/// Z-score standardizer fit on a training table and applied to any table.
+///
+/// Constant columns get unit scale so they map to zero instead of NaN —
+/// important because some simulated matchers produce degenerate feature
+/// columns (e.g., no right-clicks at all).
+class Standardizer {
+ public:
+  /// Learns per-column mean and standard deviation.
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Applies the learned transform; requires Fit() first and matching
+  /// dimensionality.
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> TransformAll(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+  bool fitted_ = false;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_DATASET_H_

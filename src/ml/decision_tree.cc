@@ -1,0 +1,147 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace mexi::ml {
+
+namespace {
+
+double PositiveFraction(const Dataset& data,
+                        const std::vector<std::size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  double pos = 0.0;
+  for (std::size_t i : indices) pos += data.labels[i];
+  return pos / static_cast<double>(indices.size());
+}
+
+double GiniFromCounts(double positives, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = positives / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+std::unique_ptr<BinaryClassifier> DecisionTree::Clone() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+void DecisionTree::FitImpl(const Dataset& data) {
+  nodes_.clear();
+  std::vector<std::size_t> all(data.NumExamples());
+  std::iota(all.begin(), all.end(), 0);
+  stats::Rng rng(config_.seed);
+  Build(data, all, 0, rng);
+}
+
+int DecisionTree::Build(const Dataset& data,
+                        const std::vector<std::size_t>& indices, int depth,
+                        stats::Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].positive_fraction = PositiveFraction(data, indices);
+
+  const double frac = nodes_[node_id].positive_fraction;
+  const bool pure = frac <= 0.0 || frac >= 1.0;
+  if (depth >= config_.max_depth || pure ||
+      indices.size() < static_cast<std::size_t>(config_.min_samples_split)) {
+    return node_id;
+  }
+
+  const std::size_t num_features = data.NumFeatures();
+  std::vector<std::size_t> candidate_features;
+  if (config_.max_features > 0 &&
+      static_cast<std::size_t>(config_.max_features) < num_features) {
+    candidate_features = rng.SampleWithoutReplacement(
+        num_features, static_cast<std::size_t>(config_.max_features));
+  } else {
+    candidate_features.resize(num_features);
+    std::iota(candidate_features.begin(), candidate_features.end(), 0);
+  }
+
+  // Exhaustive search for the Gini-minimizing (feature, threshold) pair.
+  double best_impurity = GiniFromCounts(
+      frac * static_cast<double>(indices.size()),
+      static_cast<double>(indices.size()));
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_total = static_cast<double>(indices.size());
+
+  std::vector<std::pair<double, int>> column(indices.size());
+  for (std::size_t f : candidate_features) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      column[i] = {data.features[indices[i]][f], data.labels[indices[i]]};
+    }
+    std::sort(column.begin(), column.end());
+
+    double left_pos = 0.0;
+    double total_pos = 0.0;
+    for (const auto& [value, label] : column) total_pos += label;
+
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      left_pos += column[i].second;
+      if (column[i].first == column[i + 1].first) continue;  // no gap
+      const double left_total = static_cast<double>(i + 1);
+      const double right_total = parent_total - left_total;
+      if (left_total < config_.min_samples_leaf ||
+          right_total < config_.min_samples_leaf) {
+        continue;
+      }
+      const double impurity =
+          (left_total * GiniFromCounts(left_pos, left_total) +
+           right_total * GiniFromCounts(total_pos - left_pos, right_total)) /
+          parent_total;
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // No useful split.
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    if (data.features[i][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(data, left_idx, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const int right = Build(data, right_idx, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProbaImpl(const std::vector<double>& row) const {
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].positive_fraction;
+}
+
+int DecisionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  std::function<int(int)> depth_of = [&](int id) -> int {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.feature < 0) return 0;
+    return 1 + std::max(depth_of(n.left), depth_of(n.right));
+  };
+  return depth_of(0);
+}
+
+}  // namespace mexi::ml

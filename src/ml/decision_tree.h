@@ -1,0 +1,68 @@
+#ifndef MEXI_ML_DECISION_TREE_H_
+#define MEXI_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// CART classification tree with Gini-impurity splits.
+///
+/// Leaves store the positive-class fraction, so the tree yields smooth-ish
+/// probabilities. `max_features` enables per-split feature subsampling,
+/// which `RandomForest` uses for decorrelation.
+class DecisionTree : public BinaryClassifier {
+ public:
+  struct Config {
+    /// Maximum depth; 0 means a single leaf (the prior).
+    int max_depth = 8;
+    /// A node with fewer examples becomes a leaf.
+    int min_samples_split = 4;
+    /// Minimum examples allowed on each side of a split.
+    int min_samples_leaf = 2;
+    /// Features considered per split; 0 = all features.
+    int max_features = 0;
+    /// Seed for feature subsampling (only used when max_features > 0).
+    std::uint64_t seed = 29;
+  };
+
+  DecisionTree() = default;
+  explicit DecisionTree(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "DecisionTree"; }
+
+  /// Number of nodes in the fitted tree (for tests / diagnostics).
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree.
+  int Depth() const;
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 marks a leaf.
+    double threshold = 0.0;  // go left when value <= threshold
+    int left = -1;
+    int right = -1;
+    double positive_fraction = 0.0;
+  };
+
+  int Build(const Dataset& data, const std::vector<std::size_t>& indices,
+            int depth, stats::Rng& rng);
+
+  Config config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_DECISION_TREE_H_

@@ -1,0 +1,59 @@
+#include "ml/feature_importance.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/metrics.h"
+
+namespace mexi::ml {
+
+std::vector<FeatureImportance> PermutationImportance(
+    const BinaryClassifier& model, const Dataset& data,
+    const std::vector<std::string>& names, int repeats, stats::Rng& rng) {
+  if (!model.fitted()) {
+    throw std::logic_error("PermutationImportance: model not fitted");
+  }
+  if (data.NumExamples() == 0 || repeats <= 0) return {};
+  const std::size_t d = data.NumFeatures();
+  if (!names.empty() && names.size() != d) {
+    throw std::invalid_argument("PermutationImportance: names size mismatch");
+  }
+
+  const double baseline =
+      Accuracy(data.labels, model.PredictAll(data.features));
+
+  std::vector<FeatureImportance> result(d);
+  std::vector<std::vector<double>> shuffled = data.features;
+  for (std::size_t f = 0; f < d; ++f) {
+    double drop_total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      // Permute column f only.
+      std::vector<double> column(data.NumExamples());
+      for (std::size_t i = 0; i < column.size(); ++i) {
+        column[i] = data.features[i][f];
+      }
+      rng.Shuffle(column);
+      for (std::size_t i = 0; i < column.size(); ++i) {
+        shuffled[i][f] = column[i];
+      }
+      const double permuted =
+          Accuracy(data.labels, model.PredictAll(shuffled));
+      drop_total += baseline - permuted;
+    }
+    // Restore the column for the next feature.
+    for (std::size_t i = 0; i < data.NumExamples(); ++i) {
+      shuffled[i][f] = data.features[i][f];
+    }
+    result[f].index = f;
+    result[f].name = names.empty() ? "f" + std::to_string(f) : names[f];
+    result[f].importance = drop_total / static_cast<double>(repeats);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              return a.importance > b.importance;
+            });
+  return result;
+}
+
+}  // namespace mexi::ml

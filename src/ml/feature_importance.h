@@ -1,0 +1,35 @@
+#ifndef MEXI_ML_FEATURE_IMPORTANCE_H_
+#define MEXI_ML_FEATURE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// One feature's attribution score.
+struct FeatureImportance {
+  std::string name;
+  std::size_t index = 0;
+  /// Mean accuracy drop when the feature column is permuted (higher =
+  /// more important; can be slightly negative for pure-noise features).
+  double importance = 0.0;
+};
+
+/// Model-agnostic permutation importance (Breiman 2001), this repo's
+/// substitute for the paper's SHAP analysis in Table IV. For each column:
+/// shuffle it `repeats` times, measure the accuracy drop against the
+/// unshuffled baseline, and average. Results are sorted descending.
+///
+/// `names` may be empty (features are then named "f<index>") or must have
+/// one entry per column.
+std::vector<FeatureImportance> PermutationImportance(
+    const BinaryClassifier& model, const Dataset& data,
+    const std::vector<std::string>& names, int repeats, stats::Rng& rng);
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_FEATURE_IMPORTANCE_H_

@@ -1,0 +1,53 @@
+#include "ml/gradient_boosting.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace mexi::ml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+std::unique_ptr<BinaryClassifier> GradientBoosting::Clone() const {
+  return std::make_unique<GradientBoosting>(config_);
+}
+
+void GradientBoosting::FitImpl(const Dataset& data) {
+  trees_.clear();
+  const std::size_t n = data.NumExamples();
+
+  const double positive_rate =
+      stats::Clamp(data.PositiveRate(), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(positive_rate / (1.0 - positive_rate));
+
+  std::vector<double> raw(n, base_score_);
+  std::vector<double> residual(n, 0.0);
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = static_cast<double>(data.labels[i]) - Sigmoid(raw[i]);
+    }
+    RegressionTree tree(config_.tree);
+    tree.Fit(data.features, residual);
+    for (std::size_t i = 0; i < n; ++i) {
+      raw[i] += config_.learning_rate * tree.Predict(data.features[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::RawScore(const std::vector<double>& row) const {
+  double score = base_score_;
+  for (const auto& tree : trees_) {
+    score += config_.learning_rate * tree.Predict(row);
+  }
+  return score;
+}
+
+double GradientBoosting::PredictProbaImpl(
+    const std::vector<double>& row) const {
+  return Sigmoid(RawScore(row));
+}
+
+}  // namespace mexi::ml

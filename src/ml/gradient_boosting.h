@@ -1,0 +1,46 @@
+#ifndef MEXI_ML_GRADIENT_BOOSTING_H_
+#define MEXI_ML_GRADIENT_BOOSTING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/regression_tree.h"
+
+namespace mexi::ml {
+
+/// Gradient-boosted trees for binary classification (logistic loss).
+/// Each round fits a shallow regression tree to the negative gradient
+/// (residual y - p) and adds it to the log-odds ensemble with shrinkage.
+class GradientBoosting : public BinaryClassifier {
+ public:
+  struct Config {
+    int num_rounds = 80;
+    double learning_rate = 0.15;
+    RegressionTree::Config tree;
+  };
+
+  GradientBoosting() = default;
+  explicit GradientBoosting(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "GradientBoosting"; }
+
+  std::size_t NumRounds() const { return trees_.size(); }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  double RawScore(const std::vector<double>& row) const;
+
+  Config config_;
+  double base_score_ = 0.0;  // initial log-odds
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_GRADIENT_BOOSTING_H_

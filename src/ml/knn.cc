@@ -1,0 +1,44 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mexi::ml {
+
+std::unique_ptr<BinaryClassifier> KnnClassifier::Clone() const {
+  return std::make_unique<KnnClassifier>(config_);
+}
+
+void KnnClassifier::FitImpl(const Dataset& data) {
+  standardizer_.Fit(data.features);
+  train_features_ = standardizer_.TransformAll(data.features);
+  train_labels_ = data.labels;
+}
+
+double KnnClassifier::PredictProbaImpl(const std::vector<double>& row) const {
+  const std::vector<double> x = standardizer_.Transform(row);
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(train_features_.size());
+  for (std::size_t i = 0; i < train_features_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double delta = x[j] - train_features_[i][j];
+      d2 += delta * delta;
+    }
+    distances.emplace_back(d2, train_labels_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.k), distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<long>(k),
+                    distances.end());
+  double weight_pos = 0.0, weight_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(distances[i].first) + 1e-6);
+    weight_total += w;
+    if (distances[i].second == 1) weight_pos += w;
+  }
+  return weight_total > 0.0 ? weight_pos / weight_total : 0.5;
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,41 @@
+#ifndef MEXI_ML_KNN_H_
+#define MEXI_ML_KNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace mexi::ml {
+
+/// k-nearest-neighbors classifier over z-scored Euclidean distance with
+/// inverse-distance weighting. Probability is the weighted positive share
+/// among the k neighbors.
+class KnnClassifier : public BinaryClassifier {
+ public:
+  struct Config {
+    int k = 7;
+  };
+
+  KnnClassifier() = default;
+  explicit KnnClassifier(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "KNN"; }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> train_features_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_KNN_H_

@@ -1,0 +1,73 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+namespace mexi::ml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+std::unique_ptr<BinaryClassifier> LinearSvm::Clone() const {
+  return std::make_unique<LinearSvm>(config_);
+}
+
+void LinearSvm::FitImpl(const Dataset& data) {
+  standardizer_.Fit(data.features);
+  const auto x = standardizer_.TransformAll(data.features);
+  const std::size_t n = x.size();
+  const std::size_t d = x[0].size();
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+
+  stats::Rng rng(config_.seed);
+  for (int t = 1; t <= config_.iterations; ++t) {
+    const std::size_t i = rng.UniformIndex(n);
+    const double y = data.labels[i] == 1 ? 1.0 : -1.0;
+    double margin = intercept_;
+    for (std::size_t j = 0; j < d; ++j) margin += weights_[j] * x[i][j];
+    const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+    // Sub-gradient step: shrink always, push on hinge violation.
+    const double shrink = 1.0 - eta * config_.lambda;
+    for (auto& w : weights_) w *= shrink;
+    if (y * margin < 1.0) {
+      for (std::size_t j = 0; j < d; ++j) weights_[j] += eta * y * x[i][j];
+      intercept_ += eta * y;
+    }
+  }
+
+  // Platt scaling: one-dimensional logistic regression on the margins.
+  std::vector<double> margins(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double m = intercept_;
+    for (std::size_t j = 0; j < d; ++j) m += weights_[j] * x[i][j];
+    margins[i] = m;
+  }
+  platt_a_ = 1.0;
+  platt_b_ = 0.0;
+  const double lr = 0.1;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    double ga = 0.0, gb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(platt_a_ * margins[i] + platt_b_);
+      const double err = p - static_cast<double>(data.labels[i]);
+      ga += err * margins[i];
+      gb += err;
+    }
+    platt_a_ -= lr * ga / static_cast<double>(n);
+    platt_b_ -= lr * gb / static_cast<double>(n);
+  }
+}
+
+double LinearSvm::Margin(const std::vector<double>& row) const {
+  const std::vector<double> x = standardizer_.Transform(row);
+  double m = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) m += weights_[j] * x[j];
+  return m;
+}
+
+double LinearSvm::PredictProbaImpl(const std::vector<double>& row) const {
+  return Sigmoid(platt_a_ * Margin(row) + platt_b_);
+}
+
+}  // namespace mexi::ml

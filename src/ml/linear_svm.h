@@ -1,0 +1,55 @@
+#ifndef MEXI_ML_LINEAR_SVM_H_
+#define MEXI_ML_LINEAR_SVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// Linear soft-margin SVM trained with the Pegasos stochastic
+/// sub-gradient algorithm (Shalev-Shwartz et al.). Probabilities are
+/// produced by a Platt-style logistic link fitted to the training margins
+/// so the classifier composes with probability-consuming callers (late
+/// fusion, ROC computation).
+class LinearSvm : public BinaryClassifier {
+ public:
+  struct Config {
+    /// Number of Pegasos iterations (one sampled example each).
+    int iterations = 20000;
+    /// Regularization strength lambda.
+    double lambda = 1e-3;
+    /// Seed for the example sampler.
+    std::uint64_t seed = 17;
+  };
+
+  LinearSvm() = default;
+  explicit LinearSvm(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "LinearSVM"; }
+
+  /// Signed margin w.x + b in standardized feature space.
+  double Margin(const std::vector<double>& row) const;
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  /// Platt scaling parameters: p = sigmoid(platt_a_ * margin + platt_b_).
+  double platt_a_ = 1.0;
+  double platt_b_ = 0.0;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_LINEAR_SVM_H_

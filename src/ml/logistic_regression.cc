@@ -1,0 +1,51 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+namespace mexi::ml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+std::unique_ptr<BinaryClassifier> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(config_);
+}
+
+void LogisticRegression::FitImpl(const Dataset& data) {
+  standardizer_.Fit(data.features);
+  const auto x = standardizer_.TransformAll(data.features);
+  const std::size_t n = x.size();
+  const std::size_t d = x[0].size();
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<double> grad(d, 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = intercept_;
+      for (std::size_t j = 0; j < d; ++j) z += weights_[j] * x[i][j];
+      const double err = Sigmoid(z) - static_cast<double>(data.labels[i]);
+      for (std::size_t j = 0; j < d; ++j) grad[j] += err * x[i][j];
+      grad_b += err;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    const double lr = config_.learning_rate /
+                      (1.0 + config_.decay * static_cast<double>(epoch));
+    for (std::size_t j = 0; j < d; ++j) {
+      weights_[j] -= lr * (grad[j] * inv_n + config_.l2 * weights_[j]);
+    }
+    intercept_ -= lr * grad_b * inv_n;
+  }
+}
+
+double LogisticRegression::PredictProbaImpl(
+    const std::vector<double>& row) const {
+  const std::vector<double> x = standardizer_.Transform(row);
+  double z = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return Sigmoid(z);
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,51 @@
+#ifndef MEXI_ML_LOGISTIC_REGRESSION_H_
+#define MEXI_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace mexi::ml {
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent with a decaying step size. Features are z-scored internally.
+class LogisticRegression : public BinaryClassifier {
+ public:
+  struct Config {
+    /// Gradient-descent epochs over the full batch.
+    int epochs = 300;
+    /// Initial learning rate; decays as lr / (1 + epoch * decay).
+    double learning_rate = 0.5;
+    /// Step-size decay factor.
+    double decay = 0.01;
+    /// L2 penalty on the weights (not the intercept).
+    double l2 = 1e-3;
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "LogisticRegression"; }
+
+  /// Learned weights (post-standardization space); for inspection/tests.
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,238 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::FromRows: ragged input");
+    }
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(std::size_t rows, std::size_t cols,
+                              double stddev, stats::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(std::size_t fan_in, std::size_t fan_out,
+                             stats::Rng& rng) {
+  Matrix m(fan_in, fan_out);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : m.data_) v = rng.Uniform(-limit, limit);
+  return m;
+}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::At: index out of range");
+  }
+  return (*this)(r, c);
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::At: index out of range");
+  }
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::Row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::Row: out of range");
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() +
+                                 static_cast<long>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::Col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::Col: out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const std::vector<double>& values) {
+  if (r >= rows_ || values.size() != cols_) {
+    throw std::invalid_argument("Matrix::SetRow: shape mismatch");
+  }
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::MatMul: inner dimension mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+namespace {
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string("Matrix::") + op +
+                                ": shape mismatch");
+  }
+}
+}  // namespace
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CheckSameShape(*this, other, "operator+");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CheckSameShape(*this, other, "operator-");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  CheckSameShape(*this, other, "Hadamard");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] *= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  if (row.rows() != 1 || row.cols() != cols_) {
+    throw std::invalid_argument("Matrix::AddRowBroadcast: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) += row(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Apply(const std::function<double(double)>& fn) const {
+  Matrix out = *this;
+  out.ApplyInPlace(fn);
+  return out;
+}
+
+void Matrix::ApplyInPlace(const std::function<double(double)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(0, c) += (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::L1Norm() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) col += std::fabs((*this)(r, c));
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+double Matrix::InfNorm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) row += std::fabs((*this)(r, c));
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void Matrix::Fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+bool Matrix::AlmostEquals(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace mexi::ml

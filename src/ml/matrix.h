@@ -1,0 +1,133 @@
+#ifndef MEXI_ML_MATRIX_H_
+#define MEXI_ML_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// Dense row-major matrix of doubles.
+///
+/// The numerical workhorse of the machine-learning substrate: feature
+/// tables, network activations, convolution buffers and heat maps are all
+/// `Matrix` instances. The class is a value type (copyable, movable) and
+/// keeps its storage in a single contiguous vector for cache-friendly
+/// traversal on the single-core target.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested vectors; requires rectangular input.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Matrix with entries drawn from N(0, stddev^2).
+  static Matrix RandomGaussian(std::size_t rows, std::size_t cols,
+                               double stddev, stats::Rng& rng);
+
+  /// Xavier/Glorot-uniform initialization for a (fan_in x fan_out) weight.
+  static Matrix GlorotUniform(std::size_t fan_in, std::size_t fan_out,
+                              stats::Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws std::out_of_range.
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  /// Raw storage (row-major).
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Returns row r as a vector.
+  std::vector<double> Row(std::size_t r) const;
+
+  /// Returns column c as a vector.
+  std::vector<double> Col(std::size_t c) const;
+
+  /// Overwrites row r. Requires values.size() == cols().
+  void SetRow(std::size_t r, const std::vector<double>& values);
+
+  /// Matrix product this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Elementwise sum; requires equal shapes.
+  Matrix operator+(const Matrix& other) const;
+  Matrix& operator+=(const Matrix& other);
+
+  /// Elementwise difference; requires equal shapes.
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator-=(const Matrix& other);
+
+  /// Elementwise (Hadamard) product; requires equal shapes.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Scalar product.
+  Matrix operator*(double scalar) const;
+  Matrix& operator*=(double scalar);
+
+  /// Adds `row` (1 x cols) to every row; used for bias broadcasting.
+  Matrix AddRowBroadcast(const Matrix& row) const;
+
+  /// Applies `fn` to every element, returning a new matrix.
+  Matrix Apply(const std::function<double(double)>& fn) const;
+
+  /// Applies `fn` to every element in place.
+  void ApplyInPlace(const std::function<double(double)>& fn);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Column sums as a 1 x cols matrix; used for bias gradients.
+  Matrix ColSums() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// L1 norm (max absolute column sum).
+  double L1Norm() const;
+
+  /// Infinity norm (max absolute row sum).
+  double InfNorm() const;
+
+  /// Largest absolute element.
+  double MaxAbs() const;
+
+  /// Fills every element with `value`.
+  void Fill(double value);
+
+  /// Equality within an absolute tolerance.
+  bool AlmostEquals(const Matrix& other, double tolerance) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_MATRIX_H_

@@ -1,0 +1,125 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mexi::ml {
+
+namespace {
+
+void CheckSameSize(std::size_t a, std::size_t b, const char* what) {
+  if (a != b) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+}
+
+}  // namespace
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  CheckSameSize(truth.size(), predicted.size(), "Accuracy");
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double Precision(const std::vector<int>& truth,
+                 const std::vector<int>& predicted) {
+  CheckSameSize(truth.size(), predicted.size(), "Precision");
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == 1) {
+      if (truth[i] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+  }
+  if (tp + fp == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double Recall(const std::vector<int>& truth,
+              const std::vector<int>& predicted) {
+  CheckSameSize(truth.size(), predicted.size(), "Recall");
+  std::size_t tp = 0, fn = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      if (predicted[i] == 1) {
+        ++tp;
+      } else {
+        ++fn;
+      }
+    }
+  }
+  if (tp + fn == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double F1Score(const std::vector<int>& truth,
+               const std::vector<int>& predicted) {
+  const double p = Precision(truth, predicted);
+  const double r = Recall(truth, predicted);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double RocAuc(const std::vector<int>& truth,
+              const std::vector<double>& scores) {
+  CheckSameSize(truth.size(), scores.size(), "RocAuc");
+  std::size_t positives = 0;
+  for (int y : truth) positives += static_cast<std::size_t>(y == 1);
+  const std::size_t negatives = truth.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  // Mann-Whitney U via average ranks: AUC = (R+ - n+(n+ + 1)/2) / (n+ n-).
+  const std::vector<double> ranks = stats::AverageRanks(scores);
+  double rank_sum_pos = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) rank_sum_pos += ranks[i];
+  }
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double MultiLabelJaccard(const std::vector<std::vector<int>>& truth,
+                         const std::vector<std::vector<int>>& predicted) {
+  CheckSameSize(truth.size(), predicted.size(), "MultiLabelJaccard");
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    CheckSameSize(truth[i].size(), predicted[i].size(), "MultiLabelJaccard");
+    std::size_t inter = 0, uni = 0;
+    for (std::size_t c = 0; c < truth[i].size(); ++c) {
+      const bool t = truth[i][c] == 1;
+      const bool p = predicted[i][c] == 1;
+      inter += static_cast<std::size_t>(t && p);
+      uni += static_cast<std::size_t>(t || p);
+    }
+    total += uni == 0 ? 1.0
+                      : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double LogLoss(const std::vector<int>& truth,
+               const std::vector<double>& probabilities) {
+  CheckSameSize(truth.size(), probabilities.size(), "LogLoss");
+  if (truth.empty()) return 0.0;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double p = stats::Clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    loss -= truth[i] == 1 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(truth.size());
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,45 @@
+#ifndef MEXI_ML_METRICS_H_
+#define MEXI_ML_METRICS_H_
+
+#include <vector>
+
+namespace mexi::ml {
+
+/// Classification accuracy; 0 when empty. This is the paper's Eq. 6
+/// (per-characteristic accuracy A_c) when applied to one label column.
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// Precision of the positive class; 0 when no positive predictions.
+double Precision(const std::vector<int>& truth,
+                 const std::vector<int>& predicted);
+
+/// Recall of the positive class; 0 when no positive truths.
+double Recall(const std::vector<int>& truth,
+              const std::vector<int>& predicted);
+
+/// F1 of the positive class.
+double F1Score(const std::vector<int>& truth,
+               const std::vector<int>& predicted);
+
+/// Area under the ROC curve from real-valued scores (ties handled by
+/// average ranks); 0.5 when one class is absent.
+double RocAuc(const std::vector<int>& truth,
+              const std::vector<double>& scores);
+
+/// Multi-label Jaccard accuracy, the paper's Eq. 7 (A_ML):
+/// mean over examples of |Y ∩ Ŷ| / |Y ∪ Ŷ|, where a label is "present"
+/// when its value is 1. Rows where both sets are empty count as 1
+/// (perfect agreement on "no expertise at all").
+/// Requires truth.size() == predicted.size() and rectangular rows.
+double MultiLabelJaccard(const std::vector<std::vector<int>>& truth,
+                         const std::vector<std::vector<int>>& predicted);
+
+/// Log loss (cross entropy) of probabilistic predictions, clipped away
+/// from {0,1} for numerical safety.
+double LogLoss(const std::vector<int>& truth,
+               const std::vector<double>& probabilities);
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_METRICS_H_

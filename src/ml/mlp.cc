@@ -1,0 +1,44 @@
+#include "ml/mlp.h"
+
+namespace mexi::ml {
+
+MlpClassifier::MlpClassifier() : MlpClassifier(Config()) {}
+
+MlpClassifier::MlpClassifier(const Config& config) : config_(config) {}
+
+std::unique_ptr<BinaryClassifier> MlpClassifier::Clone() const {
+  return std::make_unique<MlpClassifier>(config_);
+}
+
+void MlpClassifier::FitImpl(const Dataset& data) {
+  standardizer_.Fit(data.features);
+  const auto x = standardizer_.TransformAll(data.features);
+
+  stats::Rng rng(config_.seed);
+  network_ = std::make_unique<Network>(config_.adam);
+  std::size_t in_dim = x[0].size();
+  for (std::size_t width : config_.hidden_layers) {
+    network_->Add(std::make_unique<DenseLayer>(in_dim, width, rng));
+    network_->Add(std::make_unique<ReluLayer>());
+    in_dim = width;
+  }
+  network_->Add(std::make_unique<DenseLayer>(in_dim, 1, rng));
+  network_->Add(std::make_unique<SigmoidLayer>());
+
+  Matrix inputs = Matrix::FromRows(x);
+  Matrix targets(x.size(), 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    targets(i, 0) = static_cast<double>(data.labels[i]);
+  }
+  stats::Rng train_rng = rng.Split();
+  network_->Fit(inputs, targets, config_.epochs, config_.batch_size,
+                train_rng);
+}
+
+double MlpClassifier::PredictProbaImpl(const std::vector<double>& row) const {
+  Matrix input(1, row.size());
+  input.SetRow(0, standardizer_.Transform(row));
+  return network_->Predict(input)(0, 0);
+}
+
+}  // namespace mexi::ml

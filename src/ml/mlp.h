@@ -1,0 +1,47 @@
+#ifndef MEXI_ML_MLP_H_
+#define MEXI_ML_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/nn/network.h"
+
+namespace mexi::ml {
+
+/// Multi-layer perceptron classifier built on the `Network` substrate:
+/// z-scored features -> Dense+ReLU hidden layers -> sigmoid output,
+/// trained with Adam on binary cross entropy. Not part of the default
+/// model zoo (keeping the paper-protocol zoo fixed) but available for
+/// custom zoos and as an integration exercise of the nn stack.
+class MlpClassifier : public BinaryClassifier {
+ public:
+  struct Config {
+    std::vector<std::size_t> hidden_layers{16, 8};
+    int epochs = 120;
+    std::size_t batch_size = 16;
+    AdamOptimizer::Config adam{/*learning_rate=*/0.01};
+    std::uint64_t seed = 71;
+  };
+
+  MlpClassifier();
+  explicit MlpClassifier(const Config& config);
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "MLP"; }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  mutable std::unique_ptr<Network> network_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_MLP_H_

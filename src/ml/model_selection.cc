@@ -1,0 +1,151 @@
+#include "ml/model_selection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace mexi::ml {
+
+namespace {
+
+/// Shared CV loop: collects out-of-fold predictions and truths.
+void CollectOutOfFold(const BinaryClassifier& prototype,
+                      const Dataset& data, std::size_t folds,
+                      stats::Rng& rng, std::vector<int>* truths,
+                      std::vector<int>* predictions) {
+  if (data.NumExamples() < 2) {
+    throw std::invalid_argument("CrossValidatedAccuracy: need >= 2 rows");
+  }
+  folds = std::min(folds, data.NumExamples());
+  folds = std::max<std::size_t>(folds, 2);
+  KFold kfold(data.NumExamples(), folds, rng);
+  for (std::size_t f = 0; f < kfold.num_folds(); ++f) {
+    const Dataset train = data.Subset(kfold.TrainIndices(f));
+    const Dataset test = data.Subset(kfold.TestIndices(f));
+    auto model = prototype.Clone();
+    model->Fit(train);
+    for (std::size_t i = 0; i < test.NumExamples(); ++i) {
+      truths->push_back(test.labels[i]);
+      predictions->push_back(model->Predict(test.features[i]));
+    }
+  }
+}
+
+double BalancedAccuracy(const std::vector<int>& truths,
+                        const std::vector<int>& predictions) {
+  double tp = 0, tn = 0, pos = 0, neg = 0;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    if (truths[i] == 1) {
+      ++pos;
+      tp += predictions[i] == 1;
+    } else {
+      ++neg;
+      tn += predictions[i] == 0;
+    }
+  }
+  const double tpr = pos > 0 ? tp / pos : 1.0;
+  const double tnr = neg > 0 ? tn / neg : 1.0;
+  return 0.5 * (tpr + tnr);
+}
+
+}  // namespace
+
+double CrossValidatedAccuracy(const BinaryClassifier& prototype,
+                              const Dataset& data, std::size_t folds,
+                              stats::Rng& rng) {
+  std::vector<int> truths, predictions;
+  CollectOutOfFold(prototype, data, folds, rng, &truths, &predictions);
+  return Accuracy(truths, predictions);
+}
+
+double CrossValidatedBalancedAccuracy(const BinaryClassifier& prototype,
+                                      const Dataset& data,
+                                      std::size_t folds, stats::Rng& rng) {
+  std::vector<int> truths, predictions;
+  CollectOutOfFold(prototype, data, folds, rng, &truths, &predictions);
+  return BalancedAccuracy(truths, predictions);
+}
+
+std::vector<std::unique_ptr<BinaryClassifier>> DefaultModelZoo() {
+  std::vector<std::unique_ptr<BinaryClassifier>> zoo;
+  zoo.push_back(std::make_unique<LogisticRegression>());
+  zoo.push_back(std::make_unique<LinearSvm>());
+  zoo.push_back(std::make_unique<DecisionTree>());
+  zoo.push_back(std::make_unique<RandomForest>());
+  zoo.push_back(std::make_unique<GradientBoosting>());
+  zoo.push_back(std::make_unique<KnnClassifier>());
+  zoo.push_back(std::make_unique<GaussianNaiveBayes>());
+  return zoo;
+}
+
+std::unique_ptr<BinaryClassifier> SelectAndTrain(
+    const std::vector<std::unique_ptr<BinaryClassifier>>& zoo,
+    const Dataset& data, std::size_t folds, stats::Rng& rng,
+    SelectionReport* report, bool balanced) {
+  if (zoo.empty()) {
+    throw std::invalid_argument("SelectAndTrain: empty model zoo");
+  }
+  double best_score = -1.0;
+  const BinaryClassifier* best = nullptr;
+  SelectionReport local;
+  for (const auto& prototype : zoo) {
+    const double score =
+        balanced ? CrossValidatedBalancedAccuracy(*prototype, data, folds,
+                                                  rng)
+                 : CrossValidatedAccuracy(*prototype, data, folds, rng);
+    local.cv_scores.emplace_back(prototype->Name(), score);
+    if (score > best_score) {
+      best_score = score;
+      best = prototype.get();
+    }
+  }
+  local.selected_name = best->Name();
+  if (report != nullptr) *report = local;
+
+  auto model = best->Clone();
+  model->Fit(data);
+  return model;
+}
+
+double TuneDecisionThreshold(const BinaryClassifier& prototype,
+                             const Dataset& data, std::size_t folds,
+                             stats::Rng& rng) {
+  if (data.NumExamples() < 2) return 0.5;
+  folds = std::max<std::size_t>(2, std::min(folds, data.NumExamples()));
+  KFold kfold(data.NumExamples(), folds, rng);
+  std::vector<int> truths;
+  std::vector<double> probabilities;
+  for (std::size_t f = 0; f < kfold.num_folds(); ++f) {
+    const Dataset train = data.Subset(kfold.TrainIndices(f));
+    const Dataset test = data.Subset(kfold.TestIndices(f));
+    auto model = prototype.Clone();
+    model->Fit(train);
+    for (std::size_t i = 0; i < test.NumExamples(); ++i) {
+      truths.push_back(test.labels[i]);
+      probabilities.push_back(model->PredictProba(test.features[i]));
+    }
+  }
+  double best_threshold = 0.5;
+  double best_score = -1.0;
+  for (double threshold = 0.15; threshold <= 0.851; threshold += 0.05) {
+    std::vector<int> predictions;
+    predictions.reserve(probabilities.size());
+    for (double p : probabilities) predictions.push_back(p >= threshold);
+    const double score = BalancedAccuracy(truths, predictions);
+    if (score > best_score) {
+      best_score = score;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace mexi::ml

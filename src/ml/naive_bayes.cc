@@ -1,0 +1,70 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mexi::ml {
+
+std::unique_ptr<BinaryClassifier> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(config_);
+}
+
+void GaussianNaiveBayes::FitImpl(const Dataset& data) {
+  const std::size_t d = data.NumFeatures();
+  std::size_t count[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+  }
+  for (std::size_t i = 0; i < data.NumExamples(); ++i) {
+    const int c = data.labels[i];
+    ++count[c];
+    for (std::size_t j = 0; j < d; ++j) mean_[c][j] += data.features[i][j];
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& m : mean_[c]) m /= static_cast<double>(count[c]);
+  }
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < data.NumExamples(); ++i) {
+    const int c = data.labels[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = data.features[i][j] - mean_[c][j];
+      var_[c][j] += delta * delta;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : var_[c]) {
+      v /= static_cast<double>(count[c]);
+      max_var = std::max(max_var, v);
+    }
+  }
+  const double smoothing =
+      config_.var_smoothing * std::max(max_var, 1.0) + 1e-12;
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : var_[c]) v += smoothing;
+  }
+  const double total = static_cast<double>(count[0] + count[1]);
+  log_prior_[0] = std::log(static_cast<double>(count[0]) / total);
+  log_prior_[1] = std::log(static_cast<double>(count[1]) / total);
+}
+
+double GaussianNaiveBayes::PredictProbaImpl(
+    const std::vector<double>& row) const {
+  double log_like[2];
+  for (int c = 0; c < 2; ++c) {
+    double acc = log_prior_[c];
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double delta = row[j] - mean_[c][j];
+      acc += -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+             delta * delta / (2.0 * var_[c][j]);
+    }
+    log_like[c] = acc;
+  }
+  // Normalize in log space to dodge under/overflow.
+  const double m = std::max(log_like[0], log_like[1]);
+  const double p0 = std::exp(log_like[0] - m);
+  const double p1 = std::exp(log_like[1] - m);
+  return p1 / (p0 + p1);
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,41 @@
+#ifndef MEXI_ML_NAIVE_BAYES_H_
+#define MEXI_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mexi::ml {
+
+/// Gaussian naive Bayes: per-class, per-feature normal likelihoods with
+/// variance smoothing, combined in log space with the class priors.
+class GaussianNaiveBayes : public BinaryClassifier {
+ public:
+  struct Config {
+    /// Added to every variance as a fraction of the largest feature
+    /// variance (sklearn's var_smoothing idea).
+    double var_smoothing = 1e-9;
+  };
+
+  GaussianNaiveBayes() = default;
+  explicit GaussianNaiveBayes(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "GaussianNaiveBayes"; }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NAIVE_BAYES_H_

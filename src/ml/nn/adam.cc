@@ -1,0 +1,43 @@
+#include "ml/nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void AdamOptimizer::Register(Matrix* parameter, Matrix* gradient) {
+  if (parameter == nullptr || gradient == nullptr) {
+    throw std::invalid_argument("AdamOptimizer::Register: null pointer");
+  }
+  if (parameter->rows() != gradient->rows() ||
+      parameter->cols() != gradient->cols()) {
+    throw std::invalid_argument("AdamOptimizer::Register: shape mismatch");
+  }
+  Slot slot{parameter, gradient,
+            Matrix(parameter->rows(), parameter->cols()),
+            Matrix(parameter->rows(), parameter->cols())};
+  params_.push_back(std::move(slot));
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (auto& slot : params_) {
+    auto& p = slot.param->data();
+    auto& g = slot.grad->data();
+    auto& m = slot.m.data();
+    auto& v = slot.v.data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g[i] * g[i];
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      p[i] -= config_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + config_.epsilon);
+      g[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,56 @@
+#ifndef MEXI_ML_NN_ADAM_H_
+#define MEXI_ML_NN_ADAM_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace mexi::ml {
+
+/// Adam optimizer (Kingma & Ba) with the paper's hyper-parameters as
+/// defaults (eta = 0.001, beta1 = 0.9, beta2 = 0.999).
+///
+/// Parameters are registered once as (parameter, gradient) matrix pairs;
+/// `Step()` then applies one bias-corrected update to every pair and
+/// zeroes the gradients. The optimizer owns only its moment buffers — the
+/// caller keeps ownership of parameters and gradients.
+class AdamOptimizer {
+ public:
+  struct Config {
+    double learning_rate = 0.001;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  AdamOptimizer() = default;
+  explicit AdamOptimizer(const Config& config) : config_(config) {}
+
+  /// Registers one parameter with its gradient buffer. Both must outlive
+  /// the optimizer and keep their shapes.
+  void Register(Matrix* parameter, Matrix* gradient);
+
+  /// Applies one Adam update to all registered pairs and clears grads.
+  void Step();
+
+  /// Number of updates applied so far.
+  long long t() const { return t_; }
+
+  std::size_t NumParameters() const { return params_.size(); }
+
+ private:
+  struct Slot {
+    Matrix* param;
+    Matrix* grad;
+    Matrix m;  // first moment
+    Matrix v;  // second moment
+  };
+
+  Config config_;
+  std::vector<Slot> params_;
+  long long t_ = 0;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NN_ADAM_H_

@@ -1,0 +1,338 @@
+#include "ml/nn/cnn.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/nn/network.h"
+
+namespace mexi::ml {
+
+CnnImageModel::CnnImageModel(const Config& config)
+    : config_(config), rng_(config.seed) {
+  const std::size_t c1 = config_.conv1_filters;
+  const std::size_t c2 = config_.conv2_filters;
+  w1_ = Matrix::GlorotUniform(c1, 9, rng_);
+  b1_ = Matrix(1, c1, 0.0);
+  grad_w1_ = Matrix(c1, 9, 0.0);
+  grad_b1_ = Matrix(1, c1, 0.0);
+  w2_ = Matrix::GlorotUniform(c2, c1 * 9, rng_);
+  b2_ = Matrix(1, c2, 0.0);
+  grad_w2_ = Matrix(c2, c1 * 9, 0.0);
+  grad_b2_ = Matrix(1, c2, 0.0);
+  wp_ = Matrix::GlorotUniform(c2, c1, rng_);
+  grad_wp_ = Matrix(c2, c1, 0.0);
+
+  const std::size_t pooled_rows = config_.image_rows / 4;
+  const std::size_t pooled_cols = config_.image_cols / 4;
+  const std::size_t flat = c2 * pooled_rows * pooled_cols;
+  dense1_ = std::make_unique<DenseLayer>(flat, config_.dense_dim, rng_);
+  relu_dense_ = std::make_unique<ReluLayer>();
+  dense2_ =
+      std::make_unique<DenseLayer>(config_.dense_dim, config_.num_labels,
+                                   rng_);
+  sigmoid_ = std::make_unique<SigmoidLayer>();
+  optimizer_ = AdamOptimizer(config_.adam);
+}
+
+CnnImageModel::Channels CnnImageModel::Conv3x3Forward(
+    const Channels& in, const Matrix& weights, const Matrix& bias,
+    std::size_t out_channels) const {
+  const std::size_t rows = in[0].rows();
+  const std::size_t cols = in[0].cols();
+  Channels out(out_channels, Matrix(rows, cols));
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    Matrix& o = out[oc];
+    o.Fill(bias(0, oc));
+    for (std::size_t ic = 0; ic < in.size(); ++ic) {
+      const Matrix& src = in[ic];
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          const double w = weights(
+              oc, ic * 9 + static_cast<std::size_t>((ky + 1) * 3 + kx + 1));
+          if (w == 0.0) continue;
+          const std::size_t y0 = ky < 0 ? 1 : 0;
+          const std::size_t y1 = ky > 0 ? rows - 1 : rows;
+          for (std::size_t y = y0; y < y1; ++y) {
+            const std::size_t sy = static_cast<std::size_t>(
+                static_cast<long>(y) + ky);
+            const std::size_t x0 = kx < 0 ? 1 : 0;
+            const std::size_t x1 = kx > 0 ? cols - 1 : cols;
+            for (std::size_t x = x0; x < x1; ++x) {
+              const std::size_t sx = static_cast<std::size_t>(
+                  static_cast<long>(x) + kx);
+              o(y, x) += w * src(sy, sx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CnnImageModel::Channels CnnImageModel::Conv3x3Backward(
+    const Channels& grad_out, const Channels& in, const Matrix& weights,
+    Matrix& grad_weights, Matrix& grad_bias) const {
+  const std::size_t rows = in[0].rows();
+  const std::size_t cols = in[0].cols();
+  Channels grad_in(in.size(), Matrix(rows, cols));
+  for (std::size_t oc = 0; oc < grad_out.size(); ++oc) {
+    const Matrix& go = grad_out[oc];
+    grad_bias(0, oc) += go.Sum();
+    for (std::size_t ic = 0; ic < in.size(); ++ic) {
+      const Matrix& src = in[ic];
+      Matrix& gi = grad_in[ic];
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          const std::size_t widx =
+              ic * 9 + static_cast<std::size_t>((ky + 1) * 3 + kx + 1);
+          const double w = weights(oc, widx);
+          double gw = 0.0;
+          const std::size_t y0 = ky < 0 ? 1 : 0;
+          const std::size_t y1 = ky > 0 ? rows - 1 : rows;
+          for (std::size_t y = y0; y < y1; ++y) {
+            const std::size_t sy = static_cast<std::size_t>(
+                static_cast<long>(y) + ky);
+            const std::size_t x0 = kx < 0 ? 1 : 0;
+            const std::size_t x1 = kx > 0 ? cols - 1 : cols;
+            for (std::size_t x = x0; x < x1; ++x) {
+              const std::size_t sx = static_cast<std::size_t>(
+                  static_cast<long>(x) + kx);
+              const double g = go(y, x);
+              gw += g * src(sy, sx);
+              gi(sy, sx) += g * w;
+            }
+          }
+          grad_weights(oc, widx) += gw;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+CnnImageModel::Channels CnnImageModel::MaxPool2Forward(
+    const Channels& in, std::vector<std::vector<std::size_t>>& argmax)
+    const {
+  const std::size_t rows = in[0].rows() / 2;
+  const std::size_t cols = in[0].cols() / 2;
+  Channels out(in.size(), Matrix(rows, cols));
+  argmax.assign(in.size(), std::vector<std::size_t>(rows * cols, 0));
+  for (std::size_t ch = 0; ch < in.size(); ++ch) {
+    const Matrix& src = in[ch];
+    for (std::size_t y = 0; y < rows; ++y) {
+      for (std::size_t x = 0; x < cols; ++x) {
+        double best = src(2 * y, 2 * x);
+        std::size_t best_idx = (2 * y) * src.cols() + 2 * x;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t sy = 2 * y + static_cast<std::size_t>(dy);
+            const std::size_t sx = 2 * x + static_cast<std::size_t>(dx);
+            if (src(sy, sx) > best) {
+              best = src(sy, sx);
+              best_idx = sy * src.cols() + sx;
+            }
+          }
+        }
+        out[ch](y, x) = best;
+        argmax[ch][y * cols + x] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+CnnImageModel::Channels CnnImageModel::MaxPool2Backward(
+    const Channels& grad_out, const Channels& in_shape_ref,
+    const std::vector<std::vector<std::size_t>>& argmax) const {
+  Channels grad_in(in_shape_ref.size(),
+                   Matrix(in_shape_ref[0].rows(), in_shape_ref[0].cols()));
+  const std::size_t cols = grad_out[0].cols();
+  for (std::size_t ch = 0; ch < grad_out.size(); ++ch) {
+    for (std::size_t y = 0; y < grad_out[ch].rows(); ++y) {
+      for (std::size_t x = 0; x < cols; ++x) {
+        grad_in[ch].data()[argmax[ch][y * cols + x]] +=
+            grad_out[ch](y, x);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<double> CnnImageModel::Forward(const Image& image, bool training,
+                                           bool cache) {
+  if (image.rows() != config_.image_rows ||
+      image.cols() != config_.image_cols) {
+    throw std::invalid_argument("CnnImageModel: image shape mismatch");
+  }
+  Channels input{image};
+  Channels conv1 = Conv3x3Forward(input, w1_, b1_, config_.conv1_filters);
+  Channels act1 = conv1;
+  for (auto& ch : act1) {
+    ch.ApplyInPlace([](double v) { return v > 0.0 ? v : 0.0; });
+  }
+  std::vector<std::vector<std::size_t>> argmax1;
+  Channels pool1 = MaxPool2Forward(act1, argmax1);
+
+  // Residual block: conv2(pool1) + 1x1-projection(pool1), then ReLU.
+  Channels conv2 = Conv3x3Forward(pool1, w2_, b2_, config_.conv2_filters);
+  Channels block = conv2;
+  for (std::size_t oc = 0; oc < block.size(); ++oc) {
+    for (std::size_t ic = 0; ic < pool1.size(); ++ic) {
+      const double w = wp_(oc, ic);
+      if (w == 0.0) continue;
+      for (std::size_t i = 0; i < block[oc].data().size(); ++i) {
+        block[oc].data()[i] += w * pool1[ic].data()[i];
+      }
+    }
+  }
+  Channels act2 = block;
+  for (auto& ch : act2) {
+    ch.ApplyInPlace([](double v) { return v > 0.0 ? v : 0.0; });
+  }
+  std::vector<std::vector<std::size_t>> argmax2;
+  Channels pool2 = MaxPool2Forward(act2, argmax2);
+
+  // Flatten.
+  const std::size_t per_channel = pool2[0].size();
+  Matrix flat(1, pool2.size() * per_channel);
+  for (std::size_t ch = 0; ch < pool2.size(); ++ch) {
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      flat(0, ch * per_channel + i) = pool2[ch].data()[i];
+    }
+  }
+
+  Matrix z = dense1_->Forward(flat, training);
+  z = relu_dense_->Forward(z, training);
+  z = dense2_->Forward(z, training);
+  z = sigmoid_->Forward(z, training);
+
+  if (cache) {
+    cache_input_ = std::move(input);
+    cache_conv1_pre_ = std::move(conv1);
+    cache_conv1_act_ = std::move(act1);
+    cache_pool1_ = std::move(pool1);
+    cache_pool1_argmax_ = std::move(argmax1);
+    cache_block_pre_ = std::move(block);
+    cache_block_act_ = std::move(act2);
+    cache_pool2_ = std::move(pool2);
+    cache_pool2_argmax_ = std::move(argmax2);
+  }
+  return z.Row(0);
+}
+
+void CnnImageModel::Backward(const Matrix& grad_prob) {
+  Matrix grad = sigmoid_->Backward(grad_prob);
+  grad = dense2_->Backward(grad);
+  grad = relu_dense_->Backward(grad);
+  grad = dense1_->Backward(grad);  // 1 x flat
+
+  // Un-flatten.
+  const std::size_t per_channel = cache_pool2_[0].size();
+  Channels grad_pool2(cache_pool2_.size(),
+                      Matrix(cache_pool2_[0].rows(),
+                             cache_pool2_[0].cols()));
+  for (std::size_t ch = 0; ch < grad_pool2.size(); ++ch) {
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      grad_pool2[ch].data()[i] = grad(0, ch * per_channel + i);
+    }
+  }
+
+  Channels grad_act2 =
+      MaxPool2Backward(grad_pool2, cache_block_act_, cache_pool2_argmax_);
+  // ReLU gate of the residual block.
+  for (std::size_t ch = 0; ch < grad_act2.size(); ++ch) {
+    for (std::size_t i = 0; i < grad_act2[ch].data().size(); ++i) {
+      if (cache_block_pre_[ch].data()[i] <= 0.0) {
+        grad_act2[ch].data()[i] = 0.0;
+      }
+    }
+  }
+
+  // Split into conv2 path and skip path (both feed pool1).
+  Channels grad_pool1 = Conv3x3Backward(grad_act2, cache_pool1_, w2_,
+                                        grad_w2_, grad_b2_);
+  for (std::size_t oc = 0; oc < grad_act2.size(); ++oc) {
+    for (std::size_t ic = 0; ic < cache_pool1_.size(); ++ic) {
+      double gw = 0.0;
+      const double w = wp_(oc, ic);
+      for (std::size_t i = 0; i < grad_act2[oc].data().size(); ++i) {
+        const double g = grad_act2[oc].data()[i];
+        gw += g * cache_pool1_[ic].data()[i];
+        grad_pool1[ic].data()[i] += g * w;
+      }
+      grad_wp_(oc, ic) += gw;
+    }
+  }
+
+  Channels grad_act1 =
+      MaxPool2Backward(grad_pool1, cache_conv1_act_, cache_pool1_argmax_);
+  for (std::size_t ch = 0; ch < grad_act1.size(); ++ch) {
+    for (std::size_t i = 0; i < grad_act1[ch].data().size(); ++i) {
+      if (cache_conv1_pre_[ch].data()[i] <= 0.0) {
+        grad_act1[ch].data()[i] = 0.0;
+      }
+    }
+  }
+  Conv3x3Backward(grad_act1, cache_input_, w1_, grad_w1_, grad_b1_);
+}
+
+double CnnImageModel::Fit(const std::vector<Image>& images,
+                          const std::vector<std::vector<double>>& targets) {
+  return Fit(images, targets, config_.epochs);
+}
+
+double CnnImageModel::Fit(const std::vector<Image>& images,
+                          const std::vector<std::vector<double>>& targets,
+                          int epochs) {
+  if (images.size() != targets.size() || images.empty()) {
+    throw std::invalid_argument("CnnImageModel::Fit: bad input sizes");
+  }
+  if (!optimizer_initialized_) {
+    optimizer_.Register(&w1_, &grad_w1_);
+    optimizer_.Register(&b1_, &grad_b1_);
+    optimizer_.Register(&w2_, &grad_w2_);
+    optimizer_.Register(&b2_, &grad_b2_);
+    optimizer_.Register(&wp_, &grad_wp_);
+    dense1_->RegisterParameters(optimizer_);
+    dense2_->RegisterParameters(optimizer_);
+    optimizer_initialized_ = true;
+  }
+
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t n = 0; n < order.size(); ++n) {
+      const std::size_t idx = order[n];
+      const std::vector<double> probs =
+          Forward(images[idx], /*training=*/true, /*cache=*/true);
+      Matrix prob_m(1, config_.num_labels);
+      Matrix target_m(1, config_.num_labels);
+      for (std::size_t l = 0; l < config_.num_labels; ++l) {
+        prob_m(0, l) = probs[l];
+        target_m(0, l) = targets[idx][l];
+      }
+      epoch_loss += BinaryCrossEntropy::Loss(prob_m, target_m);
+      Backward(BinaryCrossEntropy::Gradient(prob_m, target_m));
+      if (++in_batch == config_.batch_size || n + 1 == order.size()) {
+        optimizer_.Step();
+        in_batch = 0;
+      }
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+  }
+  fitted_ = true;
+  return last_epoch_loss;
+}
+
+std::vector<double> CnnImageModel::Predict(const Image& image) {
+  return Forward(image, /*training=*/false, /*cache=*/false);
+}
+
+}  // namespace mexi::ml

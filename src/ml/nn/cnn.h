@@ -1,0 +1,118 @@
+#ifndef MEXI_ML_NN_CNN_H_
+#define MEXI_ML_NN_CNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/nn/adam.h"
+#include "ml/nn/layers.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// A single-channel image (e.g. a movement heat map), rows x cols.
+using Image = Matrix;
+
+/// Multi-label image classifier with one residual block:
+///
+///   conv 3x3 (C1) -> ReLU -> maxpool 2x2
+///   -> [conv 3x3 (C2) + 1x1 projection skip] -> ReLU -> maxpool 2x2
+///   -> flatten -> dense + ReLU -> dense -> sigmoid
+///
+/// This is the repo's stand-in for the paper's fine-tuned ResNet over
+/// movement heat maps (Phi_Spa): the residual-block-plus-fine-tuning
+/// recipe at a scale that trains in seconds on one core. Use `Fit` on a
+/// synthetic pretext task first, then `Fit` again on the real heat maps
+/// to reproduce the pretrain -> fine-tune protocol.
+class CnnImageModel {
+ public:
+  struct Config {
+    std::size_t image_rows = 24;
+    std::size_t image_cols = 32;
+    std::size_t conv1_filters = 4;
+    std::size_t conv2_filters = 8;
+    std::size_t dense_dim = 24;
+    std::size_t num_labels = 4;
+    int epochs = 12;
+    std::size_t batch_size = 8;
+    AdamOptimizer::Config adam;
+    std::uint64_t seed = 13;
+  };
+
+  explicit CnnImageModel(const Config& config);
+
+  /// Trains on `images` with multi-label targets in {0,1}^num_labels.
+  /// Every image must match the configured shape. Returns final-epoch
+  /// mean loss. Calling Fit again fine-tunes the existing weights.
+  double Fit(const std::vector<Image>& images,
+             const std::vector<std::vector<double>>& targets);
+
+  /// Same as Fit but with an explicit epoch budget (used to give the
+  /// pretraining phase a different budget than fine-tuning).
+  double Fit(const std::vector<Image>& images,
+             const std::vector<std::vector<double>>& targets, int epochs);
+
+  /// Label probabilities for one image.
+  std::vector<double> Predict(const Image& image);
+
+  const Config& config() const { return config_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  using Channels = std::vector<Matrix>;
+
+  /// Full forward pass; caches activations when `cache` is true.
+  std::vector<double> Forward(const Image& image, bool training, bool cache);
+
+  /// Backward pass from dLoss/dProbabilities; requires a cached Forward.
+  void Backward(const Matrix& grad_prob);
+
+  Channels Conv3x3Forward(const Channels& in, const Matrix& weights,
+                          const Matrix& bias, std::size_t out_channels)
+      const;
+  Channels Conv3x3Backward(const Channels& grad_out, const Channels& in,
+                           const Matrix& weights, Matrix& grad_weights,
+                           Matrix& grad_bias) const;
+  Channels MaxPool2Forward(const Channels& in,
+                           std::vector<std::vector<std::size_t>>& argmax)
+      const;
+  Channels MaxPool2Backward(
+      const Channels& grad_out, const Channels& in_shape_ref,
+      const std::vector<std::vector<std::size_t>>& argmax) const;
+
+  Config config_;
+  stats::Rng rng_;
+
+  // conv1: rows = out channel, cols = 3*3 (single input channel).
+  Matrix w1_, b1_, grad_w1_, grad_b1_;
+  // conv2: rows = out channel, cols = C1*3*3.
+  Matrix w2_, b2_, grad_w2_, grad_b2_;
+  // 1x1 projection for the residual skip: rows = out ch, cols = in ch.
+  Matrix wp_, grad_wp_;
+
+  std::unique_ptr<DenseLayer> dense1_;
+  std::unique_ptr<ReluLayer> relu_dense_;
+  std::unique_ptr<DenseLayer> dense2_;
+  std::unique_ptr<SigmoidLayer> sigmoid_;
+
+  AdamOptimizer optimizer_;
+  bool optimizer_initialized_ = false;
+  bool fitted_ = false;
+
+  // Forward caches (single-sample training).
+  Channels cache_input_;
+  Channels cache_conv1_pre_;   // pre-ReLU
+  Channels cache_conv1_act_;   // post-ReLU
+  Channels cache_pool1_;
+  std::vector<std::vector<std::size_t>> cache_pool1_argmax_;
+  Channels cache_block_pre_;   // conv2 + skip, pre-ReLU
+  Channels cache_block_act_;
+  Channels cache_pool2_;
+  std::vector<std::vector<std::size_t>> cache_pool2_argmax_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NN_CNN_H_

@@ -1,0 +1,107 @@
+#include "ml/nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void Layer::RegisterParameters(AdamOptimizer& optimizer) {
+  (void)optimizer;  // stateless layers have nothing to register
+}
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
+                       stats::Rng& rng)
+    : weights_(Matrix::GlorotUniform(in_dim, out_dim, rng)),
+      bias_(1, out_dim, 0.0),
+      grad_weights_(in_dim, out_dim, 0.0),
+      grad_bias_(1, out_dim, 0.0) {}
+
+Matrix DenseLayer::Forward(const Matrix& input, bool training) {
+  (void)training;
+  last_input_ = input;
+  return input.MatMul(weights_).AddRowBroadcast(bias_);
+}
+
+Matrix DenseLayer::Backward(const Matrix& grad_output) {
+  grad_weights_ += last_input_.Transposed().MatMul(grad_output);
+  grad_bias_ += grad_output.ColSums();
+  return grad_output.MatMul(weights_.Transposed());
+}
+
+void DenseLayer::RegisterParameters(AdamOptimizer& optimizer) {
+  optimizer.Register(&weights_, &grad_weights_);
+  optimizer.Register(&bias_, &grad_bias_);
+}
+
+Matrix ReluLayer::Forward(const Matrix& input, bool training) {
+  (void)training;
+  last_input_ = input;
+  return input.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix ReluLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    if (last_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+Matrix SigmoidLayer::Forward(const Matrix& input, bool training) {
+  (void)training;
+  last_output_ =
+      input.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  return last_output_;
+}
+
+Matrix SigmoidLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    const double s = last_output_.data()[i];
+    grad.data()[i] *= s * (1.0 - s);
+  }
+  return grad;
+}
+
+Matrix TanhLayer::Forward(const Matrix& input, bool training) {
+  (void)training;
+  last_output_ = input.Apply([](double v) { return std::tanh(v); });
+  return last_output_;
+}
+
+Matrix TanhLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    const double t = last_output_.data()[i];
+    grad.data()[i] *= 1.0 - t * t;
+  }
+  return grad;
+}
+
+DropoutLayer::DropoutLayer(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("DropoutLayer: rate must be in [0, 1)");
+  }
+}
+
+Matrix DropoutLayer::Forward(const Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ <= 0.0) return input;
+  last_mask_ = Matrix(input.rows(), input.cols());
+  const double keep = 1.0 - rate_;
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    const double mask = rng_.Bernoulli(keep) ? 1.0 / keep : 0.0;
+    last_mask_.data()[i] = mask;
+    out.data()[i] *= mask;
+  }
+  return out;
+}
+
+Matrix DropoutLayer::Backward(const Matrix& grad_output) {
+  if (!last_training_ || rate_ <= 0.0) return grad_output;
+  return grad_output.Hadamard(last_mask_);
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,110 @@
+#ifndef MEXI_ML_NN_LAYERS_H_
+#define MEXI_ML_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/nn/adam.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// One differentiable layer in a feed-forward `Network`.
+///
+/// Layers operate on mini-batches: `Forward` takes a (batch x in_dim)
+/// matrix and returns (batch x out_dim); `Backward` takes the loss
+/// gradient w.r.t. the output and returns the gradient w.r.t. the input
+/// while accumulating parameter gradients internally.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer. `training` switches stochastic layers (dropout).
+  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+
+  /// Backpropagates. Must be called right after the matching Forward.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Registers trainable parameters with `optimizer`; default: none.
+  virtual void RegisterParameters(AdamOptimizer& optimizer);
+
+  virtual std::string Name() const = 0;
+};
+
+/// Fully connected layer: output = input * W + b.
+class DenseLayer : public Layer {
+ public:
+  /// Glorot-uniform initialization.
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, stats::Rng& rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  void RegisterParameters(AdamOptimizer& optimizer) override;
+  std::string Name() const override { return "Dense"; }
+
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+
+ private:
+  Matrix weights_;       // in_dim x out_dim
+  Matrix bias_;          // 1 x out_dim
+  Matrix grad_weights_;  // accumulated by Backward
+  Matrix grad_bias_;
+  Matrix last_input_;
+};
+
+/// Rectified linear unit.
+class ReluLayer : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Matrix last_input_;
+};
+
+/// Elementwise logistic sigmoid.
+class SigmoidLayer : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix last_output_;
+};
+
+/// Elementwise tanh.
+class TanhLayer : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Matrix last_output_;
+};
+
+/// Inverted dropout: active only in training mode, identity otherwise.
+class DropoutLayer : public Layer {
+ public:
+  /// `rate` is the drop probability (the paper uses 0.5 after the LSTM).
+  DropoutLayer(double rate, std::uint64_t seed);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  stats::Rng rng_;
+  Matrix last_mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NN_LAYERS_H_

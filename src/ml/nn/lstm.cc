@@ -1,0 +1,223 @@
+#include "ml/nn/lstm.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/nn/network.h"
+
+namespace mexi::ml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+LstmSequenceModel::LstmSequenceModel(const Config& config)
+    : config_(config), rng_(config.seed) {
+  const std::size_t h4 = 4 * config_.hidden_dim;
+  wx_ = Matrix::GlorotUniform(config_.input_dim, h4, rng_);
+  wh_ = Matrix::GlorotUniform(config_.hidden_dim, h4, rng_);
+  b_ = Matrix(1, h4, 0.0);
+  // Forget-gate bias starts at 1 — the standard trick that keeps early
+  // gradients flowing through long sequences.
+  for (std::size_t j = 0; j < config_.hidden_dim; ++j) {
+    b_(0, config_.hidden_dim + j) = 1.0;
+  }
+  grad_wx_ = Matrix(config_.input_dim, h4, 0.0);
+  grad_wh_ = Matrix(config_.hidden_dim, h4, 0.0);
+  grad_b_ = Matrix(1, h4, 0.0);
+
+  dropout_ = std::make_unique<DropoutLayer>(config_.dropout, rng_.NextU64());
+  dense1_ =
+      std::make_unique<DenseLayer>(config_.hidden_dim, config_.dense_dim,
+                                   rng_);
+  relu_ = std::make_unique<ReluLayer>();
+  dense2_ =
+      std::make_unique<DenseLayer>(config_.dense_dim, config_.num_labels,
+                                   rng_);
+  sigmoid_ = std::make_unique<SigmoidLayer>();
+  optimizer_ = AdamOptimizer(config_.adam);
+}
+
+Matrix LstmSequenceModel::RunLstm(const Sequence& sequence, bool cache) {
+  const std::size_t h_dim = config_.hidden_dim;
+  std::vector<double> h(h_dim, 0.0), c(h_dim, 0.0);
+  if (cache) cache_.clear();
+
+  for (const auto& x : sequence) {
+    if (x.size() != config_.input_dim) {
+      throw std::invalid_argument("LstmSequenceModel: input_dim mismatch");
+    }
+    StepCache step;
+    if (cache) {
+      step.x = x;
+      step.h_prev = h;
+      step.c_prev = c;
+    }
+    // Pre-activations a = x*Wx + h*Wh + b, laid out as [i, f, g, o].
+    std::vector<double> a(4 * h_dim);
+    for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] = b_(0, j);
+    for (std::size_t k = 0; k < config_.input_dim; ++k) {
+      const double xk = x[k];
+      if (xk == 0.0) continue;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] += xk * wx_(k, j);
+    }
+    for (std::size_t k = 0; k < h_dim; ++k) {
+      const double hk = h[k];
+      if (hk == 0.0) continue;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] += hk * wh_(k, j);
+    }
+
+    std::vector<double> gi(h_dim), gf(h_dim), gg(h_dim), go(h_dim);
+    for (std::size_t j = 0; j < h_dim; ++j) {
+      gi[j] = Sigmoid(a[j]);
+      gf[j] = Sigmoid(a[h_dim + j]);
+      gg[j] = std::tanh(a[2 * h_dim + j]);
+      go[j] = Sigmoid(a[3 * h_dim + j]);
+    }
+    std::vector<double> tanh_c(h_dim);
+    for (std::size_t j = 0; j < h_dim; ++j) {
+      c[j] = gf[j] * c[j] + gi[j] * gg[j];
+      tanh_c[j] = std::tanh(c[j]);
+      h[j] = go[j] * tanh_c[j];
+    }
+    if (cache) {
+      step.i = std::move(gi);
+      step.f = std::move(gf);
+      step.g = std::move(gg);
+      step.o = std::move(go);
+      step.c = c;
+      step.tanh_c = std::move(tanh_c);
+      cache_.push_back(std::move(step));
+    }
+  }
+
+  Matrix out(1, h_dim);
+  for (std::size_t j = 0; j < h_dim; ++j) out(0, j) = h[j];
+  return out;
+}
+
+void LstmSequenceModel::BackwardLstm(const Matrix& grad_h_final) {
+  const std::size_t h_dim = config_.hidden_dim;
+  std::vector<double> dh(h_dim), dc(h_dim, 0.0);
+  for (std::size_t j = 0; j < h_dim; ++j) dh[j] = grad_h_final(0, j);
+
+  for (auto it = cache_.rbegin(); it != cache_.rend(); ++it) {
+    const StepCache& s = *it;
+    std::vector<double> da(4 * h_dim);
+    for (std::size_t j = 0; j < h_dim; ++j) {
+      const double do_j = dh[j] * s.tanh_c[j];
+      const double dct = dh[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]) +
+                         dc[j];
+      const double di = dct * s.g[j];
+      const double df = dct * s.c_prev[j];
+      const double dg = dct * s.i[j];
+      da[j] = di * s.i[j] * (1.0 - s.i[j]);
+      da[h_dim + j] = df * s.f[j] * (1.0 - s.f[j]);
+      da[2 * h_dim + j] = dg * (1.0 - s.g[j] * s.g[j]);
+      da[3 * h_dim + j] = do_j * s.o[j] * (1.0 - s.o[j]);
+      dc[j] = dct * s.f[j];
+    }
+    // Parameter gradients.
+    for (std::size_t k = 0; k < config_.input_dim; ++k) {
+      const double xk = s.x[k];
+      if (xk == 0.0) continue;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) {
+        grad_wx_(k, j) += xk * da[j];
+      }
+    }
+    for (std::size_t k = 0; k < h_dim; ++k) {
+      const double hk = s.h_prev[k];
+      if (hk == 0.0) continue;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) {
+        grad_wh_(k, j) += hk * da[j];
+      }
+    }
+    for (std::size_t j = 0; j < 4 * h_dim; ++j) grad_b_(0, j) += da[j];
+    // Propagate to the previous hidden state.
+    for (std::size_t k = 0; k < h_dim; ++k) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) acc += wh_(k, j) * da[j];
+      dh[k] = acc;
+    }
+  }
+}
+
+std::vector<double> LstmSequenceModel::HeadForward(const Matrix& h_final,
+                                                   bool training) {
+  Matrix z = dropout_->Forward(h_final, training);
+  z = dense1_->Forward(z, training);
+  z = relu_->Forward(z, training);
+  z = dense2_->Forward(z, training);
+  z = sigmoid_->Forward(z, training);
+  return z.Row(0);
+}
+
+Matrix LstmSequenceModel::HeadBackward(const Matrix& grad_out) {
+  Matrix grad = sigmoid_->Backward(grad_out);
+  grad = dense2_->Backward(grad);
+  grad = relu_->Backward(grad);
+  grad = dense1_->Backward(grad);
+  return dropout_->Backward(grad);
+}
+
+double LstmSequenceModel::Fit(
+    const std::vector<Sequence>& sequences,
+    const std::vector<std::vector<double>>& targets) {
+  if (sequences.size() != targets.size()) {
+    throw std::invalid_argument("LstmSequenceModel::Fit: size mismatch");
+  }
+  if (sequences.empty()) {
+    throw std::invalid_argument("LstmSequenceModel::Fit: empty input");
+  }
+  if (!optimizer_initialized_) {
+    optimizer_.Register(&wx_, &grad_wx_);
+    optimizer_.Register(&wh_, &grad_wh_);
+    optimizer_.Register(&b_, &grad_b_);
+    dense1_->RegisterParameters(optimizer_);
+    dense2_->RegisterParameters(optimizer_);
+    optimizer_initialized_ = true;
+  }
+
+  std::vector<std::size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t n = 0; n < order.size(); ++n) {
+      const std::size_t idx = order[n];
+      const Matrix h_final = RunLstm(sequences[idx], /*cache=*/true);
+      const std::vector<double> probs = HeadForward(h_final, true);
+
+      Matrix prob_m(1, config_.num_labels);
+      Matrix target_m(1, config_.num_labels);
+      for (std::size_t l = 0; l < config_.num_labels; ++l) {
+        prob_m(0, l) = probs[l];
+        target_m(0, l) = targets[idx][l];
+      }
+      epoch_loss += BinaryCrossEntropy::Loss(prob_m, target_m);
+      const Matrix grad_prob =
+          BinaryCrossEntropy::Gradient(prob_m, target_m);
+      const Matrix grad_h = HeadBackward(grad_prob);
+      if (!sequences[idx].empty()) BackwardLstm(grad_h);
+
+      if (++in_batch == config_.batch_size || n + 1 == order.size()) {
+        optimizer_.Step();
+        in_batch = 0;
+      }
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+  }
+  fitted_ = true;
+  return last_epoch_loss;
+}
+
+std::vector<double> LstmSequenceModel::Predict(const Sequence& sequence) {
+  const Matrix h_final = RunLstm(sequence, /*cache=*/false);
+  return HeadForward(h_final, /*training=*/false);
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,102 @@
+#ifndef MEXI_ML_NN_LSTM_H_
+#define MEXI_ML_NN_LSTM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/nn/adam.h"
+#include "ml/nn/layers.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// A variable-length sequence: one feature vector per timestep.
+using Sequence = std::vector<std::vector<double>>;
+
+/// Multi-label sequence classifier: LSTM -> dropout -> dense+ReLU ->
+/// dense -> sigmoid, trained with Adam on per-label binary cross
+/// entropy.
+///
+/// This is the paper's Phi_Seq network ("following an LSTM hidden layer
+/// of 64 nodes, we perform a 0.5 dropout and a 100 nodes fully connected
+/// layer with a ReLU activation"), with the layer widths scaled down for
+/// the single-core target (configurable). Backpropagation through time
+/// is implemented from scratch; see the .cc for the cell equations.
+class LstmSequenceModel {
+ public:
+  struct Config {
+    std::size_t input_dim = 3;
+    std::size_t hidden_dim = 24;
+    std::size_t dense_dim = 32;
+    std::size_t num_labels = 4;
+    double dropout = 0.5;
+    int epochs = 20;
+    std::size_t batch_size = 8;
+    AdamOptimizer::Config adam;
+    std::uint64_t seed = 7;
+  };
+
+  explicit LstmSequenceModel(const Config& config);
+
+  /// Trains on `sequences` with multi-label targets (targets[i] has
+  /// `num_labels` values in {0,1}). Returns the final-epoch mean loss.
+  /// Sequences must be non-ragged in feature width; empty sequences are
+  /// allowed and contribute a zero hidden state.
+  double Fit(const std::vector<Sequence>& sequences,
+             const std::vector<std::vector<double>>& targets);
+
+  /// Label probabilities for one sequence (inference mode).
+  std::vector<double> Predict(const Sequence& sequence);
+
+  const Config& config() const { return config_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  /// Runs the LSTM over `sequence`, caching activations when `cache` is
+  /// set, and returns the final hidden state as a 1 x hidden matrix.
+  Matrix RunLstm(const Sequence& sequence, bool cache);
+
+  /// BPTT from dL/dh_T; accumulates into grad_wx_/grad_wh_/grad_b_.
+  void BackwardLstm(const Matrix& grad_h_final);
+
+  /// Head forward + optional loss backward for one sequence.
+  std::vector<double> HeadForward(const Matrix& h_final, bool training);
+  Matrix HeadBackward(const Matrix& grad_out);
+
+  Config config_;
+  stats::Rng rng_;
+
+  // LSTM parameters; gate order along the 4H axis is [i, f, g, o].
+  Matrix wx_;       // input_dim x 4H
+  Matrix wh_;       // H x 4H
+  Matrix b_;        // 1 x 4H
+  Matrix grad_wx_;
+  Matrix grad_wh_;
+  Matrix grad_b_;
+
+  // Head layers (shared optimizer).
+  std::unique_ptr<DropoutLayer> dropout_;
+  std::unique_ptr<DenseLayer> dense1_;
+  std::unique_ptr<ReluLayer> relu_;
+  std::unique_ptr<DenseLayer> dense2_;
+  std::unique_ptr<SigmoidLayer> sigmoid_;
+
+  AdamOptimizer optimizer_;
+  bool optimizer_initialized_ = false;
+  bool fitted_ = false;
+
+  // Per-sequence caches for BPTT.
+  struct StepCache {
+    std::vector<double> x;
+    std::vector<double> h_prev, c_prev;
+    std::vector<double> i, f, g, o;
+    std::vector<double> c, tanh_c;
+  };
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NN_LSTM_H_

@@ -1,0 +1,110 @@
+#include "ml/nn/network.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::ml {
+
+double BinaryCrossEntropy::Loss(const Matrix& probabilities,
+                                const Matrix& targets) {
+  if (probabilities.rows() != targets.rows() ||
+      probabilities.cols() != targets.cols()) {
+    throw std::invalid_argument("BinaryCrossEntropy: shape mismatch");
+  }
+  double loss = 0.0;
+  for (std::size_t i = 0; i < probabilities.data().size(); ++i) {
+    const double p =
+        stats::Clamp(probabilities.data()[i], 1e-12, 1.0 - 1e-12);
+    const double y = targets.data()[i];
+    loss -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(probabilities.data().size());
+}
+
+Matrix BinaryCrossEntropy::Gradient(const Matrix& probabilities,
+                                    const Matrix& targets) {
+  Matrix grad(probabilities.rows(), probabilities.cols());
+  const double scale =
+      1.0 / static_cast<double>(probabilities.data().size());
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    const double p =
+        stats::Clamp(probabilities.data()[i], 1e-12, 1.0 - 1e-12);
+    const double y = targets.data()[i];
+    grad.data()[i] = scale * (p - y) / (p * (1.0 - p));
+  }
+  return grad;
+}
+
+Network::Network(const AdamOptimizer::Config& adam) : optimizer_(adam) {}
+
+void Network::Add(std::unique_ptr<Layer> layer) {
+  if (optimizer_initialized_) {
+    throw std::logic_error("Network::Add after training started");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Matrix Network::Forward(const Matrix& input, bool training) {
+  Matrix current = input;
+  for (auto& layer : layers_) current = layer->Forward(current, training);
+  return current;
+}
+
+void Network::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+}
+
+Matrix Network::Predict(const Matrix& input) {
+  return Forward(input, /*training=*/false);
+}
+
+double Network::TrainStep(const Matrix& inputs, const Matrix& targets) {
+  if (!optimizer_initialized_) {
+    for (auto& layer : layers_) layer->RegisterParameters(optimizer_);
+    optimizer_initialized_ = true;
+  }
+  const Matrix probabilities = Forward(inputs, /*training=*/true);
+  const double loss = BinaryCrossEntropy::Loss(probabilities, targets);
+  Backward(BinaryCrossEntropy::Gradient(probabilities, targets));
+  optimizer_.Step();
+  return loss;
+}
+
+double Network::Fit(const Matrix& inputs, const Matrix& targets, int epochs,
+                    std::size_t batch_size, stats::Rng& rng) {
+  if (inputs.rows() != targets.rows()) {
+    throw std::invalid_argument("Network::Fit: row mismatch");
+  }
+  if (batch_size == 0) batch_size = inputs.rows();
+  double last_epoch_loss = 0.0;
+  std::vector<std::size_t> order(inputs.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, order.size());
+      Matrix batch_x(end - start, inputs.cols());
+      Matrix batch_y(end - start, targets.cols());
+      for (std::size_t i = start; i < end; ++i) {
+        batch_x.SetRow(i - start, inputs.Row(order[i]));
+        batch_y.SetRow(i - start, targets.Row(order[i]));
+      }
+      epoch_loss += TrainStep(batch_x, batch_y);
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                  : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace mexi::ml

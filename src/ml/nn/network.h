@@ -1,0 +1,56 @@
+#ifndef MEXI_ML_NN_NETWORK_H_
+#define MEXI_ML_NN_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/nn/adam.h"
+#include "ml/nn/layers.h"
+
+namespace mexi::ml {
+
+/// Binary cross-entropy over sigmoid probabilities, averaged over all
+/// (example, label) cells. `Gradient` returns dLoss/dProb for Backward.
+struct BinaryCrossEntropy {
+  static double Loss(const Matrix& probabilities, const Matrix& targets);
+  static Matrix Gradient(const Matrix& probabilities, const Matrix& targets);
+};
+
+/// A feed-forward sequential network over `Layer`s with an Adam training
+/// loop. Supports multi-label heads: the final layer is typically a
+/// `SigmoidLayer` of width |L| and training minimizes per-label binary
+/// cross entropy — exactly the paper's setup for the fused models.
+class Network {
+ public:
+  explicit Network(const AdamOptimizer::Config& adam = {});
+
+  /// Appends a layer (takes ownership). Layers added after the first
+  /// training step are rejected.
+  void Add(std::unique_ptr<Layer> layer);
+
+  /// Forward pass in inference mode.
+  Matrix Predict(const Matrix& input);
+
+  /// Runs one gradient step on (inputs, targets); returns the batch loss.
+  double TrainStep(const Matrix& inputs, const Matrix& targets);
+
+  /// Epoch-based training on a fixed table with mini-batches.
+  /// Returns the loss of the final epoch.
+  double Fit(const Matrix& inputs, const Matrix& targets, int epochs,
+             std::size_t batch_size, stats::Rng& rng);
+
+  std::size_t NumLayers() const { return layers_.size(); }
+
+ private:
+  Matrix Forward(const Matrix& input, bool training);
+  void Backward(const Matrix& grad_output);
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  AdamOptimizer optimizer_;
+  bool optimizer_initialized_ = false;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_NN_NETWORK_H_

@@ -1,0 +1,49 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+std::unique_ptr<BinaryClassifier> RandomForest::Clone() const {
+  return std::make_unique<RandomForest>(config_);
+}
+
+void RandomForest::FitImpl(const Dataset& data) {
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+  stats::Rng rng(config_.seed);
+
+  int max_features = config_.max_features;
+  if (max_features <= 0) {
+    max_features = std::max(
+        1, static_cast<int>(std::floor(
+               std::sqrt(static_cast<double>(data.NumFeatures())))));
+  }
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap resample of the training examples.
+    std::vector<std::size_t> sample(data.NumExamples());
+    for (auto& idx : sample) idx = rng.UniformIndex(data.NumExamples());
+    const Dataset bag = data.Subset(sample);
+
+    DecisionTree::Config tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_split = config_.min_samples_split;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.max_features = max_features;
+    tree_config.seed = rng.NextU64();
+    DecisionTree tree(tree_config);
+    tree.Fit(bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProbaImpl(const std::vector<double>& row) const {
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.PredictProba(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace mexi::ml

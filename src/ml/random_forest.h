@@ -1,0 +1,48 @@
+#ifndef MEXI_ML_RANDOM_FOREST_H_
+#define MEXI_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace mexi::ml {
+
+/// Random forest: bootstrap-bagged CART trees with per-split feature
+/// subsampling (default sqrt of the feature count). Probability is the
+/// average of leaf positive-fractions across trees.
+class RandomForest : public BinaryClassifier {
+ public:
+  struct Config {
+    int num_trees = 60;
+    /// Per-tree depth cap.
+    int max_depth = 10;
+    int min_samples_split = 4;
+    int min_samples_leaf = 1;
+    /// Features per split; 0 = floor(sqrt(num_features)).
+    int max_features = 0;
+    std::uint64_t seed = 41;
+  };
+
+  RandomForest() = default;
+  explicit RandomForest(const Config& config) : config_(config) {}
+
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+  std::string Name() const override { return "RandomForest"; }
+
+  std::size_t NumTrees() const { return trees_.size(); }
+
+ protected:
+  void FitImpl(const Dataset& data) override;
+  double PredictProbaImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_RANDOM_FOREST_H_

@@ -1,0 +1,193 @@
+#include "ml/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void Regressor::Fit(const std::vector<std::vector<double>>& rows,
+                    const std::vector<double>& targets) {
+  if (rows.empty() || rows.size() != targets.size()) {
+    throw std::invalid_argument("Regressor::Fit: bad input sizes");
+  }
+  FitImpl(rows, targets);
+  fitted_ = true;
+}
+
+double Regressor::Predict(const std::vector<double>& row) const {
+  if (!fitted_) throw std::logic_error("Regressor::Predict before Fit");
+  return PredictImpl(row);
+}
+
+std::vector<double> Regressor::PredictAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Predict(row));
+  return out;
+}
+
+std::unique_ptr<Regressor> RidgeRegression::Clone() const {
+  return std::make_unique<RidgeRegression>(config_);
+}
+
+void RidgeRegression::FitImpl(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets) {
+  standardizer_.Fit(rows);
+  const auto x = standardizer_.TransformAll(rows);
+  const std::size_t n = x.size();
+  const std::size_t d = x[0].size();
+
+  // Normal equations (X^T X + lambda I) w = X^T (y - mean(y)).
+  double y_mean = 0.0;
+  for (double y : targets) y_mean += y;
+  y_mean /= static_cast<double>(n);
+
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dy = targets[i] - y_mean;
+    for (std::size_t p = 0; p < d; ++p) {
+      b[p] += x[i][p] * dy;
+      for (std::size_t q = p; q < d; ++q) a[p][q] += x[i][p] * x[i][q];
+    }
+  }
+  for (std::size_t p = 0; p < d; ++p) {
+    for (std::size_t q = 0; q < p; ++q) a[p][q] = a[q][p];
+    a[p][p] += config_.lambda;
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::vector<double>> m = a;
+  std::vector<double> rhs = b;
+  std::vector<double> w(d, 0.0);
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    }
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    const double diag = m[col][col];
+    if (std::fabs(diag) < 1e-12) continue;  // degenerate direction
+    for (std::size_t r = col + 1; r < d; ++r) {
+      const double factor = m[r][col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < d; ++c) m[r][c] -= factor * m[col][c];
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  for (std::size_t col = d; col-- > 0;) {
+    double acc = rhs[col];
+    for (std::size_t c = col + 1; c < d; ++c) acc -= m[col][c] * w[c];
+    w[col] = std::fabs(m[col][col]) < 1e-12 ? 0.0 : acc / m[col][col];
+  }
+  weights_ = std::move(w);
+  intercept_ = y_mean;
+}
+
+double RidgeRegression::PredictImpl(const std::vector<double>& row) const {
+  const auto x = standardizer_.Transform(row);
+  double value = intercept_;
+  for (std::size_t p = 0; p < x.size(); ++p) value += weights_[p] * x[p];
+  return value;
+}
+
+std::unique_ptr<Regressor> RandomForestRegressor::Clone() const {
+  return std::make_unique<RandomForestRegressor>(config_);
+}
+
+void RandomForestRegressor::FitImpl(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets) {
+  trees_.clear();
+  stats::Rng rng(config_.seed);
+  for (int t = 0; t < config_.num_trees; ++t) {
+    std::vector<std::vector<double>> bag_rows;
+    std::vector<double> bag_targets;
+    bag_rows.reserve(rows.size());
+    bag_targets.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::size_t pick = rng.UniformIndex(rows.size());
+      bag_rows.push_back(rows[pick]);
+      bag_targets.push_back(targets[pick]);
+    }
+    RegressionTree tree(config_.tree);
+    tree.Fit(bag_rows, bag_targets);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::PredictImpl(
+    const std::vector<double>& row) const {
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.Predict(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Regressor> KnnRegressor::Clone() const {
+  return std::make_unique<KnnRegressor>(config_);
+}
+
+void KnnRegressor::FitImpl(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets) {
+  standardizer_.Fit(rows);
+  train_rows_ = standardizer_.TransformAll(rows);
+  train_targets_ = targets;
+}
+
+double KnnRegressor::PredictImpl(const std::vector<double>& row) const {
+  const auto x = standardizer_.Transform(row);
+  std::vector<std::pair<double, double>> distances;  // (d2, target)
+  distances.reserve(train_rows_.size());
+  for (std::size_t i = 0; i < train_rows_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t p = 0; p < x.size(); ++p) {
+      const double delta = x[p] - train_rows_[i][p];
+      d2 += delta * delta;
+    }
+    distances.emplace_back(d2, train_targets_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.k), distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<long>(k),
+                    distances.end());
+  double weighted = 0.0, weight_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(distances[i].first) + 1e-6);
+    weighted += w * distances[i].second;
+    weight_total += w;
+  }
+  return weight_total > 0.0 ? weighted / weight_total : 0.0;
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("MeanAbsoluteError: size mismatch");
+  }
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    total += std::fabs(truth[i] - predicted[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("RootMeanSquaredError: size mismatch");
+  }
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double delta = truth[i] - predicted[i];
+    total += delta * delta;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+}  // namespace mexi::ml

@@ -1,0 +1,133 @@
+#ifndef MEXI_ML_REGRESSION_H_
+#define MEXI_ML_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/regression_tree.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+
+/// Abstract real-valued regressor, the regression counterpart of
+/// `BinaryClassifier`. Used by the expertise-*level* estimation variant
+/// of Problem 1 (the paper: "it can be easily repositioned as a
+/// regression problem, estimating expertise level").
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on rows/targets; throws std::invalid_argument on empty or
+  /// mismatched input.
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets);
+
+  /// Predicted value for one row; requires Fit().
+  double Predict(const std::vector<double>& row) const;
+
+  std::vector<double> PredictAll(
+      const std::vector<std::vector<double>>& rows) const;
+
+  virtual std::unique_ptr<Regressor> Clone() const = 0;
+  virtual std::string Name() const = 0;
+
+  bool fitted() const { return fitted_; }
+
+ protected:
+  virtual void FitImpl(const std::vector<std::vector<double>>& rows,
+                       const std::vector<double>& targets) = 0;
+  virtual double PredictImpl(const std::vector<double>& row) const = 0;
+
+ private:
+  bool fitted_ = false;
+};
+
+/// Ridge regression solved in closed form (normal equations with a
+/// Cholesky-free Gaussian elimination; features are z-scored first).
+class RidgeRegression : public Regressor {
+ public:
+  struct Config {
+    double lambda = 1.0;
+  };
+  RidgeRegression() = default;
+  explicit RidgeRegression(const Config& config) : config_(config) {}
+
+  std::unique_ptr<Regressor> Clone() const override;
+  std::string Name() const override { return "RidgeRegression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ protected:
+  void FitImpl(const std::vector<std::vector<double>>& rows,
+               const std::vector<double>& targets) override;
+  double PredictImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Bagged regression forest over `RegressionTree`s with per-tree
+/// bootstrap samples.
+class RandomForestRegressor : public Regressor {
+ public:
+  struct Config {
+    int num_trees = 40;
+    RegressionTree::Config tree{/*max_depth=*/6, /*min_samples_split=*/4,
+                                /*min_samples_leaf=*/2};
+    std::uint64_t seed = 53;
+  };
+  RandomForestRegressor() = default;
+  explicit RandomForestRegressor(const Config& config) : config_(config) {}
+
+  std::unique_ptr<Regressor> Clone() const override;
+  std::string Name() const override { return "RandomForestRegressor"; }
+
+ protected:
+  void FitImpl(const std::vector<std::vector<double>>& rows,
+               const std::vector<double>& targets) override;
+  double PredictImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  std::vector<RegressionTree> trees_;
+};
+
+/// Inverse-distance-weighted k-NN regression over z-scored features.
+class KnnRegressor : public Regressor {
+ public:
+  struct Config {
+    int k = 7;
+  };
+  KnnRegressor() = default;
+  explicit KnnRegressor(const Config& config) : config_(config) {}
+
+  std::unique_ptr<Regressor> Clone() const override;
+  std::string Name() const override { return "KnnRegressor"; }
+
+ protected:
+  void FitImpl(const std::vector<std::vector<double>>& rows,
+               const std::vector<double>& targets) override;
+  double PredictImpl(const std::vector<double>& row) const override;
+
+ private:
+  Config config_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> train_rows_;
+  std::vector<double> train_targets_;
+};
+
+/// Regression metrics.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted);
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& predicted);
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_REGRESSION_H_

@@ -1,0 +1,117 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mexi::ml {
+
+void RegressionTree::Fit(const std::vector<std::vector<double>>& features,
+                         const std::vector<double>& targets) {
+  if (features.empty() || features.size() != targets.size()) {
+    throw std::invalid_argument("RegressionTree::Fit: bad input sizes");
+  }
+  nodes_.clear();
+  std::vector<std::size_t> all(features.size());
+  std::iota(all.begin(), all.end(), 0);
+  Build(features, targets, all, 0);
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& features,
+                          const std::vector<double>& targets,
+                          const std::vector<std::size_t>& indices,
+                          int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  double sum = 0.0;
+  for (std::size_t i : indices) sum += targets[i];
+  const double mean = sum / static_cast<double>(indices.size());
+  nodes_[node_id].value = mean;
+
+  if (depth >= config_.max_depth ||
+      indices.size() < static_cast<std::size_t>(config_.min_samples_split)) {
+    return node_id;
+  }
+
+  // Find the split minimizing total within-side squared error, using the
+  // classic identity SSE = sum(y^2) - n*mean^2 so each threshold is O(1).
+  const std::size_t num_features = features[0].size();
+  double best_sse = 0.0;
+  for (std::size_t i : indices) {
+    best_sse += (targets[i] - mean) * (targets[i] - mean);
+  }
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> column(indices.size());
+  for (std::size_t f = 0; f < num_features; ++f) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      column[i] = {features[indices[i]][f], targets[indices[i]]};
+    }
+    std::sort(column.begin(), column.end());
+
+    double total_sum = 0.0, total_sq = 0.0;
+    for (const auto& [value, y] : column) {
+      total_sum += y;
+      total_sq += y * y;
+    }
+    double left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      left_sum += column[i].second;
+      left_sq += column[i].second * column[i].second;
+      if (column[i].first == column[i + 1].first) continue;
+      const double left_n = static_cast<double>(i + 1);
+      const double right_n = static_cast<double>(column.size()) - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_n) +
+                         (right_sq - right_sum * right_sum / right_n);
+      if (sse + 1e-12 < best_sse) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    if (features[i][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(features, targets, left_idx, depth + 1);
+  nodes_[node_id].left = left;
+  const int right = Build(features, targets, right_idx, depth + 1);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("RegressionTree::Predict before Fit");
+  }
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+}  // namespace mexi::ml

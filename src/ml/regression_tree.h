@@ -1,0 +1,51 @@
+#ifndef MEXI_ML_REGRESSION_TREE_H_
+#define MEXI_ML_REGRESSION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mexi::ml {
+
+/// CART regression tree (variance-reduction splits, mean-valued leaves).
+/// The weak learner inside `GradientBoosting`; also usable standalone.
+class RegressionTree {
+ public:
+  struct Config {
+    int max_depth = 3;
+    int min_samples_split = 4;
+    int min_samples_leaf = 2;
+  };
+
+  RegressionTree() = default;
+  explicit RegressionTree(const Config& config) : config_(config) {}
+
+  /// Fits to rows `features` with real-valued `targets`.
+  /// Requires features.size() == targets.size() and non-empty input.
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<double>& targets);
+
+  /// Predicted value for one row. Requires Fit() first.
+  double Predict(const std::vector<double>& row) const;
+
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int Build(const std::vector<std::vector<double>>& features,
+            const std::vector<double>& targets,
+            const std::vector<std::size_t>& indices, int depth);
+
+  Config config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_REGRESSION_TREE_H_

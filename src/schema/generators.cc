@@ -1,0 +1,778 @@
+#include "schema/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace mexi::schema {
+
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+struct ConceptSpec {
+  Tokens tokens;
+  std::size_t category = 0;
+  long long id = 0;
+};
+
+struct CategorySpec {
+  std::string name;
+  std::vector<Tokens> concepts;
+};
+
+/// Domain vocabularies. Concepts are canonical token lists; the renderer
+/// turns them into schema-specific attribute names.
+std::vector<CategorySpec> PurchaseOrderCategories() {
+  return {
+      {"header",
+       {{"order", "code"},
+        {"order", "date"},
+        {"order", "time"},
+        {"order", "status"},
+        {"order", "type"},
+        {"currency"},
+        {"priority"},
+        {"revision"},
+        {"reference", "number"},
+        {"created", "by"},
+        {"approved", "by"},
+        {"sales", "channel"}}},
+      {"buyer",
+       {{"customer", "name"},
+        {"customer", "id"},
+        {"contact", "person"},
+        {"phone", "number"},
+        {"email", "address"},
+        {"fax", "number"},
+        {"tax", "id"},
+        {"loyalty", "level"},
+        {"account", "number"},
+        {"market", "segment"}}},
+      {"ship_to",
+       {{"ship", "city"},
+        {"ship", "street"},
+        {"ship", "address", "line"},
+        {"ship", "zip", "code"},
+        {"ship", "country"},
+        {"ship", "state"},
+        {"ship", "region"},
+        {"attention", "name"},
+        {"delivery", "note"},
+        {"site", "code"}}},
+      {"bill_to",
+       {{"bill", "city"},
+        {"bill", "street"},
+        {"bill", "address", "line"},
+        {"bill", "zip", "code"},
+        {"bill", "country"},
+        {"bill", "state"},
+        {"tax", "region"},
+        {"invoice", "email"},
+        {"payer", "name"},
+        {"cost", "center"}}},
+      {"line_item",
+       {{"product", "code"},
+        {"product", "name"},
+        {"item", "description"},
+        {"quantity"},
+        {"unit"},
+        {"unit", "price"},
+        {"line", "amount"},
+        {"discount", "rate"},
+        {"item", "weight"},
+        {"color"},
+        {"size", "code"},
+        {"warranty", "months"}}},
+      {"payment",
+       {{"payment", "terms"},
+        {"payment", "method"},
+        {"due", "date"},
+        {"paid", "amount"},
+        {"tax", "amount"},
+        {"tax", "rate"},
+        {"bank", "account"},
+        {"iban"},
+        {"installments"},
+        {"late", "fee"}}},
+      {"delivery",
+       {{"carrier", "name"},
+        {"tracking", "number"},
+        {"ship", "date"},
+        {"arrival", "date"},
+        {"delivery", "instructions"},
+        {"package", "count"},
+        {"freight", "cost"},
+        {"incoterms"},
+        {"dock", "code"},
+        {"delivery", "window"}}},
+      {"vendor",
+       {{"vendor", "name"},
+        {"vendor", "id"},
+        {"vendor", "rating"},
+        {"contract", "number"},
+        {"lead", "time"},
+        {"minimum", "order"},
+        {"vendor", "phone"},
+        {"vendor", "email"},
+        {"vendor", "city"},
+        {"vendor", "country"}}},
+      {"totals",
+       {{"subtotal"},
+        {"grand", "total"},
+        {"total", "tax"},
+        {"total", "discount"},
+        {"rounding"},
+        {"currency", "rate"},
+        {"total", "weight"},
+        {"total", "items"}}},
+      {"audit",
+       {{"created", "at"},
+        {"updated", "at"},
+        {"record", "version"},
+        {"source", "system"},
+        {"batch", "id"},
+        {"checksum"},
+        {"operator", "id"},
+        {"audit", "comment"}}},
+  };
+}
+
+std::vector<CategorySpec> BibliographyCategories() {
+  return {
+      {"publication",
+       {{"title"},
+        {"publication", "year"},
+        {"publication", "month"},
+        {"abstract"},
+        {"language"},
+        {"doi"},
+        {"url"},
+        {"isbn"},
+        {"issn"},
+        {"edition"},
+        {"volume"},
+        {"issue", "number"},
+        {"pages"},
+        {"chapter"},
+        {"series"},
+        {"note"},
+        {"keywords"},
+        {"copyright"}}},
+      {"author",
+       {{"first", "name"},
+        {"last", "name"},
+        {"middle", "name"},
+        {"affiliation"},
+        {"author", "email"},
+        {"homepage"},
+        {"orcid"},
+        {"biography"},
+        {"author", "order"},
+        {"corresponding", "flag"}}},
+      {"venue",
+       {{"journal", "name"},
+        {"conference", "name"},
+        {"venue", "location"},
+        {"publisher", "name"},
+        {"acronym"},
+        {"impact", "factor"},
+        {"venue", "issn"},
+        {"website"},
+        {"proceedings", "title"},
+        {"track", "name"}}},
+      {"organization",
+       {{"institution", "name"},
+        {"department"},
+        {"school"},
+        {"organization", "address"},
+        {"organization", "city"},
+        {"organization", "country"},
+        {"organization", "phone"},
+        {"grid", "id"}}},
+      {"event",
+       {{"start", "date"},
+        {"end", "date"},
+        {"submission", "deadline"},
+        {"notification", "date"},
+        {"camera", "ready", "date"},
+        {"registration", "fee"},
+        {"event", "city"},
+        {"event", "country"}}},
+      {"reference",
+       {{"cited", "key"},
+        {"cross", "reference"},
+        {"citation", "count"},
+        {"self", "citation"},
+        {"citation", "context"},
+        {"reference", "type"}}},
+      {"record",
+       {{"entry", "type"},
+        {"entry", "key"},
+        {"entry", "status"},
+        {"created", "date"},
+        {"modified", "date"},
+        {"source", "file"},
+        {"curator", "id"},
+        {"quality", "score"}}},
+  };
+}
+
+std::vector<CategorySpec> EntityResolutionCategories() {
+  return {
+      {"identity",
+       {{"record", "id"},
+        {"full", "name"},
+        {"first", "name"},
+        {"last", "name"},
+        {"birth", "date"},
+        {"gender"},
+        {"national", "id"},
+        {"nickname"}}},
+      {"contact",
+       {{"email", "address"},
+        {"phone", "number"},
+        {"mobile", "number"},
+        {"street", "address"},
+        {"city"},
+        {"zip", "code"},
+        {"country"},
+        {"preferred", "channel"}}},
+      {"account",
+       {{"account", "number"},
+        {"signup", "date"},
+        {"last", "login"},
+        {"loyalty", "points"},
+        {"account", "status"},
+        {"referrer", "id"},
+        {"marketing", "consent"}}},
+      {"purchase",
+       {{"order", "count"},
+        {"total", "spend"},
+        {"last", "order", "date"},
+        {"favorite", "category"},
+        {"average", "basket"},
+        {"return", "rate"},
+        {"payment", "method"}}},
+  };
+}
+
+std::vector<CategorySpec> UniversityCategories() {
+  return {
+      {"course",
+       {{"course", "code"},
+        {"course", "title"},
+        {"instructor", "name"},
+        {"room"},
+        {"building"},
+        {"start", "time"},
+        {"end", "time"},
+        {"credits"},
+        {"semester"},
+        {"course", "description"},
+        {"prerequisites"},
+        {"enrollment", "count"}}},
+  };
+}
+
+const std::map<std::string, std::vector<std::string>>& SynonymTable() {
+  static const auto* kTable =
+      new std::map<std::string, std::vector<std::string>>{
+          {"order", {"purchase", "po"}},
+          {"code", {"number", "no", "id"}},
+          {"number", {"num", "no", "code"}},
+          {"date", {"day"}},
+          {"time", {"hour"}},
+          {"city", {"town"}},
+          {"street", {"road"}},
+          {"zip", {"postal"}},
+          {"product", {"item", "article"}},
+          {"item", {"product", "article"}},
+          {"quantity", {"qty", "count"}},
+          {"amount", {"total", "sum"}},
+          {"price", {"cost", "rate"}},
+          {"cost", {"price", "charge"}},
+          {"customer", {"client", "buyer"}},
+          {"phone", {"telephone", "tel"}},
+          {"description", {"desc", "details"}},
+          {"name", {"label", "title"}},
+          {"vendor", {"supplier", "seller"}},
+          {"ship", {"shipment", "shipping", "deliver"}},
+          {"bill", {"billing", "invoice"}},
+          {"created", {"creation", "entry"}},
+          {"updated", {"modified", "changed"}},
+          {"id", {"identifier", "key"}},
+          {"email", {"mail", "eMail"}},
+          {"country", {"nation"}},
+          {"state", {"province"}},
+          {"payment", {"pay", "settlement"}},
+          {"carrier", {"shipper", "courier"}},
+          {"tracking", {"trace", "shipment"}},
+          {"total", {"sum", "overall"}},
+          {"tax", {"vat", "duty"}},
+          {"discount", {"rebate", "reduction"}},
+          {"title", {"name", "heading"}},
+          {"year", {"yr"}},
+          {"journal", {"periodical", "magazine"}},
+          {"conference", {"proceedings", "meeting"}},
+          {"publisher", {"press", "publishing"}},
+          {"institution", {"organization", "institute"}},
+          {"author", {"writer", "creator"}},
+          {"abstract", {"summary", "synopsis"}},
+          {"pages", {"pp", "pageRange"}},
+          {"volume", {"vol"}},
+          {"first", {"given", "fore"}},
+          {"last", {"family", "sur"}},
+          {"course", {"class", "subject"}},
+          {"instructor", {"teacher", "lecturer", "professor"}},
+          {"room", {"hall", "venue"}},
+          {"credits", {"points", "units"}},
+          {"semester", {"term", "session"}},
+          {"start", {"begin", "from"}},
+          {"end", {"finish", "until"}},
+      };
+  return *kTable;
+}
+
+DataType InferType(const Tokens& tokens) {
+  const std::string& last = tokens.back();
+  auto any = [&](std::initializer_list<const char*> words) {
+    for (const char* w : words) {
+      for (const auto& t : tokens) {
+        if (t == w) return true;
+      }
+    }
+    return false;
+  };
+  if (last == "date" || last == "day" || last == "at" ||
+      any({"date", "deadline"})) {
+    return DataType::kDate;
+  }
+  if (last == "time" || last == "hour") return DataType::kTime;
+  if (any({"code", "id", "key", "number", "isbn", "issn", "doi", "iban",
+           "orcid", "checksum"})) {
+    return DataType::kIdentifier;
+  }
+  if (any({"amount", "price", "cost", "total", "rate", "fee", "subtotal",
+           "rounding", "factor", "weight", "score"})) {
+    return DataType::kDecimal;
+  }
+  if (any({"quantity", "count", "months", "items", "credits", "year",
+           "volume", "pages", "chapter", "installments", "enrollment",
+           "order"})) {
+    return DataType::kInteger;
+  }
+  if (any({"flag", "citation"})) return DataType::kBoolean;
+  return DataType::kString;
+}
+
+std::vector<std::string> InstancesForType(DataType type, stats::Rng& rng) {
+  auto pick = [&](std::initializer_list<const char*> options) {
+    std::vector<std::string> out;
+    std::vector<const char*> pool(options);
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(pool[rng.UniformIndex(pool.size())]);
+    }
+    return out;
+  };
+  switch (type) {
+    case DataType::kDate:
+      return pick({"2021-03-14", "2020-11-02", "2019-07-30", "2021-01-05"});
+    case DataType::kTime:
+      return pick({"14:32", "09:15", "18:40", "11:05"});
+    case DataType::kIdentifier:
+      return pick({"PO-10293", "A-4471", "X99-031", "ZK-7718"});
+    case DataType::kDecimal:
+      return pick({"184.50", "12.99", "1023.00", "7.25"});
+    case DataType::kInteger:
+      return pick({"3", "12", "240", "7"});
+    case DataType::kBoolean:
+      return pick({"true", "false"});
+    case DataType::kString:
+      return pick({"Haifa", "alpha", "standard", "Crete"});
+  }
+  return {};
+}
+
+/// Per-schema naming style.
+struct NamingStyle {
+  bool camel_case = true;
+  double synonym_probability = 0.3;
+  double abbreviation_probability = 0.1;
+  std::string prefix;  // optional leading token, e.g. "po"
+};
+
+std::string RenderName(const Tokens& tokens, const NamingStyle& style,
+                       stats::Rng& rng) {
+  Tokens rendered;
+  if (!style.prefix.empty()) rendered.push_back(style.prefix);
+  for (const auto& token : tokens) {
+    std::string word = token;
+    const auto& synonyms = SynonymTable();
+    auto it = synonyms.find(token);
+    if (it != synonyms.end() && rng.Bernoulli(style.synonym_probability)) {
+      word = it->second[rng.UniformIndex(it->second.size())];
+    }
+    if (word.size() > 4 && rng.Bernoulli(style.abbreviation_probability)) {
+      word = word.substr(0, 4);
+    }
+    rendered.push_back(word);
+  }
+  std::string name;
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    std::string word = rendered[i];
+    if (style.camel_case) {
+      if (i > 0 && !word.empty()) {
+        word[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(word[0])));
+      }
+      name += word;
+    } else {
+      if (i > 0) name += "_";
+      name += word;
+    }
+  }
+  return name;
+}
+
+std::string MakeUnique(std::string name, std::set<std::string>& used) {
+  std::string candidate = name;
+  int suffix = 2;
+  while (!used.insert(candidate).second) {
+    candidate = name + std::to_string(suffix++);
+  }
+  return candidate;
+}
+
+std::vector<CategorySpec> CategoriesFor(Domain domain) {
+  switch (domain) {
+    case Domain::kPurchaseOrder:
+      return PurchaseOrderCategories();
+    case Domain::kBibliography:
+      return BibliographyCategories();
+    case Domain::kUniversity:
+      return UniversityCategories();
+    case Domain::kEntityResolution:
+      return EntityResolutionCategories();
+  }
+  throw std::invalid_argument("CategoriesFor: unknown domain");
+}
+
+/// Flattens the category table into a concept pool, extending it with
+/// numbered variants until at least `minimum` concepts exist.
+std::vector<ConceptSpec> BuildPool(const std::vector<CategorySpec>& cats,
+                                   std::size_t minimum) {
+  std::vector<ConceptSpec> pool;
+  long long next_id = 1;
+  for (std::size_t c = 0; c < cats.size(); ++c) {
+    for (const auto& tokens : cats[c].concepts) {
+      pool.push_back(ConceptSpec{tokens, c, next_id++});
+    }
+  }
+  // Numbered variants ("address line 2", "contact person 2", ...) mimic
+  // how large real schemata repeat concepts.
+  std::size_t base = pool.size();
+  int round = 2;
+  while (pool.size() < minimum) {
+    for (std::size_t i = 0; i < base && pool.size() < minimum; ++i) {
+      ConceptSpec variant = pool[i];
+      variant.tokens.push_back(std::to_string(round));
+      variant.id = next_id++;
+      pool.push_back(std::move(variant));
+    }
+    ++round;
+  }
+  return pool;
+}
+
+struct SchemaPlan {
+  std::vector<std::size_t> concept_indices;  // into the pool
+  std::vector<std::size_t> categories;       // category ids used
+};
+
+// Category names in the tables above use snake_case; split them into
+// tokens the renderer can restyle.
+Tokens TokenizeNameHelper(const std::string& text) {
+  Tokens out;
+  std::string current;
+  for (char ch : text) {
+    if (ch == '_') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+/// Renders a planned schema: root -> category nodes -> leaf attributes.
+/// `index_of_concept` receives pool-index -> schema element index.
+Schema RenderSchema(const std::string& name,
+                    const std::vector<CategorySpec>& cats,
+                    const std::vector<ConceptSpec>& pool,
+                    const SchemaPlan& plan, const NamingStyle& style,
+                    stats::Rng& rng, bool use_categories,
+                    std::map<std::size_t, std::size_t>* index_of_concept) {
+  Schema schema(name);
+  std::set<std::string> used_names;
+  Attribute root;
+  root.name = MakeUnique(name, used_names);
+  root.type = DataType::kString;
+  const std::size_t root_idx = schema.AddAttribute(root, -1);
+
+  std::map<std::size_t, std::size_t> category_node;
+  if (use_categories) {
+    for (std::size_t cat : plan.categories) {
+      Attribute node;
+      node.name = MakeUnique(
+          RenderName(TokenizeNameHelper(cats[cat].name), style, rng),
+          used_names);
+      node.type = DataType::kString;
+      category_node[cat] =
+          schema.AddAttribute(node, static_cast<int>(root_idx));
+    }
+  }
+
+  for (std::size_t pool_idx : plan.concept_indices) {
+    const ConceptSpec& spec = pool[pool_idx];
+    Attribute leaf;
+    leaf.name = MakeUnique(RenderName(spec.tokens, style, rng),
+                           used_names);
+    leaf.type = InferType(spec.tokens);
+    leaf.instances = InstancesForType(leaf.type, rng);
+    leaf.concept_id = spec.id;
+    int parent = static_cast<int>(root_idx);
+    if (use_categories) {
+      auto it = category_node.find(spec.category);
+      if (it != category_node.end()) parent = static_cast<int>(it->second);
+    }
+    const std::size_t idx = schema.AddAttribute(leaf, parent);
+    (*index_of_concept)[pool_idx] = idx;
+  }
+  return schema;
+}
+
+}  // namespace
+
+GeneratedPair GeneratePair(const GeneratorConfig& config) {
+  if (config.source_size < 6 || config.target_size < 6) {
+    throw std::invalid_argument("GeneratePair: schemas must have >= 6 elems");
+  }
+  stats::Rng rng(config.seed);
+  const std::vector<CategorySpec> cats = CategoriesFor(config.domain);
+
+  const bool source_categories = config.source_size >= 20;
+  const bool target_categories = config.target_size >= 20;
+
+  // Category selection: the source uses every category, the target a
+  // subset proportional to its size.
+  std::vector<std::size_t> all_cats(cats.size());
+  std::iota(all_cats.begin(), all_cats.end(), 0);
+
+  std::size_t target_cat_count =
+      target_categories
+          ? std::max<std::size_t>(
+                2, std::min(cats.size(), config.target_size / 10))
+          : 0;
+  std::vector<std::size_t> shuffled_cats = all_cats;
+  rng.Shuffle(shuffled_cats);
+  std::vector<std::size_t> target_cats(
+      shuffled_cats.begin(),
+      shuffled_cats.begin() +
+          static_cast<long>(std::min(target_cat_count,
+                                     shuffled_cats.size())));
+  // Grow the category selection until it can supply the target leaves
+  // (small vocabularies would otherwise starve the target schema).
+  auto category_capacity = [&]() {
+    std::size_t capacity = 0;
+    for (std::size_t cat : target_cats) {
+      capacity += cats[cat].concepts.size();
+    }
+    return capacity;
+  };
+  while (!target_cats.empty() && target_cats.size() < shuffled_cats.size() &&
+         category_capacity() + target_cats.size() < config.target_size) {
+    target_cats.push_back(shuffled_cats[target_cats.size()]);
+  }
+
+  const std::size_t source_overhead =
+      1 + (source_categories ? cats.size() : 0);
+  const std::size_t target_overhead = 1 + target_cats.size();
+  if (config.source_size <= source_overhead ||
+      config.target_size <= target_overhead) {
+    throw std::invalid_argument("GeneratePair: size too small for layout");
+  }
+  const std::size_t source_leaves = config.source_size - source_overhead;
+  const std::size_t target_leaves = config.target_size - target_overhead;
+
+  const std::vector<ConceptSpec> pool =
+      BuildPool(cats, source_leaves + target_leaves);
+
+  // Target concepts come from the target's categories only.
+  std::vector<std::size_t> target_candidates;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (target_cats.empty() ||
+        std::find(target_cats.begin(), target_cats.end(),
+                  pool[i].category) != target_cats.end()) {
+      target_candidates.push_back(i);
+    }
+  }
+  rng.Shuffle(target_candidates);
+  if (target_candidates.size() < target_leaves) {
+    throw std::invalid_argument("GeneratePair: concept pool too small");
+  }
+  std::vector<std::size_t> target_concepts(
+      target_candidates.begin(),
+      target_candidates.begin() + static_cast<long>(target_leaves));
+
+  // Shared concepts: a prefix of the target concepts.
+  const std::size_t shared = std::min(
+      target_leaves,
+      static_cast<std::size_t>(config.overlap_fraction *
+                               static_cast<double>(target_leaves)));
+  std::set<std::size_t> shared_set(target_concepts.begin(),
+                                   target_concepts.begin() +
+                                       static_cast<long>(shared));
+  std::set<std::size_t> target_only(
+      target_concepts.begin() + static_cast<long>(shared),
+      target_concepts.end());
+
+  // Source concepts: all shared ones plus fill from the rest of the pool.
+  std::vector<std::size_t> source_concepts(shared_set.begin(),
+                                           shared_set.end());
+
+  // 1:n correspondences: real references (including the paper's own
+  // poDay/poTime -> orderDate example) often map several source
+  // attributes to one target attribute. With probability
+  // `kVariantFraction` a shared concept gains a second source attribute
+  // carrying the same concept id.
+  std::vector<ConceptSpec> extended_pool = pool;
+  const double kVariantFraction = 0.35;
+  static const char* kVariantWords[] = {"detail", "info", "alt", "aux"};
+  for (std::size_t concept_idx : shared_set) {
+    if (source_concepts.size() >= source_leaves) break;
+    if (!rng.Bernoulli(kVariantFraction)) continue;
+    ConceptSpec variant = pool[concept_idx];
+    variant.tokens.push_back(
+        kVariantWords[rng.UniformIndex(4)]);
+    source_concepts.push_back(extended_pool.size());
+    extended_pool.push_back(std::move(variant));
+  }
+
+  std::vector<std::size_t> filler;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (shared_set.count(i) == 0 && target_only.count(i) == 0) {
+      filler.push_back(i);
+    }
+  }
+  rng.Shuffle(filler);
+  for (std::size_t i = 0;
+       i < filler.size() && source_concepts.size() < source_leaves; ++i) {
+    source_concepts.push_back(filler[i]);
+  }
+  if (source_concepts.size() < source_leaves) {
+    throw std::invalid_argument("GeneratePair: pool exhausted for source");
+  }
+  rng.Shuffle(source_concepts);
+
+  // Category lists actually used (order-stable).
+  auto used_categories = [&](const std::vector<std::size_t>& concepts) {
+    std::set<std::size_t> seen;
+    for (std::size_t idx : concepts) seen.insert(extended_pool[idx].category);
+    return std::vector<std::size_t>(seen.begin(), seen.end());
+  };
+
+  SchemaPlan source_plan{source_concepts, used_categories(source_concepts)};
+  SchemaPlan target_plan{target_concepts, used_categories(target_concepts)};
+
+  NamingStyle source_style;
+  source_style.camel_case = true;
+  source_style.synonym_probability = 0.15 * config.naming_divergence;
+  source_style.abbreviation_probability = 0.1 * config.naming_divergence;
+  source_style.prefix =
+      config.domain == Domain::kPurchaseOrder ? "po" : "";
+
+  NamingStyle target_style;
+  target_style.camel_case = config.domain != Domain::kBibliography;
+  target_style.synonym_probability = 0.55 * config.naming_divergence;
+  target_style.abbreviation_probability = 0.2 * config.naming_divergence;
+
+  GeneratedPair out;
+  std::map<std::size_t, std::size_t> source_index, target_index;
+  stats::Rng source_rng = rng.Split();
+  stats::Rng target_rng = rng.Split();
+  out.source = RenderSchema(
+      config.domain == Domain::kPurchaseOrder ? "PO1" : "Source", cats,
+      extended_pool, source_plan, source_style, source_rng,
+      source_categories, &source_index);
+  out.target = RenderSchema(
+      config.domain == Domain::kPurchaseOrder ? "PO2" : "Target", cats,
+      extended_pool, target_plan, target_style, target_rng,
+      target_categories, &target_index);
+
+  // The reference pairs every source attribute with every target
+  // attribute of the same concept (covers the 1:n variants).
+  for (std::size_t t_pool : shared_set) {
+    const long long concept_id = extended_pool[t_pool].id;
+    const std::size_t t_elem = target_index.at(t_pool);
+    for (const auto& [s_pool, s_elem] : source_index) {
+      if (extended_pool[s_pool].id == concept_id) {
+        out.reference.emplace_back(s_elem, t_elem);
+      }
+    }
+  }
+  std::sort(out.reference.begin(), out.reference.end());
+  return out;
+}
+
+GeneratedPair GeneratePurchaseOrderTask(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.domain = Domain::kPurchaseOrder;
+  config.source_size = 142;
+  config.target_size = 46;
+  config.overlap_fraction = 0.85;
+  config.seed = seed;
+  return GeneratePair(config);
+}
+
+GeneratedPair GenerateOaeiTask(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.domain = Domain::kBibliography;
+  config.source_size = 121;
+  config.target_size = 109;
+  config.overlap_fraction = 0.7;
+  config.naming_divergence = 0.75;
+  config.seed = seed;
+  return GeneratePair(config);
+}
+
+GeneratedPair GenerateEntityResolutionTask(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.domain = Domain::kEntityResolution;
+  config.source_size = 58;
+  config.target_size = 40;
+  config.overlap_fraction = 0.8;
+  config.naming_divergence = 0.65;
+  config.seed = seed;
+  return GeneratePair(config);
+}
+
+GeneratedPair GenerateWarmupTask(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.domain = Domain::kUniversity;
+  config.source_size = 12;
+  config.target_size = 10;
+  config.overlap_fraction = 0.9;
+  config.naming_divergence = 0.4;
+  config.seed = seed;
+  return GeneratePair(config);
+}
+
+}  // namespace mexi::schema

@@ -1,0 +1,75 @@
+#ifndef MEXI_SCHEMA_GENERATORS_H_
+#define MEXI_SCHEMA_GENERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace mexi::schema {
+
+/// A matching task: two schemata plus the reference match between them
+/// (pairs of element indices, source first). This is the synthetic
+/// stand-in for the paper's datasets; see DESIGN.md §1 for the
+/// substitution rationale.
+struct GeneratedPair {
+  Schema source{"source"};
+  Schema target{"target"};
+  /// Exact correspondences (source index, target index); one per shared
+  /// concept, leaf elements only.
+  std::vector<std::pair<std::size_t, std::size_t>> reference;
+};
+
+/// Domain vocabulary used by the generator.
+enum class Domain {
+  /// Purchase-order schemata after the COMA dataset the paper uses.
+  kPurchaseOrder,
+  /// Bibliographic ontologies after the OAEI benchmark task.
+  kBibliography,
+  /// Small university-catalog schemata after the Thalia warm-up task.
+  kUniversity,
+  /// Customer/product record schemata for the entity-resolution
+  /// extension the paper's conclusion proposes.
+  kEntityResolution,
+};
+
+/// Generator knobs. The element totals count *all* elements (internal
+/// grouping nodes included), matching how the paper reports sizes.
+struct GeneratorConfig {
+  Domain domain = Domain::kPurchaseOrder;
+  /// Total elements in the source schema.
+  std::size_t source_size = 142;
+  /// Total elements in the target schema.
+  std::size_t target_size = 46;
+  /// Fraction of target leaves that have a source counterpart.
+  double overlap_fraction = 0.85;
+  /// Controls how aggressively names diverge between the two schemata
+  /// (0 = identical names, 1 = synonym/abbreviation-heavy renaming).
+  double naming_divergence = 0.6;
+  std::uint64_t seed = 2021;
+};
+
+/// Builds a schema pair with a known reference match. Deterministic for
+/// a given config. Throws std::invalid_argument for impossible sizes
+/// (fewer than 6 elements a side).
+GeneratedPair GeneratePair(const GeneratorConfig& config);
+
+/// The paper's Purchase-Order task: 142- and 46-element schemata with
+/// high information content.
+GeneratedPair GeneratePurchaseOrderTask(std::uint64_t seed = 2021);
+
+/// The paper's OAEI ontology-alignment task: 121 and 109 elements.
+GeneratedPair GenerateOaeiTask(std::uint64_t seed = 2016);
+
+/// The Thalia-style warm-up task: short schemata (9-12 attributes).
+GeneratedPair GenerateWarmupTask(std::uint64_t seed = 7);
+
+/// Entity-resolution extension task (Section VI): two customer/product
+/// record layouts whose attribute correspondences a human must align
+/// before tuples can be deduplicated. 58 and 40 elements.
+GeneratedPair GenerateEntityResolutionTask(std::uint64_t seed = 2022);
+
+}  // namespace mexi::schema
+
+#endif  // MEXI_SCHEMA_GENERATORS_H_

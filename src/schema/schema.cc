@@ -1,0 +1,86 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mexi::schema {
+
+std::string DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kString:
+      return "string";
+    case DataType::kInteger:
+      return "integer";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+    case DataType::kBoolean:
+      return "boolean";
+    case DataType::kIdentifier:
+      return "identifier";
+  }
+  return "unknown";
+}
+
+std::size_t Schema::AddAttribute(Attribute attribute, int parent) {
+  if (parent >= 0) {
+    if (static_cast<std::size_t>(parent) >= attributes_.size()) {
+      throw std::out_of_range("Schema::AddAttribute: invalid parent");
+    }
+    attribute.parent = parent;
+    attribute.depth =
+        attributes_[static_cast<std::size_t>(parent)].depth + 1;
+  } else {
+    attribute.parent = -1;
+    attribute.depth = 0;
+  }
+  attribute.children.clear();
+  const std::size_t index = attributes_.size();
+  attributes_.push_back(std::move(attribute));
+  if (parent >= 0) {
+    attributes_[static_cast<std::size_t>(parent)].children.push_back(index);
+  }
+  return index;
+}
+
+std::vector<std::size_t> Schema::Roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].parent < 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schema::Leaves() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].children.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+int Schema::MaxDepth() const {
+  int best = -1;
+  for (const auto& a : attributes_) best = std::max(best, a.depth);
+  return best;
+}
+
+void Schema::PreOrderVisit(std::size_t node,
+                           std::vector<std::size_t>& out) const {
+  out.push_back(node);
+  for (std::size_t child : attributes_[node].children) {
+    PreOrderVisit(child, out);
+  }
+}
+
+std::vector<std::size_t> Schema::PreOrder() const {
+  std::vector<std::size_t> out;
+  out.reserve(attributes_.size());
+  for (std::size_t root : Roots()) PreOrderVisit(root, out);
+  return out;
+}
+
+}  // namespace mexi::schema

@@ -1,0 +1,94 @@
+#ifndef MEXI_SCHEMA_SCHEMA_H_
+#define MEXI_SCHEMA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mexi::schema {
+
+/// Primitive datatype of an attribute, used by the composite similarity
+/// matcher as a compatibility signal.
+enum class DataType {
+  kString,
+  kInteger,
+  kDecimal,
+  kDate,
+  kTime,
+  kBoolean,
+  kIdentifier,
+};
+
+/// Printable name of a datatype.
+std::string DataTypeName(DataType type);
+
+/// One schema element (attribute / ontology concept). Elements form a
+/// tree via parent/children indices — the Ontobuilder interface the paper
+/// used presents schemata as foldable trees of terms, and the simulator's
+/// exploration model walks this tree.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+  /// Example instance values shown in the properties box.
+  std::vector<std::string> instances;
+  /// Index of the parent element; -1 for roots.
+  int parent = -1;
+  /// Indices of child elements.
+  std::vector<std::size_t> children;
+  /// Depth in the tree (0 for roots); maintained by Schema::AddAttribute.
+  int depth = 0;
+  /// Identifier of the underlying real-world concept; two attributes in
+  /// different schemata correspond exactly when their concept ids match.
+  /// -1 for structural (grouping) elements.
+  long long concept_id = -1;
+};
+
+/// A data source: a named tree of attributes.
+///
+/// All of `Schema`'s elements are matchable (the paper's model aligns
+/// every element pair), but convenience accessors expose the leaves,
+/// which carry the actual data semantics.
+class Schema {
+ public:
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends an attribute under `parent` (-1 for a root) and returns its
+  /// index. Throws std::out_of_range for an invalid parent.
+  std::size_t AddAttribute(Attribute attribute, int parent = -1);
+
+  std::size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+
+  const Attribute& attribute(std::size_t i) const {
+    return attributes_.at(i);
+  }
+  Attribute& attribute(std::size_t i) { return attributes_.at(i); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Indices of root elements.
+  std::vector<std::size_t> Roots() const;
+
+  /// Indices of leaf elements (no children).
+  std::vector<std::size_t> Leaves() const;
+
+  /// Maximum depth over all elements; -1 when empty.
+  int MaxDepth() const;
+
+  /// Pre-order traversal (the order a user scanning the folded tree from
+  /// the top would encounter elements). Used by the simulator.
+  std::vector<std::size_t> PreOrder() const;
+
+ private:
+  void PreOrderVisit(std::size_t node,
+                     std::vector<std::size_t>& out) const;
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace mexi::schema
+
+#endif  // MEXI_SCHEMA_SCHEMA_H_

@@ -1,0 +1,70 @@
+#include "schema/tokenizer.h"
+
+#include <cctype>
+
+namespace mexi::schema {
+
+std::string ToLowerAscii(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeName(const std::string& name) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(ToLowerAscii(current));
+      current.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    if (c == '_' || c == '-' || c == ' ' || c == '.' || c == '/') {
+      flush();
+      continue;
+    }
+    const bool is_digit = std::isdigit(c) != 0;
+    const bool is_upper = std::isupper(c) != 0;
+    if (!current.empty()) {
+      const unsigned char prev =
+          static_cast<unsigned char>(current.back());
+      const bool prev_digit = std::isdigit(prev) != 0;
+      const bool prev_upper = std::isupper(prev) != 0;
+      // Boundary cases: aB | 9a | a9 | ABc (acronym followed by word).
+      if (is_digit != prev_digit) {
+        flush();
+      } else if (is_upper && !prev_upper) {
+        flush();
+      } else if (!is_upper && prev_upper && current.size() > 1 &&
+                 !prev_digit && !is_digit) {
+        // "POCode": split the trailing capital off the acronym run.
+        const char kept = current.back();
+        current.pop_back();
+        flush();
+        current.push_back(kept);
+      }
+    }
+    current.push_back(static_cast<char>(c));
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> CharacterNgrams(const std::string& text,
+                                         std::size_t n) {
+  std::vector<std::string> out;
+  if (n == 0) return out;
+  const std::string lower = ToLowerAscii(text);
+  if (lower.size() < n) return out;
+  for (std::size_t i = 0; i + n <= lower.size(); ++i) {
+    out.push_back(lower.substr(i, n));
+  }
+  return out;
+}
+
+}  // namespace mexi::schema

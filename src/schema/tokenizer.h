@@ -1,0 +1,26 @@
+#ifndef MEXI_SCHEMA_TOKENIZER_H_
+#define MEXI_SCHEMA_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace mexi::schema {
+
+/// Splits an attribute name into lowercase word tokens.
+///
+/// Handles the naming styles the generators emit and real schemata use:
+/// camelCase ("poShipToCity" -> po, ship, to, city), snake_case,
+/// kebab-case, digit boundaries ("address2" -> address, 2) and acronym
+/// runs ("POCode" -> po, code).
+std::vector<std::string> TokenizeName(const std::string& name);
+
+/// Lowercases ASCII letters.
+std::string ToLowerAscii(const std::string& text);
+
+/// Character n-grams (lowercased, n >= 1); returns empty for short input.
+std::vector<std::string> CharacterNgrams(const std::string& text,
+                                         std::size_t n);
+
+}  // namespace mexi::schema
+
+#endif  // MEXI_SCHEMA_TOKENIZER_H_

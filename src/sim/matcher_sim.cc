@@ -1,0 +1,297 @@
+#include "sim/matcher_sim.h"
+#include <functional>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace mexi::sim {
+
+namespace {
+
+using matching::Decision;
+using matching::MovementEvent;
+using matching::MovementType;
+
+/// Uniform point inside a {x0, y0, x1, y1} region, with Gaussian pull
+/// towards a preferred relative position when `bias_y` is in [0, 1].
+MovementEvent PointIn(const double region[4], double bias_y,
+                      stats::Rng& rng) {
+  MovementEvent e;
+  e.x = rng.Uniform(region[0], region[2]);
+  const double span = region[3] - region[1];
+  const double center = region[1] + bias_y * span;
+  e.y = stats::Clamp(rng.Gaussian(center, span * 0.12), region[1],
+                     region[3]);
+  return e;
+}
+
+struct Candidate {
+  std::size_t source = 0;
+  double perceived = 0.0;
+  double true_similarity = 0.0;
+};
+
+}  // namespace
+
+SimulatedTrace SimulateMatcher(const SimulationTask& task,
+                               const MatcherProfile& profile,
+                               stats::Rng& rng) {
+  if (task.pair == nullptr || task.similarity == nullptr ||
+      task.reference == nullptr) {
+    throw std::invalid_argument("SimulateMatcher: incomplete task");
+  }
+  const auto& source = task.pair->source;
+  const auto& target = task.pair->target;
+  const matching::MatchMatrix& sim = *task.similarity;
+  const matching::MatchMatrix& ref = *task.reference;
+
+  SimulatedTrace trace;
+  trace.movement =
+      matching::MovementMap(task.screen.width, task.screen.height);
+
+  // Target elements in UI scan order (pre-order of the foldable tree),
+  // leaves only.
+  std::vector<std::size_t> scan_order;
+  for (std::size_t idx : target.PreOrder()) {
+    if (target.attribute(idx).children.empty()) scan_order.push_back(idx);
+  }
+  const std::size_t num_leaves = scan_order.size();
+  if (num_leaves == 0) return trace;
+
+  // Exploration limits: depth caps how far down the list the matcher
+  // ever reaches; coverage decides how many of those are examined.
+  const std::size_t reach = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(profile.exploration_depth *
+                         static_cast<double>(num_leaves))));
+  std::size_t examined_count = static_cast<std::size_t>(std::lround(
+      profile.coverage * static_cast<double>(num_leaves) *
+      rng.Uniform(0.85, 1.15)));
+  examined_count = std::max<std::size_t>(1, std::min(examined_count, reach));
+
+  std::vector<std::size_t> source_leaves = source.Leaves();
+
+  // The UI presents a ranked candidate list per selected target term, so
+  // a human effectively judges a short list rather than every source
+  // element independently. Shortlist the top-k true-similarity
+  // candidates per target leaf; perception noise applies within it.
+  constexpr std::size_t kShortlist = 7;
+  std::vector<std::vector<std::size_t>> shortlist(target.size());
+  for (std::size_t j : scan_order) {
+    std::vector<std::pair<double, std::size_t>> ranked;
+    for (std::size_t i : source_leaves) {
+      const double s = sim.At(i, j);
+      if (s > 0.0) ranked.emplace_back(s, i);
+    }
+    const std::size_t k = std::min(kShortlist, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), std::greater<>());
+    for (std::size_t r = 0; r < k; ++r) {
+      shortlist[j].push_back(ranked[r].second);
+    }
+  }
+
+  double t = rng.Uniform(5.0, 20.0);
+  std::vector<Decision> declared;  // for review pass
+
+  auto report_confidence = [&](bool correct, double perceived) {
+    const double correctness_signal = correct ? 0.84 : 0.40;
+    const double similarity_signal =
+        0.52 + 0.2 * (stats::Clamp(perceived, 0.0, 1.0) - 0.5);
+    const double base =
+        profile.resolution_skill * correctness_signal +
+        (1.0 - profile.resolution_skill) * similarity_signal;
+    return stats::Clamp(
+        base + profile.confidence_bias +
+            rng.Gaussian(0.0, profile.confidence_noise),
+        0.02, 1.0);
+  };
+
+  auto add_movement = [&](MovementEvent e, MovementType type, double at) {
+    e.type = type;
+    e.timestamp = at;
+    trace.movement.Add(e);
+  };
+
+  auto mind_change = [&](double at) {
+    if (declared.empty()) return;
+    const std::size_t pick = rng.UniformIndex(declared.size());
+    Decision revisit = declared[pick];
+    const bool correct = ref.At(revisit.source, revisit.target) > 0.0;
+    double adjusted;
+    if (rng.Bernoulli(0.8 * profile.resolution_skill)) {
+      // Self-aware adjustment: experts pull confidence toward a value
+      // that reflects the truth, converging rather than saturating.
+      const double target = correct ? 0.85 : 0.3;
+      adjusted = revisit.confidence +
+                 0.3 * (target - revisit.confidence) +
+                 rng.Gaussian(0.0, 0.07);
+    } else {
+      adjusted = revisit.confidence + rng.Gaussian(0.0, 0.18);
+    }
+    revisit.confidence = stats::Clamp(adjusted, 0.02, 1.0);
+    revisit.timestamp = at;
+    trace.history.Add(revisit);
+    declared[pick].confidence = revisit.confidence;
+    // Revisits show up in the match table region.
+    add_movement(PointIn(task.screen.match_table, rng.Uniform(), rng),
+                 MovementType::kMove, at);
+    add_movement(PointIn(task.screen.match_table, rng.Uniform(), rng),
+                 MovementType::kLeftClick, at);
+  };
+
+  for (std::size_t k = 0; k < examined_count; ++k) {
+    const std::size_t j = scan_order[k];
+    const double progress = static_cast<double>(k) /
+                            static_cast<double>(examined_count);
+    const double list_position =
+        static_cast<double>(k) / static_cast<double>(num_leaves);
+
+    // --- Mouse: inspect the target tree (scrolling to depth). ---
+    double step_seconds = std::max(
+        2.0, rng.Gaussian(profile.seconds_per_decision,
+                          0.3 * profile.seconds_per_decision));
+    if (rng.Bernoulli(0.02)) step_seconds += 5.0 * profile.seconds_per_decision;
+    const double t_next = t + step_seconds;
+    double mt = t;
+    auto advance = [&]() {
+      mt = std::min(t_next, mt + rng.Uniform(0.3, 2.5));
+      return mt;
+    };
+
+    add_movement(PointIn(task.screen.target_tree, list_position, rng),
+                 MovementType::kMove, advance());
+    const int scrolls =
+        static_cast<int>(std::lround(list_position * 3.0)) +
+        (rng.Bernoulli(profile.scroll_tendency) ? 1 : 0);
+    for (int s = 0; s < scrolls; ++s) {
+      add_movement(PointIn(task.screen.target_tree, list_position, rng),
+                   MovementType::kScroll, advance());
+    }
+    add_movement(PointIn(task.screen.target_tree, list_position, rng),
+                 MovementType::kLeftClick, advance());
+
+    // --- Perception: rank candidates through noise. ---
+    // Skilled humans recognize semantic correspondences beyond string
+    // similarity (instances, position, domain knowledge); model that as
+    // an insight bonus on true pairs that shrinks with perception noise.
+    const double insight = stats::Clamp(
+        1.0 - profile.perception_noise * 2.2, 0.0, 1.0);
+    Candidate best, second;
+    best.perceived = -1.0;
+    second.perceived = -1.0;
+    for (std::size_t i : shortlist[j]) {
+      const double s = sim.At(i, j);
+      const double perceived =
+          s + 0.22 * insight * (ref.At(i, j) > 0.0 ? 1.0 : 0.0) +
+          rng.Gaussian(0.0, profile.perception_noise);
+      if (perceived > best.perceived) {
+        second = best;
+        best = Candidate{i, perceived, s};
+      } else if (perceived > second.perceived) {
+        second = Candidate{i, perceived, s};
+      }
+    }
+    if (best.perceived < 0.0) {
+      t = t_next;
+      continue;
+    }
+
+    // --- Mouse: consult source metadata / properties box. ---
+    if (rng.Bernoulli(profile.metadata_attention)) {
+      add_movement(PointIn(task.screen.source_tree,
+                           static_cast<double>(best.source) /
+                               static_cast<double>(source.size() + 1),
+                           rng),
+                   MovementType::kMove, advance());
+      if (rng.Bernoulli(0.5)) {
+        add_movement(PointIn(task.screen.source_tree, rng.Uniform(), rng),
+                     MovementType::kLeftClick, advance());
+      }
+      if (rng.Bernoulli(0.4)) {
+        add_movement(PointIn(task.screen.properties_box, 0.5, rng),
+                     MovementType::kMove, advance());
+      }
+    }
+    // Uncertainty scrolling: small winner margin triggers re-reading.
+    if (best.perceived - std::max(second.perceived, 0.0) < 0.1 &&
+        rng.Bernoulli(profile.scroll_tendency)) {
+      for (int s = 0; s < 2; ++s) {
+        add_movement(PointIn(task.screen.source_tree, rng.Uniform(), rng),
+                     MovementType::kScroll, advance());
+      }
+    }
+
+    // --- Declare: threshold drifts down over the session (bias). ---
+    const double threshold_now =
+        profile.decision_threshold * (1.0 - profile.threshold_drift *
+                                                progress);
+    t = t_next;
+    if (best.perceived > threshold_now) {
+      const bool correct = ref.At(best.source, j) > 0.0;
+      Decision d;
+      d.source = best.source;
+      d.target = j;
+      d.confidence = report_confidence(correct, best.perceived);
+      d.timestamp = t;
+      trace.history.Add(d);
+      declared.push_back(d);
+      // Travel to the match table, then click to record the match.
+      add_movement(PointIn(task.screen.match_table, list_position, rng),
+                   MovementType::kMove, t);
+      add_movement(PointIn(task.screen.match_table, list_position, rng),
+                   rng.Bernoulli(0.05) ? MovementType::kRightClick
+                                       : MovementType::kLeftClick,
+                   t);
+
+      // Possibly add the runner-up (1:n correspondences).
+      if (second.perceived > threshold_now - 0.05 &&
+          rng.Bernoulli(profile.second_candidate_rate)) {
+        const bool correct2 = ref.At(second.source, j) > 0.0;
+        Decision d2;
+        d2.source = second.source;
+        d2.target = j;
+        d2.confidence = report_confidence(correct2, second.perceived);
+        t += std::max(1.0, rng.Gaussian(profile.seconds_per_decision * 0.4,
+                                        5.0));
+        d2.timestamp = t;
+        trace.history.Add(d2);
+        declared.push_back(d2);
+        add_movement(PointIn(task.screen.match_table, list_position, rng),
+                     MovementType::kLeftClick, t);
+      }
+    }
+
+    // --- Mind change. ---
+    if (rng.Bernoulli(profile.mind_change_rate)) {
+      t += std::max(1.0, rng.Gaussian(profile.seconds_per_decision * 0.5,
+                                      5.0));
+      mind_change(t);
+    }
+  }
+
+  // --- Review passes: re-examine slices of the declared pairs. Humans
+  // who review at all tend to do several sweeps, which is also what
+  // brings session lengths to the ~55-decision scale of the paper's
+  // participants. ---
+  for (int pass = 0; pass < 4; ++pass) {
+    if (!rng.Bernoulli(profile.review_pass_rate) || declared.empty()) break;
+    const std::size_t revisits = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               rng.Uniform(0.5, 0.9) *
+               static_cast<double>(declared.size()))));
+    for (std::size_t r = 0; r < revisits; ++r) {
+      t += std::max(1.0, rng.Gaussian(profile.seconds_per_decision * 0.6,
+                                      8.0));
+      mind_change(t);
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace mexi::sim

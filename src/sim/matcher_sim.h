@@ -1,0 +1,61 @@
+#ifndef MEXI_SIM_MATCHER_SIM_H_
+#define MEXI_SIM_MATCHER_SIM_H_
+
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+#include "matching/movement.h"
+#include "schema/generators.h"
+#include "sim/profile.h"
+#include "stats/rng.h"
+
+namespace mexi::sim {
+
+/// Screen geometry of the (simulated) Ontobuilder-style matching UI:
+/// the two schema trees at the top, a properties box in the middle and
+/// the match table at the bottom — the regions visible in the paper's
+/// heat maps.
+struct ScreenLayout {
+  double width = 1280.0;
+  double height = 800.0;
+  // Axis-aligned regions: {x0, y0, x1, y1}.
+  double source_tree[4] = {60.0, 40.0, 580.0, 330.0};
+  double target_tree[4] = {700.0, 40.0, 1240.0, 330.0};
+  double properties_box[4] = {500.0, 340.0, 780.0, 420.0};
+  double match_table[4] = {120.0, 440.0, 1160.0, 770.0};
+};
+
+/// Everything the simulator needs about the matching task.
+struct SimulationTask {
+  const schema::GeneratedPair* pair = nullptr;
+  /// Algorithmic similarity landscape (perception substrate).
+  const matching::MatchMatrix* similarity = nullptr;
+  /// Exact reference M^e.
+  const matching::MatchMatrix* reference = nullptr;
+  ScreenLayout screen;
+};
+
+/// The observable output of one simulated matcher: exactly the paper's
+/// D = (H, G).
+struct SimulatedTrace {
+  matching::DecisionHistory history;
+  matching::MovementMap movement{1280.0, 800.0};
+};
+
+/// Simulates one human matcher working through the task.
+///
+/// The decision model follows the phenomena reported by the paper and by
+/// Ackerman et al.: the matcher scans the target tree top-down as far as
+/// `exploration_depth` allows, perceives candidate similarities through
+/// `perception_noise`, declares matches above a threshold that *drifts
+/// down* over the session (`threshold_drift`, the low-confidence-match
+/// bias), reports confidences whose correctness-correlation is set by
+/// `resolution_skill` and whose level is shifted by `confidence_bias`,
+/// revisits earlier pairs (`mind_change_rate`, review pass), and moves
+/// the mouse through the UI regions according to its attention profile.
+SimulatedTrace SimulateMatcher(const SimulationTask& task,
+                               const MatcherProfile& profile,
+                               stats::Rng& rng);
+
+}  // namespace mexi::sim
+
+#endif  // MEXI_SIM_MATCHER_SIM_H_

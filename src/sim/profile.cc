@@ -1,0 +1,154 @@
+#include "sim/profile.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::sim {
+
+namespace {
+
+double Jitter(stats::Rng& rng, double mean, double stddev, double lo,
+              double hi) {
+  return stats::Clamp(rng.Gaussian(mean, stddev), lo, hi);
+}
+
+}  // namespace
+
+std::string ArchetypeName(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kExpertA:
+      return "A:precise+thorough";
+    case Archetype::kSloppyB:
+      return "B:imprecise+incomplete";
+    case Archetype::kNarrowC:
+      return "C:precise+incomplete";
+    case Archetype::kUnreliableD:
+      return "D:strong+unreliable";
+    case Archetype::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+MatcherProfile SampleProfile(Archetype archetype, stats::Rng& rng) {
+  MatcherProfile p;
+  p.archetype = archetype;
+  switch (archetype) {
+    case Archetype::kExpertA:
+      p.perception_noise = Jitter(rng, 0.07, 0.02, 0.02, 0.15);
+      p.coverage = Jitter(rng, 0.78, 0.08, 0.58, 0.95);
+      p.decision_threshold = Jitter(rng, 0.42, 0.04, 0.3, 0.55);
+      p.second_candidate_rate = Jitter(rng, 0.7, 0.1, 0.4, 1.0);
+      p.resolution_skill = Jitter(rng, 0.72, 0.08, 0.5, 0.92);
+      p.confidence_bias = Jitter(rng, 0.05, 0.05, -0.08, 0.18);
+      p.confidence_noise = Jitter(rng, 0.17, 0.03, 0.09, 0.26);
+      p.threshold_drift = Jitter(rng, 0.05, 0.03, 0.0, 0.15);
+      p.mind_change_rate = Jitter(rng, 0.34, 0.06, 0.15, 0.55);
+      p.review_pass_rate = Jitter(rng, 0.75, 0.12, 0.4, 1.0);
+      p.metadata_attention = Jitter(rng, 0.9, 0.05, 0.7, 1.0);
+      p.exploration_depth = Jitter(rng, 0.95, 0.05, 0.8, 1.0);
+      p.seconds_per_decision = Jitter(rng, 40.0, 8.0, 20.0, 80.0);
+      p.scroll_tendency = Jitter(rng, 0.35, 0.1, 0.1, 0.7);
+      break;
+    case Archetype::kSloppyB:
+      p.perception_noise = Jitter(rng, 0.32, 0.06, 0.2, 0.5);
+      p.coverage = Jitter(rng, 0.5, 0.12, 0.25, 0.8);
+      p.decision_threshold = Jitter(rng, 0.38, 0.06, 0.25, 0.55);
+      p.second_candidate_rate = Jitter(rng, 0.2, 0.08, 0.0, 0.45);
+      p.resolution_skill = Jitter(rng, 0.18, 0.09, 0.0, 0.4);
+      p.confidence_bias = Jitter(rng, 0.44, 0.09, 0.22, 0.65);
+      p.confidence_noise = Jitter(rng, 0.24, 0.05, 0.12, 0.4);
+      p.threshold_drift = Jitter(rng, 0.3, 0.08, 0.1, 0.5);
+      p.mind_change_rate = Jitter(rng, 0.36, 0.06, 0.18, 0.55);
+      p.review_pass_rate = Jitter(rng, 0.45, 0.1, 0.15, 0.75);
+      p.metadata_attention = Jitter(rng, 0.25, 0.1, 0.05, 0.5);
+      p.exploration_depth = Jitter(rng, 0.6, 0.15, 0.3, 0.9);
+      p.seconds_per_decision = Jitter(rng, 30.0, 8.0, 15.0, 60.0);
+      p.scroll_tendency = Jitter(rng, 0.75, 0.12, 0.4, 1.0);
+      break;
+    case Archetype::kNarrowC:
+      p.perception_noise = Jitter(rng, 0.09, 0.03, 0.03, 0.18);
+      p.coverage = Jitter(rng, 0.3, 0.07, 0.12, 0.45);
+      p.decision_threshold = Jitter(rng, 0.5, 0.04, 0.4, 0.62);
+      p.second_candidate_rate = Jitter(rng, 0.3, 0.1, 0.05, 0.6);
+      p.resolution_skill = Jitter(rng, 0.58, 0.1, 0.35, 0.85);
+      p.confidence_bias = Jitter(rng, 0.06, 0.07, -0.12, 0.25);
+      p.confidence_noise = Jitter(rng, 0.17, 0.04, 0.08, 0.28);
+      p.threshold_drift = Jitter(rng, 0.05, 0.03, 0.0, 0.15);
+      p.mind_change_rate = Jitter(rng, 0.3, 0.05, 0.12, 0.5);
+      p.review_pass_rate = Jitter(rng, 0.6, 0.13, 0.2, 0.95);
+      p.metadata_attention = Jitter(rng, 0.75, 0.1, 0.5, 1.0);
+      p.exploration_depth = Jitter(rng, 0.35, 0.1, 0.15, 0.6);
+      p.seconds_per_decision = Jitter(rng, 60.0, 12.0, 35.0, 110.0);
+      p.scroll_tendency = Jitter(rng, 0.3, 0.1, 0.1, 0.6);
+      break;
+    case Archetype::kUnreliableD:
+      p.perception_noise = Jitter(rng, 0.11, 0.03, 0.04, 0.2);
+      p.coverage = Jitter(rng, 0.68, 0.09, 0.45, 0.9);
+      p.decision_threshold = Jitter(rng, 0.42, 0.05, 0.3, 0.55);
+      p.second_candidate_rate = Jitter(rng, 0.65, 0.12, 0.35, 1.0);
+      p.resolution_skill = Jitter(rng, 0.12, 0.06, 0.0, 0.3);
+      p.confidence_bias = Jitter(rng, -0.22, 0.07, -0.4, -0.05);
+      p.confidence_noise = Jitter(rng, 0.28, 0.05, 0.18, 0.42);
+      p.threshold_drift = Jitter(rng, 0.12, 0.05, 0.0, 0.25);
+      p.mind_change_rate = Jitter(rng, 0.32, 0.06, 0.15, 0.5);
+      p.review_pass_rate = Jitter(rng, 0.6, 0.13, 0.2, 0.95);
+      p.metadata_attention = Jitter(rng, 0.65, 0.12, 0.35, 0.95);
+      p.exploration_depth = Jitter(rng, 0.85, 0.08, 0.6, 1.0);
+      p.seconds_per_decision = Jitter(rng, 45.0, 10.0, 25.0, 90.0);
+      p.scroll_tendency = Jitter(rng, 0.55, 0.12, 0.25, 0.9);
+      break;
+    case Archetype::kMixed:
+      p.perception_noise = rng.Uniform(0.05, 0.3);
+      p.coverage = rng.Uniform(0.15, 0.9);
+      p.decision_threshold = rng.Uniform(0.3, 0.6);
+      p.second_candidate_rate = rng.Uniform(0.05, 0.7);
+      p.resolution_skill = rng.Uniform(0.05, 0.8);
+      p.confidence_bias = rng.Uniform(-0.28, 0.5);
+      p.confidence_noise = rng.Uniform(0.12, 0.38);
+      p.threshold_drift = rng.Uniform(0.0, 0.4);
+      p.mind_change_rate = rng.Uniform(0.15, 0.5);
+      p.review_pass_rate = rng.Uniform(0.2, 0.95);
+      p.metadata_attention = rng.Uniform(0.15, 0.95);
+      p.exploration_depth = rng.Uniform(0.25, 1.0);
+      p.seconds_per_decision = rng.Uniform(20.0, 100.0);
+      p.scroll_tendency = rng.Uniform(0.1, 0.9);
+      break;
+  }
+  return p;
+}
+
+std::vector<MatcherProfile> SamplePopulation(std::size_t count,
+                                             const PopulationMix& mix,
+                                             stats::Rng& rng) {
+  const double total =
+      mix.expert_a + mix.sloppy_b + mix.narrow_c + mix.unreliable_d +
+      mix.mixed;
+  if (total <= 0.0) {
+    throw std::invalid_argument("SamplePopulation: empty mixture");
+  }
+  std::vector<MatcherProfile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.Uniform(0.0, total);
+    Archetype archetype;
+    if (u < mix.expert_a) {
+      archetype = Archetype::kExpertA;
+    } else if (u < mix.expert_a + mix.sloppy_b) {
+      archetype = Archetype::kSloppyB;
+    } else if (u < mix.expert_a + mix.sloppy_b + mix.narrow_c) {
+      archetype = Archetype::kNarrowC;
+    } else if (u <
+               mix.expert_a + mix.sloppy_b + mix.narrow_c +
+                   mix.unreliable_d) {
+      archetype = Archetype::kUnreliableD;
+    } else {
+      archetype = Archetype::kMixed;
+    }
+    out.push_back(SampleProfile(archetype, rng));
+  }
+  return out;
+}
+
+}  // namespace mexi::sim

@@ -1,0 +1,94 @@
+#ifndef MEXI_SIM_PROFILE_H_
+#define MEXI_SIM_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mexi::sim {
+
+/// The behavioral archetypes observed in the paper's experiments
+/// (Section I-A and Figures 1/4/5): A precise+thorough expert, B
+/// imprecise+incomplete, C precise but incomplete, D quantitatively
+/// strong but cognitively unreliable, plus free mixtures.
+enum class Archetype { kExpertA = 0, kSloppyB, kNarrowC, kUnreliableD, kMixed };
+
+/// Printable archetype name.
+std::string ArchetypeName(Archetype archetype);
+
+/// Latent behavioral parameters of one simulated human matcher. The
+/// decision simulator and the mouse simulator read these; the expert
+/// labels are *not* derived from the profile directly — they are computed
+/// from the produced traces, exactly as the paper computes them from
+/// observed behavior.
+struct MatcherProfile {
+  Archetype archetype = Archetype::kMixed;
+
+  // -- Quantitative skill --------------------------------------------
+  /// Std-dev of the Gaussian noise added to perceived similarities;
+  /// lower = more precise candidate selection.
+  double perception_noise = 0.15;
+  /// Fraction of the target-element space the matcher explores before
+  /// the self-imposed time limit (drives recall).
+  double coverage = 0.5;
+  /// Perceived-similarity threshold above which a match is declared.
+  double decision_threshold = 0.45;
+  /// Probability of also declaring the runner-up candidate when several
+  /// source attributes fit (1:n correspondences).
+  double second_candidate_rate = 0.3;
+
+  // -- Cognitive profile ---------------------------------------------
+  /// Weight of the correctness signal in reported confidence
+  /// (1 = perfectly correlated expert, 0 = confidence is noise).
+  double resolution_skill = 0.5;
+  /// Additive confidence bias: positive = overconfident.
+  double confidence_bias = 0.1;
+  /// Std-dev of confidence noise.
+  double confidence_noise = 0.15;
+  /// Ackerman-style bias: how quickly the matcher's declaration
+  /// threshold decays over the session (matching despite low
+  /// confidence, degrading late precision).
+  double threshold_drift = 0.15;
+  /// Probability per decision of revisiting an earlier pair.
+  double mind_change_rate = 0.12;
+  /// Probability of running a post-hoc review pass over declared pairs.
+  double review_pass_rate = 0.5;
+
+  // -- Attention / motor behavior -------------------------------------
+  /// How much the matcher inspects the source-schema metadata pane
+  /// (Matcher B famously skipped it).
+  double metadata_attention = 0.7;
+  /// How deep into the foldable trees the matcher scrolls (Matcher C
+  /// never reached the nested elements).
+  double exploration_depth = 0.8;
+  /// Mean seconds per decision.
+  double seconds_per_decision = 45.0;
+  /// Extra scrolling when uncertain (scroll features signal uncertainty).
+  double scroll_tendency = 0.5;
+};
+
+/// Draws a profile of the given archetype; parameters are jittered so no
+/// two matchers are identical.
+MatcherProfile SampleProfile(Archetype archetype, stats::Rng& rng);
+
+/// Mixture weights over archetypes used for population sampling.
+/// Defaults are calibrated so the simulated population reproduces the
+/// paper's Figure 8/9 marginals (see bench/fig8_population).
+struct PopulationMix {
+  double expert_a = 0.17;
+  double sloppy_b = 0.22;
+  double narrow_c = 0.27;
+  double unreliable_d = 0.14;
+  double mixed = 0.20;
+};
+
+/// Samples `count` profiles from the mixture.
+std::vector<MatcherProfile> SamplePopulation(std::size_t count,
+                                             const PopulationMix& mix,
+                                             stats::Rng& rng);
+
+}  // namespace mexi::sim
+
+#endif  // MEXI_SIM_PROFILE_H_

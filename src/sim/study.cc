@@ -1,0 +1,114 @@
+#include "sim/study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matching/similarity.h"
+#include "stats/descriptive.h"
+
+namespace mexi::sim {
+
+namespace {
+
+/// Derives self-reports whose couplings mirror the paper's findings:
+/// psychometric score tracks (latent) precision ability, English level
+/// tracks (latent) coverage, everything else is independent noise.
+PersonalInfo SamplePersonalInfo(const MatcherProfile& profile,
+                                stats::Rng& rng) {
+  PersonalInfo info;
+  info.female = rng.Bernoulli(0.45);
+  info.age = 21 + static_cast<int>(rng.UniformIndex(9));
+  const double precision_ability = 1.0 - profile.perception_noise / 0.5;
+  info.psychometric_score = static_cast<int>(stats::Clamp(
+      std::lround(620.0 + 90.0 * precision_ability +
+                  rng.Gaussian(0.0, 25.0)),
+      500, 800));
+  info.english_level = static_cast<int>(stats::Clamp(
+      std::lround(2.5 + 2.5 * profile.coverage + rng.Gaussian(0.0, 0.6)),
+      1, 5));
+  // 14% report domain knowledge above 1 (Section IV-A).
+  info.domain_knowledge =
+      rng.Bernoulli(0.14) ? 2 + static_cast<int>(rng.UniformIndex(3)) : 1;
+  info.db_education = rng.Bernoulli(0.95);
+  return info;
+}
+
+/// Simulates the short warm-up (qualification) task.
+matching::DecisionHistory SimulateWarmup(const SimulationTask& task,
+                                         const MatcherProfile& profile,
+                                         stats::Rng& rng) {
+  SimulatedTrace trace = SimulateMatcher(task, profile, rng);
+  return trace.history;
+}
+
+}  // namespace
+
+std::size_t Study::TotalDecisions() const {
+  std::size_t total = 0;
+  for (const auto& m : matchers) total += m.history.size();
+  return total;
+}
+
+Study BuildStudy(const schema::GeneratedPair& pair,
+                 const StudyConfig& config) {
+  Study study;
+  study.task = pair;
+  study.reference = matching::MatchMatrix::FromReference(
+      study.task.reference, study.task.source.size(),
+      study.task.target.size());
+  study.similarity =
+      matching::BuildSimilarityMatrix(study.task.source, study.task.target);
+
+  stats::Rng rng(config.seed);
+  study.warmup_task = schema::GenerateWarmupTask(rng.NextU64());
+  study.warmup_reference = matching::MatchMatrix::FromReference(
+      study.warmup_task.reference, study.warmup_task.source.size(),
+      study.warmup_task.target.size());
+  const matching::MatchMatrix warmup_similarity =
+      matching::BuildSimilarityMatrix(study.warmup_task.source,
+                                      study.warmup_task.target);
+
+  SimulationTask main_task;
+  main_task.pair = &study.task;
+  main_task.similarity = &study.similarity;
+  main_task.reference = &study.reference;
+
+  SimulationTask warmup_task;
+  warmup_task.pair = &study.warmup_task;
+  warmup_task.similarity = &warmup_similarity;
+  warmup_task.reference = &study.warmup_reference;
+
+  const std::vector<MatcherProfile> profiles =
+      SamplePopulation(config.num_matchers, config.mix, rng);
+
+  study.matchers.reserve(config.num_matchers);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    SimulatedMatcher matcher;
+    matcher.id = static_cast<int>(i);
+    matcher.profile = profiles[i];
+    stats::Rng matcher_rng = rng.Split();
+    matcher.personal = SamplePersonalInfo(profiles[i], matcher_rng);
+    matcher.warmup_history =
+        SimulateWarmup(warmup_task, profiles[i], matcher_rng);
+
+    SimulatedTrace trace = SimulateMatcher(main_task, profiles[i],
+                                           matcher_rng);
+    matcher.raw_history = trace.history;
+    matcher.history =
+        trace.history.Preprocessed(config.warmup_decisions, 2.0);
+    matcher.movement = std::move(trace.movement);
+    study.matchers.push_back(std::move(matcher));
+  }
+  return study;
+}
+
+Study BuildPurchaseOrderStudy(const StudyConfig& config) {
+  return BuildStudy(schema::GeneratePurchaseOrderTask(config.seed + 1),
+                    config);
+}
+
+Study BuildOaeiStudy(const StudyConfig& config) {
+  return BuildStudy(schema::GenerateOaeiTask(config.seed + 2), config);
+}
+
+}  // namespace mexi::sim

@@ -1,0 +1,85 @@
+#ifndef MEXI_SIM_STUDY_H_
+#define MEXI_SIM_STUDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+#include "matching/movement.h"
+#include "schema/generators.h"
+#include "sim/matcher_sim.h"
+#include "sim/profile.h"
+
+namespace mexi::sim {
+
+/// Self-reported personal information gathered before the experiment
+/// (Section IV-A). Generated with the correlations the paper found:
+/// psychometric score correlates with precision, English level with
+/// recall, and nothing correlates with the cognitive measures.
+struct PersonalInfo {
+  bool female = false;
+  int age = 25;
+  /// Psychometric entrance-exam score (population mean 533; the study's
+  /// participants average 678).
+  int psychometric_score = 678;
+  /// English level, 1-5 self-report.
+  int english_level = 4;
+  /// Domain knowledge, 1-5 self-report.
+  int domain_knowledge = 1;
+  /// Took a basic database management course.
+  bool db_education = true;
+};
+
+/// One participant: profile (latent), traces (observable), preprocessed
+/// history (per the paper's Section IV-A pipeline) and the warm-up-task
+/// trace used by the Qual. Test / Self-Assess baselines.
+struct SimulatedMatcher {
+  int id = 0;
+  MatcherProfile profile;
+  PersonalInfo personal;
+  /// Raw main-task decision history.
+  matching::DecisionHistory raw_history;
+  /// After warm-up removal and elapsed-time outlier filtering.
+  matching::DecisionHistory history;
+  matching::MovementMap movement{1280.0, 800.0};
+  /// Warm-up (Thalia-style) task history, for qualification baselines.
+  matching::DecisionHistory warmup_history;
+};
+
+/// A complete human-matching study over one task.
+struct Study {
+  schema::GeneratedPair task;
+  matching::MatchMatrix reference;
+  matching::MatchMatrix similarity;
+  schema::GeneratedPair warmup_task;
+  matching::MatchMatrix warmup_reference;
+  std::vector<SimulatedMatcher> matchers;
+
+  /// Total decisions across matchers (after preprocessing).
+  std::size_t TotalDecisions() const;
+};
+
+/// Configuration of a study build.
+struct StudyConfig {
+  std::size_t num_matchers = 106;
+  PopulationMix mix;
+  std::uint64_t seed = 42;
+  /// Warm-up decisions prepended (and later removed) per matcher.
+  std::size_t warmup_decisions = 3;
+};
+
+/// Builds the Purchase-Order study (the paper's 106 matchers).
+Study BuildPurchaseOrderStudy(const StudyConfig& config = {});
+
+/// Builds the OAEI ontology-alignment study (the paper's 34 matchers).
+Study BuildOaeiStudy(const StudyConfig& config);
+
+/// Shared implementation: simulates `config.num_matchers` matchers over
+/// an arbitrary generated pair.
+Study BuildStudy(const schema::GeneratedPair& pair,
+                 const StudyConfig& config);
+
+}  // namespace mexi::sim
+
+#endif  // MEXI_SIM_STUDY_H_

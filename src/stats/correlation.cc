@@ -1,0 +1,146 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::stats {
+
+namespace {
+
+void CheckSameSize(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("correlation: size mismatch");
+  }
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  CheckSameSize(x, y);
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) are tied; assign the mean 1-based rank.
+    const double mean_rank = (static_cast<double>(i) +
+                              static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  CheckSameSize(x, y);
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(x), AverageRanks(y));
+}
+
+CorrelationResult KendallTau(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  CheckSameSize(x, y);
+  CorrelationResult result;
+  const std::size_t n = x.size();
+  if (n < 2) return result;
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double prod = (x[i] - x[j]) * (y[i] - y[j]);
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+    }
+  }
+  result.concordant = concordant;
+  result.discordant = discordant;
+  const double all_pairs =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  result.value = (static_cast<double>(concordant) -
+                  static_cast<double>(discordant)) /
+                 all_pairs;
+  // Normal approximation: var(tau) = 2(2n+5) / (9n(n-1)).
+  const double variance =
+      2.0 * (2.0 * static_cast<double>(n) + 5.0) /
+      (9.0 * static_cast<double>(n) * static_cast<double>(n - 1));
+  result.p_value = TwoSidedPValue(result.value / std::sqrt(variance));
+  return result;
+}
+
+CorrelationResult GoodmanKruskalGamma(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  CheckSameSize(x, y);
+  CorrelationResult result;
+  const std::size_t n = x.size();
+  if (n < 2) return result;
+
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double prod = dx * dy;
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+      // Ties in either variable are ignored by gamma.
+    }
+  }
+  result.concordant = concordant;
+  result.discordant = discordant;
+  const double total = static_cast<double>(concordant + discordant);
+  if (total <= 0.0) return result;  // All ties: no association measurable.
+  result.value = (static_cast<double>(concordant) -
+                  static_cast<double>(discordant)) / total;
+
+  // Asymptotic z-test (Siegel & Castellan's approximation). When |gamma|
+  // is exactly 1 the approximation degenerates; with more than a handful
+  // of untied pairs this is overwhelming evidence, while tiny samples
+  // (like the 5-decision example in the paper, p = 0.5) stay insignificant.
+  const double g = result.value;
+  if (std::fabs(g) >= 1.0) {
+    result.p_value = total >= 8.0 ? 0.0 : 0.5;
+    return result;
+  }
+  const double z =
+      g * std::sqrt(total / (static_cast<double>(n) * (1.0 - g * g)));
+  result.p_value = TwoSidedPValue(z);
+  return result;
+}
+
+}  // namespace mexi::stats

@@ -1,0 +1,53 @@
+#ifndef MEXI_STATS_CORRELATION_H_
+#define MEXI_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace mexi::stats {
+
+/// Result of an association measure accompanied by a significance test.
+struct CorrelationResult {
+  /// The association coefficient (meaning depends on the measure).
+  double value = 0.0;
+  /// Two-sided p-value of the null hypothesis "no association".
+  double p_value = 1.0;
+  /// Number of concordant pairs (rank-based measures only).
+  long long concordant = 0;
+  /// Number of discordant pairs (rank-based measures only).
+  long long discordant = 0;
+};
+
+/// Pearson product-moment correlation; 0 for degenerate inputs.
+/// Requires x.size() == y.size().
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over average ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Goodman and Kruskal's gamma between two paired samples, with an
+/// asymptotic two-sided significance test.
+///
+/// This is the resolution measure of the paper's Eq. 4: `x` holds the
+/// matcher's confidences and `y` the 0/1 correctness of each decision.
+/// Gamma counts concordant (Nc) and discordant (Nd) pairs, ignoring
+/// ties: gamma = (Nc - Nd) / (Nc + Nd). Significance uses the standard
+/// normal approximation z = gamma * sqrt((Nc + Nd) / (n (1 - gamma^2))).
+/// Degenerate inputs (fewer than 2 points, all ties) yield value 0 and
+/// p_value 1.
+CorrelationResult GoodmanKruskalGamma(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Kendall's tau-a with the same normal-approximation significance test
+/// as gamma (pairs tied in either variable count toward the denominator,
+/// unlike gamma — tau penalizes ties, gamma ignores them).
+CorrelationResult KendallTau(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// Converts values to average ranks (1-based, ties share the mean rank).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace mexi::stats
+
+#endif  // MEXI_STATS_CORRELATION_H_

@@ -1,0 +1,117 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mexi::stats {
+
+double Sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Median(const std::vector<double>& values) {
+  return Percentile(values, 50.0);
+}
+
+double Percentile(const std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  p = Clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Skewness(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  const double sd = StdDev(values);
+  if (sd <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double v : values) {
+    const double z = (v - mu) / sd;
+    acc += z * z * z;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double Kurtosis(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  const double sd = StdDev(values);
+  if (sd <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double v : values) {
+    const double z = (v - mu) / sd;
+    acc += z * z * z * z;
+  }
+  return acc / static_cast<double>(values.size()) - 3.0;
+}
+
+double Entropy(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double TwoSidedPValue(double z) {
+  return 2.0 * (1.0 - NormalCdf(std::fabs(z)));
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+}  // namespace mexi::stats

@@ -1,0 +1,65 @@
+#ifndef MEXI_STATS_DESCRIPTIVE_H_
+#define MEXI_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace mexi::stats {
+
+/// Descriptive statistics over a sample of doubles.
+///
+/// All functions that require a non-empty sample return 0.0 on an empty
+/// input (documented per function) so that feature extraction over empty
+/// traces degrades gracefully instead of crashing; callers that must
+/// distinguish "no data" should check sizes themselves.
+
+/// Sum of the sample; 0 for an empty sample.
+double Sum(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by n); 0 for samples of size < 1.
+double Variance(const std::vector<double>& values);
+
+/// Sample variance (divides by n-1); 0 for samples of size < 2.
+double SampleVariance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Smallest element; 0 for an empty sample.
+double Min(const std::vector<double>& values);
+
+/// Largest element; 0 for an empty sample.
+double Max(const std::vector<double>& values);
+
+/// Median (average of the middle two for even sizes); 0 when empty.
+double Median(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 when empty.
+/// Matches numpy.percentile's default "linear" interpolation, which the
+/// paper's threshold-setting (80th / 20th train percentiles) relies on.
+double Percentile(const std::vector<double>& values, double p);
+
+/// Fisher-Pearson skewness coefficient; 0 for degenerate samples.
+double Skewness(const std::vector<double>& values);
+
+/// Excess kurtosis; 0 for degenerate samples.
+double Kurtosis(const std::vector<double>& values);
+
+/// Shannon entropy of a discrete distribution given by `weights`
+/// (non-negative, not necessarily normalized); 0 for empty/degenerate.
+double Entropy(const std::vector<double>& weights);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Two-sided p-value for a standard normal statistic z.
+double TwoSidedPValue(double z);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace mexi::stats
+
+#endif  // MEXI_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mexi::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::Add(double value) { AddWeighted(value, 1.0); }
+
+void Histogram::AddWeighted(double value, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  long long idx = static_cast<long long>(std::floor((value - lo_) / width));
+  idx = std::max<long long>(0,
+                            std::min<long long>(
+                                idx,
+                                static_cast<long long>(counts_.size()) - 1));
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::BinLower(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i] / total_;
+  }
+  return out;
+}
+
+std::size_t Histogram::ArgMax() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  std::ostringstream out;
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak > 0.0 ? static_cast<std::size_t>(std::lround(
+                         counts_[i] / peak * static_cast<double>(width)))
+                   : 0;
+    out << "[" << BinLower(i) << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mexi::stats

@@ -1,0 +1,57 @@
+#ifndef MEXI_STATS_HISTOGRAM_H_
+#define MEXI_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mexi::stats {
+
+/// Fixed-range histogram over doubles.
+///
+/// Used by the movement-map aggregation (binning screen positions) and by
+/// the report printers to render ASCII distributions. Values outside
+/// [lo, hi) are clamped into the edge bins so no observation is lost.
+class Histogram {
+ public:
+  /// Creates a histogram of `bins` equal-width buckets spanning [lo, hi).
+  /// Requires bins > 0 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds a weighted observation.
+  void AddWeighted(double value, double weight);
+
+  /// Number of buckets.
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Total accumulated weight.
+  double total() const { return total_; }
+
+  /// Weight in bucket `i`.
+  double count(std::size_t i) const { return counts_.at(i); }
+
+  /// Inclusive lower edge of bucket `i`.
+  double BinLower(std::size_t i) const;
+
+  /// Normalized weights (empty histogram yields all zeros).
+  std::vector<double> Normalized() const;
+
+  /// Index of the heaviest bucket (first one on ties).
+  std::size_t ArgMax() const;
+
+  /// Renders a one-line-per-bin ASCII bar chart, `width` chars at most.
+  std::string ToAscii(std::size_t width) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace mexi::stats
+
+#endif  // MEXI_STATS_HISTOGRAM_H_

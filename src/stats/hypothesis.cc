@@ -1,0 +1,123 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace mexi::stats {
+
+namespace {
+
+std::vector<double> ResampleWithReplacement(const std::vector<double>& sample,
+                                            Rng& rng) {
+  std::vector<double> out(sample.size());
+  for (auto& v : out) v = sample[rng.UniformIndex(sample.size())];
+  return out;
+}
+
+}  // namespace
+
+TestResult BootstrapMeanDifferenceTest(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       int replicates, double alpha,
+                                       Rng& rng) {
+  TestResult result;
+  if (a.empty() || b.empty() || replicates <= 0) return result;
+
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  result.observed_difference = mean_a - mean_b;
+
+  // Shift both samples to share the pooled mean so that H0 holds exactly
+  // in the resampling population (Efron & Tibshirani, Algorithm 16.2).
+  std::vector<double> pooled = a;
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const double pooled_mean = Mean(pooled);
+
+  std::vector<double> a0 = a;
+  for (auto& v : a0) v += pooled_mean - mean_a;
+  std::vector<double> b0 = b;
+  for (auto& v : b0) v += pooled_mean - mean_b;
+
+  const double observed = std::fabs(result.observed_difference);
+  int extreme = 0;
+  for (int r = 0; r < replicates; ++r) {
+    const std::vector<double> ra = ResampleWithReplacement(a0, rng);
+    const std::vector<double> rb = ResampleWithReplacement(b0, rng);
+    if (std::fabs(Mean(ra) - Mean(rb)) >= observed) ++extreme;
+  }
+  // Add-one smoothing keeps the estimate away from an impossible 0.
+  result.p_value = (static_cast<double>(extreme) + 1.0) /
+                   (static_cast<double>(replicates) + 1.0);
+  result.significant = result.p_value < alpha;
+  return result;
+}
+
+TestResult WelchTTest(const std::vector<double>& a,
+                      const std::vector<double>& b, double alpha) {
+  TestResult result;
+  if (a.size() < 2 || b.size() < 2) return result;
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  result.observed_difference = mean_a - mean_b;
+  const double var_a = SampleVariance(a) / static_cast<double>(a.size());
+  const double var_b = SampleVariance(b) / static_cast<double>(b.size());
+  const double stderr_ab = std::sqrt(var_a + var_b);
+  if (stderr_ab <= 0.0) {
+    result.p_value = result.observed_difference == 0.0 ? 1.0 : 0.0;
+  } else {
+    result.p_value = TwoSidedPValue(result.observed_difference / stderr_ab);
+  }
+  result.significant = result.p_value < alpha;
+  return result;
+}
+
+TestResult PairedBootstrapTest(const std::vector<double>& a,
+                               const std::vector<double>& b, int replicates,
+                               double alpha, Rng& rng) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("PairedBootstrapTest: size mismatch");
+  }
+  TestResult result;
+  if (a.empty() || replicates <= 0) return result;
+
+  std::vector<double> diffs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  const double observed_mean = Mean(diffs);
+  result.observed_difference = observed_mean;
+
+  // Center the differences so the null (mean difference == 0) holds.
+  std::vector<double> centered = diffs;
+  for (auto& v : centered) v -= observed_mean;
+
+  int extreme = 0;
+  for (int r = 0; r < replicates; ++r) {
+    const std::vector<double> rd = ResampleWithReplacement(centered, rng);
+    if (std::fabs(Mean(rd)) >= std::fabs(observed_mean)) ++extreme;
+  }
+  result.p_value = (static_cast<double>(extreme) + 1.0) /
+                   (static_cast<double>(replicates) + 1.0);
+  result.significant = result.p_value < alpha;
+  return result;
+}
+
+ConfidenceInterval BootstrapMeanConfidenceInterval(
+    const std::vector<double>& sample, int replicates, double confidence,
+    Rng& rng) {
+  ConfidenceInterval ci;
+  ci.point = Mean(sample);
+  if (sample.empty() || replicates <= 0) return ci;
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(replicates));
+  for (int r = 0; r < replicates; ++r) {
+    means.push_back(Mean(ResampleWithReplacement(sample, rng)));
+  }
+  const double tail = (1.0 - confidence) / 2.0 * 100.0;
+  ci.lower = Percentile(means, tail);
+  ci.upper = Percentile(means, 100.0 - tail);
+  return ci;
+}
+
+}  // namespace mexi::stats

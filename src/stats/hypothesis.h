@@ -1,0 +1,55 @@
+#ifndef MEXI_STATS_HYPOTHESIS_H_
+#define MEXI_STATS_HYPOTHESIS_H_
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mexi::stats {
+
+/// Outcome of a two-sample hypothesis test.
+struct TestResult {
+  /// Observed difference of means (a - b).
+  double observed_difference = 0.0;
+  /// Estimated two-sided p-value for H0: mean(a) == mean(b).
+  double p_value = 1.0;
+  /// True when p_value < alpha used at construction.
+  bool significant = false;
+};
+
+/// Two-sample bootstrap hypothesis test on the difference of means.
+///
+/// This is the test behind the asterisks in the paper's Table II: it
+/// resamples the pooled, mean-shifted samples `replicates` times and
+/// measures how often a difference at least as extreme as the observed one
+/// arises under the null. Deterministic given `rng`.
+TestResult BootstrapMeanDifferenceTest(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       int replicates, double alpha,
+                                       Rng& rng);
+
+/// Welch's unequal-variance t-test on the difference of means (normal
+/// approximation of the t distribution; adequate for the n >= 20 samples
+/// the experiments use). A parametric cross-check of the bootstrap test.
+TestResult WelchTTest(const std::vector<double>& a,
+                      const std::vector<double>& b, double alpha);
+
+/// Paired bootstrap test on the mean of (a[i] - b[i]).
+/// Requires a.size() == b.size().
+TestResult PairedBootstrapTest(const std::vector<double>& a,
+                               const std::vector<double>& b, int replicates,
+                               double alpha, Rng& rng);
+
+/// Bootstrap percentile confidence interval for the mean of `sample`.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+};
+ConfidenceInterval BootstrapMeanConfidenceInterval(
+    const std::vector<double>& sample, int replicates, double confidence,
+    Rng& rng);
+
+}  // namespace mexi::stats
+
+#endif  // MEXI_STATS_HYPOTHESIS_H_

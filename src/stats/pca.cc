@@ -1,0 +1,133 @@
+#include "stats/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mexi::stats {
+
+void SymmetricEigen(const std::vector<std::vector<double>>& matrix,
+                    std::vector<double>* eigenvalues,
+                    std::vector<std::vector<double>>* eigenvectors) {
+  const std::size_t n = matrix.size();
+  for (const auto& row : matrix) {
+    if (row.size() != n) {
+      throw std::invalid_argument("SymmetricEigen: matrix must be square");
+    }
+  }
+  // Working copy A and accumulated rotations V.
+  std::vector<std::vector<double>> a = matrix;
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-18) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply Givens rotation to A on both sides.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        // Accumulate rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x][x] > a[y][y]; });
+
+  eigenvalues->assign(n, 0.0);
+  eigenvectors->assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    (*eigenvalues)[k] = a[order[k]][order[k]];
+    for (std::size_t d = 0; d < n; ++d) {
+      (*eigenvectors)[k][d] = v[d][order[k]];
+    }
+  }
+}
+
+PcaResult Pca(const std::vector<std::vector<double>>& rows) {
+  PcaResult result;
+  if (rows.empty()) return result;
+  const std::size_t dims = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != dims) {
+      throw std::invalid_argument("Pca: ragged input");
+    }
+  }
+  if (dims == 0) return result;
+
+  // Column means.
+  std::vector<double> mean(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) mean[d] += row[d];
+  }
+  for (auto& m : mean) m /= static_cast<double>(rows.size());
+
+  // Covariance (population normalization; n is small and only ratios are
+  // consumed downstream).
+  std::vector<std::vector<double>> cov(dims, std::vector<double>(dims, 0.0));
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double di = row[i] - mean[i];
+      for (std::size_t j = i; j < dims; ++j) {
+        cov[i][j] += di * (row[j] - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(rows.size());
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j) {
+      cov[i][j] /= denom;
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  SymmetricEigen(cov, &result.eigenvalues, &result.eigenvectors);
+  // Numerical noise can leave tiny negatives; clamp for downstream ratios.
+  for (auto& ev : result.eigenvalues) ev = std::max(ev, 0.0);
+  const double trace =
+      std::accumulate(result.eigenvalues.begin(), result.eigenvalues.end(),
+                      0.0);
+  result.explained_variance_ratio.assign(result.eigenvalues.size(), 0.0);
+  if (trace > 0.0) {
+    for (std::size_t k = 0; k < result.eigenvalues.size(); ++k) {
+      result.explained_variance_ratio[k] = result.eigenvalues[k] / trace;
+    }
+  }
+  return result;
+}
+
+}  // namespace mexi::stats

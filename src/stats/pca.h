@@ -1,0 +1,40 @@
+#ifndef MEXI_STATS_PCA_H_
+#define MEXI_STATS_PCA_H_
+
+#include <vector>
+
+namespace mexi::stats {
+
+/// Result of a principal component analysis.
+struct PcaResult {
+  /// Eigenvalues of the covariance matrix, descending.
+  std::vector<double> eigenvalues;
+  /// Matching unit eigenvectors, eigenvectors[k][d] is component k's
+  /// loading on input dimension d.
+  std::vector<std::vector<double>> eigenvectors;
+  /// Per-component explained-variance ratios (eigenvalue / trace).
+  std::vector<double> explained_variance_ratio;
+};
+
+/// Symmetric eigendecomposition via the cyclic Jacobi method.
+///
+/// `matrix` must be square and symmetric (row-major, n*n). Returns
+/// eigenvalues in descending order with matching eigenvectors. Used by
+/// `Pca` and directly testable.
+void SymmetricEigen(const std::vector<std::vector<double>>& matrix,
+                    std::vector<double>* eigenvalues,
+                    std::vector<std::vector<double>>* eigenvectors);
+
+/// PCA over `rows` (samples x dimensions). Centers each dimension, builds
+/// the covariance matrix and decomposes it. Degenerate inputs (fewer than
+/// 2 rows) produce zero eigenvalues.
+///
+/// The LRSM matching predictors `pca1`/`pca2` are the top-2 explained
+/// variance ratios of the matching matrix viewed as a sample of rows —
+/// a diversity/uncertainty signal (a rank-1 matrix concentrates all
+/// variance in pca1).
+PcaResult Pca(const std::vector<std::vector<double>>& rows);
+
+}  // namespace mexi::stats
+
+#endif  // MEXI_STATS_PCA_H_

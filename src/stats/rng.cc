@@ -1,0 +1,145 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mexi::stats {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+std::size_t Rng::UniformIndex(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("UniformIndex: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return static_cast<std::size_t>(v % n);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  if (hi < lo) throw std::invalid_argument("UniformInt: hi < lo");
+  return lo + static_cast<int>(UniformIndex(
+                  static_cast<std::size_t>(hi - lo) + 1));
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("Exponential: lambda <= 0");
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("Gamma: shape and scale must be > 0");
+  }
+  if (shape < 1.0) {
+    // Boost the shape and correct with a power of a uniform.
+    const double u = std::max(Uniform(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double Rng::Beta(double alpha, double beta) {
+  const double x = Gamma(alpha, 1.0);
+  const double y = Gamma(beta, 1.0);
+  return x / (x + y);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("SampleWithoutReplacement: k > n");
+  }
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  // Partial Fisher-Yates: only the first k positions are needed.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + UniformIndex(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Split() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace mexi::stats

@@ -1,0 +1,104 @@
+#include "core/boosting.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi {
+namespace {
+
+TEST(AdjustForBiasTest, ShiftsConfidencesWithoutRetracting) {
+  matching::MatchMatrix m(2, 2);
+  m.Set(0, 0, 0.9);
+  m.Set(1, 1, 0.2);
+  // Over-confident matcher: bias +0.3 -> entries come down.
+  const auto down = AdjustForBias(m, 0.3);
+  EXPECT_NEAR(down.At(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(down.At(1, 1), 0.01, 1e-12);  // floored, still in sigma
+  EXPECT_EQ(down.MatchSize(), 2u);
+  // Under-confident matcher: bias -0.3 -> entries go up (capped at 1).
+  const auto up = AdjustForBias(m, -0.3);
+  EXPECT_NEAR(up.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(up.At(1, 1), 0.5, 1e-12);
+  // Zero entries stay zero.
+  EXPECT_DOUBLE_EQ(up.At(0, 1), 0.0);
+}
+
+TEST(ExpertiseWeightsTest, FullExpertWeighsFiveTimesNonExpert) {
+  std::vector<ExpertLabel> predictions{
+      ExpertLabel::FromVector({1, 1, 1, 1}),
+      ExpertLabel::FromVector({1, 0, 0, 0}),
+      ExpertLabel::FromVector({0, 0, 0, 0})};
+  const auto weights = ExpertiseWeights(predictions);
+  EXPECT_EQ(weights, (std::vector<double>{5.0, 2.0, 1.0}));
+}
+
+matching::MatchMatrix Matrix22(double a00, double a01, double a10,
+                               double a11) {
+  matching::MatchMatrix m(2, 2);
+  m.Set(0, 0, a00);
+  m.Set(0, 1, a01);
+  m.Set(1, 0, a10);
+  m.Set(1, 1, a11);
+  return m;
+}
+
+TEST(FuseCrowdTest, WeightedSupportPicksTopPairs) {
+  // Matcher 1 (weight 3) claims the diagonal; matcher 2 (weight 1)
+  // claims the anti-diagonal. Fusing to size 2 keeps the diagonal.
+  const auto fused = FuseCrowd(
+      {Matrix22(0.9, 0.0, 0.0, 0.8), Matrix22(0.0, 0.9, 0.9, 0.0)},
+      {3.0, 1.0}, 2);
+  EXPECT_GT(fused.At(0, 0), 0.0);
+  EXPECT_GT(fused.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fused.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fused.At(1, 0), 0.0);
+}
+
+TEST(FuseCrowdTest, DefaultSizeIsWeightedMeanMatchSize) {
+  // Matcher 1 claims 1 pair, matcher 2 claims 3; equal weights -> 2.
+  const auto fused = FuseCrowd(
+      {Matrix22(0.9, 0.0, 0.0, 0.0), Matrix22(0.9, 0.8, 0.7, 0.0)},
+      {1.0, 1.0});
+  EXPECT_EQ(fused.MatchSize(), 2u);
+}
+
+TEST(FuseCrowdTest, Validation) {
+  EXPECT_THROW(FuseCrowd({}, {}), std::invalid_argument);
+  EXPECT_THROW(
+      FuseCrowd({Matrix22(1, 0, 0, 0)}, {1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW(FuseCrowd({Matrix22(1, 0, 0, 0)}, {-1.0}),
+               std::invalid_argument);
+  matching::MatchMatrix other(3, 3);
+  EXPECT_THROW(FuseCrowd({Matrix22(1, 0, 0, 0), other}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(EvaluateMatchTest, F1Harmonic) {
+  const auto reference =
+      matching::MatchMatrix::FromReference({{0, 0}, {1, 1}}, 2, 2);
+  const auto match = Matrix22(0.9, 0.9, 0.0, 0.0);  // one right, one wrong
+  const MatchQuality q = EvaluateMatch(match, reference);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.f1, 0.5);
+  const MatchQuality empty =
+      EvaluateMatch(matching::MatchMatrix(2, 2), reference);
+  EXPECT_DOUBLE_EQ(empty.f1, 0.0);
+}
+
+TEST(FuseCrowdTest, GoodCrowdBeatsItsWorstMember) {
+  // Three matchers: two mostly right, one mostly wrong; fusion should
+  // beat the bad matcher and match or beat the average.
+  const auto reference =
+      matching::MatchMatrix::FromReference({{0, 0}, {1, 1}}, 2, 2);
+  const auto good1 = Matrix22(0.9, 0.0, 0.0, 0.8);
+  const auto good2 = Matrix22(0.8, 0.2, 0.0, 0.9);
+  const auto bad = Matrix22(0.0, 0.9, 0.9, 0.0);
+  const auto fused = FuseCrowd({good1, good2, bad}, {1.0, 1.0, 1.0}, 2);
+  const MatchQuality q = EvaluateMatch(fused, reference);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+  EXPECT_GT(q.f1, EvaluateMatch(bad, reference).f1);
+}
+
+}  // namespace
+}  // namespace mexi

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/feature_importance.h"
+#include "ml/metrics.h"
+#include "ml/model_selection.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+namespace {
+
+/// Two Gaussian blobs, linearly separable with margin.
+Dataset MakeBlobs(std::size_t n, double separation, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 1 ? separation : -separation;
+    d.Add({rng.Gaussian(cx, 1.0), rng.Gaussian(-cx, 1.0),
+           rng.Gaussian(0.0, 1.0)},
+          label);
+  }
+  return d;
+}
+
+/// XOR-style data no linear model can fit, but trees/boosting can.
+Dataset MakeXor(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    const double y = rng.Uniform(-1.0, 1.0);
+    d.Add({x, y}, (x > 0.0) != (y > 0.0) ? 1 : 0);
+  }
+  return d;
+}
+
+double HoldoutAccuracy(BinaryClassifier& model, const Dataset& train,
+                       const Dataset& test) {
+  model.Fit(train);
+  return Accuracy(test.labels, model.PredictAll(test.features));
+}
+
+class ZooTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BinaryClassifier> Make() const {
+    auto zoo = DefaultModelZoo();
+    return zoo[static_cast<std::size_t>(GetParam())]->Clone();
+  }
+};
+
+TEST_P(ZooTest, LearnsSeparableBlobs) {
+  auto model = Make();
+  const Dataset train = MakeBlobs(200, 2.0, 11);
+  const Dataset test = MakeBlobs(100, 2.0, 12);
+  EXPECT_GT(HoldoutAccuracy(*model, train, test), 0.85) << model->Name();
+}
+
+TEST_P(ZooTest, ProbabilitiesInUnitInterval) {
+  auto model = Make();
+  const Dataset train = MakeBlobs(100, 1.0, 13);
+  model->Fit(train);
+  for (const auto& row : train.features) {
+    const double p = model->PredictProba(row);
+    EXPECT_GE(p, 0.0) << model->Name();
+    EXPECT_LE(p, 1.0) << model->Name();
+  }
+}
+
+TEST_P(ZooTest, DegenerateSingleClassCollapses) {
+  auto model = Make();
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({static_cast<double>(i)}, 1);
+  model->Fit(d);
+  EXPECT_EQ(model->Predict({100.0}), 1) << model->Name();
+  EXPECT_DOUBLE_EQ(model->PredictProba({-100.0}), 1.0) << model->Name();
+}
+
+TEST_P(ZooTest, RejectsEmptyDataset) {
+  auto model = Make();
+  EXPECT_THROW(model->Fit(Dataset()), std::invalid_argument);
+  EXPECT_THROW(model->PredictProba({1.0}), std::logic_error);
+}
+
+TEST_P(ZooTest, CloneIsUntrained) {
+  auto model = Make();
+  model->Fit(MakeBlobs(50, 2.0, 14));
+  auto clone = model->Clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->Name(), model->Name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooTest, ::testing::Range(0, 7),
+                         [](const auto& info) {
+                           return DefaultModelZoo()[static_cast<std::size_t>(
+                                                        info.param)]
+                               ->Name();
+                         });
+
+TEST(DecisionTreeTest, LearnsXor) {
+  DecisionTree tree;
+  const Dataset train = MakeXor(400, 21);
+  const Dataset test = MakeXor(200, 22);
+  EXPECT_GT(HoldoutAccuracy(tree, train, test), 0.9);
+  EXPECT_GT(tree.NodeCount(), 3u);
+  EXPECT_LE(tree.Depth(), 8);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsPrior) {
+  DecisionTree::Config config;
+  config.max_depth = 0;
+  DecisionTree tree(config);
+  Dataset d;
+  d.Add({0.0}, 1);
+  d.Add({1.0}, 0);
+  d.Add({2.0}, 1);
+  tree.Fit(d);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_NEAR(tree.PredictProba({0.0}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RandomForestTest, LearnsXorAndAveragesTrees) {
+  RandomForest::Config config;
+  config.num_trees = 30;
+  RandomForest forest(config);
+  const Dataset train = MakeXor(400, 23);
+  const Dataset test = MakeXor(200, 24);
+  EXPECT_GT(HoldoutAccuracy(forest, train, test), 0.9);
+  EXPECT_EQ(forest.NumTrees(), 30u);
+}
+
+TEST(GradientBoostingTest, LearnsXor) {
+  GradientBoosting gbm;
+  const Dataset train = MakeXor(400, 25);
+  const Dataset test = MakeXor(200, 26);
+  EXPECT_GT(HoldoutAccuracy(gbm, train, test), 0.9);
+}
+
+TEST(LogisticRegressionTest, RecoversSeparatingDirection) {
+  LogisticRegression lr;
+  lr.Fit(MakeBlobs(400, 2.0, 27));
+  // Feature 0 votes positive, feature 1 negative, feature 2 is noise.
+  EXPECT_GT(lr.weights()[0], 0.5);
+  EXPECT_LT(lr.weights()[1], -0.5);
+  EXPECT_LT(std::abs(lr.weights()[2]), 0.4);
+}
+
+TEST(LinearSvmTest, MarginSignMatchesClass) {
+  LinearSvm svm;
+  const Dataset train = MakeBlobs(300, 2.5, 28);
+  svm.Fit(train);
+  int correct = 0;
+  for (std::size_t i = 0; i < train.NumExamples(); ++i) {
+    const double margin = svm.Margin(train.features[i]);
+    correct += (margin > 0.0) == (train.labels[i] == 1);
+  }
+  EXPECT_GT(correct, 270);
+}
+
+TEST(ModelSelectionTest, PicksAModelAndRefits) {
+  auto zoo = DefaultModelZoo();
+  const Dataset train = MakeBlobs(120, 2.0, 29);
+  stats::Rng rng(30);
+  SelectionReport report;
+  auto model = SelectAndTrain(zoo, train, 3, rng, &report);
+  EXPECT_TRUE(model->fitted());
+  EXPECT_EQ(report.cv_scores.size(), zoo.size());
+  EXPECT_FALSE(report.selected_name.empty());
+  // The selected model should do well on data it was selected for.
+  const Dataset test = MakeBlobs(100, 2.0, 31);
+  EXPECT_GT(Accuracy(test.labels, model->PredictAll(test.features)), 0.8);
+}
+
+TEST(ModelSelectionTest, CrossValidationNeedsRows) {
+  auto zoo = DefaultModelZoo();
+  Dataset tiny;
+  tiny.Add({0.0}, 0);
+  stats::Rng rng(32);
+  EXPECT_THROW(CrossValidatedAccuracy(*zoo[0], tiny, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(FeatureImportanceTest, FindsTheInformativeFeature) {
+  // Label depends only on feature 1.
+  stats::Rng data_rng(33);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double informative = data_rng.Gaussian();
+    d.Add({data_rng.Gaussian(), informative, data_rng.Gaussian()},
+          informative > 0.0 ? 1 : 0);
+  }
+  RandomForest model;
+  model.Fit(d);
+  stats::Rng rng(34);
+  const auto ranked = PermutationImportance(
+      model, d, {"noise_a", "signal", "noise_b"}, 5, rng);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].name, "signal");
+  EXPECT_GT(ranked[0].importance, 0.2);
+}
+
+}  // namespace
+}  // namespace mexi::ml

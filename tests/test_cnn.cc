@@ -1,0 +1,139 @@
+#include "ml/nn/cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace mexi::ml {
+namespace {
+
+CnnImageModel::Config TinyConfig() {
+  CnnImageModel::Config config;
+  config.image_rows = 12;
+  config.image_cols = 16;
+  config.conv1_filters = 3;
+  config.conv2_filters = 4;
+  config.dense_dim = 8;
+  config.num_labels = 2;
+  config.epochs = 25;
+  config.batch_size = 4;
+  config.adam.learning_rate = 0.005;
+  config.seed = 5;
+  return config;
+}
+
+/// Images with a bright blob on the left (label 0 = {1,0}) or right
+/// (label 1 = {0,1}); second label marks top vs bottom.
+void MakeData(std::size_t n, std::uint64_t seed,
+              const CnnImageModel::Config& config,
+              std::vector<Image>* images,
+              std::vector<std::vector<double>>* targets) {
+  stats::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool right = rng.Bernoulli(0.5);
+    const bool bottom = rng.Bernoulli(0.5);
+    Image image(config.image_rows, config.image_cols, 0.0);
+    const std::size_t cx = right ? 3 * config.image_cols / 4
+                                 : config.image_cols / 4;
+    const std::size_t cy = bottom ? 3 * config.image_rows / 4
+                                  : config.image_rows / 4;
+    for (int dy = -2; dy <= 2; ++dy) {
+      for (int dx = -2; dx <= 2; ++dx) {
+        const long y = static_cast<long>(cy) + dy;
+        const long x = static_cast<long>(cx) + dx;
+        if (y < 0 || x < 0 ||
+            y >= static_cast<long>(config.image_rows) ||
+            x >= static_cast<long>(config.image_cols)) {
+          continue;
+        }
+        image(static_cast<std::size_t>(y), static_cast<std::size_t>(x)) =
+            rng.Uniform(0.6, 1.0);
+      }
+    }
+    images->push_back(std::move(image));
+    targets->push_back({right ? 1.0 : 0.0, bottom ? 1.0 : 0.0});
+  }
+}
+
+TEST(CnnTest, LearnsBlobPosition) {
+  const auto config = TinyConfig();
+  std::vector<Image> images;
+  std::vector<std::vector<double>> targets;
+  MakeData(60, 11, config, &images, &targets);
+
+  CnnImageModel model(config);
+  model.Fit(images, targets);
+  EXPECT_TRUE(model.fitted());
+
+  std::vector<Image> test_images;
+  std::vector<std::vector<double>> test_targets;
+  MakeData(30, 12, config, &test_images, &test_targets);
+  int correct = 0;
+  for (std::size_t i = 0; i < test_images.size(); ++i) {
+    const auto probs = model.Predict(test_images[i]);
+    correct += (probs[0] > 0.5) == (test_targets[i][0] > 0.5);
+    correct += (probs[1] > 0.5) == (test_targets[i][1] > 0.5);
+  }
+  EXPECT_GT(correct, 48);  // > 80% over 60 label decisions
+}
+
+TEST(CnnTest, FineTuningKeepsWorking) {
+  // Pretrain on one seed, fine-tune on another; the model must still
+  // classify (this is the pretrain->fine-tune recipe of Phi_Spa).
+  const auto config = TinyConfig();
+  std::vector<Image> pre_images, tune_images;
+  std::vector<std::vector<double>> pre_targets, tune_targets;
+  MakeData(30, 13, config, &pre_images, &pre_targets);
+  MakeData(40, 14, config, &tune_images, &tune_targets);
+
+  CnnImageModel model(config);
+  model.Fit(pre_images, pre_targets, 10);
+  model.Fit(tune_images, tune_targets);
+
+  int correct = 0;
+  for (std::size_t i = 0; i < tune_images.size(); ++i) {
+    const auto probs = model.Predict(tune_images[i]);
+    correct += (probs[0] > 0.5) == (tune_targets[i][0] > 0.5);
+  }
+  EXPECT_GT(correct, 32);
+}
+
+TEST(CnnTest, PredictionsAreProbabilities) {
+  const auto config = TinyConfig();
+  std::vector<Image> images;
+  std::vector<std::vector<double>> targets;
+  MakeData(16, 15, config, &images, &targets);
+  CnnImageModel model(config);
+  model.Fit(images, targets);
+  for (const auto& image : images) {
+    for (double p : model.Predict(image)) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(CnnTest, RejectsBadShapes) {
+  const auto config = TinyConfig();
+  CnnImageModel model(config);
+  std::vector<Image> images{Image(3, 3, 0.0)};
+  std::vector<std::vector<double>> targets{{1.0, 0.0}};
+  EXPECT_THROW(model.Fit(images, targets), std::invalid_argument);
+  EXPECT_THROW(model.Fit({}, {}), std::invalid_argument);
+}
+
+TEST(CnnTest, DeterministicGivenSeed) {
+  const auto config = TinyConfig();
+  std::vector<Image> images;
+  std::vector<std::vector<double>> targets;
+  MakeData(10, 16, config, &images, &targets);
+  CnnImageModel a(config), b(config);
+  a.Fit(images, targets);
+  b.Fit(images, targets);
+  const auto pa = a.Predict(images[0]);
+  const auto pb = b.Predict(images[0]);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+}  // namespace
+}  // namespace mexi::ml

@@ -1,0 +1,121 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_THROW(PearsonCorrelation({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(AverageRanksTest, TiesShareMeanRank) {
+  const auto ranks = AverageRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4, 5}, {1, 4, 9, 16, 25}), 1.0,
+              1e-12);
+}
+
+TEST(GammaTest, PerfectAssociation) {
+  // Higher confidence always on correct decisions.
+  const auto result =
+      GoodmanKruskalGamma({0.9, 0.8, 0.2, 0.1}, {1.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+  EXPECT_EQ(result.concordant, 4);
+  EXPECT_EQ(result.discordant, 0);
+}
+
+TEST(GammaTest, PerfectInverse) {
+  const auto result =
+      GoodmanKruskalGamma({0.1, 0.2, 0.8, 0.9}, {1.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.value, -1.0);
+}
+
+TEST(GammaTest, PaperTableOneExample) {
+  // The running example of the paper (Table I / Section II-B2): final
+  // confidences {M34: 1.0, M11: 0.5, M12: 0.5, M21: 0.45} with M21 the
+  // only incorrect decision. Resolution is 1.0 but with only 3 untied
+  // pairs the association is not significant (the paper reports
+  // p_val = 0.5).
+  const auto result = GoodmanKruskalGamma({1.0, 0.5, 0.5, 0.45},
+                                          {1.0, 1.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 0.5);
+}
+
+TEST(GammaTest, LargePerfectSampleIsSignificant) {
+  std::vector<double> conf, correct;
+  for (int i = 0; i < 20; ++i) {
+    conf.push_back(i < 10 ? 0.9 : 0.1);
+    correct.push_back(i < 10 ? 1.0 : 0.0);
+  }
+  const auto result = GoodmanKruskalGamma(conf, correct);
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(GammaTest, AllTiesYieldsZero) {
+  const auto result = GoodmanKruskalGamma({0.5, 0.5, 0.5}, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(GammaTest, NoAssociationInsignificant) {
+  // Confidence unrelated to correctness.
+  std::vector<double> conf, correct;
+  for (int i = 0; i < 40; ++i) {
+    conf.push_back((i * 7 % 10) / 10.0);
+    correct.push_back(i % 2);
+  }
+  const auto result = GoodmanKruskalGamma(conf, correct);
+  EXPECT_LT(std::abs(result.value), 0.35);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(KendallTauTest, PerfectOrderAndSignificance) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 15; ++i) {
+    x.push_back(i);
+    y.push_back(i * 2.0);
+  }
+  const auto result = KendallTau(x, y);
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+  EXPECT_LT(result.p_value, 0.01);
+  const auto inverse = KendallTau(x, std::vector<double>(x.rbegin(),
+                                                         x.rend()));
+  EXPECT_DOUBLE_EQ(inverse.value, -1.0);
+}
+
+TEST(KendallTauTest, TiesShrinkTauButNotGamma) {
+  // Two tied x values: gamma ignores the tied pair, tau counts it in
+  // the denominator, so |tau| < |gamma|.
+  const std::vector<double> x{1.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  const auto tau = KendallTau(x, y);
+  const auto gamma = GoodmanKruskalGamma(x, y);
+  EXPECT_LT(tau.value, gamma.value);
+  EXPECT_DOUBLE_EQ(gamma.value, 1.0);
+  EXPECT_NEAR(tau.value, 5.0 / 6.0, 1e-12);
+}
+
+TEST(GammaTest, TinyInput) {
+  const auto result = GoodmanKruskalGamma({0.5}, {1.0});
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace mexi::stats

@@ -1,0 +1,105 @@
+#include "ml/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mexi::ml {
+namespace {
+
+TEST(DatasetTest, AddValidatesInput) {
+  Dataset d;
+  d.Add({1.0, 2.0}, 1);
+  EXPECT_THROW(d.Add({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.Add({1.0, 2.0}, 2), std::invalid_argument);
+  EXPECT_EQ(d.NumExamples(), 1u);
+  EXPECT_EQ(d.NumFeatures(), 2u);
+}
+
+TEST(DatasetTest, SubsetAllowsDuplicates) {
+  Dataset d;
+  d.Add({1.0}, 0);
+  d.Add({2.0}, 1);
+  const Dataset s = d.Subset({1, 1, 0});
+  EXPECT_EQ(s.NumExamples(), 3u);
+  EXPECT_DOUBLE_EQ(s.features[0][0], 2.0);
+  EXPECT_EQ(s.labels[2], 0);
+  EXPECT_THROW(d.Subset({5}), std::out_of_range);
+}
+
+TEST(DatasetTest, PositiveRate) {
+  Dataset d;
+  d.Add({0.0}, 1);
+  d.Add({0.0}, 1);
+  d.Add({0.0}, 0);
+  d.Add({0.0}, 0);
+  EXPECT_DOUBLE_EQ(d.PositiveRate(), 0.5);
+  EXPECT_DOUBLE_EQ(Dataset().PositiveRate(), 0.0);
+}
+
+TEST(KFoldTest, FoldsPartitionTheData) {
+  stats::Rng rng(1);
+  KFold folds(23, 5, rng);
+  EXPECT_EQ(folds.num_folds(), 5u);
+  std::set<std::size_t> seen;
+  for (std::size_t f = 0; f < 5; ++f) {
+    for (std::size_t idx : folds.TestIndices(f)) {
+      EXPECT_TRUE(seen.insert(idx).second) << "index in two folds";
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFoldTest, TrainTestDisjointAndComplete) {
+  stats::Rng rng(2);
+  KFold folds(30, 3, rng);
+  for (std::size_t f = 0; f < 3; ++f) {
+    std::set<std::size_t> test(folds.TestIndices(f).begin(),
+                               folds.TestIndices(f).end());
+    const auto train = folds.TrainIndices(f);
+    for (std::size_t idx : train) EXPECT_EQ(test.count(idx), 0u);
+    EXPECT_EQ(train.size() + test.size(), 30u);
+  }
+}
+
+TEST(KFoldTest, RejectsBadFoldCounts) {
+  stats::Rng rng(3);
+  EXPECT_THROW(KFold(10, 1, rng), std::invalid_argument);
+  EXPECT_THROW(KFold(3, 4, rng), std::invalid_argument);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Standardizer z;
+  z.Fit({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  const auto rows = z.TransformAll({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  double mean0 = 0.0, mean1 = 0.0;
+  for (const auto& row : rows) {
+    mean0 += row[0];
+    mean1 += row[1];
+  }
+  EXPECT_NEAR(mean0 / 3.0, 0.0, 1e-12);
+  EXPECT_NEAR(mean1 / 3.0, 0.0, 1e-12);
+  double var0 = 0.0;
+  for (const auto& row : rows) var0 += row[0] * row[0];
+  EXPECT_NEAR(var0 / 3.0, 1.0, 1e-12);
+}
+
+TEST(StandardizerTest, ConstantColumnMapsToZero) {
+  Standardizer z;
+  z.Fit({{5.0}, {5.0}, {5.0}});
+  const auto out = z.Transform({5.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  // A new value is still finite (unit fallback scale).
+  EXPECT_DOUBLE_EQ(z.Transform({6.0})[0], 1.0);
+}
+
+TEST(StandardizerTest, GuardsUsage) {
+  Standardizer z;
+  EXPECT_THROW(z.Transform({1.0}), std::logic_error);
+  EXPECT_THROW(z.Fit({}), std::invalid_argument);
+  z.Fit({{1.0, 2.0}});
+  EXPECT_THROW(z.Transform({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi::ml

@@ -1,0 +1,110 @@
+#include "matching/decision_history.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::matching {
+namespace {
+
+/// The paper's Table I history.
+DecisionHistory PaperHistory() {
+  DecisionHistory h;
+  h.Add({2, 3, 1.0, 3.0});    // M34
+  h.Add({0, 0, 0.9, 8.0});    // M11
+  h.Add({0, 1, 0.5, 15.0});   // M12
+  h.Add({0, 0, 0.5, 16.0});   // M11 revisited
+  h.Add({1, 0, 0.45, 34.0});  // M21
+  return h;
+}
+
+TEST(DecisionHistoryTest, AddValidation) {
+  DecisionHistory h;
+  h.Add({0, 0, 0.5, 1.0});
+  EXPECT_THROW(h.Add({0, 0, 1.5, 2.0}), std::invalid_argument);
+  EXPECT_THROW(h.Add({0, 0, 0.5, 0.5}), std::invalid_argument);  // t back
+  h.Add({0, 0, 0.5, 1.0});  // equal timestamp allowed
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(DecisionHistoryTest, EqOneProjectionLatestWins) {
+  const DecisionHistory h = PaperHistory();
+  const MatchMatrix m = h.ToMatrix(4, 4);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.5);  // 0.9 overridden at t=16
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.45);
+  EXPECT_EQ(m.MatchSize(), 4u);
+}
+
+TEST(DecisionHistoryTest, ZeroConfidenceLeavesMatch) {
+  DecisionHistory h;
+  h.Add({0, 0, 0.9, 1.0});
+  h.Add({0, 0, 0.0, 2.0});  // retracted
+  const MatchMatrix m = h.ToMatrix(2, 2);
+  EXPECT_EQ(m.MatchSize(), 0u);
+  EXPECT_TRUE(h.FinalPairs().empty());
+}
+
+TEST(DecisionHistoryTest, PaperExampleStats) {
+  const DecisionHistory h = PaperHistory();
+  // Mean confidence: (1.0+0.9+0.5+0.5+0.45)/5 = 0.67 (Section II-B2).
+  EXPECT_NEAR(h.MeanConfidence(), 0.67, 1e-12);
+  EXPECT_EQ(h.DistinctPairs(), 4u);
+  EXPECT_EQ(h.MindChanges(), 1u);
+  EXPECT_EQ(h.FinalPairs().size(), 4u);
+}
+
+TEST(DecisionHistoryTest, ElapsedTimes) {
+  const DecisionHistory h = PaperHistory();
+  const auto elapsed = h.ElapsedTimes();
+  ASSERT_EQ(elapsed.size(), 4u);
+  EXPECT_DOUBLE_EQ(elapsed[0], 5.0);
+  EXPECT_DOUBLE_EQ(elapsed[3], 18.0);
+  EXPECT_TRUE(DecisionHistory().ElapsedTimes().empty());
+}
+
+TEST(DecisionHistoryTest, PrefixAndWindow) {
+  const DecisionHistory h = PaperHistory();
+  EXPECT_EQ(h.Prefix(2).size(), 2u);
+  EXPECT_EQ(h.Prefix(99).size(), 5u);
+  const DecisionHistory w = h.Window(1, 3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.at(0).timestamp, 8.0);
+  EXPECT_EQ(h.Window(4, 10).size(), 1u);
+  EXPECT_EQ(h.Window(10, 3).size(), 0u);
+}
+
+TEST(DecisionHistoryTest, PreprocessedRemovesWarmup) {
+  const DecisionHistory h = PaperHistory();
+  const DecisionHistory p = h.Preprocessed(3, 2.0);
+  // First three removed; outlier pass needs >= 2 elapsed values.
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.at(0).timestamp, 16.0);
+}
+
+TEST(DecisionHistoryTest, PreprocessedRemovesElapsedOutliers) {
+  DecisionHistory h;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 10.0;
+    h.Add({static_cast<std::size_t>(i), 0, 0.5, t});
+  }
+  t += 500.0;  // a methodical pause
+  h.Add({20, 0, 0.5, t});
+  t += 10.0;
+  h.Add({21, 0, 0.5, t});
+  const DecisionHistory p = h.Preprocessed(0, 2.0);
+  EXPECT_EQ(p.size(), 21u);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NE(p.at(i).source, 20u);  // the outlier decision is gone
+  }
+}
+
+TEST(DecisionHistoryTest, PreprocessedOnShortHistory) {
+  DecisionHistory h;
+  h.Add({0, 0, 0.5, 1.0});
+  const DecisionHistory p = h.Preprocessed(3, 2.0);
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace mexi::matching

@@ -1,0 +1,89 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mexi::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanAndSum) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Sum({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceAndStdDev) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);
+  EXPECT_NEAR(SampleVariance(values), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5.0}), 0.0);
+}
+
+TEST(DescriptiveTest, MinMaxMedian) {
+  const std::vector<double> values{3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Min(values), 1.0);
+  EXPECT_DOUBLE_EQ(Max(values), 5.0);
+  EXPECT_DOUBLE_EQ(Median(values), 3.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(DescriptiveTest, PercentileLinearInterpolation) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+  // 80th percentile: rank 2.4 -> 30 * 0.6 + 40 * 0.4 = 34.
+  EXPECT_NEAR(Percentile(values, 80.0), 34.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(DescriptiveTest, SkewnessSigns) {
+  EXPECT_GT(Skewness({1.0, 1.0, 1.0, 1.0, 10.0}), 0.0);
+  EXPECT_LT(Skewness({-10.0, 1.0, 1.0, 1.0, 1.0}), 0.0);
+  EXPECT_NEAR(Skewness({1.0, 2.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(DescriptiveTest, KurtosisOfUniformIsNegative) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  EXPECT_LT(Kurtosis(values), 0.0);
+}
+
+TEST(DescriptiveTest, EntropyUniformIsLogN) {
+  EXPECT_NEAR(Entropy({1.0, 1.0, 1.0, 1.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);
+}
+
+TEST(DescriptiveTest, EntropyIgnoresNegativeWeights) {
+  EXPECT_NEAR(Entropy({1.0, 1.0, -5.0}), 1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, NormalCdf) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(DescriptiveTest, TwoSidedPValue) {
+  EXPECT_NEAR(TwoSidedPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(TwoSidedPValue(1.96), 0.05, 1e-3);
+  EXPECT_NEAR(TwoSidedPValue(-1.96), 0.05, 1e-3);
+}
+
+TEST(DescriptiveTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace mexi::stats

@@ -1,0 +1,159 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_fixtures.h"
+
+namespace mexi {
+namespace {
+
+ExpertLabel MakeLabel(int p, int r, int res, int cal) {
+  return ExpertLabel::FromVector({p, r, res, cal});
+}
+
+TEST(AccuracyEquationsTest, PerLabelAccuracy) {
+  const std::vector<ExpertLabel> truth{MakeLabel(1, 0, 1, 0),
+                                       MakeLabel(0, 1, 0, 1)};
+  const std::vector<ExpertLabel> pred{MakeLabel(1, 1, 1, 0),
+                                      MakeLabel(0, 1, 1, 0)};
+  const auto a = PerLabelAccuracy(truth, pred);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);  // precise: both right
+  EXPECT_DOUBLE_EQ(a[1], 0.5);
+  EXPECT_DOUBLE_EQ(a[2], 0.5);
+  EXPECT_DOUBLE_EQ(a[3], 0.5);
+  EXPECT_THROW(PerLabelAccuracy(truth, {}), std::invalid_argument);
+}
+
+TEST(AccuracyEquationsTest, MultiLabelJaccard) {
+  // Row 1: truth {P,Res}, pred {P,R,Res} -> 2/3.
+  // Row 2: identical -> 1. Mean = 5/6.
+  const std::vector<ExpertLabel> truth{MakeLabel(1, 0, 1, 0),
+                                       MakeLabel(0, 1, 0, 1)};
+  const std::vector<ExpertLabel> pred{MakeLabel(1, 1, 1, 0),
+                                      MakeLabel(0, 1, 0, 1)};
+  EXPECT_NEAR(MultiLabelAccuracy(truth, pred), (2.0 / 3.0 + 1.0) / 2.0,
+              1e-12);
+}
+
+TEST(AccuracyEquationsTest, EmptySetsAgree) {
+  const std::vector<ExpertLabel> truth{MakeLabel(0, 0, 0, 0)};
+  const std::vector<ExpertLabel> pred{MakeLabel(0, 0, 0, 0)};
+  EXPECT_DOUBLE_EQ(MultiLabelAccuracy(truth, pred), 1.0);
+}
+
+/// A cheating method for harness tests: knows the true labels.
+class OracleCharacterizer : public Characterizer {
+ public:
+  OracleCharacterizer(const EvaluationInput* input) : input_(input) {}
+  std::string Name() const override { return "Oracle"; }
+  void Fit(const std::vector<MatcherView>& train,
+           const std::vector<ExpertLabel>& labels,
+           const TaskContext& context) override {
+    (void)train;
+    (void)labels;
+    (void)context;
+    const auto measures = ComputeAllMeasures(*input_);
+    thresholds_ = FitThresholds(measures);
+  }
+  ExpertLabel Characterize(const MatcherView& matcher) const override {
+    const ExpertMeasures m =
+        ComputeMeasures(*matcher.history, matcher.source_size,
+                        matcher.target_size, *input_->reference);
+    return mexi::Characterize(m, thresholds_);
+  }
+
+ private:
+  const EvaluationInput* input_;
+  ExpertThresholds thresholds_;
+};
+
+class EvaluationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(30, 909).release();
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static testing::StudyFixture* fixture_;
+};
+
+testing::StudyFixture* EvaluationTest::fixture_ = nullptr;
+
+TEST_F(EvaluationTest, OracleDominatesRandomInKFold) {
+  std::vector<CharacterizerFactory> methods;
+  const EvaluationInput* input = &fixture_->input;
+  methods.push_back(
+      [input] { return std::make_unique<OracleCharacterizer>(input); });
+  methods.push_back([] { return std::make_unique<RandCharacterizer>(3); });
+
+  ExperimentConfig config;
+  config.folds = 3;
+  config.bootstrap_replicates = 300;
+  auto results = RunKFoldExperiment(fixture_->input, methods, config);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].method, "Oracle");
+  // The oracle uses fold-global thresholds while labels use fold-train
+  // thresholds, so it is near- but not always exactly perfect.
+  EXPECT_GT(results[0].a_ml, 0.9);
+  EXPECT_GT(results[0].a_ml, results[1].a_ml + 0.2);
+  // Every test matcher appears exactly once per method.
+  EXPECT_EQ(results[0].per_matcher_jaccard.size(),
+            fixture_->input.matchers.size());
+
+  MarkSignificance(results, "Rand", config);
+  EXPECT_TRUE(results[0].significant[4]);
+  EXPECT_FALSE(results[1].significant[4]);  // the baseline itself
+  EXPECT_THROW(MarkSignificance(results, "NoSuch", config),
+               std::invalid_argument);
+}
+
+TEST_F(EvaluationTest, TransferExperimentRuns) {
+  // Tiny OAEI-style test population.
+  sim::StudyConfig config;
+  config.num_matchers = 10;
+  config.seed = 41;
+  testing::StudyFixture test_fixture(sim::BuildOaeiStudy(config));
+
+  std::vector<CharacterizerFactory> methods;
+  methods.push_back([] { return std::make_unique<RandFreqCharacterizer>(9); });
+  methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
+
+  ExperimentConfig experiment_config;
+  const auto results = RunTransferExperiment(
+      fixture_->input, test_fixture.input, methods, experiment_config);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.per_matcher_jaccard.size(), 10u);
+    for (double a : r.a_c) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST_F(EvaluationTest, LabelsFollowTrainThresholds) {
+  const auto measures = ComputeAllMeasures(fixture_->input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+  ASSERT_EQ(labels.size(), measures.size());
+  // By construction of delta_res as the 80th percentile, roughly 20% of
+  // the population can pass the resolution bar (before significance).
+  int above = 0;
+  for (const auto& m : measures) above += m.resolution > thresholds.delta_res;
+  // Ties at the threshold can only shrink the share below 20%.
+  EXPECT_LE(static_cast<double>(above) /
+                static_cast<double>(measures.size()),
+            0.32);
+}
+
+TEST_F(EvaluationTest, ComputeAllMeasuresValidatesReference) {
+  EvaluationInput broken = fixture_->input;
+  broken.reference = nullptr;
+  EXPECT_THROW(ComputeAllMeasures(broken), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi

@@ -1,0 +1,149 @@
+#include "core/expert_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mexi {
+namespace {
+
+/// The paper's Table I history (0-based indices).
+matching::DecisionHistory PaperHistory() {
+  matching::DecisionHistory h;
+  h.Add({2, 3, 1.0, 3.0});    // M34
+  h.Add({0, 0, 0.9, 8.0});    // M11
+  h.Add({0, 1, 0.5, 15.0});   // M12
+  h.Add({0, 0, 0.5, 16.0});   // M11 revisited
+  h.Add({1, 0, 0.45, 34.0});  // M21
+  return h;
+}
+
+matching::MatchMatrix PaperReference() {
+  return matching::MatchMatrix::FromReference(
+      {{0, 0}, {0, 1}, {1, 2}, {2, 3}}, 4, 4);
+}
+
+TEST(ExpertMeasuresTest, PaperExampleEndToEnd) {
+  const ExpertMeasures m =
+      ComputeMeasures(PaperHistory(), 4, 4, PaperReference());
+  // Section II-B: P = R = 3/4; resolution 1.0 with p = 0.5; the mean
+  // confidence is 0.67, so calibration is 0.67 - 0.75 = -0.08 (the paper
+  // prints "-0.12" but its own arithmetic, 0.67 - 0.75, gives -0.08).
+  EXPECT_DOUBLE_EQ(m.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m.recall, 0.75);
+  EXPECT_DOUBLE_EQ(m.resolution, 1.0);
+  EXPECT_DOUBLE_EQ(m.resolution_pvalue, 0.5);
+  EXPECT_NEAR(m.calibration, -0.08, 1e-12);
+}
+
+TEST(ExpertMeasuresTest, PaperExampleCharacterization) {
+  const ExpertMeasures m =
+      ComputeMeasures(PaperHistory(), 4, 4, PaperReference());
+  ExpertThresholds t;  // delta_p = delta_r = 0.5
+  t.delta_res = 0.5;
+  t.delta_cal = 0.205;  // the paper's 20th percentile
+  const ExpertLabel label = Characterize(m, t);
+  EXPECT_TRUE(label.precise);
+  EXPECT_TRUE(label.thorough);
+  // Resolution 1.0 passes the threshold but not the significance gate.
+  EXPECT_FALSE(label.correlated);
+  // |Cal| = 0.08 < 0.205 -> calibrated.
+  EXPECT_TRUE(label.calibrated);
+}
+
+TEST(ThresholdsTest, FitUsesPercentiles) {
+  std::vector<ExpertMeasures> train;
+  for (int i = 0; i < 10; ++i) {
+    ExpertMeasures m;
+    m.resolution = 0.1 * static_cast<double>(i);   // 0 .. 0.9
+    m.calibration = 0.05 * static_cast<double>(i);  // 0 .. 0.45
+    train.push_back(m);
+  }
+  const ExpertThresholds t = FitThresholds(train);
+  // 80th percentile of 0..0.9 (linear interp): 0.72.
+  EXPECT_NEAR(t.delta_res, 0.72, 1e-12);
+  // 20th percentile of |cal| 0..0.45: 0.09.
+  EXPECT_NEAR(t.delta_cal, 0.09, 1e-12);
+  EXPECT_DOUBLE_EQ(t.delta_p, 0.5);
+  EXPECT_DOUBLE_EQ(t.delta_r, 0.5);
+  EXPECT_THROW(FitThresholds({}), std::invalid_argument);
+}
+
+TEST(ExpertLabelTest, VectorRoundTrip) {
+  for (int bits = 0; bits < 16; ++bits) {
+    std::vector<int> v{(bits >> 0) & 1, (bits >> 1) & 1, (bits >> 2) & 1,
+                       (bits >> 3) & 1};
+    const ExpertLabel label = ExpertLabel::FromVector(v);
+    EXPECT_EQ(label.ToVector(), v);
+    EXPECT_EQ(label.Count(), v[0] + v[1] + v[2] + v[3]);
+    EXPECT_EQ(label.IsFullExpert(), bits == 15);
+  }
+  EXPECT_THROW(ExpertLabel::FromVector({1, 0}), std::invalid_argument);
+}
+
+TEST(ExpertLabelTest, CharacteristicNamesOrder) {
+  const auto& names = CharacteristicNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "precise");
+  EXPECT_EQ(names[3], "calibrated");
+}
+
+TEST(CharacterizeTest, CalibrationUsesAbsoluteValue) {
+  ExpertMeasures over, under;
+  over.calibration = 0.15;
+  under.calibration = -0.15;
+  ExpertThresholds t;
+  t.delta_cal = 0.2;
+  EXPECT_TRUE(Characterize(over, t).calibrated);
+  EXPECT_TRUE(Characterize(under, t).calibrated);
+  t.delta_cal = 0.1;
+  EXPECT_FALSE(Characterize(over, t).calibrated);
+  EXPECT_FALSE(Characterize(under, t).calibrated);
+}
+
+TEST(CharacterizeTest, CorrelatedNeedsSignificance) {
+  ExpertMeasures m;
+  m.resolution = 0.9;
+  m.resolution_pvalue = 0.2;
+  ExpertThresholds t;
+  t.delta_res = 0.5;
+  EXPECT_FALSE(Characterize(m, t).correlated);
+  m.resolution_pvalue = 0.01;
+  EXPECT_TRUE(Characterize(m, t).correlated);
+}
+
+TEST(AccumulatedCurvesTest, PaperHistoryStepByStep) {
+  const AccumulatedCurves curves =
+      ComputeAccumulatedCurves(PaperHistory(), 4, 4, PaperReference());
+  ASSERT_EQ(curves.precision.size(), 5u);
+  // After decision 1 (M34, correct): P = 1, R = 1/4.
+  EXPECT_DOUBLE_EQ(curves.precision[0], 1.0);
+  EXPECT_DOUBLE_EQ(curves.recall[0], 0.25);
+  // After all 5: P = R = 0.75 (matches ComputeMeasures).
+  EXPECT_DOUBLE_EQ(curves.precision[4], 0.75);
+  EXPECT_DOUBLE_EQ(curves.recall[4], 0.75);
+  EXPECT_NEAR(curves.mean_confidence[4], 0.67, 1e-12);
+  EXPECT_NEAR(curves.calibration[4], -0.08, 1e-12);
+}
+
+TEST(AccumulatedCurvesTest, RecallIsNonDecreasingWithoutRetractions) {
+  matching::DecisionHistory h;
+  h.Add({0, 0, 0.9, 1.0});
+  h.Add({1, 1, 0.8, 2.0});
+  h.Add({2, 2, 0.7, 3.0});
+  const auto ref =
+      matching::MatchMatrix::FromReference({{0, 0}, {1, 1}, {2, 2}}, 3, 3);
+  const AccumulatedCurves curves = ComputeAccumulatedCurves(h, 3, 3, ref);
+  for (std::size_t i = 1; i < curves.recall.size(); ++i) {
+    EXPECT_GE(curves.recall[i], curves.recall[i - 1]);
+  }
+}
+
+TEST(AccumulatedCurvesTest, EmptyHistory) {
+  const AccumulatedCurves curves = ComputeAccumulatedCurves(
+      matching::DecisionHistory(), 2, 2, matching::MatchMatrix(2, 2));
+  EXPECT_TRUE(curves.precision.empty());
+}
+
+}  // namespace
+}  // namespace mexi

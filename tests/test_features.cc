@@ -1,0 +1,208 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/features/aggregated_features.h"
+#include "core/features/consensus.h"
+#include "core/features/consistency_features.h"
+#include "core/features/feature_vector.h"
+#include "core/features/sequential_features.h"
+#include "core/features/spatial_features.h"
+
+namespace mexi {
+namespace {
+
+matching::DecisionHistory SampleHistory() {
+  matching::DecisionHistory h;
+  h.Add({0, 0, 0.9, 5.0});
+  h.Add({1, 1, 0.7, 12.0});
+  h.Add({2, 2, 0.4, 30.0});
+  h.Add({0, 0, 0.8, 41.0});  // mind change
+  h.Add({3, 1, 0.6, 55.0});
+  return h;
+}
+
+matching::MovementMap SampleMovement() {
+  matching::MovementMap map(1280.0, 800.0);
+  map.Add({200.0, 100.0, matching::MovementType::kMove, 1.0});
+  map.Add({800.0, 120.0, matching::MovementType::kMove, 2.0});
+  map.Add({820.0, 130.0, matching::MovementType::kLeftClick, 3.0});
+  map.Add({640.0, 600.0, matching::MovementType::kScroll, 4.0});
+  map.Add({600.0, 620.0, matching::MovementType::kLeftClick, 6.0});
+  return map;
+}
+
+TEST(FeatureVectorTest, NamesStayAligned) {
+  FeatureVector v;
+  v.Add("a", 1.0);
+  v.Add("b", 2.0);
+  FeatureVector w;
+  w.Add("c", 3.0);
+  v.Extend(w);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("c"), 3.0);
+  EXPECT_TRUE(v.Has("b"));
+  EXPECT_FALSE(v.Has("z"));
+  EXPECT_THROW(v.at("z"), std::out_of_range);
+}
+
+TEST(LrsmFeaturesTest, PrefixedPredictorNames) {
+  const FeatureVector phi = LrsmFeatures(SampleHistory(), 5, 4);
+  EXPECT_GT(phi.size(), 10u);
+  EXPECT_TRUE(phi.Has("lrsm.dom"));
+  EXPECT_TRUE(phi.Has("lrsm.pca1"));
+  EXPECT_TRUE(phi.Has("lrsm.normsinf"));
+  for (double v : phi.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BehavioralFeaturesTest, KnownAggregates) {
+  const FeatureVector phi = BehavioralFeatures(SampleHistory());
+  EXPECT_DOUBLE_EQ(phi.at("beh.countDecisions"), 5.0);
+  EXPECT_DOUBLE_EQ(phi.at("beh.countDistinctCorr"), 4.0);
+  EXPECT_DOUBLE_EQ(phi.at("beh.countMindChange"), 1.0);
+  EXPECT_NEAR(phi.at("beh.avgConf"), (0.9 + 0.7 + 0.4 + 0.8 + 0.6) / 5.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(phi.at("beh.totalTime"), 50.0);
+  EXPECT_DOUBLE_EQ(phi.at("beh.maxTime"), 18.0);
+  EXPECT_DOUBLE_EQ(phi.at("beh.firstConf"), 0.9);
+  EXPECT_DOUBLE_EQ(phi.at("beh.lastConf"), 0.6);
+}
+
+TEST(BehavioralFeaturesTest, EmptyHistoryIsFinite) {
+  const FeatureVector phi = BehavioralFeatures(matching::DecisionHistory());
+  for (double v : phi.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MouseFeaturesTest, CountsAndRegionShares) {
+  const FeatureVector phi = MouseFeatures(SampleMovement());
+  EXPECT_DOUBLE_EQ(phi.at("mou.countEvents"), 5.0);
+  EXPECT_DOUBLE_EQ(phi.at("mou.countLClick"), 2.0);
+  EXPECT_DOUBLE_EQ(phi.at("mou.countScroll"), 1.0);
+  EXPECT_DOUBLE_EQ(phi.at("mou.clickRate"), 0.4);
+  // Events at (200,100) -> source tree; (800..820,~125) -> target tree;
+  // (600..640, ~610) -> match table.
+  EXPECT_NEAR(phi.at("mou.share.sourceTree"), 0.2, 1e-12);
+  EXPECT_NEAR(phi.at("mou.share.targetTree"), 0.4, 1e-12);
+  EXPECT_NEAR(phi.at("mou.share.matchTable"), 0.4, 1e-12);
+}
+
+TEST(ConsensusMapTest, SharesAndForeignPairs) {
+  matching::DecisionHistory h1, h2;
+  h1.Add({0, 0, 0.9, 1.0});
+  h1.Add({1, 1, 0.8, 2.0});
+  h2.Add({0, 0, 0.7, 1.0});
+  const ConsensusMap consensus({&h1, &h2}, 3, 3);
+  EXPECT_DOUBLE_EQ(consensus.Share(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(consensus.Share(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(consensus.Share(2, 2), 0.0);
+  // Out-of-range (foreign task) pairs are simply unknown.
+  EXPECT_DOUBLE_EQ(consensus.Share(99, 99), 0.0);
+  EXPECT_DOUBLE_EQ(consensus.Count(0, 0), 2.0);
+}
+
+TEST(ConsensusMapTest, MeanShare) {
+  matching::DecisionHistory h1, h2;
+  h1.Add({0, 0, 0.9, 1.0});
+  h2.Add({0, 0, 0.7, 1.0});
+  h2.Add({1, 1, 0.7, 2.0});
+  const ConsensusMap consensus({&h1, &h2}, 2, 2);
+  // h2's pairs: (0,0) share 1.0, (1,1) share 0.5 -> mean 0.75.
+  EXPECT_DOUBLE_EQ(consensus.MeanShare(h2), 0.75);
+  EXPECT_DOUBLE_EQ(ConsensusMap().MeanShare(h2), 0.0);
+}
+
+TEST(ConsistencyFeaturesTest, MajorityAndMinorityShares) {
+  matching::DecisionHistory crowd1, crowd2, crowd3;
+  crowd1.Add({0, 0, 0.9, 1.0});
+  crowd2.Add({0, 0, 0.8, 1.0});
+  crowd3.Add({0, 0, 0.7, 1.0});
+  const ConsensusMap consensus({&crowd1, &crowd2, &crowd3}, 3, 3);
+
+  matching::DecisionHistory mine;
+  mine.Add({0, 0, 0.9, 1.0});  // consensus 1.0
+  mine.Add({2, 2, 0.8, 2.0});  // consensus 0.0 (idiosyncratic)
+  const FeatureVector phi = ConsistencyFeatures(mine, consensus);
+  EXPECT_DOUBLE_EQ(phi.at("con.meanConsensus"), 0.5);
+  EXPECT_DOUBLE_EQ(phi.at("con.minorityShare"), 0.5);
+  EXPECT_DOUBLE_EQ(phi.at("con.majorityShare"), 0.5);
+  // Later decisions hit lower consensus -> negative temporal trend.
+  EXPECT_LT(phi.at("con.temporalConsensusTrend"), 0.0);
+}
+
+TEST(SequentialFeaturesTest, EncodingShape) {
+  SequentialFeatureExtractor extractor;
+  const ml::Sequence seq = extractor.Encode(SampleHistory());
+  ASSERT_EQ(seq.size(), 5u);
+  ASSERT_EQ(seq[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(seq[0][0], 0.9);  // confidence channel
+  EXPECT_DOUBLE_EQ(seq[0][1], 0.0);  // first decision has no elapsed time
+  EXPECT_GT(seq[1][1], 0.0);
+  EXPECT_LT(seq[1][1], 1.0);  // squashed
+}
+
+TEST(SequentialFeaturesTest, FitThenExtractCoefficients) {
+  SequentialFeatureExtractor::Config config =
+      SequentialFeatureExtractor::DefaultConfig();
+  config.lstm.epochs = 4;
+  SequentialFeatureExtractor extractor(config);
+  EXPECT_THROW(extractor.Extract(SampleHistory()), std::logic_error);
+
+  matching::DecisionHistory a = SampleHistory();
+  matching::DecisionHistory b;
+  b.Add({1, 0, 0.3, 2.0});
+  b.Add({2, 1, 0.2, 9.0});
+  ExpertLabel expert;
+  expert.precise = expert.thorough = true;
+  const ConsensusMap consensus({&a, &b}, 5, 4);
+  extractor.Fit({&a, &b}, {expert, ExpertLabel{}}, consensus);
+
+  const FeatureVector phi = extractor.Extract(a);
+  ASSERT_EQ(phi.size(), 4u);
+  EXPECT_TRUE(phi.Has("seq.precise"));
+  EXPECT_TRUE(phi.Has("seq.calibrated"));
+  for (double v : phi.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SpatialFeaturesTest, FitThenExtractSixteenCoefficients) {
+  SpatialFeatureExtractor::Config config =
+      SpatialFeatureExtractor::DefaultConfig();
+  config.cnn.epochs = 2;
+  config.pretrain_images = 8;
+  config.pretrain_epochs = 1;
+  SpatialFeatureExtractor extractor(config);
+  EXPECT_THROW(extractor.Extract(SampleMovement()), std::logic_error);
+
+  const matching::MovementMap a = SampleMovement();
+  matching::MovementMap b(1280.0, 800.0);
+  b.Add({100.0, 700.0, matching::MovementType::kScroll, 1.0});
+  ExpertLabel expert;
+  expert.correlated = true;
+  extractor.Fit({&a, &b}, {expert, ExpertLabel{}});
+
+  const FeatureVector phi = extractor.Extract(a);
+  ASSERT_EQ(phi.size(), 16u);
+  EXPECT_TRUE(phi.Has("spa.Move.precise"));
+  EXPECT_TRUE(phi.Has("spa.SMouse.calibrated"));
+  EXPECT_TRUE(phi.Has("spa.LMouse.correlated"));
+  EXPECT_TRUE(phi.Has("spa.RMouse.thorough"));
+  for (double v : phi.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SpatialFeaturesTest, MapNames) {
+  EXPECT_STREQ(SpatialFeatureExtractor::MapName(
+                   matching::MovementType::kScroll),
+               "SMouse");
+  EXPECT_STREQ(SpatialFeatureExtractor::MapName(
+                   matching::MovementType::kMove),
+               "Move");
+}
+
+}  // namespace
+}  // namespace mexi

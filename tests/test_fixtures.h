@@ -1,0 +1,50 @@
+#ifndef MEXI_TESTS_TEST_FIXTURES_H_
+#define MEXI_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+
+#include "core/evaluation.h"
+#include "sim/study.h"
+
+namespace mexi::testing {
+
+/// A small simulated study bundled with the evaluation views into it.
+/// Keeps the study alive for as long as the views are used.
+struct StudyFixture {
+  sim::Study study;
+  EvaluationInput input;
+
+  explicit StudyFixture(sim::Study s) : study(std::move(s)) {
+    input.reference = &study.reference;
+    input.context.source_size = study.task.source.size();
+    input.context.target_size = study.task.target.size();
+    input.context.warmup_source_size = study.warmup_task.source.size();
+    input.context.warmup_target_size = study.warmup_task.target.size();
+    input.context.warmup_reference = &study.warmup_reference;
+    for (auto& matcher : study.matchers) {
+      MatcherView view;
+      view.history = &matcher.history;
+      view.movement = &matcher.movement;
+      view.warmup_history = &matcher.warmup_history;
+      view.source_size = study.task.source.size();
+      view.target_size = study.task.target.size();
+      input.matchers.push_back(view);
+    }
+  }
+
+  StudyFixture(const StudyFixture&) = delete;
+  StudyFixture& operator=(const StudyFixture&) = delete;
+};
+
+inline std::unique_ptr<StudyFixture> MakeSmallPoFixture(
+    std::size_t matchers = 30, std::uint64_t seed = 2024) {
+  sim::StudyConfig config;
+  config.num_matchers = matchers;
+  config.seed = seed;
+  return std::make_unique<StudyFixture>(
+      sim::BuildPurchaseOrderStudy(config));
+}
+
+}  // namespace mexi::testing
+
+#endif  // MEXI_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,59 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::stats {
+namespace {
+
+TEST(HistogramTest, BinsObservations) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(2.5);
+  h.Add(9.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);  // [0, 2)
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);  // [2, 4)
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);  // [8, 10)
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(HistogramTest, WeightedAndNormalized) {
+  Histogram h(0.0, 2.0, 2);
+  h.AddWeighted(0.5, 3.0);
+  h.AddWeighted(1.5, 1.0);
+  const auto normalized = h.Normalized();
+  EXPECT_DOUBLE_EQ(normalized[0], 0.75);
+  EXPECT_DOUBLE_EQ(normalized[1], 0.25);
+  EXPECT_EQ(h.ArgMax(), 0u);
+}
+
+TEST(HistogramTest, BinLowerEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinLower(4), 18.0);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  const std::string ascii = h.ToAscii(10);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mexi::stats

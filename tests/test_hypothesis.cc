@@ -1,0 +1,88 @@
+#include "stats/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::stats {
+namespace {
+
+std::vector<double> Shifted(double shift, double spread, int n,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.Gaussian(shift, spread));
+  return out;
+}
+
+TEST(BootstrapTest, DetectsLargeShift) {
+  Rng rng(1);
+  const auto a = Shifted(1.0, 0.5, 60, 2);
+  const auto b = Shifted(0.0, 0.5, 60, 3);
+  const auto result = BootstrapMeanDifferenceTest(a, b, 1000, 0.05, rng);
+  EXPECT_TRUE(result.significant);
+  EXPECT_GT(result.observed_difference, 0.5);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(BootstrapTest, SameDistributionUsuallyInsignificant) {
+  Rng rng(4);
+  const auto a = Shifted(0.0, 1.0, 50, 105);
+  const auto b = Shifted(0.0, 1.0, 50, 106);
+  const auto result = BootstrapMeanDifferenceTest(a, b, 1000, 0.05, rng);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(BootstrapTest, EmptyInputsSafe) {
+  Rng rng(7);
+  const auto result = BootstrapMeanDifferenceTest({}, {1.0}, 100, 0.05, rng);
+  EXPECT_FALSE(result.significant);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(BootstrapTest, Deterministic) {
+  const auto a = Shifted(0.5, 1.0, 30, 8);
+  const auto b = Shifted(0.0, 1.0, 30, 9);
+  Rng rng1(10), rng2(10);
+  const auto r1 = BootstrapMeanDifferenceTest(a, b, 500, 0.05, rng1);
+  const auto r2 = BootstrapMeanDifferenceTest(a, b, 500, 0.05, rng2);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(PairedBootstrapTest, DetectsConsistentPairedGain) {
+  Rng rng(11);
+  std::vector<double> a, b;
+  Rng data(12);
+  for (int i = 0; i < 40; ++i) {
+    const double base = data.Gaussian(0.0, 1.0);
+    b.push_back(base);
+    a.push_back(base + 0.3 + data.Gaussian(0.0, 0.05));
+  }
+  const auto result = PairedBootstrapTest(a, b, 1000, 0.05, rng);
+  EXPECT_TRUE(result.significant);
+  EXPECT_THROW(PairedBootstrapTest({1.0}, {1.0, 2.0}, 10, 0.05, rng),
+               std::invalid_argument);
+}
+
+TEST(WelchTTest, AgreesWithBootstrapOnClearShift) {
+  const auto a = Shifted(1.0, 0.5, 50, 60);
+  const auto b = Shifted(0.0, 0.5, 50, 61);
+  const auto welch = WelchTTest(a, b, 0.05);
+  EXPECT_TRUE(welch.significant);
+  EXPECT_GT(welch.observed_difference, 0.5);
+  const auto same = WelchTTest(Shifted(0.0, 1.0, 50, 62),
+                               Shifted(0.0, 1.0, 50, 63), 0.05);
+  EXPECT_GT(same.p_value, 0.05);
+  EXPECT_FALSE(WelchTTest({1.0}, {1.0, 2.0}, 0.05).significant);
+}
+
+TEST(ConfidenceIntervalTest, ContainsTrueMean) {
+  Rng rng(13);
+  const auto sample = Shifted(2.0, 1.0, 200, 14);
+  const auto ci = BootstrapMeanConfidenceInterval(sample, 800, 0.95, rng);
+  EXPECT_LT(ci.lower, 2.0);
+  EXPECT_GT(ci.upper, 2.0);
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_NEAR(ci.point, 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace mexi::stats

@@ -1,0 +1,145 @@
+#include "matching/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mexi::matching {
+namespace {
+
+std::vector<LoadedMatcher> TwoMatchers() {
+  std::vector<LoadedMatcher> matchers(2);
+  matchers[0].id = 3;
+  matchers[0].history.Add({0, 1, 0.9, 1.5});
+  matchers[0].history.Add({2, 2, 0.4, 7.25});
+  matchers[0].movement = MovementMap(1280.0, 800.0);
+  matchers[0].movement.Add({10.5, 20.25, MovementType::kMove, 0.5});
+  matchers[0].movement.Add({30.0, 40.0, MovementType::kLeftClick, 2.0});
+  matchers[1].id = 9;
+  matchers[1].history.Add({1, 0, 0.55, 3.0});
+  matchers[1].movement = MovementMap(1280.0, 800.0);
+  matchers[1].movement.Add({100.0, 200.0, MovementType::kScroll, 1.0});
+  matchers[1].movement.Add({110.0, 210.0, MovementType::kRightClick, 4.0});
+  return matchers;
+}
+
+TEST(IoTest, DecisionsRoundTrip) {
+  const auto original = TwoMatchers();
+  std::stringstream buffer;
+  WriteDecisionsCsv(original, buffer);
+  const auto loaded = ReadDecisionsCsv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].id, 3);
+  EXPECT_EQ(loaded[1].id, 9);
+  ASSERT_EQ(loaded[0].history.size(), 2u);
+  EXPECT_EQ(loaded[0].history.at(0).source, 0u);
+  EXPECT_EQ(loaded[0].history.at(0).target, 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].history.at(0).confidence, 0.9);
+  EXPECT_DOUBLE_EQ(loaded[0].history.at(1).timestamp, 7.25);
+}
+
+TEST(IoTest, MovementsRoundTrip) {
+  const auto original = TwoMatchers();
+  std::stringstream decisions, movements;
+  WriteDecisionsCsv(original, decisions);
+  WriteMovementsCsv(original, movements);
+  auto loaded = ReadDecisionsCsv(decisions);
+  ReadMovementsCsv(movements, &loaded);
+  ASSERT_EQ(loaded[0].movement.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0].movement.events()[0].x, 10.5);
+  EXPECT_EQ(loaded[0].movement.events()[1].type,
+            MovementType::kLeftClick);
+  EXPECT_EQ(loaded[1].movement.events()[0].type, MovementType::kScroll);
+  EXPECT_EQ(loaded[1].movement.events()[1].type,
+            MovementType::kRightClick);
+  EXPECT_DOUBLE_EQ(loaded[0].movement.screen_width(), 1280.0);
+}
+
+TEST(IoTest, ReferenceRoundTrip) {
+  const std::vector<ElementPair> reference{{0, 5}, {7, 2}, {3, 3}};
+  std::stringstream buffer;
+  WriteReferenceCsv(reference, buffer);
+  EXPECT_EQ(ReadReferenceCsv(buffer), reference);
+}
+
+TEST(IoTest, MalformedDecisionLineReportsLineNumber) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,0,0,0.5,1.0\n"
+      "1,0,zero,0.5,2.0\n");
+  try {
+    ReadDecisionsCsv(buffer);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoTest, WrongFieldCountRejected) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,0,0,0.5\n");
+  EXPECT_THROW(ReadDecisionsCsv(buffer), std::runtime_error);
+}
+
+TEST(IoTest, NegativeIndexRejected) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,-2,0,0.5,1.0\n");
+  EXPECT_THROW(ReadDecisionsCsv(buffer), std::runtime_error);
+}
+
+TEST(IoTest, NonMonotonicTimestampsRejected) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,0,0,0.5,5.0\n"
+      "1,0,1,0.5,1.0\n");
+  EXPECT_THROW(ReadDecisionsCsv(buffer), std::runtime_error);
+}
+
+TEST(IoTest, MovementForUnknownMatcherRejected) {
+  std::stringstream movements(
+      "matcher_id,x,y,type,timestamp\n"
+      "#screen,1280,800\n"
+      "42,1.0,2.0,m,1.0\n");
+  std::vector<LoadedMatcher> matchers;  // empty: id 42 unknown
+  EXPECT_THROW(ReadMovementsCsv(movements, &matchers), std::runtime_error);
+}
+
+TEST(IoTest, UnknownMovementTypeRejected) {
+  auto matchers = TwoMatchers();
+  std::stringstream movements(
+      "matcher_id,x,y,type,timestamp\n"
+      "3,1.0,2.0,q,1.0\n");
+  EXPECT_THROW(ReadMovementsCsv(movements, &matchers), std::runtime_error);
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer(
+      "source,target\n"
+      "\n"
+      "# a comment\n"
+      "1,2\n");
+  const auto reference = ReadReferenceCsv(buffer);
+  ASSERT_EQ(reference.size(), 1u);
+  EXPECT_EQ(reference[0], (ElementPair{1, 2}));
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const auto original = TwoMatchers();
+  const std::string dir = ::testing::TempDir();
+  SaveMatchersToFiles(original, dir + "/d.csv", dir + "/m.csv");
+  const auto loaded = LoadMatchersFromFiles(dir + "/d.csv", dir + "/m.csv");
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].history.size(), original[0].history.size());
+  EXPECT_EQ(loaded[1].movement.size(), original[1].movement.size());
+
+  SaveReferenceToFile({{1, 1}}, dir + "/r.csv");
+  EXPECT_EQ(LoadReferenceFromFile(dir + "/r.csv").size(), 1u);
+  EXPECT_THROW(LoadReferenceFromFile(dir + "/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mexi::matching

@@ -1,0 +1,74 @@
+#include "matching/match_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::matching {
+namespace {
+
+TEST(MatchMatrixTest, SetClampsAndReads) {
+  MatchMatrix m(3, 4);
+  m.Set(0, 0, 0.7);
+  m.Set(1, 1, 1.5);
+  m.Set(2, 3, -0.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 0.0);
+  EXPECT_THROW(m.Set(3, 0, 0.5), std::out_of_range);
+  EXPECT_THROW(m.At(0, 4), std::out_of_range);
+}
+
+TEST(MatchMatrixTest, MatchExtractsNonZeroEntries) {
+  MatchMatrix m(2, 2);
+  m.Set(0, 1, 0.4);
+  m.Set(1, 0, 0.8);
+  const auto sigma = m.Match();
+  ASSERT_EQ(sigma.size(), 2u);
+  EXPECT_EQ(sigma[0], (ElementPair{0, 1}));
+  EXPECT_EQ(sigma[1], (ElementPair{1, 0}));
+  EXPECT_EQ(m.MatchSize(), 2u);
+  EXPECT_EQ(m.MatchValues(), (std::vector<double>{0.4, 0.8}));
+}
+
+TEST(MatchMatrixTest, FromReference) {
+  const MatchMatrix ref =
+      MatchMatrix::FromReference({{0, 0}, {1, 2}}, 2, 3);
+  EXPECT_DOUBLE_EQ(ref.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ref.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ref.At(0, 1), 0.0);
+  EXPECT_THROW(MatchMatrix::FromReference({{5, 0}}, 2, 3),
+               std::out_of_range);
+}
+
+TEST(MatchMatrixTest, PaperExamplePrecisionRecall) {
+  // Example 1 of the paper: match {M34, M11, M12, M21}, reference
+  // {M11, M12, M23, M34} -> P = R = 3/4. (1-based indices in the paper.)
+  MatchMatrix m(4, 4);
+  m.Set(2, 3, 1.0);   // M34
+  m.Set(0, 0, 0.5);   // M11
+  m.Set(0, 1, 0.5);   // M12
+  m.Set(1, 0, 0.45);  // M21
+  const MatchMatrix ref =
+      MatchMatrix::FromReference({{0, 0}, {0, 1}, {1, 2}, {2, 3}}, 4, 4);
+  EXPECT_EQ(m.IntersectionSize(ref), 3u);
+  EXPECT_DOUBLE_EQ(m.PrecisionAgainst(ref), 0.75);
+  EXPECT_DOUBLE_EQ(m.RecallAgainst(ref), 0.75);
+}
+
+TEST(MatchMatrixTest, EmptyMatchEdgeCases) {
+  MatchMatrix m(2, 2);
+  const MatchMatrix ref = MatchMatrix::FromReference({{0, 0}}, 2, 2);
+  EXPECT_DOUBLE_EQ(m.PrecisionAgainst(ref), 0.0);
+  EXPECT_DOUBLE_EQ(m.RecallAgainst(ref), 0.0);
+  MatchMatrix full(2, 2);
+  full.Set(0, 0, 1.0);
+  const MatchMatrix empty_ref(2, 2);
+  EXPECT_DOUBLE_EQ(full.RecallAgainst(empty_ref), 0.0);
+}
+
+TEST(MatchMatrixTest, ShapeMismatchRejected) {
+  MatchMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a.IntersectionSize(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi::matching

@@ -1,0 +1,141 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mexi::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 7.0);
+  EXPECT_THROW(m.At(2, 0), std::out_of_range);
+  EXPECT_THROW(m.At(0, 3), std::out_of_range);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix::FromRows({{1, 2}, {3}}), std::invalid_argument);
+
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatMulKnown) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(a.MatMul(Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(MatrixTest, MatMulWithIdentity) {
+  stats::Rng rng(1);
+  const Matrix a = Matrix::RandomGaussian(4, 4, 1.0, rng);
+  EXPECT_TRUE(a.MatMul(Matrix::Identity(4)).AlmostEquals(a, 1e-12));
+  EXPECT_TRUE(Matrix::Identity(4).MatMul(a).AlmostEquals(a, 1e-12));
+}
+
+TEST(MatrixTest, TransposeOfProduct) {
+  stats::Rng rng(2);
+  const Matrix a = Matrix::RandomGaussian(3, 5, 1.0, rng);
+  const Matrix b = Matrix::RandomGaussian(5, 2, 1.0, rng);
+  const Matrix lhs = a.MatMul(b).Transposed();
+  const Matrix rhs = b.Transposed().MatMul(a.Transposed());
+  EXPECT_TRUE(lhs.AlmostEquals(rhs, 1e-10));
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{4, 3}, {2, 1}});
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.Hadamard(b)(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 1), 4.0);
+  EXPECT_THROW(a + Matrix(1, 2), std::invalid_argument);
+}
+
+TEST(MatrixTest, RowBroadcastAndColSums) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix bias = Matrix::FromRows({{10, 20}});
+  const Matrix shifted = a.AddRowBroadcast(bias);
+  EXPECT_DOUBLE_EQ(shifted(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(shifted(1, 1), 24.0);
+  const Matrix sums = a.ColSums();
+  EXPECT_DOUBLE_EQ(sums(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Norms) {
+  const Matrix m = Matrix::FromRows({{3, -4}, {0, 0}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.InfNorm(), 7.0);   // max row abs sum
+  EXPECT_DOUBLE_EQ(m.L1Norm(), 4.0);    // max col abs sum
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), -1.0);
+}
+
+TEST(MatrixTest, RowColExtraction) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+  Matrix mutated = m;
+  mutated.SetRow(0, {7, 8, 9});
+  EXPECT_DOUBLE_EQ(mutated(0, 2), 9.0);
+  EXPECT_THROW(mutated.SetRow(0, {1}), std::invalid_argument);
+}
+
+TEST(MatrixTest, ApplyAndFill) {
+  Matrix m = Matrix::FromRows({{1, -2}});
+  const Matrix abs = m.Apply([](double v) { return std::fabs(v); });
+  EXPECT_DOUBLE_EQ(abs(0, 1), 2.0);
+  m.Fill(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  stats::Rng rng(3);
+  const Matrix w = Matrix::GlorotUniform(10, 10, rng);
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (double v : w.data()) {
+    EXPECT_LE(std::fabs(v), limit);
+  }
+}
+
+struct ShapeCase {
+  std::size_t n, k, m;
+};
+
+class MatMulShapeTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(MatMulShapeTest, AssociativityHolds) {
+  const auto& p = GetParam();
+  stats::Rng rng(p.n * 100 + p.k * 10 + p.m);
+  const Matrix a = Matrix::RandomGaussian(p.n, p.k, 1.0, rng);
+  const Matrix b = Matrix::RandomGaussian(p.k, p.m, 1.0, rng);
+  const Matrix c = Matrix::RandomGaussian(p.m, p.k, 1.0, rng);
+  const Matrix lhs = a.MatMul(b).MatMul(c);
+  const Matrix rhs = a.MatMul(b.MatMul(c));
+  EXPECT_TRUE(lhs.AlmostEquals(rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapeTest,
+                         ::testing::Values(ShapeCase{1, 1, 1},
+                                           ShapeCase{2, 3, 4},
+                                           ShapeCase{5, 1, 5},
+                                           ShapeCase{7, 8, 3},
+                                           ShapeCase{10, 10, 10}));
+
+}  // namespace
+}  // namespace mexi::ml

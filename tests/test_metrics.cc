@@ -1,0 +1,64 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mexi::ml {
+namespace {
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 0}, {1, 0, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_THROW(Accuracy({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  // tp=2, fp=1, fn=1.
+  const std::vector<int> truth{1, 1, 1, 0, 0};
+  const std::vector<int> pred{1, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(Precision(truth, pred), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(truth, pred), 2.0 / 3.0);
+  EXPECT_NEAR(F1Score(truth, pred), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, PrecisionRecallDegenerate) {
+  EXPECT_DOUBLE_EQ(Precision({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({0, 0}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(MetricsTest, RocAucPerfectAndInverted) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(truth, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(MetricsTest, RocAucRandomAndOneClass) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 1}, {0.1, 0.5, 0.9}), 0.5);
+  // Ties on all scores -> 0.5 via average ranks.
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(MetricsTest, MultiLabelJaccard) {
+  // Example 1: truth {1,0,1,0}, pred {1,1,1,0}: |inter|=2, |union|=3.
+  // Example 2: exact match: 1. Mean = (2/3 + 1) / 2.
+  const double a = MultiLabelJaccard({{1, 0, 1, 0}, {0, 1, 0, 0}},
+                                     {{1, 1, 1, 0}, {0, 1, 0, 0}});
+  EXPECT_NEAR(a, (2.0 / 3.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, MultiLabelJaccardBothEmptyIsPerfect) {
+  EXPECT_DOUBLE_EQ(MultiLabelJaccard({{0, 0}}, {{0, 0}}), 1.0);
+  EXPECT_DOUBLE_EQ(MultiLabelJaccard({{0, 0}}, {{1, 0}}), 0.0);
+}
+
+TEST(MetricsTest, LogLossKnownValue) {
+  // Perfectly confident and right -> ~0; confident and wrong -> large.
+  EXPECT_NEAR(LogLoss({1}, {1.0}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({1}, {0.0}), 10.0);
+  EXPECT_NEAR(LogLoss({1, 0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mexi::ml

@@ -1,0 +1,175 @@
+#include "core/mexi.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_fixtures.h"
+
+namespace mexi {
+namespace {
+
+/// Fast MExI configuration for tests: tiny networks, few epochs.
+MexiConfig FastConfig(SubmatcherMode mode = SubmatcherMode::kNone) {
+  MexiConfig config;
+  config.submatcher_mode = mode;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  return config;
+}
+
+class MexiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(30, 2024).release();
+    // Ground-truth labels for the fixture population.
+    const auto measures = ComputeAllMeasures(fixture_->input);
+    const ExpertThresholds thresholds = FitThresholds(measures);
+    labels_ = new std::vector<ExpertLabel>(
+        LabelsFromMeasures(measures, thresholds));
+  }
+  static void TearDownTestSuite() {
+    delete labels_;
+    delete fixture_;
+    labels_ = nullptr;
+    fixture_ = nullptr;
+  }
+  static testing::StudyFixture* fixture_;
+  static std::vector<ExpertLabel>* labels_;
+};
+
+testing::StudyFixture* MexiTest::fixture_ = nullptr;
+std::vector<ExpertLabel>* MexiTest::labels_ = nullptr;
+
+TEST_F(MexiTest, FitAndCharacterizeRuns) {
+  Mexi mexi(FastConfig());
+  mexi.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  EXPECT_EQ(mexi.selected_models().size(), 4u);
+  for (const auto& name : mexi.selected_models()) {
+    EXPECT_FALSE(name.empty());
+  }
+  const ExpertLabel prediction =
+      mexi.Characterize(fixture_->input.matchers[0]);
+  (void)prediction;  // any 4-bit answer is structurally valid
+  const auto probabilities =
+      mexi.CharacterizeProba(fixture_->input.matchers[0]);
+  ASSERT_EQ(probabilities.size(), 4u);
+  for (double p : probabilities) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(MexiTest, BeatsChanceOnTrainingPopulation) {
+  Mexi mexi(FastConfig());
+  mexi.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  const auto predictions = mexi.CharacterizeAll(fixture_->input.matchers);
+  const double a_ml = MultiLabelAccuracy(*labels_, predictions);
+  EXPECT_GT(a_ml, 0.5) << "in-sample multi-label accuracy too low";
+}
+
+TEST_F(MexiTest, GuardsAgainstUseBeforeFit) {
+  Mexi mexi(FastConfig());
+  EXPECT_THROW(mexi.Characterize(fixture_->input.matchers[0]),
+               std::logic_error);
+  EXPECT_THROW(mexi.Fit({}, {}, fixture_->input.context),
+               std::invalid_argument);
+}
+
+TEST_F(MexiTest, AblationFlagsControlFeatureComposition) {
+  MexiConfig lrsm_only = FastConfig();
+  lrsm_only.use_beh = lrsm_only.use_mou = lrsm_only.use_seq =
+      lrsm_only.use_spa = lrsm_only.use_con = false;
+  Mexi mexi(lrsm_only);
+  mexi.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  const auto& view = fixture_->input.matchers[0];
+  const FeatureVector phi = mexi.ExtractFeatures(
+      *view.history, *view.movement, view.source_size, view.target_size);
+  for (const auto& name : phi.names()) {
+    EXPECT_EQ(name.rfind("lrsm.", 0), 0u) << name;
+  }
+
+  MexiConfig no_lrsm = FastConfig();
+  no_lrsm.use_lrsm = false;
+  no_lrsm.use_seq = no_lrsm.use_spa = false;
+  Mexi mexi2(no_lrsm);
+  mexi2.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  const FeatureVector phi2 = mexi2.ExtractFeatures(
+      *view.history, *view.movement, view.source_size, view.target_size);
+  for (const auto& name : phi2.names()) {
+    EXPECT_NE(name.rfind("lrsm.", 0), 0u) << name;
+  }
+}
+
+TEST_F(MexiTest, AllFlagsOffRejected) {
+  MexiConfig config = FastConfig();
+  config.use_lrsm = config.use_beh = config.use_mou = config.use_seq =
+      config.use_spa = config.use_con = false;
+  Mexi mexi(config);
+  EXPECT_THROW(
+      mexi.Fit(fixture_->input.matchers, *labels_, fixture_->input.context),
+      std::logic_error);
+}
+
+TEST_F(MexiTest, NetworkFeaturesPresentWhenEnabled) {
+  MexiConfig config = FastConfig();
+  Mexi mexi(config);
+  mexi.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  const auto& view = fixture_->input.matchers[1];
+  const FeatureVector phi = mexi.ExtractFeatures(
+      *view.history, *view.movement, view.source_size, view.target_size);
+  EXPECT_TRUE(phi.Has("seq.precise"));
+  EXPECT_TRUE(phi.Has("spa.Move.precise"));
+  EXPECT_TRUE(phi.Has("con.meanConsensus"));
+  EXPECT_TRUE(phi.Has("beh.avgConf"));
+  EXPECT_TRUE(phi.Has("mou.totalLength"));
+}
+
+TEST_F(MexiTest, PresetConfigsNamedLikeThePaper) {
+  EXPECT_EQ(MexiEmptyConfig().name, "MExI_0");
+  EXPECT_EQ(Mexi50Config().name, "MExI_50");
+  EXPECT_EQ(Mexi70Config().name, "MExI_70");
+  EXPECT_EQ(MexiEmptyConfig().submatcher_mode, SubmatcherMode::kNone);
+  EXPECT_EQ(Mexi50Config().submatcher_mode, SubmatcherMode::kFixed50);
+  EXPECT_EQ(Mexi70Config().submatcher_mode, SubmatcherMode::kMulti70);
+}
+
+TEST_F(MexiTest, BaselinesFitAndPredict) {
+  const auto baselines = MakeAllBaselines(5);
+  ASSERT_EQ(baselines.size(), 7u);
+  std::vector<std::string> expected{"Rand",        "Rand_Freq", "Conf",
+                                    "Qual. Test",  "Self-Assess", "LRSM",
+                                    "BEH"};
+  for (std::size_t b = 0; b < baselines.size(); ++b) {
+    EXPECT_EQ(baselines[b]->Name(), expected[b]);
+  }
+  // The cheap (non-learned) baselines are fast enough to run here.
+  for (std::size_t b = 0; b < 5; ++b) {
+    baselines[b]->Fit(fixture_->input.matchers, *labels_,
+                      fixture_->input.context);
+    const auto predictions =
+        baselines[b]->CharacterizeAll(fixture_->input.matchers);
+    EXPECT_EQ(predictions.size(), fixture_->input.matchers.size());
+  }
+}
+
+TEST_F(MexiTest, QualificationBaselinesSeparateWarmupPerformance) {
+  QualTestCharacterizer qual;
+  qual.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  // Warm-up precision decides everything; verify against direct measure.
+  for (const auto& view : fixture_->input.matchers) {
+    const ExpertMeasures m = ComputeMeasures(
+        *view.warmup_history, fixture_->input.context.warmup_source_size,
+        fixture_->input.context.warmup_target_size,
+        *fixture_->input.context.warmup_reference);
+    const ExpertLabel label = qual.Characterize(view);
+    EXPECT_EQ(label.precise, m.precision > 0.5);
+    EXPECT_EQ(label.precise, label.thorough);  // uniform label
+  }
+}
+
+}  // namespace
+}  // namespace mexi

@@ -1,0 +1,104 @@
+#include "matching/movement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mexi::matching {
+namespace {
+
+MovementMap SmallMap() {
+  MovementMap map(100.0, 100.0);
+  map.Add({10.0, 10.0, MovementType::kMove, 1.0});
+  map.Add({10.0, 20.0, MovementType::kScroll, 2.0});
+  map.Add({40.0, 60.0, MovementType::kLeftClick, 3.0});
+  map.Add({90.0, 90.0, MovementType::kMove, 5.0});
+  return map;
+}
+
+TEST(MovementMapTest, ConstructionValidation) {
+  EXPECT_THROW(MovementMap(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(MovementMap(100.0, -1.0), std::invalid_argument);
+}
+
+TEST(MovementMapTest, TimestampsMonotonic) {
+  MovementMap map(10.0, 10.0);
+  map.Add({1.0, 1.0, MovementType::kMove, 5.0});
+  EXPECT_THROW(map.Add({1.0, 1.0, MovementType::kMove, 4.0}),
+               std::invalid_argument);
+}
+
+TEST(MovementMapTest, PositionsClampedToScreen) {
+  MovementMap map(10.0, 10.0);
+  map.Add({-5.0, 50.0, MovementType::kMove, 1.0});
+  EXPECT_DOUBLE_EQ(map.events()[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(map.events()[0].y, 10.0);
+}
+
+TEST(MovementMapTest, CountsAndFilters) {
+  const MovementMap map = SmallMap();
+  EXPECT_EQ(map.CountOfType(MovementType::kMove), 2u);
+  EXPECT_EQ(map.CountOfType(MovementType::kScroll), 1u);
+  EXPECT_EQ(map.CountOfType(MovementType::kRightClick), 0u);
+  EXPECT_EQ(map.EventsOfType(MovementType::kMove).size(), 2u);
+}
+
+TEST(MovementMapTest, PathLengthAndTime) {
+  const MovementMap map = SmallMap();
+  const double expected = 10.0 + std::sqrt(30.0 * 30.0 + 40.0 * 40.0) +
+                          std::sqrt(50.0 * 50.0 + 30.0 * 30.0);
+  EXPECT_NEAR(map.TotalPathLength(), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(map.TotalTime(), 4.0);
+  EXPECT_DOUBLE_EQ(MovementMap(10, 10).TotalTime(), 0.0);
+}
+
+TEST(MovementMapTest, MeanPosition) {
+  const MovementMap map = SmallMap();
+  EXPECT_DOUBLE_EQ(map.MeanX(), (10.0 + 10.0 + 40.0 + 90.0) / 4.0);
+  EXPECT_DOUBLE_EQ(map.MeanY(), (10.0 + 20.0 + 60.0 + 90.0) / 4.0);
+}
+
+TEST(HeatMapTest, BinsAndNormalizes) {
+  MovementMap map(100.0, 100.0);
+  // Three moves in the top-left cell, one in the bottom-right.
+  map.Add({5.0, 5.0, MovementType::kMove, 1.0});
+  map.Add({6.0, 6.0, MovementType::kMove, 2.0});
+  map.Add({7.0, 7.0, MovementType::kMove, 3.0});
+  map.Add({95.0, 95.0, MovementType::kMove, 4.0});
+  const ml::Matrix heat = map.HeatMap(MovementType::kMove, 2, 2);
+  EXPECT_DOUBLE_EQ(heat(0, 0), 1.0);          // peak normalized to 1
+  EXPECT_NEAR(heat(1, 1), 1.0 / 3.0, 1e-12);  // one hit / peak of 3
+  EXPECT_DOUBLE_EQ(heat(0, 1), 0.0);
+}
+
+TEST(HeatMapTest, TypeSeparationAndEmpty) {
+  const MovementMap map = SmallMap();
+  const ml::Matrix scroll_heat = map.HeatMap(MovementType::kScroll, 4, 4);
+  double total = 0.0;
+  for (double v : scroll_heat.data()) total += v;
+  EXPECT_DOUBLE_EQ(total, 1.0);  // exactly one scroll cell
+  const ml::Matrix right_heat = map.HeatMap(MovementType::kRightClick, 4, 4);
+  EXPECT_DOUBLE_EQ(right_heat.MaxAbs(), 0.0);
+  EXPECT_THROW(map.HeatMap(MovementType::kMove, 0, 4),
+               std::invalid_argument);
+}
+
+TEST(HeatMapTest, EdgePositionsLandInLastBin) {
+  MovementMap map(100.0, 100.0);
+  map.Add({100.0, 100.0, MovementType::kMove, 1.0});
+  const ml::Matrix heat = map.HeatMap(MovementType::kMove, 3, 3);
+  EXPECT_DOUBLE_EQ(heat(2, 2), 1.0);
+}
+
+TEST(TimeSliceTest, KeepsOnlyEventsInRange) {
+  const MovementMap map = SmallMap();
+  const MovementMap slice = map.TimeSlice(2.0, 3.5);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_DOUBLE_EQ(slice.events()[0].timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(slice.events()[1].timestamp, 3.0);
+  EXPECT_DOUBLE_EQ(slice.screen_width(), map.screen_width());
+  EXPECT_TRUE(map.TimeSlice(10.0, 20.0).empty());
+}
+
+}  // namespace
+}  // namespace mexi::matching

@@ -1,0 +1,201 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ml/nn/adam.h"
+#include "ml/nn/layers.h"
+#include "ml/mlp.h"
+#include "ml/nn/network.h"
+
+namespace mexi::ml {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize (x - 3)^2 by hand-fed gradients.
+  Matrix x(1, 1, 0.0);
+  Matrix grad(1, 1, 0.0);
+  AdamOptimizer::Config config;
+  config.learning_rate = 0.1;
+  AdamOptimizer adam(config);
+  adam.Register(&x, &grad);
+  for (int step = 0; step < 500; ++step) {
+    grad(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-3);
+  EXPECT_EQ(adam.t(), 500);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Matrix x(1, 2, 0.0);
+  Matrix grad(1, 2, 5.0);
+  AdamOptimizer adam;
+  adam.Register(&x, &grad);
+  adam.Step();
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0.0);
+}
+
+TEST(AdamTest, RegisterValidatesShapes) {
+  Matrix x(2, 2), g(2, 3);
+  AdamOptimizer adam;
+  EXPECT_THROW(adam.Register(&x, &g), std::invalid_argument);
+  EXPECT_THROW(adam.Register(nullptr, &g), std::invalid_argument);
+}
+
+/// Numerical gradient check for the dense layer.
+TEST(DenseLayerTest, GradientMatchesFiniteDifference) {
+  stats::Rng rng(1);
+  DenseLayer dense(3, 2, rng);
+  Matrix input = Matrix::RandomGaussian(4, 3, 1.0, rng);
+  const Matrix target(4, 2, 0.3);
+
+  auto loss_of = [&](const Matrix& x) {
+    const Matrix out = dense.Forward(x, false);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+      const double diff = out.data()[i] - target.data()[i];
+      loss += 0.5 * diff * diff;
+    }
+    return loss;
+  };
+
+  // Analytical input gradient.
+  const Matrix out = dense.Forward(input, true);
+  Matrix grad_out = out - target;
+  const Matrix grad_in = dense.Backward(grad_out);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < input.data().size(); ++i) {
+    Matrix plus = input, minus = input;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, 1e-4);
+  }
+}
+
+TEST(ActivationTest, ReluForwardBackward) {
+  ReluLayer relu;
+  const Matrix out = relu.Forward(Matrix::FromRows({{-1.0, 2.0}}), true);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 2.0);
+  const Matrix grad = relu.Backward(Matrix::FromRows({{5.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 5.0);
+}
+
+TEST(ActivationTest, SigmoidValuesAndGradient) {
+  SigmoidLayer sigmoid;
+  const Matrix out = sigmoid.Forward(Matrix::FromRows({{0.0}}), true);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.5);
+  const Matrix grad = sigmoid.Backward(Matrix::FromRows({{1.0}}));
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.25);  // s(1-s) at s=0.5
+}
+
+TEST(ActivationTest, TanhGradient) {
+  TanhLayer tanh_layer;
+  const Matrix out = tanh_layer.Forward(Matrix::FromRows({{0.5}}), true);
+  EXPECT_NEAR(out(0, 0), std::tanh(0.5), 1e-12);
+  const Matrix grad = tanh_layer.Backward(Matrix::FromRows({{1.0}}));
+  EXPECT_NEAR(grad(0, 0), 1.0 - std::tanh(0.5) * std::tanh(0.5), 1e-12);
+}
+
+TEST(DropoutTest, IdentityInInference) {
+  DropoutLayer dropout(0.5, 7);
+  const Matrix input = Matrix::FromRows({{1.0, 2.0, 3.0}});
+  const Matrix out = dropout.Forward(input, false);
+  EXPECT_TRUE(out.AlmostEquals(input, 0.0));
+}
+
+TEST(DropoutTest, TrainingPreservesExpectation) {
+  DropoutLayer dropout(0.5, 8);
+  const Matrix input(1, 10000, 1.0);
+  const Matrix out = dropout.Forward(input, true);
+  // Inverted dropout: E[out] == input.
+  EXPECT_NEAR(out.Sum() / 10000.0, 1.0, 0.05);
+  // Entries are either 0 or 1/keep.
+  for (double v : out.data()) {
+    EXPECT_TRUE(v == 0.0 || std::fabs(v - 2.0) < 1e-12);
+  }
+  EXPECT_THROW(DropoutLayer(1.0, 9), std::invalid_argument);
+}
+
+TEST(BinaryCrossEntropyTest, KnownValues) {
+  const Matrix p = Matrix::FromRows({{0.5, 0.9}});
+  const Matrix y = Matrix::FromRows({{1.0, 1.0}});
+  EXPECT_NEAR(BinaryCrossEntropy::Loss(p, y),
+              (-std::log(0.5) - std::log(0.9)) / 2.0, 1e-12);
+  EXPECT_THROW(BinaryCrossEntropy::Loss(p, Matrix(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, LearnsXor) {
+  stats::Rng rng(10);
+  AdamOptimizer::Config adam;
+  adam.learning_rate = 0.05;
+  Network net(adam);
+  net.Add(std::make_unique<DenseLayer>(2, 8, rng));
+  net.Add(std::make_unique<TanhLayer>());
+  net.Add(std::make_unique<DenseLayer>(8, 1, rng));
+  net.Add(std::make_unique<SigmoidLayer>());
+
+  const Matrix inputs = Matrix::FromRows(
+      {{0.0, 0.0}, {0.0, 1.0}, {1.0, 0.0}, {1.0, 1.0}});
+  const Matrix targets = Matrix::FromRows({{0.0}, {1.0}, {1.0}, {0.0}});
+  stats::Rng train_rng(11);
+  const double loss = net.Fit(inputs, targets, 600, 4, train_rng);
+  EXPECT_LT(loss, 0.1);
+  const Matrix pred = net.Predict(inputs);
+  EXPECT_LT(pred(0, 0), 0.3);
+  EXPECT_GT(pred(1, 0), 0.7);
+  EXPECT_GT(pred(2, 0), 0.7);
+  EXPECT_LT(pred(3, 0), 0.3);
+}
+
+TEST(NetworkTest, TrainStepReducesLoss) {
+  stats::Rng rng(12);
+  Network net;
+  net.Add(std::make_unique<DenseLayer>(3, 1, rng));
+  net.Add(std::make_unique<SigmoidLayer>());
+  const Matrix x = Matrix::RandomGaussian(16, 3, 1.0, rng);
+  Matrix y(16, 1);
+  for (std::size_t i = 0; i < 16; ++i) y(i, 0) = x(i, 0) > 0.0 ? 1.0 : 0.0;
+  const double first = net.TrainStep(x, y);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = net.TrainStep(x, y);
+  EXPECT_LT(last, first);
+}
+
+TEST(NetworkTest, AddAfterTrainingRejected) {
+  stats::Rng rng(13);
+  Network net;
+  net.Add(std::make_unique<DenseLayer>(1, 1, rng));
+  net.Add(std::make_unique<SigmoidLayer>());
+  net.TrainStep(Matrix(1, 1, 0.5), Matrix(1, 1, 1.0));
+  EXPECT_THROW(net.Add(std::make_unique<ReluLayer>()), std::logic_error);
+}
+
+TEST(MlpClassifierTest, LearnsXorViaNetworkStack) {
+  stats::Rng rng(40);
+  Dataset train;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    const double y = rng.Uniform(-1.0, 1.0);
+    train.Add({x, y}, (x > 0.0) != (y > 0.0) ? 1 : 0);
+  }
+  MlpClassifier mlp;
+  mlp.Fit(train);
+  int correct = 0;
+  for (std::size_t i = 0; i < train.NumExamples(); ++i) {
+    correct += mlp.Predict(train.features[i]) == train.labels[i];
+  }
+  EXPECT_GT(correct, 260);
+  auto clone = mlp.Clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->Name(), "MLP");
+}
+
+}  // namespace
+}  // namespace mexi::ml

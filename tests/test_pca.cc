@@ -1,0 +1,113 @@
+#include "stats/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace mexi::stats {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen({{3.0, 0.0}, {0.0, 1.0}}, &values, &vectors);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(vectors[0][0]), 1.0, 1e-8);
+  EXPECT_NEAR(std::fabs(vectors[1][1]), 1.0, 1e-8);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen({{2.0, 1.0}, {1.0, 2.0}}, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Top eigenvector is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors[0][0]), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(vectors[0][1]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(5);
+  const std::size_t n = 6;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m[i][j] = m[j][i] = rng.Gaussian();
+    }
+  }
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen(m, &values, &vectors);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < n; ++d) dot += vectors[a][d] * vectors[b][d];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, TraceIsPreserved) {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen({{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}},
+                 &values, &vectors);
+  EXPECT_NEAR(values[0] + values[1] + values[2], 9.0, 1e-9);
+  EXPECT_GE(values[0], values[1]);
+  EXPECT_GE(values[1], values[2]);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  EXPECT_THROW(SymmetricEigen({{1.0, 2.0}}, &values, &vectors),
+               std::invalid_argument);
+}
+
+TEST(PcaTest, RankOneDataConcentratesVariance) {
+  // All rows are multiples of one direction.
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 10; ++i) {
+    const double scale = static_cast<double>(i);
+    rows.push_back({scale * 1.0, scale * 2.0, scale * 3.0});
+  }
+  const PcaResult pca = Pca(rows);
+  EXPECT_NEAR(pca.explained_variance_ratio[0], 1.0, 1e-8);
+  EXPECT_NEAR(pca.explained_variance_ratio[1], 0.0, 1e-8);
+}
+
+TEST(PcaTest, IsotropicDataSpreadsVariance) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({rng.Gaussian(), rng.Gaussian()});
+  }
+  const PcaResult pca = Pca(rows);
+  EXPECT_NEAR(pca.explained_variance_ratio[0], 0.5, 0.05);
+}
+
+TEST(PcaTest, RatiosSumToOne) {
+  Rng rng(8);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.Gaussian(), 2.0 * rng.Gaussian(), rng.Uniform()});
+  }
+  const PcaResult pca = Pca(rows);
+  double total = 0.0;
+  for (double r : pca.explained_variance_ratio) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PcaTest, DegenerateInputs) {
+  EXPECT_TRUE(Pca({}).eigenvalues.empty());
+  EXPECT_THROW(Pca({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi::stats

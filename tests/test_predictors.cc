@@ -1,0 +1,119 @@
+#include "matching/predictors.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mexi::matching {
+namespace {
+
+std::map<std::string, double> AsMap(const MatchMatrix& m) {
+  std::map<std::string, double> out;
+  for (const auto& p : ComputePredictors(m)) out[p.name] = p.value;
+  return out;
+}
+
+TEST(PredictorsTest, NamesAreCompleteAndOrdered) {
+  MatchMatrix m(3, 3);
+  m.Set(0, 0, 0.5);
+  const auto predictors = ComputePredictors(m);
+  const auto& names = PredictorNames();
+  ASSERT_EQ(predictors.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(predictors[i].name, names[i]);
+  }
+}
+
+TEST(PredictorsTest, EmptyMatrixAllZero) {
+  MatchMatrix m(3, 4);
+  for (const auto& p : ComputePredictors(m)) {
+    EXPECT_DOUBLE_EQ(p.value, 0.0) << p.name;
+  }
+}
+
+TEST(PredictorsTest, DiagonalMatrixIsFullyDominant) {
+  MatchMatrix m(3, 3);
+  m.Set(0, 0, 0.9);
+  m.Set(1, 1, 0.8);
+  m.Set(2, 2, 0.7);
+  const auto p = AsMap(m);
+  EXPECT_DOUBLE_EQ(p.at("dom"), 1.0);       // every entry dominates
+  EXPECT_DOUBLE_EQ(p.at("bbm"), 1.0);       // balanced rows/cols
+  EXPECT_DOUBLE_EQ(p.at("rowCoverage"), 1.0);
+  EXPECT_DOUBLE_EQ(p.at("colCoverage"), 1.0);
+  EXPECT_NEAR(p.at("avgConf"), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(p.at("maxConf"), 0.9);
+  EXPECT_DOUBLE_EQ(p.at("minConf"), 0.7);
+  EXPECT_NEAR(p.at("matchRatio"), 3.0 / 9.0, 1e-12);
+}
+
+TEST(PredictorsTest, AmbiguousRowLowersBpm) {
+  MatchMatrix crisp(2, 3);
+  crisp.Set(0, 0, 0.9);
+  crisp.Set(0, 1, 0.1);
+  MatchMatrix fuzzy(2, 3);
+  fuzzy.Set(0, 0, 0.9);
+  fuzzy.Set(0, 1, 0.85);
+  EXPECT_GT(AsMap(crisp).at("bpm"), AsMap(fuzzy).at("bpm"));
+}
+
+TEST(PredictorsTest, EntropyGrowsWithSpread) {
+  MatchMatrix peaked(2, 2);
+  peaked.Set(0, 0, 1.0);
+  MatchMatrix spread(2, 2);
+  spread.Set(0, 0, 0.5);
+  spread.Set(0, 1, 0.5);
+  spread.Set(1, 0, 0.5);
+  spread.Set(1, 1, 0.5);
+  EXPECT_GT(AsMap(spread).at("entropy"), AsMap(peaked).at("entropy"));
+}
+
+TEST(PredictorsTest, McdPositiveWhenEntriesStandOut) {
+  MatchMatrix m(2, 4);
+  m.Set(0, 0, 0.8);  // row mean 0.2 -> deviation 0.6
+  EXPECT_GT(AsMap(m).at("mcd"), 0.5);
+}
+
+TEST(PredictorsTest, PcaDetectsRankStructure) {
+  // Rank-1-ish matrix: rows proportional -> pca1 near 1.
+  MatchMatrix rank1(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double scale = 0.2 + 0.2 * static_cast<double>(i);
+    rank1.Set(i, 0, scale);
+    rank1.Set(i, 1, scale * 0.5);
+    rank1.Set(i, 2, scale * 0.25);
+  }
+  const auto p = AsMap(rank1);
+  EXPECT_GT(p.at("pca1"), 0.95);
+  EXPECT_LT(p.at("pca2"), 0.05);
+}
+
+TEST(PredictorsTest, LeaningListsReferToKnownPredictors) {
+  const auto& names = PredictorNames();
+  auto known = [&](const std::string& name) {
+    for (const auto& n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  for (const auto& n : PrecisionLeaningPredictors()) {
+    EXPECT_TRUE(known(n)) << n;
+  }
+  for (const auto& n : RecallLeaningPredictors()) {
+    EXPECT_TRUE(known(n)) << n;
+  }
+}
+
+TEST(PredictorsTest, ValuesAreFinite) {
+  MatchMatrix m(5, 7);
+  m.Set(0, 0, 0.3);
+  m.Set(2, 6, 1.0);
+  m.Set(4, 4, 0.001);
+  for (const auto& p : ComputePredictors(m)) {
+    EXPECT_TRUE(std::isfinite(p.value)) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace mexi::matching

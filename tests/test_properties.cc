@@ -1,0 +1,161 @@
+// Property-style invariant sweeps over randomized inputs: each TEST_P
+// case draws a fresh deterministic scenario and asserts invariants that
+// must hold for *any* input, complementing the example-based unit tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/boosting.h"
+#include "core/expert_model.h"
+#include "matching/decision_history.h"
+#include "matching/predictors.h"
+#include "stats/rng.h"
+
+namespace mexi {
+namespace {
+
+/// A random but valid decision history over an n x m space.
+matching::DecisionHistory RandomHistory(std::size_t n, std::size_t m,
+                                        std::size_t decisions,
+                                        stats::Rng& rng) {
+  matching::DecisionHistory history;
+  double t = 0.0;
+  for (std::size_t k = 0; k < decisions; ++k) {
+    t += rng.Uniform(0.5, 30.0);
+    history.Add({rng.UniformIndex(n), rng.UniformIndex(m),
+                 rng.Uniform(0.0, 1.0), t});
+  }
+  return history;
+}
+
+matching::MatchMatrix RandomReference(std::size_t n, std::size_t m,
+                                      std::size_t pairs, stats::Rng& rng) {
+  matching::MatchMatrix reference(n, m);
+  for (std::size_t k = 0; k < pairs; ++k) {
+    reference.Set(rng.UniformIndex(n), rng.UniformIndex(m), 1.0);
+  }
+  return reference;
+}
+
+class RandomScenarioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScenarioTest, ProjectionIsIdempotent) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  const auto history = RandomHistory(12, 9, 40, rng);
+  const auto matrix = history.ToMatrix(12, 9);
+  // Re-projecting the matrix entries as a history reproduces the matrix.
+  matching::DecisionHistory replay;
+  double t = 0.0;
+  for (const auto& [i, j] : matrix.Match()) {
+    replay.Add({i, j, matrix.At(i, j), t});
+    t += 1.0;
+  }
+  EXPECT_TRUE(replay.ToMatrix(12, 9).values().AlmostEquals(
+      matrix.values(), 1e-12));
+}
+
+TEST_P(RandomScenarioTest, MeasuresWithinBounds) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 2);
+  const auto history = RandomHistory(10, 8, 35, rng);
+  const auto reference = RandomReference(10, 8, 12, rng);
+  const ExpertMeasures m = ComputeMeasures(history, 10, 8, reference);
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+  EXPECT_GE(m.recall, 0.0);
+  EXPECT_LE(m.recall, 1.0);
+  EXPECT_GE(m.resolution, -1.0);
+  EXPECT_LE(m.resolution, 1.0);
+  EXPECT_GE(m.resolution_pvalue, 0.0);
+  EXPECT_LE(m.resolution_pvalue, 1.0);
+  EXPECT_GE(m.calibration, -1.0);
+  EXPECT_LE(m.calibration, 1.0);
+}
+
+TEST_P(RandomScenarioTest, AccumulatedCurvesEndAtFinalMeasures) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  const auto history = RandomHistory(10, 8, 25, rng);
+  const auto reference = RandomReference(10, 8, 10, rng);
+  const ExpertMeasures final_measures =
+      ComputeMeasures(history, 10, 8, reference);
+  const AccumulatedCurves curves =
+      ComputeAccumulatedCurves(history, 10, 8, reference);
+  ASSERT_EQ(curves.precision.size(), history.size());
+  EXPECT_NEAR(curves.precision.back(), final_measures.precision, 1e-12);
+  EXPECT_NEAR(curves.recall.back(), final_measures.recall, 1e-12);
+  EXPECT_NEAR(curves.calibration.back(), final_measures.calibration,
+              1e-12);
+}
+
+TEST_P(RandomScenarioTest, PredictorsBoundedAndFinite) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 4);
+  const auto history = RandomHistory(15, 11, 50, rng);
+  const auto matrix = history.ToMatrix(15, 11);
+  for (const auto& p : matching::ComputePredictors(matrix)) {
+    EXPECT_TRUE(std::isfinite(p.value)) << p.name;
+  }
+  // Specific range-bound predictors.
+  const auto predictors = matching::ComputePredictors(matrix);
+  for (const auto& p : predictors) {
+    if (p.name == "dom" || p.name == "bbm" || p.name == "matchRatio" ||
+        p.name == "rowCoverage" || p.name == "colCoverage" ||
+        p.name == "pca1" || p.name == "pca2") {
+      EXPECT_GE(p.value, 0.0) << p.name;
+      EXPECT_LE(p.value, 1.0 + 1e-9) << p.name;
+    }
+  }
+}
+
+TEST_P(RandomScenarioTest, BiasAdjustmentPreservesMatchSet) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const auto history = RandomHistory(8, 8, 20, rng);
+  const auto matrix = history.ToMatrix(8, 8);
+  const double bias = rng.Uniform(-0.4, 0.4);
+  const auto adjusted = AdjustForBias(matrix, bias);
+  EXPECT_EQ(adjusted.MatchSize(), matrix.MatchSize());
+  EXPECT_EQ(adjusted.Match(), matrix.Match());
+  // Zero bias is (numerically) the identity on the declared entries,
+  // up to the clamp floor.
+  const auto identity = AdjustForBias(matrix, 0.0);
+  for (const auto& [i, j] : matrix.Match()) {
+    EXPECT_NEAR(identity.At(i, j),
+                std::max(matrix.At(i, j), 0.01), 1e-12);
+  }
+}
+
+TEST_P(RandomScenarioTest, FusionOfIdenticalMatchersIsThatMatcher) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 6);
+  const auto history = RandomHistory(8, 8, 20, rng);
+  const auto matrix = history.ToMatrix(8, 8);
+  const auto fused = FuseCrowd({matrix, matrix, matrix},
+                               {1.0, 1.0, 1.0}, matrix.MatchSize());
+  EXPECT_EQ(fused.Match(), matrix.Match());
+}
+
+TEST_P(RandomScenarioTest, PrefixMeasuresConsistentWithWindows) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const auto history = RandomHistory(10, 10, 30, rng);
+  // A prefix equals the window starting at zero.
+  const auto prefix = history.Prefix(12);
+  const auto window = history.Window(0, 12);
+  ASSERT_EQ(prefix.size(), window.size());
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix.at(i).source, window.at(i).source);
+    EXPECT_DOUBLE_EQ(prefix.at(i).confidence, window.at(i).confidence);
+  }
+}
+
+TEST_P(RandomScenarioTest, PreprocessingNeverGrowsHistory) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 8);
+  const auto history = RandomHistory(10, 10, 45, rng);
+  const auto processed = history.Preprocessed(3, 2.0);
+  EXPECT_LE(processed.size(), history.size());
+  // The warm-up removal alone drops exactly three decisions.
+  EXPECT_LE(processed.size(), history.size() - 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomScenarioTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mexi

@@ -1,0 +1,140 @@
+#include "ml/regression.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/mexi_regressor.h"
+#include "test_fixtures.h"
+
+namespace mexi::ml {
+namespace {
+
+/// y = 3 x0 - 2 x1 + 1 + noise.
+void LinearData(std::size_t n, double noise, std::uint64_t seed,
+                std::vector<std::vector<double>>* rows,
+                std::vector<double>* targets) {
+  stats::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Gaussian();
+    const double x1 = rng.Gaussian();
+    rows->push_back({x0, x1, rng.Gaussian()});
+    targets->push_back(3.0 * x0 - 2.0 * x1 + 1.0 +
+                       rng.Gaussian(0.0, noise));
+  }
+}
+
+class RegressorZooTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Regressor> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<RidgeRegression>();
+      case 1:
+        return std::make_unique<RandomForestRegressor>();
+      default:
+        return std::make_unique<KnnRegressor>();
+    }
+  }
+};
+
+TEST_P(RegressorZooTest, FitsLinearSignal) {
+  std::vector<std::vector<double>> rows, test_rows;
+  std::vector<double> targets, test_targets;
+  LinearData(300, 0.1, 21, &rows, &targets);
+  LinearData(100, 0.1, 22, &test_rows, &test_targets);
+  auto model = Make();
+  model->Fit(rows, targets);
+  const double mae =
+      MeanAbsoluteError(test_targets, model->PredictAll(test_rows));
+  // Baseline: predicting the mean has MAE ~ E|y - mean| ~ 2.9.
+  EXPECT_LT(mae, 1.2) << model->Name();
+}
+
+TEST_P(RegressorZooTest, GuardsAndClone) {
+  auto model = Make();
+  EXPECT_THROW(model->Predict({1.0, 2.0, 3.0}), std::logic_error);
+  EXPECT_THROW(model->Fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(model->Fit({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  LinearData(20, 0.1, 23, &rows, &targets);
+  model->Fit(rows, targets);
+  auto clone = model->Clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->Name(), model->Name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegressors, RegressorZooTest,
+                         ::testing::Range(0, 3));
+
+TEST(RidgeRegressionTest, RecoversCoefficients) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  LinearData(500, 0.01, 24, &rows, &targets);
+  RidgeRegression::Config config;
+  config.lambda = 1e-3;
+  RidgeRegression ridge(config);
+  ridge.Fit(rows, targets);
+  // Weights live in z-scored space; x0/x1 have unit-ish scale, so the
+  // standardized weights approximate the raw coefficients.
+  EXPECT_NEAR(ridge.weights()[0], 3.0, 0.25);
+  EXPECT_NEAR(ridge.weights()[1], -2.0, 0.25);
+  EXPECT_NEAR(std::fabs(ridge.weights()[2]), 0.0, 0.1);
+  EXPECT_NEAR(ridge.intercept(), 1.0, 0.3);
+}
+
+TEST(RegressionMetricsTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {2.0, 0.0}), 1.5);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0.0, 0.0}, {3.0, 4.0}),
+                   std::sqrt(12.5));
+  EXPECT_THROW(MeanAbsoluteError({1.0}, {}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MexiRegressorTest, EstimatesBeatMeanBaseline) {
+  const auto fixture = mexi::testing::MakeSmallPoFixture(40, 2027);
+  const auto measures = ComputeAllMeasures(fixture->input);
+
+  // Split even/odd.
+  std::vector<MatcherView> train_views, test_views;
+  std::vector<ExpertMeasures> train_measures, test_measures;
+  for (std::size_t i = 0; i < fixture->input.matchers.size(); ++i) {
+    if (i % 2 == 0) {
+      train_views.push_back(fixture->input.matchers[i]);
+      train_measures.push_back(measures[i]);
+    } else {
+      test_views.push_back(fixture->input.matchers[i]);
+      test_measures.push_back(measures[i]);
+    }
+  }
+  MexiRegressor regressor;
+  regressor.Fit(train_views, train_measures, fixture->input.context);
+  EXPECT_EQ(regressor.selected_models().size(), 4u);
+
+  double mean_p = 0.0;
+  for (const auto& m : train_measures) mean_p += m.precision;
+  mean_p /= static_cast<double>(train_measures.size());
+
+  std::vector<double> truth, predicted, baseline;
+  for (std::size_t i = 0; i < test_views.size(); ++i) {
+    truth.push_back(test_measures[i].precision);
+    predicted.push_back(regressor.Estimate(test_views[i]).precision);
+    baseline.push_back(mean_p);
+  }
+  EXPECT_LT(MeanAbsoluteError(truth, predicted),
+            MeanAbsoluteError(truth, baseline));
+}
+
+TEST(MexiRegressorTest, Guards) {
+  MexiRegressor regressor;
+  const auto fixture = mexi::testing::MakeSmallPoFixture(10, 2028);
+  EXPECT_THROW(regressor.Estimate(fixture->input.matchers[0]),
+               std::logic_error);
+  EXPECT_THROW(regressor.Fit({}, {}, fixture->input.context),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi::ml

@@ -1,0 +1,160 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace mexi::stats {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Uniform());
+  EXPECT_NEAR(Mean(sample), 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(10);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.Gaussian());
+  EXPECT_NEAR(Mean(sample), 0.0, 0.03);
+  EXPECT_NEAR(StdDev(sample), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(11);
+  std::vector<double> sample;
+  for (int i = 0; i < 30000; ++i) sample.push_back(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(Mean(sample), 5.0, 0.1);
+  EXPECT_NEAR(StdDev(sample), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformIndex(17), 17u);
+  }
+  EXPECT_THROW(rng.UniformIndex(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(15);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.UniformInt(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(16);
+  std::vector<double> sample;
+  for (int i = 0; i < 30000; ++i) sample.push_back(rng.Exponential(2.0));
+  EXPECT_NEAR(Mean(sample), 0.5, 0.02);
+  EXPECT_THROW(rng.Exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, BetaInUnitIntervalAndMean) {
+  Rng rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) {
+    const double b = rng.Beta(2.0, 3.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    sample.push_back(b);
+  }
+  EXPECT_NEAR(Mean(sample), 0.4, 0.02);  // alpha / (alpha + beta)
+}
+
+TEST(RngTest, GammaMean) {
+  Rng rng(18);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Gamma(3.0, 2.0));
+  EXPECT_NEAR(Mean(sample), 6.0, 0.15);  // shape * scale
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(20);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+  EXPECT_THROW(rng.SampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng rng(21);
+  Rng child = rng.Split();
+  // Child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child.NextU64() == rng.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace mexi::stats

@@ -1,0 +1,190 @@
+#include "schema/schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "schema/generators.h"
+
+namespace mexi::schema {
+namespace {
+
+TEST(SchemaTest, TreeStructure) {
+  Schema s("test");
+  Attribute root;
+  root.name = "root";
+  const std::size_t r = s.AddAttribute(root, -1);
+  Attribute child;
+  child.name = "child";
+  const std::size_t c = s.AddAttribute(child, static_cast<int>(r));
+  Attribute grandchild;
+  grandchild.name = "leaf";
+  const std::size_t g = s.AddAttribute(grandchild, static_cast<int>(c));
+
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attribute(r).depth, 0);
+  EXPECT_EQ(s.attribute(c).depth, 1);
+  EXPECT_EQ(s.attribute(g).depth, 2);
+  EXPECT_EQ(s.attribute(c).parent, static_cast<int>(r));
+  EXPECT_EQ(s.MaxDepth(), 2);
+  EXPECT_EQ(s.Roots(), (std::vector<std::size_t>{r}));
+  EXPECT_EQ(s.Leaves(), (std::vector<std::size_t>{g}));
+  EXPECT_THROW(s.AddAttribute(Attribute{}, 99), std::out_of_range);
+}
+
+TEST(SchemaTest, PreOrderVisitsParentsFirst) {
+  Schema s("test");
+  const std::size_t r = s.AddAttribute({.name = "r"}, -1);
+  const std::size_t a = s.AddAttribute({.name = "a"}, static_cast<int>(r));
+  const std::size_t b = s.AddAttribute({.name = "b"}, static_cast<int>(r));
+  const std::size_t a1 = s.AddAttribute({.name = "a1"}, static_cast<int>(a));
+  const auto order = s.PreOrder();
+  EXPECT_EQ(order, (std::vector<std::size_t>{r, a, a1, b}));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s("empty");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.MaxDepth(), -1);
+  EXPECT_TRUE(s.PreOrder().empty());
+}
+
+TEST(GeneratorTest, PurchaseOrderSizesMatchPaper) {
+  const GeneratedPair pair = GeneratePurchaseOrderTask(2021);
+  EXPECT_EQ(pair.source.size(), 142u);
+  EXPECT_EQ(pair.target.size(), 46u);
+  EXPECT_GT(pair.reference.size(), 20u);
+}
+
+TEST(GeneratorTest, OaeiSizesMatchPaper) {
+  const GeneratedPair pair = GenerateOaeiTask(2016);
+  EXPECT_EQ(pair.source.size(), 121u);
+  EXPECT_EQ(pair.target.size(), 109u);
+}
+
+TEST(GeneratorTest, WarmupIsSmall) {
+  const GeneratedPair pair = GenerateWarmupTask(7);
+  EXPECT_LE(pair.source.size(), 12u);
+  EXPECT_GE(pair.source.size(), 9u);
+}
+
+TEST(GeneratorTest, ReferencePairsAreValidLeaves) {
+  const GeneratedPair pair = GeneratePurchaseOrderTask(5);
+  for (const auto& [i, j] : pair.reference) {
+    ASSERT_LT(i, pair.source.size());
+    ASSERT_LT(j, pair.target.size());
+    EXPECT_TRUE(pair.source.attribute(i).children.empty());
+    EXPECT_TRUE(pair.target.attribute(j).children.empty());
+    // Correspondence means equal concept ids.
+    EXPECT_EQ(pair.source.attribute(i).concept_id,
+              pair.target.attribute(j).concept_id);
+    EXPECT_GE(pair.source.attribute(i).concept_id, 0);
+  }
+}
+
+TEST(GeneratorTest, ReferenceCoversAllSharedConcepts) {
+  const GeneratedPair pair = GeneratePurchaseOrderTask(6);
+  // Every (source leaf, target leaf) pair with equal concept ids must be
+  // in the reference.
+  std::set<std::pair<std::size_t, std::size_t>> ref(pair.reference.begin(),
+                                                    pair.reference.end());
+  for (std::size_t i : pair.source.Leaves()) {
+    for (std::size_t j : pair.target.Leaves()) {
+      const auto& a = pair.source.attribute(i);
+      const auto& b = pair.target.attribute(j);
+      if (a.concept_id >= 0 && a.concept_id == b.concept_id) {
+        EXPECT_EQ(ref.count({i, j}), 1u);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ContainsOneToManyCorrespondences) {
+  const GeneratedPair pair = GeneratePurchaseOrderTask(8);
+  std::set<std::size_t> targets;
+  bool has_duplicate_target = false;
+  for (const auto& [i, j] : pair.reference) {
+    if (!targets.insert(j).second) has_duplicate_target = true;
+  }
+  EXPECT_TRUE(has_duplicate_target)
+      << "expected 1:n correspondences like poDay+poTime -> orderDate";
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const GeneratedPair a = GeneratePurchaseOrderTask(99);
+  const GeneratedPair b = GeneratePurchaseOrderTask(99);
+  ASSERT_EQ(a.source.size(), b.source.size());
+  for (std::size_t i = 0; i < a.source.size(); ++i) {
+    EXPECT_EQ(a.source.attribute(i).name, b.source.attribute(i).name);
+  }
+  EXPECT_EQ(a.reference, b.reference);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const GeneratedPair a = GeneratePurchaseOrderTask(1);
+  const GeneratedPair b = GeneratePurchaseOrderTask(2);
+  bool any_difference = a.reference != b.reference;
+  for (std::size_t i = 0; i < a.source.size() && !any_difference; ++i) {
+    any_difference = a.source.attribute(i).name != b.source.attribute(i).name;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, UniqueNamesWithinSchema) {
+  const GeneratedPair pair = GenerateOaeiTask(3);
+  std::set<std::string> names;
+  for (const auto& a : pair.source.attributes()) {
+    EXPECT_TRUE(names.insert(a.name).second) << "duplicate: " << a.name;
+  }
+}
+
+TEST(GeneratorTest, RejectsTinySizes) {
+  GeneratorConfig config;
+  config.source_size = 3;
+  EXPECT_THROW(GeneratePair(config), std::invalid_argument);
+}
+
+struct DomainCase {
+  Domain domain;
+  std::size_t source;
+  std::size_t target;
+};
+
+class GeneratorDomainTest : public ::testing::TestWithParam<DomainCase> {};
+
+TEST_P(GeneratorDomainTest, ProducesExactSizesAndValidReference) {
+  GeneratorConfig config;
+  config.domain = GetParam().domain;
+  config.source_size = GetParam().source;
+  config.target_size = GetParam().target;
+  config.seed = 55;
+  const GeneratedPair pair = GeneratePair(config);
+  EXPECT_EQ(pair.source.size(), GetParam().source);
+  EXPECT_EQ(pair.target.size(), GetParam().target);
+  EXPECT_FALSE(pair.reference.empty());
+  for (const auto& [i, j] : pair.reference) {
+    EXPECT_LT(i, pair.source.size());
+    EXPECT_LT(j, pair.target.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, GeneratorDomainTest,
+    ::testing::Values(DomainCase{Domain::kPurchaseOrder, 142, 46},
+                      DomainCase{Domain::kPurchaseOrder, 60, 30},
+                      DomainCase{Domain::kBibliography, 121, 109},
+                      DomainCase{Domain::kBibliography, 40, 25},
+                      DomainCase{Domain::kUniversity, 12, 10},
+                      DomainCase{Domain::kUniversity, 10, 9},
+                      DomainCase{Domain::kEntityResolution, 58, 40},
+                      DomainCase{Domain::kEntityResolution, 30, 20}));
+
+TEST(GeneratorTest, EntityResolutionTaskShape) {
+  const GeneratedPair pair = GenerateEntityResolutionTask(2022);
+  EXPECT_EQ(pair.source.size(), 58u);
+  EXPECT_EQ(pair.target.size(), 40u);
+  EXPECT_GT(pair.reference.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mexi::schema

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "matching/similarity.h"
+#include "sim/matcher_sim.h"
+#include "sim/profile.h"
+#include "sim/study.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mexi::sim {
+namespace {
+
+/// Shared small study fixture (built once; simulation is deterministic).
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StudyConfig config;
+    config.num_matchers = 40;
+    config.seed = 12345;
+    study_ = new Study(BuildPurchaseOrderStudy(config));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static Study* study_;
+};
+
+Study* StudyTest::study_ = nullptr;
+
+TEST(ProfileTest, SamplePopulationRespectsCount) {
+  stats::Rng rng(1);
+  const auto profiles = SamplePopulation(25, PopulationMix{}, rng);
+  EXPECT_EQ(profiles.size(), 25u);
+  EXPECT_THROW(
+      SamplePopulation(5, PopulationMix{0.0, 0.0, 0.0, 0.0, 0.0}, rng),
+      std::invalid_argument);
+}
+
+TEST(ProfileTest, ArchetypesHaveDistinctSkill) {
+  stats::Rng rng(2);
+  double a_noise = 0.0, b_noise = 0.0, a_cov = 0.0, c_cov = 0.0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    a_noise += SampleProfile(Archetype::kExpertA, rng).perception_noise;
+    b_noise += SampleProfile(Archetype::kSloppyB, rng).perception_noise;
+    a_cov += SampleProfile(Archetype::kExpertA, rng).coverage;
+    c_cov += SampleProfile(Archetype::kNarrowC, rng).coverage;
+  }
+  EXPECT_LT(a_noise / n, b_noise / n);  // A perceives better than B
+  EXPECT_GT(a_cov / n, c_cov / n);      // A covers more than C
+}
+
+TEST(ProfileTest, ArchetypeNames) {
+  EXPECT_FALSE(ArchetypeName(Archetype::kExpertA).empty());
+  EXPECT_NE(ArchetypeName(Archetype::kExpertA),
+            ArchetypeName(Archetype::kSloppyB));
+}
+
+TEST(SimulateMatcherTest, ProducesValidTraces) {
+  const auto pair = schema::GeneratePurchaseOrderTask(3);
+  const auto similarity =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  const auto reference = matching::MatchMatrix::FromReference(
+      pair.reference, pair.source.size(), pair.target.size());
+  SimulationTask task;
+  task.pair = &pair;
+  task.similarity = &similarity;
+  task.reference = &reference;
+
+  stats::Rng rng(4);
+  const MatcherProfile profile = SampleProfile(Archetype::kExpertA, rng);
+  const SimulatedTrace trace = SimulateMatcher(task, profile, rng);
+
+  EXPECT_FALSE(trace.history.empty());
+  EXPECT_FALSE(trace.movement.empty());
+  double prev_t = -1.0;
+  for (std::size_t i = 0; i < trace.history.size(); ++i) {
+    const auto& d = trace.history.at(i);
+    EXPECT_LT(d.source, pair.source.size());
+    EXPECT_LT(d.target, pair.target.size());
+    EXPECT_GE(d.confidence, 0.0);
+    EXPECT_LE(d.confidence, 1.0);
+    EXPECT_GE(d.timestamp, prev_t);
+    prev_t = d.timestamp;
+  }
+}
+
+TEST(SimulateMatcherTest, RejectsIncompleteTask) {
+  SimulationTask task;
+  stats::Rng rng(5);
+  EXPECT_THROW(SimulateMatcher(task, MatcherProfile{}, rng),
+               std::invalid_argument);
+}
+
+TEST(SimulateMatcherTest, ExpertsOutmatchSloppyMatchers) {
+  const auto pair = schema::GeneratePurchaseOrderTask(6);
+  const auto similarity =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  const auto reference = matching::MatchMatrix::FromReference(
+      pair.reference, pair.source.size(), pair.target.size());
+  SimulationTask task;
+  task.pair = &pair;
+  task.similarity = &similarity;
+  task.reference = &reference;
+
+  stats::Rng rng(7);
+  double expert_p = 0.0, sloppy_p = 0.0, expert_r = 0.0, sloppy_r = 0.0;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    const auto a = SimulateMatcher(
+        task, SampleProfile(Archetype::kExpertA, rng), rng);
+    const auto b = SimulateMatcher(
+        task, SampleProfile(Archetype::kSloppyB, rng), rng);
+    const auto ma =
+        a.history.ToMatrix(pair.source.size(), pair.target.size());
+    const auto mb =
+        b.history.ToMatrix(pair.source.size(), pair.target.size());
+    expert_p += ma.PrecisionAgainst(reference);
+    sloppy_p += mb.PrecisionAgainst(reference);
+    expert_r += ma.RecallAgainst(reference);
+    sloppy_r += mb.RecallAgainst(reference);
+  }
+  EXPECT_GT(expert_p / n, sloppy_p / n + 0.12);
+  EXPECT_GT(expert_r / n, sloppy_r / n + 0.15);
+}
+
+TEST(SimulateMatcherTest, LowMetadataAttentionStarvesSourceRegion) {
+  const auto pair = schema::GeneratePurchaseOrderTask(8);
+  const auto similarity =
+      matching::BuildSimilarityMatrix(pair.source, pair.target);
+  const auto reference = matching::MatchMatrix::FromReference(
+      pair.reference, pair.source.size(), pair.target.size());
+  SimulationTask task;
+  task.pair = &pair;
+  task.similarity = &similarity;
+  task.reference = &reference;
+
+  stats::Rng rng(9);
+  MatcherProfile attentive = SampleProfile(Archetype::kExpertA, rng);
+  attentive.metadata_attention = 0.95;
+  // Disable revisit behavior so the share comparison isolates attention
+  // (review passes spray extra match-table events).
+  attentive.mind_change_rate = 0.0;
+  attentive.review_pass_rate = 0.0;
+  MatcherProfile inattentive = attentive;
+  inattentive.metadata_attention = 0.05;
+
+  auto source_share = [&](const SimulatedTrace& trace) {
+    double in_region = 0.0;
+    for (const auto& e : trace.movement.events()) {
+      if (e.x < 600.0 && e.y < 340.0) in_region += 1.0;
+    }
+    return in_region / static_cast<double>(trace.movement.size());
+  };
+  const double share_attentive =
+      source_share(SimulateMatcher(task, attentive, rng));
+  const double share_inattentive =
+      source_share(SimulateMatcher(task, inattentive, rng));
+  EXPECT_GT(share_attentive, share_inattentive + 0.1)
+      << "Matcher-B-style metadata neglect must show in the heat map";
+}
+
+TEST_F(StudyTest, StudyShapeAndPreprocessing) {
+  ASSERT_EQ(study_->matchers.size(), 40u);
+  EXPECT_GT(study_->reference.MatchSize(), 20u);
+  EXPECT_GT(study_->TotalDecisions(), 500u);
+  for (const auto& m : study_->matchers) {
+    EXPECT_LE(m.history.size(), m.raw_history.size());
+    EXPECT_FALSE(m.warmup_history.empty());
+    EXPECT_FALSE(m.movement.empty());
+  }
+}
+
+TEST_F(StudyTest, PersonalInfoWithinRanges) {
+  for (const auto& m : study_->matchers) {
+    EXPECT_GE(m.personal.psychometric_score, 500);
+    EXPECT_LE(m.personal.psychometric_score, 800);
+    EXPECT_GE(m.personal.english_level, 1);
+    EXPECT_LE(m.personal.english_level, 5);
+    EXPECT_GE(m.personal.domain_knowledge, 1);
+    EXPECT_LE(m.personal.domain_knowledge, 5);
+    EXPECT_GE(m.personal.age, 18);
+  }
+}
+
+TEST_F(StudyTest, PsychometricScoreCorrelatesWithPrecision) {
+  // Section IV-C: psychometric score ~ precision, English ~ recall.
+  std::vector<double> scores, precisions, english, recalls;
+  for (const auto& m : study_->matchers) {
+    const auto matrix = m.history.ToMatrix(study_->task.source.size(),
+                                           study_->task.target.size());
+    scores.push_back(m.personal.psychometric_score);
+    english.push_back(m.personal.english_level);
+    precisions.push_back(matrix.PrecisionAgainst(study_->reference));
+    recalls.push_back(matrix.RecallAgainst(study_->reference));
+  }
+  EXPECT_GT(stats::PearsonCorrelation(scores, precisions), 0.2);
+  EXPECT_GT(stats::PearsonCorrelation(english, recalls), 0.2);
+}
+
+TEST_F(StudyTest, DeterministicForSeed) {
+  StudyConfig config;
+  config.num_matchers = 40;
+  config.seed = 12345;
+  const Study again = BuildPurchaseOrderStudy(config);
+  ASSERT_EQ(again.matchers.size(), study_->matchers.size());
+  for (std::size_t i = 0; i < again.matchers.size(); ++i) {
+    ASSERT_EQ(again.matchers[i].history.size(),
+              study_->matchers[i].history.size());
+    for (std::size_t k = 0; k < again.matchers[i].history.size(); ++k) {
+      EXPECT_DOUBLE_EQ(again.matchers[i].history.at(k).confidence,
+                       study_->matchers[i].history.at(k).confidence);
+    }
+  }
+}
+
+TEST(StudyBuilderTest, OaeiStudyUsesOntologySizes) {
+  StudyConfig config;
+  config.num_matchers = 8;
+  config.seed = 77;
+  const Study study = BuildOaeiStudy(config);
+  EXPECT_EQ(study.task.source.size(), 121u);
+  EXPECT_EQ(study.task.target.size(), 109u);
+  EXPECT_EQ(study.matchers.size(), 8u);
+}
+
+}  // namespace
+}  // namespace mexi::sim

@@ -1,0 +1,119 @@
+#include "matching/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/generators.h"
+
+namespace mexi::matching {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  // kitten -> sitting: distance 3, max length 7.
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", ""), 0.0);
+}
+
+TEST(LevenshteinTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("OrderDate", "orderdate"), 1.0);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  // Classic example: MARTHA / MARHTA has Jaro 0.944..., JW 0.961...
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.9611, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // A shared prefix must raise the score over a permuted variant.
+  EXPECT_GT(JaroWinklerSimilarity("orderCode", "orderCude"),
+            JaroWinklerSimilarity("orderCode", "edoCredro"));
+}
+
+TEST(TrigramTest, OverlapAndFallback) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abcd", "abcd"), 1.0);
+  EXPECT_GT(TrigramSimilarity("orderDate", "orderDay"), 0.3);
+  // Too short for trigrams -> exact-match fallback.
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ab", "ab"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ab", "cd"), 0.0);
+}
+
+TEST(TokenJaccardTest, SharedTokens) {
+  // {order, date} vs {order, day}: intersection {order}, union 3.
+  EXPECT_NEAR(TokenJaccardSimilarity("orderDate", "order_day"), 1.0 / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("shipCity", "ship_city"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(CompositeTest, IdenticalAttributesScoreHigh) {
+  schema::Attribute a;
+  a.name = "orderDate";
+  a.type = schema::DataType::kDate;
+  a.instances = {"2021-01-01"};
+  EXPECT_GT(CompositeSimilarity(a, a), 0.9);
+}
+
+TEST(CompositeTest, BoundsAndTypeBonus) {
+  schema::Attribute a, b;
+  a.name = "orderDate";
+  a.type = schema::DataType::kDate;
+  b.name = "orderDay";
+  b.type = schema::DataType::kDate;
+  const double same_type = CompositeSimilarity(a, b);
+  b.type = schema::DataType::kString;
+  const double different_type = CompositeSimilarity(a, b);
+  EXPECT_GT(same_type, different_type);
+  EXPECT_GE(different_type, 0.0);
+  EXPECT_LE(same_type, 1.0);
+}
+
+TEST(CompositeTest, UnrelatedNamesScoreLow) {
+  schema::Attribute a, b;
+  a.name = "freightCost";
+  b.name = "authorBiography";
+  EXPECT_LT(CompositeSimilarity(a, b), 0.35);
+}
+
+TEST(SimilarityMatrixTest, ShapeAndLeafOnly) {
+  const auto pair = schema::GenerateWarmupTask(3);
+  const MatchMatrix m = BuildSimilarityMatrix(pair.source, pair.target);
+  EXPECT_EQ(m.source_size(), pair.source.size());
+  EXPECT_EQ(m.target_size(), pair.target.size());
+  // Internal nodes must have all-zero rows/columns.
+  for (std::size_t i = 0; i < pair.source.size(); ++i) {
+    if (pair.source.attribute(i).children.empty()) continue;
+    for (std::size_t j = 0; j < pair.target.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), 0.0);
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, ReferencePairsScoreAboveRandomPairs) {
+  const auto pair = schema::GeneratePurchaseOrderTask(17);
+  const MatchMatrix m = BuildSimilarityMatrix(pair.source, pair.target);
+  double ref_total = 0.0;
+  for (const auto& [i, j] : pair.reference) ref_total += m.At(i, j);
+  const double ref_mean =
+      ref_total / static_cast<double>(pair.reference.size());
+
+  double all_total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i : pair.source.Leaves()) {
+    for (std::size_t j : pair.target.Leaves()) {
+      all_total += m.At(i, j);
+      ++count;
+    }
+  }
+  const double all_mean = all_total / static_cast<double>(count);
+  EXPECT_GT(ref_mean, all_mean + 0.25)
+      << "true correspondences must stand out from the landscape";
+}
+
+}  // namespace
+}  // namespace mexi::matching

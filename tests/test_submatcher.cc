@@ -1,0 +1,109 @@
+#include "core/submatcher.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi {
+namespace {
+
+matching::DecisionHistory LongHistory(std::size_t n) {
+  matching::DecisionHistory h;
+  for (std::size_t i = 0; i < n; ++i) {
+    h.Add({i % 5, i % 3, 0.5, static_cast<double>(i) * 10.0});
+  }
+  return h;
+}
+
+matching::MovementMap MovementFor(const matching::DecisionHistory& h) {
+  matching::MovementMap map(1280.0, 800.0);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    map.Add({100.0, 100.0, matching::MovementType::kMove,
+             h.at(i).timestamp});
+  }
+  return map;
+}
+
+TEST(SubmatcherTest, NoneModeIsOneFullUnit) {
+  const auto history = LongHistory(80);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 7, SubmatcherMode::kNone);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].history.size(), 80u);
+  EXPECT_EQ(units[0].parent, 7u);
+  EXPECT_EQ(units[0].movement.size(), 80u);
+}
+
+TEST(SubmatcherTest, Fixed50IncludesFullHistoryAndWindows) {
+  const auto history = LongHistory(100);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 0, SubmatcherMode::kFixed50);
+  // Unit 0: the full history; then windows of 50 at stride 25:
+  // [0,50), [25,75), [50,100).
+  ASSERT_GE(units.size(), 4u);
+  EXPECT_EQ(units[0].history.size(), 100u);
+  for (std::size_t u = 1; u < units.size(); ++u) {
+    EXPECT_EQ(units[u].history.size(), 50u);
+  }
+}
+
+TEST(SubmatcherTest, WindowsCoverTheTail) {
+  const auto history = LongHistory(60);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 0, SubmatcherMode::kFixed50);
+  // Full + [0,50) + right-aligned [10,60).
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_DOUBLE_EQ(units[2].history.at(49).timestamp, 590.0);
+}
+
+TEST(SubmatcherTest, ShortHistoryYieldsOnlyFullUnit) {
+  const auto history = LongHistory(30);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 0, SubmatcherMode::kFixed50);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].history.size(), 30u);
+}
+
+TEST(SubmatcherTest, Multi70UsesAllWindowSizes) {
+  const auto history = LongHistory(90);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 0, SubmatcherMode::kMulti70);
+  // Full + windows of 30/40/50/60/70 -> strictly more units than k50.
+  const auto units50 = BuildSubMatchers(view, 0, SubmatcherMode::kFixed50);
+  EXPECT_GT(units.size(), units50.size());
+  bool has30 = false, has70 = false;
+  for (const auto& unit : units) {
+    has30 |= unit.history.size() == 30;
+    has70 |= unit.history.size() == 70;
+  }
+  EXPECT_TRUE(has30);
+  EXPECT_TRUE(has70);
+}
+
+TEST(SubmatcherTest, MovementIsSlicedToWindowSpan) {
+  const auto history = LongHistory(100);
+  const auto movement = MovementFor(history);
+  MatcherView view{&history, &movement, nullptr, 5, 3};
+  const auto units = BuildSubMatchers(view, 0, SubmatcherMode::kFixed50);
+  for (const auto& unit : units) {
+    if (unit.history.empty()) continue;
+    const double t0 = unit.history.at(0).timestamp;
+    const double t1 = unit.history.at(unit.history.size() - 1).timestamp;
+    for (const auto& e : unit.movement.events()) {
+      EXPECT_GE(e.timestamp, t0);
+      EXPECT_LE(e.timestamp, t1);
+    }
+  }
+}
+
+TEST(SubmatcherTest, NullHistoryRejected) {
+  MatcherView view;
+  EXPECT_THROW(BuildSubMatchers(view, 0, SubmatcherMode::kNone),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mexi

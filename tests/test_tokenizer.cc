@@ -1,0 +1,57 @@
+#include "schema/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace mexi::schema {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+struct TokenizeCase {
+  std::string input;
+  Tokens expected;
+};
+
+class TokenizeTest : public ::testing::TestWithParam<TokenizeCase> {};
+
+TEST_P(TokenizeTest, SplitsAsExpected) {
+  EXPECT_EQ(TokenizeName(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TokenizeTest,
+    ::testing::Values(
+        TokenizeCase{"poCode", Tokens{"po", "code"}},
+        TokenizeCase{"orderDate", Tokens{"order", "date"}},
+        TokenizeCase{"ship_to_city", Tokens{"ship", "to", "city"}},
+        TokenizeCase{"POCode", Tokens{"po", "code"}},
+        TokenizeCase{"address2", Tokens{"address", "2"}},
+        TokenizeCase{"line2Amount", Tokens{"line", "2", "amount"}},
+        TokenizeCase{"kebab-case-name", Tokens{"kebab", "case", "name"}},
+        TokenizeCase{"with space", Tokens{"with", "space"}},
+        TokenizeCase{"simple", Tokens{"simple"}},
+        TokenizeCase{"", Tokens{}},
+        TokenizeCase{"___", Tokens{}},
+        TokenizeCase{"poShipToCity", Tokens{"po", "ship", "to", "city"}}));
+
+TEST(ToLowerTest, LowercasesAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(NgramTest, TrigramsOfWord) {
+  const auto grams = CharacterNgrams("Order", 3);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ord");
+  EXPECT_EQ(grams[1], "rde");
+  EXPECT_EQ(grams[2], "der");
+}
+
+TEST(NgramTest, ShortInputAndZeroN) {
+  EXPECT_TRUE(CharacterNgrams("ab", 3).empty());
+  EXPECT_TRUE(CharacterNgrams("abc", 0).empty());
+  EXPECT_EQ(CharacterNgrams("abc", 3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mexi::schema
