@@ -10,6 +10,7 @@
 #include "core/evaluation.h"
 #include "core/mexi.h"
 #include "sim/study.h"
+#include "stats/rng.h"
 
 namespace mexi::bench {
 
@@ -59,17 +60,24 @@ inline std::unique_ptr<StudyInput> BuildOaeiInput(std::uint64_t seed = 46) {
 /// variants.
 inline std::vector<CharacterizerFactory> TableTwoMethods(
     std::uint64_t seed = 5) {
+  // Stochastic methods get stable sub-streams of `seed`; the factories
+  // are called once per CV fold (possibly concurrently), so they must
+  // stay pure — each call builds a fresh characterizer from a fixed
+  // sub-seed.
+  const stats::Rng seeder(seed);
   std::vector<CharacterizerFactory> methods;
-  methods.push_back(
-      [seed] { return std::make_unique<RandCharacterizer>(seed + 1); });
-  methods.push_back(
-      [seed] { return std::make_unique<RandFreqCharacterizer>(seed + 2); });
+  methods.push_back([s = seeder.SubSeed(1)] {
+    return std::make_unique<RandCharacterizer>(s);
+  });
+  methods.push_back([s = seeder.SubSeed(2)] {
+    return std::make_unique<RandFreqCharacterizer>(s);
+  });
   methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
   methods.push_back([] { return std::make_unique<QualTestCharacterizer>(); });
   methods.push_back(
       [] { return std::make_unique<SelfAssessCharacterizer>(); });
-  methods.push_back([seed] { return MakeLrsmBaseline(seed + 3); });
-  methods.push_back([seed] { return MakeBehBaseline(seed + 4); });
+  methods.push_back([s = seeder.SubSeed(3)] { return MakeLrsmBaseline(s); });
+  methods.push_back([s = seeder.SubSeed(4)] { return MakeBehBaseline(s); });
   methods.push_back(
       [] { return std::make_unique<Mexi>(MexiEmptyConfig()); });
   methods.push_back([] { return std::make_unique<Mexi>(Mexi50Config()); });

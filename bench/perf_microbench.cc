@@ -7,6 +7,7 @@
 #include "core/features/aggregated_features.h"
 #include "matching/predictors.h"
 #include "matching/similarity.h"
+#include "ml/matrix.h"
 #include "ml/nn/cnn.h"
 #include "ml/nn/lstm.h"
 #include "ml/random_forest.h"
@@ -67,6 +68,18 @@ void BM_BehavioralFeatures(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BehavioralFeatures);
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(9);
+  const auto a = ml::Matrix::RandomGaussian(n, n, 1.0, rng);
+  const auto b = ml::Matrix::RandomGaussian(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RandomForestFit(benchmark::State& state) {
   stats::Rng rng(5);

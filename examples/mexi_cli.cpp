@@ -28,7 +28,9 @@
 #include "core/evaluation.h"
 #include "core/mexi.h"
 #include "matching/io.h"
+#include "parallel/parallel_for.h"
 #include "sim/study.h"
+#include "stats/rng.h"
 
 namespace {
 
@@ -68,7 +70,11 @@ int Usage() {
       " [--task po|oaei|er]\n"
       "  mexi_cli measure      --dir DIR --rows N --cols M\n"
       "  mexi_cli characterize --dir DIR --rows N --cols M [--folds K]\n"
-      "  mexi_cli fuse         --dir DIR --rows N --cols M\n");
+      "  mexi_cli fuse         --dir DIR --rows N --cols M\n"
+      "global options:\n"
+      "  --threads N   worker threads for parallel stages (0 = auto,\n"
+      "                1 = sequential; default: MEXI_THREADS or auto).\n"
+      "                Results are identical for every thread count.\n");
   return 2;
 }
 
@@ -115,8 +121,10 @@ int CmdSimulate(const Args& args) {
   } else if (task == "oaei") {
     study = sim::BuildOaeiStudy(config);
   } else if (task == "er") {
-    study = sim::BuildStudy(
-        schema::GenerateEntityResolutionTask(config.seed + 3), config);
+    // Task stream 3; streams 1/2 are the PO/OAEI tasks (sim/study.cc).
+    study = sim::BuildStudy(schema::GenerateEntityResolutionTask(
+                                stats::Rng(config.seed).SubSeed(3)),
+                            config);
   } else {
     return Usage();
   }
@@ -236,6 +244,10 @@ int CmdFuse(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   try {
+    const long threads = args.GetLong("threads", -1);
+    if (threads >= 0) {
+      parallel::SetThreads(static_cast<std::size_t>(threads));
+    }
     if (args.command == "simulate") return CmdSimulate(args);
     if (args.command == "measure") return CmdMeasure(args);
     if (args.command == "characterize") return CmdCharacterize(args);

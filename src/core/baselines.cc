@@ -167,14 +167,16 @@ std::unique_ptr<Characterizer> MakeBehBaseline(std::uint64_t seed) {
 
 std::vector<std::unique_ptr<Characterizer>> MakeAllBaselines(
     std::uint64_t seed) {
+  // One sub-stream per stochastic baseline, forked off the shared seed.
+  const stats::Rng seeder(seed);
   std::vector<std::unique_ptr<Characterizer>> out;
-  out.push_back(std::make_unique<RandCharacterizer>(seed + 1));
-  out.push_back(std::make_unique<RandFreqCharacterizer>(seed + 2));
+  out.push_back(std::make_unique<RandCharacterizer>(seeder.SubSeed(1)));
+  out.push_back(std::make_unique<RandFreqCharacterizer>(seeder.SubSeed(2)));
   out.push_back(std::make_unique<ConfCharacterizer>());
   out.push_back(std::make_unique<QualTestCharacterizer>());
   out.push_back(std::make_unique<SelfAssessCharacterizer>());
-  out.push_back(MakeLrsmBaseline(seed + 3));
-  out.push_back(MakeBehBaseline(seed + 4));
+  out.push_back(MakeLrsmBaseline(seeder.SubSeed(3)));
+  out.push_back(MakeBehBaseline(seeder.SubSeed(4)));
   return out;
 }
 

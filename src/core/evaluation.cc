@@ -4,6 +4,7 @@
 
 #include "ml/dataset.h"
 #include "ml/metrics.h"
+#include "parallel/parallel_for.h"
 #include "stats/hypothesis.h"
 
 namespace mexi {
@@ -114,8 +115,15 @@ std::vector<MethodResult> RunKFoldExperiment(
   stats::Rng rng(config.seed);
   ml::KFold folds(input.matchers.size(), config.folds, rng);
 
-  std::vector<MethodResult> results(methods.size());
-  for (std::size_t f = 0; f < folds.num_folds(); ++f) {
+  // Folds are independent given the pre-computed split and measures
+  // (each fold constructs fresh characterizers from the factories), so
+  // they run concurrently, each accumulating into its own buffer. The
+  // buffers merge in fold order below, which reproduces the sequential
+  // loop's per-matcher sample order — and therefore the bootstrap
+  // significance draws — exactly, for any thread count.
+  std::vector<std::vector<MethodResult>> fold_results(
+      folds.num_folds(), std::vector<MethodResult>(methods.size()));
+  parallel::ParallelFor(0, folds.num_folds(), 1, [&](std::size_t f) {
     const std::vector<std::size_t> train_idx = folds.TrainIndices(f);
     const std::vector<std::size_t>& test_idx = folds.TestIndices(f);
 
@@ -141,11 +149,29 @@ std::vector<MethodResult> RunKFoldExperiment(
     for (std::size_t m = 0; m < methods.size(); ++m) {
       std::unique_ptr<Characterizer> method = methods[m]();
       method->Fit(train_views, train_labels, input.context);
-      if (results[m].method.empty()) results[m].method = method->Name();
+      fold_results[f][m].method = method->Name();
       for (std::size_t i = 0; i < test_views.size(); ++i) {
-        Accumulate(results[m], test_labels[i],
+        Accumulate(fold_results[f][m], test_labels[i],
                    method->Characterize(test_views[i]));
       }
+    }
+  });
+
+  std::vector<MethodResult> results(methods.size());
+  for (std::size_t f = 0; f < fold_results.size(); ++f) {
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      MethodResult& merged = results[m];
+      const MethodResult& fold = fold_results[f][m];
+      if (merged.method.empty()) merged.method = fold.method;
+      for (std::size_t c = 0; c < 4; ++c) {
+        merged.per_matcher_correct[c].insert(
+            merged.per_matcher_correct[c].end(),
+            fold.per_matcher_correct[c].begin(),
+            fold.per_matcher_correct[c].end());
+      }
+      merged.per_matcher_jaccard.insert(merged.per_matcher_jaccard.end(),
+                                        fold.per_matcher_jaccard.begin(),
+                                        fold.per_matcher_jaccard.end());
     }
   }
   for (auto& result : results) Finalize(result);

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "parallel/parallel_for.h"
 #include "schema/tokenizer.h"
 #include "stats/descriptive.h"
 
@@ -138,15 +139,18 @@ MatchMatrix BuildSimilarityMatrix(const schema::Schema& source,
                                   const schema::Schema& target,
                                   const CompositeWeights& weights) {
   MatchMatrix m(source.size(), target.size());
-  for (std::size_t i = 0; i < source.size(); ++i) {
+  // The (source x target) pair grid partitions by source row; each
+  // worker writes a disjoint row of m, so any thread count produces the
+  // sequential matrix exactly.
+  parallel::ParallelFor(0, source.size(), 1, [&](std::size_t i) {
     const auto& a = source.attribute(i);
-    if (!a.children.empty()) continue;  // grouping node
+    if (!a.children.empty()) return;  // grouping node
     for (std::size_t j = 0; j < target.size(); ++j) {
       const auto& b = target.attribute(j);
       if (!b.children.empty()) continue;
       m.Set(i, j, CompositeSimilarity(a, b, weights));
     }
-  }
+  });
   return m;
 }
 

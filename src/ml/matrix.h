@@ -15,7 +15,10 @@ namespace mexi::ml {
 /// tables, network activations, convolution buffers and heat maps are all
 /// `Matrix` instances. The class is a value type (copyable, movable) and
 /// keeps its storage in a single contiguous vector for cache-friendly
-/// traversal on the single-core target.
+/// traversal. The product kernel is cache-blocked and fans out across
+/// row blocks via src/parallel on large shapes; tiles are visited so
+/// every element accumulates in naive-loop order, keeping the result
+/// bitwise identical for any thread count (see MatMul/MatMulNaive).
 class Matrix {
  public:
   /// Creates an empty 0x0 matrix.
@@ -69,7 +72,13 @@ class Matrix {
   void SetRow(std::size_t r, const std::vector<double>& values);
 
   /// Matrix product this * other. Requires cols() == other.rows().
+  /// Cache-blocked, and row-parallel above a size threshold; bitwise
+  /// identical to MatMulNaive for any thread count.
   Matrix MatMul(const Matrix& other) const;
+
+  /// Reference single-pass i-k-j product. Kept as the correctness oracle
+  /// for the blocked kernel (tests assert exact equality).
+  Matrix MatMulNaive(const Matrix& other) const;
 
   /// Transpose.
   Matrix Transposed() const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "parallel/parallel_for.h"
 #include "stats/rng.h"
 
 namespace mexi::ml {
@@ -12,7 +13,8 @@ std::unique_ptr<BinaryClassifier> RandomForest::Clone() const {
 
 void RandomForest::FitImpl(const Dataset& data) {
   trees_.clear();
-  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+  const std::size_t num_trees =
+      static_cast<std::size_t>(config_.num_trees);
   stats::Rng rng(config_.seed);
 
   int max_features = config_.max_features;
@@ -22,22 +24,29 @@ void RandomForest::FitImpl(const Dataset& data) {
                std::sqrt(static_cast<double>(data.NumFeatures())))));
   }
 
-  for (int t = 0; t < config_.num_trees; ++t) {
-    // Bootstrap resample of the training examples.
-    std::vector<std::size_t> sample(data.NumExamples());
-    for (auto& idx : sample) idx = rng.UniformIndex(data.NumExamples());
-    const Dataset bag = data.Subset(sample);
+  // Bootstrap indices and per-tree seeds are drawn from the forest
+  // stream in tree order — the same draws the sequential loop made — so
+  // the fitted ensemble is bitwise-independent of the thread count.
+  std::vector<std::vector<std::size_t>> bags(num_trees);
+  std::vector<std::uint64_t> tree_seeds(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    bags[t].resize(data.NumExamples());
+    for (auto& idx : bags[t]) idx = rng.UniformIndex(data.NumExamples());
+    tree_seeds[t] = rng.NextU64();
+  }
 
+  trees_.resize(num_trees);
+  parallel::ParallelFor(0, num_trees, 1, [&](std::size_t t) {
     DecisionTree::Config tree_config;
     tree_config.max_depth = config_.max_depth;
     tree_config.min_samples_split = config_.min_samples_split;
     tree_config.min_samples_leaf = config_.min_samples_leaf;
     tree_config.max_features = max_features;
-    tree_config.seed = rng.NextU64();
+    tree_config.seed = tree_seeds[t];
     DecisionTree tree(tree_config);
-    tree.Fit(bag);
-    trees_.push_back(std::move(tree));
-  }
+    tree.Fit(data.Subset(bags[t]));
+    trees_[t] = std::move(tree);
+  });
 }
 
 double RandomForest::PredictProbaImpl(const std::vector<double>& row) const {

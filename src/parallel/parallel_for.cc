@@ -1,0 +1,153 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+
+namespace mexi::parallel {
+
+namespace {
+
+constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+
+std::atomic<std::size_t> g_thread_override{kUnset};
+
+thread_local bool t_in_parallel_region = false;
+
+/// Marks the calling thread as inside a parallel body for its lifetime,
+/// restoring the previous flag on exit (the calling thread participates
+/// in its own ParallelFor and must revert to "outside" afterwards).
+struct RegionGuard {
+  bool saved = t_in_parallel_region;
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = saved; }
+};
+
+std::size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// MEXI_THREADS, parsed once; kUnset when absent or malformed.
+std::size_t EnvThreads() {
+  static const std::size_t value = [] {
+    const char* env = std::getenv("MEXI_THREADS");
+    if (env == nullptr || *env == '\0') return kUnset;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') return kUnset;
+    return static_cast<std::size_t>(parsed);
+  }();
+  return value;
+}
+
+/// The lazily-created process-wide pool, regrown (never shrunk) when a
+/// site asks for more workers than it currently has. Growth recreates
+/// the pool, which is safe because every ParallelFor joins its chunks
+/// before returning — the pool is idle whenever this runs.
+ThreadPool& GlobalPool(std::size_t min_size) {
+  static std::mutex pool_mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  if (pool == nullptr || pool->size() < min_size) {
+    pool.reset();  // join the old workers before growing
+    pool = std::make_unique<ThreadPool>(min_size);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+void SetThreads(std::size_t n) { g_thread_override.store(n); }
+
+std::size_t EffectiveThreads() {
+  const std::size_t override_value = g_thread_override.load();
+  if (override_value != kUnset) {
+    return override_value == 0 ? HardwareThreads() : override_value;
+  }
+  const std::size_t env_value = EnvThreads();
+  if (env_value != kUnset) {
+    return env_value == 0 ? HardwareThreads() : env_value;
+  }
+  return HardwareThreads();
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = EffectiveThreads();
+  if (threads <= 1 || t_in_parallel_region || n <= 1 ||
+      (grain > 0 && n <= grain)) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::size_t chunk = grain;
+  if (chunk == 0) chunk = std::max<std::size_t>(1, n / (threads * 8));
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t helpers_finished = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  // Chunks are claimed from a shared counter; the claiming order is
+  // irrelevant to the result because fn only writes per-index state.
+  auto run_chunks = [state, begin, end, chunk, chunks, &fn] {
+    RegionGuard guard;
+    while (!state->failed.load(std::memory_order_relaxed)) {
+      const std::size_t c =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->error == nullptr) {
+          state->error = std::current_exception();
+        }
+        state->failed.store(true);
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(threads - 1, chunks - 1);
+  ThreadPool& pool = GlobalPool(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.Submit([state, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->helpers_finished;
+      state->done.notify_one();
+    });
+  }
+  run_chunks();  // the calling thread works too instead of idling
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(
+      lock, [&] { return state->helpers_finished == helpers; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace mexi::parallel

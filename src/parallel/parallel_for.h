@@ -1,0 +1,57 @@
+#ifndef MEXI_PARALLEL_PARALLEL_FOR_H_
+#define MEXI_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mexi::parallel {
+
+/// Sets the worker-thread count for every parallel site in the library.
+/// Resolution order when a site asks for threads:
+///   1. the last SetThreads(n) call (CLI --threads flag, tests),
+///   2. the MEXI_THREADS environment variable,
+///   3. std::thread::hardware_concurrency().
+/// A value of 0 means "auto" (hardware concurrency). A value of 1 selects
+/// the exact sequential fallback: ParallelFor runs inline on the calling
+/// thread and never touches the pool.
+void SetThreads(std::size_t n);
+
+/// The resolved thread count parallel sites will use right now.
+std::size_t EffectiveThreads();
+
+/// True while the calling thread is executing a ParallelFor body. Nested
+/// parallel sites detect this and run inline (sequentially) rather than
+/// re-entering the pool, which both avoids deadlock and keeps the
+/// outermost site the only fan-out point.
+bool InParallelRegion();
+
+/// Runs fn(i) for every i in [begin, end), partitioned into chunks of
+/// `grain` consecutive indices (grain 0 = pick a chunk size from the
+/// range and thread count). Falls back to a plain sequential loop when
+/// the effective thread count is 1, the whole range fits in one chunk,
+/// or the caller is itself inside a parallel region.
+///
+/// Determinism contract: fn must write only to state owned by index i
+/// (pre-sized slots, not push_back). Under that contract the result is
+/// independent of the schedule, so N-thread and 1-thread runs are
+/// bitwise identical. The first exception thrown by fn is rethrown on
+/// the calling thread after the remaining chunks are abandoned.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor that materializes return values: out[i - begin] = fn(i).
+/// T must be default-constructible; the same determinism contract and
+/// sequential fallbacks as ParallelFor apply.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(std::size_t begin, std::size_t end,
+                           std::size_t grain, Fn&& fn) {
+  std::vector<T> out(end > begin ? end - begin : 0);
+  ParallelFor(begin, end, grain,
+              [&](std::size_t i) { out[i - begin] = fn(i); });
+  return out;
+}
+
+}  // namespace mexi::parallel
+
+#endif  // MEXI_PARALLEL_PARALLEL_FOR_H_

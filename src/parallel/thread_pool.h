@@ -1,0 +1,48 @@
+#ifndef MEXI_PARALLEL_THREAD_POOL_H_
+#define MEXI_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mexi::parallel {
+
+/// Fixed-size pool of worker threads consuming tasks from one shared FIFO
+/// queue. There is deliberately no work stealing: the single queue is the
+/// only source of work, which keeps the scheduler small and auditable.
+/// Determinism never rests on scheduling anyway — every parallel site in
+/// the library writes to disjoint, pre-sized output slots.
+///
+/// Destruction drains the queue: tasks submitted before the destructor
+/// runs are completed, then the workers join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw — ParallelFor catches inside
+  /// the task body and rethrows on the calling thread instead.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace mexi::parallel
+
+#endif  // MEXI_PARALLEL_THREAD_POOL_H_

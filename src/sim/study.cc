@@ -4,11 +4,16 @@
 #include <cmath>
 
 #include "matching/similarity.h"
+#include "parallel/parallel_for.h"
 #include "stats/descriptive.h"
 
 namespace mexi::sim {
 
 namespace {
+
+/// Task-generation sub-streams of the study seed (stats::Rng::SubSeed).
+constexpr std::uint64_t kPurchaseOrderTaskStream = 1;
+constexpr std::uint64_t kOaeiTaskStream = 2;
 
 /// Derives self-reports whose couplings mirror the paper's findings:
 /// psychometric score tracks (latent) precision ability, English level
@@ -81,12 +86,22 @@ Study BuildStudy(const schema::GeneratedPair& pair,
   const std::vector<MatcherProfile> profiles =
       SamplePopulation(config.num_matchers, config.mix, rng);
 
-  study.matchers.reserve(config.num_matchers);
+  // Per-matcher streams are drawn sequentially — the exact draws the
+  // sequential loop has always made — before the simulation fans out, so
+  // every thread count consumes identical randomness per matcher and the
+  // built study is bitwise-independent of MEXI_THREADS.
+  std::vector<stats::Rng> streams;
+  streams.reserve(profiles.size());
   for (std::size_t i = 0; i < profiles.size(); ++i) {
-    SimulatedMatcher matcher;
+    streams.push_back(rng.Split());
+  }
+
+  study.matchers.resize(profiles.size());
+  parallel::ParallelFor(0, profiles.size(), 1, [&](std::size_t i) {
+    SimulatedMatcher& matcher = study.matchers[i];
     matcher.id = static_cast<int>(i);
     matcher.profile = profiles[i];
-    stats::Rng matcher_rng = rng.Split();
+    stats::Rng matcher_rng = streams[i];
     matcher.personal = SamplePersonalInfo(profiles[i], matcher_rng);
     matcher.warmup_history =
         SimulateWarmup(warmup_task, profiles[i], matcher_rng);
@@ -97,18 +112,22 @@ Study BuildStudy(const schema::GeneratedPair& pair,
     matcher.history =
         trace.history.Preprocessed(config.warmup_decisions, 2.0);
     matcher.movement = std::move(trace.movement);
-    study.matchers.push_back(std::move(matcher));
-  }
+  });
   return study;
 }
 
 Study BuildPurchaseOrderStudy(const StudyConfig& config) {
-  return BuildStudy(schema::GeneratePurchaseOrderTask(config.seed + 1),
+  return BuildStudy(schema::GeneratePurchaseOrderTask(
+                        stats::Rng(config.seed)
+                            .SubSeed(kPurchaseOrderTaskStream)),
                     config);
 }
 
 Study BuildOaeiStudy(const StudyConfig& config) {
-  return BuildStudy(schema::GenerateOaeiTask(config.seed + 2), config);
+  return BuildStudy(
+      schema::GenerateOaeiTask(stats::Rng(config.seed)
+                                   .SubSeed(kOaeiTaskStream)),
+      config);
 }
 
 }  // namespace mexi::sim

@@ -21,7 +21,7 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(s);
 }

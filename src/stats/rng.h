@@ -70,11 +70,33 @@ class Rng {
   std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
                                                     std::size_t k);
 
-  /// Derives an independent child generator; useful for giving each
-  /// simulated matcher or each bootstrap replicate its own stream.
+  /// Derives an independent child generator by drawing from this one;
+  /// useful for giving each simulated matcher or each bootstrap
+  /// replicate its own stream. Advances this generator, so the children
+  /// depend on the order of Split() calls — when call order is not
+  /// naturally sequential (parallel sites), prefer Fork().
   Rng Split();
 
+  /// The seed of sub-stream `stream_id`: the construction seed offset by
+  /// the stream id. The constructor pushes every seed word through the
+  /// full SplitMix64 avalanche mix, so neighbouring ids still yield
+  /// statistically independent generators — this is the SplitMix
+  /// sequence-split construction, centralized so callers stop
+  /// hand-rolling `seed + i`. Pure: depends only on the construction
+  /// seed, never on draw state. Reserve distinct id ranges per call site
+  /// when one generator feeds several forking sites.
+  std::uint64_t SubSeed(std::uint64_t stream_id) const {
+    return seed_ + stream_id;
+  }
+
+  /// Child generator on sub-stream `stream_id`. Unlike Split(), Fork is
+  /// const and order-independent: Fork(i) is a pure function of
+  /// (construction seed, i), so any thread schedule reproduces the same
+  /// child streams.
+  Rng Fork(std::uint64_t stream_id) const { return Rng(SubSeed(stream_id)); }
+
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t state_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
