@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate perf regressions against the committed BENCH_perf.json.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Compares per-benchmark cpu_time of a fresh perf_microbench run against
+the committed baseline and exits non-zero if any shared benchmark got
+more than ``--tolerance`` slower. The gate is only meaningful when both
+runs measured the same thing, so it SKIPS (exit 0, loud message) when
+the machine shape or build flavor differs:
+
+  * ``num_cpus``    -- a different core count shifts every timing;
+  * ``mexi_build``  -- debug vs release is not a perf comparison;
+  * ``mexi_simd``   -- vector width changes timings (never results; see
+                       MEXI_WIDE_SIMD in the top-level CMakeLists).
+
+Benchmarks present on only one side are reported but never fail the
+gate -- adding or retiring a benchmark should not break CI. Speedups
+are reported too so a stale baseline is visible. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# Context keys that must match for timings to be comparable.
+GATE_KEYS = ("num_cpus", "mexi_build", "mexi_simd")
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = (float(b["cpu_time"]), b.get("time_unit", "ns"))
+    return doc.get("context", {}), times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="freshly recorded benchmark JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max allowed slowdown fraction (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    base_ctx, base = load_benchmarks(args.baseline)
+    fresh_ctx, fresh = load_benchmarks(args.fresh)
+
+    mismatched = [
+        k
+        for k in GATE_KEYS
+        if base_ctx.get(k) != fresh_ctx.get(k)
+    ]
+    if mismatched:
+        for k in mismatched:
+            print(
+                "compare_bench: context %r differs (baseline=%r, fresh=%r)"
+                % (k, base_ctx.get(k), fresh_ctx.get(k))
+            )
+        print("compare_bench: SKIPPING gate -- timings are not comparable.")
+        return 0
+
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+    for name in only_base:
+        print("compare_bench: %-28s retired (baseline only)" % name)
+    for name in only_fresh:
+        print("compare_bench: %-28s new (no baseline yet)" % name)
+
+    regressions = []
+    for name in sorted(set(base) & set(fresh)):
+        old, old_unit = base[name]
+        new, new_unit = fresh[name]
+        if old_unit != new_unit or old <= 0.0:
+            print(
+                "compare_bench: %-28s units changed (%s -> %s), skipping"
+                % (name, old_unit, new_unit)
+            )
+            continue
+        ratio = new / old
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "faster (consider re-recording the baseline)"
+        print(
+            "compare_bench: %-28s %10.3f -> %10.3f %-2s  %+6.1f%%  %s"
+            % (name, old, new, old_unit, (ratio - 1.0) * 100.0, verdict)
+        )
+
+    if regressions:
+        print(
+            "compare_bench: FAIL -- %d benchmark(s) regressed more than "
+            "%.0f%%: %s"
+            % (len(regressions), args.tolerance * 100.0, ", ".join(regressions))
+        )
+        return 1
+    print("compare_bench: PASS (tolerance %.0f%%)" % (args.tolerance * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

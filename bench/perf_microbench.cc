@@ -4,7 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/harness.h"
 #include "core/features/aggregated_features.h"
+#include "core/mexi.h"
 #include "matching/predictors.h"
 #include "matching/similarity.h"
 #include "ml/matrix.h"
@@ -141,6 +146,81 @@ void BM_CnnEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnEpoch)->Unit(benchmark::kMillisecond);
 
+// Multi-epoch LSTM training at the production Phi_Seq shape — the
+// perf-gate benchmark for the fused kernel layer (BM_LstmEpoch above is
+// kept for trajectory continuity with older baselines).
+void BM_LstmFit(benchmark::State& state) {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 24;
+  config.dense_dim = 32;
+  config.num_labels = 4;
+  config.epochs = 3;
+  stats::Rng rng(16);
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 30; ++i) {
+    ml::Sequence seq;
+    for (int t = 0; t < 40; ++t) {
+      seq.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  for (auto _ : state) {
+    ml::LstmSequenceModel model(config);
+    benchmark::DoNotOptimize(model.Fit(sequences, targets));
+  }
+}
+BENCHMARK(BM_LstmFit)->Unit(benchmark::kMillisecond);
+
+// Multi-epoch CNN training at the production Phi_Spa shape.
+void BM_CnnFit(benchmark::State& state) {
+  ml::CnnImageModel::Config config;
+  config.image_rows = 24;
+  config.image_cols = 32;
+  config.epochs = 2;
+  stats::Rng rng(17);
+  std::vector<ml::Image> images;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 20; ++i) {
+    images.push_back(ml::Matrix::RandomGaussian(24, 32, 1.0, rng));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  for (auto _ : state) {
+    ml::CnnImageModel model(config);
+    benchmark::DoNotOptimize(model.Fit(images, targets));
+  }
+}
+BENCHMARK(BM_CnnFit)->Unit(benchmark::kMillisecond);
+
+// End-to-end MExI training (all feature extractors + per-label
+// classifier selection) on a small simulated population: the number the
+// LOUC-style calibration loops multiply.
+void BM_MexiTrain(benchmark::State& state) {
+  sim::StudyConfig study_config;
+  study_config.num_matchers = 10;
+  study_config.seed = 18;
+  const bench::StudyInput study(sim::BuildPurchaseOrderStudy(study_config));
+  const auto measures = ComputeAllMeasures(study.input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+
+  MexiConfig config;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  for (auto _ : state) {
+    Mexi mexi(config);
+    mexi.Fit(study.input.matchers, labels, study.input.context);
+    benchmark::DoNotOptimize(mexi);
+  }
+}
+BENCHMARK(BM_MexiTrain)->Unit(benchmark::kMillisecond);
+
 void BM_BuildStudy(benchmark::State& state) {
   for (auto _ : state) {
     sim::StudyConfig config;
@@ -153,4 +233,36 @@ BENCHMARK(BM_BuildStudy)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the committed BENCH_perf.json
+// is a perf-regression baseline, so recording it from an unoptimized
+// build must be impossible by accident. Debug (`NDEBUG` unset) runs are
+// refused unless MEXI_BENCH_ALLOW_DEBUG=1, and every run tags the JSON
+// context with `mexi_build` so the CI compare step can verify apples
+// against apples (see bench/compare_bench.py).
+int main(int argc, char** argv) {
+  // SIMD width changes timings but never results (MEXI_WIDE_SIMD in the
+  // top-level CMakeLists); tag it so the compare step skips the gate
+  // when baselines were recorded at a different width.
+#ifdef __AVX2__
+  benchmark::AddCustomContext("mexi_simd", "avx2");
+#else
+  benchmark::AddCustomContext("mexi_simd", "sse2");
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("mexi_build", "release");
+#else
+  benchmark::AddCustomContext("mexi_build", "debug");
+  if (std::getenv("MEXI_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(stderr,
+                 "perf_microbench: refusing to run from a debug build "
+                 "(NDEBUG unset); timings would be meaningless as a "
+                 "baseline. Set MEXI_BENCH_ALLOW_DEBUG=1 to override.\n");
+    return 2;
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

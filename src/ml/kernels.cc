@@ -1,0 +1,129 @@
+#include "ml/kernels.h"
+
+#include <cmath>
+
+namespace mexi::ml::kernels {
+
+namespace {
+inline double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void GemvAccum(const double* x, std::size_t m, const double* w,
+               std::size_t n, double* y) {
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    Axpy(xk, w + k * n, y, n);
+  }
+}
+
+void DotRows(const double* w, std::size_t rows, std::size_t n,
+             const double* x, double* y) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* w0 = w + r * n;
+    const double* w1 = w0 + n;
+    const double* w2 = w1 + n;
+    const double* w3 = w2 + n;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double xj = x[j];
+      a0 += w0[j] * xj;
+      a1 += w1[j] * xj;
+      a2 += w2[j] * xj;
+      a3 += w3[j] * xj;
+    }
+    y[r] = a0;
+    y[r + 1] = a1;
+    y[r + 2] = a2;
+    y[r + 3] = a3;
+  }
+  for (; r < rows; ++r) y[r] = Dot(w + r * n, x, n);
+}
+
+void DotRowsSkipZero(const double* w, std::size_t rows, std::size_t n,
+                     const double* x, double* y) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* w0 = w + r * n;
+    const double* w1 = w0 + n;
+    const double* w2 = w1 + n;
+    const double* w3 = w2 + n;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double xj = x[j];
+      if (xj == 0.0) continue;
+      a0 += xj * w0[j];
+      a1 += xj * w1[j];
+      a2 += xj * w2[j];
+      a3 += xj * w3[j];
+    }
+    y[r] = a0;
+    y[r + 1] = a1;
+    y[r + 2] = a2;
+    y[r + 3] = a3;
+  }
+  for (; r < rows; ++r) y[r] = DotSkipZero(x, w + r * n, n);
+}
+
+void AddColSums(const double* g, std::size_t rows, std::size_t cols,
+                double* y) {
+  for (std::size_t j = 0; j < cols; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) acc += g[i * cols + j];
+    y[j] += acc;
+  }
+}
+
+void ReluInto(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = x[j] > 0.0 ? x[j] : 0.0;
+}
+
+void SigmoidInto(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = Sigmoid(x[j]);
+}
+
+void TanhInto(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = std::tanh(x[j]);
+}
+
+void LstmCellForward(const double* a, std::size_t h_dim, double* gates,
+                     double* c, double* tanh_c, double* h) {
+  double* gi = gates;
+  double* gf = gates + h_dim;
+  double* gg = gates + 2 * h_dim;
+  double* go = gates + 3 * h_dim;
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    gi[j] = Sigmoid(a[j]);
+    gf[j] = Sigmoid(a[h_dim + j]);
+    gg[j] = std::tanh(a[2 * h_dim + j]);
+    go[j] = Sigmoid(a[3 * h_dim + j]);
+    c[j] = gf[j] * c[j] + gi[j] * gg[j];
+    tanh_c[j] = std::tanh(c[j]);
+    h[j] = go[j] * tanh_c[j];
+  }
+}
+
+void LstmCellBackward(const double* dh, const double* gates,
+                      const double* tanh_c, const double* c_prev,
+                      std::size_t h_dim, double* dc, double* da) {
+  const double* gi = gates;
+  const double* gf = gates + h_dim;
+  const double* gg = gates + 2 * h_dim;
+  const double* go = gates + 3 * h_dim;
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    const double do_j = dh[j] * tanh_c[j];
+    const double dct =
+        dh[j] * go[j] * (1.0 - tanh_c[j] * tanh_c[j]) + dc[j];
+    const double di = dct * gg[j];
+    const double df = dct * c_prev[j];
+    const double dg = dct * gi[j];
+    da[j] = di * gi[j] * (1.0 - gi[j]);
+    da[h_dim + j] = df * gf[j] * (1.0 - gf[j]);
+    da[2 * h_dim + j] = dg * (1.0 - gg[j] * gg[j]);
+    da[3 * h_dim + j] = do_j * go[j] * (1.0 - go[j]);
+    dc[j] = dct * gf[j];
+  }
+}
+
+}  // namespace mexi::ml::kernels

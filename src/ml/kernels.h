@@ -1,0 +1,155 @@
+#ifndef MEXI_ML_KERNELS_H_
+#define MEXI_ML_KERNELS_H_
+
+#include <cstddef>
+
+namespace mexi::ml::kernels {
+
+/// Allocation-free fused kernels over contiguous `double` spans.
+///
+/// These are the innermost loops of the ML substrate: LSTM gate
+/// pre-activations, dense layers, the CNN residual projection, logistic
+/// regression and the linear SVM all route through them. Two rules are
+/// binding (see DESIGN.md "Kernels & memory layout"):
+///
+///  1. **Accumulation order is part of the contract.** Every kernel adds
+///     floating-point terms in exactly the order of the plain loop it
+///     replaced — left to right, ascending index, zero-skips only where
+///     the legacy loop skipped. Callers that need the legacy
+///     "skip-if-zero" semantics guard at the call site (`if (a != 0.0)`)
+///     so the kernels themselves stay branch-free inside the loop and
+///     auto-vectorize.
+///  2. **No ownership.** Kernels never allocate; callers pass raw spans
+///     into workspaces they own. Pointers must not alias unless the
+///     signature says in/out (`__restrict` is load-bearing for
+///     vectorization).
+///
+/// Element-independent loops (Axpy, Fill, map-style transforms) may be
+/// vectorized by the compiler without changing results; reductions (Dot)
+/// are written as strict left-to-right scalar chains and must stay so —
+/// do not add pragmas that reassociate them.
+
+/// y[j] = value.
+inline void Fill(double* __restrict y, std::size_t n, double value) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = value;
+}
+
+/// y[j] = x[j].
+inline void Copy(const double* __restrict x, double* __restrict y,
+                 std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = x[j];
+}
+
+/// y[j] += x[j].
+inline void Add(const double* __restrict x, double* __restrict y,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += x[j];
+}
+
+/// y[j] *= a.
+inline void Scale(double* __restrict y, std::size_t n, double a) {
+  for (std::size_t j = 0; j < n; ++j) y[j] *= a;
+}
+
+/// y[j] += a * x[j]. No zero guard: callers replacing a legacy
+/// `if (a == 0.0) continue;` loop must keep that guard at the call site.
+inline void Axpy(double a, const double* __restrict x, double* __restrict y,
+                 std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+/// init + sum_j x[j] * y[j], accumulated strictly left to right starting
+/// from `init` (matches `acc = init; for j: acc += x[j]*y[j]`).
+inline double Dot(const double* __restrict x, const double* __restrict y,
+                  std::size_t n, double init = 0.0) {
+  double acc = init;
+  for (std::size_t j = 0; j < n; ++j) acc += x[j] * y[j];
+  return acc;
+}
+
+/// Like Dot but omits terms where x[j] == 0.0 — mirrors the zero-skip in
+/// the blocked MatMul kernel, so a row-vector product computed cell by
+/// cell with DotSkipZero is bitwise identical to MatMul's row result.
+inline double DotSkipZero(const double* __restrict x,
+                          const double* __restrict y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j] == 0.0) continue;
+    acc += x[j] * y[j];
+  }
+  return acc;
+}
+
+/// Sum of squared differences, left to right.
+inline double SquaredDistance(const double* __restrict x,
+                              const double* __restrict y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = x[j] - y[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Row-major GEMV accumulate: y[j] += sum_k x[k] * w[k*n + j], visiting k
+/// ascending and skipping zero x[k] rows (the LSTM/dense legacy order).
+/// `y` must be pre-initialized by the caller (zeros or a bias row,
+/// whichever the legacy loop started from).
+void GemvAccum(const double* x, std::size_t m, const double* w,
+               std::size_t n, double* y);
+
+/// y[r] = sum_j w[r*n + j] * x[j] for each of `rows` rows. Every row's
+/// sum is still a strict left-to-right chain, but rows are *independent*
+/// chains, so four of them run interleaved to hide FP-add latency — this
+/// changes scheduling only, never the per-row result.
+void DotRows(const double* w, std::size_t rows, std::size_t n,
+             const double* x, double* y);
+
+/// Like DotRows but skips terms where x[j] == 0.0. All rows share the
+/// skip vector, so each row sees exactly the per-cell zero-skip order of
+/// the blocked MatMul (term order x[j] * w[r*n + j]).
+void DotRowsSkipZero(const double* w, std::size_t rows, std::size_t n,
+                     const double* x, double* y);
+
+/// Column sums of a rows x cols row-major block, *added* to y: for each
+/// column j, y[j] += (0.0 + g(0,j) + g(1,j) + ...) — the inner sum is
+/// materialized first, matching the legacy `ColSums()` + `operator+=`
+/// composition bitwise.
+void AddColSums(const double* g, std::size_t rows, std::size_t cols,
+                double* y);
+
+/// y[j] = max(x[j], 0.0) — written as the legacy ternary.
+void ReluInto(const double* x, double* y, std::size_t n);
+
+/// ReLU backward gate: y[j] = 0.0 wherever pre[j] <= 0.0, else y[j]
+/// unchanged. Branchless (select, no arithmetic) so it vectorizes; does
+/// exactly what the legacy `if (pre <= 0) g = 0` loop did.
+inline void ReluGate(const double* __restrict pre, double* __restrict y,
+                     std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = pre[j] > 0.0 ? y[j] : 0.0;
+}
+
+/// y[j] = 1 / (1 + exp(-x[j])).
+void SigmoidInto(const double* x, double* y, std::size_t n);
+
+/// y[j] = tanh(x[j]).
+void TanhInto(const double* x, double* y, std::size_t n);
+
+/// Fused LSTM cell update for one timestep. `a` holds the 4H gate
+/// pre-activations laid out [i, f, g, o]; `gates` receives the activated
+/// gates in the same layout; `c` is the cell state updated in place;
+/// `tanh_c` and `h` receive tanh(c) and the new hidden state. One pass
+/// per element, in the exact arithmetic order of the unfused loops.
+void LstmCellForward(const double* a, std::size_t h_dim, double* gates,
+                     double* c, double* tanh_c, double* h);
+
+/// Fused backward cell step: consumes dh (dL/dh_t) and dc (running cell
+/// gradient, updated in place), the cached activated gates / tanh_c /
+/// c_prev, and emits the 4H pre-activation gradient `da`.
+void LstmCellBackward(const double* dh, const double* gates,
+                      const double* tanh_c, const double* c_prev,
+                      std::size_t h_dim, double* dc, double* da);
+
+}  // namespace mexi::ml::kernels
+
+#endif  // MEXI_ML_KERNELS_H_

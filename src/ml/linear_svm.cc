@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/kernels.h"
+
 namespace mexi::ml {
 
 namespace {
@@ -24,14 +26,13 @@ void LinearSvm::FitImpl(const Dataset& data) {
   for (int t = 1; t <= config_.iterations; ++t) {
     const std::size_t i = rng.UniformIndex(n);
     const double y = data.labels[i] == 1 ? 1.0 : -1.0;
-    double margin = intercept_;
-    for (std::size_t j = 0; j < d; ++j) margin += weights_[j] * x[i][j];
+    const double margin =
+        kernels::Dot(weights_.data(), x[i].data(), d, intercept_);
     const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
     // Sub-gradient step: shrink always, push on hinge violation.
-    const double shrink = 1.0 - eta * config_.lambda;
-    for (auto& w : weights_) w *= shrink;
+    kernels::Scale(weights_.data(), d, 1.0 - eta * config_.lambda);
     if (y * margin < 1.0) {
-      for (std::size_t j = 0; j < d; ++j) weights_[j] += eta * y * x[i][j];
+      kernels::Axpy(eta * y, x[i].data(), weights_.data(), d);
       intercept_ += eta * y;
     }
   }
@@ -39,9 +40,7 @@ void LinearSvm::FitImpl(const Dataset& data) {
   // Platt scaling: one-dimensional logistic regression on the margins.
   std::vector<double> margins(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double m = intercept_;
-    for (std::size_t j = 0; j < d; ++j) m += weights_[j] * x[i][j];
-    margins[i] = m;
+    margins[i] = kernels::Dot(weights_.data(), x[i].data(), d, intercept_);
   }
   platt_a_ = 1.0;
   platt_b_ = 0.0;
@@ -61,9 +60,7 @@ void LinearSvm::FitImpl(const Dataset& data) {
 
 double LinearSvm::Margin(const std::vector<double>& row) const {
   const std::vector<double> x = standardizer_.Transform(row);
-  double m = intercept_;
-  for (std::size_t j = 0; j < x.size(); ++j) m += weights_[j] * x[j];
-  return m;
+  return kernels::Dot(weights_.data(), x.data(), x.size(), intercept_);
 }
 
 double LinearSvm::PredictProbaImpl(const std::vector<double>& row) const {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/kernels.h"
+
 namespace mexi::ml {
 
 namespace {
@@ -24,10 +26,10 @@ void LogisticRegression::FitImpl(const Dataset& data) {
     std::vector<double> grad(d, 0.0);
     double grad_b = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      double z = intercept_;
-      for (std::size_t j = 0; j < d; ++j) z += weights_[j] * x[i][j];
+      const double z =
+          kernels::Dot(weights_.data(), x[i].data(), d, intercept_);
       const double err = Sigmoid(z) - static_cast<double>(data.labels[i]);
-      for (std::size_t j = 0; j < d; ++j) grad[j] += err * x[i][j];
+      kernels::Axpy(err, x[i].data(), grad.data(), d);
       grad_b += err;
     }
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -43,9 +45,8 @@ void LogisticRegression::FitImpl(const Dataset& data) {
 double LogisticRegression::PredictProbaImpl(
     const std::vector<double>& row) const {
   const std::vector<double> x = standardizer_.Transform(row);
-  double z = intercept_;
-  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
-  return Sigmoid(z);
+  return Sigmoid(
+      kernels::Dot(weights_.data(), x.data(), x.size(), intercept_));
 }
 
 }  // namespace mexi::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.h"
 #include "parallel/parallel_for.h"
 
 namespace mexi::ml {
@@ -90,9 +91,8 @@ Matrix Matrix::MatMulNaive(const Matrix& other) const {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = (*this)(i, k);
       if (aik == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+      kernels::Axpy(aik, &other.data_[k * other.cols_],
+                    &out.data_[i * other.cols_], other.cols_);
     }
   }
   return out;
@@ -122,8 +122,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
         for (std::size_t k = kk; k < k_end; ++k) {
           const double aik = arow[k];
           if (aik == 0.0) continue;
-          const double* brow = &other.data_[k * n];
-          for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+          kernels::Axpy(aik, &other.data_[k * n], orow, n);
         }
       }
     }
@@ -216,16 +215,6 @@ Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
     for (std::size_t c = 0; c < cols_; ++c) out(r, c) += row(0, c);
   }
   return out;
-}
-
-Matrix Matrix::Apply(const std::function<double(double)>& fn) const {
-  Matrix out = *this;
-  out.ApplyInPlace(fn);
-  return out;
-}
-
-void Matrix::ApplyInPlace(const std::function<double(double)>& fn) {
-  for (auto& v : data_) v = fn(v);
 }
 
 double Matrix::Sum() const {

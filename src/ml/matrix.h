@@ -2,7 +2,7 @@
 #define MEXI_ML_MATRIX_H_
 
 #include <cstddef>
-#include <functional>
+#include <span>
 #include <vector>
 
 #include "stats/rng.h"
@@ -68,6 +68,52 @@ class Matrix {
   /// Returns column c as a vector.
   std::vector<double> Col(std::size_t c) const;
 
+  /// Zero-copy view of row r (contiguous in the row-major layout).
+  /// Prefer this over Row() in hot paths; the span is invalidated by any
+  /// operation that reallocates the matrix.
+  std::span<const double> RowSpan(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> RowSpan(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Strided zero-copy view of column c. Supports indexing, size, and
+  /// range-for; same invalidation rule as RowSpan.
+  class ColView {
+   public:
+    ColView(const double* base, std::size_t stride, std::size_t n)
+        : base_(base), stride_(stride), n_(n) {}
+    double operator[](std::size_t i) const { return base_[i * stride_]; }
+    std::size_t size() const { return n_; }
+
+    class Iterator {
+     public:
+      Iterator(const double* p, std::size_t stride)
+          : p_(p), stride_(stride) {}
+      double operator*() const { return *p_; }
+      Iterator& operator++() {
+        p_ += stride_;
+        return *this;
+      }
+      bool operator!=(const Iterator& other) const { return p_ != other.p_; }
+
+     private:
+      const double* p_;
+      std::size_t stride_;
+    };
+    Iterator begin() const { return {base_, stride_}; }
+    Iterator end() const { return {base_ + n_ * stride_, stride_}; }
+
+   private:
+    const double* base_;
+    std::size_t stride_;
+    std::size_t n_;
+  };
+  ColView ColSpan(std::size_t c) const {
+    return {data_.data() + c, cols_, rows_};
+  }
+
   /// Overwrites row r. Requires values.size() == cols().
   void SetRow(std::size_t r, const std::vector<double>& values);
 
@@ -101,11 +147,21 @@ class Matrix {
   /// Adds `row` (1 x cols) to every row; used for bias broadcasting.
   Matrix AddRowBroadcast(const Matrix& row) const;
 
-  /// Applies `fn` to every element, returning a new matrix.
-  Matrix Apply(const std::function<double(double)>& fn) const;
+  /// Applies `fn` to every element, returning a new matrix. Templated on
+  /// the functor so lambdas inline into the loop — no per-element
+  /// std::function dispatch (std::function arguments still work).
+  template <typename Fn>
+  Matrix Apply(Fn&& fn) const {
+    Matrix out = *this;
+    out.ApplyInPlace(fn);
+    return out;
+  }
 
-  /// Applies `fn` to every element in place.
-  void ApplyInPlace(const std::function<double(double)>& fn);
+  /// Applies `fn` to every element in place (inlineable; see Apply).
+  template <typename Fn>
+  void ApplyInPlace(Fn&& fn) {
+    for (auto& v : data_) v = fn(v);
+  }
 
   /// Sum of all elements.
   double Sum() const;

@@ -1,12 +1,26 @@
 #include "ml/nn/cnn.h"
 
-#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/kernels.h"
 #include "ml/nn/network.h"
 
 namespace mexi::ml {
+
+namespace {
+
+/// Resizes a channel stack to `n` matrices of rows x cols, reusing
+/// existing storage when the shape already matches.
+void EnsureChannels(std::vector<Matrix>& channels, std::size_t n,
+                    std::size_t rows, std::size_t cols) {
+  channels.resize(n);
+  for (auto& m : channels) {
+    if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+  }
+}
+
+}  // namespace
 
 CnnImageModel::CnnImageModel(const Config& config)
     : config_(config), rng_(config.seed) {
@@ -33,14 +47,16 @@ CnnImageModel::CnnImageModel(const Config& config)
                                    rng_);
   sigmoid_ = std::make_unique<SigmoidLayer>();
   optimizer_ = AdamOptimizer(config_.adam);
+  flat_ = Matrix(1, flat, 0.0);
 }
 
-CnnImageModel::Channels CnnImageModel::Conv3x3Forward(
-    const Channels& in, const Matrix& weights, const Matrix& bias,
-    std::size_t out_channels) const {
+void CnnImageModel::Conv3x3Forward(const Channels& in, const Matrix& weights,
+                                   const Matrix& bias,
+                                   std::size_t out_channels,
+                                   Channels& out) const {
   const std::size_t rows = in[0].rows();
   const std::size_t cols = in[0].cols();
-  Channels out(out_channels, Matrix(rows, cols));
+  EnsureChannels(out, out_channels, rows, cols);
   for (std::size_t oc = 0; oc < out_channels; ++oc) {
     Matrix& o = out[oc];
     o.Fill(bias(0, oc));
@@ -53,71 +69,132 @@ CnnImageModel::Channels CnnImageModel::Conv3x3Forward(
           if (w == 0.0) continue;
           const std::size_t y0 = ky < 0 ? 1 : 0;
           const std::size_t y1 = ky > 0 ? rows - 1 : rows;
+          const std::size_t x0 = kx < 0 ? 1 : 0;
+          const std::size_t x1 = kx > 0 ? cols - 1 : cols;
           for (std::size_t y = y0; y < y1; ++y) {
             const std::size_t sy = static_cast<std::size_t>(
                 static_cast<long>(y) + ky);
+            // Both rows are contiguous: the tap is one shifted AXPY.
+            kernels::Axpy(
+                w,
+                &src.data()[sy * cols + static_cast<std::size_t>(
+                                            static_cast<long>(x0) + kx)],
+                &o.data()[y * cols + x0], x1 - x0);
+          }
+        }
+      }
+    }
+  }
+}
+
+void CnnImageModel::Conv3x3Backward(const Channels& grad_out,
+                                    const Channels& in, const Matrix& weights,
+                                    Matrix& grad_weights, Matrix& grad_bias,
+                                    Channels* grad_in) const {
+  const std::size_t rows = in[0].rows();
+  const std::size_t cols = in[0].cols();
+  const std::size_t num_oc = grad_out.size();
+
+  for (std::size_t oc = 0; oc < num_oc; ++oc) {
+    grad_bias(0, oc) += grad_out[oc].Sum();
+  }
+
+  // Input-gradient pass. Each gi element accumulates its (oc, tap) terms
+  // in the legacy oc-outer order; the inner row update is an
+  // element-independent AXPY, so it vectorizes.
+  if (grad_in != nullptr) {
+    EnsureChannels(*grad_in, in.size(), rows, cols);
+    for (auto& gi : *grad_in) gi.Fill(0.0);
+    for (std::size_t oc = 0; oc < num_oc; ++oc) {
+      const Matrix& go = grad_out[oc];
+      for (std::size_t ic = 0; ic < in.size(); ++ic) {
+        Matrix& gi = (*grad_in)[ic];
+        for (int ky = -1; ky <= 1; ++ky) {
+          for (int kx = -1; kx <= 1; ++kx) {
+            const double w = weights(
+                oc, ic * 9 + static_cast<std::size_t>((ky + 1) * 3 + kx + 1));
+            const std::size_t y0 = ky < 0 ? 1 : 0;
+            const std::size_t y1 = ky > 0 ? rows - 1 : rows;
             const std::size_t x0 = kx < 0 ? 1 : 0;
             const std::size_t x1 = kx > 0 ? cols - 1 : cols;
-            for (std::size_t x = x0; x < x1; ++x) {
-              const std::size_t sx = static_cast<std::size_t>(
-                  static_cast<long>(x) + kx);
-              o(y, x) += w * src(sy, sx);
+            for (std::size_t y = y0; y < y1; ++y) {
+              const std::size_t shift =
+                  (static_cast<std::size_t>(static_cast<long>(y) + ky)) *
+                      cols +
+                  static_cast<std::size_t>(static_cast<long>(x0) + kx);
+              kernels::Axpy(w, &go.data()[y * cols + x0], &gi.data()[shift],
+                            x1 - x0);
             }
           }
         }
       }
     }
   }
-  return out;
-}
 
-CnnImageModel::Channels CnnImageModel::Conv3x3Backward(
-    const Channels& grad_out, const Channels& in, const Matrix& weights,
-    Matrix& grad_weights, Matrix& grad_bias) const {
-  const std::size_t rows = in[0].rows();
-  const std::size_t cols = in[0].cols();
-  Channels grad_in(in.size(), Matrix(rows, cols));
-  for (std::size_t oc = 0; oc < grad_out.size(); ++oc) {
-    const Matrix& go = grad_out[oc];
-    grad_bias(0, oc) += go.Sum();
-    for (std::size_t ic = 0; ic < in.size(); ++ic) {
-      const Matrix& src = in[ic];
-      Matrix& gi = grad_in[ic];
-      for (int ky = -1; ky <= 1; ++ky) {
-        for (int kx = -1; kx <= 1; ++kx) {
-          const std::size_t widx =
-              ic * 9 + static_cast<std::size_t>((ky + 1) * 3 + kx + 1);
-          const double w = weights(oc, widx);
-          double gw = 0.0;
-          const std::size_t y0 = ky < 0 ? 1 : 0;
-          const std::size_t y1 = ky > 0 ? rows - 1 : rows;
+  // Weight-gradient pass. Each gw cell is one strict y-major/x-ascending
+  // reduction chain; chains for different output channels are
+  // independent, so four run interleaved against the shared source rows
+  // (scheduling only — per-chain order is untouched).
+  for (std::size_t ic = 0; ic < in.size(); ++ic) {
+    const Matrix& src = in[ic];
+    for (int ky = -1; ky <= 1; ++ky) {
+      for (int kx = -1; kx <= 1; ++kx) {
+        const std::size_t widx =
+            ic * 9 + static_cast<std::size_t>((ky + 1) * 3 + kx + 1);
+        const std::size_t y0 = ky < 0 ? 1 : 0;
+        const std::size_t y1 = ky > 0 ? rows - 1 : rows;
+        const std::size_t x0 = kx < 0 ? 1 : 0;
+        const std::size_t x1 = kx > 0 ? cols - 1 : cols;
+        const std::size_t n = x1 - x0;
+        std::size_t oc = 0;
+        for (; oc + 4 <= num_oc; oc += 4) {
+          double g0 = 0.0, g1 = 0.0, g2 = 0.0, g3 = 0.0;
           for (std::size_t y = y0; y < y1; ++y) {
-            const std::size_t sy = static_cast<std::size_t>(
-                static_cast<long>(y) + ky);
-            const std::size_t x0 = kx < 0 ? 1 : 0;
-            const std::size_t x1 = kx > 0 ? cols - 1 : cols;
-            for (std::size_t x = x0; x < x1; ++x) {
-              const std::size_t sx = static_cast<std::size_t>(
-                  static_cast<long>(x) + kx);
-              const double g = go(y, x);
-              gw += g * src(sy, sx);
-              gi(sy, sx) += g * w;
+            const std::size_t shift =
+                (static_cast<std::size_t>(static_cast<long>(y) + ky)) *
+                    cols +
+                static_cast<std::size_t>(static_cast<long>(x0) + kx);
+            const double* srow = &src.data()[shift];
+            const double* p0 = &grad_out[oc].data()[y * cols + x0];
+            const double* p1 = &grad_out[oc + 1].data()[y * cols + x0];
+            const double* p2 = &grad_out[oc + 2].data()[y * cols + x0];
+            const double* p3 = &grad_out[oc + 3].data()[y * cols + x0];
+            for (std::size_t x = 0; x < n; ++x) {
+              const double s = srow[x];
+              g0 += p0[x] * s;
+              g1 += p1[x] * s;
+              g2 += p2[x] * s;
+              g3 += p3[x] * s;
             }
+          }
+          grad_weights(oc, widx) += g0;
+          grad_weights(oc + 1, widx) += g1;
+          grad_weights(oc + 2, widx) += g2;
+          grad_weights(oc + 3, widx) += g3;
+        }
+        for (; oc < num_oc; ++oc) {
+          double gw = 0.0;
+          for (std::size_t y = y0; y < y1; ++y) {
+            const std::size_t shift =
+                (static_cast<std::size_t>(static_cast<long>(y) + ky)) *
+                    cols +
+                static_cast<std::size_t>(static_cast<long>(x0) + kx);
+            gw = kernels::Dot(&grad_out[oc].data()[y * cols + x0],
+                              &src.data()[shift], n, gw);
           }
           grad_weights(oc, widx) += gw;
         }
       }
     }
   }
-  return grad_in;
 }
 
-CnnImageModel::Channels CnnImageModel::MaxPool2Forward(
-    const Channels& in, std::vector<std::vector<std::size_t>>& argmax)
-    const {
+void CnnImageModel::MaxPool2Forward(
+    const Channels& in, std::vector<std::vector<std::size_t>>& argmax,
+    Channels& out) const {
   const std::size_t rows = in[0].rows() / 2;
   const std::size_t cols = in[0].cols() / 2;
-  Channels out(in.size(), Matrix(rows, cols));
+  EnsureChannels(out, in.size(), rows, cols);
   argmax.assign(in.size(), std::vector<std::size_t>(rows * cols, 0));
   for (std::size_t ch = 0; ch < in.size(); ++ch) {
     const Matrix& src = in[ch];
@@ -140,14 +217,14 @@ CnnImageModel::Channels CnnImageModel::MaxPool2Forward(
       }
     }
   }
-  return out;
 }
 
-CnnImageModel::Channels CnnImageModel::MaxPool2Backward(
-    const Channels& grad_out, const Channels& in_shape_ref,
-    const std::vector<std::vector<std::size_t>>& argmax) const {
-  Channels grad_in(in_shape_ref.size(),
-                   Matrix(in_shape_ref[0].rows(), in_shape_ref[0].cols()));
+void CnnImageModel::MaxPool2Backward(
+    const Channels& grad_out, std::size_t in_rows, std::size_t in_cols,
+    const std::vector<std::vector<std::size_t>>& argmax,
+    Channels& grad_in) const {
+  EnsureChannels(grad_in, grad_out.size(), in_rows, in_cols);
+  for (auto& gi : grad_in) gi.Fill(0.0);
   const std::size_t cols = grad_out[0].cols();
   for (std::size_t ch = 0; ch < grad_out.size(); ++ch) {
     for (std::size_t y = 0; y < grad_out[ch].rows(); ++y) {
@@ -157,69 +234,58 @@ CnnImageModel::Channels CnnImageModel::MaxPool2Backward(
       }
     }
   }
-  return grad_in;
 }
 
-std::vector<double> CnnImageModel::Forward(const Image& image, bool training,
-                                           bool cache) {
+Matrix CnnImageModel::Forward(const Image& image, bool training) {
   if (image.rows() != config_.image_rows ||
       image.cols() != config_.image_cols) {
     throw std::invalid_argument("CnnImageModel: image shape mismatch");
   }
-  Channels input{image};
-  Channels conv1 = Conv3x3Forward(input, w1_, b1_, config_.conv1_filters);
-  Channels act1 = conv1;
-  for (auto& ch : act1) {
-    ch.ApplyInPlace([](double v) { return v > 0.0 ? v : 0.0; });
+  cache_input_.resize(1);
+  cache_input_[0] = image;
+  Conv3x3Forward(cache_input_, w1_, b1_, config_.conv1_filters,
+                 cache_conv1_pre_);
+  EnsureChannels(cache_conv1_act_, cache_conv1_pre_.size(),
+                 cache_conv1_pre_[0].rows(), cache_conv1_pre_[0].cols());
+  for (std::size_t ch = 0; ch < cache_conv1_pre_.size(); ++ch) {
+    kernels::ReluInto(cache_conv1_pre_[ch].data().data(),
+                      cache_conv1_act_[ch].data().data(),
+                      cache_conv1_pre_[ch].size());
   }
-  std::vector<std::vector<std::size_t>> argmax1;
-  Channels pool1 = MaxPool2Forward(act1, argmax1);
+  MaxPool2Forward(cache_conv1_act_, cache_pool1_argmax_, cache_pool1_);
 
   // Residual block: conv2(pool1) + 1x1-projection(pool1), then ReLU.
-  Channels conv2 = Conv3x3Forward(pool1, w2_, b2_, config_.conv2_filters);
-  Channels block = conv2;
-  for (std::size_t oc = 0; oc < block.size(); ++oc) {
-    for (std::size_t ic = 0; ic < pool1.size(); ++ic) {
+  Conv3x3Forward(cache_pool1_, w2_, b2_, config_.conv2_filters,
+                 cache_block_pre_);
+  for (std::size_t oc = 0; oc < cache_block_pre_.size(); ++oc) {
+    for (std::size_t ic = 0; ic < cache_pool1_.size(); ++ic) {
       const double w = wp_(oc, ic);
       if (w == 0.0) continue;
-      for (std::size_t i = 0; i < block[oc].data().size(); ++i) {
-        block[oc].data()[i] += w * pool1[ic].data()[i];
-      }
+      kernels::Axpy(w, cache_pool1_[ic].data().data(),
+                    cache_block_pre_[oc].data().data(),
+                    cache_block_pre_[oc].size());
     }
   }
-  Channels act2 = block;
-  for (auto& ch : act2) {
-    ch.ApplyInPlace([](double v) { return v > 0.0 ? v : 0.0; });
+  EnsureChannels(cache_block_act_, cache_block_pre_.size(),
+                 cache_block_pre_[0].rows(), cache_block_pre_[0].cols());
+  for (std::size_t ch = 0; ch < cache_block_pre_.size(); ++ch) {
+    kernels::ReluInto(cache_block_pre_[ch].data().data(),
+                      cache_block_act_[ch].data().data(),
+                      cache_block_pre_[ch].size());
   }
-  std::vector<std::vector<std::size_t>> argmax2;
-  Channels pool2 = MaxPool2Forward(act2, argmax2);
+  MaxPool2Forward(cache_block_act_, cache_pool2_argmax_, cache_pool2_);
 
-  // Flatten.
-  const std::size_t per_channel = pool2[0].size();
-  Matrix flat(1, pool2.size() * per_channel);
-  for (std::size_t ch = 0; ch < pool2.size(); ++ch) {
-    for (std::size_t i = 0; i < per_channel; ++i) {
-      flat(0, ch * per_channel + i) = pool2[ch].data()[i];
-    }
+  // Flatten into the persistent feature row.
+  const std::size_t per_channel = cache_pool2_[0].size();
+  for (std::size_t ch = 0; ch < cache_pool2_.size(); ++ch) {
+    kernels::Copy(cache_pool2_[ch].data().data(),
+                  &flat_.data()[ch * per_channel], per_channel);
   }
 
-  Matrix z = dense1_->Forward(flat, training);
+  Matrix z = dense1_->Forward(flat_, training);
   z = relu_dense_->Forward(z, training);
   z = dense2_->Forward(z, training);
-  z = sigmoid_->Forward(z, training);
-
-  if (cache) {
-    cache_input_ = std::move(input);
-    cache_conv1_pre_ = std::move(conv1);
-    cache_conv1_act_ = std::move(act1);
-    cache_pool1_ = std::move(pool1);
-    cache_pool1_argmax_ = std::move(argmax1);
-    cache_block_pre_ = std::move(block);
-    cache_block_act_ = std::move(act2);
-    cache_pool2_ = std::move(pool2);
-    cache_pool2_argmax_ = std::move(argmax2);
-  }
-  return z.Row(0);
+  return sigmoid_->Forward(z, training);
 }
 
 void CnnImageModel::Backward(const Matrix& grad_prob) {
@@ -230,52 +296,73 @@ void CnnImageModel::Backward(const Matrix& grad_prob) {
 
   // Un-flatten.
   const std::size_t per_channel = cache_pool2_[0].size();
-  Channels grad_pool2(cache_pool2_.size(),
-                      Matrix(cache_pool2_[0].rows(),
-                             cache_pool2_[0].cols()));
-  for (std::size_t ch = 0; ch < grad_pool2.size(); ++ch) {
-    for (std::size_t i = 0; i < per_channel; ++i) {
-      grad_pool2[ch].data()[i] = grad(0, ch * per_channel + i);
-    }
+  EnsureChannels(ws_grad_pool2_, cache_pool2_.size(),
+                 cache_pool2_[0].rows(), cache_pool2_[0].cols());
+  for (std::size_t ch = 0; ch < ws_grad_pool2_.size(); ++ch) {
+    kernels::Copy(&grad.data()[ch * per_channel],
+                  ws_grad_pool2_[ch].data().data(), per_channel);
   }
 
-  Channels grad_act2 =
-      MaxPool2Backward(grad_pool2, cache_block_act_, cache_pool2_argmax_);
+  MaxPool2Backward(ws_grad_pool2_, cache_block_act_[0].rows(),
+                   cache_block_act_[0].cols(), cache_pool2_argmax_,
+                   ws_grad_act2_);
   // ReLU gate of the residual block.
-  for (std::size_t ch = 0; ch < grad_act2.size(); ++ch) {
-    for (std::size_t i = 0; i < grad_act2[ch].data().size(); ++i) {
-      if (cache_block_pre_[ch].data()[i] <= 0.0) {
-        grad_act2[ch].data()[i] = 0.0;
-      }
-    }
+  for (std::size_t ch = 0; ch < ws_grad_act2_.size(); ++ch) {
+    kernels::ReluGate(cache_block_pre_[ch].data().data(),
+                      ws_grad_act2_[ch].data().data(),
+                      ws_grad_act2_[ch].size());
   }
 
   // Split into conv2 path and skip path (both feed pool1).
-  Channels grad_pool1 = Conv3x3Backward(grad_act2, cache_pool1_, w2_,
-                                        grad_w2_, grad_b2_);
-  for (std::size_t oc = 0; oc < grad_act2.size(); ++oc) {
-    for (std::size_t ic = 0; ic < cache_pool1_.size(); ++ic) {
-      double gw = 0.0;
-      const double w = wp_(oc, ic);
-      for (std::size_t i = 0; i < grad_act2[oc].data().size(); ++i) {
-        const double g = grad_act2[oc].data()[i];
-        gw += g * cache_pool1_[ic].data()[i];
-        grad_pool1[ic].data()[i] += g * w;
+  Conv3x3Backward(ws_grad_act2_, cache_pool1_, w2_, grad_w2_, grad_b2_,
+                  &ws_grad_pool1_);
+  const std::size_t num_ic = cache_pool1_.size();
+  for (std::size_t oc = 0; oc < ws_grad_act2_.size(); ++oc) {
+    const double* g = ws_grad_act2_[oc].data().data();
+    const std::size_t area = ws_grad_act2_[oc].size();
+    // dWp reduction chains are independent per (oc, ic) cell: run four
+    // input channels' chains interleaved against the shared gradient.
+    std::size_t ic = 0;
+    for (; ic + 4 <= num_ic; ic += 4) {
+      const double* s0 = cache_pool1_[ic].data().data();
+      const double* s1 = cache_pool1_[ic + 1].data().data();
+      const double* s2 = cache_pool1_[ic + 2].data().data();
+      const double* s3 = cache_pool1_[ic + 3].data().data();
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (std::size_t i = 0; i < area; ++i) {
+        const double gv = g[i];
+        a0 += gv * s0[i];
+        a1 += gv * s1[i];
+        a2 += gv * s2[i];
+        a3 += gv * s3[i];
       }
-      grad_wp_(oc, ic) += gw;
+      grad_wp_(oc, ic) += a0;
+      grad_wp_(oc, ic + 1) += a1;
+      grad_wp_(oc, ic + 2) += a2;
+      grad_wp_(oc, ic + 3) += a3;
+    }
+    for (; ic < num_ic; ++ic) {
+      grad_wp_(oc, ic) +=
+          kernels::Dot(g, cache_pool1_[ic].data().data(), area);
+    }
+    // The skip gradient into pool1 is element-independent; one AXPY per
+    // input channel, in the legacy oc-then-ic order.
+    for (ic = 0; ic < num_ic; ++ic) {
+      kernels::Axpy(wp_(oc, ic), g, ws_grad_pool1_[ic].data().data(), area);
     }
   }
 
-  Channels grad_act1 =
-      MaxPool2Backward(grad_pool1, cache_conv1_act_, cache_pool1_argmax_);
-  for (std::size_t ch = 0; ch < grad_act1.size(); ++ch) {
-    for (std::size_t i = 0; i < grad_act1[ch].data().size(); ++i) {
-      if (cache_conv1_pre_[ch].data()[i] <= 0.0) {
-        grad_act1[ch].data()[i] = 0.0;
-      }
-    }
+  MaxPool2Backward(ws_grad_pool1_, cache_conv1_act_[0].rows(),
+                   cache_conv1_act_[0].cols(), cache_pool1_argmax_,
+                   ws_grad_act1_);
+  for (std::size_t ch = 0; ch < ws_grad_act1_.size(); ++ch) {
+    kernels::ReluGate(cache_conv1_pre_[ch].data().data(),
+                      ws_grad_act1_[ch].data().data(),
+                      ws_grad_act1_[ch].size());
   }
-  Conv3x3Backward(grad_act1, cache_input_, w1_, grad_w1_, grad_b1_);
+  // The first conv's input gradient has no consumer — skip it.
+  Conv3x3Backward(ws_grad_act1_, cache_input_, w1_, grad_w1_, grad_b1_,
+                  nullptr);
 }
 
 double CnnImageModel::Fit(const std::vector<Image>& images,
@@ -302,6 +389,7 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
 
   std::vector<std::size_t> order(images.size());
   std::iota(order.begin(), order.end(), 0);
+  Matrix target_m(1, config_.num_labels);
 
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -310,16 +398,10 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
     std::size_t in_batch = 0;
     for (std::size_t n = 0; n < order.size(); ++n) {
       const std::size_t idx = order[n];
-      const std::vector<double> probs =
-          Forward(images[idx], /*training=*/true, /*cache=*/true);
-      Matrix prob_m(1, config_.num_labels);
-      Matrix target_m(1, config_.num_labels);
-      for (std::size_t l = 0; l < config_.num_labels; ++l) {
-        prob_m(0, l) = probs[l];
-        target_m(0, l) = targets[idx][l];
-      }
-      epoch_loss += BinaryCrossEntropy::Loss(prob_m, target_m);
-      Backward(BinaryCrossEntropy::Gradient(prob_m, target_m));
+      const Matrix probs = Forward(images[idx], /*training=*/true);
+      target_m.SetRow(0, targets[idx]);
+      epoch_loss += BinaryCrossEntropy::Loss(probs, target_m);
+      Backward(BinaryCrossEntropy::Gradient(probs, target_m));
       if (++in_batch == config_.batch_size || n + 1 == order.size()) {
         optimizer_.Step();
         in_batch = 0;
@@ -332,7 +414,8 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
 }
 
 std::vector<double> CnnImageModel::Predict(const Image& image) {
-  return Forward(image, /*training=*/false, /*cache=*/false);
+  Matrix probs = Forward(image, /*training=*/false);
+  return std::move(probs.data());
 }
 
 }  // namespace mexi::ml

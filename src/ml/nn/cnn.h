@@ -26,6 +26,13 @@ using Image = Matrix;
 /// recipe at a scale that trains in seconds on one core. Use `Fit` on a
 /// synthetic pretext task first, then `Fit` again on the real heat maps
 /// to reproduce the pretrain -> fine-tune protocol.
+///
+/// Every intermediate (activation channels, pool argmaxes, gradient
+/// channels, the flattened feature row) lives in a model-owned workspace
+/// buffer sized on the first Forward/Backward and reused for every
+/// sample and epoch after that; the per-sample training loop allocates
+/// nothing. Arithmetic routes through ml::kernels and preserves the
+/// pre-workspace accumulation order bitwise (tests/test_golden_nn.cc).
 class CnnImageModel {
  public:
   struct Config {
@@ -63,24 +70,31 @@ class CnnImageModel {
  private:
   using Channels = std::vector<Matrix>;
 
-  /// Full forward pass; caches activations when `cache` is true.
-  std::vector<double> Forward(const Image& image, bool training, bool cache);
+  /// Full forward pass into the workspace buffers; returns the
+  /// 1 x num_labels probability row.
+  Matrix Forward(const Image& image, bool training);
 
-  /// Backward pass from dLoss/dProbabilities; requires a cached Forward.
+  /// Backward pass from dLoss/dProbabilities; requires a prior Forward.
   void Backward(const Matrix& grad_prob);
 
-  Channels Conv3x3Forward(const Channels& in, const Matrix& weights,
-                          const Matrix& bias, std::size_t out_channels)
-      const;
-  Channels Conv3x3Backward(const Channels& grad_out, const Channels& in,
-                           const Matrix& weights, Matrix& grad_weights,
-                           Matrix& grad_bias) const;
-  Channels MaxPool2Forward(const Channels& in,
-                           std::vector<std::vector<std::size_t>>& argmax)
-      const;
-  Channels MaxPool2Backward(
-      const Channels& grad_out, const Channels& in_shape_ref,
-      const std::vector<std::vector<std::size_t>>& argmax) const;
+  /// Conv/pool primitives write into caller-owned workspace buffers
+  /// (resized on first use, reused afterwards) instead of returning
+  /// fresh channel vectors.
+  void Conv3x3Forward(const Channels& in, const Matrix& weights,
+                      const Matrix& bias, std::size_t out_channels,
+                      Channels& out) const;
+  /// `grad_in` may be null for the first layer, whose input gradient
+  /// nobody consumes (the legacy code computed and discarded it).
+  void Conv3x3Backward(const Channels& grad_out, const Channels& in,
+                       const Matrix& weights, Matrix& grad_weights,
+                       Matrix& grad_bias, Channels* grad_in) const;
+  void MaxPool2Forward(const Channels& in,
+                       std::vector<std::vector<std::size_t>>& argmax,
+                       Channels& out) const;
+  void MaxPool2Backward(const Channels& grad_out, std::size_t in_rows,
+                        std::size_t in_cols,
+                        const std::vector<std::vector<std::size_t>>& argmax,
+                        Channels& grad_in) const;
 
   Config config_;
   stats::Rng rng_;
@@ -101,7 +115,9 @@ class CnnImageModel {
   bool optimizer_initialized_ = false;
   bool fitted_ = false;
 
-  // Forward caches (single-sample training).
+  // Forward workspace (single-sample training): written by every
+  // Forward, read by Backward. Buffers are shape-stable after the first
+  // sample, so reuse never reallocates.
   Channels cache_input_;
   Channels cache_conv1_pre_;   // pre-ReLU
   Channels cache_conv1_act_;   // post-ReLU
@@ -111,6 +127,13 @@ class CnnImageModel {
   Channels cache_block_act_;
   Channels cache_pool2_;
   std::vector<std::vector<std::size_t>> cache_pool2_argmax_;
+  Matrix flat_;                // 1 x (C2 * pooled area)
+
+  // Backward workspace.
+  Channels ws_grad_pool2_;
+  Channels ws_grad_act2_;
+  Channels ws_grad_pool1_;
+  Channels ws_grad_act1_;
 };
 
 }  // namespace mexi::ml

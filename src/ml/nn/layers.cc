@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.h"
+
 namespace mexi::ml {
 
 void Layer::RegisterParameters(AdamOptimizer& optimizer) {
@@ -19,13 +21,63 @@ DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
 Matrix DenseLayer::Forward(const Matrix& input, bool training) {
   (void)training;
   last_input_ = input;
-  return input.MatMul(weights_).AddRowBroadcast(bias_);
+  const std::size_t in_dim = weights_.rows();
+  const std::size_t out_dim = weights_.cols();
+  if (input.cols() != in_dim) {
+    throw std::invalid_argument("DenseLayer::Forward: dimension mismatch");
+  }
+  // Fused X*W + b: per row, products accumulate first (ascending k, zero
+  // rows of X skipped — the MatMul order), then the bias row is added,
+  // matching MatMul().AddRowBroadcast() bitwise without the two temporary
+  // matrices.
+  Matrix out(input.rows(), out_dim, 0.0);
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    double* orow = &out.data()[i * out_dim];
+    kernels::GemvAccum(&input.data()[i * in_dim], in_dim,
+                       weights_.data().data(), out_dim, orow);
+    kernels::Add(bias_.data().data(), orow, out_dim);
+  }
+  return out;
 }
 
 Matrix DenseLayer::Backward(const Matrix& grad_output) {
-  grad_weights_ += last_input_.Transposed().MatMul(grad_output);
-  grad_bias_ += grad_output.ColSums();
-  return grad_output.MatMul(weights_.Transposed());
+  const std::size_t batch = grad_output.rows();
+  const std::size_t in_dim = weights_.rows();
+  const std::size_t out_dim = weights_.cols();
+
+  // dW = X^T * G without the transpose: stream rows of X and scatter
+  // rank-1 updates. Each (k, j) cell still sees its batch terms in
+  // ascending-i order with the X==0 skip, and the zeroed scratch keeps
+  // the accumulate-then-+= composition of the legacy code intact.
+  if (grad_w_scratch_.rows() != in_dim ||
+      grad_w_scratch_.cols() != out_dim) {
+    grad_w_scratch_ = Matrix(in_dim, out_dim, 0.0);
+  } else {
+    grad_w_scratch_.Fill(0.0);
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double* xrow = &last_input_.data()[i * in_dim];
+    const double* grow = &grad_output.data()[i * out_dim];
+    for (std::size_t k = 0; k < in_dim; ++k) {
+      if (xrow[k] == 0.0) continue;
+      kernels::Axpy(xrow[k], grow, &grad_w_scratch_.data()[k * out_dim],
+                    out_dim);
+    }
+  }
+  grad_weights_ += grad_w_scratch_;
+  kernels::AddColSums(grad_output.data().data(), batch, out_dim,
+                      grad_bias_.data().data());
+
+  // dX = G * W^T: per batch row, in_dim independent strict dot chains
+  // against contiguous rows of W (skipping zero G entries exactly where
+  // MatMul would), interleaved by DotRowsSkipZero.
+  Matrix grad_input(batch, in_dim);
+  for (std::size_t i = 0; i < batch; ++i) {
+    kernels::DotRowsSkipZero(weights_.data().data(), in_dim, out_dim,
+                             &grad_output.data()[i * out_dim],
+                             &grad_input.data()[i * in_dim]);
+  }
+  return grad_input;
 }
 
 void DenseLayer::RegisterParameters(AdamOptimizer& optimizer) {
@@ -41,9 +93,8 @@ Matrix ReluLayer::Forward(const Matrix& input, bool training) {
 
 Matrix ReluLayer::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.data().size(); ++i) {
-    if (last_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
-  }
+  kernels::ReluGate(last_input_.data().data(), grad.data().data(),
+                    grad.data().size());
   return grad;
 }
 

@@ -53,6 +53,11 @@ class DenseLayer : public Layer {
   Matrix grad_weights_;  // accumulated by Backward
   Matrix grad_bias_;
   Matrix last_input_;
+  // Per-call dW scratch: zeroed, accumulated i-streaming, then added to
+  // grad_weights_ in one shot — reproducing the legacy
+  // `grad_weights_ += X^T * G` composition (including its +0.0 adds)
+  // without materializing the transpose or the product.
+  Matrix grad_w_scratch_;
 };
 
 /// Rectified linear unit.

@@ -1,16 +1,13 @@
 #include "ml/nn/lstm.h"
 
-#include <cmath>
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/kernels.h"
 #include "ml/nn/network.h"
 
 namespace mexi::ml {
-
-namespace {
-double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-}  // namespace
 
 LstmSequenceModel::LstmSequenceModel(const Config& config)
     : config_(config), rng_(config.seed) {
@@ -37,120 +34,121 @@ LstmSequenceModel::LstmSequenceModel(const Config& config)
                                    rng_);
   sigmoid_ = std::make_unique<SigmoidLayer>();
   optimizer_ = AdamOptimizer(config_.adam);
+
+  // Step-invariant scratch is shape-determined; allocate it once here so
+  // the timestep loops never do.
+  ws_.a.resize(h4);
+  ws_.h.resize(config_.hidden_dim);
+  ws_.c.resize(config_.hidden_dim);
+  ws_.da.resize(h4);
+  ws_.dh.resize(config_.hidden_dim);
+  ws_.dc.resize(config_.hidden_dim);
+  ws_.wh_t.resize(h4 * config_.hidden_dim);
+  h_final_ = Matrix(1, config_.hidden_dim, 0.0);
 }
 
-Matrix LstmSequenceModel::RunLstm(const Sequence& sequence, bool cache) {
+void LstmSequenceModel::EnsureWorkspace(std::size_t steps) {
+  if (steps <= ws_.steps_cap) return;
+  const std::size_t cap = std::max(steps, 2 * ws_.steps_cap);
+  ws_.x.resize(cap * config_.input_dim);
+  ws_.h_prev.resize(cap * config_.hidden_dim);
+  ws_.c_prev.resize(cap * config_.hidden_dim);
+  ws_.gates.resize(cap * 4 * config_.hidden_dim);
+  ws_.tanh_c.resize(cap * config_.hidden_dim);
+  ws_.steps_cap = cap;
+}
+
+const Matrix& LstmSequenceModel::RunLstm(const Sequence& sequence,
+                                         bool cache) {
   const std::size_t h_dim = config_.hidden_dim;
-  std::vector<double> h(h_dim, 0.0), c(h_dim, 0.0);
-  if (cache) cache_.clear();
+  const std::size_t in_dim = config_.input_dim;
+  const std::size_t h4 = 4 * h_dim;
+  EnsureWorkspace(sequence.size());
+  double* h = ws_.h.data();
+  double* c = ws_.c.data();
+  double* a = ws_.a.data();
+  kernels::Fill(h, h_dim, 0.0);
+  kernels::Fill(c, h_dim, 0.0);
+  ws_.steps = 0;
 
   for (const auto& x : sequence) {
-    if (x.size() != config_.input_dim) {
+    if (x.size() != in_dim) {
       throw std::invalid_argument("LstmSequenceModel: input_dim mismatch");
     }
-    StepCache step;
+    const std::size_t t = ws_.steps;
     if (cache) {
-      step.x = x;
-      step.h_prev = h;
-      step.c_prev = c;
+      kernels::Copy(x.data(), &ws_.x[t * in_dim], in_dim);
+      kernels::Copy(h, &ws_.h_prev[t * h_dim], h_dim);
+      kernels::Copy(c, &ws_.c_prev[t * h_dim], h_dim);
     }
-    // Pre-activations a = x*Wx + h*Wh + b, laid out as [i, f, g, o].
-    std::vector<double> a(4 * h_dim);
-    for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] = b_(0, j);
-    for (std::size_t k = 0; k < config_.input_dim; ++k) {
-      const double xk = x[k];
-      if (xk == 0.0) continue;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] += xk * wx_(k, j);
-    }
-    for (std::size_t k = 0; k < h_dim; ++k) {
-      const double hk = h[k];
-      if (hk == 0.0) continue;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) a[j] += hk * wh_(k, j);
-    }
-
-    std::vector<double> gi(h_dim), gf(h_dim), gg(h_dim), go(h_dim);
-    for (std::size_t j = 0; j < h_dim; ++j) {
-      gi[j] = Sigmoid(a[j]);
-      gf[j] = Sigmoid(a[h_dim + j]);
-      gg[j] = std::tanh(a[2 * h_dim + j]);
-      go[j] = Sigmoid(a[3 * h_dim + j]);
-    }
-    std::vector<double> tanh_c(h_dim);
-    for (std::size_t j = 0; j < h_dim; ++j) {
-      c[j] = gf[j] * c[j] + gi[j] * gg[j];
-      tanh_c[j] = std::tanh(c[j]);
-      h[j] = go[j] * tanh_c[j];
-    }
-    if (cache) {
-      step.i = std::move(gi);
-      step.f = std::move(gf);
-      step.g = std::move(gg);
-      step.o = std::move(go);
-      step.c = c;
-      step.tanh_c = std::move(tanh_c);
-      cache_.push_back(std::move(step));
-    }
+    // Pre-activations a = b + x*Wx + h*Wh, laid out as [i, f, g, o];
+    // bias first, then the two GEMVs, matching the legacy order.
+    kernels::Copy(b_.data().data(), a, h4);
+    kernels::GemvAccum(x.data(), in_dim, wx_.data().data(), h4, a);
+    kernels::GemvAccum(h, h_dim, wh_.data().data(), h4, a);
+    kernels::LstmCellForward(a, h_dim, &ws_.gates[t * h4], c,
+                             &ws_.tanh_c[t * h_dim], h);
+    ++ws_.steps;
   }
 
-  Matrix out(1, h_dim);
-  for (std::size_t j = 0; j < h_dim; ++j) out(0, j) = h[j];
-  return out;
+  kernels::Copy(h, h_final_.data().data(), h_dim);
+  return h_final_;
 }
 
 void LstmSequenceModel::BackwardLstm(const Matrix& grad_h_final) {
   const std::size_t h_dim = config_.hidden_dim;
-  std::vector<double> dh(h_dim), dc(h_dim, 0.0);
-  for (std::size_t j = 0; j < h_dim; ++j) dh[j] = grad_h_final(0, j);
+  const std::size_t in_dim = config_.input_dim;
+  const std::size_t h4 = 4 * h_dim;
+  double* dh = ws_.dh.data();
+  double* dc = ws_.dc.data();
+  double* da = ws_.da.data();
+  kernels::Copy(grad_h_final.data().data(), dh, h_dim);
+  kernels::Fill(dc, h_dim, 0.0);
 
-  for (auto it = cache_.rbegin(); it != cache_.rend(); ++it) {
-    const StepCache& s = *it;
-    std::vector<double> da(4 * h_dim);
-    for (std::size_t j = 0; j < h_dim; ++j) {
-      const double do_j = dh[j] * s.tanh_c[j];
-      const double dct = dh[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]) +
-                         dc[j];
-      const double di = dct * s.g[j];
-      const double df = dct * s.c_prev[j];
-      const double dg = dct * s.i[j];
-      da[j] = di * s.i[j] * (1.0 - s.i[j]);
-      da[h_dim + j] = df * s.f[j] * (1.0 - s.f[j]);
-      da[2 * h_dim + j] = dg * (1.0 - s.g[j] * s.g[j]);
-      da[3 * h_dim + j] = do_j * s.o[j] * (1.0 - s.o[j]);
-      dc[j] = dct * s.f[j];
+  // Wh is constant across the whole BPTT loop, so transpose it once:
+  // the dh update below then streams contiguous rows of Wh^T (j outer),
+  // which vectorizes, while each dh[k] still receives its j-terms in
+  // ascending order starting from 0.0 — the exact chain of the per-k
+  // strict dot it replaces (a*b == b*a bitwise). No zero-skip on da[j]:
+  // the legacy dot had none, and skipping a +/-0.0 term is not always
+  // the same as adding it.
+  const double* wh = wh_.data().data();
+  double* wh_t = ws_.wh_t.data();
+  for (std::size_t k = 0; k < h_dim; ++k) {
+    for (std::size_t j = 0; j < h4; ++j) wh_t[j * h_dim + k] = wh[k * h4 + j];
+  }
+
+  for (std::size_t t = ws_.steps; t-- > 0;) {
+    kernels::LstmCellBackward(dh, &ws_.gates[t * h4],
+                              &ws_.tanh_c[t * h_dim],
+                              &ws_.c_prev[t * h_dim], h_dim, dc, da);
+    // Parameter gradients (zero-skip mirrors the legacy loops).
+    const double* x = &ws_.x[t * in_dim];
+    for (std::size_t k = 0; k < in_dim; ++k) {
+      if (x[k] == 0.0) continue;
+      kernels::Axpy(x[k], da, &grad_wx_.data()[k * h4], h4);
     }
-    // Parameter gradients.
-    for (std::size_t k = 0; k < config_.input_dim; ++k) {
-      const double xk = s.x[k];
-      if (xk == 0.0) continue;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) {
-        grad_wx_(k, j) += xk * da[j];
-      }
-    }
+    const double* h_prev = &ws_.h_prev[t * h_dim];
     for (std::size_t k = 0; k < h_dim; ++k) {
-      const double hk = s.h_prev[k];
-      if (hk == 0.0) continue;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) {
-        grad_wh_(k, j) += hk * da[j];
-      }
+      if (h_prev[k] == 0.0) continue;
+      kernels::Axpy(h_prev[k], da, &grad_wh_.data()[k * h4], h4);
     }
-    for (std::size_t j = 0; j < 4 * h_dim; ++j) grad_b_(0, j) += da[j];
-    // Propagate to the previous hidden state.
-    for (std::size_t k = 0; k < h_dim; ++k) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) acc += wh_(k, j) * da[j];
-      dh[k] = acc;
+    kernels::Add(da, grad_b_.data().data(), h4);
+    // Propagate to the previous hidden state: dh = Wh * da as j-outer
+    // AXPYs over the transposed weights (see the transpose above).
+    kernels::Fill(dh, h_dim, 0.0);
+    for (std::size_t j = 0; j < h4; ++j) {
+      kernels::Axpy(da[j], &wh_t[j * h_dim], dh, h_dim);
     }
   }
 }
 
-std::vector<double> LstmSequenceModel::HeadForward(const Matrix& h_final,
-                                                   bool training) {
+Matrix LstmSequenceModel::HeadForward(const Matrix& h_final, bool training) {
   Matrix z = dropout_->Forward(h_final, training);
   z = dense1_->Forward(z, training);
   z = relu_->Forward(z, training);
   z = dense2_->Forward(z, training);
-  z = sigmoid_->Forward(z, training);
-  return z.Row(0);
+  return sigmoid_->Forward(z, training);
 }
 
 Matrix LstmSequenceModel::HeadBackward(const Matrix& grad_out) {
@@ -181,6 +179,7 @@ double LstmSequenceModel::Fit(
 
   std::vector<std::size_t> order(sequences.size());
   std::iota(order.begin(), order.end(), 0);
+  Matrix target_m(1, config_.num_labels);
 
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -189,18 +188,12 @@ double LstmSequenceModel::Fit(
     std::size_t in_batch = 0;
     for (std::size_t n = 0; n < order.size(); ++n) {
       const std::size_t idx = order[n];
-      const Matrix h_final = RunLstm(sequences[idx], /*cache=*/true);
-      const std::vector<double> probs = HeadForward(h_final, true);
+      const Matrix& h_final = RunLstm(sequences[idx], /*cache=*/true);
+      const Matrix probs = HeadForward(h_final, true);
+      target_m.SetRow(0, targets[idx]);
 
-      Matrix prob_m(1, config_.num_labels);
-      Matrix target_m(1, config_.num_labels);
-      for (std::size_t l = 0; l < config_.num_labels; ++l) {
-        prob_m(0, l) = probs[l];
-        target_m(0, l) = targets[idx][l];
-      }
-      epoch_loss += BinaryCrossEntropy::Loss(prob_m, target_m);
-      const Matrix grad_prob =
-          BinaryCrossEntropy::Gradient(prob_m, target_m);
+      epoch_loss += BinaryCrossEntropy::Loss(probs, target_m);
+      const Matrix grad_prob = BinaryCrossEntropy::Gradient(probs, target_m);
       const Matrix grad_h = HeadBackward(grad_prob);
       if (!sequences[idx].empty()) BackwardLstm(grad_h);
 
@@ -216,8 +209,9 @@ double LstmSequenceModel::Fit(
 }
 
 std::vector<double> LstmSequenceModel::Predict(const Sequence& sequence) {
-  const Matrix h_final = RunLstm(sequence, /*cache=*/false);
-  return HeadForward(h_final, /*training=*/false);
+  const Matrix& h_final = RunLstm(sequence, /*cache=*/false);
+  Matrix probs = HeadForward(h_final, /*training=*/false);
+  return std::move(probs.data());
 }
 
 }  // namespace mexi::ml

@@ -24,6 +24,13 @@ using Sequence = std::vector<std::vector<double>>;
 /// layer with a ReLU activation"), with the layer widths scaled down for
 /// the single-core target (configurable). Backpropagation through time
 /// is implemented from scratch; see the .cc for the cell equations.
+///
+/// All per-timestep state lives in one flat structure-of-arrays
+/// workspace owned by the model and sized once (growing only when a
+/// longer sequence appears), so Fit/Predict allocate nothing in the
+/// timestep loop. The cell math routes through ml::kernels and preserves
+/// the pre-workspace accumulation order bitwise (tests/test_golden_nn.cc
+/// locks this in).
 class LstmSequenceModel {
  public:
   struct Config {
@@ -54,16 +61,21 @@ class LstmSequenceModel {
   bool fitted() const { return fitted_; }
 
  private:
-  /// Runs the LSTM over `sequence`, caching activations when `cache` is
-  /// set, and returns the final hidden state as a 1 x hidden matrix.
-  Matrix RunLstm(const Sequence& sequence, bool cache);
+  /// Runs the LSTM over `sequence` and returns the final hidden state as
+  /// a 1 x hidden matrix (a reusable member — valid until the next run).
+  /// When `cache` is set, per-step activations are kept in `ws_` for
+  /// BackwardLstm.
+  const Matrix& RunLstm(const Sequence& sequence, bool cache);
 
   /// BPTT from dL/dh_T; accumulates into grad_wx_/grad_wh_/grad_b_.
   void BackwardLstm(const Matrix& grad_h_final);
 
-  /// Head forward + optional loss backward for one sequence.
-  std::vector<double> HeadForward(const Matrix& h_final, bool training);
+  /// Head forward (1 x num_labels probabilities) and backward.
+  Matrix HeadForward(const Matrix& h_final, bool training);
   Matrix HeadBackward(const Matrix& grad_out);
+
+  /// Grows the per-timestep workspace slabs to hold `steps` timesteps.
+  void EnsureWorkspace(std::size_t steps);
 
   Config config_;
   stats::Rng rng_;
@@ -87,14 +99,28 @@ class LstmSequenceModel {
   bool optimizer_initialized_ = false;
   bool fitted_ = false;
 
-  // Per-sequence caches for BPTT.
-  struct StepCache {
-    std::vector<double> x;
-    std::vector<double> h_prev, c_prev;
-    std::vector<double> i, f, g, o;
-    std::vector<double> c, tanh_c;
+  // Flat SoA workspace, reused across timesteps, sequences and epochs.
+  // Slabs are indexed [t * dim + j]; `gates` packs the activated
+  // [i, f, g, o] gates as one 4H slice per step. Scratch vectors hold
+  // the current step's state and are sized once in the constructor.
+  struct Workspace {
+    std::vector<double> x;       // steps_cap x input_dim
+    std::vector<double> h_prev;  // steps_cap x H
+    std::vector<double> c_prev;  // steps_cap x H
+    std::vector<double> gates;   // steps_cap x 4H
+    std::vector<double> tanh_c;  // steps_cap x H
+    std::vector<double> a;       // 4H pre-activations
+    std::vector<double> h;       // H current hidden state
+    std::vector<double> c;       // H current cell state
+    std::vector<double> da;      // 4H gate gradient
+    std::vector<double> dh;      // H hidden gradient
+    std::vector<double> dc;      // H cell gradient
+    std::vector<double> wh_t;    // 4H x H transpose of Wh (per backward)
+    std::size_t steps_cap = 0;   // allocated timesteps
+    std::size_t steps = 0;       // timesteps cached by the last RunLstm
   };
-  std::vector<StepCache> cache_;
+  Workspace ws_;
+  Matrix h_final_;  // 1 x H view of the last run's final hidden state
 };
 
 }  // namespace mexi::ml

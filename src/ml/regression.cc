@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.h"
+
 namespace mexi::ml {
 
 void Regressor::Fit(const std::vector<std::vector<double>>& rows,
@@ -50,7 +52,8 @@ void RidgeRegression::FitImpl(const std::vector<std::vector<double>>& rows,
     const double dy = targets[i] - y_mean;
     for (std::size_t p = 0; p < d; ++p) {
       b[p] += x[i][p] * dy;
-      for (std::size_t q = p; q < d; ++q) a[p][q] += x[i][p] * x[i][q];
+      // Upper triangle of X^T X, one contiguous AXPY per pivot row.
+      kernels::Axpy(x[i][p], &x[i][p], &a[p][p], d - p);
     }
   }
   for (std::size_t p = 0; p < d; ++p) {
@@ -74,7 +77,9 @@ void RidgeRegression::FitImpl(const std::vector<std::vector<double>>& rows,
     for (std::size_t r = col + 1; r < d; ++r) {
       const double factor = m[r][col] / diag;
       if (factor == 0.0) continue;
-      for (std::size_t c = col; c < d; ++c) m[r][c] -= factor * m[col][c];
+      // a - f*b == a + (-f)*b bitwise in IEEE, so the row update is a
+      // single AXPY with a negated coefficient.
+      kernels::Axpy(-factor, &m[col][col], &m[r][col], d - col);
       rhs[r] -= factor * rhs[col];
     }
   }
@@ -89,9 +94,7 @@ void RidgeRegression::FitImpl(const std::vector<std::vector<double>>& rows,
 
 double RidgeRegression::PredictImpl(const std::vector<double>& row) const {
   const auto x = standardizer_.Transform(row);
-  double value = intercept_;
-  for (std::size_t p = 0; p < x.size(); ++p) value += weights_[p] * x[p];
-  return value;
+  return kernels::Dot(weights_.data(), x.data(), x.size(), intercept_);
 }
 
 std::unique_ptr<Regressor> RandomForestRegressor::Clone() const {
@@ -142,12 +145,9 @@ double KnnRegressor::PredictImpl(const std::vector<double>& row) const {
   std::vector<std::pair<double, double>> distances;  // (d2, target)
   distances.reserve(train_rows_.size());
   for (std::size_t i = 0; i < train_rows_.size(); ++i) {
-    double d2 = 0.0;
-    for (std::size_t p = 0; p < x.size(); ++p) {
-      const double delta = x[p] - train_rows_[i][p];
-      d2 += delta * delta;
-    }
-    distances.emplace_back(d2, train_targets_[i]);
+    distances.emplace_back(
+        kernels::SquaredDistance(x.data(), train_rows_[i].data(), x.size()),
+        train_targets_[i]);
   }
   const std::size_t k = std::min<std::size_t>(
       static_cast<std::size_t>(config_.k), distances.size());

@@ -1,0 +1,118 @@
+// Golden-determinism lock for the neural substrate.
+//
+// These tests hash every byte of the LSTM and CNN Fit+Predict outputs on
+// fixed synthetic data and compare against constants recorded from the
+// pre-kernel-refactor build (PR 1 state). Any change to accumulation
+// order, RNG consumption, or layer arithmetic flips the hash — the fused
+// kernels and workspace reuse must be bitwise no-ops, not "close enough".
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/nn/cnn.h"
+#include "ml/nn/lstm.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+namespace {
+
+/// FNV-1a over the raw little-endian bytes of each double, in order.
+std::uint64_t Fnv1a64(const std::vector<double>& values,
+                      std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (double v : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (bits >> (8 * b)) & 0xffULL;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+TEST(GoldenNn, LstmFitPredictBitwiseStable) {
+  LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 12;
+  config.dense_dim = 16;
+  config.num_labels = 4;
+  config.dropout = 0.5;  // exercises the dropout RNG stream too
+  config.epochs = 3;
+  config.batch_size = 4;
+  config.seed = 21;
+
+  stats::Rng rng(31);
+  std::vector<Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 10; ++i) {
+    Sequence seq;
+    const std::size_t len = 3 + rng.UniformIndex(8);
+    for (std::size_t t = 0; t < len; ++t) {
+      seq.push_back({rng.Uniform(), rng.Gaussian(), rng.Uniform(-1.0, 1.0)});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.3) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.7) ? 1.0 : 0.0});
+  }
+  // Include an empty sequence: it must leave the hidden state at zero
+  // without consuming workspace from the previous sequence.
+  sequences.push_back({});
+  targets.push_back({0.0, 0.0, 0.0, 0.0});
+
+  LstmSequenceModel model(config);
+  const double loss = model.Fit(sequences, targets);
+
+  std::vector<double> flat{loss};
+  for (const auto& seq : sequences) {
+    for (double p : model.Predict(seq)) flat.push_back(p);
+  }
+  const std::uint64_t hash = Fnv1a64(flat);
+  EXPECT_EQ(hash, 0xe7c027f32a44308eULL)
+      << "LSTM golden hash changed: 0x" << std::hex << hash;
+}
+
+TEST(GoldenNn, CnnFitPredictBitwiseStable) {
+  CnnImageModel::Config config;
+  config.image_rows = 12;
+  config.image_cols = 16;
+  config.conv1_filters = 3;
+  config.conv2_filters = 5;
+  config.dense_dim = 10;
+  config.num_labels = 4;
+  config.epochs = 2;
+  config.batch_size = 4;
+  config.seed = 23;
+
+  stats::Rng rng(37);
+  std::vector<Image> images;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 8; ++i) {
+    images.push_back(Matrix::RandomGaussian(12, 16, 1.0, rng));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.3) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.7) ? 1.0 : 0.0});
+  }
+
+  CnnImageModel model(config);
+  // Two Fit calls reproduce the pretrain -> fine-tune protocol and catch
+  // workspace state leaking across Fit boundaries.
+  model.Fit(images, targets, 1);
+  const double loss = model.Fit(images, targets);
+
+  std::vector<double> flat{loss};
+  for (const auto& img : images) {
+    for (double p : model.Predict(img)) flat.push_back(p);
+  }
+  const std::uint64_t hash = Fnv1a64(flat);
+  EXPECT_EQ(hash, 0x3b0691bf49b5b42bULL)
+      << "CNN golden hash changed: 0x" << std::hex << hash;
+}
+
+}  // namespace
+}  // namespace mexi::ml

@@ -1,0 +1,290 @@
+// Pits every ml::kernels primitive against a naive reference loop on
+// randomized inputs and demands bitwise-equal results — the same oracle
+// pattern test_matrix.cc uses for MatMul vs MatMulNaive. Accumulation
+// order is part of the kernel contract (DESIGN.md "Kernels & memory
+// layout"), so these tests compare with EXPECT_EQ on doubles, not a
+// tolerance.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/kernels.h"
+#include "stats/rng.h"
+
+namespace mexi::ml::kernels {
+namespace {
+
+std::vector<double> RandomVec(std::size_t n, stats::Rng& rng,
+                              double zero_fraction = 0.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.Uniform(0.0, 1.0) < zero_fraction ? 0.0
+                                              : rng.Gaussian(0.0, 1.0);
+  }
+  return v;
+}
+
+TEST(KernelsTest, FillCopyAddScale) {
+  stats::Rng rng(101);
+  const std::size_t n = 97;
+  auto x = RandomVec(n, rng);
+  auto y = RandomVec(n, rng);
+
+  auto ref = y;
+  for (std::size_t j = 0; j < n; ++j) ref[j] += x[j];
+  auto got = y;
+  Add(x.data(), got.data(), n);
+  EXPECT_EQ(got, ref);
+
+  for (std::size_t j = 0; j < n; ++j) ref[j] *= 0.37;
+  Scale(got.data(), n, 0.37);
+  EXPECT_EQ(got, ref);
+
+  Copy(x.data(), got.data(), n);
+  EXPECT_EQ(got, x);
+
+  Fill(got.data(), n, -2.5);
+  EXPECT_EQ(got, std::vector<double>(n, -2.5));
+}
+
+TEST(KernelsTest, AxpyMatchesReference) {
+  stats::Rng rng(102);
+  const std::size_t n = 113;
+  const auto x = RandomVec(n, rng);
+  const auto y0 = RandomVec(n, rng);
+  const double a = rng.Gaussian(0.0, 2.0);
+
+  auto ref = y0;
+  for (std::size_t j = 0; j < n; ++j) ref[j] += a * x[j];
+  auto got = y0;
+  Axpy(a, x.data(), got.data(), n);
+  EXPECT_EQ(got, ref);
+}
+
+TEST(KernelsTest, DotMatchesStrictLeftToRightChain) {
+  stats::Rng rng(103);
+  const std::size_t n = 301;  // long enough to expose reassociation
+  const auto x = RandomVec(n, rng);
+  const auto y = RandomVec(n, rng);
+
+  double ref = 0.0;
+  for (std::size_t j = 0; j < n; ++j) ref += x[j] * y[j];
+  EXPECT_EQ(Dot(x.data(), y.data(), n), ref);
+
+  // With a nonzero init the chain must start from it, not add it last.
+  const double init = rng.Gaussian(0.0, 1.0);
+  double ref_init = init;
+  for (std::size_t j = 0; j < n; ++j) ref_init += x[j] * y[j];
+  EXPECT_EQ(Dot(x.data(), y.data(), n, init), ref_init);
+}
+
+TEST(KernelsTest, DotSkipZeroSkipsExactlyZeroTerms) {
+  stats::Rng rng(104);
+  const std::size_t n = 157;
+  const auto x = RandomVec(n, rng, /*zero_fraction=*/0.4);
+  const auto y = RandomVec(n, rng);
+
+  double ref = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j] == 0.0) continue;
+    ref += x[j] * y[j];
+  }
+  EXPECT_EQ(DotSkipZero(x.data(), y.data(), n), ref);
+}
+
+TEST(KernelsTest, SquaredDistanceMatchesReference) {
+  stats::Rng rng(105);
+  const std::size_t n = 89;
+  const auto x = RandomVec(n, rng);
+  const auto y = RandomVec(n, rng);
+
+  double ref = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = x[j] - y[j];
+    ref += d * d;
+  }
+  EXPECT_EQ(SquaredDistance(x.data(), y.data(), n), ref);
+}
+
+TEST(KernelsTest, GemvAccumMatchesRowMajorLoopWithZeroSkip) {
+  stats::Rng rng(106);
+  const std::size_t m = 37, n = 53;
+  const auto x = RandomVec(m, rng, /*zero_fraction=*/0.3);
+  const auto w = RandomVec(m * n, rng);
+  const auto y0 = RandomVec(n, rng);
+
+  auto ref = y0;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (x[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) ref[j] += x[k] * w[k * n + j];
+  }
+  auto got = y0;
+  GemvAccum(x.data(), m, w.data(), n, got.data());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(KernelsTest, DotRowsMatchesPerRowDot) {
+  stats::Rng rng(111);
+  // 10 rows exercises both the interleaved groups and the scalar tail.
+  const std::size_t rows = 10, n = 131;
+  const auto w = RandomVec(rows * n, rng);
+  const auto x = RandomVec(n, rng);
+
+  std::vector<double> ref(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += w[r * n + j] * x[j];
+    ref[r] = acc;
+  }
+  std::vector<double> got(rows);
+  DotRows(w.data(), rows, n, x.data(), got.data());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(KernelsTest, DotRowsSkipZeroMatchesPerRowSkipDot) {
+  stats::Rng rng(112);
+  const std::size_t rows = 11, n = 77;
+  const auto w = RandomVec(rows * n, rng);
+  const auto x = RandomVec(n, rng, /*zero_fraction=*/0.35);
+
+  std::vector<double> ref(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x[j] == 0.0) continue;
+      acc += x[j] * w[r * n + j];
+    }
+    ref[r] = acc;
+  }
+  std::vector<double> got(rows);
+  DotRowsSkipZero(w.data(), rows, n, x.data(), got.data());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(KernelsTest, AddColSumsMaterializesInnerSumFirst) {
+  stats::Rng rng(107);
+  const std::size_t rows = 19, cols = 23;
+  const auto g = RandomVec(rows * cols, rng);
+  const auto y0 = RandomVec(cols, rng);
+
+  // Reference is the legacy ColSums() + operator+= composition: the
+  // column total accumulates from 0.0 and lands on y with ONE add.
+  auto ref = y0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) acc += g[i * cols + j];
+    ref[j] += acc;
+  }
+  auto got = y0;
+  AddColSums(g.data(), rows, cols, got.data());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(KernelsTest, ElementwiseMapsMatchLegacyLambdas) {
+  stats::Rng rng(108);
+  const std::size_t n = 71;
+  auto x = RandomVec(n, rng);
+  x[3] = 0.0;
+  x[4] = -0.0;  // ReLU must map -0.0 exactly like the legacy ternary
+
+  std::vector<double> got(n), ref(n);
+  for (std::size_t j = 0; j < n; ++j) ref[j] = x[j] > 0.0 ? x[j] : 0.0;
+  ReluInto(x.data(), got.data(), n);
+  EXPECT_EQ(got, ref);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    ref[j] = 1.0 / (1.0 + std::exp(-x[j]));
+  }
+  SigmoidInto(x.data(), got.data(), n);
+  EXPECT_EQ(got, ref);
+
+  for (std::size_t j = 0; j < n; ++j) ref[j] = std::tanh(x[j]);
+  TanhInto(x.data(), got.data(), n);
+  EXPECT_EQ(got, ref);
+}
+
+// Reference implementation of the pre-fusion LSTM cell: separate
+// activation pass, then the cell/hidden update, exactly as the legacy
+// per-gate loops wrote it.
+void ReferenceLstmForward(const std::vector<double>& a, std::size_t h_dim,
+                          std::vector<double>& gates, std::vector<double>& c,
+                          std::vector<double>& tanh_c,
+                          std::vector<double>& h) {
+  const auto sigmoid = [](double z) { return 1.0 / (1.0 + std::exp(-z)); };
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    gates[j] = sigmoid(a[j]);
+    gates[h_dim + j] = sigmoid(a[h_dim + j]);
+    gates[2 * h_dim + j] = std::tanh(a[2 * h_dim + j]);
+    gates[3 * h_dim + j] = sigmoid(a[3 * h_dim + j]);
+  }
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    c[j] = gates[h_dim + j] * c[j] + gates[j] * gates[2 * h_dim + j];
+    tanh_c[j] = std::tanh(c[j]);
+    h[j] = gates[3 * h_dim + j] * tanh_c[j];
+  }
+}
+
+TEST(KernelsTest, LstmCellForwardMatchesUnfusedReference) {
+  stats::Rng rng(109);
+  const std::size_t h_dim = 17;
+  const auto a = RandomVec(4 * h_dim, rng);
+  const auto c0 = RandomVec(h_dim, rng);
+
+  std::vector<double> ref_gates(4 * h_dim), ref_tanh(h_dim),
+      ref_h(h_dim), ref_c = c0;
+  ReferenceLstmForward(a, h_dim, ref_gates, ref_c, ref_tanh, ref_h);
+
+  std::vector<double> gates(4 * h_dim), tanh_c(h_dim), h(h_dim), c = c0;
+  LstmCellForward(a.data(), h_dim, gates.data(), c.data(), tanh_c.data(),
+                  h.data());
+  EXPECT_EQ(gates, ref_gates);
+  EXPECT_EQ(c, ref_c);
+  EXPECT_EQ(tanh_c, ref_tanh);
+  EXPECT_EQ(h, ref_h);
+}
+
+TEST(KernelsTest, LstmCellBackwardMatchesUnfusedReference) {
+  stats::Rng rng(110);
+  const std::size_t h_dim = 17;
+  const auto dh = RandomVec(h_dim, rng);
+  const auto c_prev = RandomVec(h_dim, rng);
+  const auto dc0 = RandomVec(h_dim, rng);
+  // Activated gates must live in (0, 1) / (-1, 1); run the forward
+  // kernel to produce a consistent cache.
+  const auto a = RandomVec(4 * h_dim, rng);
+  std::vector<double> gates(4 * h_dim), tanh_c(h_dim), h(h_dim),
+      c = c_prev;
+  LstmCellForward(a.data(), h_dim, gates.data(), c.data(), tanh_c.data(),
+                  h.data());
+
+  std::vector<double> ref_da(4 * h_dim), ref_dc = dc0;
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    const double gi = gates[j];
+    const double gf = gates[h_dim + j];
+    const double gg = gates[2 * h_dim + j];
+    const double go = gates[3 * h_dim + j];
+    const double do_j = dh[j] * tanh_c[j];
+    const double dct =
+        dh[j] * go * (1.0 - tanh_c[j] * tanh_c[j]) + ref_dc[j];
+    const double di = dct * gg;
+    const double df = dct * c_prev[j];
+    const double dg = dct * gi;
+    ref_da[j] = di * gi * (1.0 - gi);
+    ref_da[h_dim + j] = df * gf * (1.0 - gf);
+    ref_da[2 * h_dim + j] = dg * (1.0 - gg * gg);
+    ref_da[3 * h_dim + j] = do_j * go * (1.0 - go);
+    ref_dc[j] = dct * gf;
+  }
+
+  std::vector<double> da(4 * h_dim), dc = dc0;
+  LstmCellBackward(dh.data(), gates.data(), tanh_c.data(), c_prev.data(),
+                   h_dim, dc.data(), da.data());
+  EXPECT_EQ(da, ref_da);
+  EXPECT_EQ(dc, ref_dc);
+}
+
+}  // namespace
+}  // namespace mexi::ml::kernels
