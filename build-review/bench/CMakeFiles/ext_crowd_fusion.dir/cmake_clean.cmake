@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crowd_fusion.dir/ext_crowd_fusion.cc.o"
+  "CMakeFiles/ext_crowd_fusion.dir/ext_crowd_fusion.cc.o.d"
+  "ext_crowd_fusion"
+  "ext_crowd_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crowd_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

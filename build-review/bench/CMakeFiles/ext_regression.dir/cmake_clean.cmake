@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_regression.dir/ext_regression.cc.o"
+  "CMakeFiles/ext_regression.dir/ext_regression.cc.o.d"
+  "ext_regression"
+  "ext_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_early_identification.dir/fig11_early_identification.cc.o"
+  "CMakeFiles/fig11_early_identification.dir/fig11_early_identification.cc.o.d"
+  "fig11_early_identification"
+  "fig11_early_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_early_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

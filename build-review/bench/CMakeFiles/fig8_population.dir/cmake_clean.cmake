@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_population.dir/fig8_population.cc.o"
+  "CMakeFiles/fig8_population.dir/fig8_population.cc.o.d"
+  "fig8_population"
+  "fig8_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

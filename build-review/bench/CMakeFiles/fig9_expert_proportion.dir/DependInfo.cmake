@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_expert_proportion.cc" "bench/CMakeFiles/fig9_expert_proportion.dir/fig9_expert_proportion.cc.o" "gcc" "bench/CMakeFiles/fig9_expert_proportion.dir/fig9_expert_proportion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/mexi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/mexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matching/CMakeFiles/mexi_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/schema/CMakeFiles/mexi_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/mexi_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/mexi_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_expert_proportion.dir/fig9_expert_proportion.cc.o"
+  "CMakeFiles/fig9_expert_proportion.dir/fig9_expert_proportion.cc.o.d"
+  "fig9_expert_proportion"
+  "fig9_expert_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_expert_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

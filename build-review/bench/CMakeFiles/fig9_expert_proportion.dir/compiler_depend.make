@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_expert_proportion.
+# This may be replaced when dependencies are built.

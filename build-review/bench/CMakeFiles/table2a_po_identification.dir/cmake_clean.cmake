@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2a_po_identification.dir/table2a_po_identification.cc.o"
+  "CMakeFiles/table2a_po_identification.dir/table2a_po_identification.cc.o.d"
+  "table2a_po_identification"
+  "table2a_po_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2a_po_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

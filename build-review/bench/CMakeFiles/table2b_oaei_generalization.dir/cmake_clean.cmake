@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2b_oaei_generalization.dir/table2b_oaei_generalization.cc.o"
+  "CMakeFiles/table2b_oaei_generalization.dir/table2b_oaei_generalization.cc.o.d"
+  "table2b_oaei_generalization"
+  "table2b_oaei_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2b_oaei_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_feature_importance.dir/table4_feature_importance.cc.o"
+  "CMakeFiles/table4_feature_importance.dir/table4_feature_importance.cc.o.d"
+  "table4_feature_importance"
+  "table4_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

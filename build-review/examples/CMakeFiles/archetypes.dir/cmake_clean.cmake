@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archetypes.dir/archetypes.cpp.o"
+  "CMakeFiles/archetypes.dir/archetypes.cpp.o.d"
+  "archetypes"
+  "archetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_resolution_transfer.dir/entity_resolution_transfer.cpp.o"
+  "CMakeFiles/entity_resolution_transfer.dir/entity_resolution_transfer.cpp.o.d"
+  "entity_resolution_transfer"
+  "entity_resolution_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_resolution_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_filtering.dir/expert_filtering.cpp.o"
+  "CMakeFiles/expert_filtering.dir/expert_filtering.cpp.o.d"
+  "expert_filtering"
+  "expert_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_cli.dir/mexi_cli.cpp.o"
+  "CMakeFiles/mexi_cli.dir/mexi_cli.cpp.o.d"
+  "mexi_cli"
+  "mexi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_generalization.dir/ontology_generalization.cpp.o"
+  "CMakeFiles/ontology_generalization.dir/ontology_generalization.cpp.o.d"
+  "ontology_generalization"
+  "ontology_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

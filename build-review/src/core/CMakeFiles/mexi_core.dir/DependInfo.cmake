@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/mexi_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/boosting.cc" "src/core/CMakeFiles/mexi_core.dir/boosting.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/boosting.cc.o.d"
+  "/root/repo/src/core/characterizer.cc" "src/core/CMakeFiles/mexi_core.dir/characterizer.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/characterizer.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/mexi_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/expert_model.cc" "src/core/CMakeFiles/mexi_core.dir/expert_model.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/expert_model.cc.o.d"
+  "/root/repo/src/core/features/aggregated_features.cc" "src/core/CMakeFiles/mexi_core.dir/features/aggregated_features.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/aggregated_features.cc.o.d"
+  "/root/repo/src/core/features/consensus.cc" "src/core/CMakeFiles/mexi_core.dir/features/consensus.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/consensus.cc.o.d"
+  "/root/repo/src/core/features/consistency_features.cc" "src/core/CMakeFiles/mexi_core.dir/features/consistency_features.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/consistency_features.cc.o.d"
+  "/root/repo/src/core/features/feature_vector.cc" "src/core/CMakeFiles/mexi_core.dir/features/feature_vector.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/feature_vector.cc.o.d"
+  "/root/repo/src/core/features/sequential_features.cc" "src/core/CMakeFiles/mexi_core.dir/features/sequential_features.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/sequential_features.cc.o.d"
+  "/root/repo/src/core/features/spatial_features.cc" "src/core/CMakeFiles/mexi_core.dir/features/spatial_features.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/features/spatial_features.cc.o.d"
+  "/root/repo/src/core/mexi.cc" "src/core/CMakeFiles/mexi_core.dir/mexi.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/mexi.cc.o.d"
+  "/root/repo/src/core/mexi_regressor.cc" "src/core/CMakeFiles/mexi_core.dir/mexi_regressor.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/mexi_regressor.cc.o.d"
+  "/root/repo/src/core/submatcher.cc" "src/core/CMakeFiles/mexi_core.dir/submatcher.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/submatcher.cc.o.d"
+  "/root/repo/src/core/utilization.cc" "src/core/CMakeFiles/mexi_core.dir/utilization.cc.o" "gcc" "src/core/CMakeFiles/mexi_core.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/matching/CMakeFiles/mexi_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/mexi_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/mexi_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/schema/CMakeFiles/mexi_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

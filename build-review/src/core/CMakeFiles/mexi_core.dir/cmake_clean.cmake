@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_core.dir/baselines.cc.o"
+  "CMakeFiles/mexi_core.dir/baselines.cc.o.d"
+  "CMakeFiles/mexi_core.dir/boosting.cc.o"
+  "CMakeFiles/mexi_core.dir/boosting.cc.o.d"
+  "CMakeFiles/mexi_core.dir/characterizer.cc.o"
+  "CMakeFiles/mexi_core.dir/characterizer.cc.o.d"
+  "CMakeFiles/mexi_core.dir/evaluation.cc.o"
+  "CMakeFiles/mexi_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/mexi_core.dir/expert_model.cc.o"
+  "CMakeFiles/mexi_core.dir/expert_model.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/aggregated_features.cc.o"
+  "CMakeFiles/mexi_core.dir/features/aggregated_features.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/consensus.cc.o"
+  "CMakeFiles/mexi_core.dir/features/consensus.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/consistency_features.cc.o"
+  "CMakeFiles/mexi_core.dir/features/consistency_features.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/feature_vector.cc.o"
+  "CMakeFiles/mexi_core.dir/features/feature_vector.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/sequential_features.cc.o"
+  "CMakeFiles/mexi_core.dir/features/sequential_features.cc.o.d"
+  "CMakeFiles/mexi_core.dir/features/spatial_features.cc.o"
+  "CMakeFiles/mexi_core.dir/features/spatial_features.cc.o.d"
+  "CMakeFiles/mexi_core.dir/mexi.cc.o"
+  "CMakeFiles/mexi_core.dir/mexi.cc.o.d"
+  "CMakeFiles/mexi_core.dir/mexi_regressor.cc.o"
+  "CMakeFiles/mexi_core.dir/mexi_regressor.cc.o.d"
+  "CMakeFiles/mexi_core.dir/submatcher.cc.o"
+  "CMakeFiles/mexi_core.dir/submatcher.cc.o.d"
+  "CMakeFiles/mexi_core.dir/utilization.cc.o"
+  "CMakeFiles/mexi_core.dir/utilization.cc.o.d"
+  "libmexi_core.a"
+  "libmexi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

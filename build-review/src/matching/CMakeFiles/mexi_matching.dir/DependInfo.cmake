@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/decision_history.cc" "src/matching/CMakeFiles/mexi_matching.dir/decision_history.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/decision_history.cc.o.d"
+  "/root/repo/src/matching/io.cc" "src/matching/CMakeFiles/mexi_matching.dir/io.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/io.cc.o.d"
+  "/root/repo/src/matching/match_matrix.cc" "src/matching/CMakeFiles/mexi_matching.dir/match_matrix.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/match_matrix.cc.o.d"
+  "/root/repo/src/matching/movement.cc" "src/matching/CMakeFiles/mexi_matching.dir/movement.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/movement.cc.o.d"
+  "/root/repo/src/matching/predictors.cc" "src/matching/CMakeFiles/mexi_matching.dir/predictors.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/predictors.cc.o.d"
+  "/root/repo/src/matching/similarity.cc" "src/matching/CMakeFiles/mexi_matching.dir/similarity.cc.o" "gcc" "src/matching/CMakeFiles/mexi_matching.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/schema/CMakeFiles/mexi_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/mexi_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/mexi_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_matching.dir/decision_history.cc.o"
+  "CMakeFiles/mexi_matching.dir/decision_history.cc.o.d"
+  "CMakeFiles/mexi_matching.dir/io.cc.o"
+  "CMakeFiles/mexi_matching.dir/io.cc.o.d"
+  "CMakeFiles/mexi_matching.dir/match_matrix.cc.o"
+  "CMakeFiles/mexi_matching.dir/match_matrix.cc.o.d"
+  "CMakeFiles/mexi_matching.dir/movement.cc.o"
+  "CMakeFiles/mexi_matching.dir/movement.cc.o.d"
+  "CMakeFiles/mexi_matching.dir/predictors.cc.o"
+  "CMakeFiles/mexi_matching.dir/predictors.cc.o.d"
+  "CMakeFiles/mexi_matching.dir/similarity.cc.o"
+  "CMakeFiles/mexi_matching.dir/similarity.cc.o.d"
+  "libmexi_matching.a"
+  "libmexi_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/mexi_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/mexi_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/mexi_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/feature_importance.cc" "src/ml/CMakeFiles/mexi_ml.dir/feature_importance.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/feature_importance.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/mexi_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/kernels.cc" "src/ml/CMakeFiles/mexi_ml.dir/kernels.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/kernels.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/mexi_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/mexi_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/mexi_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/mexi_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/mexi_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/mexi_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/mexi_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/mexi_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/nn/adam.cc" "src/ml/CMakeFiles/mexi_ml.dir/nn/adam.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/nn/adam.cc.o.d"
+  "/root/repo/src/ml/nn/cnn.cc" "src/ml/CMakeFiles/mexi_ml.dir/nn/cnn.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/nn/cnn.cc.o.d"
+  "/root/repo/src/ml/nn/layers.cc" "src/ml/CMakeFiles/mexi_ml.dir/nn/layers.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/nn/layers.cc.o.d"
+  "/root/repo/src/ml/nn/lstm.cc" "src/ml/CMakeFiles/mexi_ml.dir/nn/lstm.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/ml/nn/network.cc" "src/ml/CMakeFiles/mexi_ml.dir/nn/network.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/nn/network.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/mexi_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/regression.cc" "src/ml/CMakeFiles/mexi_ml.dir/regression.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/regression.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/ml/CMakeFiles/mexi_ml.dir/regression_tree.cc.o" "gcc" "src/ml/CMakeFiles/mexi_ml.dir/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/mexi_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_parallel.dir/parallel_for.cc.o"
+  "CMakeFiles/mexi_parallel.dir/parallel_for.cc.o.d"
+  "CMakeFiles/mexi_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/mexi_parallel.dir/thread_pool.cc.o.d"
+  "libmexi_parallel.a"
+  "libmexi_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

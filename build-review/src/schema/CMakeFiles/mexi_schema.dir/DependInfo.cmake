@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/generators.cc" "src/schema/CMakeFiles/mexi_schema.dir/generators.cc.o" "gcc" "src/schema/CMakeFiles/mexi_schema.dir/generators.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/schema/CMakeFiles/mexi_schema.dir/schema.cc.o" "gcc" "src/schema/CMakeFiles/mexi_schema.dir/schema.cc.o.d"
+  "/root/repo/src/schema/tokenizer.cc" "src/schema/CMakeFiles/mexi_schema.dir/tokenizer.cc.o" "gcc" "src/schema/CMakeFiles/mexi_schema.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_schema.dir/generators.cc.o"
+  "CMakeFiles/mexi_schema.dir/generators.cc.o.d"
+  "CMakeFiles/mexi_schema.dir/schema.cc.o"
+  "CMakeFiles/mexi_schema.dir/schema.cc.o.d"
+  "CMakeFiles/mexi_schema.dir/tokenizer.cc.o"
+  "CMakeFiles/mexi_schema.dir/tokenizer.cc.o.d"
+  "libmexi_schema.a"
+  "libmexi_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

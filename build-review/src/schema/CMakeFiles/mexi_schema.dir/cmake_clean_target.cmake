@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmexi_schema.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_sim.dir/matcher_sim.cc.o"
+  "CMakeFiles/mexi_sim.dir/matcher_sim.cc.o.d"
+  "CMakeFiles/mexi_sim.dir/profile.cc.o"
+  "CMakeFiles/mexi_sim.dir/profile.cc.o.d"
+  "CMakeFiles/mexi_sim.dir/study.cc.o"
+  "CMakeFiles/mexi_sim.dir/study.cc.o.d"
+  "libmexi_sim.a"
+  "libmexi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

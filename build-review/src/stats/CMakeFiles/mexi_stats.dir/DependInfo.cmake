@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/mexi_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/mexi_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/mexi_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/mexi_stats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/stats/CMakeFiles/mexi_stats.dir/pca.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/pca.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/mexi_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/mexi_stats.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

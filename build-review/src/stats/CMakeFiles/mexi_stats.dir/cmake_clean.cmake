@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mexi_stats.dir/correlation.cc.o"
+  "CMakeFiles/mexi_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/mexi_stats.dir/descriptive.cc.o"
+  "CMakeFiles/mexi_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/mexi_stats.dir/histogram.cc.o"
+  "CMakeFiles/mexi_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/mexi_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/mexi_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/mexi_stats.dir/pca.cc.o"
+  "CMakeFiles/mexi_stats.dir/pca.cc.o.d"
+  "CMakeFiles/mexi_stats.dir/rng.cc.o"
+  "CMakeFiles/mexi_stats.dir/rng.cc.o.d"
+  "libmexi_stats.a"
+  "libmexi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mexi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_boosting.cc" "tests/CMakeFiles/mexi_tests.dir/test_boosting.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_boosting.cc.o.d"
+  "/root/repo/tests/test_classifiers.cc" "tests/CMakeFiles/mexi_tests.dir/test_classifiers.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_classifiers.cc.o.d"
+  "/root/repo/tests/test_cnn.cc" "tests/CMakeFiles/mexi_tests.dir/test_cnn.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_cnn.cc.o.d"
+  "/root/repo/tests/test_correlation.cc" "tests/CMakeFiles/mexi_tests.dir/test_correlation.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_correlation.cc.o.d"
+  "/root/repo/tests/test_dataset.cc" "tests/CMakeFiles/mexi_tests.dir/test_dataset.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_dataset.cc.o.d"
+  "/root/repo/tests/test_decision_history.cc" "tests/CMakeFiles/mexi_tests.dir/test_decision_history.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_decision_history.cc.o.d"
+  "/root/repo/tests/test_descriptive.cc" "tests/CMakeFiles/mexi_tests.dir/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_descriptive.cc.o.d"
+  "/root/repo/tests/test_evaluation.cc" "tests/CMakeFiles/mexi_tests.dir/test_evaluation.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_evaluation.cc.o.d"
+  "/root/repo/tests/test_expert_model.cc" "tests/CMakeFiles/mexi_tests.dir/test_expert_model.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_expert_model.cc.o.d"
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/mexi_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_golden_nn.cc" "tests/CMakeFiles/mexi_tests.dir/test_golden_nn.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_golden_nn.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/mexi_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_hypothesis.cc" "tests/CMakeFiles/mexi_tests.dir/test_hypothesis.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_hypothesis.cc.o.d"
+  "/root/repo/tests/test_io.cc" "tests/CMakeFiles/mexi_tests.dir/test_io.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_io.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/mexi_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_lstm.cc" "tests/CMakeFiles/mexi_tests.dir/test_lstm.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_lstm.cc.o.d"
+  "/root/repo/tests/test_match_matrix.cc" "tests/CMakeFiles/mexi_tests.dir/test_match_matrix.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_match_matrix.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/mexi_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/mexi_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mexi.cc" "tests/CMakeFiles/mexi_tests.dir/test_mexi.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_mexi.cc.o.d"
+  "/root/repo/tests/test_movement.cc" "tests/CMakeFiles/mexi_tests.dir/test_movement.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_movement.cc.o.d"
+  "/root/repo/tests/test_nn.cc" "tests/CMakeFiles/mexi_tests.dir/test_nn.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_nn.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/mexi_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_pca.cc" "tests/CMakeFiles/mexi_tests.dir/test_pca.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_pca.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/mexi_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/mexi_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/mexi_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/mexi_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_schema.cc" "tests/CMakeFiles/mexi_tests.dir/test_schema.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_schema.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/mexi_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_similarity.cc" "tests/CMakeFiles/mexi_tests.dir/test_similarity.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_similarity.cc.o.d"
+  "/root/repo/tests/test_submatcher.cc" "tests/CMakeFiles/mexi_tests.dir/test_submatcher.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_submatcher.cc.o.d"
+  "/root/repo/tests/test_tokenizer.cc" "tests/CMakeFiles/mexi_tests.dir/test_tokenizer.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_tokenizer.cc.o.d"
+  "/root/repo/tests/test_utilization.cc" "tests/CMakeFiles/mexi_tests.dir/test_utilization.cc.o" "gcc" "tests/CMakeFiles/mexi_tests.dir/test_utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/mexi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/mexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matching/CMakeFiles/mexi_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/schema/CMakeFiles/mexi_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/mexi_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/mexi_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/mexi_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
