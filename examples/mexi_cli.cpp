@@ -8,8 +8,13 @@
 //               Print each matcher's P / R / Res / Cal and its expertise
 //               characterization under population thresholds.
 //   characterize --dir DIR --rows N --cols M [--folds K]
+//               [--checkpoint-dir DIR] [--resume]
 //               Cross-validated MExI_50 identification over the loaded
-//               matchers; prints per-characteristic accuracy.
+//               matchers; prints per-characteristic accuracy. With
+//               --checkpoint-dir, each finished fold is committed to an
+//               atomic checkpoint; --resume loads finished folds from a
+//               previous (possibly killed) run instead of recomputing
+//               them, with bitwise-identical output.
 //   fuse        --dir DIR --rows N --cols M
 //               Fuse the crowd's matrices (expertise-weighted) and print
 //               the final match quality.
@@ -20,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +35,7 @@
 #include "core/mexi.h"
 #include "matching/io.h"
 #include "parallel/parallel_for.h"
+#include "robust/checkpoint.h"
 #include "sim/study.h"
 #include "stats/rng.h"
 
@@ -49,15 +56,24 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? fallback : std::stol(it->second);
   }
+  bool Has(const std::string& key) const {
+    return options.find(key) != options.end();
+  }
 };
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+    // Value-less flags (e.g. --resume) are stored as "1".
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[key] = "1";
+    }
   }
   return args;
 }
@@ -70,6 +86,7 @@ int Usage() {
       " [--task po|oaei|er]\n"
       "  mexi_cli measure      --dir DIR --rows N --cols M\n"
       "  mexi_cli characterize --dir DIR --rows N --cols M [--folds K]\n"
+      "                        [--checkpoint-dir DIR] [--resume]\n"
       "  mexi_cli fuse         --dir DIR --rows N --cols M\n"
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
@@ -90,6 +107,7 @@ LoadedStudy Load(const std::string& dir, std::size_t rows,
   LoadedStudy study;
   study.matchers = matching::LoadMatchersFromFiles(dir + "/decisions.csv",
                                                    dir + "/movements.csv");
+  matching::ValidateMatchers(study.matchers, rows, cols);
   study.reference = matching::MatchMatrix::FromReference(
       matching::LoadReferenceFromFile(dir + "/reference.csv"), rows, cols);
   study.input.reference = &study.reference;
@@ -137,7 +155,7 @@ int CmdSimulate(const Args& args) {
     entry.movement = m.movement;
     logged.push_back(std::move(entry));
   }
-  std::system(("mkdir -p " + out).c_str());
+  std::filesystem::create_directories(out);
   matching::SaveMatchersToFiles(logged, out + "/decisions.csv",
                                 out + "/movements.csv");
   matching::SaveReferenceToFile(study.task.reference,
@@ -192,6 +210,16 @@ int CmdCharacterize(const Args& args) {
   methods.push_back([] { return std::make_unique<Mexi>(Mexi50Config()); });
   ExperimentConfig config;
   config.folds = static_cast<std::size_t>(args.GetLong("folds", 5));
+  config.checkpoint_dir = args.Get("checkpoint-dir");
+  if (!config.checkpoint_dir.empty() && !args.Has("resume")) {
+    // Fresh run: drop fold checkpoints left by earlier invocations so
+    // only --resume continues from them.
+    for (std::size_t f = 0; f < config.folds; ++f) {
+      mexi::robust::CheckpointManager(config.checkpoint_dir,
+                                      "fold_" + std::to_string(f))
+          .Discard();
+    }
+  }
   const auto results =
       RunKFoldExperiment(study.input, methods, config);
   const auto& r = results[0];

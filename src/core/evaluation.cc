@@ -1,10 +1,15 @@
 #include "core/evaluation.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "ml/dataset.h"
 #include "ml/metrics.h"
 #include "parallel/parallel_for.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
+#include "robust/serialize.h"
+#include "robust/status.h"
 #include "stats/hypothesis.h"
 
 namespace mexi {
@@ -49,6 +54,82 @@ void Finalize(MethodResult& result) {
                     ? 0.0
                     : total / static_cast<double>(
                                   result.per_matcher_jaccard.size());
+}
+
+/// FNV-1a over everything that determines a fold's result, so stale
+/// checkpoints from a differently-configured experiment are rejected.
+std::uint64_t ExperimentSignature(const EvaluationInput& input,
+                                  std::size_t num_methods,
+                                  const ExperimentConfig& config) {
+  robust::BinaryWriter w;
+  w.WriteU64(input.matchers.size());
+  w.WriteU64(num_methods);
+  w.WriteU64(config.folds);
+  w.WriteI64(config.bootstrap_replicates);
+  w.WriteDouble(config.alpha);
+  w.WriteU64(config.seed);
+  return robust::Fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+void SaveFoldResults(robust::BinaryWriter& writer,
+                     const std::vector<MethodResult>& fold) {
+  writer.WriteTag("FOLD");
+  writer.WriteU64(fold.size());
+  for (const MethodResult& result : fold) {
+    writer.WriteString(result.method);
+    for (std::size_t c = 0; c < 4; ++c) {
+      writer.WriteDoubleVector(result.per_matcher_correct[c]);
+    }
+    writer.WriteDoubleVector(result.per_matcher_jaccard);
+  }
+}
+
+void LoadFoldResults(robust::BinaryReader& reader,
+                     std::vector<MethodResult>& fold) {
+  reader.ExpectTag("FOLD");
+  const std::uint64_t count = reader.ReadU64();
+  if (count != fold.size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "fold checkpoint method count mismatch");
+  }
+  for (MethodResult& result : fold) {
+    result.method = reader.ReadString();
+    for (std::size_t c = 0; c < 4; ++c) {
+      result.per_matcher_correct[c] = reader.ReadDoubleVector();
+    }
+    result.per_matcher_jaccard = reader.ReadDoubleVector();
+  }
+}
+
+/// Loads fold `f` from its checkpoint when one with a matching
+/// signature exists; returns false (leaving `fold` untouched) when the
+/// fold still needs to be computed. Corrupt generations are handled
+/// inside CheckpointManager; a checkpoint from a different experiment
+/// setup is treated as absent rather than fatal so a re-run with new
+/// parameters recomputes cleanly.
+bool TryLoadFold(robust::CheckpointManager& manager, std::uint64_t signature,
+                 std::vector<MethodResult>& fold) {
+  std::vector<std::uint8_t> payload;
+  const robust::Status status = manager.LoadLatest(&payload);
+  if (!status.ok()) return false;
+  try {
+    robust::BinaryReader reader(payload);
+    reader.ExpectTag("KFCK");
+    if (reader.ReadU64() != signature) return false;
+    LoadFoldResults(reader, fold);
+  } catch (const robust::StatusError&) {
+    return false;
+  }
+  return true;
+}
+
+void CommitFold(robust::CheckpointManager& manager, std::uint64_t signature,
+                const std::vector<MethodResult>& fold) {
+  robust::BinaryWriter writer;
+  writer.WriteTag("KFCK");
+  writer.WriteU64(signature);
+  SaveFoldResults(writer, fold);
+  robust::ThrowIfError(manager.Commit(writer.buffer()));
 }
 
 }  // namespace
@@ -123,7 +204,20 @@ std::vector<MethodResult> RunKFoldExperiment(
   // significance draws — exactly, for any thread count.
   std::vector<std::vector<MethodResult>> fold_results(
       folds.num_folds(), std::vector<MethodResult>(methods.size()));
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const std::uint64_t signature =
+      checkpointing ? ExperimentSignature(input, methods.size(), config) : 0;
   parallel::ParallelFor(0, folds.num_folds(), 1, [&](std::size_t f) {
+    // Fold-level load-or-compute: finished folds restore from their own
+    // checkpoint stem (no cross-thread contention); missing or stale
+    // ones recompute deterministically. Fault sites only fire for folds
+    // actually computed, so a resumed run's hit counts stay meaningful.
+    std::unique_ptr<robust::CheckpointManager> manager;
+    if (checkpointing) {
+      manager = std::make_unique<robust::CheckpointManager>(
+          config.checkpoint_dir, "fold_" + std::to_string(f));
+      if (TryLoadFold(*manager, signature, fold_results[f])) return;
+    }
     const std::vector<std::size_t> train_idx = folds.TrainIndices(f);
     const std::vector<std::size_t>& test_idx = folds.TestIndices(f);
 
@@ -154,6 +248,16 @@ std::vector<MethodResult> RunKFoldExperiment(
         Accumulate(fold_results[f][m], test_labels[i],
                    method->Characterize(test_views[i]));
       }
+    }
+    if (manager) CommitFold(*manager, signature, fold_results[f]);
+    switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kFoldEnd)) {
+      case robust::FaultKind::kAbort:
+        robust::ThrowStatus(robust::StatusCode::kAborted,
+                            "injected kill after fold " + std::to_string(f));
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      default:
+        break;
     }
   });
 

@@ -58,6 +58,12 @@ struct ExperimentConfig {
   int bootstrap_replicates = 2000;
   double alpha = 0.05;
   std::uint64_t seed = 777;
+  /// When non-empty, RunKFoldExperiment commits each completed fold's
+  /// results into this directory (atomic two-generation checkpoints)
+  /// and, on a later run with the same setup, loads finished folds
+  /// instead of recomputing them. A killed-and-resumed experiment
+  /// produces bitwise-identical results to an uninterrupted one.
+  std::string checkpoint_dir;
 };
 
 /// The paper's Expert Identification experiment (Table IIa): labels are

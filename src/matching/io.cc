@@ -1,18 +1,23 @@
 #include "matching/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "robust/status.h"
+
 namespace mexi::matching {
 
 namespace {
 
-std::runtime_error ParseError(const char* what, std::size_t line) {
+robust::StatusError ParseError(const char* what, std::size_t line) {
   std::ostringstream message;
   message << "csv parse error at line " << line << ": " << what;
-  return std::runtime_error(message.str());
+  return robust::StatusError(
+      robust::Status::Error(robust::StatusCode::kParseError, message.str())
+          .WithLine(line));
 }
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
@@ -53,14 +58,16 @@ MovementType TypeFromChar(char c, std::size_t line) {
 }
 
 double ParseDouble(const std::string& text, std::size_t line) {
+  double value = 0.0;
   try {
     std::size_t consumed = 0;
-    const double value = std::stod(text, &consumed);
+    value = std::stod(text, &consumed);
     if (consumed != text.size()) throw std::invalid_argument(text);
-    return value;
   } catch (const std::exception&) {
     throw ParseError("bad number", line);
   }
+  if (!std::isfinite(value)) throw ParseError("non-finite number", line);
+  return value;
 }
 
 long ParseLong(const std::string& text, std::size_t line) {
@@ -149,6 +156,10 @@ std::vector<LoadedMatcher> ReadDecisionsCsv(std::istream& in) {
       throw ParseError(e.what(), line_number);
     }
   }
+  if (!saw_header) {
+    robust::ThrowStatus(robust::StatusCode::kParseError,
+                        "decisions csv is empty (no header row)");
+  }
   return matchers;
 }
 
@@ -207,6 +218,10 @@ void ReadMovementsCsv(std::istream& in,
       throw ParseError(err.what(), line_number);
     }
   }
+  if (!saw_header) {
+    robust::ThrowStatus(robust::StatusCode::kParseError,
+                        "movements csv is empty (no header row)");
+  }
 }
 
 std::vector<ElementPair> ReadReferenceCsv(std::istream& in) {
@@ -232,17 +247,43 @@ std::vector<ElementPair> ReadReferenceCsv(std::istream& in) {
   return reference;
 }
 
+void ValidateMatchers(const std::vector<LoadedMatcher>& matchers,
+                      std::size_t source_size, std::size_t target_size) {
+  for (const auto& matcher : matchers) {
+    for (const auto& d : matcher.history.decisions()) {
+      if (d.source >= source_size || d.target >= target_size) {
+        robust::ThrowStatus(
+            robust::StatusCode::kInvalidArgument,
+            "matcher " + std::to_string(matcher.id) + " decision (" +
+                std::to_string(d.source) + ", " + std::to_string(d.target) +
+                ") is outside the " + std::to_string(source_size) + " x " +
+                std::to_string(target_size) + " task");
+      }
+    }
+  }
+}
+
 namespace {
 
 std::ofstream OpenForWrite(const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  if (!out) {
+    throw robust::StatusError(
+        robust::Status::Error(robust::StatusCode::kIoError,
+                              "cannot write " + path)
+            .WithFile(path));
+  }
   return out;
 }
 
 std::ifstream OpenForRead(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) {
+    throw robust::StatusError(
+        robust::Status::Error(robust::StatusCode::kNotFound,
+                              "cannot read " + path)
+            .WithFile(path));
+  }
   return in;
 }
 

@@ -22,10 +22,13 @@ namespace mexi::matching {
 ///   movements:  matcher_id,x,y,type,timestamp        (type: m|l|r|s)
 ///   reference:  source,target
 ///
-/// Readers throw std::runtime_error with a line number on malformed
-/// input. Multiple matchers share one file, keyed by matcher_id; rows of
-/// one matcher must be timestamp-ordered (DecisionHistory/MovementMap
-/// enforce it).
+/// Readers throw robust::StatusError (a std::runtime_error subtype)
+/// carrying StatusCode::kParseError and the offending line number on
+/// malformed input: wrong field counts, non-numeric or non-finite
+/// values, negative indices, unknown matcher ids, and files with no
+/// data rows at all. Multiple matchers share one file, keyed by
+/// matcher_id; rows of one matcher must be timestamp-ordered
+/// (DecisionHistory/MovementMap enforce it).
 
 /// One matcher's traces as loaded from disk.
 struct LoadedMatcher {
@@ -62,8 +65,14 @@ void ReadMovementsCsv(std::istream& in,
 /// Reads reference correspondences.
 std::vector<ElementPair> ReadReferenceCsv(std::istream& in);
 
-/// Convenience file-path wrappers (throw std::runtime_error on I/O
-/// failure).
+/// Rejects decisions whose source/target indices fall outside the task
+/// dimensions; throws robust::StatusError(kInvalidArgument) naming the
+/// matcher and the offending pair.
+void ValidateMatchers(const std::vector<LoadedMatcher>& matchers,
+                      std::size_t source_size, std::size_t target_size);
+
+/// Convenience file-path wrappers. Throw robust::StatusError with
+/// kNotFound (missing input file) or kIoError (unwritable output).
 void SaveMatchersToFiles(const std::vector<LoadedMatcher>& matchers,
                          const std::string& decisions_path,
                          const std::string& movements_path);

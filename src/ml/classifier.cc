@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "robust/status.h"
+
 namespace mexi::ml {
 
 void BinaryClassifier::Fit(const Dataset& data) {
@@ -42,6 +44,41 @@ std::vector<double> BinaryClassifier::PredictProbaAll(
   out.reserve(rows.size());
   for (const auto& row : rows) out.push_back(PredictProba(row));
   return out;
+}
+
+void BinaryClassifier::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("BCLS");
+  writer.WriteString(Name());
+  writer.WriteBool(fitted_);
+  writer.WriteI64(constant_label_);
+  const bool has_model = fitted_ && constant_label_ < 0;
+  writer.WriteBool(has_model);
+  if (has_model) SaveStateImpl(writer);
+}
+
+void BinaryClassifier::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("BCLS");
+  const std::string stored = reader.ReadString();
+  if (stored != Name()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "classifier type mismatch: stored '" + stored +
+                            "', loading into '" + Name() + "'");
+  }
+  fitted_ = reader.ReadBool();
+  constant_label_ = static_cast<int>(reader.ReadI64());
+  if (reader.ReadBool()) LoadStateImpl(reader);
+}
+
+void BinaryClassifier::SaveStateImpl(robust::BinaryWriter& writer) const {
+  (void)writer;
+  robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                      Name() + " does not support checkpoint serialization");
+}
+
+void BinaryClassifier::LoadStateImpl(robust::BinaryReader& reader) {
+  (void)reader;
+  robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                      Name() + " does not support checkpoint serialization");
 }
 
 std::vector<int> BinaryClassifier::PredictAll(

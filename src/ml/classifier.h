@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "robust/serialize.h"
 
 namespace mexi::ml {
 
@@ -46,12 +47,25 @@ class BinaryClassifier {
 
   bool fitted() const { return fitted_; }
 
+  /// Serializes the fitted state — including the degenerate
+  /// constant-predictor fallback — so a fresh Clone() restores to an
+  /// identical predictor. Loading a checkpoint written by a different
+  /// classifier type throws StatusError(kCorruption).
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
  protected:
   /// Implementation hook; called only for non-degenerate training sets.
   virtual void FitImpl(const Dataset& data) = 0;
 
   /// Implementation hook; called only after successful FitImpl.
   virtual double PredictProbaImpl(const std::vector<double>& row) const = 0;
+
+  /// Serialization hooks; called only when a real (non-constant) model
+  /// was fitted. The default throws kInvalidArgument — classifiers
+  /// outside the checkpointed zoo opt in by overriding both.
+  virtual void SaveStateImpl(robust::BinaryWriter& writer) const;
+  virtual void LoadStateImpl(robust::BinaryReader& reader);
 
  private:
   bool fitted_ = false;

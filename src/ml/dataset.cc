@@ -115,4 +115,18 @@ std::vector<std::vector<double>> Standardizer::TransformAll(
   return out;
 }
 
+void Standardizer::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("STDZ");
+  writer.WriteBool(fitted_);
+  writer.WriteDoubleVector(means_);
+  writer.WriteDoubleVector(scales_);
+}
+
+void Standardizer::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("STDZ");
+  fitted_ = reader.ReadBool();
+  means_ = reader.ReadDoubleVector();
+  scales_ = reader.ReadDoubleVector();
+}
+
 }  // namespace mexi::ml

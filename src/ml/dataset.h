@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/serialize.h"
 #include "stats/rng.h"
 
 namespace mexi::ml {
@@ -77,6 +78,10 @@ class Standardizer {
   bool fitted() const { return fitted_; }
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& scales() const { return scales_; }
+
+  /// Exact (bitwise) round-trip of the learned transform.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
 
  private:
   std::vector<double> means_;

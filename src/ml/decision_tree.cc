@@ -144,4 +144,31 @@ int DecisionTree::Depth() const {
   return depth_of(0);
 }
 
+void DecisionTree::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("DTRE");
+  writer.WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.WriteI64(node.feature);
+    writer.WriteDouble(node.threshold);
+    writer.WriteI64(node.left);
+    writer.WriteI64(node.right);
+    writer.WriteDouble(node.positive_fraction);
+  }
+}
+
+void DecisionTree::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("DTRE");
+  const std::uint64_t count = reader.ReadU64();
+  nodes_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = static_cast<int>(reader.ReadI64());
+    node.threshold = reader.ReadDouble();
+    node.left = static_cast<int>(reader.ReadI64());
+    node.right = static_cast<int>(reader.ReadI64());
+    node.positive_fraction = reader.ReadDouble();
+    nodes_.push_back(node);
+  }
+}
+
 }  // namespace mexi::ml

@@ -46,6 +46,8 @@ class DecisionTree : public BinaryClassifier {
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
+  void SaveStateImpl(robust::BinaryWriter& writer) const override;
+  void LoadStateImpl(robust::BinaryReader& reader) override;
 
  private:
   struct Node {

@@ -50,4 +50,22 @@ double GradientBoosting::PredictProbaImpl(
   return Sigmoid(RawScore(row));
 }
 
+void GradientBoosting::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("GBDT");
+  writer.WriteDouble(base_score_);
+  writer.WriteU64(trees_.size());
+  for (const RegressionTree& tree : trees_) tree.SaveState(writer);
+}
+
+void GradientBoosting::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("GBDT");
+  base_score_ = reader.ReadDouble();
+  const std::uint64_t count = reader.ReadU64();
+  trees_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trees_.emplace_back();
+    trees_.back().LoadState(reader);
+  }
+}
+
 }  // namespace mexi::ml

@@ -32,6 +32,8 @@ class GradientBoosting : public BinaryClassifier {
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
+  void SaveStateImpl(robust::BinaryWriter& writer) const override;
+  void LoadStateImpl(robust::BinaryReader& reader) override;
 
  private:
   double RawScore(const std::vector<double>& row) const;

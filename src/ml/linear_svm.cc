@@ -67,4 +67,22 @@ double LinearSvm::PredictProbaImpl(const std::vector<double>& row) const {
   return Sigmoid(platt_a_ * Margin(row) + platt_b_);
 }
 
+void LinearSvm::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("LSVM");
+  standardizer_.SaveState(writer);
+  writer.WriteDoubleVector(weights_);
+  writer.WriteDouble(intercept_);
+  writer.WriteDouble(platt_a_);
+  writer.WriteDouble(platt_b_);
+}
+
+void LinearSvm::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("LSVM");
+  standardizer_.LoadState(reader);
+  weights_ = reader.ReadDoubleVector();
+  intercept_ = reader.ReadDouble();
+  platt_a_ = reader.ReadDouble();
+  platt_b_ = reader.ReadDouble();
+}
+
 }  // namespace mexi::ml

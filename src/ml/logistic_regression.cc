@@ -1,8 +1,12 @@
 #include "ml/logistic_regression.h"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "ml/kernels.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
 
 namespace mexi::ml {
 
@@ -22,6 +26,7 @@ void LogisticRegression::FitImpl(const Dataset& data) {
   weights_.assign(d, 0.0);
   intercept_ = 0.0;
 
+  auto& faults = robust::FaultInjector::Global();
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     std::vector<double> grad(d, 0.0);
     double grad_b = 0.0;
@@ -31,6 +36,19 @@ void LogisticRegression::FitImpl(const Dataset& data) {
       const double err = Sigmoid(z) - static_cast<double>(data.labels[i]);
       kernels::Axpy(err, x[i].data(), grad.data(), d);
       grad_b += err;
+    }
+    if (faults.Hit(robust::FaultSite::kLogRegGradient) ==
+        robust::FaultKind::kNan) {
+      grad_b = std::numeric_limits<double>::quiet_NaN();
+    }
+    double grad_sum = grad_b;
+    for (double g : grad) grad_sum += g;
+    if (!std::isfinite(grad_sum)) {
+      robust::ThrowStatus(
+          robust::StatusCode::kDivergence,
+          "logistic-regression gradient is not finite at epoch " +
+              std::to_string(epoch) +
+              " — aborting before weights are poisoned");
     }
     const double inv_n = 1.0 / static_cast<double>(n);
     const double lr = config_.learning_rate /
@@ -47,6 +65,20 @@ double LogisticRegression::PredictProbaImpl(
   const std::vector<double> x = standardizer_.Transform(row);
   return Sigmoid(
       kernels::Dot(weights_.data(), x.data(), x.size(), intercept_));
+}
+
+void LogisticRegression::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("LOGR");
+  standardizer_.SaveState(writer);
+  writer.WriteDoubleVector(weights_);
+  writer.WriteDouble(intercept_);
+}
+
+void LogisticRegression::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("LOGR");
+  standardizer_.LoadState(reader);
+  weights_ = reader.ReadDoubleVector();
+  intercept_ = reader.ReadDouble();
 }
 
 }  // namespace mexi::ml

@@ -1,5 +1,7 @@
 #include "ml/mlp.h"
 
+#include "robust/status.h"
+
 namespace mexi::ml {
 
 MlpClassifier::MlpClassifier() : MlpClassifier(Config()) {}
@@ -10,13 +12,9 @@ std::unique_ptr<BinaryClassifier> MlpClassifier::Clone() const {
   return std::make_unique<MlpClassifier>(config_);
 }
 
-void MlpClassifier::FitImpl(const Dataset& data) {
-  standardizer_.Fit(data.features);
-  const auto x = standardizer_.TransformAll(data.features);
-
-  stats::Rng rng(config_.seed);
+void MlpClassifier::BuildNetwork(std::size_t in_dim, stats::Rng& rng) {
+  in_dim_ = in_dim;
   network_ = std::make_unique<Network>(config_.adam);
-  std::size_t in_dim = x[0].size();
   for (std::size_t width : config_.hidden_layers) {
     network_->Add(std::make_unique<DenseLayer>(in_dim, width, rng));
     network_->Add(std::make_unique<ReluLayer>());
@@ -24,6 +22,14 @@ void MlpClassifier::FitImpl(const Dataset& data) {
   }
   network_->Add(std::make_unique<DenseLayer>(in_dim, 1, rng));
   network_->Add(std::make_unique<SigmoidLayer>());
+}
+
+void MlpClassifier::FitImpl(const Dataset& data) {
+  standardizer_.Fit(data.features);
+  const auto x = standardizer_.TransformAll(data.features);
+
+  stats::Rng rng(config_.seed);
+  BuildNetwork(x[0].size(), rng);
 
   Matrix inputs = Matrix::FromRows(x);
   Matrix targets(x.size(), 1);
@@ -39,6 +45,24 @@ double MlpClassifier::PredictProbaImpl(const std::vector<double>& row) const {
   Matrix input(1, row.size());
   input.SetRow(0, standardizer_.Transform(row));
   return network_->Predict(input)(0, 0);
+}
+
+void MlpClassifier::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("MLP ");
+  standardizer_.SaveState(writer);
+  writer.WriteU64(in_dim_);
+  network_->SaveState(writer);
+}
+
+void MlpClassifier::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("MLP ");
+  standardizer_.LoadState(reader);
+  const std::uint64_t in_dim = reader.ReadU64();
+  // Rebuild the exact layer stack FitImpl would have produced, then let
+  // Network::LoadState overwrite the freshly-initialized weights.
+  stats::Rng rng(config_.seed);
+  BuildNetwork(in_dim, rng);
+  network_->LoadState(reader);
 }
 
 }  // namespace mexi::ml

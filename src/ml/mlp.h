@@ -35,10 +35,18 @@ class MlpClassifier : public BinaryClassifier {
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
+  void SaveStateImpl(robust::BinaryWriter& writer) const override;
+  void LoadStateImpl(robust::BinaryReader& reader) override;
 
  private:
+  /// Assembles the layer stack for `in_dim` input features, consuming
+  /// initialization draws from `rng` exactly as training does (so a
+  /// LoadState rebuild registers the identical layer sequence).
+  void BuildNetwork(std::size_t in_dim, stats::Rng& rng);
+
   Config config_;
   Standardizer standardizer_;
+  std::size_t in_dim_ = 0;  // persisted so LoadState can rebuild
   mutable std::unique_ptr<Network> network_;
 };
 

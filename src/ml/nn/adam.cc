@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/serialize.h"
+#include "robust/status.h"
+
 namespace mexi::ml {
 
 void AdamOptimizer::Register(Matrix* parameter, Matrix* gradient) {
@@ -38,6 +41,33 @@ void AdamOptimizer::Step() {
       g[i] = 0.0;
     }
   }
+}
+
+void AdamOptimizer::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("ADAM");
+  writer.WriteI64(t_);
+  writer.WriteU64(params_.size());
+  for (const auto& slot : params_) {
+    WriteMatrix(writer, slot.m);
+    WriteMatrix(writer, slot.v);
+  }
+}
+
+void AdamOptimizer::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("ADAM");
+  const std::int64_t t = reader.ReadI64();
+  const std::uint64_t count = reader.ReadU64();
+  if (count != params_.size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "optimizer slot count mismatch: stored " +
+                            std::to_string(count) + ", registered " +
+                            std::to_string(params_.size()));
+  }
+  for (auto& slot : params_) {
+    ReadMatrixInto(reader, slot.m, "Adam first moment");
+    ReadMatrixInto(reader, slot.v, "Adam second moment");
+  }
+  t_ = t;
 }
 
 }  // namespace mexi::ml

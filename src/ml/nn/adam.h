@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "robust/serialize.h"
 
 namespace mexi::ml {
 
@@ -37,6 +38,16 @@ class AdamOptimizer {
   long long t() const { return t_; }
 
   std::size_t NumParameters() const { return params_.size(); }
+
+  /// Serializes the step counter and every slot's moment buffers (in
+  /// registration order). Parameters/gradients are owned by the caller
+  /// and serialized there.
+  void SaveState(robust::BinaryWriter& writer) const;
+
+  /// Restores moments into the already-registered slots; the slot count
+  /// and shapes must match (same registration sequence as when saved)
+  /// or StatusError(kCorruption) is thrown.
+  void LoadState(robust::BinaryReader& reader);
 
  private:
   struct Slot {

@@ -1,10 +1,16 @@
 #include "ml/nn/cnn.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
+#include "ml/serialize.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
 
 namespace mexi::ml {
 
@@ -370,29 +376,129 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
   return Fit(images, targets, config_.epochs);
 }
 
+void CnnImageModel::EnsureOptimizer() {
+  if (optimizer_initialized_) return;
+  optimizer_.Register(&w1_, &grad_w1_);
+  optimizer_.Register(&b1_, &grad_b1_);
+  optimizer_.Register(&w2_, &grad_w2_);
+  optimizer_.Register(&b2_, &grad_b2_);
+  optimizer_.Register(&wp_, &grad_wp_);
+  dense1_->RegisterParameters(optimizer_);
+  dense2_->RegisterParameters(optimizer_);
+  optimizer_initialized_ = true;
+}
+
+void CnnImageModel::EnableCheckpointing(const std::string& directory,
+                                        int every_epochs) {
+  if (every_epochs < 1) {
+    throw std::invalid_argument(
+        "CnnImageModel::EnableCheckpointing: every_epochs must be >= 1");
+  }
+  checkpoint_dir_ = directory;
+  checkpoint_every_ = every_epochs;
+}
+
+std::uint64_t CnnImageModel::ConfigFingerprint(int epochs) const {
+  robust::BinaryWriter w;
+  w.WriteU64(config_.image_rows);
+  w.WriteU64(config_.image_cols);
+  w.WriteU64(config_.conv1_filters);
+  w.WriteU64(config_.conv2_filters);
+  w.WriteU64(config_.dense_dim);
+  w.WriteU64(config_.num_labels);
+  w.WriteI64(epochs);
+  w.WriteU64(config_.batch_size);
+  w.WriteDouble(config_.adam.learning_rate);
+  w.WriteDouble(config_.adam.beta1);
+  w.WriteDouble(config_.adam.beta2);
+  w.WriteDouble(config_.adam.epsilon);
+  w.WriteU64(config_.seed);
+  return robust::Fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+std::uint64_t CnnImageModel::DataFingerprint(
+    const std::vector<Image>& images,
+    const std::vector<std::vector<double>>& targets) {
+  std::uint64_t hash = robust::kFnvOffsetBasis;
+  const std::uint64_t n = images.size();
+  hash = robust::Fnv1a(&n, sizeof(n), hash);
+  for (const auto& image : images) {
+    hash = robust::Fnv1a(image.data().data(),
+                         image.data().size() * sizeof(double), hash);
+  }
+  for (const auto& target : targets) {
+    hash = robust::Fnv1a(target.data(), target.size() * sizeof(double), hash);
+  }
+  return hash;
+}
+
 double CnnImageModel::Fit(const std::vector<Image>& images,
                           const std::vector<std::vector<double>>& targets,
                           int epochs) {
   if (images.size() != targets.size() || images.empty()) {
     throw std::invalid_argument("CnnImageModel::Fit: bad input sizes");
   }
-  if (!optimizer_initialized_) {
-    optimizer_.Register(&w1_, &grad_w1_);
-    optimizer_.Register(&b1_, &grad_b1_);
-    optimizer_.Register(&w2_, &grad_w2_);
-    optimizer_.Register(&b2_, &grad_b2_);
-    optimizer_.Register(&wp_, &grad_wp_);
-    dense1_->RegisterParameters(optimizer_);
-    dense2_->RegisterParameters(optimizer_);
-    optimizer_initialized_ = true;
-  }
+  EnsureOptimizer();
 
+  // Each Fit call (pretrain, fine-tune, ...) owns its own checkpoint
+  // stem so phases never clobber one another; a fully-finished phase
+  // resumes as a no-op load.
+  std::unique_ptr<robust::CheckpointManager> checkpoint;
+  double last_epoch_loss = 0.0;
+  int start_epoch = 0;
+  std::uint64_t config_fp = 0;
+  std::uint64_t data_fp = 0;
+  // The shuffle permutation is mutated in place each epoch — epoch k's
+  // order is the composition of every shuffle so far. It is therefore
+  // training state: it rides along in the checkpoint so a resumed run
+  // visits samples in exactly the order the dead run would have.
   std::vector<std::size_t> order(images.size());
   std::iota(order.begin(), order.end(), 0);
+  if (!checkpoint_dir_.empty()) {
+    checkpoint = std::make_unique<robust::CheckpointManager>(
+        checkpoint_dir_, "cnn_fit" + std::to_string(fit_calls_));
+    config_fp = ConfigFingerprint(epochs);
+    data_fp = DataFingerprint(images, targets);
+
+    std::vector<std::uint8_t> payload;
+    const robust::Status status = checkpoint->LoadLatest(&payload);
+    if (status.code() != robust::StatusCode::kNotFound) {
+      robust::ThrowIfError(status);
+      robust::BinaryReader reader(payload);
+      reader.ExpectTag("CNNR");
+      if (reader.ReadU64() != config_fp || reader.ReadU64() != data_fp) {
+        robust::ThrowStatus(
+            robust::StatusCode::kInvalidArgument,
+            "CNN checkpoint belongs to a different training phase "
+            "(config/data fingerprint mismatch) — discard the checkpoint "
+            "directory to start fresh");
+      }
+      start_epoch = static_cast<int>(reader.ReadI64());
+      last_epoch_loss = reader.ReadDouble();
+      const std::uint64_t order_size = reader.ReadU64();
+      if (order_size != order.size()) {
+        robust::ThrowStatus(
+            robust::StatusCode::kCorruption,
+            "CNN checkpoint shuffle order has wrong length");
+      }
+      for (auto& index : order) {
+        const std::uint64_t value = reader.ReadU64();
+        if (value >= order_size) {
+          robust::ThrowStatus(
+              robust::StatusCode::kCorruption,
+              "CNN checkpoint shuffle order index out of range");
+        }
+        index = static_cast<std::size_t>(value);
+      }
+      LoadState(reader);
+    }
+  }
+  ++fit_calls_;
+
   Matrix target_m(1, config_.num_labels);
 
-  double last_epoch_loss = 0.0;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
+  auto& faults = robust::FaultInjector::Global();
+  for (int epoch = start_epoch; epoch < epochs; ++epoch) {
     rng_.Shuffle(order);
     double epoch_loss = 0.0;
     std::size_t in_batch = 0;
@@ -400,7 +506,19 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
       const std::size_t idx = order[n];
       const Matrix probs = Forward(images[idx], /*training=*/true);
       target_m.SetRow(0, targets[idx]);
-      epoch_loss += BinaryCrossEntropy::Loss(probs, target_m);
+      double sample_loss = BinaryCrossEntropy::Loss(probs, target_m);
+      if (faults.Hit(robust::FaultSite::kCnnGradient) ==
+          robust::FaultKind::kNan) {
+        sample_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(sample_loss)) {
+        robust::ThrowStatus(robust::StatusCode::kDivergence,
+                            "CNN training loss is not finite at epoch " +
+                                std::to_string(epoch) + ", sample " +
+                                std::to_string(n) +
+                                " — aborting before weights are poisoned");
+      }
+      epoch_loss += sample_loss;
       Backward(BinaryCrossEntropy::Gradient(probs, target_m));
       if (++in_batch == config_.batch_size || n + 1 == order.size()) {
         optimizer_.Step();
@@ -408,9 +526,84 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
       }
     }
     last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+
+    if (checkpoint &&
+        ((epoch + 1) % checkpoint_every_ == 0 || epoch + 1 == epochs)) {
+      robust::BinaryWriter writer;
+      writer.WriteTag("CNNR");
+      writer.WriteU64(config_fp);
+      writer.WriteU64(data_fp);
+      writer.WriteI64(epoch + 1);
+      writer.WriteDouble(last_epoch_loss);
+      writer.WriteU64(order.size());
+      for (const std::size_t index : order) writer.WriteU64(index);
+      SaveState(writer);
+      robust::ThrowIfError(checkpoint->Commit(writer.buffer()));
+    }
+    switch (faults.Hit(robust::FaultSite::kEpochEnd)) {
+      case robust::FaultKind::kAbort:
+        robust::ThrowStatus(robust::StatusCode::kAborted,
+                            "injected kill after epoch " +
+                                std::to_string(epoch));
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      default:
+        break;
+    }
   }
   fitted_ = true;
   return last_epoch_loss;
+}
+
+void CnnImageModel::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("CNN ");
+  writer.WriteU64(config_.image_rows);
+  writer.WriteU64(config_.image_cols);
+  writer.WriteU64(config_.conv1_filters);
+  writer.WriteU64(config_.conv2_filters);
+  writer.WriteU64(config_.dense_dim);
+  writer.WriteU64(config_.num_labels);
+  WriteMatrix(writer, w1_);
+  WriteMatrix(writer, b1_);
+  WriteMatrix(writer, w2_);
+  WriteMatrix(writer, b2_);
+  WriteMatrix(writer, wp_);
+  dense1_->SaveState(writer);
+  dense2_->SaveState(writer);
+  robust::WriteRngState(writer, rng_);
+  writer.WriteBool(fitted_);
+  writer.WriteBool(optimizer_initialized_);
+  if (optimizer_initialized_) optimizer_.SaveState(writer);
+}
+
+void CnnImageModel::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("CNN ");
+  const std::uint64_t rows = reader.ReadU64();
+  const std::uint64_t cols = reader.ReadU64();
+  const std::uint64_t c1 = reader.ReadU64();
+  const std::uint64_t c2 = reader.ReadU64();
+  const std::uint64_t dense_dim = reader.ReadU64();
+  const std::uint64_t num_labels = reader.ReadU64();
+  if (rows != config_.image_rows || cols != config_.image_cols ||
+      c1 != config_.conv1_filters || c2 != config_.conv2_filters ||
+      dense_dim != config_.dense_dim || num_labels != config_.num_labels) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "CNN checkpoint architecture mismatch");
+  }
+  ReadMatrixInto(reader, w1_, "CNN conv1 weights");
+  ReadMatrixInto(reader, b1_, "CNN conv1 bias");
+  ReadMatrixInto(reader, w2_, "CNN conv2 weights");
+  ReadMatrixInto(reader, b2_, "CNN conv2 bias");
+  ReadMatrixInto(reader, wp_, "CNN projection weights");
+  dense1_->LoadState(reader);
+  dense2_->LoadState(reader);
+  robust::ReadRngState(reader, rng_);
+  fitted_ = reader.ReadBool();
+  const bool had_optimizer = reader.ReadBool();
+  if (had_optimizer) {
+    EnsureOptimizer();
+    optimizer_.LoadState(reader);
+  }
 }
 
 std::vector<double> CnnImageModel::Predict(const Image& image) {

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ml/matrix.h"
 #include "ml/nn/adam.h"
 #include "ml/nn/layers.h"
+#include "robust/checkpoint.h"
 #include "stats/rng.h"
 
 namespace mexi::ml {
@@ -67,6 +69,21 @@ class CnnImageModel {
   const Config& config() const { return config_; }
   bool fitted() const { return fitted_; }
 
+  /// Complete trainable state: conv/projection weights, head layers,
+  /// the RNG stream, and (when initialized) the Adam moments. A fresh
+  /// model with the same Config restores to a bitwise-identical
+  /// continuation point.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
+  /// Arms epoch-level checkpointing under `directory`. Because the
+  /// pretrain -> fine-tune protocol calls Fit twice, each Fit call
+  /// checkpoints under its own stem (cnn_fit0, cnn_fit1, ...) so a
+  /// killed fine-tune resumes without disturbing the completed
+  /// pretrain phase's checkpoint.
+  void EnableCheckpointing(const std::string& directory,
+                           int every_epochs = 1);
+
  private:
   using Channels = std::vector<Matrix>;
 
@@ -96,6 +113,17 @@ class CnnImageModel {
                         const std::vector<std::vector<std::size_t>>& argmax,
                         Channels& grad_in) const;
 
+  /// Registers parameters with the optimizer exactly once, in the
+  /// fixed order the checkpoint format relies on.
+  void EnsureOptimizer();
+
+  /// FNV-1a fingerprints embedded in training checkpoints so a resume
+  /// against a different setup is rejected instead of silently blended.
+  std::uint64_t ConfigFingerprint(int epochs) const;
+  static std::uint64_t DataFingerprint(
+      const std::vector<Image>& images,
+      const std::vector<std::vector<double>>& targets);
+
   Config config_;
   stats::Rng rng_;
 
@@ -114,6 +142,10 @@ class CnnImageModel {
   AdamOptimizer optimizer_;
   bool optimizer_initialized_ = false;
   bool fitted_ = false;
+
+  std::string checkpoint_dir_;
+  int checkpoint_every_ = 1;
+  int fit_calls_ = 0;  // keys per-Fit checkpoint stems across phases
 
   // Forward workspace (single-sample training): written by every
   // Forward, read by Backward. Buffers are shape-stable after the first

@@ -4,12 +4,20 @@
 #include <stdexcept>
 
 #include "ml/kernels.h"
+#include "ml/serialize.h"
+#include "robust/status.h"
 
 namespace mexi::ml {
 
 void Layer::RegisterParameters(AdamOptimizer& optimizer) {
   (void)optimizer;  // stateless layers have nothing to register
 }
+
+void Layer::SaveState(robust::BinaryWriter& writer) const {
+  (void)writer;  // stateless layers persist nothing
+}
+
+void Layer::LoadState(robust::BinaryReader& reader) { (void)reader; }
 
 DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
                        stats::Rng& rng)
@@ -85,6 +93,18 @@ void DenseLayer::RegisterParameters(AdamOptimizer& optimizer) {
   optimizer.Register(&bias_, &grad_bias_);
 }
 
+void DenseLayer::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("DENS");
+  WriteMatrix(writer, weights_);
+  WriteMatrix(writer, bias_);
+}
+
+void DenseLayer::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("DENS");
+  ReadMatrixInto(reader, weights_, "Dense weights");
+  ReadMatrixInto(reader, bias_, "Dense bias");
+}
+
 Matrix ReluLayer::Forward(const Matrix& input, bool training) {
   (void)training;
   last_input_ = input;
@@ -153,6 +173,22 @@ Matrix DropoutLayer::Forward(const Matrix& input, bool training) {
 Matrix DropoutLayer::Backward(const Matrix& grad_output) {
   if (!last_training_ || rate_ <= 0.0) return grad_output;
   return grad_output.Hadamard(last_mask_);
+}
+
+void DropoutLayer::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("DROP");
+  writer.WriteDouble(rate_);
+  robust::WriteRngState(writer, rng_);
+}
+
+void DropoutLayer::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("DROP");
+  const double rate = reader.ReadDouble();
+  if (rate != rate_) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "Dropout rate mismatch between checkpoint and model");
+  }
+  robust::ReadRngState(reader, rng_);
 }
 
 }  // namespace mexi::ml

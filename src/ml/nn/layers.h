@@ -7,6 +7,7 @@
 
 #include "ml/matrix.h"
 #include "ml/nn/adam.h"
+#include "robust/serialize.h"
 #include "stats/rng.h"
 
 namespace mexi::ml {
@@ -30,6 +31,13 @@ class Layer {
   /// Registers trainable parameters with `optimizer`; default: none.
   virtual void RegisterParameters(AdamOptimizer& optimizer);
 
+  /// Checkpoint round-trip of persistent layer state (weights, RNG
+  /// streams). Stateless layers serialize nothing; forward caches are
+  /// transient and never saved — checkpoints are taken at batch/epoch
+  /// boundaries where they are dead.
+  virtual void SaveState(robust::BinaryWriter& writer) const;
+  virtual void LoadState(robust::BinaryReader& reader);
+
   virtual std::string Name() const = 0;
 };
 
@@ -42,6 +50,8 @@ class DenseLayer : public Layer {
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
   void RegisterParameters(AdamOptimizer& optimizer) override;
+  void SaveState(robust::BinaryWriter& writer) const override;
+  void LoadState(robust::BinaryReader& reader) override;
   std::string Name() const override { return "Dense"; }
 
   const Matrix& weights() const { return weights_; }
@@ -101,6 +111,8 @@ class DropoutLayer : public Layer {
 
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
+  void SaveState(robust::BinaryWriter& writer) const override;
+  void LoadState(robust::BinaryReader& reader) override;
   std::string Name() const override { return "Dropout"; }
 
  private:

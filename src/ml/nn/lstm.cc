@@ -1,11 +1,17 @@
 #include "ml/nn/lstm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
+#include "ml/serialize.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
 
 namespace mexi::ml {
 
@@ -159,6 +165,115 @@ Matrix LstmSequenceModel::HeadBackward(const Matrix& grad_out) {
   return dropout_->Backward(grad);
 }
 
+void LstmSequenceModel::EnsureOptimizer() {
+  if (optimizer_initialized_) return;
+  optimizer_.Register(&wx_, &grad_wx_);
+  optimizer_.Register(&wh_, &grad_wh_);
+  optimizer_.Register(&b_, &grad_b_);
+  dense1_->RegisterParameters(optimizer_);
+  dense2_->RegisterParameters(optimizer_);
+  optimizer_initialized_ = true;
+}
+
+void LstmSequenceModel::EnableCheckpointing(const std::string& directory,
+                                            int every_epochs) {
+  if (every_epochs < 1) {
+    throw std::invalid_argument(
+        "LstmSequenceModel::EnableCheckpointing: every_epochs must be >= 1");
+  }
+  checkpoint_ = std::make_unique<robust::CheckpointManager>(directory, "lstm");
+  checkpoint_every_ = every_epochs;
+}
+
+std::uint64_t LstmSequenceModel::ConfigFingerprint() const {
+  robust::BinaryWriter w;
+  w.WriteU64(config_.input_dim);
+  w.WriteU64(config_.hidden_dim);
+  w.WriteU64(config_.dense_dim);
+  w.WriteU64(config_.num_labels);
+  w.WriteDouble(config_.dropout);
+  w.WriteI64(config_.epochs);
+  w.WriteU64(config_.batch_size);
+  w.WriteDouble(config_.adam.learning_rate);
+  w.WriteDouble(config_.adam.beta1);
+  w.WriteDouble(config_.adam.beta2);
+  w.WriteDouble(config_.adam.epsilon);
+  w.WriteU64(config_.seed);
+  return robust::Fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+std::uint64_t LstmSequenceModel::DataFingerprint(
+    const std::vector<Sequence>& sequences,
+    const std::vector<std::vector<double>>& targets) {
+  std::uint64_t hash = robust::kFnvOffsetBasis;
+  const std::uint64_t n = sequences.size();
+  hash = robust::Fnv1a(&n, sizeof(n), hash);
+  for (const auto& sequence : sequences) {
+    const std::uint64_t steps = sequence.size();
+    hash = robust::Fnv1a(&steps, sizeof(steps), hash);
+    for (const auto& x : sequence) {
+      hash = robust::Fnv1a(x.data(), x.size() * sizeof(double), hash);
+    }
+  }
+  for (const auto& target : targets) {
+    hash = robust::Fnv1a(target.data(), target.size() * sizeof(double), hash);
+  }
+  return hash;
+}
+
+int LstmSequenceModel::TryResume(std::uint64_t data_fingerprint,
+                                 double* last_epoch_loss,
+                                 std::vector<std::size_t>* order) {
+  std::vector<std::uint8_t> payload;
+  const robust::Status status = checkpoint_->LoadLatest(&payload);
+  if (status.code() == robust::StatusCode::kNotFound) return 0;
+  robust::ThrowIfError(status);
+
+  robust::BinaryReader reader(payload);
+  reader.ExpectTag("LSTR");
+  const std::uint64_t config_fp = reader.ReadU64();
+  const std::uint64_t data_fp = reader.ReadU64();
+  if (config_fp != ConfigFingerprint() || data_fp != data_fingerprint) {
+    robust::ThrowStatus(
+        robust::StatusCode::kInvalidArgument,
+        "LSTM checkpoint belongs to a different training run "
+        "(config/data fingerprint mismatch) — discard the checkpoint "
+        "directory to start fresh");
+  }
+  const std::int64_t epochs_done = reader.ReadI64();
+  *last_epoch_loss = reader.ReadDouble();
+  const std::uint64_t order_size = reader.ReadU64();
+  if (order_size != order->size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "LSTM checkpoint shuffle order has wrong length");
+  }
+  for (auto& index : *order) {
+    const std::uint64_t value = reader.ReadU64();
+    if (value >= order_size) {
+      robust::ThrowStatus(robust::StatusCode::kCorruption,
+                          "LSTM checkpoint shuffle order index out of range");
+    }
+    index = static_cast<std::size_t>(value);
+  }
+  LoadState(reader);
+  return static_cast<int>(epochs_done);
+}
+
+void LstmSequenceModel::CommitCheckpoint(
+    int epochs_done, double last_epoch_loss, std::uint64_t data_fingerprint,
+    const std::vector<std::size_t>& order) {
+  robust::BinaryWriter writer;
+  writer.WriteTag("LSTR");
+  writer.WriteU64(ConfigFingerprint());
+  writer.WriteU64(data_fingerprint);
+  writer.WriteI64(epochs_done);
+  writer.WriteDouble(last_epoch_loss);
+  writer.WriteU64(order.size());
+  for (const std::size_t index : order) writer.WriteU64(index);
+  SaveState(writer);
+  robust::ThrowIfError(checkpoint_->Commit(writer.buffer()));
+}
+
 double LstmSequenceModel::Fit(
     const std::vector<Sequence>& sequences,
     const std::vector<std::vector<double>>& targets) {
@@ -168,21 +283,27 @@ double LstmSequenceModel::Fit(
   if (sequences.empty()) {
     throw std::invalid_argument("LstmSequenceModel::Fit: empty input");
   }
-  if (!optimizer_initialized_) {
-    optimizer_.Register(&wx_, &grad_wx_);
-    optimizer_.Register(&wh_, &grad_wh_);
-    optimizer_.Register(&b_, &grad_b_);
-    dense1_->RegisterParameters(optimizer_);
-    dense2_->RegisterParameters(optimizer_);
-    optimizer_initialized_ = true;
-  }
+  EnsureOptimizer();
 
+  // The shuffle permutation is mutated in place each epoch — epoch k's
+  // order is the composition of every shuffle so far. It is therefore
+  // training state: it rides along in the checkpoint so a resumed run
+  // visits samples in exactly the order the dead run would have.
   std::vector<std::size_t> order(sequences.size());
   std::iota(order.begin(), order.end(), 0);
-  Matrix target_m(1, config_.num_labels);
 
   double last_epoch_loss = 0.0;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  int start_epoch = 0;
+  std::uint64_t data_fp = 0;
+  if (checkpoint_) {
+    data_fp = DataFingerprint(sequences, targets);
+    start_epoch = TryResume(data_fp, &last_epoch_loss, &order);
+  }
+
+  Matrix target_m(1, config_.num_labels);
+
+  auto& faults = robust::FaultInjector::Global();
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(order);
     double epoch_loss = 0.0;
     std::size_t in_batch = 0;
@@ -192,7 +313,19 @@ double LstmSequenceModel::Fit(
       const Matrix probs = HeadForward(h_final, true);
       target_m.SetRow(0, targets[idx]);
 
-      epoch_loss += BinaryCrossEntropy::Loss(probs, target_m);
+      double sample_loss = BinaryCrossEntropy::Loss(probs, target_m);
+      if (faults.Hit(robust::FaultSite::kLstmGradient) ==
+          robust::FaultKind::kNan) {
+        sample_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(sample_loss)) {
+        robust::ThrowStatus(robust::StatusCode::kDivergence,
+                            "LSTM training loss is not finite at epoch " +
+                                std::to_string(epoch) + ", sample " +
+                                std::to_string(n) +
+                                " — aborting before weights are poisoned");
+      }
+      epoch_loss += sample_loss;
       const Matrix grad_prob = BinaryCrossEntropy::Gradient(probs, target_m);
       const Matrix grad_h = HeadBackward(grad_prob);
       if (!sequences[idx].empty()) BackwardLstm(grad_h);
@@ -203,9 +336,68 @@ double LstmSequenceModel::Fit(
       }
     }
     last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+
+    if (checkpoint_ && ((epoch + 1) % checkpoint_every_ == 0 ||
+                        epoch + 1 == config_.epochs)) {
+      CommitCheckpoint(epoch + 1, last_epoch_loss, data_fp, order);
+    }
+    switch (faults.Hit(robust::FaultSite::kEpochEnd)) {
+      case robust::FaultKind::kAbort:
+        robust::ThrowStatus(robust::StatusCode::kAborted,
+                            "injected kill after epoch " +
+                                std::to_string(epoch));
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      default:
+        break;
+    }
   }
   fitted_ = true;
   return last_epoch_loss;
+}
+
+void LstmSequenceModel::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("LSTM");
+  writer.WriteU64(config_.input_dim);
+  writer.WriteU64(config_.hidden_dim);
+  writer.WriteU64(config_.dense_dim);
+  writer.WriteU64(config_.num_labels);
+  WriteMatrix(writer, wx_);
+  WriteMatrix(writer, wh_);
+  WriteMatrix(writer, b_);
+  dropout_->SaveState(writer);
+  dense1_->SaveState(writer);
+  dense2_->SaveState(writer);
+  robust::WriteRngState(writer, rng_);
+  writer.WriteBool(fitted_);
+  writer.WriteBool(optimizer_initialized_);
+  if (optimizer_initialized_) optimizer_.SaveState(writer);
+}
+
+void LstmSequenceModel::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("LSTM");
+  const std::uint64_t input_dim = reader.ReadU64();
+  const std::uint64_t hidden_dim = reader.ReadU64();
+  const std::uint64_t dense_dim = reader.ReadU64();
+  const std::uint64_t num_labels = reader.ReadU64();
+  if (input_dim != config_.input_dim || hidden_dim != config_.hidden_dim ||
+      dense_dim != config_.dense_dim || num_labels != config_.num_labels) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "LSTM checkpoint architecture mismatch");
+  }
+  ReadMatrixInto(reader, wx_, "LSTM Wx");
+  ReadMatrixInto(reader, wh_, "LSTM Wh");
+  ReadMatrixInto(reader, b_, "LSTM bias");
+  dropout_->LoadState(reader);
+  dense1_->LoadState(reader);
+  dense2_->LoadState(reader);
+  robust::ReadRngState(reader, rng_);
+  fitted_ = reader.ReadBool();
+  const bool had_optimizer = reader.ReadBool();
+  if (had_optimizer) {
+    EnsureOptimizer();
+    optimizer_.LoadState(reader);
+  }
 }
 
 std::vector<double> LstmSequenceModel::Predict(const Sequence& sequence) {

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ml/matrix.h"
 #include "ml/nn/adam.h"
 #include "ml/nn/layers.h"
+#include "robust/checkpoint.h"
 #include "stats/rng.h"
 
 namespace mexi::ml {
@@ -60,7 +62,46 @@ class LstmSequenceModel {
   const Config& config() const { return config_; }
   bool fitted() const { return fitted_; }
 
+  /// Complete trainable state: weights, head layers, both RNG streams,
+  /// and (when initialized) the Adam moments. A fresh model constructed
+  /// with the same Config restores to a bitwise-identical continuation
+  /// point. Shape mismatches throw StatusError(kCorruption).
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
+  /// Arms epoch-level checkpointing: Fit commits a checkpoint into
+  /// `directory` every `every_epochs` epochs (and always after the
+  /// final one) via the atomic two-generation protocol, and — when a
+  /// valid checkpoint for the same config and training data already
+  /// exists there — resumes from it instead of starting over. A
+  /// resumed run's outputs are bitwise identical to an uninterrupted
+  /// run's (tests/test_chaos_resume.cc locks this in).
+  void EnableCheckpointing(const std::string& directory,
+                           int every_epochs = 1);
+
  private:
+  /// Registers parameters with the optimizer exactly once, in the
+  /// fixed order the checkpoint format relies on.
+  void EnsureOptimizer();
+
+  /// FNV-1a over the hyper-parameters / the training data; both are
+  /// embedded in training checkpoints so a resume against a different
+  /// setup is rejected instead of silently blended.
+  std::uint64_t ConfigFingerprint() const;
+  static std::uint64_t DataFingerprint(
+      const std::vector<Sequence>& sequences,
+      const std::vector<std::vector<double>>& targets);
+
+  /// Attempts to restore an in-progress run; returns the number of
+  /// epochs already completed (0 = fresh start). `order` is the shuffle
+  /// permutation the epoch loop mutates in place — it accumulates across
+  /// epochs, so it is part of the training state and must survive a
+  /// resume for the continuation to stay bitwise identical.
+  int TryResume(std::uint64_t data_fingerprint, double* last_epoch_loss,
+                std::vector<std::size_t>* order);
+  void CommitCheckpoint(int epochs_done, double last_epoch_loss,
+                        std::uint64_t data_fingerprint,
+                        const std::vector<std::size_t>& order);
   /// Runs the LSTM over `sequence` and returns the final hidden state as
   /// a 1 x hidden matrix (a reusable member — valid until the next run).
   /// When `cache` is set, per-step activations are kept in `ws_` for
@@ -98,6 +139,9 @@ class LstmSequenceModel {
   AdamOptimizer optimizer_;
   bool optimizer_initialized_ = false;
   bool fitted_ = false;
+
+  std::unique_ptr<robust::CheckpointManager> checkpoint_;
+  int checkpoint_every_ = 1;
 
   // Flat SoA workspace, reused across timesteps, sequences and epochs.
   // Slabs are indexed [t * dim + j]; `gates` packs the activated

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "robust/status.h"
 #include "stats/descriptive.h"
 
 namespace mexi::ml {
@@ -105,6 +106,45 @@ double Network::Fit(const Matrix& inputs, const Matrix& targets, int epochs,
                                   : 0.0;
   }
   return last_epoch_loss;
+}
+
+void Network::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("NETW");
+  writer.WriteU64(layers_.size());
+  for (const auto& layer : layers_) {
+    writer.WriteString(layer->Name());
+    layer->SaveState(writer);
+  }
+  writer.WriteBool(optimizer_initialized_);
+  if (optimizer_initialized_) optimizer_.SaveState(writer);
+}
+
+void Network::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("NETW");
+  const std::uint64_t count = reader.ReadU64();
+  if (count != layers_.size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "layer count mismatch: stored " +
+                            std::to_string(count) + ", model has " +
+                            std::to_string(layers_.size()));
+  }
+  for (auto& layer : layers_) {
+    const std::string name = reader.ReadString();
+    if (name != layer->Name()) {
+      robust::ThrowStatus(robust::StatusCode::kCorruption,
+                          "layer type mismatch: stored '" + name +
+                              "', model has '" + layer->Name() + "'");
+    }
+    layer->LoadState(reader);
+  }
+  const bool had_optimizer = reader.ReadBool();
+  if (had_optimizer) {
+    if (!optimizer_initialized_) {
+      for (auto& layer : layers_) layer->RegisterParameters(optimizer_);
+      optimizer_initialized_ = true;
+    }
+    optimizer_.LoadState(reader);
+  }
 }
 
 }  // namespace mexi::ml

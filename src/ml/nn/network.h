@@ -42,6 +42,13 @@ class Network {
 
   std::size_t NumLayers() const { return layers_.size(); }
 
+  /// Serializes every layer's persistent state plus the optimizer. The
+  /// loading Network must have been assembled with the same layer
+  /// sequence (same Add calls); mismatches throw
+  /// StatusError(kCorruption).
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
  private:
   Matrix Forward(const Matrix& input, bool training);
   void Backward(const Matrix& grad_output);

@@ -55,4 +55,20 @@ double RandomForest::PredictProbaImpl(const std::vector<double>& row) const {
   return total / static_cast<double>(trees_.size());
 }
 
+void RandomForest::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("RFOR");
+  writer.WriteU64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.SaveState(writer);
+}
+
+void RandomForest::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("RFOR");
+  const std::uint64_t count = reader.ReadU64();
+  trees_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trees_.emplace_back();
+    trees_.back().LoadState(reader);
+  }
+}
+
 }  // namespace mexi::ml

@@ -114,4 +114,31 @@ double RegressionTree::Predict(const std::vector<double>& row) const {
   return nodes_[static_cast<std::size_t>(node)].value;
 }
 
+void RegressionTree::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("RTRE");
+  writer.WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.WriteI64(node.feature);
+    writer.WriteDouble(node.threshold);
+    writer.WriteI64(node.left);
+    writer.WriteI64(node.right);
+    writer.WriteDouble(node.value);
+  }
+}
+
+void RegressionTree::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("RTRE");
+  const std::uint64_t count = reader.ReadU64();
+  nodes_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = static_cast<int>(reader.ReadI64());
+    node.threshold = reader.ReadDouble();
+    node.left = static_cast<int>(reader.ReadI64());
+    node.right = static_cast<int>(reader.ReadI64());
+    node.value = reader.ReadDouble();
+    nodes_.push_back(node);
+  }
+}
+
 }  // namespace mexi::ml

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "robust/serialize.h"
+
 namespace mexi::ml {
 
 /// CART regression tree (variance-reduction splits, mean-valued leaves).
@@ -28,6 +30,10 @@ class RegressionTree {
   double Predict(const std::vector<double>& row) const;
 
   std::size_t NodeCount() const { return nodes_.size(); }
+
+  /// Exact round-trip of the fitted node table.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
 
  private:
   struct Node {

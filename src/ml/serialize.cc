@@ -1,0 +1,46 @@
+#include "ml/serialize.h"
+
+#include "robust/status.h"
+
+namespace mexi::ml {
+
+void WriteMatrix(robust::BinaryWriter& writer, const Matrix& matrix) {
+  writer.WriteTag("MTRX");
+  writer.WriteU64(matrix.rows());
+  writer.WriteU64(matrix.cols());
+  writer.WriteDoubles(matrix.data().data(), matrix.data().size());
+}
+
+Matrix ReadMatrix(robust::BinaryReader& reader) {
+  reader.ExpectTag("MTRX");
+  const std::uint64_t rows = reader.ReadU64();
+  const std::uint64_t cols = reader.ReadU64();
+  if (cols != 0 && rows > reader.remaining() / 8 / cols) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "matrix shape " + std::to_string(rows) + "x" +
+                            std::to_string(cols) +
+                            " exceeds remaining payload");
+  }
+  Matrix matrix(static_cast<std::size_t>(rows),
+                static_cast<std::size_t>(cols));
+  reader.ReadDoubles(matrix.data().data(), matrix.data().size());
+  return matrix;
+}
+
+void ReadMatrixInto(robust::BinaryReader& reader, Matrix& matrix,
+                    const std::string& what) {
+  reader.ExpectTag("MTRX");
+  const std::uint64_t rows = reader.ReadU64();
+  const std::uint64_t cols = reader.ReadU64();
+  if (rows != matrix.rows() || cols != matrix.cols()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        what + ": stored shape " + std::to_string(rows) +
+                            "x" + std::to_string(cols) +
+                            " does not match model shape " +
+                            std::to_string(matrix.rows()) + "x" +
+                            std::to_string(matrix.cols()));
+  }
+  reader.ReadDoubles(matrix.data().data(), matrix.data().size());
+}
+
+}  // namespace mexi::ml

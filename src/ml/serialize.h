@@ -1,0 +1,27 @@
+#ifndef MEXI_ML_SERIALIZE_H_
+#define MEXI_ML_SERIALIZE_H_
+
+#include <string>
+
+#include "ml/matrix.h"
+#include "robust/serialize.h"
+
+namespace mexi::ml {
+
+/// Matrix round-trip: shape header + raw IEEE-754 bytes, so a
+/// serialized model reloads bitwise-identical — the foundation of the
+/// "resumed run equals uninterrupted run" guarantee.
+void WriteMatrix(robust::BinaryWriter& writer, const Matrix& matrix);
+
+/// Reads a matrix of any shape.
+Matrix ReadMatrix(robust::BinaryReader& reader);
+
+/// Reads into an existing matrix whose shape is architecture-determined;
+/// a shape mismatch means the checkpoint belongs to a different model
+/// configuration and throws StatusError(kCorruption) naming `what`.
+void ReadMatrixInto(robust::BinaryReader& reader, Matrix& matrix,
+                    const std::string& what);
+
+}  // namespace mexi::ml
+
+#endif  // MEXI_ML_SERIALIZE_H_

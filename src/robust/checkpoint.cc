@@ -1,0 +1,226 @@
+#include "robust/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "robust/fault_injection.h"
+
+namespace mexi::robust {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'E', 'X', 'C'};
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Error(StatusCode::kIoError,
+                       std::string(op) + " failed: " + std::strerror(errno))
+      .WithFile(path);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SealCheckpoint(
+    const std::vector<std::uint8_t>& payload) {
+  BinaryWriter header;
+  header.WriteRaw(kMagic, 4);
+  header.WriteU32(kCheckpointFormatVersion);
+  header.WriteU64(payload.size());
+  header.WriteU64(Fnv1a(payload.data(), payload.size()));
+  std::vector<std::uint8_t> sealed = header.buffer();
+  sealed.insert(sealed.end(), payload.begin(), payload.end());
+  return sealed;
+}
+
+Status OpenCheckpoint(const std::vector<std::uint8_t>& bytes,
+                      std::vector<std::uint8_t>* payload) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::Error(StatusCode::kCorruption,
+                         "checkpoint shorter than its header (" +
+                             std::to_string(bytes.size()) + " bytes)");
+  }
+  BinaryReader reader(bytes.data(), kHeaderSize);
+  char magic[4];
+  std::memcpy(magic, bytes.data(), 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Error(StatusCode::kCorruption, "bad checkpoint magic");
+  }
+  reader.ExpectTag("MEXC");
+  const std::uint32_t version = reader.ReadU32();
+  if (version != kCheckpointFormatVersion) {
+    return Status::Error(StatusCode::kCorruption,
+                         "unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t payload_size = reader.ReadU64();
+  const std::uint64_t checksum = reader.ReadU64();
+  if (payload_size != bytes.size() - kHeaderSize) {
+    return Status::Error(
+        StatusCode::kCorruption,
+        "torn write: header promises " + std::to_string(payload_size) +
+            " payload bytes, file holds " +
+            std::to_string(bytes.size() - kHeaderSize));
+  }
+  const std::uint64_t actual =
+      Fnv1a(bytes.data() + kHeaderSize, static_cast<std::size_t>(payload_size));
+  if (actual != checksum) {
+    return Status::Error(StatusCode::kCorruption,
+                         "checksum mismatch: stored " +
+                             std::to_string(checksum) + ", computed " +
+                             std::to_string(actual));
+  }
+  payload->assign(bytes.begin() + kHeaderSize, bytes.end());
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const FaultKind fault =
+      FaultInjector::Global().Hit(FaultSite::kCheckpointWrite);
+  if (fault == FaultKind::kEnospc) {
+    return Status::Error(StatusCode::kResourceExhausted,
+                         "injected ENOSPC: no space left on device")
+        .WithFile(path);
+  }
+  std::vector<std::uint8_t> to_write = bytes;
+  if (fault == FaultKind::kShortWrite && !to_write.empty()) {
+    to_write.resize(to_write.size() / 2);
+  } else if (fault == FaultKind::kBitFlip && !to_write.empty()) {
+    const std::size_t pos = static_cast<std::size_t>(
+        FaultInjector::Global().Draw() % to_write.size());
+    to_write[pos] ^= 0x40;
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) return ErrnoStatus("open", tmp_path);
+  if (!to_write.empty() &&
+      std::fwrite(to_write.data(), 1, to_write.size(), file) !=
+          to_write.size()) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    return ErrnoStatus("write", tmp_path);
+  }
+  if (std::fflush(file) != 0 || std::fclose(file) != 0) {
+    std::remove(tmp_path.c_str());
+    return ErrnoStatus("flush", tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return ErrnoStatus("rename", path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFileBytes(const std::string& path,
+                     std::vector<std::uint8_t>* bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return Status::Error(StatusCode::kNotFound, "no such file")
+          .WithFile(path);
+    }
+    return ErrnoStatus("open", path);
+  }
+  bytes->clear();
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes->insert(bytes->end(), buffer, buffer + n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return ErrnoStatus("read", path);
+  return Status::Ok();
+}
+
+CheckpointManager::CheckpointManager(std::string directory, std::string stem)
+    : directory_(std::move(directory)), stem_(std::move(stem)) {}
+
+std::string CheckpointManager::CurrentPath() const {
+  return directory_ + "/" + stem_ + ".bin";
+}
+
+std::string CheckpointManager::PreviousPath() const {
+  return directory_ + "/" + stem_ + ".prev.bin";
+}
+
+Status CheckpointManager::Commit(const std::vector<std::uint8_t>& payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot create checkpoint directory: " + ec.message())
+        .WithFile(directory_);
+  }
+  const std::vector<std::uint8_t> sealed = SealCheckpoint(payload);
+
+  // Stage the new generation fully before touching the old ones; the
+  // rotate + install renames are each atomic, so every crash window
+  // leaves a loadable current or prev.
+  const std::string staged = CurrentPath() + ".new";
+  Status status = WriteFileAtomic(staged, sealed);
+  if (!status.ok()) return status;
+  if (std::filesystem::exists(CurrentPath(), ec)) {
+    if (std::rename(CurrentPath().c_str(), PreviousPath().c_str()) != 0) {
+      return ErrnoStatus("rotate", PreviousPath());
+    }
+  }
+  if (std::rename(staged.c_str(), CurrentPath().c_str()) != 0) {
+    return ErrnoStatus("install", CurrentPath());
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::LoadLatest(std::vector<std::uint8_t>* payload,
+                                     LoadInfo* info) {
+  std::vector<std::uint8_t> bytes;
+  Status current_status = ReadFileBytes(CurrentPath(), &bytes);
+  if (current_status.ok()) {
+    current_status = OpenCheckpoint(bytes, payload);
+    if (current_status.ok()) {
+      if (info != nullptr) {
+        info->fell_back = false;
+        info->source_path = CurrentPath();
+      }
+      return Status::Ok();
+    }
+  }
+
+  Status prev_status = ReadFileBytes(PreviousPath(), &bytes);
+  if (prev_status.ok()) {
+    prev_status = OpenCheckpoint(bytes, payload);
+    if (prev_status.ok()) {
+      if (info != nullptr) {
+        // A fallback only happened if a newer (broken) generation sat
+        // on disk; a lone .prev after a crash-during-commit is simply
+        // the newest state.
+        info->fell_back = current_status.code() != StatusCode::kNotFound;
+        info->source_path = PreviousPath();
+      }
+      return Status::Ok();
+    }
+  }
+
+  if (current_status.code() == StatusCode::kNotFound &&
+      prev_status.code() == StatusCode::kNotFound) {
+    return Status::Error(StatusCode::kNotFound,
+                         "no checkpoint generations found")
+        .WithFile(CurrentPath());
+  }
+  // Prefer reporting the newest generation's failure.
+  return current_status.code() == StatusCode::kNotFound ? prev_status
+                                                        : current_status;
+}
+
+void CheckpointManager::Discard() {
+  std::remove(CurrentPath().c_str());
+  std::remove(PreviousPath().c_str());
+  std::remove((CurrentPath() + ".new").c_str());
+  std::remove((CurrentPath() + ".new.tmp").c_str());
+}
+
+}  // namespace mexi::robust

@@ -1,0 +1,92 @@
+#ifndef MEXI_ROBUST_CHECKPOINT_H_
+#define MEXI_ROBUST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/serialize.h"
+#include "robust/status.h"
+
+namespace mexi::robust {
+
+/// On-disk checkpoint envelope:
+///
+///   offset  size  field
+///        0     4  magic "MEXC"
+///        4     4  format version (u32 LE, currently 1)
+///        8     8  payload length in bytes (u64 LE)
+///       16     8  FNV-1a of the payload bytes (u64 LE)
+///       24     n  payload
+///
+/// Validation checks magic, version, that the payload length matches
+/// the bytes actually present (catches torn/short writes), and the
+/// checksum (catches bit rot). Any failure is kCorruption — the caller
+/// falls back to the previous checkpoint, never loads partial state.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Wraps `payload` in the envelope above.
+std::vector<std::uint8_t> SealCheckpoint(
+    const std::vector<std::uint8_t>& payload);
+
+/// Validates `bytes` and extracts the payload.
+Status OpenCheckpoint(const std::vector<std::uint8_t>& bytes,
+                      std::vector<std::uint8_t>* payload);
+
+/// Writes `bytes` to `path` via the atomic temp-file + rename protocol:
+/// the full content lands in `path + ".tmp"` and is renamed over `path`
+/// only after a successful flush+close, so readers observe either the
+/// old file or the new file, never a mix. Consults the global
+/// FaultInjector (site ckpt_write) for injected short writes, bit
+/// flips, and ENOSPC.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Reads a whole file; kNotFound if it does not exist.
+Status ReadFileBytes(const std::string& path,
+                     std::vector<std::uint8_t>* bytes);
+
+/// One named checkpoint slot with last-good fallback.
+///
+/// `Commit` keeps two generations on disk: `<dir>/<stem>.bin` (newest)
+/// and `<dir>/<stem>.prev.bin` (previous). The commit order — seal to a
+/// temp file, rotate current to prev, rename temp to current — means a
+/// crash at any instant leaves at least one valid generation.
+/// `LoadLatest` prefers the newest file and transparently falls back to
+/// the previous one when the newest is missing or fails validation.
+class CheckpointManager {
+ public:
+  CheckpointManager(std::string directory, std::string stem);
+
+  /// Seals `payload` and atomically installs it as the newest
+  /// generation, demoting the old newest to `.prev`.
+  Status Commit(const std::vector<std::uint8_t>& payload);
+
+  struct LoadInfo {
+    /// True when the newest generation was rejected and the previous
+    /// one was used instead.
+    bool fell_back = false;
+    /// The file the payload came from.
+    std::string source_path;
+  };
+
+  /// Loads the newest valid generation. kNotFound when neither file
+  /// exists; kCorruption when files exist but none validates.
+  Status LoadLatest(std::vector<std::uint8_t>* payload,
+                    LoadInfo* info = nullptr);
+
+  /// Removes both generations (used by fresh runs to drop stale state).
+  void Discard();
+
+  const std::string& directory() const { return directory_; }
+  std::string CurrentPath() const;
+  std::string PreviousPath() const;
+
+ private:
+  std::string directory_;
+  std::string stem_;
+};
+
+}  // namespace mexi::robust
+
+#endif  // MEXI_ROBUST_CHECKPOINT_H_

@@ -1,0 +1,153 @@
+#include "robust/fault_injection.h"
+
+#include <cstdlib>
+
+#include "robust/status.h"
+
+namespace mexi::robust {
+
+namespace {
+
+struct KindEntry {
+  const char* name;
+  FaultKind kind;
+};
+constexpr KindEntry kKinds[] = {
+    {"short_write", FaultKind::kShortWrite}, {"bitflip", FaultKind::kBitFlip},
+    {"enospc", FaultKind::kEnospc},          {"nan", FaultKind::kNan},
+    {"abort", FaultKind::kAbort},            {"kill", FaultKind::kKill},
+};
+
+struct SiteEntry {
+  const char* name;
+  FaultSite site;
+};
+constexpr SiteEntry kSites[] = {
+    {"ckpt_write", FaultSite::kCheckpointWrite},
+    {"lstm_grad", FaultSite::kLstmGradient},
+    {"cnn_grad", FaultSite::kCnnGradient},
+    {"logreg_grad", FaultSite::kLogRegGradient},
+    {"epoch", FaultSite::kEpochEnd},
+    {"fold", FaultSite::kFoldEnd},
+};
+
+FaultKind ParseKind(const std::string& text) {
+  for (const auto& entry : kKinds) {
+    if (text == entry.name) return entry.kind;
+  }
+  ThrowStatus(StatusCode::kInvalidArgument,
+              "unknown fault kind '" + text +
+                  "' (want short_write|bitflip|enospc|nan|abort|kill)");
+}
+
+FaultSite ParseSite(const std::string& text) {
+  for (const auto& entry : kSites) {
+    if (text == entry.name) return entry.site;
+  }
+  ThrowStatus(StatusCode::kInvalidArgument,
+              "unknown fault site '" + text +
+                  "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
+                  "epoch|fold)");
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  for (const auto& entry : kKinds) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "none";
+}
+
+const char* FaultSiteName(FaultSite site) {
+  for (const auto& entry : kSites) {
+    if (entry.site == site) return entry.name;
+  }
+  return "?";
+}
+
+void FaultInjector::Configure(const std::string& spec, std::uint64_t seed) {
+  std::vector<Clause> clauses;
+  std::size_t begin = 0;
+  while (begin <= spec.size() && !spec.empty()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause_text = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause_text.empty()) continue;
+
+    const std::size_t at = clause_text.find('@');
+    const std::size_t colon = clause_text.find(':', at == std::string::npos
+                                                           ? 0
+                                                           : at + 1);
+    if (at == std::string::npos || colon == std::string::npos) {
+      ThrowStatus(StatusCode::kInvalidArgument,
+                  "bad fault clause '" + clause_text +
+                      "' (want kind@site:occurrence)");
+    }
+    Clause clause;
+    clause.kind = ParseKind(clause_text.substr(0, at));
+    clause.site = ParseSite(clause_text.substr(at + 1, colon - at - 1));
+    const std::string count_text = clause_text.substr(colon + 1);
+    char* parse_end = nullptr;
+    clause.occurrence = std::strtoull(count_text.c_str(), &parse_end, 10);
+    if (count_text.empty() || *parse_end != '\0' || clause.occurrence == 0) {
+      ThrowStatus(StatusCode::kInvalidArgument,
+                  "bad fault occurrence '" + count_text +
+                      "' (want a positive integer)");
+    }
+    clauses.push_back(clause);
+    if (end == spec.size()) break;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  clauses_ = std::move(clauses);
+  for (auto& hits : hits_) hits = 0;
+  rng_ = stats::Rng(seed);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clauses_.clear();
+  for (auto& hits : hits_) hits = 0;
+}
+
+FaultKind FaultInjector::Hit(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (clauses_.empty()) return FaultKind::kNone;
+  const std::uint64_t count = ++hits_[static_cast<std::size_t>(site)];
+  for (auto& clause : clauses_) {
+    if (!clause.fired && clause.site == site && clause.occurrence == count) {
+      clause.fired = true;
+      return clause.kind;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+std::uint64_t FaultInjector::Draw() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.NextU64();
+}
+
+bool FaultInjector::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !clauses_.empty();
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* spec = std::getenv("MEXI_FAULTS")) {
+      std::uint64_t seed = 0;
+      if (const char* seed_text = std::getenv("MEXI_FAULT_SEED")) {
+        seed = std::strtoull(seed_text, nullptr, 10);
+      }
+      injector->Configure(spec, seed);
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+}  // namespace mexi::robust

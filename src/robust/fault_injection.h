@@ -1,0 +1,111 @@
+#ifndef MEXI_ROBUST_FAULT_INJECTION_H_
+#define MEXI_ROBUST_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mexi::robust {
+
+/// What a fired fault does at the instrumented site.
+enum class FaultKind {
+  kNone = 0,
+  /// Checkpoint write persists only a prefix of the bytes (a torn
+  /// write surviving the rename — a lying disk).
+  kShortWrite,
+  /// One byte of the checkpoint is flipped before commit (bit rot).
+  kBitFlip,
+  /// The write fails with out-of-space before committing anything.
+  kEnospc,
+  /// A NaN is injected into the training loss/gradient, tripping the
+  /// divergence guard.
+  kNan,
+  /// The site throws StatusError(kAborted) — an in-process stand-in
+  /// for SIGKILL that unit tests can catch and recover from.
+  kAbort,
+  /// The process calls _Exit(137) at the site — a real mid-run death
+  /// for process-level chaos tests.
+  kKill,
+};
+
+/// Instrumented program points that consult the injector.
+enum class FaultSite {
+  kCheckpointWrite = 0,  // robust::WriteFileAtomic
+  kLstmGradient,         // LstmSequenceModel::Fit, per training sample
+  kCnnGradient,          // CnnImageModel::Fit, per training sample
+  kLogRegGradient,       // LogisticRegression::FitImpl, per epoch
+  kEpochEnd,             // NN Fit loops, after the epoch checkpoint
+  kFoldEnd,              // RunKFoldExperiment, after a computed fold
+};
+inline constexpr std::size_t kNumFaultSites = 6;
+
+/// Deterministic, seed-driven fault injector.
+///
+/// Faults are described by a spec string (env `MEXI_FAULTS` for the
+/// global instance):
+///
+///   spec    := clause (',' clause)*
+///   clause  := kind '@' site ':' occurrence
+///   kind    := short_write | bitflip | enospc | nan | abort | kill
+///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
+///            | epoch | fold
+///
+/// `occurrence` is the 1-based hit count at which the clause fires,
+/// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM
+/// processes and nothing else. Each site keeps its own hit counter, so
+/// firing points are reproducible for a fixed workload regardless of
+/// wall-clock or thread scheduling (sites inside parallel regions are
+/// counter-ordered, not time-ordered). Byte positions for bit flips
+/// come from an internal Rng seeded by `seed` (env `MEXI_FAULT_SEED`,
+/// default 0), making corruption patterns replayable too.
+///
+/// An unconfigured injector is inert: `Hit` is a counter increment and
+/// one branch, cheap enough to leave in production paths.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses and arms `spec`. Throws StatusError(kInvalidArgument) on
+  /// grammar errors. An empty spec clears all clauses.
+  void Configure(const std::string& spec, std::uint64_t seed = 0);
+
+  /// Disarms every clause and resets hit counters.
+  void Clear();
+
+  /// Records one hit at `site` and returns the fault to apply now
+  /// (kNone almost always). Thread-safe.
+  FaultKind Hit(FaultSite site);
+
+  /// Deterministic draw for fault parameters (e.g. which byte to flip).
+  std::uint64_t Draw();
+
+  bool active() const;
+
+  /// Process-wide instance, configured from MEXI_FAULTS/MEXI_FAULT_SEED
+  /// on first access. Tests may Configure()/Clear() it directly.
+  static FaultInjector& Global();
+
+ private:
+  struct Clause {
+    FaultKind kind = FaultKind::kNone;
+    FaultSite site = FaultSite::kCheckpointWrite;
+    std::uint64_t occurrence = 1;  // fires when the site count hits this
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Clause> clauses_;
+  std::uint64_t hits_[kNumFaultSites] = {0, 0, 0, 0, 0, 0};
+  stats::Rng rng_{0};
+};
+
+/// Spec-name helpers (exposed for error messages and tests).
+const char* FaultKindName(FaultKind kind);
+const char* FaultSiteName(FaultSite site);
+
+}  // namespace mexi::robust
+
+#endif  // MEXI_ROBUST_FAULT_INJECTION_H_

@@ -1,0 +1,44 @@
+#include "robust/serialize.h"
+
+namespace mexi::robust {
+
+std::uint64_t Fnv1a(const void* data, std::size_t size, std::uint64_t hash) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void BinaryReader::ExpectTag(const char (&tag)[5]) {
+  Require(4);
+  if (std::memcmp(data_ + pos_, tag, 4) != 0) {
+    const std::string found(reinterpret_cast<const char*>(data_ + pos_), 4);
+    ThrowStatus(StatusCode::kCorruption,
+                std::string("section tag mismatch: expected '") + tag +
+                    "', found '" + found + "'");
+  }
+  pos_ += 4;
+}
+
+void WriteRngState(BinaryWriter& writer, const stats::Rng& rng) {
+  const stats::Rng::State state = rng.SaveState();
+  writer.WriteTag("RNG ");
+  writer.WriteU64(state.seed);
+  for (std::uint64_t word : state.words) writer.WriteU64(word);
+  writer.WriteDouble(state.cached_gaussian);
+  writer.WriteBool(state.has_cached_gaussian);
+}
+
+void ReadRngState(BinaryReader& reader, stats::Rng& rng) {
+  reader.ExpectTag("RNG ");
+  stats::Rng::State state;
+  state.seed = reader.ReadU64();
+  for (auto& word : state.words) word = reader.ReadU64();
+  state.cached_gaussian = reader.ReadDouble();
+  state.has_cached_gaussian = reader.ReadBool();
+  rng.LoadState(state);
+}
+
+}  // namespace mexi::robust

@@ -1,0 +1,180 @@
+#ifndef MEXI_ROBUST_SERIALIZE_H_
+#define MEXI_ROBUST_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+#include "stats/rng.h"
+
+namespace mexi::robust {
+
+/// FNV-1a over `size` bytes, continuing from `hash` (pass the default to
+/// start a fresh digest). The checkpoint format's integrity check and
+/// the tests' golden-state digests both use this.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+std::uint64_t Fnv1a(const void* data, std::size_t size,
+                    std::uint64_t hash = kFnvOffsetBasis);
+
+/// Append-only little-endian binary encoder. All multi-byte values are
+/// written in a fixed byte order so checkpoints hash identically across
+/// platforms — the same contract as the rest of the determinism story.
+class BinaryWriter {
+ public:
+  void WriteRaw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+
+  void WriteU8(std::uint8_t value) { buffer_.push_back(value); }
+
+  void WriteU32(std::uint32_t value) {
+    for (int b = 0; b < 4; ++b) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+  }
+
+  void WriteU64(std::uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+  }
+
+  void WriteI64(std::int64_t value) {
+    WriteU64(static_cast<std::uint64_t>(value));
+  }
+
+  void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+  void WriteDouble(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteString(const std::string& value) {
+    WriteU64(value.size());
+    WriteRaw(value.data(), value.size());
+  }
+
+  void WriteDoubles(const double* values, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) WriteDouble(values[i]);
+  }
+
+  void WriteDoubleVector(const std::vector<double>& values) {
+    WriteU64(values.size());
+    WriteDoubles(values.data(), values.size());
+  }
+
+  /// Four-character section marker; cheap structural self-description
+  /// that turns a mis-ordered read into a loud kCorruption error
+  /// instead of silently reinterpreted bytes.
+  void WriteTag(const char (&tag)[5]) { WriteRaw(tag, 4); }
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Decoder over a borrowed byte buffer. Every read validates the
+/// remaining length and throws StatusError(kCorruption) on underrun, so
+/// a truncated payload can never produce garbage state.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t ReadU8() {
+    Require(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t ReadU32() {
+    Require(4);
+    std::uint32_t value = 0;
+    for (int b = 0; b < 4; ++b) {
+      value |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * b);
+    }
+    return value;
+  }
+
+  std::uint64_t ReadU64() {
+    Require(8);
+    std::uint64_t value = 0;
+    for (int b = 0; b < 8; ++b) {
+      value |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * b);
+    }
+    return value;
+  }
+
+  std::int64_t ReadI64() { return static_cast<std::int64_t>(ReadU64()); }
+
+  bool ReadBool() { return ReadU8() != 0; }
+
+  double ReadDouble() {
+    const std::uint64_t bits = ReadU64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string ReadString() {
+    const std::uint64_t size = ReadU64();
+    Require(size);
+    std::string value(reinterpret_cast<const char*>(data_ + pos_),
+                      static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return value;
+  }
+
+  void ReadDoubles(double* values, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) values[i] = ReadDouble();
+  }
+
+  std::vector<double> ReadDoubleVector() {
+    const std::uint64_t count = ReadU64();
+    // Bound before allocating: a corrupted length must not drive a
+    // multi-terabyte vector reservation.
+    if (count > remaining() / 8) {
+      ThrowStatus(StatusCode::kCorruption,
+                  "vector length " + std::to_string(count) +
+                      " exceeds remaining payload");
+    }
+    std::vector<double> values(static_cast<std::size_t>(count));
+    ReadDoubles(values.data(), values.size());
+    return values;
+  }
+
+  /// Consumes a section marker; mismatch throws kCorruption naming both
+  /// the expected and the found tag.
+  void ExpectTag(const char (&tag)[5]);
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void Require(std::uint64_t bytes) const {
+    if (bytes > size_ - pos_) {
+      ThrowStatus(StatusCode::kCorruption,
+                  "payload truncated: need " + std::to_string(bytes) +
+                      " bytes, have " + std::to_string(size_ - pos_));
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// stats::Rng round-trip (seed, xoshiro words, Box-Muller cache).
+void WriteRngState(BinaryWriter& writer, const stats::Rng& rng);
+void ReadRngState(BinaryReader& reader, stats::Rng& rng);
+
+}  // namespace mexi::robust
+
+#endif  // MEXI_ROBUST_SERIALIZE_H_

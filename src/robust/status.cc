@@ -1,0 +1,55 @@
+#include "robust/status.h"
+
+#include <sstream>
+
+namespace mexi::robust {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kDivergence:
+      return "divergence";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << StatusCodeName(code_) << ": " << message_;
+  if (!file_.empty() || line_ != 0) {
+    out << " [";
+    if (!file_.empty()) out << file_;
+    if (line_ != 0) {
+      if (!file_.empty()) out << ':';
+      out << "line " << line_;
+    }
+    out << ']';
+  }
+  return out.str();
+}
+
+void ThrowStatus(StatusCode code, std::string message) {
+  throw StatusError(Status(code, std::move(message)));
+}
+
+void ThrowIfError(const Status& status) {
+  if (!status.ok()) throw StatusError(status);
+}
+
+}  // namespace mexi::robust

@@ -1,0 +1,107 @@
+#ifndef MEXI_ROBUST_STATUS_H_
+#define MEXI_ROBUST_STATUS_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mexi::robust {
+
+/// Canonical error categories for the fault-tolerance substrate.
+///
+/// The categories are deliberately coarse: callers branch on *recovery
+/// strategy* (retry, fall back to a previous checkpoint, abort the run,
+/// fix the input file), not on the precise failure mechanics, which live
+/// in the message.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed something structurally invalid (bad spec grammar,
+  /// shape mismatch on restore).
+  kInvalidArgument,
+  /// A required file / checkpoint does not exist.
+  kNotFound,
+  /// The operating system failed an I/O call (open, write, rename).
+  kIoError,
+  /// Malformed external input data (CSV rows, out-of-range indices).
+  kParseError,
+  /// Stored bytes fail validation: bad magic, version, size, or
+  /// checksum — a torn write or bit rot. Recovery: previous checkpoint.
+  kCorruption,
+  /// Training produced non-finite state (NaN/Inf loss or weights).
+  /// Recovery: restart from the last checkpoint, possibly with
+  /// different hyper-parameters.
+  kDivergence,
+  /// A resource ran out (disk space, quota).
+  kResourceExhausted,
+  /// The operation was deliberately aborted mid-flight (fault
+  /// injection, shutdown request).
+  kAborted,
+};
+
+/// Human-readable name ("kCorruption" -> "corruption").
+const char* StatusCodeName(StatusCode code);
+
+/// A result descriptor: a code plus context. `file` and `line` localize
+/// data errors (line is 1-based; 0 means not applicable) so tooling can
+/// point at the offending input instead of grepping messages.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::string& file() const { return file_; }
+  std::size_t line() const { return line_; }
+
+  /// Attaches the offending file path / input line (chainable).
+  Status& WithFile(std::string file) {
+    file_ = std::move(file);
+    return *this;
+  }
+  Status& WithLine(std::size_t line) {
+    line_ = line;
+    return *this;
+  }
+
+  /// "corruption: checksum mismatch [ckpt/lstm.bin]" style rendering.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string file_;
+  std::size_t line_ = 0;
+};
+
+/// Exception carrier for a Status. Derives from std::runtime_error so
+/// every pre-existing `catch (const std::runtime_error&)` /
+/// `catch (const std::exception&)` site keeps working; new code can
+/// catch StatusError and branch on `status().code()`.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Throws StatusError(code, message).
+[[noreturn]] void ThrowStatus(StatusCode code, std::string message);
+
+/// Throws unless `status.ok()`.
+void ThrowIfError(const Status& status);
+
+}  // namespace mexi::robust
+
+#endif  // MEXI_ROBUST_STATUS_H_

@@ -142,4 +142,20 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
 
 Rng Rng::Split() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  state.seed = seed_;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.cached_gaussian = cached_gaussian_;
+  state.has_cached_gaussian = has_cached_gaussian_;
+  return state;
+}
+
+void Rng::LoadState(const State& state) {
+  seed_ = state.seed;
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+}
+
 }  // namespace mexi::stats

@@ -95,6 +95,20 @@ class Rng {
   /// child streams.
   Rng Fork(std::uint64_t stream_id) const { return Rng(SubSeed(stream_id)); }
 
+  /// Complete generator state for checkpointing. Restoring it resumes
+  /// the draw sequence exactly where SaveState left it, including the
+  /// Box-Muller half-pair cache — required for bitwise-identical
+  /// resumed training runs.
+  struct State {
+    std::uint64_t seed = 0;
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+
+  State SaveState() const;
+  void LoadState(const State& state);
+
  private:
   std::uint64_t seed_ = 0;
   std::uint64_t state_[4];

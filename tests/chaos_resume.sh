@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Process-level kill-and-resume drill for the checkpoint substrate.
+#
+# 1. Simulate a small study and run `characterize` uninterrupted.
+# 2. Re-run with MEXI_FAULTS=kill@fold:2 — the process _Exit(137)s after
+#    the second fold commits its checkpoint, a real mid-run death.
+# 3. Re-run with --resume: finished folds load from the checkpoint
+#    directory, the rest are computed.
+# The resumed run's stdout must be byte-identical to the uninterrupted
+# run's. MEXI_THREADS=1 pins the kill to a deterministic fold; the final
+# results are thread-count independent regardless.
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "chaos_resume: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 12 --seed 99 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+# simulate prints "rerun with: --rows N --cols M"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+CHARACTERIZE=("${MEXI_CLI}" characterize --dir "${DATA}" \
+    --rows "${ROWS}" --cols "${COLS}" --folds 3)
+
+# Reference: uninterrupted, no checkpoints involved.
+MEXI_THREADS=1 "${CHARACTERIZE[@]}" > "${WORKDIR}/expected.txt" \
+    || fail "uninterrupted run exited $?"
+
+# Killed run: _Exit(137) fires after the second computed fold.
+CKPT="${WORKDIR}/ckpt"
+MEXI_THREADS=1 MEXI_FAULTS=kill@fold:2 \
+    "${CHARACTERIZE[@]}" --checkpoint-dir "${CKPT}" \
+    > "${WORKDIR}/killed.txt" 2>&1
+STATUS=$?
+[ "${STATUS}" -eq 137 ] || fail "expected exit 137 from the kill, got ${STATUS}"
+ls "${CKPT}"/fold_*.bin > /dev/null 2>&1 \
+    || fail "killed run left no fold checkpoints behind"
+
+# Resume: must complete and reproduce the reference byte for byte.
+MEXI_THREADS=1 "${CHARACTERIZE[@]}" --checkpoint-dir "${CKPT}" --resume \
+    > "${WORKDIR}/actual.txt" || fail "resumed run exited $?"
+diff -u "${WORKDIR}/expected.txt" "${WORKDIR}/actual.txt" \
+    || fail "resumed output differs from uninterrupted output"
+
+# Sanity: without --resume the same directory is treated as a fresh run
+# (checkpoints discarded, then recomputed) — output still identical.
+MEXI_THREADS=1 "${CHARACTERIZE[@]}" --checkpoint-dir "${CKPT}" \
+    > "${WORKDIR}/fresh.txt" || fail "fresh checkpointed run exited $?"
+diff -u "${WORKDIR}/expected.txt" "${WORKDIR}/fresh.txt" \
+    || fail "fresh checkpointed output differs"
+
+echo "chaos_resume: PASS"

@@ -1,0 +1,346 @@
+// Kill-and-resume chaos scenarios for the checkpoint substrate.
+//
+// The contract under test: a training run that dies mid-flight (here, an
+// injected in-process abort standing in for SIGKILL) and is resumed from
+// its checkpoint directory produces *bitwise-identical* final state to a
+// run that was never interrupted — losses, predictions, and experiment
+// results compare with operator== on doubles, not tolerances.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "ml/logistic_regression.h"
+#include "ml/nn/cnn.h"
+#include "ml/nn/lstm.h"
+#include "parallel/parallel_for.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
+#include "stats/rng.h"
+#include "test_fixtures.h"
+
+namespace mexi {
+namespace {
+
+namespace fs = std::filesystem;
+using robust::FaultInjector;
+using robust::StatusCode;
+using robust::StatusError;
+
+class ChaosResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mexi_chaos_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().Clear();
+    parallel::SetThreads(0);  // back to auto for later tests
+    fs::remove_all(dir_);
+  }
+
+  std::string Dir() const { return dir_.string(); }
+
+  static void FlipByte(const std::string& path, std::size_t offset) {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.put(static_cast<char>(byte ^ 0x04));
+  }
+
+  fs::path dir_;
+};
+
+ml::LstmSequenceModel::Config SmallLstmConfig() {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 2;
+  config.hidden_dim = 6;
+  config.dense_dim = 8;
+  config.num_labels = 3;
+  config.dropout = 0.4;
+  config.epochs = 4;
+  config.batch_size = 4;
+  config.seed = 71;
+  return config;
+}
+
+void MakeLstmData(std::vector<ml::Sequence>* sequences,
+                  std::vector<std::vector<double>>* targets) {
+  stats::Rng rng(72);
+  for (int i = 0; i < 8; ++i) {
+    ml::Sequence seq;
+    const std::size_t len = 2 + rng.UniformIndex(4);
+    for (std::size_t t = 0; t < len; ++t) {
+      seq.push_back({rng.Uniform(), rng.Gaussian()});
+    }
+    sequences->push_back(std::move(seq));
+    targets->push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                        rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                        rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+}
+
+TEST_F(ChaosResumeTest, LstmAbortedRunResumesBitwiseIdentical) {
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  MakeLstmData(&sequences, &targets);
+  const auto config = SmallLstmConfig();
+
+  // Reference: never interrupted, never checkpointed.
+  ml::LstmSequenceModel uninterrupted(config);
+  const double reference_loss = uninterrupted.Fit(sequences, targets);
+
+  // Victim: checkpointing armed, killed right after epoch 2's commit.
+  ml::LstmSequenceModel victim(config);
+  victim.EnableCheckpointing(Dir());
+  FaultInjector::Global().Configure("abort@epoch:2");
+  try {
+    victim.Fit(sequences, targets);
+    FAIL() << "injected abort did not fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAborted);
+  }
+  FaultInjector::Global().Clear();
+
+  // Survivor: a fresh process would construct a fresh model and point it
+  // at the same directory; it must pick up at epoch 2 and land exactly
+  // where the uninterrupted run did.
+  ml::LstmSequenceModel survivor(config);
+  survivor.EnableCheckpointing(Dir());
+  const double resumed_loss = survivor.Fit(sequences, targets);
+
+  EXPECT_EQ(resumed_loss, reference_loss);
+  for (const auto& seq : sequences) {
+    EXPECT_EQ(survivor.Predict(seq), uninterrupted.Predict(seq));
+  }
+}
+
+TEST_F(ChaosResumeTest, LstmResumeSurvivesCorruptedNewestCheckpoint) {
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  MakeLstmData(&sequences, &targets);
+  const auto config = SmallLstmConfig();
+
+  ml::LstmSequenceModel uninterrupted(config);
+  const double reference_loss = uninterrupted.Fit(sequences, targets);
+
+  ml::LstmSequenceModel victim(config);
+  victim.EnableCheckpointing(Dir());
+  FaultInjector::Global().Configure("abort@epoch:3");
+  EXPECT_THROW(victim.Fit(sequences, targets), StatusError);
+  FaultInjector::Global().Clear();
+
+  // Bit rot eats the newest generation (epoch 3); the resume must fall
+  // back to the previous generation (epoch 2) and still converge to the
+  // identical final state — just redoing one more epoch.
+  FlipByte(Dir() + "/lstm.bin", 48);
+
+  ml::LstmSequenceModel survivor(config);
+  survivor.EnableCheckpointing(Dir());
+  const double resumed_loss = survivor.Fit(sequences, targets);
+
+  EXPECT_EQ(resumed_loss, reference_loss);
+  for (const auto& seq : sequences) {
+    EXPECT_EQ(survivor.Predict(seq), uninterrupted.Predict(seq));
+  }
+}
+
+TEST_F(ChaosResumeTest, LstmRejectsCheckpointFromDifferentRun) {
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  MakeLstmData(&sequences, &targets);
+  auto config = SmallLstmConfig();
+
+  ml::LstmSequenceModel original(config);
+  original.EnableCheckpointing(Dir());
+  original.Fit(sequences, targets);
+
+  // Same directory, different hyper-parameters: silently blending two
+  // runs would corrupt training, so this must fail fast.
+  config.seed = 72;
+  ml::LstmSequenceModel other(config);
+  other.EnableCheckpointing(Dir());
+  try {
+    other.Fit(sequences, targets);
+    FAIL() << "foreign checkpoint accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ChaosResumeTest, LstmDivergenceGuardTripsOnInjectedNan) {
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  MakeLstmData(&sequences, &targets);
+
+  ml::LstmSequenceModel model(SmallLstmConfig());
+  FaultInjector::Global().Configure("nan@lstm_grad:3");
+  try {
+    model.Fit(sequences, targets);
+    FAIL() << "NaN loss not caught";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDivergence);
+    EXPECT_NE(e.status().message().find("epoch"), std::string::npos);
+  }
+}
+
+TEST_F(ChaosResumeTest, CnnAbortedFineTuneResumesBitwiseIdentical) {
+  ml::CnnImageModel::Config config;
+  config.image_rows = 8;
+  config.image_cols = 8;
+  config.conv1_filters = 2;
+  config.conv2_filters = 3;
+  config.dense_dim = 6;
+  config.num_labels = 3;
+  config.epochs = 2;
+  config.batch_size = 2;
+  config.seed = 73;
+
+  stats::Rng rng(74);
+  std::vector<ml::Image> images;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 4; ++i) {
+    images.push_back(ml::Matrix::RandomGaussian(8, 8, 1.0, rng));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+
+  // Reference: the paper's pretrain -> fine-tune protocol, undisturbed.
+  ml::CnnImageModel uninterrupted(config);
+  uninterrupted.Fit(images, targets, 1);
+  const double reference_loss = uninterrupted.Fit(images, targets);
+
+  // Victim: dies after fine-tune epoch 1 (epoch hits: pretrain 1 = #1,
+  // fine-tune 1 = #2). Each Fit phase owns its own checkpoint stem.
+  ml::CnnImageModel victim(config);
+  victim.EnableCheckpointing(Dir());
+  victim.Fit(images, targets, 1);
+  FaultInjector::Global().Configure("abort@epoch:2");
+  try {
+    victim.Fit(images, targets);
+    FAIL() << "injected abort did not fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAborted);
+  }
+  FaultInjector::Global().Clear();
+
+  // Survivor replays the same call sequence: the finished pretrain phase
+  // loads as a no-op, the fine-tune phase resumes at epoch 2.
+  ml::CnnImageModel survivor(config);
+  survivor.EnableCheckpointing(Dir());
+  survivor.Fit(images, targets, 1);
+  const double resumed_loss = survivor.Fit(images, targets);
+
+  EXPECT_EQ(resumed_loss, reference_loss);
+  for (const auto& img : images) {
+    EXPECT_EQ(survivor.Predict(img), uninterrupted.Predict(img));
+  }
+}
+
+TEST_F(ChaosResumeTest, LogisticRegressionDivergenceGuard) {
+  ml::Dataset data;
+  stats::Rng rng(75);
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    data.Add({rng.Gaussian(label == 1 ? 1.0 : -1.0, 1.0), rng.Gaussian()},
+             label);
+  }
+  ml::LogisticRegression model;
+  FaultInjector::Global().Configure("nan@logreg_grad:2");
+  try {
+    model.Fit(data);
+    FAIL() << "NaN gradient not caught";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDivergence);
+  }
+}
+
+TEST_F(ChaosResumeTest, KFoldAbortedExperimentResumesBitwiseIdentical) {
+  // Single-threaded so the injected abort lands at a deterministic fold
+  // (results are thread-count independent either way).
+  parallel::SetThreads(1);
+  const auto fixture = testing::MakeSmallPoFixture(20, 911);
+
+  std::vector<CharacterizerFactory> methods;
+  methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
+  methods.push_back([] { return std::make_unique<RandCharacterizer>(5); });
+
+  ExperimentConfig config;
+  config.folds = 3;
+  config.bootstrap_replicates = 200;
+
+  const auto reference = RunKFoldExperiment(fixture->input, methods, config);
+
+  config.checkpoint_dir = Dir();
+  FaultInjector::Global().Configure("abort@fold:2");
+  try {
+    RunKFoldExperiment(fixture->input, methods, config);
+    FAIL() << "injected abort did not fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAborted);
+  }
+  FaultInjector::Global().Clear();
+
+  const auto resumed = RunKFoldExperiment(fixture->input, methods, config);
+
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t m = 0; m < reference.size(); ++m) {
+    EXPECT_EQ(resumed[m].method, reference[m].method);
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(resumed[m].a_c[c], reference[m].a_c[c]);
+      EXPECT_EQ(resumed[m].per_matcher_correct[c],
+                reference[m].per_matcher_correct[c]);
+    }
+    EXPECT_EQ(resumed[m].a_ml, reference[m].a_ml);
+    EXPECT_EQ(resumed[m].per_matcher_jaccard,
+              reference[m].per_matcher_jaccard);
+  }
+}
+
+TEST_F(ChaosResumeTest, KFoldStaleCheckpointsAreRecomputedNotBlended) {
+  parallel::SetThreads(1);
+  const auto fixture = testing::MakeSmallPoFixture(20, 912);
+
+  std::vector<CharacterizerFactory> methods;
+  methods.push_back([] { return std::make_unique<ConfCharacterizer>(); });
+
+  ExperimentConfig config;
+  config.folds = 3;
+  config.bootstrap_replicates = 200;
+  config.checkpoint_dir = Dir();
+  RunKFoldExperiment(fixture->input, methods, config);
+
+  // Change the experiment seed: the stored folds no longer apply. They
+  // must be treated as absent (recomputed), not loaded.
+  auto changed = config;
+  changed.seed = config.seed + 1;
+  const auto with_stale =
+      RunKFoldExperiment(fixture->input, methods, changed);
+
+  auto fresh_config = changed;
+  fresh_config.checkpoint_dir.clear();
+  const auto fresh =
+      RunKFoldExperiment(fixture->input, methods, fresh_config);
+  ASSERT_EQ(with_stale.size(), fresh.size());
+  EXPECT_EQ(with_stale[0].a_ml, fresh[0].a_ml);
+  EXPECT_EQ(with_stale[0].per_matcher_jaccard,
+            fresh[0].per_matcher_jaccard);
+}
+
+}  // namespace
+}  // namespace mexi

@@ -1,0 +1,327 @@
+#include "robust/checkpoint.h"
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "robust/fault_injection.h"
+#include "robust/serialize.h"
+#include "robust/status.h"
+#include "stats/rng.h"
+
+namespace mexi::robust {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on teardown.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mexi_ckpt_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().Clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string Dir() const { return dir_.string(); }
+
+  static std::vector<std::uint8_t> Payload(const std::string& text) {
+    return std::vector<std::uint8_t>(text.begin(), text.end());
+  }
+
+  static void FlipByte(const std::string& path, std::size_t offset) {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  static void Truncate(const std::string& path, std::uintmax_t size) {
+    fs::resize_file(path, size);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, WriterReaderRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteTag("TEST");
+  writer.WriteU8(7);
+  writer.WriteU32(123456789u);
+  writer.WriteU64(0xDEADBEEFCAFEF00DULL);
+  writer.WriteI64(-42);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  writer.WriteDouble(3.14159);
+  writer.WriteDouble(-0.0);
+  writer.WriteString("hello checkpoint");
+  writer.WriteDoubleVector({1.0, -2.5, 1e-300});
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_NO_THROW(reader.ExpectTag("TEST"));
+  EXPECT_EQ(reader.ReadU8(), 7);
+  EXPECT_EQ(reader.ReadU32(), 123456789u);
+  EXPECT_EQ(reader.ReadU64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(reader.ReadI64(), -42);
+  EXPECT_TRUE(reader.ReadBool());
+  EXPECT_FALSE(reader.ReadBool());
+  EXPECT_EQ(reader.ReadDouble(), 3.14159);
+  const double neg_zero = reader.ReadDouble();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit-exact, not just value-equal
+  EXPECT_EQ(reader.ReadString(), "hello checkpoint");
+  EXPECT_EQ(reader.ReadDoubleVector(),
+            (std::vector<double>{1.0, -2.5, 1e-300}));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST_F(CheckpointTest, TagMismatchThrowsCorruption) {
+  BinaryWriter writer;
+  writer.WriteTag("AAAA");
+  BinaryReader reader(writer.buffer());
+  try {
+    reader.ExpectTag("BBBB");
+    FAIL() << "mismatched tag accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(e.status().message().find("BBBB"), std::string::npos);
+    EXPECT_NE(e.status().message().find("AAAA"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedPayloadThrowsCorruption) {
+  BinaryWriter writer;
+  writer.WriteU64(1);
+  BinaryReader reader(writer.buffer().data(), 4);  // cut mid-value
+  EXPECT_THROW(reader.ReadU64(), StatusError);
+}
+
+TEST_F(CheckpointTest, HugeVectorLengthRejectedBeforeAllocation) {
+  // A corrupted length header must fail loudly, not reserve terabytes.
+  BinaryWriter writer;
+  writer.WriteU64(0x7FFFFFFFFFFFFFFFULL);
+  BinaryReader reader(writer.buffer());
+  try {
+    reader.ReadDoubleVector();
+    FAIL() << "absurd vector length accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(CheckpointTest, SealOpenRoundTrip) {
+  const auto payload = Payload("the quick brown fox");
+  const auto sealed = SealCheckpoint(payload);
+  EXPECT_EQ(sealed.size(), payload.size() + 24);
+  std::vector<std::uint8_t> recovered;
+  EXPECT_TRUE(OpenCheckpoint(sealed, &recovered).ok());
+  EXPECT_EQ(recovered, payload);
+}
+
+TEST_F(CheckpointTest, EveryFlippedByteIsDetected) {
+  // One-byte corruption anywhere — header or payload — must be caught.
+  const auto payload = Payload("integrity matters");
+  const auto sealed = SealCheckpoint(payload);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    auto corrupted = sealed;
+    corrupted[i] ^= 0x10;
+    std::vector<std::uint8_t> out;
+    const Status status = OpenCheckpoint(corrupted, &out);
+    EXPECT_FALSE(status.ok()) << "flip at byte " << i << " not detected";
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "byte " << i;
+  }
+}
+
+TEST_F(CheckpointTest, TornWriteIsDetected) {
+  const auto sealed = SealCheckpoint(Payload("partially persisted state"));
+  for (const std::size_t keep : {0u, 10u, 23u, 24u, 30u}) {
+    if (keep >= sealed.size()) continue;
+    std::vector<std::uint8_t> torn(sealed.begin(), sealed.begin() + keep);
+    std::vector<std::uint8_t> out;
+    const Status status = OpenCheckpoint(torn, &out);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "torn at " << keep << " bytes";
+  }
+}
+
+TEST_F(CheckpointTest, WriteFileAtomicRoundTrip) {
+  const std::string path = Dir() + "/file.bin";
+  const auto bytes = Payload("atomic content");
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // no droppings
+  std::vector<std::uint8_t> read_back;
+  ASSERT_TRUE(ReadFileBytes(path, &read_back).ok());
+  EXPECT_EQ(read_back, bytes);
+}
+
+TEST_F(CheckpointTest, ReadMissingFileIsNotFound) {
+  std::vector<std::uint8_t> bytes;
+  const Status status = ReadFileBytes(Dir() + "/absent.bin", &bytes);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, ManagerCommitAndLoadLatest) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("generation 1")).ok());
+  ASSERT_TRUE(manager.Commit(Payload("generation 2")).ok());
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("generation 2"));
+  EXPECT_FALSE(info.fell_back);
+  EXPECT_EQ(info.source_path, manager.CurrentPath());
+}
+
+TEST_F(CheckpointTest, ManagerFallsBackWhenCurrentCorrupted) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("good old state")).ok());
+  ASSERT_TRUE(manager.Commit(Payload("bad new state")).ok());
+  // Flip one payload byte of the newest generation on disk.
+  FlipByte(manager.CurrentPath(), 30);
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("good old state"));
+  EXPECT_TRUE(info.fell_back);
+  EXPECT_EQ(info.source_path, manager.PreviousPath());
+}
+
+TEST_F(CheckpointTest, ManagerFallsBackWhenCurrentTorn) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("good old state")).ok());
+  ASSERT_TRUE(manager.Commit(Payload("half written next state")).ok());
+  Truncate(manager.CurrentPath(), 10);  // lost mid-write
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("good old state"));
+  EXPECT_TRUE(info.fell_back);
+}
+
+TEST_F(CheckpointTest, ManagerReportsCorruptionWhenAllGenerationsBad) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("first generation bytes")).ok());
+  ASSERT_TRUE(manager.Commit(Payload("second generation bytes")).ok());
+  FlipByte(manager.CurrentPath(), 28);
+  FlipByte(manager.PreviousPath(), 28);
+
+  std::vector<std::uint8_t> payload;
+  const Status status = manager.LoadLatest(&payload);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointTest, ManagerNotFoundWhenEmpty) {
+  CheckpointManager manager(Dir(), "model");
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(manager.LoadLatest(&payload).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, SoleSurvivingPrevIsNotAFallback) {
+  // Crash between "rotate current -> prev" and "install staged": only
+  // .prev exists. That is the newest loadable state, not a degradation.
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("only state")).ok());
+  fs::rename(manager.CurrentPath(), manager.PreviousPath());
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("only state"));
+  EXPECT_FALSE(info.fell_back);
+}
+
+TEST_F(CheckpointTest, DiscardRemovesAllGenerations) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("a")).ok());
+  ASSERT_TRUE(manager.Commit(Payload("b")).ok());
+  manager.Discard();
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(manager.LoadLatest(&payload).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, InjectedEnospcFailsCommitButKeepsOldState) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("safe state")).ok());
+
+  FaultInjector::Global().Configure("enospc@ckpt_write:1");
+  const Status status = manager.Commit(Payload("never lands"));
+  FaultInjector::Global().Clear();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(manager.LoadLatest(&payload).ok());
+  EXPECT_EQ(payload, Payload("safe state"));
+}
+
+TEST_F(CheckpointTest, InjectedShortWriteSurvivesViaFallback) {
+  // The torn bytes *do* get installed (a lying disk) — but validation
+  // rejects them and the previous generation takes over.
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("durable state")).ok());
+
+  FaultInjector::Global().Configure("short_write@ckpt_write:1");
+  ASSERT_TRUE(manager.Commit(Payload("torn state")).ok());
+  FaultInjector::Global().Clear();
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("durable state"));
+  EXPECT_TRUE(info.fell_back);
+}
+
+TEST_F(CheckpointTest, InjectedBitFlipSurvivesViaFallback) {
+  CheckpointManager manager(Dir(), "model");
+  ASSERT_TRUE(manager.Commit(Payload("durable state")).ok());
+
+  FaultInjector::Global().Configure("bitflip@ckpt_write:1", 7);
+  ASSERT_TRUE(manager.Commit(Payload("rotten state")).ok());
+  FaultInjector::Global().Clear();
+
+  std::vector<std::uint8_t> payload;
+  CheckpointManager::LoadInfo info;
+  ASSERT_TRUE(manager.LoadLatest(&payload, &info).ok());
+  EXPECT_EQ(payload, Payload("durable state"));
+  EXPECT_TRUE(info.fell_back);
+}
+
+TEST_F(CheckpointTest, RngStateRoundTripResumesDrawSequence) {
+  stats::Rng original(12345);
+  // Burn in and leave a Box-Muller half-pair cached mid-stream.
+  for (int i = 0; i < 17; ++i) original.Uniform();
+  original.Gaussian();
+
+  BinaryWriter writer;
+  WriteRngState(writer, original);
+  stats::Rng restored(999);  // deliberately different seed
+  BinaryReader reader(writer.buffer());
+  ReadRngState(reader, restored);
+
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(original.NextU64(), restored.NextU64()) << "draw " << i;
+  }
+  EXPECT_EQ(original.Gaussian(), restored.Gaussian());  // cache included
+}
+
+}  // namespace
+}  // namespace mexi::robust

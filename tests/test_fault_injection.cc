@@ -1,0 +1,123 @@
+#include "robust/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "robust/status.h"
+
+namespace mexi::robust {
+namespace {
+
+TEST(FaultInjectionTest, UnconfiguredIsInert) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.active());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Hit(FaultSite::kEpochEnd), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectionTest, FiresAtExactOccurrenceOnce) {
+  FaultInjector injector;
+  injector.Configure("nan@lstm_grad:3");
+  EXPECT_TRUE(injector.active());
+  EXPECT_EQ(injector.Hit(FaultSite::kLstmGradient), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kLstmGradient), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kLstmGradient), FaultKind::kNan);
+  // A clause fires exactly once.
+  EXPECT_EQ(injector.Hit(FaultSite::kLstmGradient), FaultKind::kNone);
+}
+
+TEST(FaultInjectionTest, SitesKeepIndependentCounters) {
+  FaultInjector injector;
+  injector.Configure("abort@epoch:1,bitflip@ckpt_write:2");
+  // Hits at other sites never advance the epoch counter.
+  EXPECT_EQ(injector.Hit(FaultSite::kFoldEnd), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kCheckpointWrite), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kEpochEnd), FaultKind::kAbort);
+  EXPECT_EQ(injector.Hit(FaultSite::kCheckpointWrite), FaultKind::kBitFlip);
+}
+
+TEST(FaultInjectionTest, MultipleClausesOneSite) {
+  FaultInjector injector;
+  injector.Configure("enospc@ckpt_write:1,short_write@ckpt_write:2");
+  EXPECT_EQ(injector.Hit(FaultSite::kCheckpointWrite), FaultKind::kEnospc);
+  EXPECT_EQ(injector.Hit(FaultSite::kCheckpointWrite),
+            FaultKind::kShortWrite);
+  EXPECT_EQ(injector.Hit(FaultSite::kCheckpointWrite), FaultKind::kNone);
+}
+
+TEST(FaultInjectionTest, ClearDisarms) {
+  FaultInjector injector;
+  injector.Configure("kill@fold:1");
+  injector.Clear();
+  EXPECT_FALSE(injector.active());
+  EXPECT_EQ(injector.Hit(FaultSite::kFoldEnd), FaultKind::kNone);
+}
+
+TEST(FaultInjectionTest, EmptySpecClears) {
+  FaultInjector injector;
+  injector.Configure("nan@cnn_grad:1");
+  injector.Configure("");
+  EXPECT_FALSE(injector.active());
+}
+
+TEST(FaultInjectionTest, BadSpecThrowsInvalidArgument) {
+  FaultInjector injector;
+  const char* bad_specs[] = {
+      "nonsense",           // no @
+      "nan@",               // missing site
+      "@epoch:1",           // missing kind
+      "nan@epoch",          // missing occurrence
+      "nan@epoch:0",        // occurrence must be >= 1
+      "nan@epoch:x",        // non-numeric occurrence
+      "frobnicate@epoch:1",  // unknown kind
+      "nan@nowhere:1",      // unknown site
+  };
+  for (const char* spec : bad_specs) {
+    try {
+      injector.Configure(spec);
+      FAIL() << "spec accepted: " << spec;
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, DrawIsSeedDeterministic) {
+  FaultInjector a;
+  FaultInjector b;
+  a.Configure("bitflip@ckpt_write:1", 42);
+  b.Configure("bitflip@ckpt_write:1", 42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Draw(), b.Draw());
+  FaultInjector c;
+  c.Configure("bitflip@ckpt_write:1", 43);
+  bool any_different = false;
+  FaultInjector d;
+  d.Configure("bitflip@ckpt_write:1", 42);
+  for (int i = 0; i < 10; ++i) {
+    if (c.Draw() != d.Draw()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FaultInjectionTest, NamesRoundTripInSpec) {
+  // Every kind/site name pair parses back, locking the spec grammar.
+  const FaultKind kinds[] = {FaultKind::kShortWrite, FaultKind::kBitFlip,
+                             FaultKind::kEnospc,     FaultKind::kNan,
+                             FaultKind::kAbort,      FaultKind::kKill};
+  const FaultSite sites[] = {
+      FaultSite::kCheckpointWrite, FaultSite::kLstmGradient,
+      FaultSite::kCnnGradient,     FaultSite::kLogRegGradient,
+      FaultSite::kEpochEnd,        FaultSite::kFoldEnd};
+  for (FaultKind kind : kinds) {
+    for (FaultSite site : sites) {
+      FaultInjector injector;
+      const std::string spec = std::string(FaultKindName(kind)) + "@" +
+                               FaultSiteName(site) + ":1";
+      EXPECT_NO_THROW(injector.Configure(spec)) << spec;
+      EXPECT_EQ(injector.Hit(site), kind) << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mexi::robust

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "robust/status.h"
+
 namespace mexi::matching {
 namespace {
 
@@ -139,6 +141,77 @@ TEST(IoTest, FileRoundTrip) {
   EXPECT_EQ(LoadReferenceFromFile(dir + "/r.csv").size(), 1u);
   EXPECT_THROW(LoadReferenceFromFile(dir + "/missing.csv"),
                std::runtime_error);
+}
+
+TEST(IoTest, EmptyDecisionsFileRejected) {
+  std::stringstream empty("");
+  try {
+    ReadDecisionsCsv(empty);
+    FAIL() << "empty file accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kParseError);
+  }
+}
+
+TEST(IoTest, EmptyMovementsFileRejected) {
+  std::stringstream empty("# only a comment, no header\n");
+  std::vector<LoadedMatcher> matchers;
+  try {
+    ReadMovementsCsv(empty, &matchers);
+    FAIL() << "headerless file accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kParseError);
+  }
+}
+
+TEST(IoTest, NonFiniteValueRejectedWithLineNumber) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,0,0,nan,1.0\n");
+  try {
+    ReadDecisionsCsv(buffer);
+    FAIL() << "NaN confidence accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kParseError);
+    EXPECT_EQ(e.status().line(), 2u);
+  }
+}
+
+TEST(IoTest, ParseErrorsCarryStructuredLine) {
+  std::stringstream buffer(
+      "matcher_id,source,target,confidence,timestamp\n"
+      "1,0,0,0.5,1.0\n"
+      "1,0,bad,0.5,2.0\n");
+  try {
+    ReadDecisionsCsv(buffer);
+    FAIL() << "expected parse error";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kParseError);
+    EXPECT_EQ(e.status().line(), 3u);
+  }
+}
+
+TEST(IoTest, MissingFileIsStructuredNotFound) {
+  try {
+    LoadReferenceFromFile("/nonexistent/path/reference.csv");
+    FAIL() << "missing file accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kNotFound);
+    EXPECT_FALSE(e.status().file().empty());
+  }
+}
+
+TEST(IoTest, ValidateMatchersCatchesOutOfRangeDecision) {
+  const auto matchers = TwoMatchers();
+  // Matcher 3 decided on (2, 2); a 2x2 task only has indices 0..1.
+  EXPECT_NO_THROW(ValidateMatchers(matchers, 3, 3));
+  try {
+    ValidateMatchers(matchers, 2, 2);
+    FAIL() << "out-of-range decision accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kInvalidArgument);
+    EXPECT_NE(e.status().message().find("matcher 3"), std::string::npos);
+  }
 }
 
 }  // namespace

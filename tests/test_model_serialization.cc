@@ -1,0 +1,239 @@
+// Round-trip locks for the trainable-artifact serialization layer.
+//
+// Every model type must survive SaveState -> LoadState into a freshly
+// constructed instance with bitwise-identical predictions, and a second
+// SaveState of the restored instance must reproduce the original bytes
+// exactly — the property the crash-resume substrate depends on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/nn/cnn.h"
+#include "ml/nn/lstm.h"
+#include "ml/random_forest.h"
+#include "robust/serialize.h"
+#include "robust/status.h"
+#include "stats/rng.h"
+
+namespace mexi::ml {
+namespace {
+
+Dataset MakeBlobs(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 1 ? 1.5 : -1.5;
+    d.Add({rng.Gaussian(cx, 1.0), rng.Gaussian(-cx, 1.0),
+           rng.Gaussian(0.0, 1.0)},
+          label);
+  }
+  return d;
+}
+
+/// Fits `model`, round-trips it into `restored`, and checks bitwise
+/// prediction equality plus byte-identical re-serialization.
+void ExpectRoundTrip(BinaryClassifier& model, BinaryClassifier& restored,
+                     const Dataset& train) {
+  model.Fit(train);
+
+  robust::BinaryWriter saved;
+  model.SaveState(saved);
+  robust::BinaryReader reader(saved.buffer());
+  restored.LoadState(reader);
+  EXPECT_EQ(reader.remaining(), 0u) << model.Name();
+
+  ASSERT_TRUE(restored.fitted()) << model.Name();
+  for (const auto& row : train.features) {
+    // operator== on doubles: bitwise, not within-epsilon.
+    EXPECT_EQ(model.PredictProba(row), restored.PredictProba(row))
+        << model.Name();
+  }
+
+  robust::BinaryWriter resaved;
+  restored.SaveState(resaved);
+  EXPECT_EQ(saved.buffer(), resaved.buffer()) << model.Name();
+}
+
+TEST(ModelSerializationTest, LogisticRegression) {
+  LogisticRegression model, restored;
+  ExpectRoundTrip(model, restored, MakeBlobs(120, 51));
+}
+
+TEST(ModelSerializationTest, LinearSvm) {
+  LinearSvm model, restored;
+  ExpectRoundTrip(model, restored, MakeBlobs(120, 52));
+}
+
+TEST(ModelSerializationTest, DecisionTree) {
+  DecisionTree model, restored;
+  ExpectRoundTrip(model, restored, MakeBlobs(120, 53));
+}
+
+TEST(ModelSerializationTest, RandomForest) {
+  RandomForest::Config config;
+  config.num_trees = 8;
+  RandomForest model(config), restored(config);
+  ExpectRoundTrip(model, restored, MakeBlobs(120, 54));
+}
+
+TEST(ModelSerializationTest, GradientBoosting) {
+  GradientBoosting model, restored;
+  ExpectRoundTrip(model, restored, MakeBlobs(120, 55));
+}
+
+TEST(ModelSerializationTest, Mlp) {
+  MlpClassifier::Config config;
+  config.hidden_layers = {8, 4};
+  config.epochs = 15;
+  MlpClassifier model(config), restored(config);
+  ExpectRoundTrip(model, restored, MakeBlobs(80, 56));
+}
+
+TEST(ModelSerializationTest, ConstantLabelFallback) {
+  // A degenerate single-class fit stores no model weights, only the
+  // constant label — that shortcut must round-trip too.
+  Dataset d;
+  for (int i = 0; i < 12; ++i) d.Add({static_cast<double>(i)}, 1);
+  LogisticRegression model, restored;
+  ExpectRoundTrip(model, restored, d);
+  EXPECT_EQ(restored.Predict({99.0}), 1);
+}
+
+TEST(ModelSerializationTest, TypeMismatchRejected) {
+  LogisticRegression source;
+  source.Fit(MakeBlobs(60, 57));
+  robust::BinaryWriter saved;
+  source.SaveState(saved);
+
+  LinearSvm wrong_type;
+  robust::BinaryReader reader(saved.buffer());
+  try {
+    wrong_type.LoadState(reader);
+    FAIL() << "cross-type load accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kCorruption);
+  }
+}
+
+TEST(ModelSerializationTest, LstmFullTrainingState) {
+  LstmSequenceModel::Config config;
+  config.input_dim = 2;
+  config.hidden_dim = 6;
+  config.dense_dim = 8;
+  config.num_labels = 3;
+  config.dropout = 0.3;
+  config.epochs = 2;
+  config.batch_size = 4;
+  config.seed = 61;
+
+  stats::Rng rng(62);
+  std::vector<Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 6; ++i) {
+    Sequence seq;
+    for (std::size_t t = 0; t < 4; ++t) {
+      seq.push_back({rng.Uniform(), rng.Gaussian()});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+
+  LstmSequenceModel model(config);
+  model.Fit(sequences, targets);
+
+  robust::BinaryWriter saved;
+  model.SaveState(saved);
+  LstmSequenceModel restored(config);
+  robust::BinaryReader reader(saved.buffer());
+  restored.LoadState(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  for (const auto& seq : sequences) {
+    EXPECT_EQ(model.Predict(seq), restored.Predict(seq));
+  }
+  robust::BinaryWriter resaved;
+  restored.SaveState(resaved);
+  EXPECT_EQ(saved.buffer(), resaved.buffer());
+}
+
+TEST(ModelSerializationTest, LstmArchitectureMismatchRejected) {
+  LstmSequenceModel::Config config;
+  config.input_dim = 2;
+  config.hidden_dim = 6;
+  config.dense_dim = 8;
+  config.num_labels = 3;
+  config.epochs = 1;
+  config.seed = 63;
+
+  stats::Rng rng(64);
+  std::vector<Sequence> sequences{{{rng.Uniform(), rng.Uniform()},
+                                   {rng.Uniform(), rng.Uniform()}}};
+  std::vector<std::vector<double>> targets{{1.0, 0.0, 1.0}};
+  LstmSequenceModel model(config);
+  model.Fit(sequences, targets);
+  robust::BinaryWriter saved;
+  model.SaveState(saved);
+
+  auto wider = config;
+  wider.hidden_dim = 7;
+  LstmSequenceModel mismatched(wider);
+  robust::BinaryReader reader(saved.buffer());
+  try {
+    mismatched.LoadState(reader);
+    FAIL() << "architecture mismatch accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kCorruption);
+  }
+}
+
+TEST(ModelSerializationTest, CnnFullTrainingState) {
+  CnnImageModel::Config config;
+  config.image_rows = 8;
+  config.image_cols = 8;
+  config.conv1_filters = 2;
+  config.conv2_filters = 3;
+  config.dense_dim = 6;
+  config.num_labels = 3;
+  config.epochs = 2;
+  config.batch_size = 2;
+  config.seed = 65;
+
+  stats::Rng rng(66);
+  std::vector<Image> images;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 4; ++i) {
+    images.push_back(Matrix::RandomGaussian(8, 8, 1.0, rng));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+
+  CnnImageModel model(config);
+  model.Fit(images, targets);
+
+  robust::BinaryWriter saved;
+  model.SaveState(saved);
+  CnnImageModel restored(config);
+  robust::BinaryReader reader(saved.buffer());
+  restored.LoadState(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  for (const auto& img : images) {
+    EXPECT_EQ(model.Predict(img), restored.Predict(img));
+  }
+  robust::BinaryWriter resaved;
+  restored.SaveState(resaved);
+  EXPECT_EQ(saved.buffer(), resaved.buffer());
+}
+
+}  // namespace
+}  // namespace mexi::ml

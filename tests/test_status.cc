@@ -1,0 +1,73 @@
+#include "robust/status.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace mexi::robust {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_NO_THROW(ThrowIfError(status));
+  EXPECT_NO_THROW(ThrowIfError(Status::Ok()));
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status =
+      Status::Error(StatusCode::kCorruption, "checksum mismatch");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(status.message(), "checksum mismatch");
+}
+
+TEST(StatusTest, ToStringIncludesContext) {
+  Status status = Status::Error(StatusCode::kParseError, "bad number");
+  status.WithFile("data.csv").WithLine(17);
+  const std::string rendered = status.ToString();
+  EXPECT_NE(rendered.find("parse"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("bad number"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("data.csv"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("17"), std::string::npos) << rendered;
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STRNE(StatusCodeName(StatusCode::kCorruption),
+               StatusCodeName(StatusCode::kDivergence));
+  EXPECT_STRNE(StatusCodeName(StatusCode::kNotFound),
+               StatusCodeName(StatusCode::kIoError));
+}
+
+TEST(StatusErrorTest, IsCatchableAsRuntimeError) {
+  // The whole point of deriving from std::runtime_error: every
+  // pre-existing catch site keeps working after the migration.
+  bool caught = false;
+  try {
+    ThrowStatus(StatusCode::kIoError, "disk on fire");
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("disk on fire"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(StatusErrorTest, PreservesStructuredStatus) {
+  try {
+    ThrowStatus(StatusCode::kDivergence, "loss is NaN");
+    FAIL() << "ThrowStatus did not throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDivergence);
+    EXPECT_EQ(e.status().message(), "loss is NaN");
+  }
+}
+
+TEST(StatusErrorTest, ThrowIfErrorPropagates) {
+  const Status status = Status::Error(StatusCode::kNotFound, "gone");
+  EXPECT_THROW(ThrowIfError(status), StatusError);
+}
+
+}  // namespace
+}  // namespace mexi::robust
