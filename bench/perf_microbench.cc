@@ -16,6 +16,7 @@
 #include "ml/nn/cnn.h"
 #include "ml/nn/lstm.h"
 #include "ml/random_forest.h"
+#include "obs/obs.h"
 #include "schema/generators.h"
 #include "sim/matcher_sim.h"
 #include "sim/study.h"
@@ -220,6 +221,36 @@ void BM_MexiTrain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MexiTrain)->Unit(benchmark::kMillisecond);
+
+// BM_MexiTrain with the observability hub armed (in-memory sinks, no
+// IO): the delta against BM_MexiTrain IS the metrics overhead, which
+// the obs contract caps at <2%. Instrumentation is epoch/fold-grained,
+// so the two numbers should be statistically indistinguishable.
+void BM_MexiTrainMetrics(benchmark::State& state) {
+  sim::StudyConfig study_config;
+  study_config.num_matchers = 10;
+  study_config.seed = 18;
+  const bench::StudyInput study(sim::BuildPurchaseOrderStudy(study_config));
+  const auto measures = ComputeAllMeasures(study.input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+
+  MexiConfig config;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  obs::Observability::Global().EnableMetrics("");
+  for (auto _ : state) {
+    Mexi mexi(config);
+    mexi.Fit(study.input.matchers, labels, study.input.context);
+    benchmark::DoNotOptimize(mexi);
+  }
+  obs::Observability::Global().DisableMetrics();
+}
+BENCHMARK(BM_MexiTrainMetrics)->Unit(benchmark::kMillisecond);
 
 void BM_BuildStudy(benchmark::State& state) {
   for (auto _ : state) {

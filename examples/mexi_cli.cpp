@@ -34,8 +34,10 @@
 #include "core/evaluation.h"
 #include "core/mexi.h"
 #include "matching/io.h"
+#include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "robust/checkpoint.h"
+#include "robust/serialize.h"
 #include "sim/study.h"
 #include "stats/rng.h"
 
@@ -68,12 +70,12 @@ Args ParseArgs(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
     // Value-less flags (e.g. --resume) are stored as "1".
+    std::string value("1");
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[key] = argv[i + 1];
+      value = argv[i + 1];
       ++i;
-    } else {
-      args.options[key] = "1";
     }
+    args.options.insert_or_assign(std::move(key), std::move(value));
   }
   return args;
 }
@@ -91,7 +93,15 @@ int Usage() {
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
       "                1 = sequential; default: MEXI_THREADS or auto).\n"
-      "                Results are identical for every thread count.\n");
+      "                Results are identical for every thread count.\n"
+      "  --metrics-out DIR\n"
+      "                write metrics.jsonl + run_manifest.json under DIR\n"
+      "                and print a summary on stderr (env: MEXI_METRICS).\n"
+      "                Outputs are bitwise identical with metrics on/off.\n"
+      "  --status-file PATH\n"
+      "                atomically rewrite a small JSON progress snapshot\n"
+      "                at PATH as the run advances (env:\n"
+      "                MEXI_STATUS_FILE).\n");
   return 2;
 }
 
@@ -269,20 +279,66 @@ int CmdFuse(const Args& args) {
 
 }  // namespace
 
+namespace {
+
+/// FNV-1a over the full command line: a cheap configuration fingerprint
+/// for the run manifest, so two runs are comparable at a glance.
+std::uint64_t ArgvFingerprint(int argc, char** argv) {
+  std::uint64_t hash = mexi::robust::kFnvOffsetBasis;
+  for (int i = 1; i < argc; ++i) {
+    hash = mexi::robust::Fnv1a(argv[i], std::strlen(argv[i]) + 1, hash);
+  }
+  return hash;
+}
+
+int RunCommand(const Args& args) {
+  if (args.command == "simulate") return CmdSimulate(args);
+  if (args.command == "measure") return CmdMeasure(args);
+  if (args.command == "characterize") return CmdCharacterize(args);
+  if (args.command == "fuse") return CmdFuse(args);
+  return Usage();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
+  auto& hub = mexi::obs::Observability::Global();
+  int rc = 1;
   try {
     const long threads = args.GetLong("threads", -1);
     if (threads >= 0) {
       parallel::SetThreads(static_cast<std::size_t>(threads));
     }
-    if (args.command == "simulate") return CmdSimulate(args);
-    if (args.command == "measure") return CmdMeasure(args);
-    if (args.command == "characterize") return CmdCharacterize(args);
-    if (args.command == "fuse") return CmdFuse(args);
+    const std::string metrics_out = args.Get("metrics-out");
+    if (!metrics_out.empty()) hub.EnableMetrics(metrics_out);
+    const std::string status_path = args.Get("status-file");
+    if (!status_path.empty()) hub.SetStatusFile(status_path);
+    if (hub.metrics_enabled()) {
+      std::string command_line = argv[0];
+      for (int i = 1; i < argc; ++i) {
+        command_line += ' ';
+        command_line += argv[i];
+      }
+      hub.SetManifest(
+          {mexi::obs::F("command", command_line),
+           mexi::obs::F("subcommand", args.command),
+           mexi::obs::F("seed", args.GetLong("seed", 42)),
+           mexi::obs::F("config_fingerprint", ArgvFingerprint(argc, argv)),
+           mexi::obs::F("threads",
+                        static_cast<std::uint64_t>(
+                            parallel::EffectiveThreads()))});
+    }
+    if (auto* status = hub.status()) {
+      mexi::obs::StatusUpdate update;
+      update.phase = args.command.empty() ? "usage" : args.command;
+      status->Update(update);
+    }
+    rc = RunCommand(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return Usage();
+  hub.Shutdown();
+  return rc;
 }

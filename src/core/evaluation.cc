@@ -1,10 +1,13 @@
 #include "core/evaluation.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "ml/dataset.h"
 #include "ml/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "robust/checkpoint.h"
 #include "robust/fault_injection.h"
@@ -192,6 +195,7 @@ std::vector<MethodResult> RunKFoldExperiment(
     const EvaluationInput& input,
     const std::vector<CharacterizerFactory>& methods,
     const ExperimentConfig& config) {
+  const obs::Span experiment_span("kfold.experiment");
   const std::vector<ExpertMeasures> measures = ComputeAllMeasures(input);
   stats::Rng rng(config.seed);
   ml::KFold folds(input.matchers.size(), config.folds, rng);
@@ -207,7 +211,32 @@ std::vector<MethodResult> RunKFoldExperiment(
   const bool checkpointing = !config.checkpoint_dir.empty();
   const std::uint64_t signature =
       checkpointing ? ExperimentSignature(input, methods.size(), config) : 0;
+  std::atomic<int> folds_done{0};
+  const auto report_fold = [&](std::size_t f, bool restored) {
+    const int done = folds_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto& hub = obs::Observability::Global();
+    if (hub.metrics_enabled()) {
+      hub.registry()
+          .GetCounter(restored ? "kfold.folds_restored"
+                               : "kfold.folds_computed")
+          .Add();
+      hub.Event("kfold.fold_done",
+                {obs::F("fold", f), obs::F("restored", restored ? 1 : 0),
+                 obs::F("done", done),
+                 obs::F("total", folds.num_folds())});
+    }
+    if (auto* status = hub.status()) {
+      obs::StatusUpdate update;
+      update.phase = "kfold";
+      update.done = done;
+      update.total = static_cast<int>(folds.num_folds());
+      update.fold = done;
+      update.total_folds = static_cast<int>(folds.num_folds());
+      status->Update(update);
+    }
+  };
   parallel::ParallelFor(0, folds.num_folds(), 1, [&](std::size_t f) {
+    const obs::Span fold_span("kfold.fold");
     // Fold-level load-or-compute: finished folds restore from their own
     // checkpoint stem (no cross-thread contention); missing or stale
     // ones recompute deterministically. Fault sites only fire for folds
@@ -216,7 +245,10 @@ std::vector<MethodResult> RunKFoldExperiment(
     if (checkpointing) {
       manager = std::make_unique<robust::CheckpointManager>(
           config.checkpoint_dir, "fold_" + std::to_string(f));
-      if (TryLoadFold(*manager, signature, fold_results[f])) return;
+      if (TryLoadFold(*manager, signature, fold_results[f])) {
+        report_fold(f, /*restored=*/true);
+        return;
+      }
     }
     const std::vector<std::size_t> train_idx = folds.TrainIndices(f);
     const std::vector<std::size_t>& test_idx = folds.TestIndices(f);
@@ -250,6 +282,7 @@ std::vector<MethodResult> RunKFoldExperiment(
       }
     }
     if (manager) CommitFold(*manager, signature, fold_results[f]);
+    report_fold(f, /*restored=*/false);
     switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kFoldEnd)) {
       case robust::FaultKind::kAbort:
         robust::ThrowStatus(robust::StatusCode::kAborted,

@@ -8,6 +8,7 @@
 #include "core/features/aggregated_features.h"
 #include "core/features/consistency_features.h"
 #include "ml/model_selection.h"
+#include "obs/trace.h"
 #include "stats/correlation.h"
 
 namespace mexi {
@@ -61,6 +62,7 @@ void Mexi::Fit(const std::vector<MatcherView>& train,
   if (train.size() != labels.size() || train.empty()) {
     throw std::invalid_argument("Mexi::Fit: bad input sizes");
   }
+  const obs::Span fit_span("mexi.fit");
   context_ = context;
   stats::Rng rng(config_.seed);
 

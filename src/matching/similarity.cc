@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "schema/tokenizer.h"
 #include "stats/descriptive.h"
@@ -138,6 +139,7 @@ double CompositeSimilarity(const schema::Attribute& a,
 MatchMatrix BuildSimilarityMatrix(const schema::Schema& source,
                                   const schema::Schema& target,
                                   const CompositeWeights& weights) {
+  const obs::Span span("matching.build_similarity");
   MatchMatrix m(source.size(), target.size());
   // The (source x target) pair grid partitions by source row; each
   // worker writes a disjoint row of m, so any thread count produces the

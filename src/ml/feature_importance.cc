@@ -45,7 +45,11 @@ std::vector<FeatureImportance> PermutationImportance(
       shuffled[i][f] = data.features[i][f];
     }
     result[f].index = f;
-    result[f].name = names.empty() ? "f" + std::to_string(f) : names[f];
+    // Built in a local and move-assigned: in-place char* assignment
+    // here trips a spurious -Wrestrict in GCC 12 at -O3 (PR105329).
+    std::string feature_name = names.empty() ? std::string("f") : names[f];
+    if (names.empty()) feature_name += std::to_string(f);
+    result[f].name = std::move(feature_name);
     result[f].importance = drop_total / static_cast<double>(repeats);
   }
 

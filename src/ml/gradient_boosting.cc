@@ -1,7 +1,14 @@
 #include "ml/gradient_boosting.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
 #include "stats/descriptive.h"
 
 namespace mexi::ml {
@@ -14,7 +21,40 @@ std::unique_ptr<BinaryClassifier> GradientBoosting::Clone() const {
   return std::make_unique<GradientBoosting>(config_);
 }
 
+void GradientBoosting::EnableCheckpointing(const std::string& directory,
+                                           int every_rounds) {
+  if (every_rounds < 1) {
+    throw std::invalid_argument(
+        "GradientBoosting::EnableCheckpointing: every_rounds must be >= 1");
+  }
+  checkpoint_dir_ = directory;
+  checkpoint_every_ = every_rounds;
+}
+
+std::uint64_t GradientBoosting::ConfigFingerprint() const {
+  robust::BinaryWriter w;
+  w.WriteI64(config_.num_rounds);
+  w.WriteDouble(config_.learning_rate);
+  w.WriteI64(config_.tree.max_depth);
+  w.WriteI64(config_.tree.min_samples_split);
+  w.WriteI64(config_.tree.min_samples_leaf);
+  return robust::Fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+std::uint64_t GradientBoosting::DataFingerprint(const Dataset& data) {
+  std::uint64_t hash = robust::kFnvOffsetBasis;
+  const std::uint64_t n = data.features.size();
+  hash = robust::Fnv1a(&n, sizeof(n), hash);
+  for (const auto& row : data.features) {
+    hash = robust::Fnv1a(row.data(), row.size() * sizeof(double), hash);
+  }
+  hash = robust::Fnv1a(data.labels.data(),
+                       data.labels.size() * sizeof(data.labels[0]), hash);
+  return hash;
+}
+
 void GradientBoosting::FitImpl(const Dataset& data) {
+  const obs::Span fit_span("gbdt.fit");
   trees_.clear();
   const std::size_t n = data.NumExamples();
 
@@ -22,9 +62,55 @@ void GradientBoosting::FitImpl(const Dataset& data) {
       stats::Clamp(data.PositiveRate(), 1e-6, 1.0 - 1e-6);
   base_score_ = std::log(positive_rate / (1.0 - positive_rate));
 
+  std::unique_ptr<robust::CheckpointManager> checkpoint;
+  std::uint64_t config_fp = 0;
+  std::uint64_t data_fp = 0;
+  int start_round = 0;
   std::vector<double> raw(n, base_score_);
+  if (!checkpoint_dir_.empty()) {
+    checkpoint =
+        std::make_unique<robust::CheckpointManager>(checkpoint_dir_, "gbdt");
+    config_fp = ConfigFingerprint();
+    data_fp = DataFingerprint(data);
+
+    std::vector<std::uint8_t> payload;
+    const robust::Status status = checkpoint->LoadLatest(&payload);
+    if (status.code() != robust::StatusCode::kNotFound) {
+      robust::ThrowIfError(status);
+      robust::BinaryReader reader(payload);
+      reader.ExpectTag("GBTR");
+      if (reader.ReadU64() != config_fp || reader.ReadU64() != data_fp) {
+        robust::ThrowStatus(
+            robust::StatusCode::kInvalidArgument,
+            "gradient-boosting checkpoint belongs to a different training "
+            "run (config/data fingerprint mismatch) — discard the "
+            "checkpoint directory to start fresh");
+      }
+      start_round = static_cast<int>(reader.ReadI64());
+      LoadStateImpl(reader);
+      if (static_cast<int>(trees_.size()) != start_round) {
+        robust::ThrowStatus(
+            robust::StatusCode::kCorruption,
+            "gradient-boosting checkpoint round count mismatch");
+      }
+      // Replay the committed rounds' raw-score updates in round order —
+      // the identical chain of additions the dead run performed, so the
+      // resumed raw scores (and every later tree) are bitwise equal.
+      for (const RegressionTree& tree : trees_) {
+        for (std::size_t i = 0; i < n; ++i) {
+          raw[i] += config_.learning_rate * tree.Predict(data.features[i]);
+        }
+      }
+      if (obs::MetricsEnabled()) {
+        obs::Observability::Global().Event(
+            "gbdt.resume", {obs::F("start_round", start_round)});
+      }
+    }
+  }
+
+  auto& faults = robust::FaultInjector::Global();
   std::vector<double> residual(n, 0.0);
-  for (int round = 0; round < config_.num_rounds; ++round) {
+  for (int round = start_round; round < config_.num_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       residual[i] = static_cast<double>(data.labels[i]) - Sigmoid(raw[i]);
     }
@@ -34,6 +120,34 @@ void GradientBoosting::FitImpl(const Dataset& data) {
       raw[i] += config_.learning_rate * tree.Predict(data.features[i]);
     }
     trees_.push_back(std::move(tree));
+
+    if (obs::MetricsEnabled()) {
+      obs::Registry().GetCounter("gbdt.rounds").Add();
+    }
+    if (checkpoint && ((round + 1) % checkpoint_every_ == 0 ||
+                       round + 1 == config_.num_rounds)) {
+      robust::BinaryWriter writer;
+      writer.WriteTag("GBTR");
+      writer.WriteU64(config_fp);
+      writer.WriteU64(data_fp);
+      writer.WriteI64(round + 1);
+      SaveStateImpl(writer);
+      robust::ThrowIfError(checkpoint->Commit(writer.buffer()));
+    }
+    if (checkpoint) {
+      // The epoch fault site is only consulted on the checkpointed
+      // path, so arming epoch faults never perturbs plain fits.
+      switch (faults.Hit(robust::FaultSite::kEpochEnd)) {
+        case robust::FaultKind::kAbort:
+          robust::ThrowStatus(robust::StatusCode::kAborted,
+                              "injected kill after boosting round " +
+                                  std::to_string(round));
+        case robust::FaultKind::kKill:
+          std::_Exit(137);
+        default:
+          break;
+      }
+    }
   }
 }
 

@@ -29,6 +29,15 @@ class GradientBoosting : public BinaryClassifier {
 
   std::size_t NumRounds() const { return trees_.size(); }
 
+  /// Arms round-granularity crash recovery: Fit commits a checkpoint
+  /// (base score + ensemble so far) every `every_rounds` boosting rounds
+  /// plus at the final round, and resumes from the newest valid
+  /// generation on the next Fit of the same config/data. Resuming
+  /// replays the committed trees' raw-score updates in round order, so
+  /// the finished ensemble is bitwise identical to an uninterrupted fit.
+  void EnableCheckpointing(const std::string& directory,
+                           int every_rounds = 1);
+
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
@@ -38,9 +47,14 @@ class GradientBoosting : public BinaryClassifier {
  private:
   double RawScore(const std::vector<double>& row) const;
 
+  std::uint64_t ConfigFingerprint() const;
+  static std::uint64_t DataFingerprint(const Dataset& data);
+
   Config config_;
   double base_score_ = 0.0;  // initial log-odds
   std::vector<RegressionTree> trees_;
+  std::string checkpoint_dir_;  // empty = checkpointing disabled
+  int checkpoint_every_ = 1;
 };
 
 }  // namespace mexi::ml

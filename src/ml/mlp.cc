@@ -1,5 +1,13 @@
 #include "ml/mlp.h"
 
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace mexi::ml {
@@ -24,7 +32,44 @@ void MlpClassifier::BuildNetwork(std::size_t in_dim, stats::Rng& rng) {
   network_->Add(std::make_unique<SigmoidLayer>());
 }
 
+void MlpClassifier::EnableCheckpointing(const std::string& directory,
+                                        int every_epochs) {
+  if (every_epochs < 1) {
+    throw std::invalid_argument(
+        "MlpClassifier::EnableCheckpointing: every_epochs must be >= 1");
+  }
+  checkpoint_dir_ = directory;
+  checkpoint_every_ = every_epochs;
+}
+
+std::uint64_t MlpClassifier::ConfigFingerprint() const {
+  robust::BinaryWriter w;
+  w.WriteU64(config_.hidden_layers.size());
+  for (const std::size_t width : config_.hidden_layers) w.WriteU64(width);
+  w.WriteI64(config_.epochs);
+  w.WriteU64(config_.batch_size);
+  w.WriteDouble(config_.adam.learning_rate);
+  w.WriteDouble(config_.adam.beta1);
+  w.WriteDouble(config_.adam.beta2);
+  w.WriteDouble(config_.adam.epsilon);
+  w.WriteU64(config_.seed);
+  return robust::Fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+std::uint64_t MlpClassifier::DataFingerprint(const Dataset& data) {
+  std::uint64_t hash = robust::kFnvOffsetBasis;
+  const std::uint64_t n = data.features.size();
+  hash = robust::Fnv1a(&n, sizeof(n), hash);
+  for (const auto& row : data.features) {
+    hash = robust::Fnv1a(row.data(), row.size() * sizeof(double), hash);
+  }
+  hash = robust::Fnv1a(data.labels.data(),
+                       data.labels.size() * sizeof(data.labels[0]), hash);
+  return hash;
+}
+
 void MlpClassifier::FitImpl(const Dataset& data) {
+  const obs::Span fit_span("mlp.fit");
   standardizer_.Fit(data.features);
   const auto x = standardizer_.TransformAll(data.features);
 
@@ -37,8 +82,93 @@ void MlpClassifier::FitImpl(const Dataset& data) {
     targets(i, 0) = static_cast<double>(data.labels[i]);
   }
   stats::Rng train_rng = rng.Split();
+
+  if (checkpoint_dir_.empty()) {
+    network_->Fit(inputs, targets, config_.epochs, config_.batch_size,
+                  train_rng);
+    return;
+  }
+
+  // Checkpointed path. The shuffle permutation is training state (epoch
+  // k's order is the composition of every shuffle so far), so it rides
+  // along with the weights, optimizer, and training rng.
+  robust::CheckpointManager checkpoint(checkpoint_dir_, "mlp");
+  const std::uint64_t config_fp = ConfigFingerprint();
+  const std::uint64_t data_fp = DataFingerprint(data);
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  Network::FitHooks hooks;
+  hooks.order = &order;
+
+  std::vector<std::uint8_t> payload;
+  const robust::Status status = checkpoint.LoadLatest(&payload);
+  if (status.code() != robust::StatusCode::kNotFound) {
+    robust::ThrowIfError(status);
+    robust::BinaryReader reader(payload);
+    reader.ExpectTag("MLPR");
+    if (reader.ReadU64() != config_fp || reader.ReadU64() != data_fp) {
+      robust::ThrowStatus(
+          robust::StatusCode::kInvalidArgument,
+          "MLP checkpoint belongs to a different training run "
+          "(config/data fingerprint mismatch) — discard the checkpoint "
+          "directory to start fresh");
+    }
+    hooks.start_epoch = static_cast<int>(reader.ReadI64());
+    reader.ReadDouble();  // last epoch loss; informational only
+    robust::ReadRngState(reader, train_rng);
+    const std::uint64_t order_size = reader.ReadU64();
+    if (order_size != order.size()) {
+      robust::ThrowStatus(robust::StatusCode::kCorruption,
+                          "MLP checkpoint shuffle order has wrong length");
+    }
+    for (auto& index : order) {
+      const std::uint64_t value = reader.ReadU64();
+      if (value >= order_size) {
+        robust::ThrowStatus(robust::StatusCode::kCorruption,
+                            "MLP checkpoint shuffle order index out of range");
+      }
+      index = static_cast<std::size_t>(value);
+    }
+    LoadStateImpl(reader);
+    if (obs::MetricsEnabled()) {
+      obs::Observability::Global().Event(
+          "mlp.resume", {obs::F("start_epoch", hooks.start_epoch)});
+    }
+  }
+
+  auto& faults = robust::FaultInjector::Global();
+  hooks.after_epoch = [&](int epochs_done, double loss) {
+    if (epochs_done % checkpoint_every_ == 0 ||
+        epochs_done == config_.epochs) {
+      robust::BinaryWriter writer;
+      writer.WriteTag("MLPR");
+      writer.WriteU64(config_fp);
+      writer.WriteU64(data_fp);
+      writer.WriteI64(epochs_done);
+      writer.WriteDouble(loss);
+      robust::WriteRngState(writer, train_rng);
+      writer.WriteU64(order.size());
+      for (const std::size_t index : order) writer.WriteU64(index);
+      SaveStateImpl(writer);
+      robust::ThrowIfError(checkpoint.Commit(writer.buffer()));
+    }
+    // The epoch fault site is only consulted on the checkpointed path,
+    // so arming epoch faults never perturbs hit counts of plain fits.
+    switch (faults.Hit(robust::FaultSite::kEpochEnd)) {
+      case robust::FaultKind::kAbort:
+        robust::ThrowStatus(robust::StatusCode::kAborted,
+                            "injected kill after MLP epoch " +
+                                std::to_string(epochs_done - 1));
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      default:
+        break;
+    }
+  };
+
   network_->Fit(inputs, targets, config_.epochs, config_.batch_size,
-                train_rng);
+                train_rng, hooks);
 }
 
 double MlpClassifier::PredictProbaImpl(const std::vector<double>& row) const {

@@ -32,6 +32,15 @@ class MlpClassifier : public BinaryClassifier {
   std::unique_ptr<BinaryClassifier> Clone() const override;
   std::string Name() const override { return "MLP"; }
 
+  /// Arms epoch-granularity crash recovery: Fit commits a checkpoint
+  /// (weights, optimizer, training rng, shuffle order) every
+  /// `every_epochs` epochs plus at the final epoch, and resumes from
+  /// the newest valid generation on the next Fit of the same
+  /// config/data. A resumed run is bitwise identical to an
+  /// uninterrupted one.
+  void EnableCheckpointing(const std::string& directory,
+                           int every_epochs = 1);
+
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
@@ -44,10 +53,15 @@ class MlpClassifier : public BinaryClassifier {
   /// LoadState rebuild registers the identical layer sequence).
   void BuildNetwork(std::size_t in_dim, stats::Rng& rng);
 
+  std::uint64_t ConfigFingerprint() const;
+  static std::uint64_t DataFingerprint(const Dataset& data);
+
   Config config_;
   Standardizer standardizer_;
   std::size_t in_dim_ = 0;  // persisted so LoadState can rebuild
   mutable std::unique_ptr<Network> network_;
+  std::string checkpoint_dir_;  // empty = checkpointing disabled
+  int checkpoint_every_ = 1;
 };
 
 }  // namespace mexi::ml

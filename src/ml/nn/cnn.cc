@@ -9,6 +9,8 @@
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
 #include "ml/serialize.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 #include "robust/status.h"
 
@@ -24,6 +26,12 @@ void EnsureChannels(std::vector<Matrix>& channels, std::size_t n,
   for (auto& m : channels) {
     if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
   }
+}
+
+double SumSquares(const Matrix& m) {
+  double sum = 0.0;
+  for (const double v : m.data()) sum += v * v;
+  return sum;
 }
 
 }  // namespace
@@ -438,6 +446,7 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
   if (images.size() != targets.size() || images.empty()) {
     throw std::invalid_argument("CnnImageModel::Fit: bad input sizes");
   }
+  const obs::Span fit_span("cnn.fit");
   EnsureOptimizer();
 
   // Each Fit call (pretrain, fine-tune, ...) owns its own checkpoint
@@ -497,10 +506,18 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
 
   Matrix target_m(1, config_.num_labels);
 
+  if (start_epoch > 0 && obs::MetricsEnabled()) {
+    obs::Observability::Global().Event(
+        "cnn.resume", {obs::F("start_epoch", start_epoch),
+                       obs::F("loss", last_epoch_loss)});
+  }
+
   auto& faults = robust::FaultInjector::Global();
   for (int epoch = start_epoch; epoch < epochs; ++epoch) {
+    const obs::Span epoch_span("cnn.epoch");
     rng_.Shuffle(order);
     double epoch_loss = 0.0;
+    double grad_norm = -1.0;  // computed only when metrics are on
     std::size_t in_batch = 0;
     for (std::size_t n = 0; n < order.size(); ++n) {
       const std::size_t idx = order[n];
@@ -521,11 +538,30 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
       epoch_loss += sample_loss;
       Backward(BinaryCrossEntropy::Gradient(probs, target_m));
       if (++in_batch == config_.batch_size || n + 1 == order.size()) {
+        // Adam zeroes the gradients inside Step, so the epoch's norm
+        // must be read before the last Step. Pure observation: reads
+        // only, and only when metrics are on.
+        if (n + 1 == order.size() && obs::MetricsEnabled()) {
+          grad_norm = std::sqrt(SumSquares(grad_w1_) + SumSquares(grad_b1_) +
+                                SumSquares(grad_w2_) + SumSquares(grad_b2_) +
+                                SumSquares(grad_wp_));
+        }
         optimizer_.Step();
         in_batch = 0;
       }
     }
     last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+    if (obs::MetricsEnabled()) {
+      auto& hub = obs::Observability::Global();
+      hub.registry().GetCounter("cnn.epochs").Add();
+      hub.registry().GetGauge("cnn.last_epoch_loss").Set(last_epoch_loss);
+      if (grad_norm >= 0.0) {
+        hub.registry().GetGauge("cnn.grad_norm").Set(grad_norm);
+      }
+      hub.Event("cnn.epoch", {obs::F("epoch", epoch),
+                              obs::F("loss", last_epoch_loss),
+                              obs::F("grad_norm", grad_norm)});
+    }
 
     if (checkpoint &&
         ((epoch + 1) % checkpoint_every_ == 0 || epoch + 1 == epochs)) {

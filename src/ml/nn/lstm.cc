@@ -10,10 +10,22 @@
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
 #include "ml/serialize.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace mexi::ml {
+
+namespace {
+
+double SumSquares(const Matrix& m) {
+  double sum = 0.0;
+  for (const double v : m.data()) sum += v * v;
+  return sum;
+}
+
+}  // namespace
 
 LstmSequenceModel::LstmSequenceModel(const Config& config)
     : config_(config), rng_(config.seed) {
@@ -292,6 +304,8 @@ double LstmSequenceModel::Fit(
   std::vector<std::size_t> order(sequences.size());
   std::iota(order.begin(), order.end(), 0);
 
+  const obs::Span fit_span("lstm.fit");
+
   double last_epoch_loss = 0.0;
   int start_epoch = 0;
   std::uint64_t data_fp = 0;
@@ -299,13 +313,20 @@ double LstmSequenceModel::Fit(
     data_fp = DataFingerprint(sequences, targets);
     start_epoch = TryResume(data_fp, &last_epoch_loss, &order);
   }
+  if (start_epoch > 0 && obs::MetricsEnabled()) {
+    obs::Observability::Global().Event("lstm.resume",
+                          {obs::F("start_epoch", start_epoch),
+                           obs::F("loss", last_epoch_loss)});
+  }
 
   Matrix target_m(1, config_.num_labels);
 
   auto& faults = robust::FaultInjector::Global();
   for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    const obs::Span epoch_span("lstm.epoch");
     rng_.Shuffle(order);
     double epoch_loss = 0.0;
+    double grad_norm = -1.0;  // computed only when metrics are on
     std::size_t in_batch = 0;
     for (std::size_t n = 0; n < order.size(); ++n) {
       const std::size_t idx = order[n];
@@ -331,11 +352,29 @@ double LstmSequenceModel::Fit(
       if (!sequences[idx].empty()) BackwardLstm(grad_h);
 
       if (++in_batch == config_.batch_size || n + 1 == order.size()) {
+        // Adam zeroes the gradients inside Step, so the epoch's norm
+        // must be read before the last Step. Pure observation: reads
+        // only, and only when metrics are on.
+        if (n + 1 == order.size() && obs::MetricsEnabled()) {
+          grad_norm = std::sqrt(SumSquares(grad_wx_) + SumSquares(grad_wh_) +
+                                SumSquares(grad_b_));
+        }
         optimizer_.Step();
         in_batch = 0;
       }
     }
     last_epoch_loss = epoch_loss / static_cast<double>(order.size());
+    if (obs::MetricsEnabled()) {
+      auto& hub = obs::Observability::Global();
+      hub.registry().GetCounter("lstm.epochs").Add();
+      hub.registry().GetGauge("lstm.last_epoch_loss").Set(last_epoch_loss);
+      if (grad_norm >= 0.0) {
+        hub.registry().GetGauge("lstm.grad_norm").Set(grad_norm);
+      }
+      hub.Event("lstm.epoch", {obs::F("epoch", epoch),
+                               obs::F("loss", last_epoch_loss),
+                               obs::F("grad_norm", grad_norm)});
+    }
 
     if (checkpoint_ && ((epoch + 1) % checkpoint_every_ == 0 ||
                         epoch + 1 == config_.epochs)) {

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "robust/status.h"
 #include "stats/descriptive.h"
 
@@ -79,31 +81,56 @@ double Network::TrainStep(const Matrix& inputs, const Matrix& targets) {
 
 double Network::Fit(const Matrix& inputs, const Matrix& targets, int epochs,
                     std::size_t batch_size, stats::Rng& rng) {
+  return Fit(inputs, targets, epochs, batch_size, rng, FitHooks{});
+}
+
+double Network::Fit(const Matrix& inputs, const Matrix& targets, int epochs,
+                    std::size_t batch_size, stats::Rng& rng,
+                    const FitHooks& hooks) {
   if (inputs.rows() != targets.rows()) {
     throw std::invalid_argument("Network::Fit: row mismatch");
   }
+  const obs::Span fit_span("nn.fit");
   if (batch_size == 0) batch_size = inputs.rows();
   double last_epoch_loss = 0.0;
-  std::vector<std::size_t> order(inputs.rows());
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> own_order;
+  std::vector<std::size_t>* order = hooks.order;
+  if (order == nullptr) {
+    own_order.resize(inputs.rows());
+    std::iota(own_order.begin(), own_order.end(), 0);
+    order = &own_order;
+  } else if (order->size() != inputs.rows()) {
+    throw std::invalid_argument("Network::Fit: hooks.order has wrong length");
+  }
 
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    rng.Shuffle(order);
+  for (int epoch = hooks.start_epoch; epoch < epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
+    rng.Shuffle(*order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
-    for (std::size_t start = 0; start < order.size(); start += batch_size) {
-      const std::size_t end = std::min(start + batch_size, order.size());
+    for (std::size_t start = 0; start < order->size(); start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, order->size());
       Matrix batch_x(end - start, inputs.cols());
       Matrix batch_y(end - start, targets.cols());
       for (std::size_t i = start; i < end; ++i) {
-        batch_x.SetRow(i - start, inputs.Row(order[i]));
-        batch_y.SetRow(i - start, targets.Row(order[i]));
+        batch_x.SetRow(i - start, inputs.Row((*order)[i]));
+        batch_y.SetRow(i - start, targets.Row((*order)[i]));
       }
       epoch_loss += TrainStep(batch_x, batch_y);
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                   : 0.0;
+    if (obs::MetricsEnabled()) {
+      auto& registry = obs::Registry();
+      registry.GetCounter("nn.epochs").Add();
+      registry.GetGauge("nn.last_epoch_loss").Set(last_epoch_loss);
+      registry.GetTimer("nn.epoch").Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        epoch_start)
+              .count());
+    }
+    if (hooks.after_epoch) hooks.after_epoch(epoch + 1, last_epoch_loss);
   }
   return last_epoch_loss;
 }

@@ -1,6 +1,7 @@
 #ifndef MEXI_ML_NN_NETWORK_H_
 #define MEXI_ML_NN_NETWORK_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,10 +36,32 @@ class Network {
   /// Runs one gradient step on (inputs, targets); returns the batch loss.
   double TrainStep(const Matrix& inputs, const Matrix& targets);
 
+  /// Epoch-granularity extension points for Fit. Everything is optional;
+  /// the default-constructed value reproduces the plain Fit behavior
+  /// exactly (bitwise — the permutation seen by the shuffle is the same
+  /// iota either way).
+  struct FitHooks {
+    /// First epoch to run (epochs before it are assumed already applied
+    /// to the weights/optimizer/rng — i.e. restored from a checkpoint).
+    int start_epoch = 0;
+    /// In/out shuffle permutation. The permutation is mutated in place
+    /// each epoch — epoch k's order is the composition of every shuffle
+    /// so far — so it is training state: callers that checkpoint must
+    /// persist and restore it through this pointer. nullptr = Fit owns a
+    /// private iota permutation.
+    std::vector<std::size_t>* order = nullptr;
+    /// Called after each completed epoch with (epochs_done, mean epoch
+    /// loss), after the rng/order/weights reflect that epoch. This is
+    /// the checkpoint-commit point; it may throw to abort training.
+    std::function<void(int, double)> after_epoch;
+  };
+
   /// Epoch-based training on a fixed table with mini-batches.
   /// Returns the loss of the final epoch.
   double Fit(const Matrix& inputs, const Matrix& targets, int epochs,
              std::size_t batch_size, stats::Rng& rng);
+  double Fit(const Matrix& inputs, const Matrix& targets, int epochs,
+             std::size_t batch_size, stats::Rng& rng, const FitHooks& hooks);
 
   std::size_t NumLayers() const { return layers_.size(); }
 

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace mexi::obs {
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+  set_.store(true, std::memory_order_release);
+}
+
+double Gauge::Value() const {
+  if (!set_.load(std::memory_order_acquire)) return 0.0;
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void EmaTimer::Observe(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  // First observation seeds the EMA; later ones fold in via CAS so two
+  // racing observers both land (one may retry). The EMA is a smoothed
+  // diagnostic, not an accounting quantity — total_ns carries the sum.
+  if (!seeded_.exchange(true, std::memory_order_acq_rel)) {
+    ema_bits_.store(std::bit_cast<std::uint64_t>(seconds),
+                    std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t observed = ema_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(observed);
+    const double next = current + kAlpha * (seconds - current);
+    if (ema_bits_.compare_exchange_weak(
+            observed, std::bit_cast<std::uint64_t>(next),
+            std::memory_order_relaxed, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double EmaTimer::TotalSeconds() const {
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+double EmaTimer::EmaSeconds() const {
+  if (!seeded_.load(std::memory_order_acquire)) return 0.0;
+  return std::bit_cast<double>(ema_bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow unless a bound fits
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::Counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::TotalCount() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+EmaTimer& MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<EmaTimer>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    snapshot.timers.push_back(
+        {name, timer->Count(), timer->TotalSeconds(), timer->EmaSeconds()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(
+        {name, histogram->Bounds(), histogram->Counts()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+  histograms_.clear();
+}
+
+}  // namespace mexi::obs

@@ -1,0 +1,148 @@
+#ifndef MEXI_OBS_METRICS_H_
+#define MEXI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mexi::obs {
+
+/// Monotone event count. All mutation is a relaxed atomic add, so any
+/// thread may hold a reference and bump it with no coordination.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins double. Stored as the IEEE bit pattern in an atomic
+/// word so torn reads are impossible without a lock.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+  std::atomic<bool> set_{false};
+};
+
+/// Duration accumulator: total time, observation count, and an
+/// exponential moving average (alpha = 0.2) that tracks the recent
+/// rate without keeping samples. The EMA update is a CAS loop on the
+/// packed bit pattern — lock-free, safe under oversubscription.
+class EmaTimer {
+ public:
+  void Observe(double seconds);
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double TotalSeconds() const;
+  double EmaSeconds() const;
+
+  static constexpr double kAlpha = 0.2;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> ema_bits_{0};
+  std::atomic<bool> seeded_{false};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of each
+/// bucket, with an implicit +inf overflow bucket at the end. Bucket
+/// counts are relaxed atomics; the bounds are immutable after
+/// construction, so concurrent Observe calls never race.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& Bounds() const { return bounds_; }
+  /// Bucket counts, length Bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> Counts() const;
+  std::uint64_t TotalCount() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+};
+
+/// Point-in-time copy of every registered metric, in name-sorted order
+/// (the registry stores names in a std::map), so sinks and tests see a
+/// deterministic ordering.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct TimerValue {
+    std::string name;
+    std::uint64_t count;
+    double total_seconds;
+    double ema_seconds;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<TimerValue> timers;
+  std::vector<HistogramValue> histograms;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty();
+  }
+};
+
+/// Named-metric registry. Registration (first Get* for a name) takes a
+/// mutex; the returned reference is stable for the registry's lifetime,
+/// so hot paths resolve their metric once and then touch only atomics.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  EmaTimer& GetTimer(const std::string& name);
+  /// Returns the existing histogram when `name` is already registered
+  /// (the bounds of the first registration win).
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every metric. Only for tests and re-enable cycles — callers
+  /// must not hold references across a Reset.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<EmaTimer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mexi::obs
+
+#endif  // MEXI_OBS_METRICS_H_

@@ -1,0 +1,311 @@
+#include "obs/obs.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/sinks.h"
+
+#ifndef MEXI_GIT_DESCRIBE
+#define MEXI_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mexi::obs {
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string JsonString(const std::string& value) {
+  std::string out;
+  const std::string escaped = JsonEscape(value);
+  out.reserve(escaped.size() + 2);
+  out += '"';
+  out += escaped;
+  out += '"';
+  return out;
+}
+
+Field F(const char* key, const std::string& value) {
+  return Field{key, JsonString(value)};
+}
+
+Field F(const char* key, const char* value) {
+  return Field{key, JsonString(value)};
+}
+
+Observability& Observability::Global() {
+  // Leaked singleton: instrumented destructors anywhere in the process
+  // may still record during static teardown.
+  static Observability* instance = new Observability();
+  return *instance;
+}
+
+Observability::Observability()
+    : origin_(std::chrono::steady_clock::now()) {
+  const char* dir = std::getenv("MEXI_METRICS");
+  if (dir != nullptr && dir[0] != '\0') EnableMetrics(dir);
+  const char* status_path = std::getenv("MEXI_STATUS_FILE");
+  if (status_path != nullptr && status_path[0] != '\0') {
+    SetStatusFile(status_path);
+  }
+}
+
+void Observability::EnableMetrics(const std::string& out_dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_.Reset();
+  lines_.clear();
+  spans_.clear();
+  manifest_.clear();
+  seq_ = 0;
+  span_total_ = 0;
+  event_total_ = 0;
+  out_dir_ = out_dir;
+  if (!out_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "[mexi obs] cannot create metrics dir %s: %s — metrics "
+                   "stay in-memory\n",
+                   out_dir_.c_str(), ec.message().c_str());
+      out_dir_.clear();
+    }
+  }
+
+  const auto unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  manifest_.emplace_back("schema_version", "1");
+#ifdef NDEBUG
+  manifest_.emplace_back("build", JsonString("release"));
+#else
+  manifest_.emplace_back("build", JsonString("debug"));
+#endif
+#ifdef __AVX2__
+  manifest_.emplace_back("simd", JsonString("avx2"));
+#else
+  manifest_.emplace_back("simd", JsonString("sse2"));
+#endif
+  manifest_.emplace_back("git_describe", JsonString(MEXI_GIT_DESCRIBE));
+  const char* threads_env = std::getenv("MEXI_THREADS");
+  manifest_.emplace_back(
+      "threads_env",
+      JsonString(threads_env == nullptr ? "" : threads_env));
+  const char* faults = std::getenv("MEXI_FAULTS");
+  manifest_.emplace_back("faults",
+                         JsonString(faults == nullptr ? "" : faults));
+  manifest_.emplace_back("started_unix_ms",
+                         std::to_string(static_cast<long long>(unix_ms)));
+
+  AppendLineLocked("{\"type\": \"meta\", \"seq\": " + std::to_string(seq_++) +
+                   ", \"schema_version\": 1}");
+  WriteManifestLocked();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Observability::DisableMetrics() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_.Reset();
+  lines_.clear();
+  spans_.clear();
+  manifest_.clear();
+  out_dir_.clear();
+  seq_ = 0;
+  span_total_ = 0;
+  event_total_ = 0;
+}
+
+void Observability::RecordSpan(const SpanRecord& record) {
+  if (!metrics_enabled()) return;
+  registry_.GetTimer("span." + record.name)
+      .Observe(static_cast<double>(record.duration_ns) / 1e9);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = "{\"type\": \"span\", \"seq\": " +
+                     std::to_string(seq_++) + ", \"name\": " +
+                     JsonString(record.name) +
+                     ", \"id\": " + std::to_string(record.id) +
+                     ", \"parent\": " + std::to_string(record.parent_id) +
+                     ", \"depth\": " + std::to_string(record.depth) +
+                     ", \"thread\": " + std::to_string(record.thread_hash) +
+                     ", \"start_ns\": " + std::to_string(record.start_ns) +
+                     ", \"dur_ns\": " + std::to_string(record.duration_ns) +
+                     "}";
+  ++span_total_;
+  spans_.push_back(record);
+  // Keep the test-visible buffer bounded on long runs; the JSONL sink
+  // has the full stream.
+  if (spans_.size() > 8192) spans_.erase(spans_.begin(), spans_.begin() + 4096);
+  AppendLineLocked(std::move(line));
+}
+
+void Observability::Event(const char* name,
+                          std::initializer_list<Field> fields) {
+  if (!metrics_enabled()) return;
+  std::string rendered = "{";
+  bool first = true;
+  for (const Field& field : fields) {
+    if (!first) rendered += ", ";
+    first = false;
+    rendered += JsonString(field.key) + ": " + field.rendered;
+  }
+  rendered += "}";
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++event_total_;
+  AppendLineLocked("{\"type\": \"event\", \"seq\": " +
+                   std::to_string(seq_++) +
+                   ", \"t_ns\": " + std::to_string(NowNs()) +
+                   ", \"name\": " + JsonString(name) +
+                   ", \"fields\": " + rendered + "}");
+}
+
+void Observability::SetManifest(const Field& field) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, value] : manifest_) {
+    if (key == field.key) {
+      value = field.rendered;
+      WriteManifestLocked();
+      return;
+    }
+  }
+  manifest_.emplace_back(field.key, field.rendered);
+  WriteManifestLocked();
+}
+
+void Observability::SetManifest(std::initializer_list<Field> fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Field& field : fields) {
+    bool found = false;
+    for (auto& [key, value] : manifest_) {
+      if (key == field.key) {
+        value = field.rendered;
+        found = true;
+        break;
+      }
+    }
+    if (!found) manifest_.emplace_back(field.key, field.rendered);
+  }
+  WriteManifestLocked();
+}
+
+void Observability::SetStatusFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  status_ = std::make_unique<StatusFile>(path);
+}
+
+void Observability::ClearStatusFile() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  status_.reset();
+}
+
+void Observability::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_dir_.empty() || lines_.empty()) return;
+  if (AppendJsonlLines(out_dir_ + "/metrics.jsonl", lines_)) {
+    lines_.clear();
+  }
+}
+
+void Observability::Shutdown() {
+  if (!metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendSnapshotLinesLocked();
+  const MetricsSnapshot snapshot = registry_.Snapshot();
+  if (!out_dir_.empty()) {
+    if (AppendJsonlLines(out_dir_ + "/metrics.jsonl", lines_)) {
+      lines_.clear();
+    }
+    WriteManifestLocked();
+  }
+  PrintSummary(stderr, snapshot, span_total_, event_total_);
+}
+
+std::uint64_t Observability::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+std::vector<SpanRecord> Observability::BufferedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<std::string> Observability::BufferedLines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void Observability::AppendLineLocked(std::string line) {
+  lines_.push_back(std::move(line));
+  // Bound the in-memory buffer: long runs flush incrementally at
+  // checkpoint commits, but a run with no checkpoints must not grow
+  // without limit either.
+  if (lines_.size() >= 4096 && !out_dir_.empty()) {
+    if (AppendJsonlLines(out_dir_ + "/metrics.jsonl", lines_)) {
+      lines_.clear();
+    }
+  }
+}
+
+void Observability::WriteManifestLocked() {
+  if (out_dir_.empty()) return;
+  std::string doc = "{\n";
+  for (std::size_t i = 0; i < manifest_.size(); ++i) {
+    doc += "  " + JsonString(manifest_[i].first) + ": " +
+           manifest_[i].second;
+    doc += i + 1 == manifest_.size() ? "\n" : ",\n";
+  }
+  doc += "}\n";
+  WriteFileAtomicNoThrow(out_dir_ + "/run_manifest.json", doc);
+}
+
+void Observability::AppendSnapshotLinesLocked() {
+  const MetricsSnapshot snapshot = registry_.Snapshot();
+  for (const auto& c : snapshot.counters) {
+    lines_.push_back("{\"type\": \"counter\", \"seq\": " +
+                     std::to_string(seq_++) + ", \"name\": " +
+                     JsonString(c.name) +
+                     ", \"value\": " + std::to_string(c.value) + "}");
+  }
+  for (const auto& g : snapshot.gauges) {
+    lines_.push_back("{\"type\": \"gauge\", \"seq\": " +
+                     std::to_string(seq_++) + ", \"name\": " +
+                     JsonString(g.name) +
+                     ", \"value\": " + JsonNumber(g.value) + "}");
+  }
+  for (const auto& t : snapshot.timers) {
+    lines_.push_back(
+        "{\"type\": \"timer\", \"seq\": " + std::to_string(seq_++) +
+        ", \"name\": " + JsonString(t.name) +
+        ", \"count\": " + std::to_string(t.count) +
+        ", \"total_seconds\": " + JsonNumber(t.total_seconds) +
+        ", \"ema_seconds\": " + JsonNumber(t.ema_seconds) + "}");
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string bounds = "[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) bounds += ", ";
+      bounds += JsonNumber(h.bounds[i]);
+    }
+    bounds += "]";
+    std::string counts = "[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) counts += ", ";
+      counts += std::to_string(h.counts[i]);
+    }
+    counts += "]";
+    lines_.push_back(
+        "{\"type\": \"histogram\", \"seq\": " + std::to_string(seq_++) +
+        ", \"name\": " + JsonString(h.name) + ", \"bounds\": " + bounds +
+        ", \"counts\": " + counts + "}");
+  }
+}
+
+}  // namespace mexi::obs

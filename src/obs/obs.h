@@ -1,0 +1,158 @@
+#ifndef MEXI_OBS_OBS_H_
+#define MEXI_OBS_OBS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/status_file.h"
+#include "obs/trace.h"
+
+namespace mexi::obs {
+
+/// One key/value of an event or manifest entry, with the value already
+/// rendered as a JSON token. Build via the F() helpers below.
+struct Field {
+  std::string key;
+  std::string rendered;
+};
+
+/// Renders a double (or any float) as a JSON number; non-finite values
+/// become null (JSON has no NaN/Inf).
+std::string JsonNumber(double value);
+/// Renders a string as a quoted, escaped JSON string token.
+std::string JsonString(const std::string& value);
+
+Field F(const char* key, const std::string& value);
+Field F(const char* key, const char* value);
+template <typename T>
+  requires std::is_arithmetic_v<T>
+Field F(const char* key, T value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return Field{key, JsonNumber(static_cast<double>(value))};
+  } else {
+    return Field{key, std::to_string(value)};
+  }
+}
+
+/// Process-wide observability hub: the metrics registry, the trace/event
+/// JSONL buffer, the run manifest, and the (optional) status file.
+///
+/// The contract that makes it safe to leave enabled in production:
+///   * Disabled cost is one relaxed atomic load + branch per site; no
+///     site is per-sample, so training outputs and perf stay untouched.
+///   * Observation never mutates model state or consumes RNG draws —
+///     with metrics on, all model outputs are bitwise identical to a
+///     metrics-off run (locked by tests/test_obs.cc and the
+///     metrics_identity.sh ctest).
+///   * All mutation is atomics or mutex-ordered, so MEXI_THREADS>1 runs
+///     stay race-free (exercised under TSan in CI).
+///
+/// Enabled via MEXI_METRICS=<dir> (checked on first Global() access),
+/// `mexi_cli --metrics-out <dir>`, or EnableMetrics() directly. Sinks:
+///   <dir>/metrics.jsonl     append-only event/span/metric records
+///   <dir>/run_manifest.json run metadata (seed, fingerprints, build)
+/// plus a human-readable summary on stderr at Shutdown().
+class Observability {
+ public:
+  /// The process-wide instance (never destroyed). First access arms
+  /// metrics from MEXI_METRICS and the status file from
+  /// MEXI_STATUS_FILE when those are set.
+  static Observability& Global();
+
+  /// Turns metrics on, writing sinks under `out_dir` (created if
+  /// missing; empty = in-memory only, for tests). Resets any previous
+  /// state and writes the initial run manifest.
+  void EnableMetrics(const std::string& out_dir);
+  /// Turns metrics off and drops all buffered state.
+  void DisableMetrics();
+  bool metrics_enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  const std::string& out_dir() const { return out_dir_; }
+
+  MetricsRegistry& registry() { return registry_; }
+
+  /// Appends a closed span to the trace buffer (called by ~Span).
+  void RecordSpan(const SpanRecord& record);
+
+  /// Appends a structured event line:
+  ///   {"type":"event","seq":N,"t_ns":T,"name":"...","fields":{...}}
+  /// Events are for low-frequency occurrences (epoch end, checkpoint
+  /// commit, injected fault) — never per-sample.
+  void Event(const char* name, std::initializer_list<Field> fields);
+
+  /// Sets a run-manifest entry (insertion-ordered, same key overwrites)
+  /// and rewrites the manifest file when a sink directory is armed.
+  void SetManifest(const Field& field);
+  void SetManifest(std::initializer_list<Field> fields);
+
+  /// Status file management — independent of metrics enablement, so
+  /// `--status-file` works without `--metrics-out`.
+  void SetStatusFile(const std::string& path);
+  void ClearStatusFile();
+  /// nullptr when no status file is configured.
+  StatusFile* status() { return status_.get(); }
+
+  /// Drains buffered JSONL lines to <dir>/metrics.jsonl. Cheap when
+  /// nothing is buffered; called at checkpoint commits so a killed run
+  /// leaves its trace behind.
+  void Flush();
+  /// Final flush: appends a snapshot of every metric to the JSONL sink,
+  /// rewrites the manifest, and prints the stderr summary.
+  void Shutdown();
+
+  /// Nanoseconds since observability start (process steady timeline).
+  std::uint64_t NowNs() const;
+  std::uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Test hooks: copies of the buffered state (not yet flushed).
+  std::vector<SpanRecord> BufferedSpans() const;
+  std::vector<std::string> BufferedLines() const;
+
+ private:
+  Observability();
+
+  void AppendLineLocked(std::string line);
+  void WriteManifestLocked();
+  void AppendSnapshotLinesLocked();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_id_{1};
+  MetricsRegistry registry_;
+  std::chrono::steady_clock::time_point origin_;
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::string out_dir_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t span_total_ = 0;
+  std::uint64_t event_total_ = 0;
+  std::vector<std::string> lines_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::pair<std::string, std::string>> manifest_;
+  std::unique_ptr<StatusFile> status_;
+};
+
+/// Hot-path guard: one relaxed atomic load.
+inline bool MetricsEnabled() {
+  return Observability::Global().metrics_enabled();
+}
+
+/// Convenience for instrumented sites.
+inline MetricsRegistry& Registry() {
+  return Observability::Global().registry();
+}
+
+}  // namespace mexi::obs
+
+#endif  // MEXI_OBS_OBS_H_

@@ -1,0 +1,108 @@
+#include "obs/sinks.h"
+
+#include <cstdio>
+
+namespace mexi::obs {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool AppendJsonlLines(const std::string& path,
+                      const std::vector<std::string>& lines) {
+  if (lines.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const std::string& line : lines) {
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size() ||
+        std::fputc('\n', f) == EOF) {
+      ok = false;
+      break;
+    }
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+bool WriteFileAtomicNoThrow(const std::string& path,
+                            const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void PrintSummary(std::FILE* out, const MetricsSnapshot& snapshot,
+                  std::size_t span_count, std::size_t event_count) {
+  std::fprintf(out,
+               "[mexi obs] run summary: %zu counters, %zu gauges, "
+               "%zu timers, %zu histograms, %zu spans, %zu events\n",
+               snapshot.counters.size(), snapshot.gauges.size(),
+               snapshot.timers.size(), snapshot.histograms.size(),
+               span_count, event_count);
+  for (const auto& c : snapshot.counters) {
+    std::fprintf(out, "[mexi obs]   counter %-32s %llu\n", c.name.c_str(),
+                 static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::fprintf(out, "[mexi obs]   gauge   %-32s %.6g\n", g.name.c_str(),
+                 g.value);
+  }
+  for (const auto& t : snapshot.timers) {
+    std::fprintf(out,
+                 "[mexi obs]   timer   %-32s count=%llu total=%.3fs "
+                 "ema=%.4fs\n",
+                 t.name.c_str(), static_cast<unsigned long long>(t.count),
+                 t.total_seconds, t.ema_seconds);
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : h.counts) total += n;
+    std::fprintf(out, "[mexi obs]   hist    %-32s n=%llu buckets=[",
+                 h.name.c_str(), static_cast<unsigned long long>(total));
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      std::fprintf(out, "%s%llu", i == 0 ? "" : " ",
+                   static_cast<unsigned long long>(h.counts[i]));
+    }
+    std::fprintf(out, "]\n");
+  }
+}
+
+}  // namespace mexi::obs

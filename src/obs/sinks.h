@@ -1,0 +1,32 @@
+#ifndef MEXI_OBS_SINKS_H_
+#define MEXI_OBS_SINKS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mexi::obs {
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string JsonEscape(const std::string& in);
+
+/// Appends `lines` (each a complete JSON object, no trailing newline)
+/// to `path`, one per line. Returns false on IO failure; sinks never
+/// throw — observability must not take down the run it observes.
+bool AppendJsonlLines(const std::string& path,
+                      const std::vector<std::string>& lines);
+
+/// Writes `content` to `path` via temp + rename so readers never see a
+/// torn document. Returns false on IO failure.
+bool WriteFileAtomicNoThrow(const std::string& path,
+                            const std::string& content);
+
+/// Human-readable end-of-run summary of a metrics snapshot.
+void PrintSummary(std::FILE* out, const MetricsSnapshot& snapshot,
+                  std::size_t span_count, std::size_t event_count);
+
+}  // namespace mexi::obs
+
+#endif  // MEXI_OBS_SINKS_H_

@@ -1,0 +1,71 @@
+#include "obs/status_file.h"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/sinks.h"
+
+namespace mexi::obs {
+
+StatusFile::StatusFile(std::string path)
+    : path_(std::move(path)),
+      phase_start_(std::chrono::steady_clock::now()) {}
+
+void StatusFile::Update(const StatusUpdate& update) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!update.phase.empty() && update.phase != phase_) {
+    phase_ = update.phase;
+    phase_start_ = std::chrono::steady_clock::now();
+    done_ = total_ = -1;  // progress units belong to the phase
+  }
+  if (update.done >= 0) done_ = update.done;
+  if (update.total >= 0) total_ = update.total;
+  if (update.epoch >= 0) epoch_ = update.epoch;
+  if (update.total_epochs >= 0) total_epochs_ = update.total_epochs;
+  if (update.fold >= 0) fold_ = update.fold;
+  if (update.total_folds >= 0) total_folds_ = update.total_folds;
+  if (!update.last_checkpoint.empty()) {
+    last_checkpoint_ = update.last_checkpoint;
+  }
+  WriteLocked();
+}
+
+void StatusFile::WriteLocked() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    phase_start_)
+          .count();
+  double eta = -1.0;
+  if (done_ > 0 && total_ > done_) {
+    eta = elapsed * static_cast<double>(total_ - done_) /
+          static_cast<double>(done_);
+  } else if (done_ >= 0 && total_ == done_) {
+    eta = 0.0;
+  }
+  const auto unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  char body[1024];
+  std::snprintf(
+      body, sizeof(body),
+      "{\"schema_version\": 1, \"phase\": \"%s\", \"done\": %lld, "
+      "\"total\": %lld, \"epoch\": %lld, \"total_epochs\": %lld, "
+      "\"fold\": %lld, \"total_folds\": %lld, \"last_checkpoint\": "
+      "\"%s\", \"elapsed_seconds\": %.3f, \"eta_seconds\": %.3f, "
+      "\"updated_unix_ms\": %lld}\n",
+      JsonEscape(phase_).c_str(), static_cast<long long>(done_),
+      static_cast<long long>(total_), static_cast<long long>(epoch_),
+      static_cast<long long>(total_epochs_), static_cast<long long>(fold_),
+      static_cast<long long>(total_folds_),
+      JsonEscape(last_checkpoint_).c_str(), elapsed, eta,
+      static_cast<long long>(unix_ms));
+
+  // Temp + rename: watchers polling the path never observe a torn
+  // document. Failures are swallowed — status reporting must never take
+  // down the run it is reporting on.
+  WriteFileAtomicNoThrow(path_, body);
+}
+
+}  // namespace mexi::obs

@@ -1,0 +1,60 @@
+#ifndef MEXI_OBS_STATUS_FILE_H_
+#define MEXI_OBS_STATUS_FILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace mexi::obs {
+
+/// Partial progress report; fields left at their defaults ("unknown")
+/// do not overwrite what a previous Update supplied, so the epoch loop
+/// and the fold loop can each report only what they know.
+struct StatusUpdate {
+  std::string phase;            // "" = keep current phase
+  std::int64_t done = -1;       // completed units of the current phase
+  std::int64_t total = -1;      // total units of the current phase
+  std::int64_t epoch = -1;      // current epoch within the active trainer
+  std::int64_t total_epochs = -1;
+  std::int64_t fold = -1;       // current fold within the experiment
+  std::int64_t total_folds = -1;
+  std::string last_checkpoint;  // "" = keep current
+};
+
+/// Small always-current JSON snapshot of a long run, atomically
+/// rewritten (temp + rename) on every update so external watchers — and
+/// the future status endpoint — always read a complete document:
+///
+///   {"schema_version": 1, "phase": "kfold", "done": 2, "total": 5,
+///    "epoch": 3, "total_epochs": 10, "fold": 1, "total_folds": 5,
+///    "last_checkpoint": "ckpt/fold_1.bin", "elapsed_seconds": 1.50,
+///    "eta_seconds": 2.25, "updated_unix_ms": 1700000000000}
+///
+/// `eta_seconds` is -1 until `done` and `total` allow the linear
+/// estimate elapsed * (total - done) / done. Updates are mutex-ordered;
+/// callers in parallel regions interleave safely (last writer wins).
+class StatusFile {
+ public:
+  explicit StatusFile(std::string path);
+
+  void Update(const StatusUpdate& update);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void WriteLocked();
+
+  std::mutex mutex_;
+  std::string path_;
+  std::string phase_;
+  std::int64_t done_ = -1, total_ = -1;
+  std::int64_t epoch_ = -1, total_epochs_ = -1;
+  std::int64_t fold_ = -1, total_folds_ = -1;
+  std::string last_checkpoint_;
+  std::chrono::steady_clock::time_point phase_start_;
+};
+
+}  // namespace mexi::obs
+
+#endif  // MEXI_OBS_STATUS_FILE_H_

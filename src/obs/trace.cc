@@ -1,0 +1,54 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace mexi::obs {
+
+namespace {
+thread_local Span* t_current_span = nullptr;
+}  // namespace
+
+const Span* Span::Current() { return t_current_span; }
+
+Span::Span(const char* name) : name_(name) {
+  Observability& hub = Observability::Global();
+  if (!hub.metrics_enabled()) return;
+  active_ = true;
+  id_ = hub.NextSpanId();
+  if (t_current_span != nullptr) {
+    parent_id_ = t_current_span->id_;
+    depth_ = t_current_span->depth_ + 1;
+  }
+  prev_ = t_current_span;
+  t_current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  t_current_span = prev_;
+  Observability& hub = Observability::Global();
+  // Metrics may have been disabled while the span was open (tests, CLI
+  // teardown); the pop above keeps the stack sound either way.
+  if (!hub.metrics_enabled()) return;
+  SpanRecord record;
+  record.name = name_;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.depth = depth_;
+  record.thread_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const auto duration =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
+  record.duration_ns = static_cast<std::uint64_t>(duration.count());
+  const std::uint64_t now = hub.NowNs();
+  record.start_ns =
+      now > record.duration_ns ? now - record.duration_ns : 0;
+  hub.RecordSpan(record);
+}
+
+}  // namespace mexi::obs

@@ -1,0 +1,60 @@
+#ifndef MEXI_OBS_TRACE_H_
+#define MEXI_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mexi::obs {
+
+/// One closed span, as recorded into the trace buffer and the JSONL
+/// sink. Times are nanoseconds on the process-wide steady clock, with
+/// t=0 at Observability start, so spans from different threads share one
+/// timeline.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  int depth = 0;                // root spans are depth 0
+  std::uint64_t thread_hash = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// RAII trace span. Construction pushes onto a thread-local span stack
+/// (establishing the parent/child link), destruction pops and records
+/// the duration into the registry timer `span.<name>` plus the trace
+/// buffer. When metrics are disabled the constructor is a single
+/// relaxed atomic load and the destructor a branch — cheap enough to
+/// leave on hot paths unconditionally.
+///
+/// `name` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  std::uint64_t id() const { return id_; }
+  std::uint64_t parent_id() const { return parent_id_; }
+  int depth() const { return depth_; }
+
+  /// The span currently open on this thread (innermost), or nullptr.
+  static const Span* Current();
+
+ private:
+  const char* name_;
+  bool active_ = false;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  Span* prev_ = nullptr;  // enclosing span on this thread
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace mexi::obs
+
+#endif  // MEXI_OBS_TRACE_H_

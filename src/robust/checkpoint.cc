@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 
 namespace mexi::robust {
@@ -75,6 +77,19 @@ Status OpenCheckpoint(const std::vector<std::uint8_t>& bytes,
   payload->assign(bytes.begin() + kHeaderSize, bytes.end());
   return Status::Ok();
 }
+
+namespace {
+
+/// Counts every envelope rejection; called on the validation paths so
+/// silent fallback-to-prev still shows up in the metrics.
+void CountCorruption(const Status& status) {
+  if (status.ok() || status.code() == StatusCode::kNotFound) return;
+  if (obs::MetricsEnabled()) {
+    obs::Registry().GetCounter("ckpt.corruption_detected").Add();
+  }
+}
+
+}  // namespace
 
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
@@ -149,6 +164,8 @@ std::string CheckpointManager::PreviousPath() const {
 }
 
 Status CheckpointManager::Commit(const std::vector<std::uint8_t>& payload) {
+  const obs::Span span("ckpt.commit");
+  const auto commit_start = std::chrono::steady_clock::now();
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec) {
@@ -172,6 +189,34 @@ Status CheckpointManager::Commit(const std::vector<std::uint8_t>& payload) {
   if (std::rename(staged.c_str(), CurrentPath().c_str()) != 0) {
     return ErrnoStatus("install", CurrentPath());
   }
+
+  auto& hub = obs::Observability::Global();
+  if (hub.metrics_enabled()) {
+    auto& registry = hub.registry();
+    registry.GetCounter("ckpt.commits").Add();
+    registry.GetCounter("ckpt.bytes_written").Add(sealed.size());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      commit_start)
+            .count();
+    registry.GetTimer("ckpt.commit_latency").Observe(seconds);
+    registry
+        .GetHistogram("ckpt.payload_bytes",
+                      {1 << 10, 16 << 10, 256 << 10, 4 << 20})
+        .Observe(static_cast<double>(payload.size()));
+    hub.Event("ckpt.commit", {obs::F("stem", stem_),
+                              obs::F("path", CurrentPath()),
+                              obs::F("bytes", sealed.size())});
+    // A commit is the natural durability point for the JSONL stream
+    // too: a later kill still leaves the trace of everything that was
+    // checkpointed.
+    hub.Flush();
+  }
+  if (auto* status_file = hub.status()) {
+    obs::StatusUpdate update;
+    update.last_checkpoint = CurrentPath();
+    status_file->Update(update);
+  }
   return Status::Ok();
 }
 
@@ -186,24 +231,34 @@ Status CheckpointManager::LoadLatest(std::vector<std::uint8_t>* payload,
         info->fell_back = false;
         info->source_path = CurrentPath();
       }
+      if (obs::MetricsEnabled()) {
+        obs::Registry().GetCounter("ckpt.restores").Add();
+      }
       return Status::Ok();
     }
   }
+  CountCorruption(current_status);
 
   Status prev_status = ReadFileBytes(PreviousPath(), &bytes);
   if (prev_status.ok()) {
     prev_status = OpenCheckpoint(bytes, payload);
     if (prev_status.ok()) {
+      // A fallback only happened if a newer (broken) generation sat
+      // on disk; a lone .prev after a crash-during-commit is simply
+      // the newest state.
+      const bool fell_back = current_status.code() != StatusCode::kNotFound;
       if (info != nullptr) {
-        // A fallback only happened if a newer (broken) generation sat
-        // on disk; a lone .prev after a crash-during-commit is simply
-        // the newest state.
-        info->fell_back = current_status.code() != StatusCode::kNotFound;
+        info->fell_back = fell_back;
         info->source_path = PreviousPath();
+      }
+      if (obs::MetricsEnabled()) {
+        obs::Registry().GetCounter("ckpt.restores").Add();
+        if (fell_back) obs::Registry().GetCounter("ckpt.fallbacks").Add();
       }
       return Status::Ok();
     }
   }
+  CountCorruption(prev_status);
 
   if (current_status.code() == StatusCode::kNotFound &&
       prev_status.code() == StatusCode::kNotFound) {

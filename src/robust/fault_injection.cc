@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "robust/status.h"
 
 namespace mexi::robust {
@@ -113,16 +114,33 @@ void FaultInjector::Clear() {
 }
 
 FaultKind FaultInjector::Hit(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (clauses_.empty()) return FaultKind::kNone;
-  const std::uint64_t count = ++hits_[static_cast<std::size_t>(site)];
-  for (auto& clause : clauses_) {
-    if (!clause.fired && clause.site == site && clause.occurrence == count) {
-      clause.fired = true;
-      return clause.kind;
+  FaultKind fired = FaultKind::kNone;
+  std::uint64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (clauses_.empty()) return FaultKind::kNone;
+    count = ++hits_[static_cast<std::size_t>(site)];
+    for (auto& clause : clauses_) {
+      if (!clause.fired && clause.site == site && clause.occurrence == count) {
+        clause.fired = true;
+        fired = clause.kind;
+        break;
+      }
     }
   }
-  return FaultKind::kNone;
+  if (fired != FaultKind::kNone && obs::MetricsEnabled()) {
+    auto& hub = obs::Observability::Global();
+    hub.registry()
+        .GetCounter(std::string("faults.injected.") + FaultSiteName(site))
+        .Add();
+    hub.Event("fault.injected", {obs::F("kind", FaultKindName(fired)),
+                                 obs::F("site", FaultSiteName(site)),
+                                 obs::F("occurrence", count)});
+    // kAbort/kKill terminate the instrumented site right after this
+    // returns — flush now so the fault's trace survives the death.
+    hub.Flush();
+  }
+  return fired;
 }
 
 std::uint64_t FaultInjector::Draw() {

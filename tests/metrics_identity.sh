@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Process-level metrics-identity drill for the observability substrate.
+#
+# 1. Simulate a small study and run `characterize` with no metrics.
+# 2. Re-run with --metrics-out and --status-file armed.
+# 3. The instrumented run's stdout must be byte-identical to the plain
+#    run's — observation must not change a single output bit — and the
+#    sinks (metrics.jsonl, run_manifest.json, status file) must exist
+#    and carry the documented schema markers.
+# 4. MEXI_METRICS=<dir> must arm the same sinks without any flag.
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "metrics_identity: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 8 --seed 31 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+CHARACTERIZE=("${MEXI_CLI}" characterize --dir "${DATA}" \
+    --rows "${ROWS}" --cols "${COLS}" --folds 2)
+
+# Reference: metrics off.
+"${CHARACTERIZE[@]}" > "${WORKDIR}/plain.txt" \
+    || fail "plain run exited $?"
+
+# Instrumented: metrics + status file armed via flags.
+OBS="${WORKDIR}/obs"
+"${CHARACTERIZE[@]}" --metrics-out "${OBS}" \
+    --status-file "${WORKDIR}/status.json" \
+    > "${WORKDIR}/instrumented.txt" 2> "${WORKDIR}/summary.txt" \
+    || fail "instrumented run exited $?"
+
+cmp "${WORKDIR}/plain.txt" "${WORKDIR}/instrumented.txt" \
+    || fail "metrics-on stdout differs from metrics-off stdout"
+
+# Sink sanity: JSONL present, schema-marked, one JSON object per line.
+JSONL="${OBS}/metrics.jsonl"
+[ -s "${JSONL}" ] || fail "metrics.jsonl missing or empty"
+head -n 1 "${JSONL}" | grep -q '"type": "meta"' \
+    || fail "metrics.jsonl does not start with the meta line"
+BAD=$(grep -cv '^{.*}$' "${JSONL}")
+[ "${BAD}" -eq 0 ] || fail "${BAD} malformed JSONL lines"
+for marker in '"type": "span"' '"type": "event"' '"type": "counter"' \
+              '"type": "timer"'; do
+  grep -q "${marker}" "${JSONL}" || fail "no ${marker} line in JSONL"
+done
+
+MANIFEST="${OBS}/run_manifest.json"
+[ -s "${MANIFEST}" ] || fail "run_manifest.json missing or empty"
+for key in '"schema_version"' '"build"' '"simd"' '"seed"' \
+           '"config_fingerprint"' '"subcommand": "characterize"'; do
+  grep -q "${key}" "${MANIFEST}" || fail "manifest missing ${key}"
+done
+
+STATUS="${WORKDIR}/status.json"
+[ -s "${STATUS}" ] || fail "status file missing or empty"
+grep -q '"phase": "kfold"' "${STATUS}" || fail "status lacks final phase"
+grep -q '"done": 2' "${STATUS}" || fail "status lacks final fold count"
+
+# The stderr summary prints at shutdown.
+grep -q '\[mexi obs\] run summary' "${WORKDIR}/summary.txt" \
+    || fail "stderr summary missing"
+
+# Env-var arming: MEXI_METRICS without any flag, same sinks, and the
+# output is still byte-identical.
+ENV_OBS="${WORKDIR}/env_obs"
+MEXI_METRICS="${ENV_OBS}" "${CHARACTERIZE[@]}" > "${WORKDIR}/env.txt" \
+    2> /dev/null || fail "MEXI_METRICS run exited $?"
+cmp "${WORKDIR}/plain.txt" "${WORKDIR}/env.txt" \
+    || fail "MEXI_METRICS stdout differs from plain stdout"
+[ -s "${ENV_OBS}/metrics.jsonl" ] || fail "MEXI_METRICS left no JSONL"
+[ -s "${ENV_OBS}/run_manifest.json" ] || fail "MEXI_METRICS left no manifest"
+
+echo "metrics_identity: PASS"

@@ -15,7 +15,9 @@
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
+#include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
+#include "ml/mlp.h"
 #include "ml/nn/cnn.h"
 #include "ml/nn/lstm.h"
 #include "parallel/parallel_for.h"
@@ -249,6 +251,138 @@ TEST_F(ChaosResumeTest, CnnAbortedFineTuneResumesBitwiseIdentical) {
   EXPECT_EQ(resumed_loss, reference_loss);
   for (const auto& img : images) {
     EXPECT_EQ(survivor.Predict(img), uninterrupted.Predict(img));
+  }
+}
+
+ml::Dataset MakeBinaryDataset(int rows, std::uint64_t seed) {
+  ml::Dataset data;
+  stats::Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    const int label = i % 2;
+    data.Add({rng.Gaussian(label == 1 ? 0.8 : -0.8, 1.0), rng.Gaussian(),
+              rng.Uniform()},
+             label);
+  }
+  return data;
+}
+
+TEST_F(ChaosResumeTest, MlpAbortedRunResumesBitwiseIdentical) {
+  const auto data = MakeBinaryDataset(24, 811);
+  const auto probe = MakeBinaryDataset(8, 812);
+
+  ml::MlpClassifier::Config config;
+  config.hidden_layers = {6};
+  config.epochs = 5;
+  config.batch_size = 4;
+
+  // Reference: never interrupted, never checkpointed.
+  ml::MlpClassifier uninterrupted(config);
+  uninterrupted.Fit(data);
+
+  // Victim: dies right after epoch 2's checkpoint commits. The epoch
+  // fault site is only consulted on checkpointed fits, so the reference
+  // run above was untouched by the arming below.
+  ml::MlpClassifier victim(config);
+  victim.EnableCheckpointing(Dir());
+  FaultInjector::Global().Configure("abort@epoch:2");
+  try {
+    victim.Fit(data);
+    FAIL() << "injected abort did not fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAborted);
+  }
+  FaultInjector::Global().Clear();
+
+  // Survivor: fresh model, same directory — must pick up at epoch 2 and
+  // land exactly where the uninterrupted run did.
+  ml::MlpClassifier survivor(config);
+  survivor.EnableCheckpointing(Dir());
+  survivor.Fit(data);
+
+  for (const auto& row : probe.features) {
+    EXPECT_EQ(survivor.PredictProba(row), uninterrupted.PredictProba(row));
+  }
+}
+
+TEST_F(ChaosResumeTest, MlpRejectsCheckpointFromDifferentConfig) {
+  const auto data = MakeBinaryDataset(24, 813);
+
+  ml::MlpClassifier::Config config;
+  config.hidden_layers = {6};
+  config.epochs = 3;
+  config.batch_size = 4;
+  ml::MlpClassifier original(config);
+  original.EnableCheckpointing(Dir());
+  original.Fit(data);
+
+  config.seed = config.seed + 1;
+  ml::MlpClassifier other(config);
+  other.EnableCheckpointing(Dir());
+  try {
+    other.Fit(data);
+    FAIL() << "foreign checkpoint accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ChaosResumeTest, BoostingAbortedRunResumesBitwiseIdentical) {
+  const auto data = MakeBinaryDataset(30, 821);
+  const auto probe = MakeBinaryDataset(8, 822);
+
+  ml::GradientBoosting::Config config;
+  config.num_rounds = 10;
+
+  ml::GradientBoosting uninterrupted(config);
+  uninterrupted.Fit(data);
+
+  // Victim dies after round 4 commits (boosting rounds report to the
+  // same epoch-granularity fault site as epochs).
+  ml::GradientBoosting victim(config);
+  victim.EnableCheckpointing(Dir());
+  FaultInjector::Global().Configure("abort@epoch:4");
+  try {
+    victim.Fit(data);
+    FAIL() << "injected abort did not fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAborted);
+  }
+  FaultInjector::Global().Clear();
+
+  ml::GradientBoosting survivor(config);
+  survivor.EnableCheckpointing(Dir());
+  survivor.Fit(data);
+
+  EXPECT_EQ(survivor.NumRounds(), static_cast<std::size_t>(10));
+  for (const auto& row : probe.features) {
+    EXPECT_EQ(survivor.PredictProba(row), uninterrupted.PredictProba(row));
+  }
+}
+
+TEST_F(ChaosResumeTest, BoostingSparseCommitCadenceStillResumes) {
+  const auto data = MakeBinaryDataset(30, 823);
+  const auto probe = MakeBinaryDataset(8, 824);
+
+  ml::GradientBoosting::Config config;
+  config.num_rounds = 10;
+
+  ml::GradientBoosting uninterrupted(config);
+  uninterrupted.Fit(data);
+
+  // Commit every 3 rounds; the abort after round 7 leaves the round-6
+  // generation on disk, so the survivor redoes rounds 7..10.
+  ml::GradientBoosting victim(config);
+  victim.EnableCheckpointing(Dir(), /*every_rounds=*/3);
+  FaultInjector::Global().Configure("abort@epoch:7");
+  EXPECT_THROW(victim.Fit(data), StatusError);
+  FaultInjector::Global().Clear();
+
+  ml::GradientBoosting survivor(config);
+  survivor.EnableCheckpointing(Dir(), /*every_rounds=*/3);
+  survivor.Fit(data);
+
+  for (const auto& row : probe.features) {
+    EXPECT_EQ(survivor.PredictProba(row), uninterrupted.PredictProba(row));
   }
 }
 

@@ -34,10 +34,15 @@ TEST(SchemaTest, TreeStructure) {
 
 TEST(SchemaTest, PreOrderVisitsParentsFirst) {
   Schema s("test");
-  const std::size_t r = s.AddAttribute({.name = "r"}, -1);
-  const std::size_t a = s.AddAttribute({.name = "a"}, static_cast<int>(r));
-  const std::size_t b = s.AddAttribute({.name = "b"}, static_cast<int>(r));
-  const std::size_t a1 = s.AddAttribute({.name = "a1"}, static_cast<int>(a));
+  const auto named = [](const char* name) {
+    Attribute attribute;
+    attribute.name = name;
+    return attribute;
+  };
+  const std::size_t r = s.AddAttribute(named("r"), -1);
+  const std::size_t a = s.AddAttribute(named("a"), static_cast<int>(r));
+  const std::size_t b = s.AddAttribute(named("b"), static_cast<int>(r));
+  const std::size_t a1 = s.AddAttribute(named("a1"), static_cast<int>(a));
   const auto order = s.PreOrder();
   EXPECT_EQ(order, (std::vector<std::size_t>{r, a, a1, b}));
 }
