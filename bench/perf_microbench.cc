@@ -16,6 +16,7 @@
 #include "ml/nn/cnn.h"
 #include "ml/nn/lstm.h"
 #include "ml/random_forest.h"
+#include "ml/vmath/vmath.h"
 #include "obs/obs.h"
 #include "schema/generators.h"
 #include "sim/matcher_sim.h"
@@ -194,6 +195,87 @@ void BM_CnnFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnFit)->Unit(benchmark::kMillisecond);
+
+// LSTM inference at the production Phi_Seq shape. The Fast variant is
+// the --fast-math contract benchmark: same fitted model, ULP-bounded
+// activations (src/ml/vmath) instead of exact libm.
+void LstmPredictBench(benchmark::State& state, bool fast_math) {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 24;
+  config.dense_dim = 32;
+  config.num_labels = 4;
+  config.epochs = 1;
+  stats::Rng rng(21);
+  std::vector<ml::Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 8; ++i) {
+    ml::Sequence seq;
+    for (int t = 0; t < 40; ++t) {
+      seq.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  ml::LstmSequenceModel model(config);
+  model.Fit(sequences, targets);
+  ml::vmath::SetFastMath(fast_math);
+  for (auto _ : state) {
+    for (const auto& seq : sequences) {
+      benchmark::DoNotOptimize(model.Predict(seq));
+    }
+  }
+  ml::vmath::SetFastMath(false);
+}
+
+void BM_LstmPredict(benchmark::State& state) {
+  LstmPredictBench(state, false);
+}
+BENCHMARK(BM_LstmPredict)->Unit(benchmark::kMicrosecond);
+
+void BM_LstmPredictFast(benchmark::State& state) {
+  LstmPredictBench(state, true);
+}
+BENCHMARK(BM_LstmPredictFast)->Unit(benchmark::kMicrosecond);
+
+// Raw vmath span throughput: exact (scalar libm loop) against the
+// ULP-bounded AVX2 fast kernels, on inputs spanning every branch of the
+// range reduction.
+void VmathBench(benchmark::State& state,
+                void (*fn)(const double*, double*, std::size_t)) {
+  constexpr std::size_t kN = 4096;
+  stats::Rng rng(33);
+  std::vector<double> x(kN);
+  std::vector<double> y(kN);
+  for (auto& v : x) v = rng.Uniform(-20.0, 20.0);
+  for (auto _ : state) {
+    fn(x.data(), y.data(), kN);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kN));
+}
+
+void BM_VmathExp(benchmark::State& state) {
+  VmathBench(state, &ml::vmath::VExp);
+}
+BENCHMARK(BM_VmathExp)->Unit(benchmark::kMicrosecond);
+
+void BM_VmathExpFast(benchmark::State& state) {
+  VmathBench(state, &ml::vmath::VExpFast);
+}
+BENCHMARK(BM_VmathExpFast)->Unit(benchmark::kMicrosecond);
+
+void BM_VmathTanh(benchmark::State& state) {
+  VmathBench(state, &ml::vmath::VTanh);
+}
+BENCHMARK(BM_VmathTanh)->Unit(benchmark::kMicrosecond);
+
+void BM_VmathTanhFast(benchmark::State& state) {
+  VmathBench(state, &ml::vmath::VTanhFast);
+}
+BENCHMARK(BM_VmathTanhFast)->Unit(benchmark::kMicrosecond);
 
 // End-to-end MExI training (all feature extractors + per-label
 // classifier selection) on a small simulated population: the number the

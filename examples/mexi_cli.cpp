@@ -34,6 +34,7 @@
 #include "core/evaluation.h"
 #include "core/mexi.h"
 #include "matching/io.h"
+#include "ml/vmath/vmath.h"
 #include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "robust/checkpoint.h"
@@ -101,7 +102,12 @@ int Usage() {
       "  --status-file PATH\n"
       "                atomically rewrite a small JSON progress snapshot\n"
       "                at PATH as the run advances (env:\n"
-      "                MEXI_STATUS_FILE).\n");
+      "                MEXI_STATUS_FILE).\n"
+      "  --fast-math   allow ULP-bounded SIMD transcendentals on\n"
+      "                Predict/inference paths (env: MEXI_FAST_MATH).\n"
+      "                Training always stays exact; simulate output and\n"
+      "                fitted models are unchanged, predictions may\n"
+      "                differ in the last bits.\n");
   return 2;
 }
 
@@ -310,6 +316,7 @@ int main(int argc, char** argv) {
     if (threads >= 0) {
       parallel::SetThreads(static_cast<std::size_t>(threads));
     }
+    if (args.Has("fast-math")) mexi::ml::vmath::SetFastMath(true);
     const std::string metrics_out = args.Get("metrics-out");
     if (!metrics_out.empty()) hub.EnableMetrics(metrics_out);
     const std::string status_path = args.Get("status-file");

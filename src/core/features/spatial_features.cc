@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/vmath/vmath.h"
+
 namespace mexi {
 
 SpatialFeatureExtractor::Config SpatialFeatureExtractor::DefaultConfig() {
@@ -62,7 +64,9 @@ void SpatialFeatureExtractor::Pretrain(ml::CnnImageModel& model,
         for (std::size_t c = 0; c < cols; ++c) {
           const double dx = (static_cast<double>(c) - cx) / sx;
           const double dy = (static_cast<double>(r) - cy) / sy;
-          image(r, c) += std::exp(-0.5 * (dx * dx + dy * dy));
+          // Exact always: this synthesizes pretraining *data*, which
+          // must be bitwise stable whatever the inference mode is.
+          image(r, c) += ml::vmath::Exp(-0.5 * (dx * dx + dy * dy));
         }
       }
     }

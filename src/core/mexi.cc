@@ -8,6 +8,7 @@
 #include "core/features/aggregated_features.h"
 #include "core/features/consistency_features.h"
 #include "ml/model_selection.h"
+#include "ml/vmath/vmath.h"
 #include "obs/trace.h"
 #include "stats/correlation.h"
 
@@ -62,6 +63,12 @@ void Mexi::Fit(const std::vector<MatcherView>& train,
   if (train.size() != labels.size() || train.empty()) {
     throw std::invalid_argument("Mexi::Fit: bad input sizes");
   }
+  // The whole pipeline fit — deep-feature pretraining, out-of-fold
+  // extraction, CV model selection, final classifiers — must be exact
+  // even when MEXI_FAST_MATH is on: the OOF/CV stages run *inference*
+  // whose outputs become training inputs, so the scope pins the entire
+  // call tree to the exact contract.
+  const ml::vmath::TrainingScope exact_training;
   const obs::Span fit_span("mexi.fit");
   context_ = context;
   stats::Rng rng(config_.seed);

@@ -6,11 +6,33 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace mexi::matching {
 
 namespace {
+
+/// std::getline with the io_read fault site: every successfully read
+/// CSV line is one hit. A torn read hands the parser a prefix of the
+/// line (which must surface as a structured parse error, not UB); an
+/// EINTR fault surfaces as a structured kIoError the way an
+/// uninterruptible loader would report an interrupted syscall.
+bool GetlineInjected(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kIoRead)) {
+    case robust::FaultKind::kTornRead:
+      line.resize(line.size() / 2);
+      break;
+    case robust::FaultKind::kEintr:
+      robust::ThrowStatus(robust::StatusCode::kIoError,
+                          "csv read interrupted (EINTR)");
+      break;
+    default:
+      break;
+  }
+  return true;
+}
 
 robust::StatusError ParseError(const char* what, std::size_t line) {
   std::ostringstream message;
@@ -124,7 +146,7 @@ std::vector<LoadedMatcher> ReadDecisionsCsv(std::istream& in) {
   std::string line;
   std::size_t line_number = 0;
   bool saw_header = false;
-  while (std::getline(in, line)) {
+  while (GetlineInjected(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     if (!saw_header) {
@@ -175,7 +197,7 @@ void ReadMovementsCsv(std::istream& in,
   bool saw_header = false;
   double width = 1280.0, height = 800.0;
   bool screen_known = false;
-  while (std::getline(in, line)) {
+  while (GetlineInjected(in, line)) {
     ++line_number;
     if (line.empty()) continue;
     if (line.rfind("#screen,", 0) == 0) {
@@ -229,7 +251,7 @@ std::vector<ElementPair> ReadReferenceCsv(std::istream& in) {
   std::string line;
   std::size_t line_number = 0;
   bool saw_header = false;
-  while (std::getline(in, line)) {
+  while (GetlineInjected(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     if (!saw_header) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ml/vmath/vmath.h"
 #include "robust/status.h"
 
 namespace mexi::ml {
@@ -10,6 +11,10 @@ void BinaryClassifier::Fit(const Dataset& data) {
   if (data.NumExamples() == 0) {
     throw std::invalid_argument("BinaryClassifier::Fit: empty dataset");
   }
+  // Every classifier trains exactly, MEXI_FAST_MATH or not: the scope
+  // suppresses fast-mode dispatch for this whole Fit call tree (any
+  // sub-model fits and any inference they run internally included).
+  const vmath::TrainingScope exact_training;
   bool all_same = true;
   for (int y : data.labels) {
     if (y != data.labels[0]) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "ml/vmath/vmath.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "robust/checkpoint.h"
@@ -12,10 +13,6 @@
 #include "stats/descriptive.h"
 
 namespace mexi::ml {
-
-namespace {
-double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-}  // namespace
 
 std::unique_ptr<BinaryClassifier> GradientBoosting::Clone() const {
   return std::make_unique<GradientBoosting>(config_);
@@ -112,7 +109,8 @@ void GradientBoosting::FitImpl(const Dataset& data) {
   std::vector<double> residual(n, 0.0);
   for (int round = start_round; round < config_.num_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
-      residual[i] = static_cast<double>(data.labels[i]) - Sigmoid(raw[i]);
+      residual[i] =
+          static_cast<double>(data.labels[i]) - vmath::Sigmoid(raw[i]);
     }
     RegressionTree tree(config_.tree);
     tree.Fit(data.features, residual);
@@ -161,7 +159,7 @@ double GradientBoosting::RawScore(const std::vector<double>& row) const {
 
 double GradientBoosting::PredictProbaImpl(
     const std::vector<double>& row) const {
-  return Sigmoid(RawScore(row));
+  return vmath::SigmoidInfer(RawScore(row));
 }
 
 void GradientBoosting::SaveStateImpl(robust::BinaryWriter& writer) const {

@@ -2,11 +2,9 @@
 
 #include <cmath>
 
-namespace mexi::ml::kernels {
+#include "ml/vmath/vmath.h"
 
-namespace {
-inline double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-}  // namespace
+namespace mexi::ml::kernels {
 
 void GemvAccum(const double* x, std::size_t m, const double* w,
                std::size_t n, double* y) {
@@ -80,27 +78,66 @@ void ReluInto(const double* x, double* y, std::size_t n) {
 }
 
 void SigmoidInto(const double* x, double* y, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) y[j] = Sigmoid(x[j]);
+  vmath::VSigmoid(x, y, n);
 }
 
 void TanhInto(const double* x, double* y, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) y[j] = std::tanh(x[j]);
+  vmath::VTanh(x, y, n);
 }
 
+// The cell update is fissioned into batched activations plus two
+// element-independent combine loops. Every element's expression tree is
+// unchanged from the original fused per-j loop, and no element reads
+// another element's result, so reordering the statements across j is
+// bitwise-neutral — only the transcendental batching (one audited vmath
+// call per gate slice instead of ~5 libm calls per j) differs.
 void LstmCellForward(const double* a, std::size_t h_dim, double* gates,
                      double* c, double* tanh_c, double* h) {
   double* gi = gates;
   double* gf = gates + h_dim;
   double* gg = gates + 2 * h_dim;
   double* go = gates + 3 * h_dim;
+  // The i and f gate slices are contiguous: one batched call covers both.
+  vmath::VSigmoid(a, gi, 2 * h_dim);
+  vmath::VTanh(a + 2 * h_dim, gg, h_dim);
+  vmath::VSigmoid(a + 3 * h_dim, go, h_dim);
   for (std::size_t j = 0; j < h_dim; ++j) {
-    gi[j] = Sigmoid(a[j]);
-    gf[j] = Sigmoid(a[h_dim + j]);
-    gg[j] = std::tanh(a[2 * h_dim + j]);
-    go[j] = Sigmoid(a[3 * h_dim + j]);
     c[j] = gf[j] * c[j] + gi[j] * gg[j];
-    tanh_c[j] = std::tanh(c[j]);
-    h[j] = go[j] * tanh_c[j];
+  }
+  vmath::VTanh(c, tanh_c, h_dim);
+  for (std::size_t j = 0; j < h_dim; ++j) h[j] = go[j] * tanh_c[j];
+}
+
+// Fast-mode twin for Predict paths only (callers gate on
+// vmath::FastMathActive() && !training): ULP-bounded activations, same
+// combine arithmetic.
+void LstmCellForwardFast(const double* a, std::size_t h_dim, double* gates,
+                         double* c, double* tanh_c, double* h) {
+  double* gi = gates;
+  double* gf = gates + h_dim;
+  double* gg = gates + 2 * h_dim;
+  double* go = gates + 3 * h_dim;
+  vmath::VSigmoidFast(a, gi, 2 * h_dim);
+  vmath::VTanhFast(a + 2 * h_dim, gg, h_dim);
+  vmath::VSigmoidFast(a + 3 * h_dim, go, h_dim);
+  for (std::size_t j = 0; j < h_dim; ++j) {
+    c[j] = gf[j] * c[j] + gi[j] * gg[j];
+  }
+  vmath::VTanhFast(c, tanh_c, h_dim);
+  for (std::size_t j = 0; j < h_dim; ++j) h[j] = go[j] * tanh_c[j];
+}
+
+void AdamStep(double* __restrict p, double* __restrict g,
+              double* __restrict m, double* __restrict v, std::size_t n,
+              double beta1, double beta2, double bias1, double bias2,
+              double lr, double eps) {
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+    v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+    const double m_hat = m[i] / bias1;
+    const double v_hat = v[i] / bias2;
+    p[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    g[i] = 0.0;
   }
 }
 

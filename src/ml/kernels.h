@@ -143,6 +143,23 @@ void TanhInto(const double* x, double* y, std::size_t n);
 void LstmCellForward(const double* a, std::size_t h_dim, double* gates,
                      double* c, double* tanh_c, double* h);
 
+/// ULP-bounded twin of LstmCellForward over the vmath fast activations.
+/// Predict/inference paths only — callers gate on
+/// `vmath::FastMathActive()`, never on the raw env flag.
+void LstmCellForwardFast(const double* a, std::size_t h_dim, double* gates,
+                         double* c, double* tanh_c, double* h);
+
+/// Fused Adam update for one parameter span: updates the biased moments
+/// m/v in place, applies the bias-corrected step to p, and zeroes g.
+/// Every element is an independent chain of the exact legacy
+/// expressions (sqrt and div vectorize IEEE-exactly per lane, so the
+/// compiler widening this loop cannot change a bit). `bias1`/`bias2`
+/// are the precomputed 1 - beta^t correction terms.
+void AdamStep(double* __restrict p, double* __restrict g,
+              double* __restrict m, double* __restrict v, std::size_t n,
+              double beta1, double beta2, double bias1, double bias2,
+              double lr, double eps);
+
 /// Fused backward cell step: consumes dh (dL/dh_t) and dc (running cell
 /// gradient, updated in place), the cached activated gates / tanh_c /
 /// c_prev, and emits the 4H pre-activation gradient `da`.

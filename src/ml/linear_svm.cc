@@ -3,12 +3,9 @@
 #include <cmath>
 
 #include "ml/kernels.h"
+#include "ml/vmath/vmath.h"
 
 namespace mexi::ml {
-
-namespace {
-double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-}  // namespace
 
 std::unique_ptr<BinaryClassifier> LinearSvm::Clone() const {
   return std::make_unique<LinearSvm>(config_);
@@ -48,7 +45,7 @@ void LinearSvm::FitImpl(const Dataset& data) {
   for (int epoch = 0; epoch < 200; ++epoch) {
     double ga = 0.0, gb = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double p = Sigmoid(platt_a_ * margins[i] + platt_b_);
+      const double p = vmath::Sigmoid(platt_a_ * margins[i] + platt_b_);
       const double err = p - static_cast<double>(data.labels[i]);
       ga += err * margins[i];
       gb += err;
@@ -64,7 +61,7 @@ double LinearSvm::Margin(const std::vector<double>& row) const {
 }
 
 double LinearSvm::PredictProbaImpl(const std::vector<double>& row) const {
-  return Sigmoid(platt_a_ * Margin(row) + platt_b_);
+  return vmath::SigmoidInfer(platt_a_ * Margin(row) + platt_b_);
 }
 
 void LinearSvm::SaveStateImpl(robust::BinaryWriter& writer) const {

@@ -5,14 +5,11 @@
 #include <string>
 
 #include "ml/kernels.h"
+#include "ml/vmath/vmath.h"
 #include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace mexi::ml {
-
-namespace {
-double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-}  // namespace
 
 std::unique_ptr<BinaryClassifier> LogisticRegression::Clone() const {
   return std::make_unique<LogisticRegression>(config_);
@@ -33,7 +30,8 @@ void LogisticRegression::FitImpl(const Dataset& data) {
     for (std::size_t i = 0; i < n; ++i) {
       const double z =
           kernels::Dot(weights_.data(), x[i].data(), d, intercept_);
-      const double err = Sigmoid(z) - static_cast<double>(data.labels[i]);
+      const double err =
+          vmath::Sigmoid(z) - static_cast<double>(data.labels[i]);
       kernels::Axpy(err, x[i].data(), grad.data(), d);
       grad_b += err;
     }
@@ -63,7 +61,7 @@ void LogisticRegression::FitImpl(const Dataset& data) {
 double LogisticRegression::PredictProbaImpl(
     const std::vector<double>& row) const {
   const std::vector<double> x = standardizer_.Transform(row);
-  return Sigmoid(
+  return vmath::SigmoidInfer(
       kernels::Dot(weights_.data(), x.data(), x.size(), intercept_));
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/vmath/vmath.h"
+
 namespace mexi::ml {
 
 std::unique_ptr<BinaryClassifier> GaussianNaiveBayes::Clone() const {
@@ -62,8 +64,8 @@ double GaussianNaiveBayes::PredictProbaImpl(
   }
   // Normalize in log space to dodge under/overflow.
   const double m = std::max(log_like[0], log_like[1]);
-  const double p0 = std::exp(log_like[0] - m);
-  const double p1 = std::exp(log_like[1] - m);
+  const double p0 = vmath::ExpInfer(log_like[0] - m);
+  const double p1 = vmath::ExpInfer(log_like[1] - m);
   return p1 / (p0 + p1);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.h"
 #include "ml/serialize.h"
 #include "robust/status.h"
 
@@ -27,19 +28,10 @@ void AdamOptimizer::Step() {
   const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   for (auto& slot : params_) {
-    auto& p = slot.param->data();
-    auto& g = slot.grad->data();
-    auto& m = slot.m.data();
-    auto& v = slot.v.data();
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g[i];
-      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g[i] * g[i];
-      const double m_hat = m[i] / bias1;
-      const double v_hat = v[i] / bias2;
-      p[i] -= config_.learning_rate * m_hat /
-              (std::sqrt(v_hat) + config_.epsilon);
-      g[i] = 0.0;
-    }
+    kernels::AdamStep(slot.param->data().data(), slot.grad->data().data(),
+                      slot.m.data().data(), slot.v.data().data(),
+                      slot.param->data().size(), config_.beta1, config_.beta2,
+                      bias1, bias2, config_.learning_rate, config_.epsilon);
   }
 }
 

@@ -9,6 +9,7 @@
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
 #include "ml/serialize.h"
+#include "ml/vmath/vmath.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
@@ -446,6 +447,9 @@ double CnnImageModel::Fit(const std::vector<Image>& images,
   if (images.size() != targets.size() || images.empty()) {
     throw std::invalid_argument("CnnImageModel::Fit: bad input sizes");
   }
+  // Training is exact regardless of MEXI_FAST_MATH; the scope also
+  // covers any inference a caller runs from inside this Fit.
+  const vmath::TrainingScope exact_training;
   const obs::Span fit_span("cnn.fit");
   EnsureOptimizer();
 

@@ -5,6 +5,7 @@
 
 #include "ml/kernels.h"
 #include "ml/serialize.h"
+#include "ml/vmath/vmath.h"
 #include "robust/status.h"
 
 namespace mexi::ml {
@@ -119,9 +120,14 @@ Matrix ReluLayer::Backward(const Matrix& grad_output) {
 }
 
 Matrix SigmoidLayer::Forward(const Matrix& input, bool training) {
-  (void)training;
-  last_output_ =
-      input.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  last_output_ = input;
+  double* out = last_output_.data().data();
+  const std::size_t n = last_output_.data().size();
+  if (!training && vmath::FastMathActive()) {
+    vmath::VSigmoidFast(out, out, n);
+  } else {
+    vmath::VSigmoid(out, out, n);
+  }
   return last_output_;
 }
 
@@ -135,8 +141,14 @@ Matrix SigmoidLayer::Backward(const Matrix& grad_output) {
 }
 
 Matrix TanhLayer::Forward(const Matrix& input, bool training) {
-  (void)training;
-  last_output_ = input.Apply([](double v) { return std::tanh(v); });
+  last_output_ = input;
+  double* out = last_output_.data().data();
+  const std::size_t n = last_output_.data().size();
+  if (!training && vmath::FastMathActive()) {
+    vmath::VTanhFast(out, out, n);
+  } else {
+    vmath::VTanh(out, out, n);
+  }
   return last_output_;
 }
 

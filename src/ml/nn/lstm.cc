@@ -9,6 +9,7 @@
 
 #include "ml/kernels.h"
 #include "ml/nn/network.h"
+#include "ml/vmath/vmath.h"
 #include "ml/serialize.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -58,10 +59,8 @@ LstmSequenceModel::LstmSequenceModel(const Config& config)
   ws_.a.resize(h4);
   ws_.h.resize(config_.hidden_dim);
   ws_.c.resize(config_.hidden_dim);
-  ws_.da.resize(h4);
   ws_.dh.resize(config_.hidden_dim);
   ws_.dc.resize(config_.hidden_dim);
-  ws_.wh_t.resize(h4 * config_.hidden_dim);
   h_final_ = Matrix(1, config_.hidden_dim, 0.0);
 }
 
@@ -73,6 +72,7 @@ void LstmSequenceModel::EnsureWorkspace(std::size_t steps) {
   ws_.c_prev.resize(cap * config_.hidden_dim);
   ws_.gates.resize(cap * 4 * config_.hidden_dim);
   ws_.tanh_c.resize(cap * config_.hidden_dim);
+  ws_.da.resize(cap * 4 * config_.hidden_dim);
   ws_.steps_cap = cap;
 }
 
@@ -89,6 +89,12 @@ const Matrix& LstmSequenceModel::RunLstm(const Sequence& sequence,
   kernels::Fill(c, h_dim, 0.0);
   ws_.steps = 0;
 
+  // Fast activations are only ever legal when nothing downstream trains
+  // on the result: the uncached (Predict) path, with no TrainingScope
+  // live on this thread. The decision is hoisted out of the step loop
+  // so the training path costs nothing.
+  const bool fast = !cache && vmath::FastMathActive();
+
   for (const auto& x : sequence) {
     if (x.size() != in_dim) {
       throw std::invalid_argument("LstmSequenceModel: input_dim mismatch");
@@ -104,8 +110,13 @@ const Matrix& LstmSequenceModel::RunLstm(const Sequence& sequence,
     kernels::Copy(b_.data().data(), a, h4);
     kernels::GemvAccum(x.data(), in_dim, wx_.data().data(), h4, a);
     kernels::GemvAccum(h, h_dim, wh_.data().data(), h4, a);
-    kernels::LstmCellForward(a, h_dim, &ws_.gates[t * h4], c,
-                             &ws_.tanh_c[t * h_dim], h);
+    if (fast) {
+      kernels::LstmCellForwardFast(a, h_dim, &ws_.gates[t * h4], c,
+                                   &ws_.tanh_c[t * h_dim], h);
+    } else {
+      kernels::LstmCellForward(a, h_dim, &ws_.gates[t * h4], c,
+                               &ws_.tanh_c[t * h_dim], h);
+    }
     ++ws_.steps;
   }
 
@@ -119,44 +130,53 @@ void LstmSequenceModel::BackwardLstm(const Matrix& grad_h_final) {
   const std::size_t h4 = 4 * h_dim;
   double* dh = ws_.dh.data();
   double* dc = ws_.dc.data();
-  double* da = ws_.da.data();
+  double* da_slab = ws_.da.data();
   kernels::Copy(grad_h_final.data().data(), dh, h_dim);
   kernels::Fill(dc, h_dim, 0.0);
 
-  // Wh is constant across the whole BPTT loop, so transpose it once:
-  // the dh update below then streams contiguous rows of Wh^T (j outer),
-  // which vectorizes, while each dh[k] still receives its j-terms in
-  // ascending order starting from 0.0 — the exact chain of the per-k
-  // strict dot it replaces (a*b == b*a bitwise). No zero-skip on da[j]:
-  // the legacy dot had none, and skipping a +/-0.0 term is not always
-  // the same as adding it.
+  // BPTT pass: each step's 4H pre-activation gradient lands in its own
+  // slot of the `da` slab instead of being scattered into the weight
+  // gradients immediately — the weight matrices are then touched in one
+  // deferred pass below rather than once per timestep.
   const double* wh = wh_.data().data();
-  double* wh_t = ws_.wh_t.data();
-  for (std::size_t k = 0; k < h_dim; ++k) {
-    for (std::size_t j = 0; j < h4; ++j) wh_t[j * h_dim + k] = wh[k * h4 + j];
-  }
-
   for (std::size_t t = ws_.steps; t-- > 0;) {
+    double* da = da_slab + t * h4;
     kernels::LstmCellBackward(dh, &ws_.gates[t * h4],
                               &ws_.tanh_c[t * h_dim],
                               &ws_.c_prev[t * h_dim], h_dim, dc, da);
-    // Parameter gradients (zero-skip mirrors the legacy loops).
-    const double* x = &ws_.x[t * in_dim];
-    for (std::size_t k = 0; k < in_dim; ++k) {
-      if (x[k] == 0.0) continue;
-      kernels::Axpy(x[k], da, &grad_wx_.data()[k * h4], h4);
-    }
-    const double* h_prev = &ws_.h_prev[t * h_dim];
-    for (std::size_t k = 0; k < h_dim; ++k) {
-      if (h_prev[k] == 0.0) continue;
-      kernels::Axpy(h_prev[k], da, &grad_wh_.data()[k * h4], h4);
-    }
+    // Bias gradient stays in-loop (it is 4H-small and `da` is hot), in
+    // the legacy t-descending chain.
     kernels::Add(da, grad_b_.data().data(), h4);
-    // Propagate to the previous hidden state: dh = Wh * da as j-outer
-    // AXPYs over the transposed weights (see the transpose above).
-    kernels::Fill(dh, h_dim, 0.0);
-    for (std::size_t j = 0; j < h4; ++j) {
-      kernels::Axpy(da[j], &wh_t[j * h_dim], dh, h_dim);
+    // Propagate to the previous hidden state: dh[k] = <Wh row k, da>.
+    // Each row is a strict ascending-j chain from 0.0 with the operands
+    // of every product merely swapped versus the legacy transposed AXPY
+    // form (a*b == b*a bitwise), so this drops the per-call 4HxH
+    // transpose without moving a bit. No zero-skip on da[j]: the legacy
+    // chain had none, and skipping a +/-0.0 term is not always the same
+    // as adding it.
+    kernels::DotRows(wh, h_dim, h4, da, dh);
+  }
+
+  // One pass over each gradient matrix: row k accumulates its timestep
+  // terms t-descending — exactly the order the per-timestep loops used,
+  // per (k, j) cell — with the same skip of zero inputs. Rows are
+  // independent accumulator chains, so hoisting k outward is bitwise
+  // neutral; grad_wx/grad_wh are now streamed once per sequence instead
+  // of once per timestep.
+  for (std::size_t k = 0; k < in_dim; ++k) {
+    double* grad_row = &grad_wx_.data()[k * h4];
+    for (std::size_t t = ws_.steps; t-- > 0;) {
+      const double xk = ws_.x[t * in_dim + k];
+      if (xk == 0.0) continue;
+      kernels::Axpy(xk, da_slab + t * h4, grad_row, h4);
+    }
+  }
+  for (std::size_t k = 0; k < h_dim; ++k) {
+    double* grad_row = &grad_wh_.data()[k * h4];
+    for (std::size_t t = ws_.steps; t-- > 0;) {
+      const double hk = ws_.h_prev[t * h_dim + k];
+      if (hk == 0.0) continue;
+      kernels::Axpy(hk, da_slab + t * h4, grad_row, h4);
     }
   }
 }
@@ -295,6 +315,9 @@ double LstmSequenceModel::Fit(
   if (sequences.empty()) {
     throw std::invalid_argument("LstmSequenceModel::Fit: empty input");
   }
+  // Training is exact regardless of MEXI_FAST_MATH; the scope also
+  // covers any inference a caller runs from inside this Fit.
+  const vmath::TrainingScope exact_training;
   EnsureOptimizer();
 
   // The shuffle permutation is mutated in place each epoch — epoch k's

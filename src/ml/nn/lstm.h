@@ -145,21 +145,23 @@ class LstmSequenceModel {
 
   // Flat SoA workspace, reused across timesteps, sequences and epochs.
   // Slabs are indexed [t * dim + j]; `gates` packs the activated
-  // [i, f, g, o] gates as one 4H slice per step. Scratch vectors hold
-  // the current step's state and are sized once in the constructor.
+  // [i, f, g, o] gates as one 4H slice per step, and `da` keeps every
+  // step's pre-activation gradient so BackwardLstm can defer the
+  // grad_wx/grad_wh accumulation into one pass per sequence. The
+  // remaining scratch vectors hold the current step's state and are
+  // sized once in the constructor.
   struct Workspace {
     std::vector<double> x;       // steps_cap x input_dim
     std::vector<double> h_prev;  // steps_cap x H
     std::vector<double> c_prev;  // steps_cap x H
     std::vector<double> gates;   // steps_cap x 4H
     std::vector<double> tanh_c;  // steps_cap x H
+    std::vector<double> da;      // steps_cap x 4H gate-gradient slab
     std::vector<double> a;       // 4H pre-activations
     std::vector<double> h;       // H current hidden state
     std::vector<double> c;       // H current cell state
-    std::vector<double> da;      // 4H gate gradient
     std::vector<double> dh;      // H hidden gradient
     std::vector<double> dc;      // H cell gradient
-    std::vector<double> wh_t;    // 4H x H transpose of Wh (per backward)
     std::size_t steps_cap = 0;   // allocated timesteps
     std::size_t steps = 0;       // timesteps cached by the last RunLstm
   };

@@ -1,0 +1,270 @@
+#include "ml/vmath/vmath.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace mexi::ml::vmath {
+
+// ---------------------------------------------------------------------
+// Mode control.
+// ---------------------------------------------------------------------
+
+namespace {
+
+// -1 = environment not read yet; 0/1 = resolved. Relaxed ordering is
+// enough: the flag is a pure configuration bit, never a synchronization
+// point, and double-reading the env var is idempotent.
+std::atomic<int> g_fast_mode{-1};
+
+thread_local int g_training_depth = 0;
+
+int ReadFastMathEnv() {
+  const char* value = std::getenv("MEXI_FAST_MATH");
+  if (value == nullptr || value[0] == '\0') return 0;
+  return (value[0] == '0' && value[1] == '\0') ? 0 : 1;
+}
+
+}  // namespace
+
+bool FastMathEnabled() {
+  int mode = g_fast_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = ReadFastMathEnv();
+    g_fast_mode.store(mode, std::memory_order_relaxed);
+  }
+  return mode != 0;
+}
+
+void SetFastMath(bool on) {
+  g_fast_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool FastMathActive() { return g_training_depth == 0 && FastMathEnabled(); }
+
+TrainingScope::TrainingScope() { ++g_training_depth; }
+TrainingScope::~TrainingScope() { --g_training_depth; }
+
+// ---------------------------------------------------------------------
+// Exact mode.
+// ---------------------------------------------------------------------
+
+void VExp(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = std::exp(x[j]);
+}
+
+void VTanh(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = std::tanh(x[j]);
+}
+
+void VSigmoid(const double* x, double* y, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = 1.0 / (1.0 + std::exp(-x[j]));
+}
+
+// ---------------------------------------------------------------------
+// Fast mode: Cephes-style rational kernels.
+//
+// exp(x): reduce x = k*ln2 + r with k = rint(x*log2(e)) via the
+// round-to-nearest "magic shift" (adding 1.5*2^52 puts the integer in
+// the low mantissa bits — no float->int conversion instruction, so no
+// UB on junk lanes), then exp(r) = 1 + 2rP(r^2)/(Q(r^2) - rP(r^2)) and
+// a 2^k exponent splice. tanh(x): odd rational x + x^3 P(x^2)/Q(x^2)
+// for |x| < 0.625, else 1 - 2/(exp(2|x|)+1) signed — the crossover is
+// above the region where that subtraction could cancel catastrophically.
+// sigmoid(x) = 1/(1 + exp(-x)) over the fast exp (no cancellation
+// anywhere: both summands are positive).
+//
+// The scalar helpers below and the AVX2 bodies perform the SAME
+// operations in the SAME order; with contraction off (-mno-fma,
+// -ffp-contract=off) every lane therefore produces the same bits either
+// way, which keeps results independent of span length/alignment and
+// makes the vector tail handling trivially consistent.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr double kLog2E = 1.4426950408889634073599;  // log2(e)
+// Extended-precision ln(2) split: k*kC1 + k*kC2 == k*ln2 to ~90 bits.
+constexpr double kC1 = 6.93145751953125e-1;
+constexpr double kC2 = 1.42860682030941723212e-6;
+constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+constexpr double kExpLo = -708.0;
+constexpr double kExpHi = 708.0;
+
+// Cephes exp() rational coefficients (Moshier), ~1 ulp on [-ln2/2, ln2/2].
+constexpr double kExpP0 = 1.26177193074810590878e-4;
+constexpr double kExpP1 = 3.02994407707441961300e-2;
+constexpr double kExpP2 = 9.99999999999999999910e-1;
+constexpr double kExpQ0 = 3.00198505138664455042e-6;
+constexpr double kExpQ1 = 2.52448340349684104192e-3;
+constexpr double kExpQ2 = 2.27265548208155028766e-1;
+constexpr double kExpQ3 = 2.00000000000000000005e0;
+
+// Cephes tanh() rational coefficients; Q is monic.
+constexpr double kTanhP0 = -9.64399179425052238628e-1;
+constexpr double kTanhP1 = -9.92877231001918586564e1;
+constexpr double kTanhP2 = -1.61468768441708447952e3;
+constexpr double kTanhQ0 = 1.12811678491632931402e2;
+constexpr double kTanhQ1 = 2.23548839060100448583e3;
+constexpr double kTanhQ2 = 4.84406305325125486048e3;
+constexpr double kTanhSmall = 0.625;
+// tanh(x) rounds to ±1.0 in double for |x| >= this (1-tanh < 2^-54).
+constexpr double kTanhSat = 19.0625;
+
+// exp on a pre-clamped finite argument.
+inline double ExpFastCore(double x) {
+  const double t = x * kLog2E + kShift;
+  const double k = t - kShift;
+  const std::int64_t ki =
+      std::bit_cast<std::int64_t>(t) - std::bit_cast<std::int64_t>(kShift);
+  double r = x - k * kC1;
+  r -= k * kC2;
+  const double z = r * r;
+  const double p = r * ((kExpP0 * z + kExpP1) * z + kExpP2);
+  const double q = ((kExpQ0 * z + kExpQ1) * z + kExpQ2) * z + kExpQ3;
+  const double e = 1.0 + 2.0 * (p / (q - p));
+  const double scale = std::bit_cast<double>((ki + 1023) << 52);
+  return e * scale;
+}
+
+#if defined(__AVX2__)
+
+inline __m256d ExpFastVec(__m256d x) {
+  const __m256d nan_mask = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  // max/min return the second operand on NaN, so junk lanes are clamped
+  // to a finite value here and restored to NaN by the final blend.
+  __m256d xc = _mm256_max_pd(x, _mm256_set1_pd(kExpLo));
+  xc = _mm256_min_pd(xc, _mm256_set1_pd(kExpHi));
+  const __m256d shift = _mm256_set1_pd(kShift);
+  const __m256d t =
+      _mm256_add_pd(_mm256_mul_pd(xc, _mm256_set1_pd(kLog2E)), shift);
+  const __m256d k = _mm256_sub_pd(t, shift);
+  const __m256i ki =
+      _mm256_sub_epi64(_mm256_castpd_si256(t), _mm256_castpd_si256(shift));
+  __m256d r = _mm256_sub_pd(xc, _mm256_mul_pd(k, _mm256_set1_pd(kC1)));
+  r = _mm256_sub_pd(r, _mm256_mul_pd(k, _mm256_set1_pd(kC2)));
+  const __m256d z = _mm256_mul_pd(r, r);
+  __m256d p =
+      _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpP0), z),
+                    _mm256_set1_pd(kExpP1));
+  p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(kExpP2));
+  p = _mm256_mul_pd(r, p);
+  __m256d q =
+      _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpQ0), z),
+                    _mm256_set1_pd(kExpQ1));
+  q = _mm256_add_pd(_mm256_mul_pd(q, z), _mm256_set1_pd(kExpQ2));
+  q = _mm256_add_pd(_mm256_mul_pd(q, z), _mm256_set1_pd(kExpQ3));
+  const __m256d e = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_mul_pd(_mm256_set1_pd(2.0),
+                    _mm256_div_pd(p, _mm256_sub_pd(q, p))));
+  const __m256i scale_bits = _mm256_slli_epi64(
+      _mm256_add_epi64(ki, _mm256_set1_epi64x(1023)), 52);
+  const __m256d result = _mm256_mul_pd(e, _mm256_castsi256_pd(scale_bits));
+  return _mm256_blendv_pd(result, x, nan_mask);
+}
+
+inline __m256d TanhFastVec(__m256d x) {
+  const __m256d sign_bit = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, sign_bit);
+  const __m256d ax = _mm256_andnot_pd(sign_bit, x);
+  const __m256d small_mask =
+      _mm256_cmp_pd(ax, _mm256_set1_pd(kTanhSmall), _CMP_LT_OQ);
+  const __m256d s = _mm256_mul_pd(x, x);
+  __m256d p =
+      _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kTanhP0), s),
+                    _mm256_set1_pd(kTanhP1));
+  p = _mm256_add_pd(_mm256_mul_pd(p, s), _mm256_set1_pd(kTanhP2));
+  __m256d q = _mm256_add_pd(s, _mm256_set1_pd(kTanhQ0));
+  q = _mm256_add_pd(_mm256_mul_pd(q, s), _mm256_set1_pd(kTanhQ1));
+  q = _mm256_add_pd(_mm256_mul_pd(q, s), _mm256_set1_pd(kTanhQ2));
+  const __m256d r_small = _mm256_add_pd(
+      x, _mm256_mul_pd(_mm256_mul_pd(x, s), _mm256_div_pd(p, q)));
+  // LSTM gate pre-activations cluster near zero, so the all-small block
+  // is the common case; NaN and saturated lanes are never "small"
+  // (ordered compare), so the early return is safe.
+  if (_mm256_movemask_pd(small_mask) == 0xF) return r_small;
+  const __m256d nan_mask = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  const __m256d sat_mask =
+      _mm256_cmp_pd(ax, _mm256_set1_pd(kTanhSat), _CMP_GE_OQ);
+  const __m256d e = ExpFastVec(_mm256_mul_pd(_mm256_set1_pd(2.0), ax));
+  __m256d big = _mm256_sub_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_div_pd(_mm256_set1_pd(2.0),
+                    _mm256_add_pd(e, _mm256_set1_pd(1.0))));
+  big = _mm256_or_pd(big, sign);
+  __m256d r = _mm256_blendv_pd(big, r_small, small_mask);
+  r = _mm256_blendv_pd(r, _mm256_or_pd(_mm256_set1_pd(1.0), sign), sat_mask);
+  return _mm256_blendv_pd(r, x, nan_mask);
+}
+
+inline __m256d SigmoidFastVec(__m256d x) {
+  const __m256d e = ExpFastVec(_mm256_xor_pd(x, _mm256_set1_pd(-0.0)));
+  return _mm256_div_pd(_mm256_set1_pd(1.0),
+                       _mm256_add_pd(_mm256_set1_pd(1.0), e));
+}
+
+#endif  // __AVX2__
+
+}  // namespace
+
+double ExpFast(double x) {
+  if (std::isnan(x)) return x;
+  double xc = x < kExpLo ? kExpLo : x;
+  xc = xc > kExpHi ? kExpHi : xc;
+  return ExpFastCore(xc);
+}
+
+double TanhFast(double x) {
+  if (std::isnan(x)) return x;
+  const double ax = std::fabs(x);
+  if (ax < kTanhSmall) {
+    const double s = x * x;
+    const double p = (kTanhP0 * s + kTanhP1) * s + kTanhP2;
+    const double q = ((s + kTanhQ0) * s + kTanhQ1) * s + kTanhQ2;
+    return x + x * s * (p / q);
+  }
+  if (ax >= kTanhSat) return x < 0.0 ? -1.0 : 1.0;
+  const double e = ExpFast(2.0 * ax);
+  const double z = 1.0 - 2.0 / (e + 1.0);
+  return x < 0.0 ? -z : z;
+}
+
+double SigmoidFast(double x) { return 1.0 / (1.0 + ExpFast(-x)); }
+
+void VExpFast(const double* x, double* y, std::size_t n) {
+  std::size_t j = 0;
+#if defined(__AVX2__)
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(y + j, ExpFastVec(_mm256_loadu_pd(x + j)));
+  }
+#endif
+  for (; j < n; ++j) y[j] = ExpFast(x[j]);
+}
+
+void VTanhFast(const double* x, double* y, std::size_t n) {
+  std::size_t j = 0;
+#if defined(__AVX2__)
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(y + j, TanhFastVec(_mm256_loadu_pd(x + j)));
+  }
+#endif
+  for (; j < n; ++j) y[j] = TanhFast(x[j]);
+}
+
+void VSigmoidFast(const double* x, double* y, std::size_t n) {
+  std::size_t j = 0;
+#if defined(__AVX2__)
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(y + j, SigmoidFastVec(_mm256_loadu_pd(x + j)));
+  }
+#endif
+  for (; j < n; ++j) y[j] = SigmoidFast(x[j]);
+}
+
+}  // namespace mexi::ml::vmath

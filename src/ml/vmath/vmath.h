@@ -1,0 +1,131 @@
+#ifndef MEXI_ML_VMATH_VMATH_H_
+#define MEXI_ML_VMATH_VMATH_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace mexi::ml::vmath {
+
+/// Batched transcendental substrate with two explicit numeric contracts
+/// (see DESIGN.md "Numeric contracts & fast math"):
+///
+///  1. **Exact mode** (`VExp`/`VTanh`/`VSigmoid`, the default): scalar
+///     libm per lane, batched over a contiguous span. Results are
+///     bitwise identical to the plain `for (...) y[j] = std::exp(x[j])`
+///     loops these calls replaced — batching changes call overhead and
+///     locality, never a bit of output. Every transcendental call site
+///     in the ML substrate routes through these entry points so there is
+///     exactly one audited place where the contract can change.
+///
+///  2. **Fast mode** (`VExpFast`/`VTanhFast`/`VSigmoidFast`): SIMD
+///     rational/polynomial approximations (Cephes-style kernels) with a
+///     property-tested ULP bound (`kExpFastMaxUlp` etc., enforced by
+///     tests/test_vmath.cc over a full bit-pattern sweep of the
+///     exploitable ranges). Legal **only on Predict/inference paths**.
+///     Fit paths are protected structurally: every trainer installs a
+///     `TrainingScope`, which makes `FastMathActive()` false for the
+///     whole Fit call tree on that thread — including inference that
+///     runs *inside* training (OOF feature extraction, CV model
+///     selection), so `MEXI_FAST_MATH=1` during Fit produces
+///     bitwise-identical models.
+///
+/// All span functions allow exact in-place use (`x == y`); partial
+/// overlap is undefined. Fast-mode scalar helpers (`ExpFast`/...) are
+/// bitwise identical per element to their vector bodies (both are
+/// compiled without FP contraction — see the root CMakeLists flags), so
+/// results do not depend on span length or element position.
+
+/// Documented + property-tested worst-case error of the fast kernels
+/// against libm, in units-in-the-last-place, over the exploitable
+/// ranges below. Outside those ranges inputs clamp/saturate (exp) or
+/// the function is constant to the last bit anyway (tanh, sigmoid).
+inline constexpr int kExpFastMaxUlp = 4;      // |x| <= 708
+inline constexpr int kTanhFastMaxUlp = 8;     // |x| <= 19.0625, ±1 beyond
+inline constexpr int kSigmoidFastMaxUlp = 8;  // |x| <= 708, 0/1 beyond
+
+/// Whether fast mode was requested (env MEXI_FAST_MATH / --fast-math /
+/// SetFastMath). Request alone does not make it active — see
+/// FastMathActive().
+bool FastMathEnabled();
+
+/// Programmatic override of the MEXI_FAST_MATH environment flag.
+void SetFastMath(bool on);
+
+/// True iff fast mode was requested AND no TrainingScope is live on the
+/// calling thread. This is the only gate inference call sites consult.
+bool FastMathActive();
+
+/// RAII guard every Fit entry point installs: while at least one scope
+/// is alive on a thread, FastMathActive() is false there regardless of
+/// the global flag. Nestable (depth-counted, thread-local), so a Fit
+/// that trains sub-models or runs out-of-fold inference stays exact end
+/// to end.
+class TrainingScope {
+ public:
+  TrainingScope();
+  ~TrainingScope();
+  TrainingScope(const TrainingScope&) = delete;
+  TrainingScope& operator=(const TrainingScope&) = delete;
+};
+
+// ---------------------------------------------------------------------
+// Exact mode: bitwise identical to the scalar libm loops, always legal.
+// ---------------------------------------------------------------------
+
+/// y[j] = exp(x[j]).
+void VExp(const double* x, double* y, std::size_t n);
+
+/// y[j] = tanh(x[j]).
+void VTanh(const double* x, double* y, std::size_t n);
+
+/// y[j] = 1 / (1 + exp(-x[j])).
+void VSigmoid(const double* x, double* y, std::size_t n);
+
+/// Scalar exact forms, for call sites that consume one value at a time.
+/// These ARE the legacy expressions, centralized.
+inline double Exp(double x) { return std::exp(x); }
+inline double Tanh(double x) { return std::tanh(x); }
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// ---------------------------------------------------------------------
+// Fast mode: ULP-bounded approximations, inference paths only.
+// ---------------------------------------------------------------------
+
+/// y[j] ~= exp(x[j]) within kExpFastMaxUlp for |x| <= 708; inputs clamp
+/// to ±708 beyond (so no overflow to inf and no subnormal output).
+void VExpFast(const double* x, double* y, std::size_t n);
+
+/// y[j] ~= tanh(x[j]) within kTanhFastMaxUlp; exactly ±1 for
+/// |x| >= 19.0625 (where libm tanh is ±1 to the last bit too).
+void VTanhFast(const double* x, double* y, std::size_t n);
+
+/// y[j] ~= sigmoid(x[j]) within kSigmoidFastMaxUlp for |x| <= 708;
+/// saturates smoothly beyond. Exactly 0.5 at x == 0.
+void VSigmoidFast(const double* x, double* y, std::size_t n);
+
+/// Scalar fast forms — bitwise identical per element to the vector
+/// bodies above. NaN propagates; ±inf saturates like the clamps.
+double ExpFast(double x);
+double TanhFast(double x);
+double SigmoidFast(double x);
+
+// ---------------------------------------------------------------------
+// Dispatching helpers for inference call sites: fast when active,
+// exact otherwise. Never use these on a training path — route those
+// through the exact forms directly (belt and braces on top of
+// TrainingScope).
+// ---------------------------------------------------------------------
+
+inline double ExpInfer(double x) {
+  return FastMathActive() ? ExpFast(x) : Exp(x);
+}
+inline double SigmoidInfer(double x) {
+  return FastMathActive() ? SigmoidFast(x) : Sigmoid(x);
+}
+inline double TanhInfer(double x) {
+  return FastMathActive() ? TanhFast(x) : Tanh(x);
+}
+
+}  // namespace mexi::ml::vmath
+
+#endif  // MEXI_ML_VMATH_VMATH_H_

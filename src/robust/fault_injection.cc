@@ -17,6 +17,7 @@ constexpr KindEntry kKinds[] = {
     {"short_write", FaultKind::kShortWrite}, {"bitflip", FaultKind::kBitFlip},
     {"enospc", FaultKind::kEnospc},          {"nan", FaultKind::kNan},
     {"abort", FaultKind::kAbort},            {"kill", FaultKind::kKill},
+    {"torn_read", FaultKind::kTornRead},     {"eintr", FaultKind::kEintr},
 };
 
 struct SiteEntry {
@@ -30,6 +31,7 @@ constexpr SiteEntry kSites[] = {
     {"logreg_grad", FaultSite::kLogRegGradient},
     {"epoch", FaultSite::kEpochEnd},
     {"fold", FaultSite::kFoldEnd},
+    {"io_read", FaultSite::kIoRead},
 };
 
 FaultKind ParseKind(const std::string& text) {
@@ -38,7 +40,8 @@ FaultKind ParseKind(const std::string& text) {
   }
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault kind '" + text +
-                  "' (want short_write|bitflip|enospc|nan|abort|kill)");
+                  "' (want short_write|bitflip|enospc|nan|abort|kill|"
+                  "torn_read|eintr)");
 }
 
 FaultSite ParseSite(const std::string& text) {
@@ -48,7 +51,7 @@ FaultSite ParseSite(const std::string& text) {
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault site '" + text +
                   "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
-                  "epoch|fold)");
+                  "epoch|fold|io_read)");
 }
 
 }  // namespace

@@ -29,6 +29,12 @@ enum class FaultKind {
   /// The process calls _Exit(137) at the site — a real mid-run death
   /// for process-level chaos tests.
   kKill,
+  /// A read observes only a prefix of the data (torn read: truncation
+  /// racing the reader, or a short read treated as complete).
+  kTornRead,
+  /// The read fails as an interrupted syscall (EINTR) surfaced as a
+  /// structured IO error.
+  kEintr,
 };
 
 /// Instrumented program points that consult the injector.
@@ -39,8 +45,9 @@ enum class FaultSite {
   kLogRegGradient,       // LogisticRegression::FitImpl, per epoch
   kEpochEnd,             // NN Fit loops, after the epoch checkpoint
   kFoldEnd,              // RunKFoldExperiment, after a computed fold
+  kIoRead,               // matching/io.cc CSV readers, per input line
 };
-inline constexpr std::size_t kNumFaultSites = 6;
+inline constexpr std::size_t kNumFaultSites = 7;
 
 /// Deterministic, seed-driven fault injector.
 ///
@@ -50,8 +57,9 @@ inline constexpr std::size_t kNumFaultSites = 6;
 ///   spec    := clause (',' clause)*
 ///   clause  := kind '@' site ':' occurrence
 ///   kind    := short_write | bitflip | enospc | nan | abort | kill
+///            | torn_read | eintr
 ///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
-///            | epoch | fold
+///            | epoch | fold | io_read
 ///
 /// `occurrence` is the 1-based hit count at which the clause fires,
 /// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM
@@ -98,7 +106,7 @@ class FaultInjector {
 
   mutable std::mutex mutex_;
   std::vector<Clause> clauses_;
-  std::uint64_t hits_[kNumFaultSites] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t hits_[kNumFaultSites] = {};
   stats::Rng rng_{0};
 };
 

@@ -33,15 +33,48 @@ CHARACTERIZE=("${MEXI_CLI}" characterize --dir "${DATA}" \
 MEXI_THREADS=1 "${CHARACTERIZE[@]}" > "${WORKDIR}/expected.txt" \
     || fail "uninterrupted run exited $?"
 
-# Killed run: _Exit(137) fires after the second computed fold.
+# Killed run: _Exit(137) fires after the second computed fold. Metrics
+# are armed so the injector's observability contract is on trial too:
+# Hit() flushes the fault.injected event BEFORE the death, so the trace
+# must survive in metrics.jsonl even though Shutdown never runs.
 CKPT="${WORKDIR}/ckpt"
+KILLED_OBS="${WORKDIR}/obs_killed"
 MEXI_THREADS=1 MEXI_FAULTS=kill@fold:2 \
     "${CHARACTERIZE[@]}" --checkpoint-dir "${CKPT}" \
+    --metrics-out "${KILLED_OBS}" \
     > "${WORKDIR}/killed.txt" 2>&1
 STATUS=$?
 [ "${STATUS}" -eq 137 ] || fail "expected exit 137 from the kill, got ${STATUS}"
 ls "${CKPT}"/fold_*.bin > /dev/null 2>&1 \
     || fail "killed run left no fold checkpoints behind"
+
+KILLED_JSONL="${KILLED_OBS}/metrics.jsonl"
+[ -s "${KILLED_JSONL}" ] || fail "killed run left no metrics.jsonl"
+grep -q '"name": "fault.injected"' "${KILLED_JSONL}" \
+    || fail "fault.injected event did not survive the kill"
+grep '"name": "fault.injected"' "${KILLED_JSONL}" \
+    | grep -q '"kind": "kill"' \
+    || fail "fault.injected event lacks kind=kill"
+grep '"name": "fault.injected"' "${KILLED_JSONL}" \
+    | grep -q '"site": "fold"' \
+    || fail "fault.injected event lacks site=fold"
+
+# Surviving-process injection: an EINTR fault in the CSV reader must
+# surface as a structured error (nonzero exit, no crash), and because
+# the CLI reaches Shutdown, the faults.injected.* counter snapshot must
+# land in metrics.jsonl.
+EINTR_OBS="${WORKDIR}/obs_eintr"
+MEXI_THREADS=1 MEXI_FAULTS=eintr@io_read:2 \
+    "${CHARACTERIZE[@]}" --metrics-out "${EINTR_OBS}" \
+    > "${WORKDIR}/eintr.txt" 2> "${WORKDIR}/eintr.err"
+STATUS=$?
+[ "${STATUS}" -eq 1 ] || fail "expected structured exit 1 from EINTR, got ${STATUS}"
+grep -q "EINTR" "${WORKDIR}/eintr.err" \
+    || fail "EINTR fault did not surface in the error message"
+EINTR_JSONL="${EINTR_OBS}/metrics.jsonl"
+[ -s "${EINTR_JSONL}" ] || fail "EINTR run left no metrics.jsonl"
+grep -q '"name": "faults.injected.io_read", "value": 1' "${EINTR_JSONL}" \
+    || fail "faults.injected.io_read counter missing from snapshot"
 
 # Resume: must complete and reproduce the reference byte for byte.
 MEXI_THREADS=1 "${CHARACTERIZE[@]}" --checkpoint-dir "${CKPT}" --resume \

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fast-math predict-path parity drill.
+#
+# MEXI_FAST_MATH=1 may only touch inference: training stays exact by
+# construction (vmath::TrainingScope), and the ULP-bounded activations
+# on the predict path must not move any characterize *label* — the
+# printed accuracies aggregate exactly those labels. So:
+#
+# 1. characterize with fast math off        -> exact.txt
+# 2. characterize with MEXI_FAST_MATH=1     -> env.txt
+# 3. characterize with the --fast-math flag -> flag.txt
+# All three must agree line for line (semantic parity; the underlying
+# probabilities may differ in the last ULPs, the labels may not).
+# MEXI_FAST_MATH=0 must also be a hard off, overriding nothing.
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "fast_math_parity: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 12 --seed 47 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+CHARACTERIZE=("${MEXI_CLI}" characterize --dir "${DATA}" \
+    --rows "${ROWS}" --cols "${COLS}" --folds 3)
+
+"${CHARACTERIZE[@]}" > "${WORKDIR}/exact.txt" \
+    || fail "exact run exited $?"
+MEXI_FAST_MATH=1 "${CHARACTERIZE[@]}" > "${WORKDIR}/env.txt" \
+    || fail "MEXI_FAST_MATH=1 run exited $?"
+"${CHARACTERIZE[@]}" --fast-math > "${WORKDIR}/flag.txt" \
+    || fail "--fast-math run exited $?"
+MEXI_FAST_MATH=0 "${CHARACTERIZE[@]}" > "${WORKDIR}/off.txt" \
+    || fail "MEXI_FAST_MATH=0 run exited $?"
+
+diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/env.txt" \
+    || fail "MEXI_FAST_MATH=1 changed characterize labels"
+diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/flag.txt" \
+    || fail "--fast-math changed characterize labels"
+cmp "${WORKDIR}/exact.txt" "${WORKDIR}/off.txt" \
+    || fail "MEXI_FAST_MATH=0 is not a clean off"
+
+echo "fast_math_parity: PASS"

@@ -103,11 +103,13 @@ TEST(FaultInjectionTest, NamesRoundTripInSpec) {
   // Every kind/site name pair parses back, locking the spec grammar.
   const FaultKind kinds[] = {FaultKind::kShortWrite, FaultKind::kBitFlip,
                              FaultKind::kEnospc,     FaultKind::kNan,
-                             FaultKind::kAbort,      FaultKind::kKill};
+                             FaultKind::kAbort,      FaultKind::kKill,
+                             FaultKind::kTornRead,   FaultKind::kEintr};
   const FaultSite sites[] = {
       FaultSite::kCheckpointWrite, FaultSite::kLstmGradient,
       FaultSite::kCnnGradient,     FaultSite::kLogRegGradient,
-      FaultSite::kEpochEnd,        FaultSite::kFoldEnd};
+      FaultSite::kEpochEnd,        FaultSite::kFoldEnd,
+      FaultSite::kIoRead};
   for (FaultKind kind : kinds) {
     for (FaultSite site : sites) {
       FaultInjector injector;

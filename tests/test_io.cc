@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace mexi::matching {
@@ -212,6 +213,58 @@ TEST(IoTest, ValidateMatchersCatchesOutOfRangeDecision) {
     EXPECT_EQ(e.status().code(), robust::StatusCode::kInvalidArgument);
     EXPECT_NE(e.status().message().find("matcher 3"), std::string::npos);
   }
+}
+
+// Read-path chaos: a torn read (parser sees a prefix of a line) and an
+// EINTR-style read failure must both surface as structured StatusError,
+// never UB or a silent short load. Uses the process-global injector the
+// same way MEXI_FAULTS does.
+class IoFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { robust::FaultInjector::Global().Clear(); }
+
+  static std::string DecisionsCsv() {
+    const auto matchers = TwoMatchers();
+    std::stringstream buffer;
+    WriteDecisionsCsv(matchers, buffer);
+    return buffer.str();
+  }
+};
+
+TEST_F(IoFaultTest, TornReadSurfacesAsStructuredParseError) {
+  // Line 3 is the second data row: "3,2,2,0.4,7.25" torn to "3,2,2,0"
+  // -> wrong field count, reported with the line number.
+  robust::FaultInjector::Global().Configure("torn_read@io_read:3");
+  std::stringstream buffer(DecisionsCsv());
+  try {
+    ReadDecisionsCsv(buffer);
+    FAIL() << "torn read accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kParseError);
+    EXPECT_EQ(e.status().line(), 3u);
+  }
+}
+
+TEST_F(IoFaultTest, EintrSurfacesAsStructuredIoError) {
+  robust::FaultInjector::Global().Configure("eintr@io_read:2");
+  std::stringstream buffer(DecisionsCsv());
+  try {
+    ReadDecisionsCsv(buffer);
+    FAIL() << "interrupted read accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kIoError);
+    EXPECT_NE(e.status().message().find("EINTR"), std::string::npos);
+  }
+}
+
+TEST_F(IoFaultTest, UnfiredClauseLeavesReaderBitwiseIntact) {
+  // An armed-but-never-reached clause must not perturb parsing.
+  robust::FaultInjector::Global().Configure("torn_read@io_read:100000");
+  std::stringstream buffer(DecisionsCsv());
+  const auto loaded = ReadDecisionsCsv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].history.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0].history.at(1).timestamp, 7.25);
 }
 
 }  // namespace

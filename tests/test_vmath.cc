@@ -1,0 +1,374 @@
+// Property tests for the vectorized transcendental substrate
+// (src/ml/vmath): ULP bounds of the fast kernels over a bit-pattern
+// sweep of the exploitable input ranges, bitwise scalar/vector
+// consistency, exact-mode identity with libm, TrainingScope gating, and
+// the "fast math never changes a fitted model" contract.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mexi.h"
+#include "ml/nn/lstm.h"
+#include "ml/vmath/vmath.h"
+#include "parallel/parallel_for.h"
+#include "stats/rng.h"
+#include "test_fixtures.h"
+
+namespace mexi::ml::vmath {
+namespace {
+
+// Maps a double onto the integer number line so that adjacent
+// representable values differ by exactly 1 (sign-magnitude -> biased).
+std::uint64_t OrderedBits(double d) {
+  const std::uint64_t u = std::bit_cast<std::uint64_t>(d);
+  return (u & 0x8000000000000000ULL) ? ~u : (u | 0x8000000000000000ULL);
+}
+
+std::uint64_t UlpDistance(double a, double b) {
+  const std::uint64_t ua = OrderedBits(a);
+  const std::uint64_t ub = OrderedBits(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+// Deterministic bit-pattern sweep of [0, limit]: for every biased
+// exponent that can appear below the limit, a spread of mantissa
+// patterns (structured extremes plus LCG-derived fills), both signs.
+// This walks the full exponent range of the exploitable domain instead
+// of sampling uniformly in value space, which would almost never probe
+// the many tiny-exponent decades.
+std::vector<double> BitPatternSweep(double limit) {
+  constexpr std::uint64_t kFixed[] = {
+      0x0000000000000ULL, 0xFFFFFFFFFFFFFULL, 0x8000000000000ULL,
+      0x5555555555555ULL, 0xAAAAAAAAAAAAAULL & 0xFFFFFFFFFFFFFULL,
+      0x0000000000001ULL, 0x7FFFFFFFFFFFFULL, 0x4000000000001ULL};
+  const int max_exp = std::ilogb(limit);
+  std::vector<double> out;
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ULL;
+  for (int e = 0; e <= 1023 + max_exp; ++e) {
+    const std::uint64_t base = static_cast<std::uint64_t>(e) << 52;
+    for (std::uint64_t m : kFixed) {
+      const double v = std::bit_cast<double>(base | m);
+      if (v <= limit) {
+        out.push_back(v);
+        out.push_back(-v);
+      }
+    }
+    for (int i = 0; i < 8; ++i) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double v = std::bit_cast<double>(base | (lcg >> 12));
+      if (v <= limit) {
+        out.push_back(v);
+        out.push_back(-v);
+      }
+    }
+  }
+  out.push_back(0.0);
+  out.push_back(-0.0);
+  out.push_back(limit);
+  out.push_back(-limit);
+  return out;
+}
+
+TEST(VmathUlp, ExpFastWithinBoundOverFullRange) {
+  const std::vector<double> xs = BitPatternSweep(708.0);
+  ASSERT_GT(xs.size(), 30000u);
+  std::uint64_t worst = 0;
+  for (double x : xs) {
+    const std::uint64_t d = UlpDistance(ExpFast(x), std::exp(x));
+    if (d > worst) worst = d;
+    ASSERT_LE(d, static_cast<std::uint64_t>(kExpFastMaxUlp))
+        << "x=" << x << " fast=" << ExpFast(x) << " libm=" << std::exp(x);
+  }
+  // The documented bound must stay honest: if the kernel improves, the
+  // constant (and this expectation) should be tightened, not left slack.
+  EXPECT_GT(worst, 0u);
+}
+
+TEST(VmathUlp, TanhFastWithinBoundOverFullRange) {
+  const std::vector<double> xs = BitPatternSweep(19.0625);
+  for (double x : xs) {
+    const std::uint64_t d = UlpDistance(TanhFast(x), std::tanh(x));
+    ASSERT_LE(d, static_cast<std::uint64_t>(kTanhFastMaxUlp))
+        << "x=" << x << " fast=" << TanhFast(x)
+        << " libm=" << std::tanh(x);
+  }
+}
+
+TEST(VmathUlp, SigmoidFastWithinBoundOverFullRange) {
+  const std::vector<double> xs = BitPatternSweep(708.0);
+  for (double x : xs) {
+    const double exact = 1.0 / (1.0 + std::exp(-x));
+    const std::uint64_t d = UlpDistance(SigmoidFast(x), exact);
+    ASSERT_LE(d, static_cast<std::uint64_t>(kSigmoidFastMaxUlp))
+        << "x=" << x << " fast=" << SigmoidFast(x) << " exact=" << exact;
+  }
+}
+
+TEST(VmathUlp, TanhSaturatesExactlyWhereLibmDoes) {
+  for (double x : {19.0625, 20.0, 100.0, 708.0, 1e300}) {
+    EXPECT_EQ(TanhFast(x), 1.0);
+    EXPECT_EQ(TanhFast(-x), -1.0);
+    // The saturation threshold is only legal because libm already
+    // rounds to exactly +-1 there.
+    if (x <= 708.0) {
+      EXPECT_EQ(std::tanh(x), 1.0) << x;
+      EXPECT_EQ(std::tanh(-x), -1.0) << x;
+    }
+  }
+}
+
+TEST(VmathSpecial, NanPropagatesAndInfSaturates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(ExpFast(nan)));
+  EXPECT_TRUE(std::isnan(TanhFast(nan)));
+  EXPECT_TRUE(std::isnan(SigmoidFast(nan)));
+  // The vector path must agree on NaN lanes too.
+  double x[5] = {nan, 1.0, nan, -2.0, nan};
+  double y[5];
+  VTanhFast(x, y, 5);
+  EXPECT_TRUE(std::isnan(y[0]) && std::isnan(y[2]) && std::isnan(y[4]));
+  EXPECT_EQ(y[1], TanhFast(1.0));
+  EXPECT_EQ(y[3], TanhFast(-2.0));
+  // Infinities clamp/saturate instead of producing inf or 0/0.
+  EXPECT_EQ(ExpFast(inf), ExpFast(708.0));
+  EXPECT_EQ(ExpFast(-inf), ExpFast(-708.0));
+  EXPECT_EQ(TanhFast(inf), 1.0);
+  EXPECT_EQ(TanhFast(-inf), -1.0);
+  EXPECT_GT(SigmoidFast(inf), 1.0 - 1e-15);
+  EXPECT_LT(SigmoidFast(-inf), 1e-15);
+  // Exactly 0.5 at zero: downstream label thresholds sit at 0.5, so
+  // this is a semantic requirement, not cosmetics.
+  EXPECT_EQ(SigmoidFast(0.0), 0.5);
+  EXPECT_EQ(SigmoidFast(-0.0), 0.5);
+}
+
+// Scalar helpers and the AVX2 span bodies must produce the same bits,
+// so a value's result cannot depend on its position, the span length,
+// or which side of the 4-wide tail boundary it lands on.
+TEST(VmathConsistency, ScalarAndVectorBitwiseIdentical) {
+  stats::Rng rng(77);
+  std::vector<double> x(1037);
+  for (auto& v : x) v = rng.Uniform(-25.0, 25.0);
+  x[0] = 0.0;
+  x[1] = -0.0;
+  x[2] = 1e-300;
+  x[3] = 708.0;
+  x[4] = -708.0;
+  x[5] = 19.0625;
+  for (std::size_t offset : {0u, 1u, 2u, 3u, 5u}) {
+    for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 64u, 1000u}) {
+      if (offset + len > x.size()) continue;
+      std::vector<double> y(len);
+      VExpFast(x.data() + offset, y.data(), len);
+      for (std::size_t j = 0; j < len; ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+                  std::bit_cast<std::uint64_t>(ExpFast(x[offset + j])));
+      }
+      VTanhFast(x.data() + offset, y.data(), len);
+      for (std::size_t j = 0; j < len; ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+                  std::bit_cast<std::uint64_t>(TanhFast(x[offset + j])));
+      }
+      VSigmoidFast(x.data() + offset, y.data(), len);
+      for (std::size_t j = 0; j < len; ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+                  std::bit_cast<std::uint64_t>(SigmoidFast(x[offset + j])));
+      }
+    }
+  }
+}
+
+TEST(VmathConsistency, InPlaceMatchesOutOfPlace) {
+  stats::Rng rng(78);
+  std::vector<double> x(129);
+  for (auto& v : x) v = rng.Uniform(-10.0, 10.0);
+  std::vector<double> expect(x.size());
+  VTanhFast(x.data(), expect.data(), x.size());
+  std::vector<double> inplace = x;
+  VTanhFast(inplace.data(), inplace.data(), inplace.size());
+  EXPECT_EQ(std::memcmp(inplace.data(), expect.data(),
+                        x.size() * sizeof(double)),
+            0);
+}
+
+// Exact mode is the contract the whole training stack stands on: it IS
+// the scalar libm loop, bit for bit.
+TEST(VmathConsistency, ExactModeIsLibmBitwise) {
+  stats::Rng rng(79);
+  std::vector<double> x(517);
+  for (auto& v : x) v = rng.Uniform(-30.0, 30.0);
+  std::vector<double> y(x.size());
+  VExp(x.data(), y.data(), x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+              std::bit_cast<std::uint64_t>(std::exp(x[j])));
+  }
+  VTanh(x.data(), y.data(), x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+              std::bit_cast<std::uint64_t>(std::tanh(x[j])));
+  }
+  VSigmoid(x.data(), y.data(), x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(y[j]),
+              std::bit_cast<std::uint64_t>(1.0 / (1.0 + std::exp(-x[j]))));
+  }
+}
+
+class FastMathFlagTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetFastMath(false); }
+};
+
+TEST_F(FastMathFlagTest, TrainingScopeSuppressesFastMode) {
+  SetFastMath(true);
+  EXPECT_TRUE(FastMathEnabled());
+  EXPECT_TRUE(FastMathActive());
+  {
+    TrainingScope outer;
+    EXPECT_TRUE(FastMathEnabled());  // the request survives...
+    EXPECT_FALSE(FastMathActive());  // ...but cannot take effect
+    {
+      TrainingScope inner;  // nesting (sub-model training) stays exact
+      EXPECT_FALSE(FastMathActive());
+    }
+    EXPECT_FALSE(FastMathActive());
+    // The dispatchers are what call sites consume: inside a scope they
+    // must return the libm bits even with the flag on.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ExpInfer(0.73)),
+              std::bit_cast<std::uint64_t>(std::exp(0.73)));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(TanhInfer(-1.41)),
+              std::bit_cast<std::uint64_t>(std::tanh(-1.41)));
+  }
+  EXPECT_TRUE(FastMathActive());  // scope exit restores the request
+  SetFastMath(false);
+  EXPECT_FALSE(FastMathActive());
+}
+
+// The teeth behind "MEXI_FAST_MATH never changes a fitted model": train
+// the LSTM twice from the same seed, flag off vs flag on, and require
+// bitwise-identical behavior (losses and exact-mode predictions).
+TEST_F(FastMathFlagTest, FitIsBitwiseInertToFastMathFlag) {
+  LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 8;
+  config.dense_dim = 8;
+  config.num_labels = 2;
+  config.epochs = 2;
+  config.seed = 5;
+  stats::Rng rng(55);
+  std::vector<Sequence> sequences;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 6; ++i) {
+    Sequence seq;
+    for (int t = 0; t < 12; ++t) {
+      seq.push_back({rng.Uniform(), rng.Gaussian(), rng.Uniform()});
+    }
+    sequences.push_back(std::move(seq));
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0, 1.0});
+  }
+
+  SetFastMath(false);
+  LstmSequenceModel exact_model(config);
+  const double exact_loss = exact_model.Fit(sequences, targets);
+  std::vector<std::vector<double>> exact_preds;
+  for (const auto& seq : sequences) {
+    exact_preds.push_back(exact_model.Predict(seq));
+  }
+
+  SetFastMath(true);  // flag is live for the WHOLE Fit call below
+  LstmSequenceModel flagged_model(config);
+  const double flagged_loss = flagged_model.Fit(sequences, targets);
+  SetFastMath(false);  // predict exactly, to compare model weights
+  std::vector<std::vector<double>> flagged_preds;
+  for (const auto& seq : sequences) {
+    flagged_preds.push_back(flagged_model.Predict(seq));
+  }
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(exact_loss),
+            std::bit_cast<std::uint64_t>(flagged_loss));
+  ASSERT_EQ(exact_preds.size(), flagged_preds.size());
+  for (std::size_t i = 0; i < exact_preds.size(); ++i) {
+    ASSERT_EQ(exact_preds[i].size(), flagged_preds[i].size());
+    for (std::size_t j = 0; j < exact_preds[i].size(); ++j) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(exact_preds[i][j]),
+                std::bit_cast<std::uint64_t>(flagged_preds[i][j]))
+          << "sequence " << i << " label " << j;
+    }
+  }
+
+  // Fast-mode inference on the identically-trained model must stay
+  // semantically equivalent (ULP-level activation error does not move
+  // probabilities materially).
+  SetFastMath(true);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const std::vector<double> fast = flagged_model.Predict(sequences[i]);
+    for (std::size_t j = 0; j < fast.size(); ++j) {
+      EXPECT_NEAR(fast[j], exact_preds[i][j], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mexi::ml::vmath
+
+namespace mexi {
+namespace {
+
+/// FNV-1a over the raw bytes of each double (same scheme as
+/// tests/test_golden_nn.cc).
+std::uint64_t Fnv1a64(const std::vector<double>& values) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (bits >> (8 * b)) & 0xffULL;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+// End-to-end thread-count invariance: the exact-mode substrate and the
+// reordered LSTM gradient loops must hash identically whether MExI
+// trains on 1 thread or 8. This is the cross-thread face of the golden
+// hashes in test_golden_nn.cc.
+TEST(VmathThreads, MexiTrainHashIdenticalAt1And8Threads) {
+  const auto fixture = testing::MakeSmallPoFixture(12, 411);
+  const auto measures = ComputeAllMeasures(fixture->input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const std::vector<ExpertLabel> labels =
+      LabelsFromMeasures(measures, thresholds);
+
+  MexiConfig config;
+  config.seq.lstm.epochs = 2;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 1;
+  config.spa.pretrain_images = 4;
+  config.spa.pretrain_epochs = 1;
+
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t threads : {1u, 8u}) {
+    parallel::SetThreads(threads);
+    Mexi mexi(config);
+    mexi.Fit(fixture->input.matchers, labels, fixture->input.context);
+    std::vector<double> flat;
+    for (const auto& matcher : fixture->input.matchers) {
+      for (double p : mexi.CharacterizeProba(matcher)) flat.push_back(p);
+    }
+    hashes.push_back(Fnv1a64(flat));
+  }
+  parallel::SetThreads(0);
+  EXPECT_EQ(hashes[0], hashes[1]);
+}
+
+}  // namespace
+}  // namespace mexi

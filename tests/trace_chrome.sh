@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test for tools/trace_to_chrome.py against a REAL metrics.jsonl
+# (not a synthetic fixture), so schema drift between the obs emitter and
+# the converter fails loudly:
+#
+# 1. Simulate a tiny study, run characterize with --metrics-out armed.
+# 2. Convert the resulting metrics.jsonl to Chrome trace-event JSON.
+# 3. The output must be valid JSON with span ("X") and metadata events,
+#    microsecond timestamps, and a tid on every timeline record.
+# 4. Appending garbage to the JSONL must be tolerated (crash-truncated
+#    traces are exactly when you want the viewer to still work).
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+CONVERTER="${CONVERTER:?path to trace_to_chrome.py (set by ctest)}"
+PYTHON="${PYTHON:-python3}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "trace_chrome: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 6 --seed 13 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+OBS="${WORKDIR}/obs"
+"${MEXI_CLI}" characterize --dir "${DATA}" --rows "${ROWS}" \
+    --cols "${COLS}" --folds 2 --metrics-out "${OBS}" \
+    > /dev/null 2> /dev/null || fail "characterize exited $?"
+[ -s "${OBS}/metrics.jsonl" ] || fail "no metrics.jsonl produced"
+
+"${PYTHON}" "${CONVERTER}" "${OBS}/metrics.jsonl" \
+    -o "${WORKDIR}/out.trace.json" 2> "${WORKDIR}/convert.log" \
+    || fail "converter exited $? ($(cat "${WORKDIR}/convert.log"))"
+
+"${PYTHON}" - "${WORKDIR}/out.trace.json" <<'EOF' || fail "bad trace JSON"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+meta = [e for e in events if e["ph"] == "M"]
+assert spans, "no complete (span) events"
+assert meta, "no metadata events"
+assert any(e["args"].get("name") == "mexi" for e in meta), "no process_name"
+for e in spans:
+    assert e["dur"] >= 0 and e["ts"] >= 0, e
+    assert isinstance(e["tid"], int), e
+EOF
+
+# Crash-truncated / corrupted tails must not break conversion.
+cp "${OBS}/metrics.jsonl" "${WORKDIR}/torn.jsonl"
+printf '{"type": "span", "seq": 99999, "na\nnot json at all\n' \
+    >> "${WORKDIR}/torn.jsonl"
+"${PYTHON}" "${CONVERTER}" "${WORKDIR}/torn.jsonl" \
+    -o "${WORKDIR}/torn.trace.json" 2> "${WORKDIR}/torn.log" \
+    || fail "converter choked on a torn JSONL"
+grep -q "malformed" "${WORKDIR}/torn.log" \
+    || fail "torn lines were not reported"
+
+echo "trace_chrome: PASS"

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Convert a MExI metrics.jsonl stream into Chrome trace-event JSON.
+
+The observability hub (src/obs) appends one JSON object per line to
+<dir>/metrics.jsonl: "span" records (closed trace spans on the shared
+steady clock), "event" records (low-frequency instants such as epoch
+ends, checkpoints and injected faults), one leading "meta" record, and
+flush-time metric snapshots ("counter"/"gauge"/"timer"/"histogram").
+
+This tool maps the timestamped records onto the Chrome trace-event
+format so a run can be explored in chrome://tracing or https://ui.
+perfetto.dev:
+
+  span   -> complete event  (ph "X", ts/dur in microseconds)
+  event  -> instant event   (ph "i", thread scope, fields as args)
+  meta   -> process metadata (ph "M" process_name + run args)
+
+Timestamp-free snapshot records cannot be placed on the timeline and
+are skipped (counted on stderr). Malformed lines are tolerated the same
+way: a crashed producer leaves a usable prefix behind, and a trace
+viewer beats a JSON parse error when you are debugging that crash.
+
+Usage:
+  tools/trace_to_chrome.py OBS_DIR/metrics.jsonl [-o out.trace.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def thread_label(mapping, thread_hash):
+    """Stable small tid for a thread hash, in order of first appearance."""
+    if thread_hash not in mapping:
+        mapping[thread_hash] = len(mapping) + 1
+    return mapping[thread_hash]
+
+
+def convert(lines):
+    """Returns (trace_events, stats) for an iterable of JSONL lines."""
+    events = []
+    tids = {}
+    stats = {"spans": 0, "events": 0, "skipped": 0, "malformed": 0}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["type"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            stats["malformed"] += 1
+            continue
+        if kind == "span":
+            try:
+                tid = thread_label(tids, record["thread"])
+                events.append({
+                    "name": record["name"],
+                    "ph": "X",
+                    "ts": record["start_ns"] / 1e3,
+                    "dur": record["dur_ns"] / 1e3,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {
+                        "id": record.get("id"),
+                        "parent": record.get("parent"),
+                        "depth": record.get("depth"),
+                        "seq": record.get("seq"),
+                    },
+                })
+                stats["spans"] += 1
+            except (KeyError, TypeError):
+                stats["malformed"] += 1
+        elif kind == "event":
+            try:
+                events.append({
+                    "name": record["name"],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record["t_ns"] / 1e3,
+                    "pid": 1,
+                    # Events carry no thread hash; park them on the
+                    # first (main) thread lane.
+                    "tid": thread_label(tids, "main"),
+                    "args": record.get("fields", {}),
+                })
+                stats["events"] += 1
+            except (KeyError, TypeError):
+                stats["malformed"] += 1
+        elif kind == "meta":
+            args = {k: v for k, v in record.items() if k != "type"}
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": "mexi"},
+            })
+            events.append({
+                "name": "mexi_run_meta",
+                "ph": "M",
+                "pid": 1,
+                "args": args,
+            })
+        else:
+            stats["skipped"] += 1
+    # Name the thread lanes so the viewer shows something better than
+    # raw hashes.
+    for thread_hash, tid in tids.items():
+        name = "main" if thread_hash == "main" or tid == 1 else (
+            "worker-%d" % (tid - 1))
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name},
+        })
+    return events, stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="metrics.jsonl -> Chrome trace-event JSON")
+    parser.add_argument("jsonl", help="path to metrics.jsonl")
+    parser.add_argument(
+        "-o", "--out",
+        help="output path (default: <input>.trace.json)")
+    args = parser.parse_args(argv)
+    out_path = args.out or args.jsonl + ".trace.json"
+
+    with open(args.jsonl, "r", encoding="utf-8") as f:
+        events, stats = convert(f)
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f,
+                  indent=1)
+        f.write("\n")
+
+    print(
+        "trace_to_chrome: %d spans, %d instants -> %s"
+        % (stats["spans"], stats["events"], out_path),
+        file=sys.stderr)
+    if stats["skipped"]:
+        print(
+            "trace_to_chrome: skipped %d timestamp-free snapshot records"
+            % stats["skipped"], file=sys.stderr)
+    if stats["malformed"]:
+        print(
+            "trace_to_chrome: tolerated %d malformed lines"
+            % stats["malformed"], file=sys.stderr)
+    if stats["spans"] == 0 and stats["events"] == 0:
+        print("trace_to_chrome: no timestamped records found",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
