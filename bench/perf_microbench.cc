@@ -334,6 +334,165 @@ void BM_MexiTrainMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_MexiTrainMetrics)->Unit(benchmark::kMillisecond);
 
+// Batched LSTM inference: Arg is the batch width. Width 1 is the
+// legacy per-trace Predict loop; width 64 drives the lane-packed
+// per-step GEMM engine over the same 64 ragged sequences. Items/sec is
+// sequences per second, so the ratio of the two counters is the
+// engine's speedup.
+void BM_LstmPredictBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 3;
+  config.hidden_dim = 64;
+  config.dense_dim = 100;
+  config.num_labels = 4;
+  config.epochs = 1;
+  stats::Rng rng(23);
+  std::vector<ml::Sequence> train;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 4; ++i) {
+    ml::Sequence seq;
+    for (int t = 0; t < 40; ++t) {
+      seq.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    train.push_back(std::move(seq));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  ml::LstmSequenceModel model(config);
+  model.Fit(train, targets);
+
+  constexpr std::size_t kPopulation = 64;
+  std::vector<ml::Sequence> sequences;
+  for (std::size_t i = 0; i < kPopulation; ++i) {
+    ml::Sequence seq;
+    const std::size_t length = 20 + rng.UniformIndex(41);  // ragged
+    for (std::size_t t = 0; t < length; ++t) {
+      seq.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    sequences.push_back(std::move(seq));
+  }
+  ml::vmath::SetFastMath(true);
+  ml::LstmSequenceModel::PredictBatchWorkspace ws;
+  for (auto _ : state) {
+    if (batch <= 1) {
+      for (const auto& seq : sequences) {
+        benchmark::DoNotOptimize(model.Predict(seq));
+      }
+    } else if (batch >= kPopulation) {
+      // Whole population in one call: no chunk copies in the timed loop.
+      benchmark::DoNotOptimize(model.PredictBatch(sequences, ws));
+    } else {
+      for (std::size_t begin = 0; begin < kPopulation; begin += batch) {
+        const std::vector<ml::Sequence> chunk(
+            sequences.begin() + static_cast<std::ptrdiff_t>(begin),
+            sequences.begin() +
+                static_cast<std::ptrdiff_t>(
+                    std::min(kPopulation, begin + batch)));
+        benchmark::DoNotOptimize(model.PredictBatch(chunk, ws));
+      }
+    }
+  }
+  ml::vmath::SetFastMath(false);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kPopulation));
+}
+BENCHMARK(BM_LstmPredictBatch)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched CNN inference over the Phi_Spa heat-map shape.
+void BM_CnnPredictBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  ml::CnnImageModel::Config config;
+  config.image_rows = 20;
+  config.image_cols = 32;
+  config.epochs = 1;
+  stats::Rng rng(24);
+  std::vector<ml::Image> train;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 8; ++i) {
+    train.push_back(ml::Matrix::RandomGaussian(20, 32, 1.0, rng));
+    targets.push_back({1.0, 0.0, 1.0, 0.0});
+  }
+  ml::CnnImageModel model(config);
+  model.Fit(train, targets);
+
+  constexpr std::size_t kPopulation = 64;
+  std::vector<ml::Image> images;
+  for (std::size_t i = 0; i < kPopulation; ++i) {
+    images.push_back(ml::Matrix::RandomGaussian(20, 32, 1.0, rng));
+  }
+  ml::vmath::SetFastMath(true);
+  ml::CnnImageModel::PredictBatchWorkspace ws;
+  for (auto _ : state) {
+    if (batch <= 1) {
+      for (const auto& image : images) {
+        benchmark::DoNotOptimize(model.Predict(image));
+      }
+    } else if (batch >= kPopulation) {
+      // Whole population in one call: no chunk copies in the timed loop.
+      benchmark::DoNotOptimize(model.PredictBatch(images, ws));
+    } else {
+      for (std::size_t begin = 0; begin < kPopulation; begin += batch) {
+        const std::vector<ml::Image> chunk(
+            images.begin() + static_cast<std::ptrdiff_t>(begin),
+            images.begin() +
+                static_cast<std::ptrdiff_t>(
+                    std::min(kPopulation, begin + batch)));
+        benchmark::DoNotOptimize(model.PredictBatch(chunk, ws));
+      }
+    }
+  }
+  ml::vmath::SetFastMath(false);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kPopulation));
+}
+BENCHMARK(BM_CnnPredictBatch)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end serve-path throughput in traces/sec: one fitted MExI
+// characterizing a 64-matcher population, fast math on (the serve-path
+// default). Arg is MexiConfig::batch_size — 1 is the legacy per-trace
+// path, 64 the batched engine; the compare step gates on the ratio
+// (engine must be >= 2x the per-trace path).
+void BM_CharacterizeThroughput(benchmark::State& state) {
+  sim::StudyConfig study_config;
+  study_config.num_matchers = 64;
+  study_config.seed = 19;
+  const bench::StudyInput study(sim::BuildPurchaseOrderStudy(study_config));
+  const auto measures = ComputeAllMeasures(study.input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  // Network-serving-heavy shape: a 128-unit LSTM puts the serve path
+  // where production inference lives — dominated by the per-step
+  // recurrent products (the 4H x (in+H+1) weight slab is ~0.5 MB, so
+  // the per-trace path re-streams it from L2 every step while the
+  // lane-blocked engine shares each pass across four traces). The
+  // aggregated-predictor and CNN costs ride along unchanged; they are
+  // batching-neutral by construction (identical code and data in both
+  // arms), so the gate ratio isolates what the engine actually owns.
+  config.seq.lstm.epochs = 1;
+  config.seq.lstm.hidden_dim = 128;
+  config.seq.lstm.dense_dim = 100;
+  config.spa.cnn.epochs = 1;
+  config.spa.pretrain_images = 0;
+  config.batch_size = static_cast<std::size_t>(state.range(0));
+  Mexi mexi(config);
+  mexi.Fit(study.input.matchers, labels, study.input.context);
+
+  ml::vmath::SetFastMath(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mexi.CharacterizeAll(study.input.matchers));
+  }
+  ml::vmath::SetFastMath(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * study.input.matchers.size()));
+}
+BENCHMARK(BM_CharacterizeThroughput)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BuildStudy(benchmark::State& state) {
   for (auto _ : state) {
     sim::StudyConfig config;

@@ -90,6 +90,10 @@ int Usage() {
       "  mexi_cli measure      --dir DIR --rows N --cols M\n"
       "  mexi_cli characterize --dir DIR --rows N --cols M [--folds K]\n"
       "                        [--checkpoint-dir DIR] [--resume]\n"
+      "                        [--batch-size B]  route characterization\n"
+      "                        through the batched inference engine in\n"
+      "                        chunks of B matchers (default 1 = per\n"
+      "                        trace; results are identical).\n"
       "  mexi_cli fuse         --dir DIR --rows N --cols M\n"
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
@@ -103,11 +107,16 @@ int Usage() {
       "                atomically rewrite a small JSON progress snapshot\n"
       "                at PATH as the run advances (env:\n"
       "                MEXI_STATUS_FILE).\n"
-      "  --fast-math   allow ULP-bounded SIMD transcendentals on\n"
-      "                Predict/inference paths (env: MEXI_FAST_MATH).\n"
+      "  --fast-math   allow ULP-bounded SIMD transcendentals and fused\n"
+      "                products on Predict/inference paths (env:\n"
+      "                MEXI_FAST_MATH). Default ON for characterize (the\n"
+      "                serve path); other commands default exact.\n"
       "                Training always stays exact; simulate output and\n"
       "                fitted models are unchanged, predictions may\n"
-      "                differ in the last bits.\n");
+      "                differ in the last bits.\n"
+      "  --exact-math  force the exact scalar transcendentals and split\n"
+      "                multiply-adds everywhere (opts characterize out\n"
+      "                of its fast-math default).\n");
   return 2;
 }
 
@@ -222,8 +231,14 @@ int CmdCharacterize(const Args& args) {
       Load(dir, static_cast<std::size_t>(rows),
            static_cast<std::size_t>(cols));
 
+  const long batch_size = args.GetLong("batch-size", 1);
+  if (batch_size < 1) return Usage();
   std::vector<CharacterizerFactory> methods;
-  methods.push_back([] { return std::make_unique<Mexi>(Mexi50Config()); });
+  methods.push_back([batch_size] {
+    MexiConfig mexi_config = Mexi50Config();
+    mexi_config.batch_size = static_cast<std::size_t>(batch_size);
+    return std::make_unique<Mexi>(mexi_config);
+  });
   ExperimentConfig config;
   config.folds = static_cast<std::size_t>(args.GetLong("folds", 5));
   config.checkpoint_dir = args.Get("checkpoint-dir");
@@ -316,7 +331,19 @@ int main(int argc, char** argv) {
     if (threads >= 0) {
       parallel::SetThreads(static_cast<std::size_t>(threads));
     }
-    if (args.Has("fast-math")) mexi::ml::vmath::SetFastMath(true);
+    // Serve-path default: characterize runs with the gated fast math on
+    // unless the user opts out (--exact-math) or the environment pins it
+    // off (MEXI_FAST_MATH=0). Training inside any command stays exact
+    // regardless, via the TrainingScope contract.
+    if (args.Has("exact-math")) {
+      mexi::ml::vmath::SetFastMath(false);
+    } else if (args.Has("fast-math")) {
+      mexi::ml::vmath::SetFastMath(true);
+    } else if (args.command == "characterize") {
+      const char* env = std::getenv("MEXI_FAST_MATH");
+      const bool env_off = env != nullptr && env[0] == '0' && env[1] == '\0';
+      if (!env_off) mexi::ml::vmath::SetFastMath(true);
+    }
     const std::string metrics_out = args.Get("metrics-out");
     if (!metrics_out.empty()) hub.EnableMetrics(metrics_out);
     const std::string status_path = args.Get("status-file");

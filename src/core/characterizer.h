@@ -44,8 +44,12 @@ class Characterizer {
   /// smoother score.
   virtual double ExpertScore(const MatcherView& matcher) const;
 
-  /// Batch prediction.
-  std::vector<ExpertLabel> CharacterizeAll(
+  /// Batch prediction over a population. The default loops
+  /// Characterize; methods with a batched serve path (MExI) override it
+  /// with one that must stay bitwise identical per matcher to the loop
+  /// in exact mode. The evaluation harness and the CLI characterize
+  /// through this entry point.
+  virtual std::vector<ExpertLabel> CharacterizeAll(
       const std::vector<MatcherView>& matchers) const;
 };
 

@@ -276,9 +276,10 @@ std::vector<MethodResult> RunKFoldExperiment(
       std::unique_ptr<Characterizer> method = methods[m]();
       method->Fit(train_views, train_labels, input.context);
       fold_results[f][m].method = method->Name();
+      const std::vector<ExpertLabel> predicted =
+          method->CharacterizeAll(test_views);
       for (std::size_t i = 0; i < test_views.size(); ++i) {
-        Accumulate(fold_results[f][m], test_labels[i],
-                   method->Characterize(test_views[i]));
+        Accumulate(fold_results[f][m], test_labels[i], predicted[i]);
       }
     }
     if (manager) CommitFold(*manager, signature, fold_results[f]);
@@ -339,13 +340,14 @@ std::vector<MethodResult> RunTransferExperiment(
     // of the population being characterized).
     method->AdaptToPopulation(test_input.matchers);
     results[m].method = method->Name();
+    // Test-time characterization uses the *test* task's context only
+    // through the matcher's own traces; the trained method carries its
+    // training context (this is exactly the paper's cross-task
+    // transfer, where matrix dimensions differ).
+    const std::vector<ExpertLabel> predicted =
+        method->CharacterizeAll(test_input.matchers);
     for (std::size_t i = 0; i < test_input.matchers.size(); ++i) {
-      // Test-time characterization uses the *test* task's context only
-      // through the matcher's own traces; the trained method carries its
-      // training context (this is exactly the paper's cross-task
-      // transfer, where matrix dimensions differ).
-      Accumulate(results[m], test_labels[i],
-                 method->Characterize(test_input.matchers[i]));
+      Accumulate(results[m], test_labels[i], predicted[i]);
     }
   }
   for (auto& result : results) Finalize(result);

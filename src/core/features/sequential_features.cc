@@ -80,4 +80,15 @@ FeatureVector SequentialFeatureExtractor::Extract(
   return out;
 }
 
+std::vector<std::vector<double>> SequentialFeatureExtractor::ExtractAllValues(
+    const std::vector<const matching::DecisionHistory*>& histories) const {
+  if (!fitted_) {
+    throw std::logic_error("SequentialFeatureExtractor: not fitted");
+  }
+  std::vector<ml::Sequence> sequences;
+  sequences.reserve(histories.size());
+  for (const auto* history : histories) sequences.push_back(Encode(*history));
+  return model_.PredictBatch(sequences);
+}
+
 }  // namespace mexi

@@ -42,6 +42,14 @@ class SequentialFeatureExtractor {
   /// Requires Fit() first.
   FeatureVector Extract(const matching::DecisionHistory& history) const;
 
+  /// Batched Extract: encodes every history and runs one LSTM
+  /// PredictBatch over the chunk. Row i holds exactly the coefficient
+  /// values Extract(*histories[i]) would produce (bitwise, mode for
+  /// mode), in the same "seq.<characteristic>" order, without the
+  /// per-trace name churn — callers fuse values positionally.
+  std::vector<std::vector<double>> ExtractAllValues(
+      const std::vector<const matching::DecisionHistory*>& histories) const;
+
   /// The sequence encoding used for both training and extraction
   /// (exposed for tests).
   ml::Sequence Encode(const matching::DecisionHistory& history) const;

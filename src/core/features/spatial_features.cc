@@ -137,4 +137,37 @@ FeatureVector SpatialFeatureExtractor::Extract(
   return out;
 }
 
+std::vector<std::vector<double>> SpatialFeatureExtractor::ExtractAllValues(
+    const std::vector<const matching::MovementMap*>& movements) const {
+  if (!fitted_) {
+    throw std::logic_error("SpatialFeatureExtractor: not fitted");
+  }
+  const std::size_t count = movements.size();
+  const std::size_t labels = config_.cnn.num_labels;
+  std::vector<std::vector<double>> out(
+      count,
+      std::vector<double>(
+          static_cast<std::size_t>(matching::kNumMovementTypes) * labels));
+  std::vector<ml::Image> images;
+  ml::CnnImageModel::PredictBatchWorkspace ws;
+  for (int type = 0; type < matching::kNumMovementTypes; ++type) {
+    images.clear();
+    images.reserve(count);
+    for (const auto* movement : movements) {
+      images.push_back(movement->HeatMap(
+          static_cast<matching::MovementType>(type), config_.cnn.image_rows,
+          config_.cnn.image_cols));
+    }
+    const std::vector<std::vector<double>> coefficients =
+        models_[static_cast<std::size_t>(type)]->PredictBatch(images, ws);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t c = 0; c < coefficients[i].size(); ++c) {
+        out[i][static_cast<std::size_t>(type) * labels + c] =
+            coefficients[i][c];
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace mexi

@@ -46,6 +46,13 @@ class SpatialFeatureExtractor {
   /// Extracts the 16 label-coefficient features for one movement map.
   FeatureVector Extract(const matching::MovementMap& movement) const;
 
+  /// Batched Extract: per movement type, builds every heat map in the
+  /// chunk and runs one CNN PredictBatch. Row i holds exactly the 16
+  /// coefficient values Extract(*movements[i]) would produce (bitwise,
+  /// mode for mode), in the same type-major "spa.<Map>.<char>" order.
+  std::vector<std::vector<double>> ExtractAllValues(
+      const std::vector<const matching::MovementMap*>& movements) const;
+
   bool fitted() const { return fitted_; }
 
  private:

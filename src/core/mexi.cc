@@ -10,6 +10,7 @@
 #include "ml/model_selection.h"
 #include "ml/vmath/vmath.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "stats/correlation.h"
 
 namespace mexi {
@@ -269,6 +270,31 @@ FeatureVector Mexi::AggregatedPart(
   return phi;
 }
 
+std::vector<double> Mexi::AggregatedValues(
+    const matching::DecisionHistory& history,
+    const matching::MovementMap& movement, std::size_t source_size,
+    std::size_t target_size, matching::PredictorScratch& scratch) const {
+  std::vector<double> out;
+  if (config_.use_lrsm) {
+    const matching::MatchMatrix matrix =
+        history.ToMatrix(source_size, target_size);
+    matching::ComputePredictorValues(matrix, &scratch, out);
+  }
+  if (config_.use_beh) {
+    const FeatureVector part = BehavioralFeatures(history);
+    out.insert(out.end(), part.values().begin(), part.values().end());
+  }
+  if (config_.use_con) {
+    const FeatureVector part = ConsistencyFeatures(history, consensus_);
+    out.insert(out.end(), part.values().begin(), part.values().end());
+  }
+  if (config_.use_mou) {
+    const FeatureVector part = MouseFeatures(movement);
+    out.insert(out.end(), part.values().begin(), part.values().end());
+  }
+  return out;
+}
+
 FeatureVector Mexi::ExtractFeatures(
     const matching::DecisionHistory& history,
     const matching::MovementMap& movement, std::size_t source_size,
@@ -301,6 +327,103 @@ ExpertLabel Mexi::Characterize(const MatcherView& matcher) const {
     bits.push_back(probability >= label_thresholds_[c] ? 1 : 0);
   }
   return ExpertLabel::FromVector(bits);
+}
+
+std::vector<ExpertLabel> Mexi::CharacterizeAll(
+    const std::vector<MatcherView>& matchers) const {
+  if (label_classifiers_.empty()) {
+    throw std::logic_error("Mexi::Characterize before Fit");
+  }
+  if (config_.batch_size <= 1 || matchers.size() <= 1) {
+    return Characterizer::CharacterizeAll(matchers);
+  }
+  const obs::Span span("mexi.characterize_all");
+  const std::size_t count = matchers.size();
+  const bool use_seq = config_.use_seq && seq_extractor_ != nullptr;
+  const bool use_spa = config_.use_spa && spa_extractor_ != nullptr;
+
+  // Phase 1: per-trace aggregated features into pre-sized slots,
+  // chunked and sharded over the deterministic pool (bitwise identical
+  // at any thread count under the ParallelFor contract). Each chunk
+  // owns one PredictorScratch, so the LRSM PCA slabs are allocated once
+  // per chunk instead of per trace; only the values are kept, since the
+  // classifiers index positionally via selected_features_ and the
+  // per-trace feature-name churn of the FeatureVector path is pure
+  // overhead here.
+  std::vector<std::vector<double>> rows(count);
+  const std::size_t agg_chunk = config_.batch_size;
+  const std::size_t agg_chunks = (count + agg_chunk - 1) / agg_chunk;
+  parallel::ParallelFor(0, agg_chunks, 1, [&](std::size_t n) {
+    matching::PredictorScratch scratch;
+    const std::size_t begin = n * agg_chunk;
+    const std::size_t end = std::min(count, begin + agg_chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      rows[i] = AggregatedValues(*matchers[i].history, *matchers[i].movement,
+                                 matchers[i].source_size,
+                                 matchers[i].target_size, scratch);
+    }
+  });
+
+  // Phase 2: network coefficients in batch_size chunks — one LSTM
+  // PredictBatch and four CNN PredictBatch calls per chunk instead of
+  // per trace. Chunks write disjoint row slots, so they shard over the
+  // pool under the same determinism contract; appending seq before spa
+  // reproduces ExtractFeatures' fusion order per row.
+  if (use_seq || use_spa) {
+    const std::size_t chunk = config_.batch_size;
+    const std::size_t num_chunks = (count + chunk - 1) / chunk;
+    parallel::ParallelFor(0, num_chunks, 1, [&](std::size_t n) {
+      const std::size_t begin = n * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      if (use_seq) {
+        std::vector<const matching::DecisionHistory*> histories;
+        histories.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          histories.push_back(matchers[i].history);
+        }
+        const std::vector<std::vector<double>> seq_rows =
+            seq_extractor_->ExtractAllValues(histories);
+        for (std::size_t i = begin; i < end; ++i) {
+          rows[i].insert(rows[i].end(), seq_rows[i - begin].begin(),
+                         seq_rows[i - begin].end());
+        }
+      }
+      if (use_spa) {
+        std::vector<const matching::MovementMap*> movements;
+        movements.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          movements.push_back(matchers[i].movement);
+        }
+        const std::vector<std::vector<double>> spa_rows =
+            spa_extractor_->ExtractAllValues(movements);
+        for (std::size_t i = begin; i < end; ++i) {
+          rows[i].insert(rows[i].end(), spa_rows[i - begin].begin(),
+                         spa_rows[i - begin].end());
+        }
+      }
+    });
+  }
+
+  // Phase 3: one batched classifier pass per label over the projected
+  // feature table, then the threshold fuse — the same per-row
+  // arithmetic and threshold compare as Characterize.
+  std::vector<std::vector<double>> projected(count);
+  std::vector<std::vector<int>> bits(count);
+  for (std::size_t c = 0; c < label_classifiers_.size(); ++c) {
+    for (std::size_t i = 0; i < count; ++i) {
+      projected[i] = Project(rows[i], selected_features_[c]);
+    }
+    const std::vector<double> probabilities =
+        label_classifiers_[c]->PredictProbaBatch(projected);
+    for (std::size_t i = 0; i < count; ++i) {
+      bits[i].push_back(probabilities[i] >= label_thresholds_[c] ? 1 : 0);
+    }
+  }
+  std::vector<ExpertLabel> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ExpertLabel::FromVector(bits[i]);
+  }
+  return out;
 }
 
 std::vector<double> Mexi::CharacterizeProba(

@@ -11,6 +11,7 @@
 #include "core/features/sequential_features.h"
 #include "core/features/spatial_features.h"
 #include "core/submatcher.h"
+#include "matching/predictors.h"
 #include "ml/classifier.h"
 
 namespace mexi {
@@ -56,6 +57,14 @@ struct MexiConfig {
   /// DESIGN.md §5). Disable only to reproduce the naive in-sample
   /// late-fusion ablation (bench/ablation_fusion).
   bool oof_fusion = true;
+  /// Serve-path chunk width for CharacterizeAll: > 1 routes population
+  /// characterization through the batched inference engine (per-step
+  /// GEMM in the LSTM, one CNN/classifier pass per chunk — see
+  /// DESIGN.md "Batched inference & lane packing"). Exact mode stays
+  /// bitwise identical per trace at every width; <= 1 keeps the
+  /// per-trace legacy path. `mexi_cli characterize --batch-size`
+  /// exposes it.
+  std::size_t batch_size = 1;
   std::uint64_t seed = 4242;
 };
 
@@ -78,6 +87,16 @@ class Mexi : public Characterizer {
            const TaskContext& context) override;
 
   ExpertLabel Characterize(const MatcherView& matcher) const override;
+
+  /// Batched serve path (config().batch_size > 1): per-trace feature
+  /// extraction sharded over the deterministic thread pool, then
+  /// chunked LSTM/CNN PredictBatch and per-label classifier
+  /// PredictProbaBatch over the population. Bitwise identical per
+  /// matcher to Characterize in exact mode at every batch size and
+  /// thread count; with batch_size <= 1 it falls back to the
+  /// per-trace loop.
+  std::vector<ExpertLabel> CharacterizeAll(
+      const std::vector<MatcherView>& matchers) const override;
 
   /// Rebuilds the consensuality statistics over `population` (their
   /// final matrices; no labels). Call before characterizing matchers of
@@ -113,6 +132,15 @@ class Mexi : public Characterizer {
                                const matching::MovementMap& movement,
                                std::size_t source_size,
                                std::size_t target_size) const;
+
+  /// Serve-path twin of AggregatedPart: the same feature values in the
+  /// same order, without the name strings, with the LRSM predictors
+  /// routed through `scratch` so the PCA slabs amortize across a chunk
+  /// of traces. Bitwise identical to AggregatedPart(...).values().
+  std::vector<double> AggregatedValues(
+      const matching::DecisionHistory& history,
+      const matching::MovementMap& movement, std::size_t source_size,
+      std::size_t target_size, matching::PredictorScratch& scratch) const;
 
   MexiConfig config_;
   TaskContext context_;

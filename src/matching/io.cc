@@ -309,15 +309,51 @@ std::ifstream OpenForRead(const std::string& path) {
   return in;
 }
 
+// Renders-then-writes one output CSV so the matchers_write fault site
+// can model disk failure per *file*, not per row. Uninjected, the byte
+// stream written is identical to streaming straight into the ofstream.
+void WriteFileInjected(const std::string& path, const std::string& content) {
+  const robust::FaultKind fault =
+      robust::FaultInjector::Global().Hit(robust::FaultSite::kMatchersWrite);
+  if (fault == robust::FaultKind::kEnospc) {
+    throw robust::StatusError(
+        robust::Status::Error(robust::StatusCode::kResourceExhausted,
+                              "injected ENOSPC: no space left on device")
+            .WithFile(path));
+  }
+  auto out = OpenForWrite(path);
+  if (fault == robust::FaultKind::kShortWrite) {
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+    out.flush();
+    throw robust::StatusError(
+        robust::Status::Error(robust::StatusCode::kIoError,
+                              "injected short write: device lost " +
+                                  std::to_string(content.size() -
+                                                 content.size() / 2) +
+                                  " trailing bytes")
+            .WithFile(path));
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    throw robust::StatusError(
+        robust::Status::Error(robust::StatusCode::kIoError,
+                              "write failed for " + path)
+            .WithFile(path));
+  }
+}
+
 }  // namespace
 
 void SaveMatchersToFiles(const std::vector<LoadedMatcher>& matchers,
                          const std::string& decisions_path,
                          const std::string& movements_path) {
-  auto decisions = OpenForWrite(decisions_path);
+  std::ostringstream decisions;
   WriteDecisionsCsv(matchers, decisions);
-  auto movements = OpenForWrite(movements_path);
+  WriteFileInjected(decisions_path, decisions.str());
+  std::ostringstream movements;
   WriteMovementsCsv(matchers, movements);
+  WriteFileInjected(movements_path, movements.str());
 }
 
 std::vector<LoadedMatcher> LoadMatchersFromFiles(

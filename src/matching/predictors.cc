@@ -93,11 +93,24 @@ const std::vector<std::string>& RecallLeaningPredictors() {
 }
 
 std::vector<NamedValue> ComputePredictors(const MatchMatrix& matrix) {
-  const ml::Matrix& m = matrix.values();
+  std::vector<double> values;
+  ComputePredictorValues(matrix, /*scratch=*/nullptr, values);
+  const std::vector<std::string>& names = PredictorNames();
   std::vector<NamedValue> out;
-  out.reserve(PredictorNames().size());
-  auto emit = [&](const std::string& name, double value) {
-    out.push_back(NamedValue{name, value});
+  out.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    out.push_back(NamedValue{names[k], values[k]});
+  }
+  return out;
+}
+
+void ComputePredictorValues(const MatchMatrix& matrix,
+                            PredictorScratch* scratch,
+                            std::vector<double>& out) {
+  const ml::Matrix& m = matrix.values();
+  out.reserve(out.size() + PredictorNames().size());
+  auto emit = [&](const char* /*name*/, double value) {
+    out.push_back(value);
   };
 
   const std::vector<double> sigma = matrix.MatchValues();
@@ -170,22 +183,31 @@ std::vector<NamedValue> ComputePredictors(const MatchMatrix& matrix) {
   emit("normsinf", m.InfNorm() / std::sqrt(norm_scale));
   emit("entropy", stats::Entropy(sigma));
 
-  // PCA over matrix rows; degenerate matrices yield (0, 0).
+  // PCA over matrix rows; degenerate matrices yield (0, 0). The scratch
+  // path feeds the matrix's own row-major slab to the flat eigenvalue-
+  // only PCA; the reference path materializes row copies for stats::Pca.
+  // Both produce bitwise-identical ratios (see stats/pca.h).
   double pca1 = 0.0, pca2 = 0.0;
   if (m.rows() >= 2 && m.cols() >= 2 && !sigma.empty()) {
-    std::vector<std::vector<double>> rows(m.rows());
-    for (std::size_t i = 0; i < m.rows(); ++i) rows[i] = m.Row(i);
-    const stats::PcaResult pca = stats::Pca(rows);
-    if (!pca.explained_variance_ratio.empty()) {
-      pca1 = pca.explained_variance_ratio[0];
-    }
-    if (pca.explained_variance_ratio.size() > 1) {
-      pca2 = pca.explained_variance_ratio[1];
+    if (scratch != nullptr) {
+      stats::PcaExplainedVarianceRatio(m.data().data(), m.rows(), m.cols(),
+                                       scratch->pca, scratch->ratio);
+      if (!scratch->ratio.empty()) pca1 = scratch->ratio[0];
+      if (scratch->ratio.size() > 1) pca2 = scratch->ratio[1];
+    } else {
+      std::vector<std::vector<double>> rows(m.rows());
+      for (std::size_t i = 0; i < m.rows(); ++i) rows[i] = m.Row(i);
+      const stats::PcaResult pca = stats::Pca(rows);
+      if (!pca.explained_variance_ratio.empty()) {
+        pca1 = pca.explained_variance_ratio[0];
+      }
+      if (pca.explained_variance_ratio.size() > 1) {
+        pca2 = pca.explained_variance_ratio[1];
+      }
     }
   }
   emit("pca1", pca1);
   emit("pca2", pca2);
-  return out;
 }
 
 }  // namespace mexi::matching

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "matching/match_matrix.h"
+#include "stats/pca.h"
 
 namespace mexi::matching {
 
@@ -43,6 +44,27 @@ struct NamedValue {
 ///
 /// All predictors are 0 for an empty match.
 std::vector<NamedValue> ComputePredictors(const MatchMatrix& matrix);
+
+/// Reusable buffers for `ComputePredictorValues`. One instance per
+/// serving lane, passed back in trace after trace, amortizes the PCA
+/// slabs across a whole population.
+struct PredictorScratch {
+  stats::PcaScratch pca;
+  std::vector<double> ratio;
+};
+
+/// Serve-path core of `ComputePredictors`: appends the predictor values
+/// to `out` in `PredictorNames()` order, without materializing names.
+///
+/// With `scratch == nullptr` this IS the reference path —
+/// `ComputePredictors` delegates here and zips the names on. With a
+/// scratch it swaps only the pca1/pca2 block for the flat, eigenvalue-
+/// only `stats::PcaExplainedVarianceRatio` over the matrix's row-major
+/// slab, which is bitwise identical to `stats::Pca` per trace; every
+/// other predictor runs the same code either way.
+void ComputePredictorValues(const MatchMatrix& matrix,
+                            PredictorScratch* scratch,
+                            std::vector<double>& out);
 
 /// Names of the predictors ComputePredictors emits, in order.
 const std::vector<std::string>& PredictorNames();

@@ -51,6 +51,27 @@ std::vector<double> BinaryClassifier::PredictProbaAll(
   return out;
 }
 
+std::vector<double> BinaryClassifier::PredictProbaBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  if (!fitted_) {
+    throw std::logic_error("BinaryClassifier::PredictProba before Fit");
+  }
+  if (rows.empty()) return {};
+  if (constant_label_ >= 0) {
+    return std::vector<double>(rows.size(),
+                               static_cast<double>(constant_label_));
+  }
+  return PredictProbaBatchImpl(rows);
+}
+
+std::vector<double> BinaryClassifier::PredictProbaBatchImpl(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(PredictProbaImpl(row));
+  return out;
+}
+
 void BinaryClassifier::SaveState(robust::BinaryWriter& writer) const {
   writer.WriteTag("BCLS");
   writer.WriteString(Name());

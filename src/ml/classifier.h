@@ -39,6 +39,14 @@ class BinaryClassifier {
   std::vector<int> PredictAll(
       const std::vector<std::vector<double>>& rows) const;
 
+  /// Batched probability prediction: one fitted/degenerate gate up
+  /// front, then a single PredictProbaBatchImpl call. Bitwise identical
+  /// per row to calling PredictProba row by row — the default Impl *is*
+  /// that loop, and overrides must preserve each row's accumulation
+  /// order exactly (they may only restructure across rows).
+  std::vector<double> PredictProbaBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
   /// Fresh untrained copy with identical hyper-parameters.
   virtual std::unique_ptr<BinaryClassifier> Clone() const = 0;
 
@@ -60,6 +68,14 @@ class BinaryClassifier {
 
   /// Implementation hook; called only after successful FitImpl.
   virtual double PredictProbaImpl(const std::vector<double>& row) const = 0;
+
+  /// Batch hook; called only after successful FitImpl (never for
+  /// degenerate constant predictors). Defaults to the row-by-row loop;
+  /// overrides restructure for locality (trees-outer, one network pass)
+  /// but must keep every row's own FP chain identical to
+  /// PredictProbaImpl.
+  virtual std::vector<double> PredictProbaBatchImpl(
+      const std::vector<std::vector<double>>& rows) const;
 
   /// Serialization hooks; called only when a real (non-constant) model
   /// was fitted. The default throws kInvalidArgument — classifiers

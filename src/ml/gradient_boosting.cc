@@ -162,6 +162,24 @@ double GradientBoosting::PredictProbaImpl(
   return vmath::SigmoidInfer(RawScore(row));
 }
 
+std::vector<double> GradientBoosting::PredictProbaBatchImpl(
+    const std::vector<std::vector<double>>& rows) const {
+  // Trees-outer: each tree streams over every row while its nodes are
+  // hot. Row i's score chain is still base_score_ plus the lr-scaled
+  // tree outputs in ascending tree order — RawScore's exact chain.
+  std::vector<double> scores(rows.size(), base_score_);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      scores[i] += config_.learning_rate * tree.Predict(rows[i]);
+    }
+  }
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out[i] = vmath::SigmoidInfer(scores[i]);
+  }
+  return out;
+}
+
 void GradientBoosting::SaveStateImpl(robust::BinaryWriter& writer) const {
   writer.WriteTag("GBDT");
   writer.WriteDouble(base_score_);

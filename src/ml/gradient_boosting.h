@@ -41,6 +41,8 @@ class GradientBoosting : public BinaryClassifier {
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
+  std::vector<double> PredictProbaBatchImpl(
+      const std::vector<std::vector<double>>& rows) const override;
   void SaveStateImpl(robust::BinaryWriter& writer) const override;
   void LoadStateImpl(robust::BinaryReader& reader) override;
 

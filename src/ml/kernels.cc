@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "ml/vmath/vmath.h"
 
 namespace mexi::ml::kernels {
@@ -12,6 +16,367 @@ void GemvAccum(const double* x, std::size_t m, const double* w,
     const double xk = x[k];
     if (xk == 0.0) continue;
     Axpy(xk, w + k * n, y, n);
+  }
+}
+
+namespace {
+
+// One register-blocked output tile: acc[t] lives in registers across
+// the whole k loop, so y is touched exactly twice (load, store) per
+// cell instead of once per k as in the Axpy form. Each cell's chain is
+// unchanged — y_init, then products ascending k with the zero-skip on
+// x[k] — so the tile is bitwise identical to the Axpy form cell for
+// cell; the tiling only reorders *independent* cells.
+template <std::size_t kWidth>
+inline void GemmAccumTile(const double* __restrict xb, std::size_t m,
+                          const double* __restrict w, std::size_t ldw,
+                          double* __restrict yt) {
+  double acc[kWidth];
+  for (std::size_t t = 0; t < kWidth; ++t) acc[t] = yt[t];
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xk = xb[k];
+    if (xk == 0.0) continue;
+    const double* wk = w + k * ldw;
+    for (std::size_t t = 0; t < kWidth; ++t) acc[t] += xk * wk[t];
+  }
+  for (std::size_t t = 0; t < kWidth; ++t) yt[t] = acc[t];
+}
+
+inline void GemmAccumTileTail(const double* __restrict xb, std::size_t m,
+                              const double* __restrict w, std::size_t ldw,
+                              double* __restrict yt, std::size_t width) {
+  double acc[16];
+  for (std::size_t t = 0; t < width; ++t) acc[t] = yt[t];
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xk = xb[k];
+    if (xk == 0.0) continue;
+    const double* wk = w + k * ldw;
+    for (std::size_t t = 0; t < width; ++t) acc[t] += xk * wk[t];
+  }
+  for (std::size_t t = 0; t < width; ++t) yt[t] = acc[t];
+}
+
+// Four lanes share one register-resident pass over w's [m x 8] column
+// slice, so the weight slab is streamed from cache once per *four*
+// rows of the batch instead of once per row — the main bandwidth win
+// of batching, since for LSTM-sized layers w far exceeds L1 and every
+// lane of the unblocked form re-streams it from L2. Each lane keeps
+// its own accumulators and its own zero-skip test on x[k], so every
+// output cell's FP chain (init, then products ascending k, skipping
+// k's with x[k] == 0) is exactly the single-lane chain.
+#if defined(__AVX2__)
+inline void GemmAccumBlock4(const double* __restrict x, std::size_t ldx,
+                            std::size_t m, const double* __restrict w,
+                            std::size_t ldw, double* __restrict y,
+                            std::size_t ldy) {
+  const double* x0 = x;
+  const double* x1 = x + ldx;
+  const double* x2 = x + 2 * ldx;
+  const double* x3 = x + 3 * ldx;
+  double* y0 = y;
+  double* y1 = y + ldy;
+  double* y2 = y + 2 * ldy;
+  double* y3 = y + 3 * ldy;
+  // Eight accumulator registers (two per lane) stay live across the
+  // whole k loop; one mul + one add per element keeps the exact scalar
+  // IEEE operations (-mno-fma holds for intrinsics too: these are
+  // separate vmulpd/vaddpd, never contracted).
+  __m256d a00 = _mm256_loadu_pd(y0), a01 = _mm256_loadu_pd(y0 + 4);
+  __m256d a10 = _mm256_loadu_pd(y1), a11 = _mm256_loadu_pd(y1 + 4);
+  __m256d a20 = _mm256_loadu_pd(y2), a21 = _mm256_loadu_pd(y2 + 4);
+  __m256d a30 = _mm256_loadu_pd(y3), a31 = _mm256_loadu_pd(y3 + 4);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double* wk = w + k * ldw;
+    const __m256d w0 = _mm256_loadu_pd(wk);
+    const __m256d w1 = _mm256_loadu_pd(wk + 4);
+    const double xk0 = x0[k];
+    const double xk1 = x1[k];
+    const double xk2 = x2[k];
+    const double xk3 = x3[k];
+    if (xk0 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk0);
+      a00 = _mm256_add_pd(a00, _mm256_mul_pd(xv, w0));
+      a01 = _mm256_add_pd(a01, _mm256_mul_pd(xv, w1));
+    }
+    if (xk1 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk1);
+      a10 = _mm256_add_pd(a10, _mm256_mul_pd(xv, w0));
+      a11 = _mm256_add_pd(a11, _mm256_mul_pd(xv, w1));
+    }
+    if (xk2 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk2);
+      a20 = _mm256_add_pd(a20, _mm256_mul_pd(xv, w0));
+      a21 = _mm256_add_pd(a21, _mm256_mul_pd(xv, w1));
+    }
+    if (xk3 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk3);
+      a30 = _mm256_add_pd(a30, _mm256_mul_pd(xv, w0));
+      a31 = _mm256_add_pd(a31, _mm256_mul_pd(xv, w1));
+    }
+  }
+  _mm256_storeu_pd(y0, a00);
+  _mm256_storeu_pd(y0 + 4, a01);
+  _mm256_storeu_pd(y1, a10);
+  _mm256_storeu_pd(y1 + 4, a11);
+  _mm256_storeu_pd(y2, a20);
+  _mm256_storeu_pd(y2 + 4, a21);
+  _mm256_storeu_pd(y3, a30);
+  _mm256_storeu_pd(y3 + 4, a31);
+}
+#else
+inline void GemmAccumBlock4(const double* __restrict x, std::size_t ldx,
+                            std::size_t m, const double* __restrict w,
+                            std::size_t ldw, double* __restrict y,
+                            std::size_t ldy) {
+  constexpr std::size_t kW = 8;
+  for (std::size_t l = 0; l < 4; ++l) {
+    GemmAccumTile<kW>(x + l * ldx, m, w, ldw, y + l * ldy);
+  }
+}
+#endif
+
+#if defined(__AVX2__) && defined(__GNUC__)
+#define MEXI_HAVE_FMA_DISPATCH 1
+
+// The repo compiles with -mno-fma so the *compiler* can never contract
+// a mul+add behind our back; the fused serve kernels below opt in
+// explicitly with a per-function target attribute and are only ever
+// reached through the runtime CPU check in FusedAvailable(). IEEE
+// defines the fused result exactly, so these are just as deterministic
+// as the split form — they simply round once per term instead of twice.
+
+bool FusedAvailable() {
+  static const bool ok = __builtin_cpu_supports("fma");
+  return ok;
+}
+
+// Fused AXPY: y[j] = fma(a, x[j], y[j]). The vector and scalar-tail
+// forms produce identical bits per element (IEEE fma is exact), so the
+// 4-wide split is scheduling only.
+__attribute__((target("avx2,fma"))) void AxpyFma(double a,
+                                                 const double* __restrict x,
+                                                 double* __restrict y,
+                                                 std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + j),
+                               _mm256_loadu_pd(y + j)));
+  }
+  for (; j < n; ++j) y[j] = __builtin_fma(a, x[j], y[j]);
+}
+
+// Fused twin of GemmAccumBlock4: same eight register accumulators,
+// same per-lane zero-skip, one fused op per element-term.
+// `init` non-null seeds all four lanes' accumulators from one shared
+// row (the bias-fold path) instead of loading y.
+__attribute__((target("avx2,fma"))) void GemmAccumBlock4Fma(
+    const double* __restrict x, std::size_t ldx, std::size_t m,
+    const double* __restrict w, std::size_t ldw, double* __restrict y,
+    std::size_t ldy, const double* __restrict init) {
+  const double* x0 = x;
+  const double* x1 = x + ldx;
+  const double* x2 = x + 2 * ldx;
+  const double* x3 = x + 3 * ldx;
+  double* y0 = y;
+  double* y1 = y + ldy;
+  double* y2 = y + 2 * ldy;
+  double* y3 = y + 3 * ldy;
+  __m256d a00, a01, a10, a11, a20, a21, a30, a31;
+  if (init != nullptr) {
+    a00 = a10 = a20 = a30 = _mm256_loadu_pd(init);
+    a01 = a11 = a21 = a31 = _mm256_loadu_pd(init + 4);
+  } else {
+    a00 = _mm256_loadu_pd(y0), a01 = _mm256_loadu_pd(y0 + 4);
+    a10 = _mm256_loadu_pd(y1), a11 = _mm256_loadu_pd(y1 + 4);
+    a20 = _mm256_loadu_pd(y2), a21 = _mm256_loadu_pd(y2 + 4);
+    a30 = _mm256_loadu_pd(y3), a31 = _mm256_loadu_pd(y3 + 4);
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const double* wk = w + k * ldw;
+    const __m256d w0 = _mm256_loadu_pd(wk);
+    const __m256d w1 = _mm256_loadu_pd(wk + 4);
+    const double xk0 = x0[k];
+    const double xk1 = x1[k];
+    const double xk2 = x2[k];
+    const double xk3 = x3[k];
+    if (xk0 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk0);
+      a00 = _mm256_fmadd_pd(xv, w0, a00);
+      a01 = _mm256_fmadd_pd(xv, w1, a01);
+    }
+    if (xk1 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk1);
+      a10 = _mm256_fmadd_pd(xv, w0, a10);
+      a11 = _mm256_fmadd_pd(xv, w1, a11);
+    }
+    if (xk2 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk2);
+      a20 = _mm256_fmadd_pd(xv, w0, a20);
+      a21 = _mm256_fmadd_pd(xv, w1, a21);
+    }
+    if (xk3 != 0.0) {
+      const __m256d xv = _mm256_set1_pd(xk3);
+      a30 = _mm256_fmadd_pd(xv, w0, a30);
+      a31 = _mm256_fmadd_pd(xv, w1, a31);
+    }
+  }
+  _mm256_storeu_pd(y0, a00);
+  _mm256_storeu_pd(y0 + 4, a01);
+  _mm256_storeu_pd(y1, a10);
+  _mm256_storeu_pd(y1 + 4, a11);
+  _mm256_storeu_pd(y2, a20);
+  _mm256_storeu_pd(y2 + 4, a21);
+  _mm256_storeu_pd(y3, a30);
+  _mm256_storeu_pd(y3 + 4, a31);
+}
+
+// Fused single-lane tail tile (register accumulators, scalar fma).
+__attribute__((target("fma"))) void GemmAccumTileTailFma(
+    const double* __restrict xb, std::size_t m, const double* __restrict w,
+    std::size_t ldw, double* __restrict yt, std::size_t width,
+    const double* __restrict init = nullptr) {
+  double acc[16];
+  if (init != nullptr) {
+    for (std::size_t t = 0; t < width; ++t) acc[t] = init[t];
+  } else {
+    for (std::size_t t = 0; t < width; ++t) acc[t] = yt[t];
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xk = xb[k];
+    if (xk == 0.0) continue;
+    const double* wk = w + k * ldw;
+    for (std::size_t t = 0; t < width; ++t) {
+      acc[t] = __builtin_fma(xk, wk[t], acc[t]);
+    }
+  }
+  for (std::size_t t = 0; t < width; ++t) yt[t] = acc[t];
+}
+#endif  // __AVX2__ && __GNUC__
+
+}  // namespace
+
+void GemvAccumFused(const double* x, std::size_t m, const double* w,
+                    std::size_t n, double* y) {
+#if defined(MEXI_HAVE_FMA_DISPATCH)
+  if (FusedAvailable()) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const double xk = x[k];
+      if (xk == 0.0) continue;
+      AxpyFma(xk, w + k * n, y, n);
+    }
+    return;
+  }
+#endif
+  GemvAccum(x, m, w, n, y);
+}
+
+void GemmAccumFused(const double* x, std::size_t batch, std::size_t m,
+                    std::size_t ldx, const double* w, std::size_t ldw,
+                    std::size_t n, double* y, std::size_t ldy) {
+#if defined(MEXI_HAVE_FMA_DISPATCH)
+  if (FusedAvailable()) {
+    constexpr std::size_t kBlockW = 8;
+    constexpr std::size_t kTile = 16;
+    std::size_t b = 0;
+    for (; b + 4 <= batch; b += 4) {
+      const double* xb = x + b * ldx;
+      double* yb = y + b * ldy;
+      std::size_t j = 0;
+      for (; j + kBlockW <= n; j += kBlockW) {
+        GemmAccumBlock4Fma(xb, ldx, m, w + j, ldw, yb + j, ldy, nullptr);
+      }
+      if (j < n) {
+        for (std::size_t l = 0; l < 4; ++l) {
+          GemmAccumTileTailFma(xb + l * ldx, m, w + j, ldw,
+                               yb + l * ldy + j, n - j);
+        }
+      }
+    }
+    for (; b < batch; ++b) {
+      const double* xb = x + b * ldx;
+      double* yb = y + b * ldy;
+      for (std::size_t j = 0; j < n; j += kTile) {
+        const std::size_t width = n - j < kTile ? n - j : kTile;
+        GemmAccumTileTailFma(xb, m, w + j, ldw, yb + j, width);
+      }
+    }
+    return;
+  }
+#endif
+  GemmAccum(x, batch, m, ldx, w, ldw, n, y, ldy);
+}
+
+void GemmFusedBiasInit(const double* init, const double* x,
+                       std::size_t batch, std::size_t m, std::size_t ldx,
+                       const double* w, std::size_t ldw, std::size_t n,
+                       double* y, std::size_t ldy) {
+#if defined(MEXI_HAVE_FMA_DISPATCH)
+  if (FusedAvailable()) {
+    constexpr std::size_t kBlockW = 8;
+    constexpr std::size_t kTile = 16;
+    std::size_t b = 0;
+    for (; b + 4 <= batch; b += 4) {
+      const double* xb = x + b * ldx;
+      double* yb = y + b * ldy;
+      std::size_t j = 0;
+      for (; j + kBlockW <= n; j += kBlockW) {
+        GemmAccumBlock4Fma(xb, ldx, m, w + j, ldw, yb + j, ldy, init + j);
+      }
+      if (j < n) {
+        for (std::size_t l = 0; l < 4; ++l) {
+          GemmAccumTileTailFma(xb + l * ldx, m, w + j, ldw,
+                               yb + l * ldy + j, n - j, init + j);
+        }
+      }
+    }
+    for (; b < batch; ++b) {
+      const double* xb = x + b * ldx;
+      double* yb = y + b * ldy;
+      for (std::size_t j = 0; j < n; j += kTile) {
+        const std::size_t width = n - j < kTile ? n - j : kTile;
+        GemmAccumTileTailFma(xb, m, w + j, ldw, yb + j, width, init + j);
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t b = 0; b < batch; ++b) {
+    Copy(init, y + b * ldy, n);
+  }
+  GemmAccum(x, batch, m, ldx, w, ldw, n, y, ldy);
+}
+
+void GemmAccum(const double* x, std::size_t batch, std::size_t m,
+               std::size_t ldx, const double* w, std::size_t ldw,
+               std::size_t n, double* y, std::size_t ldy) {
+  constexpr std::size_t kBlockW = 8;
+  constexpr std::size_t kTile = 16;  // single-lane tail tile
+  std::size_t b = 0;
+  for (; b + 4 <= batch; b += 4) {
+    const double* xb = x + b * ldx;
+    double* yb = y + b * ldy;
+    std::size_t j = 0;
+    for (; j + kBlockW <= n; j += kBlockW) {
+      GemmAccumBlock4(xb, ldx, m, w + j, ldw, yb + j, ldy);
+    }
+    if (j < n) {
+      // Ragged column tail: finish each of the four lanes single-lane.
+      for (std::size_t l = 0; l < 4; ++l) {
+        GemmAccumTileTail(xb + l * ldx, m, w + j, ldw, yb + l * ldy + j,
+                          n - j);
+      }
+    }
+  }
+  for (; b < batch; ++b) {
+    const double* xb = x + b * ldx;
+    double* yb = y + b * ldy;
+    std::size_t j = 0;
+    for (; j + kTile <= n; j += kTile) {
+      GemmAccumTile<kTile>(xb, m, w + j, ldw, yb + j);
+    }
+    if (j < n) GemmAccumTileTail(xb, m, w + j, ldw, yb + j, n - j);
   }
 }
 

@@ -98,6 +98,53 @@ inline double SquaredDistance(const double* __restrict x,
 void GemvAccum(const double* x, std::size_t m, const double* w,
                std::size_t n, double* y);
 
+/// Strided batch GEMV accumulate: for each lane b of `batch`,
+///   y[b*ldy + j] += sum_k x[b*ldx + k] * w[k*ldw + j],  j in [0, n)
+/// visiting k ascending with the GemvAccum zero-skip on x[b*ldx + k].
+/// Each lane's output cell accumulates its k-terms in exactly
+/// GemvAccum's order, so the batched product is bitwise identical per
+/// lane to `batch` GemvAccum calls — and, run over a zero-initialized
+/// full-width y (ldx = m, ldw = ldy = n), bitwise identical to the
+/// k-tiled Matrix::MatMul (the oracle both share their per-cell chain
+/// with). The leading dimensions let callers address a gate-block
+/// column of a packed [k x 4H] weight (ldw = 4H, n = H) or a lane-major
+/// state slab without repacking.
+void GemmAccum(const double* x, std::size_t batch, std::size_t m,
+               std::size_t ldx, const double* w, std::size_t ldw,
+               std::size_t n, double* y, std::size_t ldy);
+
+/// Fused-contraction (FMA) twins of GemvAccum / GemmAccum for the gated
+/// fast-math serve path. Per output cell the term ORDER is unchanged —
+/// init, then products ascending k with the zero-skip — but each
+/// multiply-add pair is contracted into one fused operation with a
+/// single rounding, so results deviate from the exact kernels by
+/// bounded ULPs (the same contract the fast vmath transcendentals
+/// already carry). The batch/single bitwise identity survives because
+/// both paths switch together: per cell, GemmAccumFused runs the same
+/// sequence of fused ops as `batch` GemvAccumFused calls. On hardware
+/// without FMA both fall back to the exact kernels — again jointly, so
+/// the identity still holds. Never call these from training code: the
+/// TrainingScope contract keeps every training-path product exact.
+void GemvAccumFused(const double* x, std::size_t m, const double* w,
+                    std::size_t n, double* y);
+void GemmAccumFused(const double* x, std::size_t batch, std::size_t m,
+                    std::size_t ldx, const double* w, std::size_t ldw,
+                    std::size_t n, double* y, std::size_t ldy);
+
+/// GemmAccumFused with every lane's accumulators seeded from a shared
+/// `init` row instead of y's current contents:
+///   y[b*ldy + j] = init[j] + sum_k x[b*ldx + k] * w[k*ldw + j]
+/// Per cell the chain is exactly init first, then the fused terms
+/// ascending k — the same bits as Copy(init, y-row) for each lane
+/// followed by GemmAccumFused, without the separate pass over y. Used
+/// by the fast serve path to fold the LSTM bias broadcast into the
+/// input GEMM; falls back (jointly with the other fused kernels) to
+/// copy + exact GemmAccum on hardware without FMA.
+void GemmFusedBiasInit(const double* init, const double* x,
+                       std::size_t batch, std::size_t m, std::size_t ldx,
+                       const double* w, std::size_t ldw, std::size_t n,
+                       double* y, std::size_t ldy);
+
 /// y[r] = sum_j w[r*n + j] * x[j] for each of `rows` rows. Every row's
 /// sum is still a strict left-to-right chain, but rows are *independent*
 /// chains, so four of them run interleaved to hide FP-add latency — this

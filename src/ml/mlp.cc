@@ -177,6 +177,22 @@ double MlpClassifier::PredictProbaImpl(const std::vector<double>& row) const {
   return network_->Predict(input)(0, 0);
 }
 
+std::vector<double> MlpClassifier::PredictProbaBatchImpl(
+    const std::vector<std::vector<double>>& rows) const {
+  // One [batch x d] forward pass instead of rows.size() single-row
+  // passes: dense layers process rows through independent per-row
+  // kernels and the elementwise layers are position-independent, so
+  // row i here is bitwise identical to PredictProbaImpl(rows[i]).
+  Matrix input(rows.size(), in_dim_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    input.SetRow(i, standardizer_.Transform(rows[i]));
+  }
+  const Matrix probs = network_->PredictBatch(input);
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = probs(i, 0);
+  return out;
+}
+
 void MlpClassifier::SaveStateImpl(robust::BinaryWriter& writer) const {
   writer.WriteTag("MLP ");
   standardizer_.SaveState(writer);

@@ -651,4 +651,79 @@ std::vector<double> CnnImageModel::Predict(const Image& image) {
   return std::move(probs.data());
 }
 
+std::vector<std::vector<double>> CnnImageModel::PredictBatch(
+    const std::vector<Image>& images) const {
+  PredictBatchWorkspace ws;
+  return PredictBatch(images, ws);
+}
+
+std::vector<std::vector<double>> CnnImageModel::PredictBatch(
+    const std::vector<Image>& images, PredictBatchWorkspace& ws) const {
+  const std::size_t batch = images.size();
+  std::vector<std::vector<double>> out(batch);
+  if (batch == 0) return out;
+
+  const std::size_t flat_dim = dense1_->weights().rows();
+  ws.flat.resize(batch * flat_dim);
+
+  // Conv/pool trunk, one image at a time through the same const
+  // primitives Forward uses (identical arithmetic per image); only the
+  // destination buffers differ — workspace-owned instead of the
+  // training caches, which keeps this path const and thread-safe.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const Image& image = images[b];
+    if (image.rows() != config_.image_rows ||
+        image.cols() != config_.image_cols) {
+      throw std::invalid_argument("CnnImageModel: image shape mismatch");
+    }
+    ws.input.resize(1);
+    ws.input[0] = image;
+    Conv3x3Forward(ws.input, w1_, b1_, config_.conv1_filters, ws.conv1_pre);
+    EnsureChannels(ws.conv1_act, ws.conv1_pre.size(), ws.conv1_pre[0].rows(),
+                   ws.conv1_pre[0].cols());
+    for (std::size_t ch = 0; ch < ws.conv1_pre.size(); ++ch) {
+      kernels::ReluInto(ws.conv1_pre[ch].data().data(),
+                        ws.conv1_act[ch].data().data(),
+                        ws.conv1_pre[ch].size());
+    }
+    MaxPool2Forward(ws.conv1_act, ws.argmax1, ws.pool1);
+
+    Conv3x3Forward(ws.pool1, w2_, b2_, config_.conv2_filters, ws.block_pre);
+    for (std::size_t oc = 0; oc < ws.block_pre.size(); ++oc) {
+      for (std::size_t ic = 0; ic < ws.pool1.size(); ++ic) {
+        const double w = wp_(oc, ic);
+        if (w == 0.0) continue;
+        kernels::Axpy(w, ws.pool1[ic].data().data(),
+                      ws.block_pre[oc].data().data(),
+                      ws.block_pre[oc].size());
+      }
+    }
+    EnsureChannels(ws.block_act, ws.block_pre.size(), ws.block_pre[0].rows(),
+                   ws.block_pre[0].cols());
+    for (std::size_t ch = 0; ch < ws.block_pre.size(); ++ch) {
+      kernels::ReluInto(ws.block_pre[ch].data().data(),
+                        ws.block_act[ch].data().data(),
+                        ws.block_pre[ch].size());
+    }
+    MaxPool2Forward(ws.block_act, ws.argmax2, ws.pool2);
+
+    const std::size_t per_channel = ws.pool2[0].size();
+    for (std::size_t ch = 0; ch < ws.pool2.size(); ++ch) {
+      kernels::Copy(ws.pool2[ch].data().data(),
+                    &ws.flat[b * flat_dim + ch * per_channel], per_channel);
+    }
+  }
+
+  // Dense head once over the whole [batch x flat] slab; same inference
+  // gate as SigmoidLayer::Forward.
+  DenseHeadForwardBatch(*dense1_, *dense2_, ws.flat.data(), batch, ws.z1,
+                        ws.z2, vmath::FastMathActive());
+  const std::size_t labels = config_.num_labels;
+  for (std::size_t b = 0; b < batch; ++b) {
+    out[b].assign(ws.z2.begin() + b * labels,
+                  ws.z2.begin() + (b + 1) * labels);
+  }
+  return out;
+}
+
 }  // namespace mexi::ml

@@ -66,6 +66,30 @@ class CnnImageModel {
   /// Label probabilities for one image.
   std::vector<double> Predict(const Image& image);
 
+  /// Scratch buffers for PredictBatch: the conv/pool pipeline for the
+  /// image being folded in, plus the [batch x flat] feature slab and
+  /// head slabs. Pass the same instance back in across chunks to keep
+  /// serving allocation-free after the first call.
+  struct PredictBatchWorkspace {
+    std::vector<Matrix> input, conv1_pre, conv1_act, pool1;
+    std::vector<Matrix> block_pre, block_act, pool2;
+    std::vector<std::vector<std::size_t>> argmax1, argmax2;
+    std::vector<double> flat;    // [batch x C2*pooled area]
+    std::vector<double> z1, z2;  // head slabs
+  };
+
+  /// Label probabilities for a batch of images (inference mode). The
+  /// conv/pool trunk runs per image through the exact Forward
+  /// primitives; the dense head runs once as [batch x flat] GEMM. In
+  /// exact mode the result is bitwise identical per image to Predict at
+  /// every batch size; in fast mode, to the single-image fast path.
+  /// Const and allocation-isolated: concurrent calls on one fitted
+  /// model are safe, unlike Predict which reuses the training caches.
+  std::vector<std::vector<double>> PredictBatch(
+      const std::vector<Image>& images) const;
+  std::vector<std::vector<double>> PredictBatch(
+      const std::vector<Image>& images, PredictBatchWorkspace& ws) const;
+
   const Config& config() const { return config_; }
   bool fitted() const { return fitted_; }
 

@@ -203,4 +203,37 @@ void DropoutLayer::LoadState(robust::BinaryReader& reader) {
   robust::ReadRngState(reader, rng_);
 }
 
+void DenseHeadForwardBatch(const DenseLayer& dense1, const DenseLayer& dense2,
+                           const double* input, std::size_t batch,
+                           std::vector<double>& z1, std::vector<double>& z2,
+                           bool fast) {
+  const std::size_t in_dim = dense1.weights().rows();
+  const std::size_t mid_dim = dense1.weights().cols();
+  const std::size_t out_dim = dense2.weights().cols();
+
+  // dense1: products first (ascending k, zero inputs skipped), then the
+  // bias row — DenseLayer::Forward's per-row order, per row.
+  z1.assign(batch * mid_dim, 0.0);
+  kernels::GemmAccum(input, batch, in_dim, in_dim,
+                     dense1.weights().data().data(), mid_dim, mid_dim,
+                     z1.data(), mid_dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    kernels::Add(dense1.bias().data().data(), &z1[b * mid_dim], mid_dim);
+  }
+  kernels::ReluInto(z1.data(), z1.data(), batch * mid_dim);
+
+  z2.assign(batch * out_dim, 0.0);
+  kernels::GemmAccum(z1.data(), batch, mid_dim, mid_dim,
+                     dense2.weights().data().data(), out_dim, out_dim,
+                     z2.data(), out_dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    kernels::Add(dense2.bias().data().data(), &z2[b * out_dim], out_dim);
+  }
+  if (fast) {
+    vmath::VSigmoidFast(z2.data(), z2.data(), batch * out_dim);
+  } else {
+    vmath::VSigmoid(z2.data(), z2.data(), batch * out_dim);
+  }
+}
+
 }  // namespace mexi::ml

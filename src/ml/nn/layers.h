@@ -122,6 +122,21 @@ class DropoutLayer : public Layer {
   bool last_training_ = false;
 };
 
+/// Inference-only batched head shared by the LSTM and CNN PredictBatch
+/// paths: dense1 -> ReLU -> dense2 -> sigmoid over a row-major
+/// [batch x dense1.in] slab, leaving [batch x dense2.out] probabilities
+/// in `z2` (`z1` is scratch; both are assigned, so reuse across calls
+/// is allocation-free once grown). Per row this is bitwise identical to
+/// the Layer::Forward inference chain: GemmAccum reproduces DenseLayer's
+/// per-row GemvAccum order, the bias lands after the products exactly as
+/// DenseLayer adds it, ReLU is the same ternary, and the final sigmoid
+/// uses the fast vmath variant iff `fast` (callers pass
+/// vmath::FastMathActive(), matching SigmoidLayer's inference gate).
+void DenseHeadForwardBatch(const DenseLayer& dense1, const DenseLayer& dense2,
+                           const double* input, std::size_t batch,
+                           std::vector<double>& z1, std::vector<double>& z2,
+                           bool fast);
+
 }  // namespace mexi::ml
 
 #endif  // MEXI_ML_NN_LAYERS_H_

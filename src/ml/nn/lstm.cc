@@ -26,6 +26,22 @@ double SumSquares(const Matrix& m) {
   return sum;
 }
 
+// c[j] = gf[j] * c[j] + gi[j] * gg[j] over one contiguous span —
+// LstmCellForward's cell update, element-independent.
+void BatchCellCombine(const double* __restrict gi,
+                      const double* __restrict gf,
+                      const double* __restrict gg, double* __restrict c,
+                      std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) c[j] = gf[j] * c[j] + gi[j] * gg[j];
+}
+
+// h[j] = go[j] * tanh_c[j] over one contiguous span.
+void BatchHadamard(const double* __restrict go,
+                   const double* __restrict tanh_c, double* __restrict h,
+                   std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) h[j] = go[j] * tanh_c[j];
+}
+
 }  // namespace
 
 LstmSequenceModel::LstmSequenceModel(const Config& config)
@@ -108,8 +124,15 @@ const Matrix& LstmSequenceModel::RunLstm(const Sequence& sequence,
     // Pre-activations a = b + x*Wx + h*Wh, laid out as [i, f, g, o];
     // bias first, then the two GEMVs, matching the legacy order.
     kernels::Copy(b_.data().data(), a, h4);
-    kernels::GemvAccum(x.data(), in_dim, wx_.data().data(), h4, a);
-    kernels::GemvAccum(h, h_dim, wh_.data().data(), h4, a);
+    if (fast) {
+      // Fused products pair with GemmAccumFused in PredictBatch: both
+      // sides of the batch/single identity contract together.
+      kernels::GemvAccumFused(x.data(), in_dim, wx_.data().data(), h4, a);
+      kernels::GemvAccumFused(h, h_dim, wh_.data().data(), h4, a);
+    } else {
+      kernels::GemvAccum(x.data(), in_dim, wx_.data().data(), h4, a);
+      kernels::GemvAccum(h, h_dim, wh_.data().data(), h4, a);
+    }
     if (fast) {
       kernels::LstmCellForwardFast(a, h_dim, &ws_.gates[t * h4], c,
                                    &ws_.tanh_c[t * h_dim], h);
@@ -466,6 +489,147 @@ std::vector<double> LstmSequenceModel::Predict(const Sequence& sequence) {
   const Matrix& h_final = RunLstm(sequence, /*cache=*/false);
   Matrix probs = HeadForward(h_final, /*training=*/false);
   return std::move(probs.data());
+}
+
+std::vector<std::vector<double>> LstmSequenceModel::PredictBatch(
+    const std::vector<Sequence>& sequences) const {
+  PredictBatchWorkspace ws;
+  return PredictBatch(sequences, ws);
+}
+
+std::vector<std::vector<double>> LstmSequenceModel::PredictBatch(
+    const std::vector<Sequence>& sequences, PredictBatchWorkspace& ws) const {
+  const std::size_t batch = sequences.size();
+  std::vector<std::vector<double>> out(batch);
+  if (batch == 0) return out;
+  const std::size_t h_dim = config_.hidden_dim;
+  const std::size_t in_dim = config_.input_dim;
+  const std::size_t h4 = 4 * h_dim;
+
+  // Same hoisted decision as RunLstm's uncached (Predict) path: no cache
+  // is ever taken here, so only the TrainingScope contract gates it.
+  const bool fast = vmath::FastMathActive();
+
+  // Length-descending stable sort: the lanes alive at step t are always
+  // the prefix [0, active), so every per-step slab is one contiguous
+  // span and expired lanes simply stop being written (their h rows keep
+  // the final hidden state; never-written rows stay zero, which is
+  // exactly what Predict produces for an empty sequence).
+  std::vector<std::size_t>& perm = ws.perm;
+  perm.resize(batch);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sequences[a].size() > sequences[b].size();
+                   });
+  const std::size_t max_steps = sequences[perm[0]].size();
+
+  // Lane-major persistent state [batch x H]: lane l's c/h rows sit at a
+  // fixed offset while the active prefix shrinks, so the live part of
+  // `c` stays contiguous for the batched tanh below.
+  ws.h.assign(batch * h_dim, 0.0);
+  ws.c.assign(batch * h_dim, 0.0);
+  ws.x.resize(batch * in_dim);
+  ws.a.resize(batch * h4);
+  ws.gates.resize(batch * h4);
+  ws.tanh_c.resize(batch * h_dim);
+
+  const double* wx = wx_.data().data();
+  const double* wh = wh_.data().data();
+  const double* bias = b_.data().data();
+
+  std::size_t active = batch;
+  for (std::size_t t = 0; t < max_steps; ++t) {
+    while (active > 0 && sequences[perm[active - 1]].size() <= t) --active;
+    const std::size_t bh = active * h_dim;
+
+    // Gather this step's inputs into an [active x in_dim] slab.
+    for (std::size_t l = 0; l < active; ++l) {
+      const auto& x = sequences[perm[l]][t];
+      if (x.size() != in_dim) {
+        throw std::invalid_argument("LstmSequenceModel: input_dim mismatch");
+      }
+      kernels::Copy(x.data(), &ws.x[l * in_dim], in_dim);
+    }
+
+    // Pre-activations, gate-block-major: block q holds gate q's rows for
+    // every active lane ([active x H] at offset q*bh), which keeps the i
+    // and f blocks adjacent for the one fused sigmoid below. Per
+    // (lane, unit) cell the chain is bias, then the x-terms ascending k,
+    // then the h-terms ascending k — RunLstm's exact order — with
+    // GemmAccum addressing gate q's columns of the packed [k x 4H]
+    // weights via ldw = 4H.
+    double* a = ws.a.data();
+    if (fast) {
+      // Fused twin of the exact pair below — RunLstm's fast path uses
+      // GemvAccumFused, so per cell both arms run the same fused chain.
+      // The bias broadcast folds into the input GEMM's accumulator
+      // init, which keeps the per-cell order (bias, then x-terms) while
+      // skipping the separate copy pass over the gate slab.
+      for (std::size_t q = 0; q < 4; ++q) {
+        kernels::GemmFusedBiasInit(bias + q * h_dim, ws.x.data(), active,
+                                   in_dim, in_dim, wx + q * h_dim, h4, h_dim,
+                                   a + q * bh, h_dim);
+      }
+      for (std::size_t q = 0; q < 4; ++q) {
+        kernels::GemmAccumFused(ws.h.data(), active, h_dim, h_dim,
+                                wh + q * h_dim, h4, h_dim, a + q * bh, h_dim);
+      }
+    } else {
+      for (std::size_t q = 0; q < 4; ++q) {
+        for (std::size_t l = 0; l < active; ++l) {
+          kernels::Copy(bias + q * h_dim, a + q * bh + l * h_dim, h_dim);
+        }
+      }
+      for (std::size_t q = 0; q < 4; ++q) {
+        kernels::GemmAccum(ws.x.data(), active, in_dim, in_dim,
+                           wx + q * h_dim, h4, h_dim, a + q * bh, h_dim);
+      }
+      for (std::size_t q = 0; q < 4; ++q) {
+        kernels::GemmAccum(ws.h.data(), active, h_dim, h_dim, wh + q * h_dim,
+                           h4, h_dim, a + q * bh, h_dim);
+      }
+    }
+
+    // LstmCellForward[Fast] across all active lanes at once. Every
+    // element's expression tree is the single-lane cell's, activations
+    // are position-independent per element in both modes, and no element
+    // reads another element's result — so widening the vmath spans from
+    // H to active*H is bitwise-neutral per lane.
+    double* gates = ws.gates.data();
+    if (fast) {
+      vmath::VSigmoidFast(a, gates, 2 * bh);
+      vmath::VTanhFast(a + 2 * bh, gates + 2 * bh, bh);
+      vmath::VSigmoidFast(a + 3 * bh, gates + 3 * bh, bh);
+    } else {
+      vmath::VSigmoid(a, gates, 2 * bh);
+      vmath::VTanh(a + 2 * bh, gates + 2 * bh, bh);
+      vmath::VSigmoid(a + 3 * bh, gates + 3 * bh, bh);
+    }
+    // The gate blocks and the c/h prefixes are all contiguous
+    // [active x H] spans, so the per-lane cell combines collapse into
+    // one span-wide loop each. Per element the ops are exactly
+    // LstmCellForward's, and every element is independent, so the
+    // restrict-qualified form vectorizes without changing a bit.
+    BatchCellCombine(gates, gates + bh, gates + 2 * bh, ws.c.data(), bh);
+    if (fast) {
+      vmath::VTanhFast(ws.c.data(), ws.tanh_c.data(), bh);
+    } else {
+      vmath::VTanh(ws.c.data(), ws.tanh_c.data(), bh);
+    }
+    BatchHadamard(gates + 3 * bh, ws.tanh_c.data(), ws.h.data(), bh);
+  }
+
+  // Head over the final hidden states (dropout is identity at
+  // inference), then unsort back to caller order.
+  DenseHeadForwardBatch(*dense1_, *dense2_, ws.h.data(), batch, ws.z1, ws.z2,
+                        fast);
+  const std::size_t labels = config_.num_labels;
+  for (std::size_t l = 0; l < batch; ++l) {
+    out[perm[l]].assign(ws.z2.begin() + l * labels,
+                        ws.z2.begin() + (l + 1) * labels);
+  }
+  return out;
 }
 
 }  // namespace mexi::ml

@@ -59,6 +59,36 @@ class LstmSequenceModel {
   /// Label probabilities for one sequence (inference mode).
   std::vector<double> Predict(const Sequence& sequence);
 
+  /// Scratch slabs for PredictBatch. Callers serving chunk after chunk
+  /// pass the same instance back in so the slabs are allocated once;
+  /// resized as needed, never shrunk.
+  struct PredictBatchWorkspace {
+    std::vector<double> x;       // [active x input_dim] step inputs
+    std::vector<double> h;       // [batch x H] lane-major hidden state
+    std::vector<double> c;       // [batch x H] lane-major cell state
+    std::vector<double> a;       // [4 x active x H] gate-block slabs
+    std::vector<double> gates;   // activated gates, same layout as `a`
+    std::vector<double> tanh_c;  // [active x H]
+    std::vector<double> z1, z2;  // head slabs
+    std::vector<std::size_t> perm;
+  };
+
+  /// Label probabilities for a batch of sequences (inference mode).
+  /// Per-timestep work is [active_lanes x H] GEMM (kernels::GemmAccum)
+  /// with one fused vmath call per gate slab; ragged lengths are
+  /// handled by length-sorted lane packing (see DESIGN.md "Batched
+  /// inference & lane packing"). In exact mode the result is bitwise
+  /// identical per sequence to Predict at every batch size; in fast
+  /// mode it is bitwise identical to the single-sequence fast path
+  /// (fast activations are position-independent per element). Const
+  /// and allocation-isolated: concurrent calls on one fitted model are
+  /// safe, unlike Predict which reuses the training workspace.
+  std::vector<std::vector<double>> PredictBatch(
+      const std::vector<Sequence>& sequences) const;
+  std::vector<std::vector<double>> PredictBatch(
+      const std::vector<Sequence>& sequences,
+      PredictBatchWorkspace& ws) const;
+
   const Config& config() const { return config_; }
   bool fitted() const { return fitted_; }
 

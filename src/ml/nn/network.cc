@@ -67,6 +67,10 @@ Matrix Network::Predict(const Matrix& input) {
   return Forward(input, /*training=*/false);
 }
 
+Matrix Network::PredictBatch(const Matrix& inputs) {
+  return Forward(inputs, /*training=*/false);
+}
+
 double Network::TrainStep(const Matrix& inputs, const Matrix& targets) {
   if (!optimizer_initialized_) {
     for (auto& layer : layers_) layer->RegisterParameters(optimizer_);

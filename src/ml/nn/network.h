@@ -33,6 +33,15 @@ class Network {
   /// Forward pass in inference mode.
   Matrix Predict(const Matrix& input);
 
+  /// Batched inference entry point: one forward pass over a
+  /// [batch x in] row-major table. Dense layers process rows through
+  /// independent per-row kernels and the elementwise layers are
+  /// position-independent (in fast mode too), so row i of the result is
+  /// bitwise identical to Predict on that row alone at every batch
+  /// size. Not thread-safe (layer caches) — shard above, not across,
+  /// one Network.
+  Matrix PredictBatch(const Matrix& inputs);
+
   /// Runs one gradient step on (inputs, targets); returns the batch loss.
   double TrainStep(const Matrix& inputs, const Matrix& targets);
 

@@ -55,6 +55,24 @@ double RandomForest::PredictProbaImpl(const std::vector<double>& row) const {
   return total / static_cast<double>(trees_.size());
 }
 
+std::vector<double> RandomForest::PredictProbaBatchImpl(
+    const std::vector<std::vector<double>>& rows) const {
+  // Trees-outer for locality; each row's vote total still accumulates
+  // in ascending tree order, so the division-normalized result matches
+  // PredictProbaImpl bitwise per row.
+  std::vector<double> totals(rows.size(), 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      totals[i] += tree.PredictProba(rows[i]);
+    }
+  }
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out[i] = totals[i] / static_cast<double>(trees_.size());
+  }
+  return out;
+}
+
 void RandomForest::SaveStateImpl(robust::BinaryWriter& writer) const {
   writer.WriteTag("RFOR");
   writer.WriteU64(trees_.size());

@@ -38,7 +38,9 @@ Status OpenCheckpoint(const std::vector<std::uint8_t>& bytes,
 /// only after a successful flush+close, so readers observe either the
 /// old file or the new file, never a mix. Consults the global
 /// FaultInjector (site ckpt_write) for injected short writes, bit
-/// flips, and ENOSPC.
+/// flips, and ENOSPC. With MEXI_CKPT_FSYNC=1 the temp file is fsync'd
+/// before the rename (power-loss durability; counted as the
+/// `ckpt.fsyncs` metric when metrics are on).
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes);
 

@@ -32,6 +32,7 @@ constexpr SiteEntry kSites[] = {
     {"epoch", FaultSite::kEpochEnd},
     {"fold", FaultSite::kFoldEnd},
     {"io_read", FaultSite::kIoRead},
+    {"matchers_write", FaultSite::kMatchersWrite},
 };
 
 FaultKind ParseKind(const std::string& text) {
@@ -51,7 +52,7 @@ FaultSite ParseSite(const std::string& text) {
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault site '" + text +
                   "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
-                  "epoch|fold|io_read)");
+                  "epoch|fold|io_read|matchers_write)");
 }
 
 }  // namespace

@@ -46,8 +46,9 @@ enum class FaultSite {
   kEpochEnd,             // NN Fit loops, after the epoch checkpoint
   kFoldEnd,              // RunKFoldExperiment, after a computed fold
   kIoRead,               // matching/io.cc CSV readers, per input line
+  kMatchersWrite,        // matching/io.cc SaveMatchersToFiles, per file
 };
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 /// Deterministic, seed-driven fault injector.
 ///
@@ -59,7 +60,7 @@ inline constexpr std::size_t kNumFaultSites = 7;
 ///   kind    := short_write | bitflip | enospc | nan | abort | kill
 ///            | torn_read | eintr
 ///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
-///            | epoch | fold | io_read
+///            | epoch | fold | io_read | matchers_write
 ///
 /// `occurrence` is the 1-based hit count at which the clause fires,
 /// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM

@@ -5,7 +5,74 @@
 #include <numeric>
 #include <stdexcept>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace mexi::stats {
+
+namespace {
+
+// cov_i[j] += di * (row[j] - mean[j]) for j in [i, dims). Every j cell
+// is an independent chain (the r loop stays outside and serial), and
+// the vector form runs the exact scalar operations per element — sub,
+// mul, add, no contraction — so it is bitwise identical to the plain
+// loop Pca runs.
+inline void CovAccumRow(double di, const double* __restrict row,
+                        const double* __restrict mean,
+                        double* __restrict cov_i, std::size_t i,
+                        std::size_t dims) {
+#if defined(__AVX2__)
+  const __m256d dv = _mm256_set1_pd(di);
+  std::size_t j = i;
+  for (; j + 4 <= dims; j += 4) {
+    const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(row + j),
+                                       _mm256_loadu_pd(mean + j));
+    _mm256_storeu_pd(cov_i + j,
+                     _mm256_add_pd(_mm256_loadu_pd(cov_i + j),
+                                   _mm256_mul_pd(dv, diff)));
+  }
+  for (; j < dims; ++j) cov_i[j] += di * (row[j] - mean[j]);
+#else
+  for (std::size_t j = i; j < dims; ++j) cov_i[j] += di * (row[j] - mean[j]);
+#endif
+}
+
+// Jacobi row-pair rotation: ap[k], aq[k] <- (c*ap[k] - s*aq[k],
+// s*ap[k] + c*aq[k]). Rows p != q never overlap and each k is
+// independent with the exact scalar operation tree, so the 4-wide form
+// is bitwise identical to SymmetricEigen's scalar pass.
+inline void RotateRowPair(double* __restrict ap, double* __restrict aq,
+                          double c, double s, std::size_t n) {
+#if defined(__AVX2__)
+  const __m256d cv = _mm256_set1_pd(c);
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d vp = _mm256_loadu_pd(ap + k);
+    const __m256d vq = _mm256_loadu_pd(aq + k);
+    _mm256_storeu_pd(ap + k, _mm256_sub_pd(_mm256_mul_pd(cv, vp),
+                                           _mm256_mul_pd(sv, vq)));
+    _mm256_storeu_pd(aq + k, _mm256_add_pd(_mm256_mul_pd(sv, vp),
+                                           _mm256_mul_pd(cv, vq)));
+  }
+  for (; k < n; ++k) {
+    const double apk = ap[k];
+    const double aqk = aq[k];
+    ap[k] = c * apk - s * aqk;
+    aq[k] = s * apk + c * aqk;
+  }
+#else
+  for (std::size_t k = 0; k < n; ++k) {
+    const double apk = ap[k];
+    const double aqk = aq[k];
+    ap[k] = c * apk - s * aqk;
+    aq[k] = s * apk + c * aqk;
+  }
+#endif
+}
+
+}  // namespace
 
 void SymmetricEigen(const std::vector<std::vector<double>>& matrix,
                     std::vector<double>* eigenvalues,
@@ -128,6 +195,100 @@ PcaResult Pca(const std::vector<std::vector<double>>& rows) {
     }
   }
   return result;
+}
+
+void PcaExplainedVarianceRatio(const double* data, std::size_t n_rows,
+                               std::size_t dims, PcaScratch& scratch,
+                               std::vector<double>& ratio) {
+  ratio.clear();
+  if (n_rows == 0 || dims == 0) return;
+
+  // Column means, accumulated row by row exactly as Pca does.
+  scratch.mean.assign(dims, 0.0);
+  double* mean = scratch.mean.data();
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = data + r * dims;
+    for (std::size_t d = 0; d < dims; ++d) mean[d] += row[d];
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    mean[d] /= static_cast<double>(n_rows);
+  }
+
+  // Covariance upper triangle, then normalize and mirror — same
+  // accumulation order as Pca, on one flat [dims x dims] slab.
+  scratch.cov.assign(dims * dims, 0.0);
+  double* cov = scratch.cov.data();
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = data + r * dims;
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double di = row[i] - mean[i];
+      CovAccumRow(di, row, mean, cov + i * dims, i, dims);
+    }
+  }
+  const double denom = static_cast<double>(n_rows);
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j) {
+      cov[i * dims + j] /= denom;
+      cov[j * dims + i] = cov[i * dims + j];
+    }
+  }
+
+  // Cyclic Jacobi, eigenvalues only: SymmetricEigen's sweep verbatim
+  // (same off test, same skip threshold, same rotation arithmetic in the
+  // same order) minus the V accumulation, which the eigenvalues never
+  // read. The diagonalization runs in place on the covariance slab.
+  const std::size_t n = dims;
+  double* a = cov;
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off += a[p * n + q] * a[p * n + q];
+      }
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p * n + q]) < 1e-18) continue;
+        const double theta =
+            (a[q * n + q] - a[p * n + p]) / (2.0 * a[p * n + q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        RotateRowPair(a + p * n, a + q * n, c, s, n);
+      }
+    }
+  }
+
+  // Descending diagonal order, clamp, and trace — Pca's exact sequence,
+  // so the trace sums the clamped eigenvalues in the same sorted order.
+  scratch.order.resize(n);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0);
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::size_t x, std::size_t y) {
+              return a[x * n + x] > a[y * n + y];
+            });
+  ratio.resize(n);
+  double trace = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    ratio[k] = std::max(a[scratch.order[k] * n + scratch.order[k]], 0.0);
+    trace += ratio[k];
+  }
+  if (trace > 0.0) {
+    for (std::size_t k = 0; k < n; ++k) ratio[k] /= trace;
+  } else {
+    std::fill(ratio.begin(), ratio.end(), 0.0);
+  }
 }
 
 }  // namespace mexi::stats

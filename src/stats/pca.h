@@ -35,6 +35,33 @@ void SymmetricEigen(const std::vector<std::vector<double>>& matrix,
 /// variance in pca1).
 PcaResult Pca(const std::vector<std::vector<double>>& rows);
 
+/// Reusable flat slabs for `PcaExplainedVarianceRatio`. Callers serving
+/// trace after trace pass the same instance back in so the mean /
+/// covariance / Jacobi buffers are allocated once per population instead
+/// of ~2n heap rows per call; grown as needed, never shrunk.
+struct PcaScratch {
+  std::vector<double> mean;
+  std::vector<double> cov;      // dims x dims, row-major
+  std::vector<std::size_t> order;
+};
+
+/// Serve-path twin of `Pca` that returns only `explained_variance_ratio`
+/// — the sole output the LRSM predictors consume.
+///
+/// `data` is a row-major [n_rows x dims] slab. The arithmetic is `Pca`'s
+/// operation for operation (same mean and covariance accumulation order,
+/// same cyclic Jacobi sweep with identical rotation formulas, thresholds
+/// and convergence test, same descending sort and trace sum), so the
+/// ratios are bitwise identical to `Pca(rows).explained_variance_ratio`.
+/// It differs only in what it does NOT do: no eigenvector accumulation
+/// (eigenvalues never read V, so dropping it cannot change a bit), no
+/// per-row heap copies, and flat storage in caller-owned scratch. `Pca`
+/// stays the allocation-free-of-state reference the identity tests
+/// compare against.
+void PcaExplainedVarianceRatio(const double* data, std::size_t n_rows,
+                               std::size_t dims, PcaScratch& scratch,
+                               std::vector<double>& ratio);
+
 }  // namespace mexi::stats
 
 #endif  // MEXI_STATS_PCA_H_

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Fast-math predict-path parity drill.
+# Fast-math serve-path parity drill.
 #
-# MEXI_FAST_MATH=1 may only touch inference: training stays exact by
-# construction (vmath::TrainingScope), and the ULP-bounded activations
-# on the predict path must not move any characterize *label* — the
-# printed accuracies aggregate exactly those labels. So:
+# Fast math (ULP-bounded SIMD transcendentals + fused products) may
+# only touch inference: training stays exact by construction
+# (vmath::TrainingScope), and the fast path must not move any
+# characterize *label* — the printed accuracies aggregate exactly those
+# labels. characterize defaults to fast math (it is the serve path), so:
 #
-# 1. characterize with fast math off        -> exact.txt
-# 2. characterize with MEXI_FAST_MATH=1     -> env.txt
-# 3. characterize with the --fast-math flag -> flag.txt
-# All three must agree line for line (semantic parity; the underlying
-# probabilities may differ in the last ULPs, the labels may not).
-# MEXI_FAST_MATH=0 must also be a hard off, overriding nothing.
+# 1. characterize --exact-math                -> exact.txt  (baseline)
+# 2. characterize (bare: fast by default)     -> fast.txt
+# 3. characterize --fast-math                 -> flag.txt
+# 4. MEXI_FAST_MATH=1 characterize            -> env.txt
+# 5. MEXI_FAST_MATH=0 characterize            -> off.txt
+# 6. characterize --batch-size 64 (fast)      -> batch64.txt
+#
+# exact vs fast/flag/env must agree line for line (semantic parity: the
+# underlying probabilities may differ in the last ULPs, labels may not).
+# off.txt must be byte-identical to exact.txt: MEXI_FAST_MATH=0 is a
+# hard off that also overrides the characterize default. batch64.txt
+# must be byte-identical to fast.txt — the batched engine is bitwise
+# per-trace identical to the single-trace path in the same math mode —
+# and line-identical to exact.txt (labels survive the fast batched
+# path).
 set -u
 
 MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
@@ -31,20 +41,30 @@ read -r ROWS COLS < <(sed -n \
 CHARACTERIZE=("${MEXI_CLI}" characterize --dir "${DATA}" \
     --rows "${ROWS}" --cols "${COLS}" --folds 3)
 
-"${CHARACTERIZE[@]}" > "${WORKDIR}/exact.txt" \
-    || fail "exact run exited $?"
-MEXI_FAST_MATH=1 "${CHARACTERIZE[@]}" > "${WORKDIR}/env.txt" \
-    || fail "MEXI_FAST_MATH=1 run exited $?"
+"${CHARACTERIZE[@]}" --exact-math > "${WORKDIR}/exact.txt" \
+    || fail "--exact-math run exited $?"
+"${CHARACTERIZE[@]}" > "${WORKDIR}/fast.txt" \
+    || fail "default (fast) run exited $?"
 "${CHARACTERIZE[@]}" --fast-math > "${WORKDIR}/flag.txt" \
     || fail "--fast-math run exited $?"
+MEXI_FAST_MATH=1 "${CHARACTERIZE[@]}" > "${WORKDIR}/env.txt" \
+    || fail "MEXI_FAST_MATH=1 run exited $?"
 MEXI_FAST_MATH=0 "${CHARACTERIZE[@]}" > "${WORKDIR}/off.txt" \
     || fail "MEXI_FAST_MATH=0 run exited $?"
+"${CHARACTERIZE[@]}" --batch-size 64 > "${WORKDIR}/batch64.txt" \
+    || fail "--batch-size 64 run exited $?"
 
-diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/env.txt" \
-    || fail "MEXI_FAST_MATH=1 changed characterize labels"
+diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/fast.txt" \
+    || fail "fast-math default changed characterize labels"
 diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/flag.txt" \
     || fail "--fast-math changed characterize labels"
+diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/env.txt" \
+    || fail "MEXI_FAST_MATH=1 changed characterize labels"
 cmp "${WORKDIR}/exact.txt" "${WORKDIR}/off.txt" \
     || fail "MEXI_FAST_MATH=0 is not a clean off"
+cmp "${WORKDIR}/fast.txt" "${WORKDIR}/batch64.txt" \
+    || fail "batched path is not bitwise identical to single-trace fast"
+diff -u "${WORKDIR}/exact.txt" "${WORKDIR}/batch64.txt" \
+    || fail "batched fast path changed characterize labels"
 
 echo "fast_math_parity: PASS"

@@ -1,0 +1,383 @@
+// Batch-vs-single identity suite for the batched inference engine.
+//
+// The engine's contract (DESIGN.md "Batched inference & lane packing"):
+// in exact mode, every batched Predict is *bitwise identical per trace*
+// to the single-trace path at every batch size and thread count; in
+// fast mode, batched-fast equals single-fast bitwise and stays within
+// the vmath ULP envelope of exact.
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mexi.h"
+#include "ml/gradient_boosting.h"
+#include "ml/kernels.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+#include "ml/nn/cnn.h"
+#include "ml/nn/lstm.h"
+#include "ml/random_forest.h"
+#include "ml/vmath/vmath.h"
+#include "parallel/parallel_for.h"
+#include "stats/rng.h"
+#include "test_fixtures.h"
+
+namespace mexi {
+namespace {
+
+const std::size_t kBatchSizes[] = {1, 2, 7, 64};
+
+/// RAII guard: force fast math on/off, restore the default after.
+class FastMathGuard {
+ public:
+  explicit FastMathGuard(bool on) { ml::vmath::SetFastMath(on); }
+  ~FastMathGuard() { ml::vmath::SetFastMath(false); }
+};
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) { parallel::SetThreads(n); }
+  ~ThreadGuard() { parallel::SetThreads(1); }
+};
+
+// ---------------------------------------------------------------------
+// Kernel layer: GemmAccum vs GemvAccum vs the MatMul oracle.
+
+TEST(GemmAccumTest, BitwiseMatchesPerLaneGemv) {
+  stats::Rng rng(11);
+  const std::size_t batch = 5, m = 13, n = 9;
+  const std::size_t ldx = m + 3, ldy = n + 2;  // strided lanes
+  std::vector<double> x(batch * ldx), w(m * n), y(batch * ldy);
+  for (auto& v : x) v = rng.Bernoulli(0.2) ? 0.0 : rng.Gaussian(0.0, 1.0);
+  for (auto& v : w) v = rng.Gaussian(0.0, 1.0);
+  for (auto& v : y) v = rng.Gaussian(0.0, 0.5);
+
+  std::vector<double> y_single = y;
+  for (std::size_t b = 0; b < batch; ++b) {
+    ml::kernels::GemvAccum(x.data() + b * ldx, m, w.data(), n,
+                           y_single.data() + b * ldy);
+  }
+  std::vector<double> y_batch = y;
+  ml::kernels::GemmAccum(x.data(), batch, m, ldx, w.data(), n, n,
+                         y_batch.data(), ldy);
+  ASSERT_EQ(0, std::memcmp(y_single.data(), y_batch.data(),
+                           y_batch.size() * sizeof(double)));
+}
+
+TEST(GemmAccumTest, BitwiseMatchesMatMulOracle) {
+  stats::Rng rng(12);
+  const std::size_t batch = 17, m = 31, n = 23;
+  ml::Matrix a(batch, m), b(m, n);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      a(i, k) = rng.Bernoulli(0.15) ? 0.0 : rng.Gaussian(0.0, 1.0);
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t j = 0; j < n; ++j) b(k, j) = rng.Gaussian(0.0, 1.0);
+  }
+  const ml::Matrix oracle = a.MatMul(b);
+
+  std::vector<double> y(batch * n, 0.0);
+  ml::kernels::GemmAccum(&a(0, 0), batch, m, m, &b(0, 0), n, n, y.data(),
+                         n);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(oracle(i, j), y[i * n + j]) << i << "," << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// LSTM: ragged lengths (including empty) across batch sizes and modes.
+
+ml::LstmSequenceModel::Config LstmConfig() {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = 2;
+  config.hidden_dim = 6;
+  config.dense_dim = 8;
+  config.num_labels = 2;
+  config.dropout = 0.0;
+  config.epochs = 4;
+  config.batch_size = 4;
+  config.seed = 3;
+  return config;
+}
+
+std::vector<ml::Sequence> MakeSequences(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<ml::Sequence> sequences;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Ragged on purpose; a few empty sequences exercise the
+    // zero-state lane path.
+    const std::size_t length = i % 11 == 3 ? 0 : 1 + rng.UniformIndex(20);
+    ml::Sequence seq;
+    for (std::size_t t = 0; t < length; ++t) {
+      seq.push_back({rng.Gaussian(0.5, 0.3), rng.Uniform(0.0, 1.0)});
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+ml::LstmSequenceModel FittedLstm() {
+  std::vector<ml::Sequence> sequences = MakeSequences(24, 7);
+  std::vector<std::vector<double>> targets;
+  stats::Rng rng(8);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+  ml::LstmSequenceModel model(LstmConfig());
+  model.Fit(sequences, targets);
+  return model;
+}
+
+TEST(LstmBatchTest, ExactModeBitwiseAtEveryBatchSize) {
+  ml::LstmSequenceModel model = FittedLstm();
+  for (std::size_t batch : kBatchSizes) {
+    const std::vector<ml::Sequence> sequences = MakeSequences(batch, 90);
+    const auto batched = model.PredictBatch(sequences);
+    ASSERT_EQ(batched.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto single = model.Predict(sequences[i]);
+      ASSERT_EQ(single.size(), batched[i].size());
+      for (std::size_t c = 0; c < single.size(); ++c) {
+        EXPECT_EQ(single[c], batched[i][c])
+            << "batch=" << batch << " lane=" << i << " label=" << c;
+      }
+    }
+  }
+}
+
+TEST(LstmBatchTest, FastModeBitwiseMatchesSingleFastAndBoundsExact) {
+  ml::LstmSequenceModel model = FittedLstm();
+  const std::vector<ml::Sequence> sequences = MakeSequences(7, 91);
+  std::vector<std::vector<double>> exact;
+  for (const auto& seq : sequences) exact.push_back(model.Predict(seq));
+
+  FastMathGuard fast(true);
+  const auto batched = model.PredictBatch(sequences);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const auto single = model.Predict(sequences[i]);
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(single[c], batched[i][c]) << i << "," << c;
+      // ULP-bounded transcendentals keep fast within a loose absolute
+      // envelope of exact on a [0, 1] output.
+      EXPECT_NEAR(exact[i][c], batched[i][c], 1e-6) << i << "," << c;
+    }
+  }
+}
+
+TEST(LstmBatchTest, WorkspaceReuseAcrossUnevenChunks) {
+  ml::LstmSequenceModel model = FittedLstm();
+  ml::LstmSequenceModel::PredictBatchWorkspace ws;
+  for (std::size_t batch : {std::size_t{5}, std::size_t{2},
+                            std::size_t{9}}) {
+    const std::vector<ml::Sequence> sequences = MakeSequences(batch, batch);
+    const auto batched = model.PredictBatch(sequences, ws);
+    for (std::size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(model.Predict(sequences[i]), batched[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// CNN: batched head vs per-image Predict.
+
+ml::CnnImageModel::Config CnnConfig() {
+  ml::CnnImageModel::Config config;
+  config.image_rows = 10;
+  config.image_cols = 12;
+  config.conv1_filters = 2;
+  config.conv2_filters = 3;
+  config.dense_dim = 8;
+  config.num_labels = 2;
+  config.epochs = 2;
+  config.batch_size = 4;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<ml::Image> MakeImages(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<ml::Image> images;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Image image(10, 12, 0.0);
+    for (std::size_t r = 0; r < 10; ++r) {
+      for (std::size_t c = 0; c < 12; ++c) {
+        image(r, c) = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.0, 1.0);
+      }
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+TEST(CnnBatchTest, ExactAndFastModesMatchSingle) {
+  const std::vector<ml::Image> train = MakeImages(12, 6);
+  std::vector<std::vector<double>> targets;
+  stats::Rng rng(9);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    targets.push_back({rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                       rng.Bernoulli(0.5) ? 1.0 : 0.0});
+  }
+  ml::CnnImageModel model(CnnConfig());
+  model.Fit(train, targets);
+
+  for (std::size_t batch : kBatchSizes) {
+    const std::vector<ml::Image> images = MakeImages(batch, 40 + batch);
+    const auto batched = model.PredictBatch(images);
+    for (std::size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(model.Predict(images[i]), batched[i]) << batch << "," << i;
+    }
+  }
+  FastMathGuard fast(true);
+  const std::vector<ml::Image> images = MakeImages(7, 77);
+  const auto batched = model.PredictBatch(images);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ(model.Predict(images[i]), batched[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Classifier layer: every overridden PredictProbaBatch (and the base
+// default loop) reproduces per-row PredictProba bitwise.
+
+TEST(ClassifierBatchTest, BatchMatchesPerRowAcrossModels) {
+  stats::Rng rng(21);
+  ml::Dataset train;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 1 ? 1.5 : -1.5;
+    train.Add({rng.Gaussian(cx, 1.0), rng.Gaussian(-cx, 1.0),
+               rng.Gaussian(0.0, 1.0)},
+              label);
+  }
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < 64; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 2.0), rng.Gaussian(0.0, 2.0),
+                    rng.Gaussian(0.0, 2.0)});
+  }
+
+  std::vector<std::unique_ptr<ml::BinaryClassifier>> models;
+  models.push_back(std::make_unique<ml::MlpClassifier>());
+  models.push_back(std::make_unique<ml::GradientBoosting>());
+  models.push_back(std::make_unique<ml::RandomForest>());
+  models.push_back(std::make_unique<ml::LogisticRegression>());
+  for (auto& model : models) {
+    model->Fit(train);
+    for (std::size_t count : kBatchSizes) {
+      const std::vector<std::vector<double>> chunk(rows.begin(),
+                                                   rows.begin() + count);
+      const std::vector<double> batched = model->PredictProbaBatch(chunk);
+      ASSERT_EQ(batched.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(model->PredictProba(chunk[i]), batched[i])
+            << model->Name() << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(ClassifierBatchTest, EmptyAndUnfittedEdgeCases) {
+  ml::MlpClassifier model;
+  EXPECT_THROW(model.PredictProbaBatch({{0.0}}), std::logic_error);
+  stats::Rng rng(3);
+  ml::Dataset train;
+  for (std::size_t i = 0; i < 20; ++i) {
+    train.Add({rng.Gaussian(i % 2 ? 1.0 : -1.0, 0.5)},
+              static_cast<int>(i % 2));
+  }
+  model.Fit(train);
+  EXPECT_TRUE(model.PredictProbaBatch({}).empty());
+}
+
+// ---------------------------------------------------------------------
+// End to end: Mexi::CharacterizeAll through the batched engine.
+
+MexiConfig BatchedFastConfig(std::size_t batch_size) {
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  config.batch_size = batch_size;
+  return config;
+}
+
+class MexiBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(18, 2024).release();
+    const auto measures = ComputeAllMeasures(fixture_->input);
+    const ExpertThresholds thresholds = FitThresholds(measures);
+    labels_ = new std::vector<ExpertLabel>(
+        LabelsFromMeasures(measures, thresholds));
+    mexi_ = new Mexi(BatchedFastConfig(5));
+    mexi_->Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  }
+  static void TearDownTestSuite() {
+    delete mexi_;
+    delete labels_;
+    delete fixture_;
+    mexi_ = nullptr;
+    labels_ = nullptr;
+    fixture_ = nullptr;
+  }
+  static testing::StudyFixture* fixture_;
+  static std::vector<ExpertLabel>* labels_;
+  static Mexi* mexi_;
+};
+
+testing::StudyFixture* MexiBatchTest::fixture_ = nullptr;
+std::vector<ExpertLabel>* MexiBatchTest::labels_ = nullptr;
+Mexi* MexiBatchTest::mexi_ = nullptr;
+
+TEST_F(MexiBatchTest, BatchedCharacterizeAllMatchesPerTrace) {
+  std::vector<ExpertLabel> single;
+  for (const auto& view : fixture_->input.matchers) {
+    single.push_back(mexi_->Characterize(view));
+  }
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadGuard guard(threads);
+    const auto batched = mexi_->CharacterizeAll(fixture_->input.matchers);
+    ASSERT_EQ(batched.size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(single[i], batched[i]) << threads << " threads, trace " << i;
+    }
+  }
+}
+
+TEST_F(MexiBatchTest, FastModeBatchedMatchesFastPerTrace) {
+  FastMathGuard fast(true);
+  std::vector<ExpertLabel> single;
+  for (const auto& view : fixture_->input.matchers) {
+    single.push_back(mexi_->Characterize(view));
+  }
+  ThreadGuard guard(8);
+  const auto batched = mexi_->CharacterizeAll(fixture_->input.matchers);
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i], batched[i]) << "trace " << i;
+  }
+}
+
+TEST_F(MexiBatchTest, BatchSizeOneFallsBackToLegacyPath) {
+  Mexi narrow(BatchedFastConfig(1));
+  narrow.Fit(fixture_->input.matchers, *labels_, fixture_->input.context);
+  const auto via_all = narrow.CharacterizeAll(fixture_->input.matchers);
+  for (std::size_t i = 0; i < fixture_->input.matchers.size(); ++i) {
+    EXPECT_EQ(narrow.Characterize(fixture_->input.matchers[i]), via_all[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mexi

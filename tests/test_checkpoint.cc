@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
 #include "robust/fault_injection.h"
 #include "robust/serialize.h"
 #include "robust/status.h"
@@ -169,6 +171,44 @@ TEST_F(CheckpointTest, WriteFileAtomicRoundTrip) {
   std::vector<std::uint8_t> read_back;
   ASSERT_TRUE(ReadFileBytes(path, &read_back).ok());
   EXPECT_EQ(read_back, bytes);
+}
+
+TEST_F(CheckpointTest, FsyncOptInIsDurableAndCounted) {
+  // MEXI_CKPT_FSYNC=1 must not change the bytes committed, and each
+  // synced commit bumps the ckpt.fsyncs counter when metrics are on.
+  auto& hub = obs::Observability::Global();
+  hub.EnableMetrics(Dir() + "/metrics");
+  const auto bytes = Payload("durable content");
+
+  const std::string plain = Dir() + "/plain.bin";
+  ASSERT_TRUE(WriteFileAtomic(plain, bytes).ok());
+  EXPECT_EQ(hub.registry().GetCounter("ckpt.fsyncs").Value(), 0u);
+
+  ::setenv("MEXI_CKPT_FSYNC", "1", 1);
+  const std::string synced = Dir() + "/synced.bin";
+  const Status status = WriteFileAtomic(synced, bytes);
+  ::unsetenv("MEXI_CKPT_FSYNC");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(hub.registry().GetCounter("ckpt.fsyncs").Value(), 1u);
+
+  std::vector<std::uint8_t> plain_back, synced_back;
+  ASSERT_TRUE(ReadFileBytes(plain, &plain_back).ok());
+  ASSERT_TRUE(ReadFileBytes(synced, &synced_back).ok());
+  EXPECT_EQ(plain_back, synced_back);
+  hub.Shutdown();
+}
+
+TEST_F(CheckpointTest, FsyncOptInCoversManagerCommits) {
+  ::setenv("MEXI_CKPT_FSYNC", "1", 1);
+  CheckpointManager manager(Dir(), "model");
+  const Status first = manager.Commit(Payload("generation 1"));
+  const Status second = manager.Commit(Payload("generation 2"));
+  ::unsetenv("MEXI_CKPT_FSYNC");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(manager.LoadLatest(&payload, nullptr).ok());
+  EXPECT_EQ(payload, Payload("generation 2"));
 }
 
 TEST_F(CheckpointTest, ReadMissingFileIsNotFound) {

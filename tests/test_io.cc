@@ -1,5 +1,7 @@
 #include "matching/io.h"
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,13 @@
 
 namespace mexi::matching {
 namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 std::vector<LoadedMatcher> TwoMatchers() {
   std::vector<LoadedMatcher> matchers(2);
@@ -265,6 +274,65 @@ TEST_F(IoFaultTest, UnfiredClauseLeavesReaderBitwiseIntact) {
   ASSERT_EQ(loaded.size(), 2u);
   EXPECT_EQ(loaded[0].history.size(), 2u);
   EXPECT_DOUBLE_EQ(loaded[0].history.at(1).timestamp, 7.25);
+}
+
+// Write-path chaos at the matchers_write site: SaveMatchersToFiles hits
+// the site once per output file (decisions first, then movements).
+
+TEST_F(IoFaultTest, EnospcOnDecisionsWriteIsStructuredAndWritesNothing) {
+  robust::FaultInjector::Global().Configure("enospc@matchers_write:1");
+  const std::string dir = ::testing::TempDir();
+  const std::string decisions = dir + "/enospc_d.csv";
+  const std::string movements = dir + "/enospc_m.csv";
+  try {
+    SaveMatchersToFiles(TwoMatchers(), decisions, movements);
+    FAIL() << "ENOSPC write accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kResourceExhausted);
+    EXPECT_EQ(e.status().file(), decisions);
+  }
+  // The fault fired before anything touched the disk.
+  EXPECT_FALSE(std::filesystem::exists(decisions));
+  EXPECT_FALSE(std::filesystem::exists(movements));
+}
+
+TEST_F(IoFaultTest, ShortWriteOnMovementsFileIsStructuredAndDetectable) {
+  robust::FaultInjector::Global().Configure("short_write@matchers_write:2");
+  const std::string dir = ::testing::TempDir();
+  const std::string decisions = dir + "/short_d.csv";
+  const std::string movements = dir + "/short_m.csv";
+  try {
+    SaveMatchersToFiles(TwoMatchers(), decisions, movements);
+    FAIL() << "short write accepted";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kIoError);
+    EXPECT_EQ(e.status().file(), movements);
+    EXPECT_NE(e.status().message().find("short write"), std::string::npos);
+  }
+  // The first file (site hit 1) committed in full; the second holds
+  // only the torn prefix, so a round trip fails loudly, never loads a
+  // silent partial population.
+  std::ifstream decisions_in(decisions);
+  const auto loaded = ReadDecisionsCsv(decisions_in);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::stringstream full;
+  WriteMovementsCsv(TwoMatchers(), full);
+  EXPECT_LT(std::filesystem::file_size(movements), full.str().size());
+  robust::FaultInjector::Global().Clear();
+  EXPECT_THROW(LoadMatchersFromFiles(decisions, movements),
+               robust::StatusError);
+}
+
+TEST_F(IoFaultTest, UnfiredMatchersWriteClauseKeepsBytesIdentical) {
+  const std::string dir = ::testing::TempDir();
+  SaveMatchersToFiles(TwoMatchers(), dir + "/plain_d.csv",
+                      dir + "/plain_m.csv");
+  robust::FaultInjector::Global().Configure(
+      "short_write@matchers_write:100000");
+  SaveMatchersToFiles(TwoMatchers(), dir + "/armed_d.csv",
+                      dir + "/armed_m.csv");
+  EXPECT_EQ(Slurp(dir + "/plain_d.csv"), Slurp(dir + "/armed_d.csv"));
+  EXPECT_EQ(Slurp(dir + "/plain_m.csv"), Slurp(dir + "/armed_m.csv"));
 }
 
 }  // namespace
