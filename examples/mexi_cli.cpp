@@ -18,6 +18,14 @@
 //   fuse        --dir DIR --rows N --cols M
 //               Fuse the crowd's matrices (expertise-weighted) and print
 //               the final match quality.
+//   stream      --dir DIR --rows N --cols M [--engine stream|batch]
+//               [--matcher I]
+//               Train one MExI_50 on the loaded population, then replay
+//               each matcher's trace through the incremental streaming
+//               engine and print one JSONL line per decision (running
+//               labels + probabilities) plus a final exact line that is
+//               byte-identical to what --engine batch prints from the
+//               batch Characterize path.
 //
 // The CSV formats are documented in matching/io.h; `simulate` produces
 // them, and any real study exported in the same shape works unchanged.
@@ -33,12 +41,15 @@
 #include "core/boosting.h"
 #include "core/evaluation.h"
 #include "core/mexi.h"
+#include "core/streaming.h"
 #include "matching/io.h"
 #include "ml/vmath/vmath.h"
 #include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
 #include "robust/serialize.h"
+#include "robust/status.h"
 #include "sim/study.h"
 #include "stats/rng.h"
 
@@ -95,6 +106,12 @@ int Usage() {
       "                        chunks of B matchers (default 1 = per\n"
       "                        trace; results are identical).\n"
       "  mexi_cli fuse         --dir DIR --rows N --cols M\n"
+      "  mexi_cli stream       --dir DIR --rows N --cols M\n"
+      "                        [--engine stream|batch] [--matcher I]\n"
+      "                        per-decision JSONL running estimates from\n"
+      "                        the incremental streaming engine; the\n"
+      "                        final line per matcher is byte-identical\n"
+      "                        to the batch engine's answer.\n"
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
       "                1 = sequential; default: MEXI_THREADS or auto).\n"
@@ -109,8 +126,9 @@ int Usage() {
       "                MEXI_STATUS_FILE).\n"
       "  --fast-math   allow ULP-bounded SIMD transcendentals and fused\n"
       "                products on Predict/inference paths (env:\n"
-      "                MEXI_FAST_MATH). Default ON for characterize (the\n"
-      "                serve path); other commands default exact.\n"
+      "                MEXI_FAST_MATH). Default ON for characterize and\n"
+      "                stream (the serve paths); other commands default\n"
+      "                exact.\n"
       "                Training always stays exact; simulate output and\n"
       "                fitted models are unchanged, predictions may\n"
       "                differ in the last bits.\n"
@@ -262,6 +280,104 @@ int CmdCharacterize(const Args& args) {
   return 0;
 }
 
+/// One JSONL estimate line. `%.17g` keeps doubles round-trippable and
+/// byte-stable, so stream-vs-batch parity can be checked with cmp.
+void PrintStreamLine(int matcher_id, std::size_t decision_index,
+                     bool is_final, const ExpertLabel& label,
+                     const std::vector<double>& probabilities) {
+  const auto bits = label.ToVector();
+  std::printf("{\"matcher\":%d,\"decision\":%zu,\"final\":%s,\"labels\":[",
+              matcher_id, decision_index, is_final ? "true" : "false");
+  for (std::size_t c = 0; c < bits.size(); ++c) {
+    std::printf("%s%d", c == 0 ? "" : ",", bits[c]);
+  }
+  double total = 0.0;
+  for (const double p : probabilities) total += p;
+  const double confidence =
+      probabilities.empty()
+          ? 0.0
+          : total / static_cast<double>(probabilities.size());
+  std::printf("],\"confidence\":%.17g,\"probabilities\":[", confidence);
+  for (std::size_t c = 0; c < probabilities.size(); ++c) {
+    std::printf("%s%.17g", c == 0 ? "" : ",", probabilities[c]);
+  }
+  std::printf("]}\n");
+  // Each line is durable before the next decision is consumed: a killed
+  // stream leaves a prefix of complete lines (the chaos test's
+  // contract).
+  std::fflush(stdout);
+  switch (mexi::robust::FaultInjector::Global().Hit(
+      robust::FaultSite::kStreamEmit)) {
+    case robust::FaultKind::kAbort:
+      robust::ThrowStatus(robust::StatusCode::kAborted,
+                          "injected abort at stream_emit");
+    case robust::FaultKind::kKill:
+      std::_Exit(137);
+    default:
+      break;
+  }
+}
+
+int CmdStream(const Args& args) {
+  const std::string dir = args.Get("dir");
+  const long rows = args.GetLong("rows", 0);
+  const long cols = args.GetLong("cols", 0);
+  if (dir.empty() || rows <= 0 || cols <= 0) return Usage();
+  const std::string engine = args.Get("engine", "stream");
+  if (engine != "stream" && engine != "batch") return Usage();
+  const LoadedStudy study =
+      Load(dir, static_cast<std::size_t>(rows),
+           static_cast<std::size_t>(cols));
+
+  // Ground-truth labels under population thresholds (as in `measure`),
+  // then one full MExI_50 fit on the whole population. Training is
+  // pinned exact by the TrainingScope contract, so repeated runs are
+  // deterministic — the chaos prefix-stability test relies on it.
+  const auto measures = ComputeAllMeasures(study.input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+  Mexi model(Mexi50Config());
+  model.Fit(study.input.matchers, labels, study.input.context);
+
+  const long only = args.GetLong("matcher", -1);
+  for (std::size_t i = 0; i < study.input.matchers.size(); ++i) {
+    if (only >= 0 && static_cast<std::size_t>(only) != i) continue;
+    const MatcherView& m = study.input.matchers[i];
+    const int id = study.matchers[i].id;
+    if (engine == "batch") {
+      // Final answer only, via the batch serve path — formatted by the
+      // same printer so stream-vs-batch parity is a byte compare.
+      PrintStreamLine(id, m.history->size(), /*is_final=*/true,
+                      model.Characterize(m), model.CharacterizeProba(m));
+      continue;
+    }
+    StreamingCharacterizer stream = model.OpenStream(
+        m.source_size, m.target_size, m.movement->screen_width(),
+        m.movement->screen_height());
+    const auto& events = m.movement->events();
+    std::size_t next_event = 0;
+    for (std::size_t k = 0; k < m.history->size(); ++k) {
+      const matching::Decision& d = m.history->at(k);
+      while (next_event < events.size() &&
+             events[next_event].timestamp <= d.timestamp) {
+        stream.PushMovement(events[next_event]);
+        ++next_event;
+      }
+      const StreamEmission emission = stream.PushDecision(d);
+      PrintStreamLine(id, emission.decision_index, /*is_final=*/false,
+                      emission.label, emission.probabilities);
+    }
+    while (next_event < events.size()) {
+      stream.PushMovement(events[next_event]);
+      ++next_event;
+    }
+    const StreamEmission final_emission = stream.Finalize();
+    PrintStreamLine(id, final_emission.decision_index, /*is_final=*/true,
+                    final_emission.label, final_emission.probabilities);
+  }
+  return 0;
+}
+
 int CmdFuse(const Args& args) {
   const std::string dir = args.Get("dir");
   const long rows = args.GetLong("rows", 0);
@@ -317,6 +433,7 @@ int RunCommand(const Args& args) {
   if (args.command == "measure") return CmdMeasure(args);
   if (args.command == "characterize") return CmdCharacterize(args);
   if (args.command == "fuse") return CmdFuse(args);
+  if (args.command == "stream") return CmdStream(args);
   return Usage();
 }
 
@@ -339,7 +456,7 @@ int main(int argc, char** argv) {
       mexi::ml::vmath::SetFastMath(false);
     } else if (args.Has("fast-math")) {
       mexi::ml::vmath::SetFastMath(true);
-    } else if (args.command == "characterize") {
+    } else if (args.command == "characterize" || args.command == "stream") {
       const char* env = std::getenv("MEXI_FAST_MATH");
       const bool env_off = env != nullptr && env[0] == '0' && env[1] == '\0';
       if (!env_off) mexi::ml::vmath::SetFastMath(true);

@@ -80,6 +80,37 @@ FeatureVector SequentialFeatureExtractor::Extract(
   return out;
 }
 
+void SequentialFeatureExtractor::StreamInit(StreamState& state) const {
+  model_.InitStream(state.lstm);
+  state.prev_time = 0.0;
+  state.x.assign(config_.lstm.input_dim, 0.0);
+}
+
+void SequentialFeatureExtractor::StreamPush(const matching::Decision& d,
+                                            StreamState& state) const {
+  // Mirrors Encode step k: dt is forced to 0 at k == 0 (Encode seeds
+  // prev_time with the first timestamp, so its first dt is 0 too), then
+  // tracks the inter-decision gap.
+  const double dt =
+      state.lstm.steps == 0 ? 0.0 : d.timestamp - state.prev_time;
+  state.prev_time = d.timestamp;
+  const double squashed_dt = dt / (dt + config_.time_scale);
+  const double consensus =
+      consensus_.empty() ? 0.0 : consensus_.Share(d.source, d.target);
+  state.x[0] = d.confidence;
+  state.x[1] = squashed_dt;
+  state.x[2] = consensus;
+  model_.StreamStep(state.x, state.lstm);
+}
+
+std::vector<double> SequentialFeatureExtractor::StreamValues(
+    StreamState& state) const {
+  if (!fitted_) {
+    throw std::logic_error("SequentialFeatureExtractor: not fitted");
+  }
+  return model_.StreamProbabilities(state.lstm);
+}
+
 std::vector<std::vector<double>> SequentialFeatureExtractor::ExtractAllValues(
     const std::vector<const matching::DecisionHistory*>& histories) const {
   if (!fitted_) {

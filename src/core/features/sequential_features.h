@@ -54,6 +54,29 @@ class SequentialFeatureExtractor {
   /// (exposed for tests).
   ml::Sequence Encode(const matching::DecisionHistory& history) const;
 
+  /// Carried per-stream state: the LSTM hidden/cell state plus the one
+  /// scalar Encode threads between steps (the previous decision's
+  /// timestamp). Caller-owned so concurrent streams share one const
+  /// fitted extractor.
+  struct StreamState {
+    ml::LstmSequenceModel::StreamState lstm;
+    double prev_time = 0.0;
+    std::vector<double> x;  // encoded step scratch, input_dim wide
+  };
+
+  void StreamInit(StreamState& state) const;
+
+  /// Encodes one decision exactly as Encode would at its position in the
+  /// full history and advances the carried LSTM state by one step — the
+  /// prefix is never re-run.
+  void StreamPush(const matching::Decision& decision,
+                  StreamState& state) const;
+
+  /// The four "seq.<characteristic>" coefficient values for the prefix
+  /// consumed so far; bitwise identical to Extract of that prefix in
+  /// both math modes. Non-destructive: the stream can keep advancing.
+  std::vector<double> StreamValues(StreamState& state) const;
+
   /// Swaps the consensus map used at extraction time (population
   /// adaptation for cross-task transfer). The trained LSTM weights stay.
   void SetConsensus(const ConsensusMap& consensus);

@@ -170,4 +170,27 @@ std::vector<std::vector<double>> SpatialFeatureExtractor::ExtractAllValues(
   return out;
 }
 
+std::vector<double> SpatialFeatureExtractor::ExtractValuesFromImages(
+    const std::vector<ml::Image>& images,
+    ml::CnnImageModel::PredictBatchWorkspace& ws) const {
+  if (!fitted_) {
+    throw std::logic_error("SpatialFeatureExtractor: not fitted");
+  }
+  if (images.size() != static_cast<std::size_t>(matching::kNumMovementTypes)) {
+    throw std::invalid_argument(
+        "SpatialFeatureExtractor: expected one image per movement type");
+  }
+  const std::size_t labels = config_.cnn.num_labels;
+  std::vector<double> out;
+  out.reserve(images.size() * labels);
+  std::vector<ml::Image> single(1);
+  for (int type = 0; type < matching::kNumMovementTypes; ++type) {
+    single[0] = images[static_cast<std::size_t>(type)];
+    const std::vector<std::vector<double>> coefficients =
+        models_[static_cast<std::size_t>(type)]->PredictBatch(single, ws);
+    out.insert(out.end(), coefficients[0].begin(), coefficients[0].end());
+  }
+  return out;
+}
+
 }  // namespace mexi

@@ -53,6 +53,17 @@ class SpatialFeatureExtractor {
   std::vector<std::vector<double>> ExtractAllValues(
       const std::vector<const matching::MovementMap*>& movements) const;
 
+  /// Streaming emission support: the 16 coefficient values for four
+  /// caller-built heat-map images indexed by MovementType (normalized
+  /// like MovementMap::HeatMap). Runs each network's const PredictBatch
+  /// at batch 1 over the shared workspace — bitwise identical to
+  /// Extract of a movement map producing the same images, in both math
+  /// modes, and safe to call from concurrent streams with per-stream
+  /// workspaces.
+  std::vector<double> ExtractValuesFromImages(
+      const std::vector<ml::Image>& images,
+      ml::CnnImageModel::PredictBatchWorkspace& ws) const;
+
   bool fitted() const { return fitted_; }
 
  private:

@@ -16,6 +16,9 @@
 
 namespace mexi {
 
+class StreamingCharacterizer;
+struct StreamEmission;
+
 /// Configuration of the MExI framework (Section III).
 ///
 /// The five feature-set switches implement the Table III ablation: an
@@ -98,6 +101,27 @@ class Mexi : public Characterizer {
   std::vector<ExpertLabel> CharacterizeAll(
       const std::vector<MatcherView>& matchers) const override;
 
+  /// Opens an incremental per-decision characterization stream against
+  /// this fitted model (see core/streaming.h). The returned
+  /// characterizer holds all per-matcher state — running feature
+  /// accumulators, carried LSTM hidden/cell state, cell-level heat-map
+  /// counts — so any number of concurrent streams can share one const
+  /// Mexi. After the final decision, Finalize() is bitwise identical to
+  /// Characterize of the same trace in exact mode (diff-identical in
+  /// fast mode).
+  StreamingCharacterizer OpenStream(std::size_t source_size,
+                                    std::size_t target_size,
+                                    double screen_width,
+                                    double screen_height) const;
+
+  /// Streams every matcher's full trace through OpenStream — movement
+  /// events interleaved before each decision by timestamp — and returns
+  /// the per-decision emissions plus one trailing exact Finalize
+  /// emission per matcher. Sharded over the deterministic ThreadPool
+  /// (disjoint writes, bitwise identical at any thread count).
+  std::vector<std::vector<StreamEmission>> CharacterizeStream(
+      const std::vector<MatcherView>& matchers) const;
+
   /// Rebuilds the consensuality statistics over `population` (their
   /// final matrices; no labels). Call before characterizing matchers of
   /// a different task than the training one.
@@ -127,6 +151,10 @@ class Mexi : public Characterizer {
   const MexiConfig& config() const { return config_; }
 
  private:
+  /// The streaming engine reads the frozen serve-path state (consensus,
+  /// extractors, fused classifiers, selection masks) directly.
+  friend class StreamingCharacterizer;
+
   /// Phi_LRSM + Phi_Beh + Phi_Mou only (no network coefficients).
   FeatureVector AggregatedPart(const matching::DecisionHistory& history,
                                const matching::MovementMap& movement,

@@ -1,0 +1,461 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "stats/descriptive.h"
+
+namespace mexi {
+
+namespace {
+
+/// One-pass Pearson estimate from sufficient statistics (sum, sum of
+/// squares, cross sum). Used only for intermediate emissions — the
+/// batch stats::PearsonCorrelation is two-pass (centered on the final
+/// mean), so the exact value is re-derived in Finalize instead.
+double PearsonEstimate(double n, double sx, double sy, double sxx,
+                       double syy, double sxy) {
+  if (n < 2.0) return 0.0;
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+/// One-pass standard-deviation estimate (population, like
+/// stats::Variance).
+double StdDevEstimate(double n, double sum, double sumsq) {
+  if (n <= 0.0) return 0.0;
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::vector<double> ProjectRow(const std::vector<double>& row,
+                               const std::vector<std::size_t>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(row[idx]);
+  return out;
+}
+
+}  // namespace
+
+StreamingCharacterizer::StreamingCharacterizer(const Mexi& model,
+                                               std::size_t source_size,
+                                               std::size_t target_size,
+                                               double screen_width,
+                                               double screen_height)
+    : model_(&model),
+      source_size_(source_size),
+      target_size_(target_size),
+      screen_width_(screen_width),
+      screen_height_(screen_height),
+      movement_(screen_width, screen_height),
+      matrix_(source_size, target_size) {
+  const auto& config = model.config_;
+  if (config.use_spa && model.spa_extractor_ != nullptr) {
+    const std::size_t rows = config.spa.cnn.image_rows;
+    const std::size_t cols = config.spa.cnn.image_cols;
+    heat_counts_.assign(static_cast<std::size_t>(matching::kNumMovementTypes),
+                        ml::Matrix(rows, cols, 0.0));
+    images_.assign(static_cast<std::size_t>(matching::kNumMovementTypes),
+                   ml::Matrix(rows, cols, 0.0));
+  }
+  if (config.use_seq && model.seq_extractor_ != nullptr) {
+    model.seq_extractor_->StreamInit(seq_state_);
+  }
+}
+
+void StreamingCharacterizer::PushMovement(
+    const matching::MovementEvent& event) {
+  movement_.Add(event);
+  // Read the clamped event back so every accumulator sees exactly what
+  // the batch features will see.
+  const matching::MovementEvent& e = movement_.events().back();
+  if (movement_.size() == 1) {
+    first_move_ts_ = e.timestamp;
+  } else {
+    const double dx = e.x - last_x_;
+    const double dy = e.y - last_y_;
+    path_length_ += std::sqrt(dx * dx + dy * dy);
+  }
+  last_move_ts_ = e.timestamp;
+  last_x_ = e.x;
+  last_y_ = e.y;
+  x_sum_ += e.x;
+  y_sum_ += e.y;
+  x_sumsq_ += e.x * e.x;
+  y_sumsq_ += e.y * e.y;
+  ++type_counts_[static_cast<std::size_t>(e.type)];
+
+  // Region membership (same inclusive relative bounds as MouseFeatures).
+  static constexpr double kRegions[4][4] = {
+      {0.03, 0.04, 0.46, 0.42},   // sourceTree
+      {0.54, 0.04, 0.98, 0.42},   // targetTree
+      {0.38, 0.42, 0.62, 0.53},   // propsBox
+      {0.08, 0.54, 0.92, 0.97},   // matchTable
+  };
+  const double rx = e.x / screen_width_;
+  const double ry = e.y / screen_height_;
+  for (std::size_t g = 0; g < 4; ++g) {
+    if (rx >= kRegions[g][0] && rx <= kRegions[g][2] &&
+        ry >= kRegions[g][1] && ry <= kRegions[g][3]) {
+      ++region_counts_[g];
+    }
+  }
+
+  // Heat-map cell bump, binned exactly like MovementMap::HeatMap. The
+  // counts are integer-valued doubles, so cell-by-cell accumulation is
+  // bitwise identical to the batch rebuild.
+  if (!heat_counts_.empty()) {
+    ml::Matrix& heat = heat_counts_[static_cast<std::size_t>(e.type)];
+    std::size_t r = static_cast<std::size_t>(
+        e.y / screen_height_ * static_cast<double>(heat.rows()));
+    std::size_t c = static_cast<std::size_t>(
+        e.x / screen_width_ * static_cast<double>(heat.cols()));
+    r = std::min(r, heat.rows() - 1);
+    c = std::min(c, heat.cols() - 1);
+    heat(r, c) += 1.0;
+  }
+  ++cost_.movement_events;
+}
+
+void StreamingCharacterizer::MedianInsert(double value) {
+  // Two-heap running median: median_lo_ keeps the smaller ceil(n/2)
+  // values, median_hi_ the rest.
+  if (median_lo_.empty() || value <= *median_lo_.rbegin()) {
+    median_lo_.insert(value);
+  } else {
+    median_hi_.insert(value);
+  }
+  if (median_lo_.size() > median_hi_.size() + 1) {
+    auto it = std::prev(median_lo_.end());
+    median_hi_.insert(*it);
+    median_lo_.erase(it);
+  } else if (median_hi_.size() > median_lo_.size()) {
+    auto it = median_hi_.begin();
+    median_lo_.insert(*it);
+    median_hi_.erase(it);
+  }
+}
+
+double StreamingCharacterizer::RunningMedian() const {
+  const std::size_t n = median_lo_.size() + median_hi_.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return *median_lo_.rbegin();
+  // stats::Percentile(values, 50) at even n: rank n/2 - 1 + 0.5, so
+  // sorted[lo] * (1 - frac) + sorted[hi] * frac with frac = 0.5 — the
+  // same expression, with sorted[lo]/sorted[hi] being the two middle
+  // values the heaps straddle.
+  const double frac = 0.5;
+  return *median_lo_.rbegin() * (1.0 - frac) + *median_hi_.begin() * frac;
+}
+
+StreamEmission StreamingCharacterizer::PushDecision(
+    const matching::Decision& d) {
+  const obs::Span span("stream.decision");
+  const bool metrics = obs::MetricsEnabled();
+  const auto start = metrics ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
+  const std::uint64_t n = static_cast<std::uint64_t>(history_.size());
+
+  // Behavioral accumulators.
+  if (n == 0) {
+    first_ts_ = d.timestamp;
+    conf_first_ = d.confidence;
+    conf_min_ = conf_max_ = d.confidence;
+  } else {
+    const double dt = d.timestamp - last_ts_;
+    const std::uint64_t k = n - 1;  // elapsed-sequence position
+    if (k == 0) {
+      elapsed_min_ = elapsed_max_ = dt;
+    } else {
+      elapsed_min_ = std::min(elapsed_min_, dt);
+      elapsed_max_ = std::max(elapsed_max_, dt);
+    }
+    elapsed_sum_ += dt;
+    elapsed_sumsq_ += dt * dt;
+    elapsed_order_cross_ += static_cast<double>(k) * dt;
+    conf_min_ = std::min(conf_min_, d.confidence);
+    conf_max_ = std::max(conf_max_, d.confidence);
+  }
+  last_ts_ = d.timestamp;
+  conf_last_ = d.confidence;
+  conf_sum_ += d.confidence;
+  conf_sumsq_ += d.confidence * d.confidence;
+  conf_order_cross_ += static_cast<double>(n) * d.confidence;
+  MedianInsert(d.confidence);
+  ++cost_.decision_update_ops;
+
+  // Consistency accumulators: latest-wins per pair with in-place
+  // add/remove of the old contribution.
+  const double share = model_->consensus_.Share(d.source, d.target);
+  ordered_share_sum_ += share;
+  ordered_share_sumsq_ += share * share;
+  ordered_share_cross_ += static_cast<double>(n) * share;
+  auto it = latest_.find({d.source, d.target});
+  if (it != latest_.end()) {
+    ++mind_changes_;
+    const double old_conf = it->second;
+    if (old_conf > 0.0) {
+      --pos_pairs_;
+      share_sum_ -= share;
+      share_sumsq_ -= share * share;
+      weighted_ -= old_conf * share;
+      weight_total_ -= old_conf;
+      minority_ -= static_cast<std::size_t>(share < 0.15);
+      majority_ -= static_cast<std::size_t>(share > 0.5);
+      conf_share_cross_ -= old_conf * share;
+      con_conf_sum_ -= old_conf;
+      con_conf_sumsq_ -= old_conf * old_conf;
+    }
+    it->second = d.confidence;
+  } else {
+    latest_.emplace(matching::ElementPair{d.source, d.target}, d.confidence);
+  }
+  if (d.confidence > 0.0) {
+    ++pos_pairs_;
+    share_sum_ += share;
+    share_sumsq_ += share * share;
+    weighted_ += d.confidence * share;
+    weight_total_ += d.confidence;
+    minority_ += static_cast<std::size_t>(share < 0.15);
+    majority_ += static_cast<std::size_t>(share > 0.5);
+    conf_share_cross_ += d.confidence * share;
+    con_conf_sum_ += d.confidence;
+    con_conf_sumsq_ += d.confidence * d.confidence;
+  }
+  ++cost_.decision_update_ops;
+
+  // Eq. 1 latest-wins matrix cell, the LSTM step (the carried state —
+  // never the prefix), and the append-only buffer.
+  matrix_.Set(d.source, d.target, d.confidence);
+  ++cost_.decision_update_ops;
+  if (model_->config_.use_seq && model_->seq_extractor_ != nullptr) {
+    model_->seq_extractor_->StreamPush(d, seq_state_);
+    ++cost_.decision_update_ops;
+  }
+  history_.Add(d);
+  ++cost_.decisions;
+
+  StreamEmission emission = Emit(/*exact_tail=*/false);
+  if (metrics) {
+    auto& registry = obs::Registry();
+    registry.GetCounter("stream.decisions").Add();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    registry
+        .GetHistogram("stream.decision_seconds",
+                      {1e-5, 1e-4, 1e-3, 1e-2, 1e-1})
+        .Observe(seconds);
+  }
+  return emission;
+}
+
+StreamEmission StreamingCharacterizer::Finalize() {
+  const obs::Span span("stream.finalize");
+  StreamEmission emission = Emit(/*exact_tail=*/true);
+  if (obs::MetricsEnabled()) {
+    obs::Registry().GetCounter("stream.finalizations").Add();
+  }
+  return emission;
+}
+
+StreamEmission StreamingCharacterizer::Emit(bool exact_tail) {
+  const auto& config = model_->config_;
+  row_.clear();
+
+  if (exact_tail) {
+    // One amortized pass over the append-only buffers through the batch
+    // aggregated-feature code itself — equal inputs, same code, bitwise
+    // equality by construction. The LSTM/CNN stages below still come
+    // from the carried state; only trace-length scalar buffers are
+    // re-read here.
+    cost_.trace_buffer_scans +=
+        static_cast<std::uint64_t>(history_.size()) +
+        static_cast<std::uint64_t>(movement_.size());
+    row_ = model_->AggregatedValues(history_, movement_, source_size_,
+                                    target_size_, predictor_scratch_);
+  } else {
+    const double n = static_cast<double>(history_.size());
+    const double ne = n > 1.0 ? n - 1.0 : 0.0;  // elapsed count
+
+    if (config.use_lrsm) {
+      matching::ComputePredictorValues(matrix_, &predictor_scratch_, row_);
+    }
+    if (config.use_beh) {
+      // Closed-form order sums for the trend estimates: sum k and
+      // sum k^2 over k = 0..m-1.
+      const auto order_sum = [](double m) { return m * (m - 1.0) / 2.0; };
+      const auto order_sumsq = [](double m) {
+        return (m - 1.0) * m * (2.0 * m - 1.0) / 6.0;
+      };
+      row_.push_back(n > 0.0 ? conf_sum_ / n : 0.0);            // avgConf
+      row_.push_back(StdDevEstimate(n, conf_sum_, conf_sumsq_));  // stdConf
+      row_.push_back(n > 0.0 ? conf_max_ : 0.0);                // maxConf
+      row_.push_back(n > 0.0 ? conf_min_ : 0.0);                // minConf
+      row_.push_back(RunningMedian());                          // medianConf
+      row_.push_back(ne > 0.0 ? elapsed_sum_ / ne : 0.0);       // avgTime
+      row_.push_back(StdDevEstimate(ne, elapsed_sum_, elapsed_sumsq_));
+      row_.push_back(ne > 0.0 ? elapsed_max_ : 0.0);            // maxTime
+      row_.push_back(ne > 0.0 ? elapsed_min_ : 0.0);            // minTime
+      row_.push_back(n > 0.0 ? last_ts_ - first_ts_ : 0.0);     // totalTime
+      row_.push_back(n);                                    // countDecisions
+      row_.push_back(static_cast<double>(latest_.size()));  // distinctCorr
+      row_.push_back(static_cast<double>(mind_changes_));   // countMindChange
+      row_.push_back(n > 0.0 ? static_cast<double>(mind_changes_) / n : 0.0);
+      row_.push_back(PearsonEstimate(n, order_sum(n), conf_sum_,
+                                     order_sumsq(n), conf_sumsq_,
+                                     conf_order_cross_));  // confTrend
+      row_.push_back(PearsonEstimate(ne, order_sum(ne), elapsed_sum_,
+                                     order_sumsq(ne), elapsed_sumsq_,
+                                     elapsed_order_cross_));  // timeTrend
+      row_.push_back(n > 0.0 ? conf_last_ : 0.0);             // lastConf
+      row_.push_back(n > 0.0 ? conf_first_ : 0.0);            // firstConf
+    }
+    if (config.use_con) {
+      const double np = static_cast<double>(pos_pairs_);
+      row_.push_back(np > 0.0 ? share_sum_ / np : 0.0);  // meanConsensus
+      row_.push_back(StdDevEstimate(np, share_sum_, share_sumsq_));
+      row_.push_back(weight_total_ > 0.0 ? weighted_ / weight_total_ : 0.0);
+      row_.push_back(np > 0.0 ? static_cast<double>(minority_) / np : 0.0);
+      row_.push_back(np > 0.0 ? static_cast<double>(majority_) / np : 0.0);
+      row_.push_back(PearsonEstimate(np, con_conf_sum_, share_sum_,
+                                     con_conf_sumsq_, share_sumsq_,
+                                     conf_share_cross_));  // confConsensus
+      const auto order_sum = [](double m) { return m * (m - 1.0) / 2.0; };
+      const auto order_sumsq = [](double m) {
+        return (m - 1.0) * m * (2.0 * m - 1.0) / 6.0;
+      };
+      row_.push_back(PearsonEstimate(n, order_sum(n), ordered_share_sum_,
+                                     order_sumsq(n), ordered_share_sumsq_,
+                                     ordered_share_cross_));  // temporalTrend
+    }
+    if (config.use_mou) {
+      const double total = static_cast<double>(movement_.size());
+      const double move_time =
+          total >= 2.0 ? last_move_ts_ - first_move_ts_ : 0.0;
+      row_.push_back(path_length_);  // totalLength
+      row_.push_back(move_time);     // totalTime
+      row_.push_back(total);         // countEvents
+      row_.push_back(total > 0.0 ? x_sum_ / total : 0.0);  // avgX
+      row_.push_back(total > 0.0 ? y_sum_ / total : 0.0);  // avgY
+      row_.push_back(StdDevEstimate(total, x_sum_, x_sumsq_));  // stdX
+      row_.push_back(StdDevEstimate(total, y_sum_, y_sumsq_));  // stdY
+      const double moves = static_cast<double>(type_counts_[0]);
+      const double lclicks = static_cast<double>(type_counts_[1]);
+      const double rclicks = static_cast<double>(type_counts_[2]);
+      const double scrolls = static_cast<double>(type_counts_[3]);
+      row_.push_back(moves);
+      row_.push_back(lclicks);
+      row_.push_back(rclicks);
+      row_.push_back(scrolls);
+      row_.push_back(total > 0.0 ? (lclicks + rclicks) / total : 0.0);
+      row_.push_back(total > 0.0 ? scrolls / total : 0.0);
+      row_.push_back(move_time > 0.0 ? path_length_ / move_time : 0.0);
+      for (std::size_t g = 0; g < 4; ++g) {
+        row_.push_back(total > 0.0
+                           ? static_cast<double>(region_counts_[g]) / total
+                           : 0.0);
+      }
+    }
+  }
+
+  // Network coefficients from the carried state, in ExtractFeatures'
+  // fusion order (seq before spa).
+  if (config.use_seq && model_->seq_extractor_ != nullptr) {
+    const std::vector<double> seq_values =
+        model_->seq_extractor_->StreamValues(seq_state_);
+    row_.insert(row_.end(), seq_values.begin(), seq_values.end());
+  }
+  if (config.use_spa && model_->spa_extractor_ != nullptr) {
+    for (std::size_t t = 0; t < heat_counts_.size(); ++t) {
+      images_[t] = heat_counts_[t];
+      const double peak = images_[t].MaxAbs();
+      if (peak > 0.0) images_[t] *= 1.0 / peak;
+    }
+    const std::vector<double> spa_values =
+        model_->spa_extractor_->ExtractValuesFromImages(images_, cnn_ws_);
+    row_.insert(row_.end(), spa_values.begin(), spa_values.end());
+  }
+
+  // Frozen fused classifiers — the same projection, probability and
+  // threshold compare as Characterize.
+  StreamEmission emission;
+  emission.decision_index = history_.size();
+  emission.is_final = exact_tail;
+  std::vector<int> bits;
+  double total_probability = 0.0;
+  for (std::size_t c = 0; c < model_->label_classifiers_.size(); ++c) {
+    const double probability = model_->label_classifiers_[c]->PredictProba(
+        ProjectRow(row_, model_->selected_features_[c]));
+    emission.probabilities.push_back(probability);
+    total_probability += probability;
+    bits.push_back(probability >= model_->label_thresholds_[c] ? 1 : 0);
+  }
+  emission.label = ExpertLabel::FromVector(bits);
+  emission.confidence =
+      emission.probabilities.empty()
+          ? 0.0
+          : total_probability /
+                static_cast<double>(emission.probabilities.size());
+  return emission;
+}
+
+StreamingCharacterizer Mexi::OpenStream(std::size_t source_size,
+                                        std::size_t target_size,
+                                        double screen_width,
+                                        double screen_height) const {
+  if (!fitted_ || label_classifiers_.empty()) {
+    throw std::logic_error("Mexi::OpenStream before Fit");
+  }
+  return StreamingCharacterizer(*this, source_size, target_size,
+                                screen_width, screen_height);
+}
+
+std::vector<std::vector<StreamEmission>> Mexi::CharacterizeStream(
+    const std::vector<MatcherView>& matchers) const {
+  const obs::Span span("mexi.characterize_stream");
+  std::vector<std::vector<StreamEmission>> out(matchers.size());
+  // One stream per matcher with disjoint writes: bitwise identical at
+  // any thread count under the ParallelFor contract.
+  parallel::ParallelFor(0, matchers.size(), 1, [&](std::size_t i) {
+    const MatcherView& m = matchers[i];
+    StreamingCharacterizer stream =
+        OpenStream(m.source_size, m.target_size, m.movement->screen_width(),
+                   m.movement->screen_height());
+    const auto& events = m.movement->events();
+    std::size_t next_event = 0;
+    std::vector<StreamEmission>& emissions = out[i];
+    emissions.reserve(m.history->size() + 1);
+    // Canonical interleave: before each decision, push every movement
+    // event with timestamp <= the decision's; trailing movement after
+    // the last decision, then the exact Finalize emission.
+    for (std::size_t k = 0; k < m.history->size(); ++k) {
+      const matching::Decision& d = m.history->at(k);
+      while (next_event < events.size() &&
+             events[next_event].timestamp <= d.timestamp) {
+        stream.PushMovement(events[next_event]);
+        ++next_event;
+      }
+      emissions.push_back(stream.PushDecision(d));
+    }
+    while (next_event < events.size()) {
+      stream.PushMovement(events[next_event]);
+      ++next_event;
+    }
+    emissions.push_back(stream.Finalize());
+  });
+  return out;
+}
+
+}  // namespace mexi

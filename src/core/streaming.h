@@ -1,0 +1,178 @@
+#ifndef MEXI_CORE_STREAMING_H_
+#define MEXI_CORE_STREAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/features/sequential_features.h"
+#include "core/mexi.h"
+#include "matching/decision_history.h"
+#include "matching/match_matrix.h"
+#include "matching/movement.h"
+#include "matching/predictors.h"
+#include "ml/nn/cnn.h"
+
+namespace mexi {
+
+/// One running characterization estimate, emitted after every decision.
+struct StreamEmission {
+  /// 1-based count of decisions consumed when this estimate was emitted.
+  std::size_t decision_index = 0;
+  ExpertLabel label;
+  /// Per-characteristic expertise probabilities (CharacteristicNames()
+  /// order, same as CharacterizeProba).
+  std::vector<double> probabilities;
+  /// Mean probability — the running expert score (cf. ExpertScore).
+  double confidence = 0.0;
+  /// True for the Finalize() emission, whose values are bitwise
+  /// identical to the batch Characterize/CharacterizeProba answer.
+  bool is_final = false;
+};
+
+/// Op-accounting for the amortized-O(1) contract, exposed so tests can
+/// assert the update path never re-scans the trace
+/// (tests/test_streaming.cc).
+struct StreamCost {
+  std::uint64_t decisions = 0;
+  std::uint64_t movement_events = 0;
+  /// Accumulator updates performed by PushDecision — bounded by a
+  /// constant per decision (map/multiset operations count once each;
+  /// their O(log T) node walks never touch the value buffers).
+  std::uint64_t decision_update_ops = 0;
+  /// Elements of any trace-length buffer visited. Stays 0 through every
+  /// push and every per-decision emission; Finalize's single exactness
+  /// pass accounts its buffers here once.
+  std::uint64_t trace_buffer_scans = 0;
+};
+
+/// Incremental per-decision characterization over one matcher's trace.
+///
+/// Obtained from Mexi::OpenStream against a fitted model. Feed the trace
+/// in timestamp order — movement events via PushMovement, decisions via
+/// PushDecision — and a running 4-label estimate comes back after every
+/// decision at amortized O(1) cost in the trace length: behavioral
+/// aggregates live as running sums/counts/min-max plus a two-multiset
+/// running median, consensus/consistency features as in-place add/remove
+/// accumulators over the latest-confidence map, the spatial heat maps as
+/// cell-level counts bumped per event, and the LSTM hidden/cell state is
+/// carried forward with one StreamStep per decision — the prefix is
+/// never re-run. Per emission the remaining cost is task-sized, not
+/// trace-sized: the LRSM predictors over the incrementally-maintained
+/// match matrix, four CNN forwards over the current heat maps, the LSTM
+/// head, and the frozen fused classifiers.
+///
+/// Numerics: every emitted value is exact except seven scalars whose
+/// batch definition is two-pass (std deviations, Pearson trends); those
+/// are emitted from one-pass sufficient statistics during the stream and
+/// recomputed by the batch formulas in Finalize() over the append-only
+/// trace buffers, so the final emission is bitwise identical to
+/// Characterize in exact math mode (diff-identical in fast mode).
+///
+/// Thread-safety: the model is only read; all mutable state lives here,
+/// so concurrent streams over one Mexi are safe.
+class StreamingCharacterizer {
+ public:
+  /// Appends one mouse event (timestamps non-decreasing; positions
+  /// clamped into the screen, like MovementMap::Add).
+  void PushMovement(const matching::MovementEvent& event);
+
+  /// Consumes one decision and emits the running estimate.
+  StreamEmission PushDecision(const matching::Decision& decision);
+
+  /// The exact emission for everything consumed so far: one pass over
+  /// the buffered trace re-derives the seven two-pass scalars with the
+  /// batch stats code, the carried LSTM state supplies the sequence
+  /// coefficients (still no prefix re-run), and the result is bitwise
+  /// identical to batch Characterize of the same trace. Non-destructive:
+  /// the stream may keep advancing afterwards.
+  StreamEmission Finalize();
+
+  const StreamCost& cost() const { return cost_; }
+  std::size_t decisions_seen() const { return history_.size(); }
+
+ private:
+  friend class Mexi;
+  StreamingCharacterizer(const Mexi& model, std::size_t source_size,
+                         std::size_t target_size, double screen_width,
+                         double screen_height);
+
+  /// Assembles the fused feature row from the current incremental state
+  /// (`exact_tail` switches the seven two-pass scalars to the batch
+  /// formulas over the buffers) and runs the frozen classifiers.
+  StreamEmission Emit(bool exact_tail);
+
+  /// The running-median value under stats::Percentile(values, 50)
+  /// semantics.
+  double RunningMedian() const;
+  void MedianInsert(double value);
+
+  const Mexi* model_;
+  std::size_t source_size_;
+  std::size_t target_size_;
+  double screen_width_;
+  double screen_height_;
+
+  // Append-only trace buffers. Written once per push, read only by
+  // Finalize's exactness pass (cost_.trace_buffer_scans audits this).
+  matching::DecisionHistory history_;
+  matching::MovementMap movement_;
+
+  // --- Phi_LRSM: the match matrix under Eq. 1's latest-wins overwrite.
+  matching::MatchMatrix matrix_;
+  matching::PredictorScratch predictor_scratch_;
+
+  // --- Phi_Beh running state.
+  double conf_sum_ = 0.0, conf_sumsq_ = 0.0;
+  double conf_min_ = 0.0, conf_max_ = 0.0;
+  double conf_first_ = 0.0, conf_last_ = 0.0;
+  double conf_order_cross_ = 0.0;  // sum k * conf_k
+  double first_ts_ = 0.0, last_ts_ = 0.0;
+  double elapsed_sum_ = 0.0, elapsed_sumsq_ = 0.0;
+  double elapsed_min_ = 0.0, elapsed_max_ = 0.0;
+  double elapsed_order_cross_ = 0.0;  // sum k * elapsed_k
+  std::multiset<double> median_lo_, median_hi_;  // two-heap running median
+
+  // --- Phi_Con running state: latest confidence per pair plus in-place
+  // add/remove accumulators over the pairs whose latest confidence is
+  // positive.
+  std::map<matching::ElementPair, double> latest_;
+  std::size_t mind_changes_ = 0;
+  std::size_t pos_pairs_ = 0;
+  double share_sum_ = 0.0, share_sumsq_ = 0.0;
+  double weighted_ = 0.0, weight_total_ = 0.0;
+  std::size_t minority_ = 0, majority_ = 0;
+  double conf_share_cross_ = 0.0;  // sum conf_i * share_i (Pearson est.)
+  double con_conf_sum_ = 0.0, con_conf_sumsq_ = 0.0;
+  double ordered_share_sum_ = 0.0, ordered_share_sumsq_ = 0.0;
+  double ordered_share_cross_ = 0.0;  // sum k * share(d_k)
+
+  // --- Phi_Mou running state.
+  double path_length_ = 0.0;
+  double x_sum_ = 0.0, y_sum_ = 0.0, x_sumsq_ = 0.0, y_sumsq_ = 0.0;
+  double last_x_ = 0.0, last_y_ = 0.0;
+  double first_move_ts_ = 0.0, last_move_ts_ = 0.0;
+  std::size_t type_counts_[matching::kNumMovementTypes] = {0, 0, 0, 0};
+  std::size_t region_counts_[4] = {0, 0, 0, 0};
+  // Cell-level heat-map counts per movement type (integer-valued
+  // doubles, so +1.0 bumps commute bitwise with batch HeatMap).
+  std::vector<ml::Matrix> heat_counts_;
+
+  // --- Phi_Seq: carried LSTM state (the tentpole — one step per
+  // decision, prefix never re-run).
+  SequentialFeatureExtractor::StreamState seq_state_;
+
+  // --- Per-emission scratch, allocated once per stream.
+  std::vector<ml::Image> images_;
+  ml::CnnImageModel::PredictBatchWorkspace cnn_ws_;
+  std::vector<double> row_;
+
+  StreamCost cost_;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_STREAMING_H_

@@ -632,4 +632,52 @@ std::vector<std::vector<double>> LstmSequenceModel::PredictBatch(
   return out;
 }
 
+void LstmSequenceModel::InitStream(StreamState& state) const {
+  const std::size_t h_dim = config_.hidden_dim;
+  const std::size_t h4 = 4 * h_dim;
+  state.h.assign(h_dim, 0.0);
+  state.c.assign(h_dim, 0.0);
+  state.a.resize(h4);
+  state.gates.resize(h4);
+  state.tanh_c.resize(h_dim);
+  state.steps = 0;
+}
+
+void LstmSequenceModel::StreamStep(const std::vector<double>& x,
+                                   StreamState& state) const {
+  const std::size_t h_dim = config_.hidden_dim;
+  const std::size_t in_dim = config_.input_dim;
+  const std::size_t h4 = 4 * h_dim;
+  if (x.size() != in_dim) {
+    throw std::invalid_argument("LstmSequenceModel: input_dim mismatch");
+  }
+  double* h = state.h.data();
+  double* c = state.c.data();
+  double* a = state.a.data();
+  // Consulted per step, like RunLstm's uncached path consults it per
+  // call: a stream advanced under one mode tracks Predict in that mode.
+  const bool fast = vmath::FastMathActive();
+  kernels::Copy(b_.data().data(), a, h4);
+  if (fast) {
+    kernels::GemvAccumFused(x.data(), in_dim, wx_.data().data(), h4, a);
+    kernels::GemvAccumFused(h, h_dim, wh_.data().data(), h4, a);
+    kernels::LstmCellForwardFast(a, h_dim, state.gates.data(), c,
+                                 state.tanh_c.data(), h);
+  } else {
+    kernels::GemvAccum(x.data(), in_dim, wx_.data().data(), h4, a);
+    kernels::GemvAccum(h, h_dim, wh_.data().data(), h4, a);
+    kernels::LstmCellForward(a, h_dim, state.gates.data(), c,
+                             state.tanh_c.data(), h);
+  }
+  ++state.steps;
+}
+
+std::vector<double> LstmSequenceModel::StreamProbabilities(
+    StreamState& state) const {
+  DenseHeadForwardBatch(*dense1_, *dense2_, state.h.data(), 1, state.z1,
+                        state.z2, vmath::FastMathActive());
+  return std::vector<double>(state.z2.begin(),
+                             state.z2.begin() + config_.num_labels);
+}
+
 }  // namespace mexi::ml

@@ -89,6 +89,41 @@ class LstmSequenceModel {
       const std::vector<Sequence>& sequences,
       PredictBatchWorkspace& ws) const;
 
+  /// Carried state for incremental one-step-at-a-time inference. `h`/`c`
+  /// are the live hidden/cell state after the steps consumed so far; the
+  /// rest are per-step scratch slabs (PR-6 style: sized once, reused
+  /// every step) so StreamStep/StreamProbabilities never allocate after
+  /// InitStream. Caller-owned, so any number of concurrent streams can
+  /// share one const fitted model.
+  struct StreamState {
+    std::vector<double> h;       // H carried hidden state
+    std::vector<double> c;       // H carried cell state
+    std::vector<double> a;       // 4H pre-activation scratch
+    std::vector<double> gates;   // 4H activated-gate scratch
+    std::vector<double> tanh_c;  // H scratch
+    std::vector<double> z1, z2;  // head slabs (1 x dense, 1 x labels)
+    std::size_t steps = 0;       // timesteps consumed
+  };
+
+  /// Zeroes `state` to the pre-sequence hidden/cell state and sizes the
+  /// scratch slabs for this model's shape.
+  void InitStream(StreamState& state) const;
+
+  /// Advances the carried state by one timestep. The step body performs
+  /// the exact op sequence of RunLstm's inference path (bias copy, two
+  /// GEMV accumulations, fused cell forward — fast-math twins when
+  /// vmath::FastMathActive()), so after feeding a sequence step by step,
+  /// `state.h` is bitwise identical to RunLstm over the whole sequence —
+  /// the prefix is never re-run.
+  void StreamStep(const std::vector<double>& x, StreamState& state) const;
+
+  /// Label probabilities from the carried hidden state: the inference
+  /// head (dense+ReLU -> dense+sigmoid) over `state.h` via the PR-6
+  /// DenseHeadForwardBatch slab path at batch 1, bitwise identical to
+  /// Predict of the consumed prefix in both math modes. Const and
+  /// non-destructive: the stream can keep advancing afterwards.
+  std::vector<double> StreamProbabilities(StreamState& state) const;
+
   const Config& config() const { return config_; }
   bool fitted() const { return fitted_; }
 

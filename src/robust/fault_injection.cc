@@ -33,6 +33,7 @@ constexpr SiteEntry kSites[] = {
     {"fold", FaultSite::kFoldEnd},
     {"io_read", FaultSite::kIoRead},
     {"matchers_write", FaultSite::kMatchersWrite},
+    {"stream_emit", FaultSite::kStreamEmit},
 };
 
 FaultKind ParseKind(const std::string& text) {
@@ -52,7 +53,7 @@ FaultSite ParseSite(const std::string& text) {
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault site '" + text +
                   "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
-                  "epoch|fold|io_read|matchers_write)");
+                  "epoch|fold|io_read|matchers_write|stream_emit)");
 }
 
 }  // namespace

@@ -47,8 +47,9 @@ enum class FaultSite {
   kFoldEnd,              // RunKFoldExperiment, after a computed fold
   kIoRead,               // matching/io.cc CSV readers, per input line
   kMatchersWrite,        // matching/io.cc SaveMatchersToFiles, per file
+  kStreamEmit,           // mexi_cli stream, after each flushed JSONL line
 };
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 /// Deterministic, seed-driven fault injector.
 ///
@@ -60,7 +61,7 @@ inline constexpr std::size_t kNumFaultSites = 8;
 ///   kind    := short_write | bitflip | enospc | nan | abort | kill
 ///            | torn_read | eintr
 ///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
-///            | epoch | fold | io_read | matchers_write
+///            | epoch | fold | io_read | matchers_write | stream_emit
 ///
 /// `occurrence` is the 1-based hit count at which the clause fires,
 /// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM

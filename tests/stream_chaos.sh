@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Streaming chaos drill: JSONL prefix stability under mid-trace death.
+#
+# A `stream` run is killed (real _Exit(137), injected at the
+# stream_emit fault site) right after its Kth emitted line. Completed
+# decisions must survive the death verbatim: the killed run's stdout is
+# exactly the first K complete lines of an uninterrupted run — no torn
+# trailing line, no drifted values. The fault fires after fflush, so the
+# contract is that every emitted line is durable the moment it appears.
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "stream_chaos: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 12 --seed 47 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+STREAM=("${MEXI_CLI}" stream --dir "${DATA}" --rows "${ROWS}" \
+    --cols "${COLS}")
+
+"${STREAM[@]}" > "${WORKDIR}/full.jsonl" || fail "uninterrupted run exited $?"
+TOTAL=$(wc -l < "${WORKDIR}/full.jsonl")
+[ "${TOTAL}" -gt 100 ] || fail "implausibly short stream (${TOTAL} lines)"
+
+# Kill early (mid first matcher), mid-run, and one line before the end.
+for K in 7 $((TOTAL / 2)) $((TOTAL - 1)); do
+  MEXI_FAULTS="kill@stream_emit:${K}" "${STREAM[@]}" \
+      > "${WORKDIR}/killed.${K}.jsonl" 2> "${WORKDIR}/killed.${K}.err"
+  RC=$?
+  [ "${RC}" -eq 137 ] || fail "expected exit 137 at K=${K}, got ${RC}"
+  LINES=$(wc -l < "${WORKDIR}/killed.${K}.jsonl")
+  [ "${LINES}" -eq "${K}" ] \
+      || fail "K=${K}: ${LINES} complete lines survived the kill"
+  head -n "${K}" "${WORKDIR}/full.jsonl" \
+      | cmp - "${WORKDIR}/killed.${K}.jsonl" \
+      || fail "K=${K}: killed prefix differs from the uninterrupted run"
+done
+
+echo "stream_chaos: PASS"

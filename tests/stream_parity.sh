@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Streaming characterization parity drill.
+#
+# The `stream` subcommand's hard contract: after the final decision the
+# streamed estimate is identical to the batch Characterize answer —
+# bitwise in exact math, and (because stream and batch share the same
+# serve kernels) bitwise in fast math too. The drill compares the final
+# JSONL line of a streamed run against the one-line batch-engine run for
+# every matcher, in both math modes, and checks the two modes agree on
+# the label field (semantic fast-math parity, like fast_math_parity.sh).
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() { echo "stream_parity: FAIL: $*" >&2; exit 1; }
+
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 12 --seed 47 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+STREAM=("${MEXI_CLI}" stream --dir "${DATA}" --rows "${ROWS}" \
+    --cols "${COLS}")
+
+for MODE in exact fast; do
+  MODE_FLAG=()
+  [ "${MODE}" = exact ] && MODE_FLAG=(--exact-math)
+
+  "${STREAM[@]}" "${MODE_FLAG[@]}" > "${WORKDIR}/stream.${MODE}.jsonl" \
+      || fail "stream (${MODE}) exited $?"
+  "${STREAM[@]}" "${MODE_FLAG[@]}" --engine batch \
+      > "${WORKDIR}/batch.${MODE}.jsonl" || fail "batch (${MODE}) exited $?"
+
+  # The streamed run's final lines (one per matcher) must be
+  # byte-identical to the batch engine's output.
+  grep '"final":true' "${WORKDIR}/stream.${MODE}.jsonl" \
+      > "${WORKDIR}/final.${MODE}.jsonl"
+  cmp "${WORKDIR}/final.${MODE}.jsonl" "${WORKDIR}/batch.${MODE}.jsonl" \
+      || fail "streamed final lines differ from batch answers (${MODE})"
+
+  # Emission shape: every matcher contributes its per-decision lines
+  # plus exactly one final line.
+  FINALS=$(wc -l < "${WORKDIR}/final.${MODE}.jsonl")
+  [ "${FINALS}" -eq 12 ] || fail "expected 12 final lines, got ${FINALS}"
+done
+
+# Streaming twice must be byte-identical (deterministic serve path).
+"${STREAM[@]}" > "${WORKDIR}/stream.fast2.jsonl" \
+    || fail "stream rerun exited $?"
+cmp "${WORKDIR}/stream.fast.jsonl" "${WORKDIR}/stream.fast2.jsonl" \
+    || fail "streamed output is not deterministic across runs"
+
+# Fast math may move last-ULP probabilities but never the labels.
+sed 's/.*"labels":\(\[[^]]*\]\).*/\1/' "${WORKDIR}/batch.exact.jsonl" \
+    > "${WORKDIR}/labels.exact.txt"
+sed 's/.*"labels":\(\[[^]]*\]\).*/\1/' "${WORKDIR}/batch.fast.jsonl" \
+    > "${WORKDIR}/labels.fast.txt"
+diff -u "${WORKDIR}/labels.exact.txt" "${WORKDIR}/labels.fast.txt" \
+    || fail "fast math changed streamed labels"
+
+echo "stream_parity: PASS"

@@ -1,0 +1,303 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/mexi.h"
+#include "ml/vmath/vmath.h"
+#include "parallel/parallel_for.h"
+#include "test_fixtures.h"
+
+namespace mexi {
+namespace {
+
+/// Fast MExI configuration mirroring test_mexi.cc: tiny networks, few
+/// epochs — streaming correctness is shape-independent.
+MexiConfig FastConfig() {
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  return config;
+}
+
+struct FastMathGuard {
+  explicit FastMathGuard(bool on) { ml::vmath::SetFastMath(on); }
+  ~FastMathGuard() { ml::vmath::SetFastMath(false); }
+};
+
+struct ScopedThreads {
+  explicit ScopedThreads(std::size_t n) { parallel::SetThreads(n); }
+  ~ScopedThreads() { parallel::SetThreads(0); }
+};
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(12, 47).release();
+    const auto measures = ComputeAllMeasures(fixture_->input);
+    const ExpertThresholds thresholds = FitThresholds(measures);
+    const auto labels = LabelsFromMeasures(measures, thresholds);
+    model_ = new Mexi(FastConfig());
+    model_->Fit(fixture_->input.matchers, labels, fixture_->input.context);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete fixture_;
+    model_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  /// Streams `view`'s trace in canonical interleave order up to `count`
+  /// decisions (all of them when count >= size) and returns every
+  /// emission including the trailing Finalize().
+  static std::vector<StreamEmission> StreamPrefix(const MatcherView& view,
+                                                  std::size_t count,
+                                                  bool trailing_movement) {
+    StreamingCharacterizer stream = model_->OpenStream(
+        view.source_size, view.target_size, view.movement->screen_width(),
+        view.movement->screen_height());
+    const auto& events = view.movement->events();
+    const std::size_t limit = std::min(count, view.history->size());
+    std::size_t next_event = 0;
+    std::vector<StreamEmission> emissions;
+    for (std::size_t k = 0; k < limit; ++k) {
+      const matching::Decision& d = view.history->at(k);
+      while (next_event < events.size() &&
+             events[next_event].timestamp <= d.timestamp) {
+        stream.PushMovement(events[next_event]);
+        ++next_event;
+      }
+      emissions.push_back(stream.PushDecision(d));
+    }
+    if (trailing_movement) {
+      while (next_event < events.size()) {
+        stream.PushMovement(events[next_event]);
+        ++next_event;
+      }
+    }
+    emissions.push_back(stream.Finalize());
+    return emissions;
+  }
+
+  /// EXPECT_EQ on every field of two emissions — bitwise, not approx.
+  static void ExpectBitwiseEqual(const StreamEmission& a,
+                                 const StreamEmission& b) {
+    EXPECT_EQ(a.decision_index, b.decision_index);
+    EXPECT_EQ(a.is_final, b.is_final);
+    EXPECT_EQ(a.label.ToVector(), b.label.ToVector());
+    ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+    for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+      EXPECT_EQ(a.probabilities[c], b.probabilities[c]) << "label " << c;
+    }
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+
+  static testing::StudyFixture* fixture_;
+  static Mexi* model_;
+};
+
+testing::StudyFixture* StreamingTest::fixture_ = nullptr;
+Mexi* StreamingTest::model_ = nullptr;
+
+/// The tentpole contract: after the final decision the streamed estimate
+/// is bitwise identical to batch Characterize — across prefix lengths,
+/// in exact math. EXPECT_EQ on doubles, no tolerance.
+TEST_F(StreamingTest, FinalizeMatchesBatchBitwiseAcrossTraceLengths) {
+  const MatcherView& view = fixture_->input.matchers[0];
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t length : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                             std::size_t{100}}) {
+    SCOPED_TRACE(length);
+    const matching::DecisionHistory prefix = view.history->Prefix(length);
+    ASSERT_FALSE(prefix.empty());
+    // The movement the stream has consumed by decision `length`:
+    // everything up to (inclusive) the last decision's timestamp.
+    const matching::MovementMap slice = view.movement->TimeSlice(
+        -inf, prefix.at(prefix.size() - 1).timestamp);
+    MatcherView prefix_view = view;
+    prefix_view.history = &prefix;
+    prefix_view.movement = &slice;
+
+    const ExpertLabel batch_label = model_->Characterize(prefix_view);
+    const std::vector<double> batch_proba =
+        model_->CharacterizeProba(prefix_view);
+
+    const auto emissions =
+        StreamPrefix(view, length, /*trailing_movement=*/false);
+    ASSERT_EQ(emissions.size(), prefix.size() + 1);
+    const StreamEmission& final = emissions.back();
+    EXPECT_TRUE(final.is_final);
+    EXPECT_EQ(final.decision_index, prefix.size());
+    EXPECT_EQ(final.label.ToVector(), batch_label.ToVector());
+    ASSERT_EQ(final.probabilities.size(), batch_proba.size());
+    for (std::size_t c = 0; c < batch_proba.size(); ++c) {
+      EXPECT_EQ(final.probabilities[c], batch_proba[c]) << "label " << c;
+    }
+  }
+}
+
+/// Same contract under fast math: stream and batch take the same SIMD
+/// paths, so the final emission still matches the batch answer exactly.
+TEST_F(StreamingTest, FinalizeMatchesBatchUnderFastMath) {
+  FastMathGuard fast(true);
+  for (std::size_t i : {std::size_t{0}, std::size_t{5}}) {
+    SCOPED_TRACE(i);
+    const MatcherView& view = fixture_->input.matchers[i];
+    const ExpertLabel batch_label = model_->Characterize(view);
+    const std::vector<double> batch_proba = model_->CharacterizeProba(view);
+    const auto emissions = StreamPrefix(view, view.history->size(),
+                                        /*trailing_movement=*/true);
+    const StreamEmission& final = emissions.back();
+    EXPECT_EQ(final.label.ToVector(), batch_label.ToVector());
+    ASSERT_EQ(final.probabilities.size(), batch_proba.size());
+    for (std::size_t c = 0; c < batch_proba.size(); ++c) {
+      EXPECT_EQ(final.probabilities[c], batch_proba[c]) << "label " << c;
+    }
+  }
+}
+
+/// CharacterizeStream over the ragged multi-matcher population (every
+/// trace a different length): each matcher's final emission equals its
+/// batch answer, and the per-decision emission count matches the trace.
+TEST_F(StreamingTest, CharacterizeStreamMatchesBatchOnRaggedPopulation) {
+  const auto& matchers = fixture_->input.matchers;
+  const auto all = model_->CharacterizeStream(matchers);
+  ASSERT_EQ(all.size(), matchers.size());
+  for (std::size_t i = 0; i < matchers.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(all[i].size(), matchers[i].history->size() + 1);
+    const StreamEmission& final = all[i].back();
+    EXPECT_TRUE(final.is_final);
+    const ExpertLabel batch_label = model_->Characterize(matchers[i]);
+    const std::vector<double> batch_proba =
+        model_->CharacterizeProba(matchers[i]);
+    EXPECT_EQ(final.label.ToVector(), batch_label.ToVector());
+    ASSERT_EQ(final.probabilities.size(), batch_proba.size());
+    for (std::size_t c = 0; c < batch_proba.size(); ++c) {
+      EXPECT_EQ(final.probabilities[c], batch_proba[c]);
+    }
+    for (std::size_t k = 0; k + 1 < all[i].size(); ++k) {
+      EXPECT_EQ(all[i][k].decision_index, k + 1);
+      EXPECT_FALSE(all[i][k].is_final);
+    }
+  }
+}
+
+/// Determinism across the ThreadPool: 1-thread and 8-thread
+/// CharacterizeStream runs are bitwise identical, emission by emission,
+/// in both math modes.
+TEST_F(StreamingTest, ThreadCountInvariantInBothMathModes) {
+  const auto& matchers = fixture_->input.matchers;
+  for (bool fast : {false, true}) {
+    SCOPED_TRACE(fast ? "fast" : "exact");
+    FastMathGuard guard(fast);
+    std::vector<std::vector<StreamEmission>> single, eight;
+    {
+      ScopedThreads threads(1);
+      single = model_->CharacterizeStream(matchers);
+    }
+    {
+      ScopedThreads threads(8);
+      eight = model_->CharacterizeStream(matchers);
+    }
+    ASSERT_EQ(single.size(), eight.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_EQ(single[i].size(), eight[i].size());
+      for (std::size_t k = 0; k < single[i].size(); ++k) {
+        ExpectBitwiseEqual(single[i][k], eight[i][k]);
+      }
+    }
+  }
+}
+
+/// Finalize is non-destructive: the stream keeps advancing afterwards
+/// and a later Finalize still matches the longer batch answer.
+TEST_F(StreamingTest, FinalizeIsNonDestructive) {
+  const MatcherView& view = fixture_->input.matchers[1];
+  ASSERT_GT(view.history->size(), 4u);
+  StreamingCharacterizer stream = model_->OpenStream(
+      view.source_size, view.target_size, view.movement->screen_width(),
+      view.movement->screen_height());
+  for (std::size_t k = 0; k < 3; ++k) stream.PushDecision(view.history->at(k));
+  const StreamEmission mid = stream.Finalize();
+  EXPECT_EQ(mid.decision_index, 3u);
+  stream.PushDecision(view.history->at(3));
+  const StreamEmission later = stream.Finalize();
+  EXPECT_EQ(later.decision_index, 4u);
+
+  const matching::DecisionHistory prefix = view.history->Prefix(4);
+  const matching::MovementMap empty_slice =
+      view.movement->TimeSlice(1.0, 0.0);
+  MatcherView prefix_view = view;
+  prefix_view.history = &prefix;
+  prefix_view.movement = &empty_slice;
+  const std::vector<double> batch_proba =
+      model_->CharacterizeProba(prefix_view);
+  ASSERT_EQ(later.probabilities.size(), batch_proba.size());
+  for (std::size_t c = 0; c < batch_proba.size(); ++c) {
+    EXPECT_EQ(later.probabilities[c], batch_proba[c]);
+  }
+}
+
+/// The amortized-O(1) contract, audited by the op counters: no
+/// trace-length buffer is ever scanned inside PushDecision (only
+/// Finalize's single exactness pass reads the buffers), and the
+/// accumulator work per decision is a small constant independent of how
+/// deep into the trace the decision lands.
+TEST_F(StreamingTest, PerDecisionUpdateCostIsConstant) {
+  const MatcherView& view = fixture_->input.matchers[0];
+  StreamingCharacterizer stream = model_->OpenStream(
+      view.source_size, view.target_size, 1920.0, 1080.0);
+
+  constexpr std::size_t kTrace = 300;
+  constexpr std::uint64_t kMaxOpsPerDecision = 8;
+  std::uint64_t prev_ops = 0;
+  for (std::size_t k = 0; k < kTrace; ++k) {
+    // Synthetic trace cycling over pairs (revisits exercise the
+    // add/remove consistency path) with strictly increasing timestamps.
+    matching::MovementEvent event;
+    event.x = static_cast<double>((k * 37) % 1920);
+    event.y = static_cast<double>((k * 53) % 1080);
+    event.timestamp = static_cast<double>(k);
+    event.type = static_cast<matching::MovementType>(k % 4);
+    stream.PushMovement(event);
+
+    matching::Decision d;
+    d.source = k % view.source_size;
+    d.target = (k / 7) % view.target_size;
+    d.confidence = 0.1 + 0.8 * static_cast<double>(k % 10) / 10.0;
+    d.timestamp = static_cast<double>(k) + 0.5;
+    stream.PushDecision(d);
+
+    const StreamCost& cost = stream.cost();
+    EXPECT_EQ(cost.trace_buffer_scans, 0u)
+        << "decision " << k << " re-scanned the trace";
+    const std::uint64_t delta = cost.decision_update_ops - prev_ops;
+    EXPECT_LE(delta, kMaxOpsPerDecision) << "decision " << k;
+    prev_ops = cost.decision_update_ops;
+  }
+  EXPECT_EQ(stream.cost().decisions, kTrace);
+  EXPECT_EQ(stream.cost().movement_events, kTrace);
+
+  // Finalize accounts its single pass over the append-only buffers.
+  stream.Finalize();
+  EXPECT_EQ(stream.cost().trace_buffer_scans, 2u * kTrace);
+}
+
+/// OpenStream before Fit is a usage error.
+TEST_F(StreamingTest, OpenStreamBeforeFitThrows) {
+  Mexi unfitted(FastConfig());
+  EXPECT_THROW(unfitted.OpenStream(10, 10, 1920.0, 1080.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mexi

@@ -15,6 +15,14 @@ perfetto.dev:
   event  -> instant event   (ph "i", thread scope, fields as args)
   meta   -> process metadata (ph "M" process_name + run args)
 
+Streaming-characterization spans ("stream.decision", "stream.finalize";
+see src/core/streaming.cc) get extra treatment so a per-decision run
+reads as a stream rather than an undifferentiated span pile: they are
+categorized as cat "stream", each stream.decision span carries its
+1-based per-thread decision index as an arg, and a "stream decisions"
+counter track (ph "C") plots the cumulative decision count over time —
+the slope of that track is the live decisions/sec of the run.
+
 Timestamp-free snapshot records cannot be placed on the timeline and
 are skipped (counted on stderr). Malformed lines are tolerated the same
 way: a crashed producer leaves a usable prefix behind, and a trace
@@ -40,7 +48,10 @@ def convert(lines):
     """Returns (trace_events, stats) for an iterable of JSONL lines."""
     events = []
     tids = {}
-    stats = {"spans": 0, "events": 0, "skipped": 0, "malformed": 0}
+    decision_index = {}  # tid -> running stream.decision count
+    decisions_total = 0
+    stats = {"spans": 0, "events": 0, "skipped": 0, "malformed": 0,
+             "stream": 0}
     for line in lines:
         line = line.strip()
         if not line:
@@ -54,8 +65,9 @@ def convert(lines):
         if kind == "span":
             try:
                 tid = thread_label(tids, record["thread"])
-                events.append({
-                    "name": record["name"],
+                name = record["name"]
+                span = {
+                    "name": name,
                     "ph": "X",
                     "ts": record["start_ns"] / 1e3,
                     "dur": record["dur_ns"] / 1e3,
@@ -67,7 +79,25 @@ def convert(lines):
                         "depth": record.get("depth"),
                         "seq": record.get("seq"),
                     },
-                })
+                }
+                if name.startswith("stream."):
+                    span["cat"] = "stream"
+                    stats["stream"] += 1
+                    if name == "stream.decision":
+                        decision_index[tid] = decision_index.get(tid, 0) + 1
+                        span["args"]["decision"] = decision_index[tid]
+                        decisions_total += 1
+                        # Cumulative-decisions counter track: its slope
+                        # is the run's live decisions/sec.
+                        events.append({
+                            "name": "stream decisions",
+                            "ph": "C",
+                            "ts": (record["start_ns"] +
+                                   record["dur_ns"]) / 1e3,
+                            "pid": 1,
+                            "args": {"decisions": decisions_total},
+                        })
+                events.append(span)
                 stats["spans"] += 1
             except (KeyError, TypeError):
                 stats["malformed"] += 1
@@ -140,6 +170,10 @@ def main(argv=None):
         "trace_to_chrome: %d spans, %d instants -> %s"
         % (stats["spans"], stats["events"], out_path),
         file=sys.stderr)
+    if stats["stream"]:
+        print(
+            "trace_to_chrome: %d stream spans rendered on the 'stream' "
+            "category" % stats["stream"], file=sys.stderr)
     if stats["skipped"]:
         print(
             "trace_to_chrome: skipped %d timestamp-free snapshot records"
