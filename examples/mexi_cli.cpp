@@ -50,6 +50,7 @@
 #include "robust/fault_injection.h"
 #include "robust/serialize.h"
 #include "robust/status.h"
+#include "serve/bundle.h"
 #include "sim/study.h"
 #include "stats/rng.h"
 
@@ -112,6 +113,9 @@ int Usage() {
       "                        the incremental streaming engine; the\n"
       "                        final line per matcher is byte-identical\n"
       "                        to the batch engine's answer.\n"
+      "  mexi_cli bundle       --dir DIR --rows N --cols M --out PATH\n"
+      "                        train MExI_50 on the study and write the\n"
+      "                        versioned serve bundle mexi_serve loads.\n"
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
       "                1 = sequential; default: MEXI_THREADS or auto).\n"
@@ -414,6 +418,33 @@ int CmdFuse(const Args& args) {
   return 0;
 }
 
+int CmdBundle(const Args& args) {
+  const std::string dir = args.Get("dir");
+  const std::string out = args.Get("out");
+  const long rows = args.GetLong("rows", 0);
+  const long cols = args.GetLong("cols", 0);
+  if (dir.empty() || out.empty() || rows <= 0 || cols <= 0) return Usage();
+  const LoadedStudy study =
+      Load(dir, static_cast<std::size_t>(rows),
+           static_cast<std::size_t>(cols));
+
+  // The stream/characterize training recipe: population thresholds, one
+  // full MExI_50 fit. Training is pinned exact (TrainingScope), so the
+  // bundle bytes are reproducible run to run.
+  const auto measures = ComputeAllMeasures(study.input);
+  const ExpertThresholds thresholds = FitThresholds(measures);
+  const auto labels = LabelsFromMeasures(measures, thresholds);
+  Mexi model(Mexi50Config());
+  model.Fit(study.input.matchers, labels, study.input.context);
+
+  serve::SaveBundle(out, model);
+  std::printf("wrote bundle %s (fingerprint=%llu, %zu matchers trained)\n",
+              out.c_str(),
+              static_cast<unsigned long long>(model.ConfigFingerprint()),
+              study.input.matchers.size());
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -434,6 +465,7 @@ int RunCommand(const Args& args) {
   if (args.command == "characterize") return CmdCharacterize(args);
   if (args.command == "fuse") return CmdFuse(args);
   if (args.command == "stream") return CmdStream(args);
+  if (args.command == "bundle") return CmdBundle(args);
   return Usage();
 }
 

@@ -1,0 +1,138 @@
+// mexi_serve — the MExI characterization server.
+//
+// Loads a versioned model bundle (written by `mexi_cli bundle`) and
+// serves batch and streaming characterization over a dependency-free
+// HTTP/1.1 endpoint. See src/serve/server.h for the endpoint and
+// robustness contracts, and DESIGN.md §13 for the drain state machine.
+//
+//   mexi_serve --bundle model.mxb --port 8080
+//   curl -s localhost:8080/status
+//   curl -s -X POST --data-binary @traces.csv \
+//       'localhost:8080/characterize?rows=6&cols=6'
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ml/vmath/vmath.h"
+#include "obs/obs.h"
+#include "robust/checkpoint.h"
+#include "serve/bundle.h"
+#include "serve/server.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mexi_serve --bundle PATH [options]\n"
+      "  --bundle PATH        model bundle from `mexi_cli bundle` "
+      "(required)\n"
+      "  --host HOST          bind address (default 127.0.0.1)\n"
+      "  --port N             port; 0 picks an ephemeral one (default 0)\n"
+      "  --queue-max N        in-flight admission bound; beyond it "
+      "requests\n"
+      "                       are shed with 503 + Retry-After (default "
+      "32)\n"
+      "  --deadline-ms N      default per-request compute budget; expiry\n"
+      "                       answers 504 (default 2000)\n"
+      "  --read-timeout-ms N  drop clients idle this long (default 5000)\n"
+      "  --write-timeout-ms N drop clients stalling writes this long\n"
+      "                       (default 5000)\n"
+      "  --workers N          compute worker threads (default 1)\n"
+      "  --checkpoint-dir DIR commit the drain audit checkpoint here on\n"
+      "                       graceful shutdown (default: none)\n"
+      "  --metrics-out DIR    arm the observability JSONL sinks\n"
+      "  --exact-math         serve with exact scalar transcendentals\n"
+      "                       (default: gated fast math, like `mexi_cli\n"
+      "                       characterize`; env MEXI_FAST_MATH=0 also\n"
+      "                       opts out)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bundle_path;
+  std::string metrics_out;
+  bool exact_math = false;
+  mexi::serve::ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--bundle" && has_value) {
+      bundle_path = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      config.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      config.port = std::atoi(argv[++i]);
+    } else if (arg == "--queue-max" && has_value) {
+      config.queue_max = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--deadline-ms" && has_value) {
+      config.deadline_ms = std::atoi(argv[++i]);
+    } else if (arg == "--read-timeout-ms" && has_value) {
+      config.read_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--write-timeout-ms" && has_value) {
+      config.write_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      config.num_workers = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--checkpoint-dir" && has_value) {
+      config.checkpoint_dir = argv[++i];
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = argv[++i];
+    } else if (arg == "--exact-math") {
+      exact_math = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (bundle_path.empty()) return Usage();
+
+  // Serving is a durability context: the drain checkpoint is the audit
+  // record of what this process answered, so fsync-on-commit defaults ON
+  // here (MEXI_CKPT_FSYNC=0 still opts out — see DESIGN.md §13).
+  mexi::robust::SetFsyncDefault(true);
+
+  // Serve-path math default: gated fast mode unless the user or the
+  // environment pins exact (same contract as `mexi_cli characterize`).
+  if (exact_math) {
+    mexi::ml::vmath::SetFastMath(false);
+  } else {
+    const char* env = std::getenv("MEXI_FAST_MATH");
+    const bool env_off = env != nullptr && env[0] == '0' && env[1] == '\0';
+    if (!env_off) mexi::ml::vmath::SetFastMath(true);
+  }
+
+  mexi::obs::Observability& hub = mexi::obs::Observability::Global();
+  if (!metrics_out.empty()) hub.EnableMetrics(metrics_out);
+
+  try {
+    std::uint64_t fingerprint = 0;
+    mexi::Mexi model = mexi::serve::LoadBundle(bundle_path, &fingerprint);
+    mexi::serve::Server server(config, std::move(model), fingerprint);
+    server.Start();
+    mexi::serve::Server::InstallSignalHandlers(&server);
+    // The "listening" line is the readiness signal scripts wait for; it
+    // also carries the ephemeral port when --port 0 was used.
+    std::printf("mexi_serve: listening on %s:%d bundle_fingerprint=%llu\n",
+                config.host.c_str(), server.port(),
+                static_cast<unsigned long long>(fingerprint));
+    std::fflush(stdout);
+    server.Run();
+    const mexi::serve::ServerStats stats = server.Stats();
+    std::printf("mexi_serve: drained (requests_total=%llu responses_ok=%llu "
+                "shed=%llu deadline_expired=%llu)\n",
+                static_cast<unsigned long long>(stats.requests_total),
+                static_cast<unsigned long long>(stats.responses_ok),
+                static_cast<unsigned long long>(stats.shed_total),
+                static_cast<unsigned long long>(stats.deadline_expired_total));
+    std::fflush(stdout);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mexi_serve: %s\n", error.what());
+    hub.Shutdown();
+    return 1;
+  }
+  hub.Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "core/config_io.h"
+
+namespace mexi {
+
+namespace {
+
+void WriteAdamConfig(robust::BinaryWriter& writer,
+                     const ml::AdamOptimizer::Config& config) {
+  writer.WriteDouble(config.learning_rate);
+  writer.WriteDouble(config.beta1);
+  writer.WriteDouble(config.beta2);
+  writer.WriteDouble(config.epsilon);
+}
+
+ml::AdamOptimizer::Config ReadAdamConfig(robust::BinaryReader& reader) {
+  ml::AdamOptimizer::Config config;
+  config.learning_rate = reader.ReadDouble();
+  config.beta1 = reader.ReadDouble();
+  config.beta2 = reader.ReadDouble();
+  config.epsilon = reader.ReadDouble();
+  return config;
+}
+
+}  // namespace
+
+void WriteLstmConfig(robust::BinaryWriter& writer,
+                     const ml::LstmSequenceModel::Config& config) {
+  writer.WriteU64(config.input_dim);
+  writer.WriteU64(config.hidden_dim);
+  writer.WriteU64(config.dense_dim);
+  writer.WriteU64(config.num_labels);
+  writer.WriteDouble(config.dropout);
+  writer.WriteI64(config.epochs);
+  writer.WriteU64(config.batch_size);
+  WriteAdamConfig(writer, config.adam);
+  writer.WriteU64(config.seed);
+}
+
+ml::LstmSequenceModel::Config ReadLstmConfig(robust::BinaryReader& reader) {
+  ml::LstmSequenceModel::Config config;
+  config.input_dim = static_cast<std::size_t>(reader.ReadU64());
+  config.hidden_dim = static_cast<std::size_t>(reader.ReadU64());
+  config.dense_dim = static_cast<std::size_t>(reader.ReadU64());
+  config.num_labels = static_cast<std::size_t>(reader.ReadU64());
+  config.dropout = reader.ReadDouble();
+  config.epochs = static_cast<int>(reader.ReadI64());
+  config.batch_size = static_cast<std::size_t>(reader.ReadU64());
+  config.adam = ReadAdamConfig(reader);
+  config.seed = reader.ReadU64();
+  return config;
+}
+
+void WriteCnnConfig(robust::BinaryWriter& writer,
+                    const ml::CnnImageModel::Config& config) {
+  writer.WriteU64(config.image_rows);
+  writer.WriteU64(config.image_cols);
+  writer.WriteU64(config.conv1_filters);
+  writer.WriteU64(config.conv2_filters);
+  writer.WriteU64(config.dense_dim);
+  writer.WriteU64(config.num_labels);
+  writer.WriteI64(config.epochs);
+  writer.WriteU64(config.batch_size);
+  WriteAdamConfig(writer, config.adam);
+  writer.WriteU64(config.seed);
+}
+
+ml::CnnImageModel::Config ReadCnnConfig(robust::BinaryReader& reader) {
+  ml::CnnImageModel::Config config;
+  config.image_rows = static_cast<std::size_t>(reader.ReadU64());
+  config.image_cols = static_cast<std::size_t>(reader.ReadU64());
+  config.conv1_filters = static_cast<std::size_t>(reader.ReadU64());
+  config.conv2_filters = static_cast<std::size_t>(reader.ReadU64());
+  config.dense_dim = static_cast<std::size_t>(reader.ReadU64());
+  config.num_labels = static_cast<std::size_t>(reader.ReadU64());
+  config.epochs = static_cast<int>(reader.ReadI64());
+  config.batch_size = static_cast<std::size_t>(reader.ReadU64());
+  config.adam = ReadAdamConfig(reader);
+  config.seed = reader.ReadU64();
+  return config;
+}
+
+void WriteMexiConfig(robust::BinaryWriter& writer, const MexiConfig& config) {
+  writer.WriteTag("MXCF");
+  writer.WriteString(config.name);
+  writer.WriteU8(static_cast<std::uint8_t>(config.submatcher_mode));
+  writer.WriteBool(config.use_lrsm);
+  writer.WriteBool(config.use_beh);
+  writer.WriteBool(config.use_mou);
+  writer.WriteBool(config.use_seq);
+  writer.WriteBool(config.use_spa);
+  writer.WriteBool(config.use_con);
+  WriteLstmConfig(writer, config.seq.lstm);
+  writer.WriteDouble(config.seq.time_scale);
+  WriteCnnConfig(writer, config.spa.cnn);
+  writer.WriteU64(config.spa.pretrain_images);
+  writer.WriteI64(config.spa.pretrain_epochs);
+  writer.WriteU64(config.spa.seed);
+  writer.WriteU64(config.selection_folds);
+  writer.WriteBool(config.balanced_selection);
+  writer.WriteU64(config.max_features);
+  writer.WriteBool(config.oof_fusion);
+  writer.WriteU64(config.batch_size);
+  writer.WriteU64(config.seed);
+}
+
+MexiConfig ReadMexiConfig(robust::BinaryReader& reader) {
+  reader.ExpectTag("MXCF");
+  MexiConfig config;
+  config.name = reader.ReadString();
+  const std::uint8_t mode = reader.ReadU8();
+  if (mode > static_cast<std::uint8_t>(SubmatcherMode::kMulti70)) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "bad submatcher mode " + std::to_string(mode));
+  }
+  config.submatcher_mode = static_cast<SubmatcherMode>(mode);
+  config.use_lrsm = reader.ReadBool();
+  config.use_beh = reader.ReadBool();
+  config.use_mou = reader.ReadBool();
+  config.use_seq = reader.ReadBool();
+  config.use_spa = reader.ReadBool();
+  config.use_con = reader.ReadBool();
+  config.seq.lstm = ReadLstmConfig(reader);
+  config.seq.time_scale = reader.ReadDouble();
+  config.spa.cnn = ReadCnnConfig(reader);
+  config.spa.pretrain_images = static_cast<std::size_t>(reader.ReadU64());
+  config.spa.pretrain_epochs = static_cast<int>(reader.ReadI64());
+  config.spa.seed = reader.ReadU64();
+  config.selection_folds = static_cast<std::size_t>(reader.ReadU64());
+  config.balanced_selection = reader.ReadBool();
+  config.max_features = static_cast<std::size_t>(reader.ReadU64());
+  config.oof_fusion = reader.ReadBool();
+  config.batch_size = static_cast<std::size_t>(reader.ReadU64());
+  config.seed = reader.ReadU64();
+  return config;
+}
+
+std::uint64_t MexiConfigFingerprint(const MexiConfig& config) {
+  robust::BinaryWriter writer;
+  WriteMexiConfig(writer, config);
+  return robust::Fnv1a(writer.buffer().data(), writer.size());
+}
+
+}  // namespace mexi

@@ -1,0 +1,34 @@
+#ifndef MEXI_CORE_CONFIG_IO_H_
+#define MEXI_CORE_CONFIG_IO_H_
+
+#include <cstdint>
+
+#include "core/mexi.h"
+#include "robust/serialize.h"
+
+namespace mexi {
+
+/// Binary round-trip of every MexiConfig field (nested LSTM/CNN/Adam
+/// hyper-parameters included). The byte stream doubles as the bundle's
+/// config fingerprint input: any hyper-parameter drift between the
+/// process serving a bundle and the process that trained it changes the
+/// bytes and therefore the fingerprint, so mismatches are rejected at
+/// load time instead of silently serving a different model family.
+void WriteMexiConfig(robust::BinaryWriter& writer, const MexiConfig& config);
+MexiConfig ReadMexiConfig(robust::BinaryReader& reader);
+
+/// FNV-1a over the WriteMexiConfig byte stream.
+std::uint64_t MexiConfigFingerprint(const MexiConfig& config);
+
+/// Nested-config helpers (exposed for the feature extractors' own
+/// SaveState sections).
+void WriteLstmConfig(robust::BinaryWriter& writer,
+                     const ml::LstmSequenceModel::Config& config);
+ml::LstmSequenceModel::Config ReadLstmConfig(robust::BinaryReader& reader);
+void WriteCnnConfig(robust::BinaryWriter& writer,
+                    const ml::CnnImageModel::Config& config);
+ml::CnnImageModel::Config ReadCnnConfig(robust::BinaryReader& reader);
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_CONFIG_IO_H_

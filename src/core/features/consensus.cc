@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ml/serialize.h"
 #include "stats/descriptive.h"
 
 namespace mexi {
@@ -32,6 +33,18 @@ double ConsensusMap::Share(std::size_t i, std::size_t j) const {
 double ConsensusMap::Count(std::size_t i, std::size_t j) const {
   if (i >= counts_.rows() || j >= counts_.cols()) return 0.0;
   return counts_(i, j);
+}
+
+void ConsensusMap::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("CONS");
+  writer.WriteU64(num_matchers_);
+  ml::WriteMatrix(writer, counts_);
+}
+
+void ConsensusMap::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("CONS");
+  num_matchers_ = static_cast<std::size_t>(reader.ReadU64());
+  counts_ = ml::ReadMatrix(reader);
 }
 
 double ConsensusMap::MeanShare(

@@ -6,6 +6,7 @@
 
 #include "matching/decision_history.h"
 #include "ml/matrix.h"
+#include "robust/serialize.h"
 
 namespace mexi {
 
@@ -36,6 +37,11 @@ class ConsensusMap {
   /// Mean consensus share over a history's distinct final pairs — the
   /// aggregate consensuality of one matcher.
   double MeanShare(const matching::DecisionHistory& history) const;
+
+  /// Exact (bitwise) round-trip of the trained statistics, for the
+  /// serve-path model bundle.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
 
  private:
   ml::Matrix counts_;

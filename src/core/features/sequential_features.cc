@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/config_io.h"
+
 namespace mexi {
 
 SequentialFeatureExtractor::Config
@@ -109,6 +111,28 @@ std::vector<double> SequentialFeatureExtractor::StreamValues(
     throw std::logic_error("SequentialFeatureExtractor: not fitted");
   }
   return model_.StreamProbabilities(state.lstm);
+}
+
+void SequentialFeatureExtractor::SaveState(
+    robust::BinaryWriter& writer) const {
+  writer.WriteTag("SEQX");
+  WriteLstmConfig(writer, config_.lstm);
+  writer.WriteDouble(config_.time_scale);
+  consensus_.SaveState(writer);
+  model_.SaveState(writer);
+  writer.WriteBool(fitted_);
+}
+
+void SequentialFeatureExtractor::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("SEQX");
+  config_.lstm = ReadLstmConfig(reader);
+  config_.time_scale = reader.ReadDouble();
+  consensus_.LoadState(reader);
+  // Rebuild the model under the restored architecture before loading
+  // weights — LoadState validates shapes against the live config.
+  model_ = ml::LstmSequenceModel(config_.lstm);
+  model_.LoadState(reader);
+  fitted_ = reader.ReadBool();
 }
 
 std::vector<std::vector<double>> SequentialFeatureExtractor::ExtractAllValues(

@@ -81,6 +81,12 @@ class SequentialFeatureExtractor {
   /// adaptation for cross-task transfer). The trained LSTM weights stay.
   void SetConsensus(const ConsensusMap& consensus);
 
+  /// Self-contained round-trip (config + consensus + LSTM weights): a
+  /// default-constructed extractor restores to a bitwise-identical
+  /// predictor, for the serve-path model bundle.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
   bool fitted() const { return fitted_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/config_io.h"
 #include "ml/vmath/vmath.h"
 
 namespace mexi {
@@ -168,6 +169,44 @@ std::vector<std::vector<double>> SpatialFeatureExtractor::ExtractAllValues(
     }
   }
   return out;
+}
+
+void SpatialFeatureExtractor::SaveState(robust::BinaryWriter& writer) const {
+  writer.WriteTag("SPAX");
+  WriteCnnConfig(writer, config_.cnn);
+  writer.WriteU64(config_.pretrain_images);
+  writer.WriteI64(config_.pretrain_epochs);
+  writer.WriteU64(config_.seed);
+  writer.WriteU64(models_.size());
+  for (const auto& model : models_) {
+    // Each network carries its own config: Fit draws a distinct seed per
+    // movement type, and LoadState must rebuild under that exact config.
+    WriteCnnConfig(writer, model->config());
+    model->SaveState(writer);
+  }
+  writer.WriteBool(fitted_);
+}
+
+void SpatialFeatureExtractor::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("SPAX");
+  config_.cnn = ReadCnnConfig(reader);
+  config_.pretrain_images = static_cast<std::size_t>(reader.ReadU64());
+  config_.pretrain_epochs = static_cast<int>(reader.ReadI64());
+  config_.seed = reader.ReadU64();
+  const std::uint64_t count = reader.ReadU64();
+  if (count != static_cast<std::uint64_t>(matching::kNumMovementTypes)) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "spatial extractor expects one CNN per movement "
+                        "type, checkpoint has " + std::to_string(count));
+  }
+  models_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ml::CnnImageModel::Config cnn_config = ReadCnnConfig(reader);
+    auto model = std::make_unique<ml::CnnImageModel>(cnn_config);
+    model->LoadState(reader);
+    models_.push_back(std::move(model));
+  }
+  fitted_ = reader.ReadBool();
 }
 
 std::vector<double> SpatialFeatureExtractor::ExtractValuesFromImages(

@@ -64,6 +64,12 @@ class SpatialFeatureExtractor {
       const std::vector<ml::Image>& images,
       ml::CnnImageModel::PredictBatchWorkspace& ws) const;
 
+  /// Self-contained round-trip (config + the four CNNs, each with its
+  /// own drawn seed config): a default-constructed extractor restores to
+  /// a bitwise-identical predictor, for the serve-path model bundle.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
   bool fitted() const { return fitted_; }
 
  private:

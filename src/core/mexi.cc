@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/config_io.h"
 #include "core/features/aggregated_features.h"
 #include "core/features/consistency_features.h"
 #include "ml/model_selection.h"
@@ -447,6 +448,102 @@ double Mexi::ExpertScore(const MatcherView& matcher) const {
   double total = 0.0;
   for (double p : probabilities) total += p;
   return total / static_cast<double>(probabilities.size());
+}
+
+void Mexi::SaveState(robust::BinaryWriter& writer) const {
+  if (!fitted_ || label_classifiers_.empty()) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "Mexi::SaveState before Fit");
+  }
+  writer.WriteTag("MEXI");
+  WriteMexiConfig(writer, config_);
+  // Task context: dimensions only. The warm-up reference belongs to the
+  // qualification baselines' training protocol, not to serve state.
+  writer.WriteU64(context_.source_size);
+  writer.WriteU64(context_.target_size);
+  writer.WriteU64(context_.warmup_source_size);
+  writer.WriteU64(context_.warmup_target_size);
+  consensus_.SaveState(writer);
+  writer.WriteBool(seq_extractor_ != nullptr);
+  if (seq_extractor_ != nullptr) seq_extractor_->SaveState(writer);
+  writer.WriteBool(spa_extractor_ != nullptr);
+  if (spa_extractor_ != nullptr) spa_extractor_->SaveState(writer);
+  writer.WriteU64(label_classifiers_.size());
+  for (std::size_t c = 0; c < label_classifiers_.size(); ++c) {
+    writer.WriteString(selected_models_[c]);
+    label_classifiers_[c]->SaveState(writer);
+    writer.WriteU64(selected_features_[c].size());
+    for (std::size_t idx : selected_features_[c]) writer.WriteU64(idx);
+    writer.WriteDouble(label_thresholds_[c]);
+  }
+}
+
+void Mexi::LoadState(robust::BinaryReader& reader) {
+  reader.ExpectTag("MEXI");
+  config_ = ReadMexiConfig(reader);
+  context_ = TaskContext();
+  context_.source_size = static_cast<std::size_t>(reader.ReadU64());
+  context_.target_size = static_cast<std::size_t>(reader.ReadU64());
+  context_.warmup_source_size = static_cast<std::size_t>(reader.ReadU64());
+  context_.warmup_target_size = static_cast<std::size_t>(reader.ReadU64());
+  consensus_.LoadState(reader);
+  if (reader.ReadBool()) {
+    // Placeholder config; the extractor's LoadState restores its own.
+    seq_extractor_ =
+        std::make_unique<SequentialFeatureExtractor>(config_.seq);
+    seq_extractor_->LoadState(reader);
+  } else {
+    seq_extractor_.reset();
+  }
+  if (reader.ReadBool()) {
+    spa_extractor_ = std::make_unique<SpatialFeatureExtractor>(config_.spa);
+    spa_extractor_->LoadState(reader);
+  } else {
+    spa_extractor_.reset();
+  }
+  const std::uint64_t num_labels = reader.ReadU64();
+  if (num_labels != CharacteristicNames().size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "bundle has " + std::to_string(num_labels) +
+                            " label classifiers, expected " +
+                            std::to_string(CharacteristicNames().size()));
+  }
+  const auto zoo = ml::DefaultModelZoo();
+  label_classifiers_.clear();
+  selected_models_.clear();
+  selected_features_.clear();
+  label_thresholds_.clear();
+  for (std::uint64_t c = 0; c < num_labels; ++c) {
+    const std::string name = reader.ReadString();
+    std::unique_ptr<ml::BinaryClassifier> classifier;
+    for (const auto& prototype : zoo) {
+      if (prototype->Name() == name) {
+        classifier = prototype->Clone();
+        break;
+      }
+    }
+    if (classifier == nullptr) {
+      robust::ThrowStatus(robust::StatusCode::kCorruption,
+                          "bundle selected classifier '" + name +
+                              "' is not in the model zoo");
+    }
+    classifier->LoadState(reader);
+    label_classifiers_.push_back(std::move(classifier));
+    selected_models_.push_back(name);
+    const std::uint64_t selected = reader.ReadU64();
+    std::vector<std::size_t> indices;
+    indices.reserve(static_cast<std::size_t>(selected));
+    for (std::uint64_t i = 0; i < selected; ++i) {
+      indices.push_back(static_cast<std::size_t>(reader.ReadU64()));
+    }
+    selected_features_.push_back(std::move(indices));
+    label_thresholds_.push_back(reader.ReadDouble());
+  }
+  fitted_ = true;
+}
+
+std::uint64_t Mexi::ConfigFingerprint() const {
+  return MexiConfigFingerprint(config_);
 }
 
 MexiConfig MexiEmptyConfig() {

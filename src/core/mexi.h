@@ -150,6 +150,21 @@ class Mexi : public Characterizer {
 
   const MexiConfig& config() const { return config_; }
 
+  /// Serializes the complete fitted serve state — config, task dims,
+  /// consensus, both deep extractors, and every selected per-label
+  /// classifier (restored polymorphically by zoo name). A
+  /// default-constructed Mexi restores to a bitwise-identical predictor:
+  /// Characterize / CharacterizeAll / OpenStream all reproduce the
+  /// original model's outputs exactly. Requires Fit();
+  /// throws StatusError(kInvalidArgument) on an unfitted model.
+  void SaveState(robust::BinaryWriter& writer) const;
+  void LoadState(robust::BinaryReader& reader);
+
+  /// FNV-1a fingerprint of this model's configuration; embedded in
+  /// serve bundles so a config drift between trainer and server is
+  /// rejected at load time.
+  std::uint64_t ConfigFingerprint() const;
+
  private:
   /// The streaming engine reads the frozen serve-path state (consensus,
   /// extractors, fused classifiers, selection masks) directly.

@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "robust/status.h"
 #include "stats/descriptive.h"
 
 namespace mexi {
@@ -160,6 +161,32 @@ double StreamingCharacterizer::RunningMedian() const {
 
 StreamEmission StreamingCharacterizer::PushDecision(
     const matching::Decision& d) {
+  // Validate before any accumulator mutation, so a rejected decision
+  // leaves the stream exactly as it was and the next emission still
+  // describes the accepted prefix (tests/test_streaming.cc locks this).
+  // history_.Add would catch most of these too — but only after the
+  // running sums had already absorbed the bad decision.
+  if (!std::isfinite(d.confidence) || d.confidence < 0.0 ||
+      d.confidence > 1.0) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "PushDecision: confidence must be a finite value "
+                        "in [0, 1]");
+  }
+  if (!std::isfinite(d.timestamp) ||
+      (!history_.empty() &&
+       d.timestamp < history_.at(history_.size() - 1).timestamp)) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "PushDecision: timestamps must be finite and "
+                        "non-decreasing");
+  }
+  if (d.source >= source_size_ || d.target >= target_size_) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "PushDecision: pair (" + std::to_string(d.source) +
+                            "," + std::to_string(d.target) +
+                            ") lies outside the " +
+                            std::to_string(source_size_) + "x" +
+                            std::to_string(target_size_) + " task");
+  }
   const obs::Span span("stream.decision");
   const bool metrics = obs::MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()

@@ -15,6 +15,26 @@ void KnnClassifier::FitImpl(const Dataset& data) {
   train_labels_ = data.labels;
 }
 
+void KnnClassifier::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("KNNC");
+  writer.WriteI64(config_.k);
+  standardizer_.SaveState(writer);
+  writer.WriteU64(train_features_.size());
+  for (const auto& row : train_features_) writer.WriteDoubleVector(row);
+  writer.WriteU64(train_labels_.size());
+  for (int label : train_labels_) writer.WriteI64(label);
+}
+
+void KnnClassifier::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("KNNC");
+  config_.k = static_cast<int>(reader.ReadI64());
+  standardizer_.LoadState(reader);
+  train_features_.assign(static_cast<std::size_t>(reader.ReadU64()), {});
+  for (auto& row : train_features_) row = reader.ReadDoubleVector();
+  train_labels_.assign(static_cast<std::size_t>(reader.ReadU64()), 0);
+  for (int& label : train_labels_) label = static_cast<int>(reader.ReadI64());
+}
+
 double KnnClassifier::PredictProbaImpl(const std::vector<double>& row) const {
   const std::vector<double> x = standardizer_.Transform(row);
   std::vector<std::pair<double, int>> distances;

@@ -50,6 +50,26 @@ void GaussianNaiveBayes::FitImpl(const Dataset& data) {
   log_prior_[1] = std::log(static_cast<double>(count[1]) / total);
 }
 
+void GaussianNaiveBayes::SaveStateImpl(robust::BinaryWriter& writer) const {
+  writer.WriteTag("GNBS");
+  writer.WriteDouble(config_.var_smoothing);
+  for (int c = 0; c < 2; ++c) {
+    writer.WriteDouble(log_prior_[c]);
+    writer.WriteDoubleVector(mean_[c]);
+    writer.WriteDoubleVector(var_[c]);
+  }
+}
+
+void GaussianNaiveBayes::LoadStateImpl(robust::BinaryReader& reader) {
+  reader.ExpectTag("GNBS");
+  config_.var_smoothing = reader.ReadDouble();
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = reader.ReadDouble();
+    mean_[c] = reader.ReadDoubleVector();
+    var_[c] = reader.ReadDoubleVector();
+  }
+}
+
 double GaussianNaiveBayes::PredictProbaImpl(
     const std::vector<double>& row) const {
   double log_like[2];

@@ -28,6 +28,8 @@ class GaussianNaiveBayes : public BinaryClassifier {
  protected:
   void FitImpl(const Dataset& data) override;
   double PredictProbaImpl(const std::vector<double>& row) const override;
+  void SaveStateImpl(robust::BinaryWriter& writer) const override;
+  void LoadStateImpl(robust::BinaryReader& reader) override;
 
  private:
   Config config_;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -26,15 +27,25 @@ Status ErrnoStatus(const char* op, const std::string& path) {
       .WithFile(path);
 }
 
-// MEXI_CKPT_FSYNC=1 upgrades the atomic-write contract from
-// crash-consistent to power-loss durable. Read per write (not cached)
-// so tests can flip it between commits.
+std::atomic<bool> g_fsync_default{false};
+
+// MEXI_CKPT_FSYNC upgrades (or downgrades) the atomic-write contract
+// between crash-consistent and power-loss durable: "1" forces fsync on,
+// "0" forces it off, unset falls back to the SetFsyncDefault() process
+// default (off for library/CLI use, on under mexi_serve). Read per
+// write (not cached) so tests can flip it between commits.
 bool FsyncOnCommit() {
   const char* env = std::getenv("MEXI_CKPT_FSYNC");
-  return env != nullptr && std::strcmp(env, "1") == 0;
+  if (env != nullptr && std::strcmp(env, "1") == 0) return true;
+  if (env != nullptr && std::strcmp(env, "0") == 0) return false;
+  return g_fsync_default.load(std::memory_order_relaxed);
 }
 
 }  // namespace
+
+void SetFsyncDefault(bool enabled) {
+  g_fsync_default.store(enabled, std::memory_order_relaxed);
+}
 
 std::vector<std::uint8_t> SealCheckpoint(
     const std::vector<std::uint8_t>& payload) {

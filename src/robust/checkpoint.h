@@ -44,6 +44,14 @@ Status OpenCheckpoint(const std::vector<std::uint8_t>& bytes,
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes);
 
+/// Sets the process-wide default for fsync-on-commit when the
+/// MEXI_CKPT_FSYNC environment variable is unset. The env var always
+/// wins: "1" forces fsync on, "0" forces it off. Library/CLI contexts
+/// keep the historical crash-consistent default (off); `mexi_serve`
+/// turns the default on, because its drain checkpoint is an audit
+/// record that must survive power loss (DESIGN.md §13).
+void SetFsyncDefault(bool enabled);
+
 /// Reads a whole file; kNotFound if it does not exist.
 Status ReadFileBytes(const std::string& path,
                      std::vector<std::uint8_t>* bytes);

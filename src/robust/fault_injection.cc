@@ -18,6 +18,7 @@ constexpr KindEntry kKinds[] = {
     {"enospc", FaultKind::kEnospc},          {"nan", FaultKind::kNan},
     {"abort", FaultKind::kAbort},            {"kill", FaultKind::kKill},
     {"torn_read", FaultKind::kTornRead},     {"eintr", FaultKind::kEintr},
+    {"conn_reset", FaultKind::kConnReset},   {"slow_write", FaultKind::kSlowWrite},
 };
 
 struct SiteEntry {
@@ -34,6 +35,9 @@ constexpr SiteEntry kSites[] = {
     {"io_read", FaultSite::kIoRead},
     {"matchers_write", FaultSite::kMatchersWrite},
     {"stream_emit", FaultSite::kStreamEmit},
+    {"net_accept", FaultSite::kNetAccept},
+    {"net_read", FaultSite::kNetRead},
+    {"net_write", FaultSite::kNetWrite},
 };
 
 FaultKind ParseKind(const std::string& text) {
@@ -43,7 +47,7 @@ FaultKind ParseKind(const std::string& text) {
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault kind '" + text +
                   "' (want short_write|bitflip|enospc|nan|abort|kill|"
-                  "torn_read|eintr)");
+                  "torn_read|eintr|conn_reset|slow_write)");
 }
 
 FaultSite ParseSite(const std::string& text) {
@@ -53,7 +57,8 @@ FaultSite ParseSite(const std::string& text) {
   ThrowStatus(StatusCode::kInvalidArgument,
               "unknown fault site '" + text +
                   "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
-                  "epoch|fold|io_read|matchers_write|stream_emit)");
+                  "epoch|fold|io_read|matchers_write|stream_emit|"
+                  "net_accept|net_read|net_write)");
 }
 
 }  // namespace

@@ -35,6 +35,14 @@ enum class FaultKind {
   /// The read fails as an interrupted syscall (EINTR) surfaced as a
   /// structured IO error.
   kEintr,
+  /// The peer's connection drops mid-operation (ECONNRESET): the
+  /// instrumented network site closes the socket without completing the
+  /// operation, as a real reset would.
+  kConnReset,
+  /// The write stalls (a slow or stalled client/NIC): the site sleeps
+  /// for a bounded interval before proceeding, long enough to trip
+  /// write timeouts and exercise backpressure.
+  kSlowWrite,
 };
 
 /// Instrumented program points that consult the injector.
@@ -48,8 +56,11 @@ enum class FaultSite {
   kIoRead,               // matching/io.cc CSV readers, per input line
   kMatchersWrite,        // matching/io.cc SaveMatchersToFiles, per file
   kStreamEmit,           // mexi_cli stream, after each flushed JSONL line
+  kNetAccept,            // serve::Server, per accepted connection
+  kNetRead,              // serve::Server, per socket read
+  kNetWrite,             // serve::Server, per socket write
 };
-inline constexpr std::size_t kNumFaultSites = 9;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 /// Deterministic, seed-driven fault injector.
 ///
@@ -59,9 +70,10 @@ inline constexpr std::size_t kNumFaultSites = 9;
 ///   spec    := clause (',' clause)*
 ///   clause  := kind '@' site ':' occurrence
 ///   kind    := short_write | bitflip | enospc | nan | abort | kill
-///            | torn_read | eintr
+///            | torn_read | eintr | conn_reset | slow_write
 ///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
 ///            | epoch | fold | io_read | matchers_write | stream_emit
+///            | net_accept | net_read | net_write
 ///
 /// `occurrence` is the 1-based hit count at which the clause fires,
 /// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM

@@ -1,0 +1,50 @@
+#include "serve/bundle.h"
+
+#include "robust/checkpoint.h"
+#include "robust/serialize.h"
+
+namespace mexi::serve {
+
+void SaveBundle(const std::string& path, const Mexi& model) {
+  robust::BinaryWriter writer;
+  writer.WriteTag("MXBN");
+  writer.WriteU32(kBundleFormatVersion);
+  writer.WriteU64(model.ConfigFingerprint());
+  model.SaveState(writer);
+  const robust::Status status =
+      robust::WriteFileAtomic(path, robust::SealCheckpoint(writer.buffer()));
+  if (!status.ok()) throw robust::StatusError(status);
+}
+
+Mexi LoadBundle(const std::string& path, std::uint64_t* fingerprint_out) {
+  std::vector<std::uint8_t> bytes;
+  robust::Status status = robust::ReadFileBytes(path, &bytes);
+  if (!status.ok()) throw robust::StatusError(status);
+  std::vector<std::uint8_t> payload;
+  status = robust::OpenCheckpoint(bytes, &payload);
+  if (!status.ok()) throw robust::StatusError(status);
+
+  robust::BinaryReader reader(payload);
+  reader.ExpectTag("MXBN");
+  const std::uint32_t version = reader.ReadU32();
+  if (version != kBundleFormatVersion) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "bundle format version " + std::to_string(version) +
+                            ", this server understands " +
+                            std::to_string(kBundleFormatVersion));
+  }
+  const std::uint64_t declared_fingerprint = reader.ReadU64();
+  Mexi model;
+  model.LoadState(reader);
+  if (model.ConfigFingerprint() != declared_fingerprint) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "bundle config fingerprint mismatch: declared " +
+                            std::to_string(declared_fingerprint) +
+                            ", contents hash to " +
+                            std::to_string(model.ConfigFingerprint()));
+  }
+  if (fingerprint_out != nullptr) *fingerprint_out = declared_fingerprint;
+  return model;
+}
+
+}  // namespace mexi::serve

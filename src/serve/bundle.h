@@ -1,0 +1,39 @@
+#ifndef MEXI_SERVE_BUNDLE_H_
+#define MEXI_SERVE_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/mexi.h"
+#include "robust/status.h"
+
+namespace mexi::serve {
+
+/// Versioned on-disk model bundle: the complete fitted Mexi serve state
+/// inside the MEXC checkpoint envelope (magic + length + FNV-1a), so a
+/// torn copy or bit rot is rejected at load, never served. Payload:
+///
+///   "MXBN" | u32 bundle format version | u64 config fingerprint
+///         | Mexi::SaveState bytes
+///
+/// The fingerprint is FNV-1a over the serialized MexiConfig. LoadBundle
+/// recomputes it from the deserialized config and rejects on mismatch —
+/// a bundle whose declared fingerprint disagrees with its own contents
+/// was assembled by a different config schema (or tampered with) and
+/// must not serve traffic.
+inline constexpr std::uint32_t kBundleFormatVersion = 1;
+
+/// Seals `model` (must be fitted) and atomically writes it to `path`.
+/// Throws StatusError on IO failure or an unfitted model.
+void SaveBundle(const std::string& path, const Mexi& model);
+
+/// Loads, validates, and deserializes a bundle. `fingerprint_out`
+/// (optional) receives the bundle's config fingerprint. Throws
+/// StatusError: kNotFound (missing file), kCorruption (envelope,
+/// version, fingerprint, or payload validation failure).
+Mexi LoadBundle(const std::string& path,
+                std::uint64_t* fingerprint_out = nullptr);
+
+}  // namespace mexi::serve
+
+#endif  // MEXI_SERVE_BUNDLE_H_

@@ -1,0 +1,257 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mexi::serve {
+
+namespace {
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& name) const {
+  static const std::string kEmpty;
+  const auto it = headers.find(ToLower(name));
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int http_status,
+                                                 const std::string& reason) {
+  state_ = State::kError;
+  http_error_ = http_status;
+  error_reason_ = reason;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data,
+                                                 std::size_t size) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data, size);
+  if (state_ == State::kDone) return state_;
+  if (!headers_done_) TryParseHeaders();
+  if (state_ == State::kReading && headers_done_) TryFinishBody();
+  return state_;
+}
+
+void HttpRequestParser::TryParseHeaders() {
+  const std::size_t block_end = buffer_.find("\r\n\r\n");
+  if (block_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      Fail(431, "header block exceeds " + std::to_string(kMaxHeaderBytes) +
+                    " bytes");
+    }
+    return;
+  }
+  if (block_end > kMaxHeaderBytes) {
+    Fail(431, "header block exceeds " + std::to_string(kMaxHeaderBytes) +
+                  " bytes");
+    return;
+  }
+
+  const std::string block = buffer_.substr(0, block_end);
+  buffer_.erase(0, block_end + 4);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = block.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? block : block.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_ = HttpRequest();
+  request_.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail(505, "unsupported version '" + version + "'");
+    return;
+  }
+  if (target.empty() || target[0] != '/') {
+    Fail(400, "bad request target '" + target + "'");
+    return;
+  }
+  const std::size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request_.path = target;
+  } else {
+    request_.path = target.substr(0, question);
+    request_.query = target.substr(question + 1);
+  }
+
+  // Header fields.
+  std::size_t pos = line_end == std::string::npos ? block.size() : line_end + 2;
+  while (pos < block.size()) {
+    std::size_t next = block.find("\r\n", pos);
+    if (next == std::string::npos) next = block.size();
+    const std::string field = block.substr(pos, next - pos);
+    pos = next + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header field '" + field + "'");
+      return;
+    }
+    request_.headers[ToLower(Trim(field.substr(0, colon)))] =
+        Trim(field.substr(colon + 1));
+  }
+
+  if (request_.headers.count("transfer-encoding") != 0) {
+    Fail(400, "chunked request bodies are not supported");
+    return;
+  }
+  content_length_ = 0;
+  const std::string& length_text = request_.Header("content-length");
+  if (!length_text.empty()) {
+    char* parse_end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(length_text.c_str(), &parse_end, 10);
+    if (parse_end == length_text.c_str() || *parse_end != '\0') {
+      Fail(400, "bad Content-Length '" + length_text + "'");
+      return;
+    }
+    if (parsed > kMaxBodyBytes) {
+      Fail(413, "body of " + length_text + " bytes exceeds the " +
+                    std::to_string(kMaxBodyBytes) + "-byte limit");
+      return;
+    }
+    content_length_ = static_cast<std::size_t>(parsed);
+  }
+  headers_done_ = true;
+  body_consumed_ = 0;
+  request_.body.clear();
+}
+
+void HttpRequestParser::TryFinishBody() {
+  const std::size_t missing = content_length_ - request_.body.size();
+  const std::size_t take = std::min(missing, buffer_.size());
+  request_.body.append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  if (request_.body.size() == content_length_) state_ = State::kDone;
+}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kReading;
+  headers_done_ = false;
+  body_consumed_ = 0;
+  content_length_ = 0;
+  http_error_ = 0;
+  error_reason_.clear();
+  // buffer_ keeps pipelined bytes; try to make progress on them now.
+  if (!buffer_.empty()) {
+    TryParseHeaders();
+    if (state_ == State::kReading && headers_done_) TryFinishBody();
+  }
+}
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+int HttpStatusFromCode(robust::StatusCode code) {
+  switch (code) {
+    case robust::StatusCode::kOk: return 200;
+    case robust::StatusCode::kInvalidArgument: return 400;
+    case robust::StatusCode::kParseError: return 400;
+    case robust::StatusCode::kNotFound: return 404;
+    case robust::StatusCode::kResourceExhausted: return 503;
+    case robust::StatusCode::kAborted: return 503;
+    // IO/corruption/divergence are server-side faults, not client ones.
+    case robust::StatusCode::kIoError: return 500;
+    case robust::StatusCode::kCorruption: return 500;
+    case robust::StatusCode::kDivergence: return 500;
+  }
+  return 500;
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::size_t begin = 0;
+  while (begin <= query.size() && !query.empty()) {
+    std::size_t end = query.find('&', begin);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(begin, end - begin);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (end == query.size()) break;
+    begin = end + 1;
+  }
+  return "";
+}
+
+namespace {
+
+std::string FormatHeaderBlock(int status, const std::string& content_type,
+                              const HttpHeaders& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpStatusText(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body,
+                               const HttpHeaders& extra_headers, bool close) {
+  std::string out = FormatHeaderBlock(status, content_type, extra_headers);
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (close) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string FormatChunkedHeader(int status, const std::string& content_type,
+                                const HttpHeaders& extra_headers) {
+  std::string out = FormatHeaderBlock(status, content_type, extra_headers);
+  out += "Transfer-Encoding: chunked\r\n\r\n";
+  return out;
+}
+
+std::string EncodeChunk(const std::string& data) {
+  if (data.empty()) return "";  // an empty chunk would terminate the stream
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  return size_line + data + "\r\n";
+}
+
+std::string FinalChunk() { return "0\r\n\r\n"; }
+
+}  // namespace mexi::serve

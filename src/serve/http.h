@@ -1,0 +1,114 @@
+#ifndef MEXI_SERVE_HTTP_H_
+#define MEXI_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace mexi::serve {
+
+/// One parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // without the query string
+  std::string query;   // raw bytes after '?', may be empty
+  /// Header names lowercased; last occurrence wins.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  const std::string& Header(const std::string& name) const;
+};
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Dependency-free and socket-free so the wire grammar is unit-testable:
+/// the server feeds whatever bytes poll() delivered — one byte at a time
+/// is fine — and acts when the state leaves kReading. Bounded on both
+/// axes (header block and body size) so a hostile or broken client can
+/// not balloon memory; overruns park the parser in kError with the
+/// right HTTP status to send back. After a completed request, Reset()
+/// re-arms for the next request on the same connection (keep-alive);
+/// bytes beyond the first request stay buffered across the Reset.
+class HttpRequestParser {
+ public:
+  enum class State {
+    kReading,  // needs more bytes
+    kDone,     // request() is complete
+    kError,    // protocol violation; http_error() says which
+  };
+
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+  /// Consumes `size` bytes and returns the resulting state. Feeding
+  /// after kDone buffers the bytes for the next request; feeding after
+  /// kError is a no-op.
+  State Feed(const char* data, std::size_t size);
+
+  State state() const { return state_; }
+
+  /// Valid only in kDone.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid only in kError: the HTTP status code describing the
+  /// violation (400 bad grammar, 413 body too large, 431 headers too
+  /// large, 505 wrong HTTP version) and a short human-readable reason.
+  int http_error() const { return http_error_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Re-arms for the next request on this connection, preserving any
+  /// already-buffered pipelined bytes. Also clears kError.
+  void Reset();
+
+ private:
+  State Fail(int http_status, const std::string& reason);
+  /// Attempts to parse a complete header block from buffer_.
+  void TryParseHeaders();
+  void TryFinishBody();
+
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kReading;
+  bool headers_done_ = false;
+  std::size_t body_consumed_ = 0;  // bytes of buffer_ already in body
+  std::size_t content_length_ = 0;
+  int http_error_ = 0;
+  std::string error_reason_;
+};
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* HttpStatusText(int code);
+
+/// Maps a structured Status to the HTTP status it should surface as.
+int HttpStatusFromCode(robust::StatusCode code);
+
+/// Value of `key` in a raw query string ("a=1&b=2"); empty when absent.
+/// No percent-decoding — the serve API uses plain tokens only.
+std::string QueryParam(const std::string& query, const std::string& key);
+
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
+/// Formats a complete fixed-length response (status line, Content-Type,
+/// Content-Length, optional extra headers, blank line, body).
+/// `close` adds `Connection: close`.
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body,
+                               const HttpHeaders& extra_headers = {},
+                               bool close = false);
+
+/// Chunked transfer-encoding trio for the /stream endpoint: the header
+/// block announcing chunked encoding, one encoded chunk per emission,
+/// and the zero-length terminator.
+std::string FormatChunkedHeader(int status, const std::string& content_type,
+                                const HttpHeaders& extra_headers = {});
+std::string EncodeChunk(const std::string& data);
+std::string FinalChunk();
+
+}  // namespace mexi::serve
+
+#endif  // MEXI_SERVE_HTTP_H_

@@ -1,0 +1,866 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "core/streaming.h"
+#include "matching/io.h"
+#include "obs/obs.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
+
+namespace mexi::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kJsonType = "application/json";
+constexpr const char* kNdjsonType = "application/x-ndjson";
+
+/// Private control-flow exception for an expired per-request budget;
+/// converted to a 504 response by the worker — never escapes a task.
+struct DeadlineExpired {};
+
+/// Checked between units of work inside the handlers so a 504 lands
+/// within one unit of the budget (one matcher for /characterize, one
+/// decision for /stream), not after the whole body is computed.
+struct DeadlineGuard {
+  Clock::time_point deadline;
+  void Check() const {
+    if (Clock::now() > deadline) throw DeadlineExpired{};
+  }
+};
+
+std::string ErrorBody(const std::string& code, const std::string& message) {
+  return "{\"error\":{\"code\":" + obs::JsonString(code) +
+         ",\"message\":" + obs::JsonString(message) + "}}\n";
+}
+
+std::string Dbl(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void ThrowErrno(const char* op) {
+  robust::ThrowStatus(robust::StatusCode::kIoError,
+                      std::string(op) + " failed: " + std::strerror(errno));
+}
+
+/// The parsed POST payload: decisions CSV, optionally followed by a
+/// literal `%%` line and the movements CSV, with the task matrix shape
+/// in the ?rows=&cols= query parameters.
+struct ParsedTraces {
+  std::vector<matching::LoadedMatcher> matchers;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+ParsedTraces ParseTracesBody(const HttpRequest& request) {
+  const std::string rows_text = QueryParam(request.query, "rows");
+  const std::string cols_text = QueryParam(request.query, "cols");
+  char* end = nullptr;
+  const long rows =
+      rows_text.empty() ? 0 : std::strtol(rows_text.c_str(), &end, 10);
+  const long cols =
+      cols_text.empty() ? 0 : std::strtol(cols_text.c_str(), &end, 10);
+  if (rows <= 0 || cols <= 0) {
+    robust::ThrowStatus(
+        robust::StatusCode::kInvalidArgument,
+        "the task shape is required: ?rows=<sources>&cols=<targets>");
+  }
+
+  ParsedTraces parsed;
+  parsed.rows = static_cast<std::size_t>(rows);
+  parsed.cols = static_cast<std::size_t>(cols);
+
+  std::string decisions_text = request.body;
+  std::string movements_text;
+  const std::size_t sep = request.body.find("\n%%\n");
+  if (sep != std::string::npos) {
+    decisions_text = request.body.substr(0, sep + 1);
+    movements_text = request.body.substr(sep + 4);
+  }
+
+  std::istringstream decisions_in(decisions_text);
+  parsed.matchers = matching::ReadDecisionsCsv(decisions_in);
+  if (!movements_text.empty()) {
+    std::istringstream movements_in(movements_text);
+    matching::ReadMovementsCsv(movements_in, &parsed.matchers);
+  }
+  if (parsed.matchers.empty()) {
+    robust::ThrowStatus(
+        robust::StatusCode::kInvalidArgument,
+        "no decision rows parsed from the request body (expected a "
+        "decisions CSV with a header line)");
+  }
+  matching::ValidateMatchers(parsed.matchers, parsed.rows, parsed.cols);
+  return parsed;
+}
+
+/// Batch endpoint body: one final-answer JSONL line per matcher.
+std::string CharacterizeBody(const Mexi& model, const HttpRequest& request,
+                             const DeadlineGuard& guard) {
+  const ParsedTraces parsed = ParseTracesBody(request);
+  std::string body;
+  for (const matching::LoadedMatcher& lm : parsed.matchers) {
+    guard.Check();
+    MatcherView view;
+    view.history = &lm.history;
+    view.movement = &lm.movement;
+    view.source_size = parsed.rows;
+    view.target_size = parsed.cols;
+    body += FormatEmissionLine(lm.id, lm.history.size(), /*is_final=*/true,
+                               model.Characterize(view),
+                               model.CharacterizeProba(view));
+  }
+  return body;
+}
+
+/// Streaming endpoint: the complete chunked response — one chunk per
+/// per-decision emission, plus the exact Finalize line per matcher.
+std::string StreamResponse(const Mexi& model, const HttpRequest& request,
+                           const DeadlineGuard& guard, bool want_close) {
+  const ParsedTraces parsed = ParseTracesBody(request);
+  HttpHeaders extra;
+  if (want_close) extra.push_back({"Connection", "close"});
+  std::string out = FormatChunkedHeader(200, kNdjsonType, extra);
+  for (const matching::LoadedMatcher& lm : parsed.matchers) {
+    StreamingCharacterizer stream =
+        model.OpenStream(parsed.rows, parsed.cols, lm.movement.screen_width(),
+                         lm.movement.screen_height());
+    const auto& events = lm.movement.events();
+    std::size_t next_event = 0;
+    for (std::size_t k = 0; k < lm.history.size(); ++k) {
+      guard.Check();
+      const matching::Decision& d = lm.history.at(k);
+      while (next_event < events.size() &&
+             events[next_event].timestamp <= d.timestamp) {
+        stream.PushMovement(events[next_event]);
+        ++next_event;
+      }
+      const StreamEmission emission = stream.PushDecision(d);
+      out += EncodeChunk(FormatEmissionLine(lm.id, emission.decision_index,
+                                            /*is_final=*/false, emission.label,
+                                            emission.probabilities));
+    }
+    while (next_event < events.size()) {
+      stream.PushMovement(events[next_event]);
+      ++next_event;
+    }
+    guard.Check();
+    const StreamEmission final_emission = stream.Finalize();
+    out += EncodeChunk(FormatEmissionLine(
+        lm.id, final_emission.decision_index, /*is_final=*/true,
+        final_emission.label, final_emission.probabilities));
+  }
+  out += FinalChunk();
+  return out;
+}
+
+// Serve counters live in the process-wide obs registry (so /metrics and
+// the JSONL sinks see them for free). Resolved per use, never cached:
+// Observability::EnableMetrics resets the registry, which would dangle
+// any held reference. Registration is one mutex acquisition at request
+// frequency — noise next to the model compute.
+obs::Counter& ServeCounter(const char* name) {
+  return obs::Registry().GetCounter(name);
+}
+
+constexpr const char* kAcceptedCounter = "serve.connections_accepted";
+constexpr const char* kRequestsCounter = "serve.requests_total";
+constexpr const char* kOkCounter = "serve.responses_ok";
+constexpr const char* kClientErrorCounter = "serve.responses_client_error";
+constexpr const char* kServerErrorCounter = "serve.responses_server_error";
+constexpr const char* kShedCounter = "serve.shed_total";
+constexpr const char* kDeadlineCounter = "serve.deadline_expired_total";
+constexpr const char* kFaultsCounter = "serve.faults_injected";
+
+std::atomic<int> g_signal_wake_fd{-1};
+
+void ServeSignalHandler(int /*signum*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'S';
+    // write(2) is async-signal-safe; a full pipe just means a wakeup is
+    // already pending.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+std::string FormatEmissionLine(int matcher_id, std::size_t decision_index,
+                               bool is_final, const ExpertLabel& label,
+                               const std::vector<double>& probabilities) {
+  const std::vector<int> bits = label.ToVector();
+  std::string out = "{\"matcher\":" + std::to_string(matcher_id) +
+                    ",\"decision\":" + std::to_string(decision_index) +
+                    ",\"final\":" + (is_final ? "true" : "false") +
+                    ",\"labels\":[";
+  for (std::size_t c = 0; c < bits.size(); ++c) {
+    if (c != 0) out += ',';
+    out += std::to_string(bits[c]);
+  }
+  double total = 0.0;
+  for (const double p : probabilities) total += p;
+  const double confidence =
+      probabilities.empty()
+          ? 0.0
+          : total / static_cast<double>(probabilities.size());
+  out += "],\"confidence\":" + Dbl(confidence) + ",\"probabilities\":[";
+  for (std::size_t c = 0; c < probabilities.size(); ++c) {
+    if (c != 0) out += ',';
+    out += Dbl(probabilities[c]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+Server::Server(ServerConfig config, Mexi model,
+               std::uint64_t bundle_fingerprint)
+    : config_(std::move(config)),
+      model_(std::move(model)),
+      fingerprint_(bundle_fingerprint) {}
+
+Server::~Server() {
+  // Drain the workers first: completions land in the queue (harmless),
+  // never on freed fds.
+  pool_.reset();
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "bad host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(listen_fd_, 64) != 0) ThrowErrno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) ThrowErrno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  pool_ = std::make_unique<parallel::ThreadPool>(
+      std::max<std::size_t>(1, config_.num_workers));
+}
+
+void Server::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::InstallSignalHandlers(Server* server) {
+  g_signal_wake_fd.store(server->wake_write_fd_, std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = &ServeSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  // A peer reset between poll() and send() must surface as EPIPE, not
+  // kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted = ServeCounter(kAcceptedCounter).Value();
+  stats.requests_total = ServeCounter(kRequestsCounter).Value();
+  stats.responses_ok = ServeCounter(kOkCounter).Value();
+  stats.responses_client_error = ServeCounter(kClientErrorCounter).Value();
+  stats.responses_server_error = ServeCounter(kServerErrorCounter).Value();
+  stats.shed_total = ServeCounter(kShedCounter).Value();
+  stats.deadline_expired_total = ServeCounter(kDeadlineCounter).Value();
+  stats.faults_injected = ServeCounter(kFaultsCounter).Value();
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::Run() {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  while (true) {
+    if (shutdown_requested_.load(std::memory_order_relaxed) && !draining) {
+      draining = true;
+      // Stop accepting; in-flight work finishes (or deadlines out) and
+      // pending responses flush under the normal write timeout.
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(config_.deadline_ms +
+                                                   config_.write_timeout_ms);
+    }
+    if (draining) {
+      std::vector<int> idle;
+      for (const auto& [fd, conn] : conns_) {
+        if (!conn.in_flight && conn.outpos >= conn.outbuf.size()) {
+          idle.push_back(fd);
+        }
+      }
+      for (const int fd : idle) CloseConn(fd);
+      if (conns_.empty() && inflight_.load(std::memory_order_relaxed) == 0) {
+        break;
+      }
+      if (Clock::now() > drain_deadline) {
+        std::vector<int> all;
+        for (const auto& [fd, conn] : conns_) all.push_back(fd);
+        for (const int fd : all) CloseConn(fd);
+        break;
+      }
+    }
+    PollOnce(50);
+  }
+  CommitDrainCheckpoint();
+}
+
+void Server::PollOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.push_back({wake_read_fd_, POLLIN, 0});
+  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+  for (const auto& [fd, conn] : conns_) {
+    short events = 0;
+    // While a request is computing we stop reading: bounded buffering,
+    // and pipelined requests wait their turn.
+    if (!conn.in_flight) events |= POLLIN;
+    if (conn.outpos < conn.outbuf.size()) events |= POLLOUT;
+    if (events != 0) fds.push_back({fd, events, 0});
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) ThrowErrno("poll");
+
+  if (ready > 0) {
+    if (fds[0].revents & POLLIN) {
+      char buffer[256];
+      ssize_t n;
+      while ((n = ::read(wake_read_fd_, buffer, sizeof(buffer))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          if (buffer[i] == 'S') {
+            shutdown_requested_.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    std::size_t index = 1;
+    if (listen_fd_ >= 0) {
+      if (fds[index].revents & POLLIN) AcceptNew();
+      ++index;
+    }
+    // Conns may be closed as we service them — act on a snapshot of the
+    // polled set and re-check membership per fd.
+    for (std::size_t i = index; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (conns_.count(fd) != 0) CloseConn(fd);
+        continue;
+      }
+      if ((revents & POLLOUT) && conns_.count(fd) != 0) WriteTo(fd);
+      if ((revents & POLLIN) && conns_.count(fd) != 0) ReadFrom(fd);
+    }
+  }
+  DrainCompletions();
+  SweepTimeouts();
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EMFILE/...: try again next round
+    switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kNetAccept)) {
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      case robust::FaultKind::kConnReset:
+      case robust::FaultKind::kAbort:
+        ServeCounter(kFaultsCounter).Add();
+        ::close(fd);
+        continue;
+      case robust::FaultKind::kSlowWrite:
+        ServeCounter(kFaultsCounter).Add();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.fault_stall_ms));
+        break;
+      default:
+        break;
+    }
+    SetNonBlocking(fd);
+    ServeCounter(kAcceptedCounter).Add();
+    Connection conn;
+    conn.generation = next_generation_++;
+    conn.last_read = Clock::now();
+    conn.last_write_progress = conn.last_read;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::ReadFrom(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kNetRead)) {
+    case robust::FaultKind::kKill:
+      std::_Exit(137);
+    case robust::FaultKind::kConnReset:
+    case robust::FaultKind::kAbort:
+      ServeCounter(kFaultsCounter).Add();
+      CloseConn(fd);
+      return;
+    case robust::FaultKind::kSlowWrite:
+      ServeCounter(kFaultsCounter).Add();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.fault_stall_ms));
+      break;
+    default:
+      break;
+  }
+  char buffer[16384];
+  const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  if (n == 0) {
+    CloseConn(fd);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    CloseConn(fd);
+    return;
+  }
+  it->second.last_read = Clock::now();
+  it->second.parser.Feed(buffer, static_cast<std::size_t>(n));
+  DispatchReady(fd);
+}
+
+void Server::WriteTo(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  while (conn.outpos < conn.outbuf.size()) {
+    switch (robust::FaultInjector::Global().Hit(robust::FaultSite::kNetWrite)) {
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      case robust::FaultKind::kConnReset:
+      case robust::FaultKind::kAbort:
+        ServeCounter(kFaultsCounter).Add();
+        CloseConn(fd);
+        return;
+      case robust::FaultKind::kSlowWrite:
+        ServeCounter(kFaultsCounter).Add();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.fault_stall_ms));
+        break;
+      default:
+        break;
+    }
+    const ssize_t n =
+        ::send(fd, conn.outbuf.data() + conn.outpos,
+               conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outpos += static_cast<std::size_t>(n);
+      conn.last_write_progress = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(fd);  // EPIPE/ECONNRESET: the peer is gone
+    return;
+  }
+  conn.outbuf.clear();
+  conn.outpos = 0;
+  if (conn.close_after_write) CloseConn(fd);
+}
+
+void Server::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // An in-flight worker result for this connection is dropped by the
+  // generation check in DrainCompletions (the fd may be recycled by a
+  // later accept).
+  conns_.erase(it);
+  ::close(fd);
+}
+
+void Server::EnqueueInline(int fd, std::string bytes, bool close_after) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  conn.outbuf.append(bytes);
+  conn.close_after_write = conn.close_after_write || close_after;
+  conn.last_write_progress = Clock::now();
+  WriteTo(fd);
+}
+
+void Server::DispatchReady(int fd) {
+  while (true) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Connection& conn = it->second;
+    if (conn.in_flight) return;
+
+    if (conn.parser.state() == HttpRequestParser::State::kError) {
+      const int status = conn.parser.http_error();
+      ServeCounter(kClientErrorCounter).Add();
+      EnqueueInline(fd,
+                    FormatHttpResponse(status, kJsonType,
+                                       ErrorBody("bad_request",
+                                                 conn.parser.error_reason()),
+                                       {}, /*close=*/true),
+                    /*close_after=*/true);
+      return;
+    }
+    if (conn.parser.state() != HttpRequestParser::State::kDone) return;
+
+    HttpRequest request = conn.parser.request();
+    conn.parser.Reset();
+    ServeCounter(kRequestsCounter).Add();
+
+    // Honor the client's connection preference: "Connection: close"
+    // means the response (whatever its status) closes the socket after
+    // it flushes, so one-shot clients see a prompt EOF instead of
+    // waiting out the idle timeout.
+    std::string conn_pref = request.Header("connection");
+    for (char& c : conn_pref) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const bool want_close = conn_pref == "close";
+
+    if (request.method == "GET" && request.path == "/status") {
+      ServeCounter(kOkCounter).Add();
+      EnqueueInline(fd,
+                    FormatHttpResponse(200, kJsonType, StatusJson(), {},
+                                       want_close),
+                    want_close);
+      continue;
+    }
+    if (request.method == "GET" && request.path == "/metrics") {
+      ServeCounter(kOkCounter).Add();
+      EnqueueInline(fd,
+                    FormatHttpResponse(200, kJsonType, MetricsJson(), {},
+                                       want_close),
+                    want_close);
+      continue;
+    }
+    if (request.path != "/characterize" && request.path != "/stream") {
+      ServeCounter(kClientErrorCounter).Add();
+      EnqueueInline(fd,
+                    FormatHttpResponse(
+                        404, kJsonType,
+                        ErrorBody("not_found",
+                                  "no such endpoint '" + request.path + "'"),
+                        {}, want_close),
+                    want_close);
+      continue;
+    }
+    if (request.method != "POST") {
+      ServeCounter(kClientErrorCounter).Add();
+      EnqueueInline(
+          fd,
+          FormatHttpResponse(405, kJsonType,
+                             ErrorBody("method_not_allowed",
+                                       request.path + " requires POST"),
+                             {}, want_close),
+          want_close);
+      continue;
+    }
+    if (shutdown_requested_.load(std::memory_order_relaxed)) {
+      ServeCounter(kShedCounter).Add();
+      ServeCounter(kServerErrorCounter).Add();
+      EnqueueInline(
+          fd,
+          FormatHttpResponse(503, kJsonType,
+                             ErrorBody("draining", "server is shutting down"),
+                             {{"Retry-After",
+                               std::to_string(config_.retry_after_s)}},
+                             /*close=*/true),
+          true);
+      return;
+    }
+    if (inflight_.load(std::memory_order_relaxed) >= config_.queue_max) {
+      // Admission bound: shed instead of buffering — the memory held per
+      // shed request is one parsed request, never a growing queue.
+      ServeCounter(kShedCounter).Add();
+      ServeCounter(kServerErrorCounter).Add();
+      EnqueueInline(
+          fd,
+          FormatHttpResponse(503, kJsonType,
+                             ErrorBody("overloaded",
+                                       "admission queue is full (" +
+                                           std::to_string(config_.queue_max) +
+                                           " in flight)"),
+                             {{"Retry-After",
+                               std::to_string(config_.retry_after_s)}},
+                             /*close=*/true),
+          true);
+      return;
+    }
+
+    // Admit: budget from X-Deadline-Ms (clamped to [1, 600000]) or the
+    // configured default.
+    long budget_ms = config_.deadline_ms;
+    const std::string& header = request.Header("x-deadline-ms");
+    if (!header.empty()) {
+      char* end = nullptr;
+      const long parsed = std::strtol(header.c_str(), &end, 10);
+      if (end != header.c_str() && *end == '\0') {
+        budget_ms = std::clamp(parsed, 1L, 600000L);
+      }
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(budget_ms);
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    conn.in_flight = true;
+    const std::uint64_t generation = conn.generation;
+    pool_->Submit([this, fd, generation, request = std::move(request),
+                   deadline, want_close]() mutable {
+      ComputeResponse(fd, generation, std::move(request), deadline,
+                      want_close);
+    });
+    return;
+  }
+}
+
+void Server::ComputeResponse(int fd, std::uint64_t generation,
+                             HttpRequest request, Clock::time_point deadline,
+                             bool want_close) {
+  std::string response;
+  bool close_after = want_close;
+  try {
+    const DeadlineGuard guard{deadline};
+    guard.Check();
+    if (request.path == "/characterize") {
+      response = FormatHttpResponse(200, kNdjsonType,
+                                    CharacterizeBody(model_, request, guard),
+                                    {}, want_close);
+    } else {
+      response = StreamResponse(model_, request, guard, want_close);
+    }
+    ServeCounter(kOkCounter).Add();
+  } catch (const DeadlineExpired&) {
+    ServeCounter(kDeadlineCounter).Add();
+    ServeCounter(kServerErrorCounter).Add();
+    response = FormatHttpResponse(
+        504, kJsonType,
+        ErrorBody("deadline_exceeded",
+                  "request exceeded its compute budget"),
+        {}, /*close=*/true);
+    close_after = true;
+  } catch (const robust::StatusError& error) {
+    const int status = HttpStatusFromCode(error.status().code());
+    if (status >= 500) {
+      ServeCounter(kServerErrorCounter).Add();
+      close_after = true;
+    } else {
+      ServeCounter(kClientErrorCounter).Add();
+    }
+    response = FormatHttpResponse(
+        status, kJsonType,
+        ErrorBody(robust::StatusCodeName(error.status().code()),
+                  error.status().message()),
+        {}, close_after);
+  } catch (const std::exception& error) {
+    ServeCounter(kServerErrorCounter).Add();
+    response = FormatHttpResponse(
+        500, kJsonType, ErrorBody("internal", error.what()), {}, true);
+    close_after = true;
+  }
+  PushCompletion({fd, generation, std::move(response), close_after});
+}
+
+void Server::PushCompletion(Completion completion) {
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  const char byte = 'C';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> ready;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& completion : ready) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    auto it = conns_.find(completion.fd);
+    if (it == conns_.end() || it->second.generation != completion.generation) {
+      continue;  // the connection died (or the fd was recycled) meanwhile
+    }
+    it->second.in_flight = false;
+    EnqueueInline(completion.fd, std::move(completion.bytes),
+                  completion.close_after);
+    if (conns_.count(completion.fd) != 0 && !completion.close_after) {
+      DispatchReady(completion.fd);  // a pipelined request may be parsed
+    }
+  }
+}
+
+void Server::SweepTimeouts() {
+  const Clock::time_point now = Clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn.outpos < conn.outbuf.size() &&
+        now - conn.last_write_progress >
+            std::chrono::milliseconds(config_.write_timeout_ms)) {
+      expired.push_back(fd);  // stalled writer (slow client)
+      continue;
+    }
+    if (!conn.in_flight && conn.outbuf.empty() &&
+        now - conn.last_read >
+            std::chrono::milliseconds(config_.read_timeout_ms)) {
+      expired.push_back(fd);  // idle or trickling reader
+    }
+  }
+  for (const int fd : expired) CloseConn(fd);
+}
+
+std::string Server::StatusJson() const {
+  const ServerStats stats = Stats();
+  const bool draining = shutdown_requested_.load(std::memory_order_relaxed);
+  std::string out = "{";
+  out += "\"state\":" + obs::JsonString(draining ? "draining" : "serving");
+  out += ",\"bundle_fingerprint\":" +
+         obs::JsonString(std::to_string(fingerprint_));
+  out += ",\"inflight\":" + std::to_string(stats.inflight);
+  out += ",\"connections\":" + std::to_string(conns_.size());
+  out += ",\"queue_max\":" + std::to_string(config_.queue_max);
+  out += ",\"deadline_ms\":" + std::to_string(config_.deadline_ms);
+  out += ",\"connections_accepted\":" +
+         std::to_string(stats.connections_accepted);
+  out += ",\"requests_total\":" + std::to_string(stats.requests_total);
+  out += ",\"responses_ok\":" + std::to_string(stats.responses_ok);
+  out += ",\"shed_total\":" + std::to_string(stats.shed_total);
+  out += ",\"deadline_expired_total\":" +
+         std::to_string(stats.deadline_expired_total);
+  out += ",\"faults_injected\":" + std::to_string(stats.faults_injected);
+  out += "}\n";
+  return out;
+}
+
+std::string Server::MetricsJson() const {
+  const obs::MetricsSnapshot snapshot = obs::Registry().Snapshot();
+  std::string out = "{\"counters\":[";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"name\":" + obs::JsonString(snapshot.counters[i].name) +
+           ",\"value\":" + std::to_string(snapshot.counters[i].value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"name\":" + obs::JsonString(snapshot.gauges[i].name) +
+           ",\"value\":" + obs::JsonNumber(snapshot.gauges[i].value) + "}";
+  }
+  out += "],\"timers\":[";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const auto& timer = snapshot.timers[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":" + obs::JsonString(timer.name) +
+           ",\"count\":" + std::to_string(timer.count) +
+           ",\"total_seconds\":" + obs::JsonNumber(timer.total_seconds) +
+           ",\"ema_seconds\":" + obs::JsonNumber(timer.ema_seconds) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& histogram = snapshot.histograms[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":" + obs::JsonString(histogram.name) + ",\"bounds\":[";
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b != 0) out += ',';
+      out += obs::JsonNumber(histogram.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b != 0) out += ',';
+      out += std::to_string(histogram.counts[b]);
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Server::CommitDrainCheckpoint() {
+  if (config_.checkpoint_dir.empty()) return;
+  robust::BinaryWriter writer;
+  writer.WriteTag("MXSV");
+  writer.WriteU64(fingerprint_);
+  const ServerStats stats = Stats();
+  writer.WriteU64(stats.connections_accepted);
+  writer.WriteU64(stats.requests_total);
+  writer.WriteU64(stats.responses_ok);
+  writer.WriteU64(stats.responses_client_error);
+  writer.WriteU64(stats.responses_server_error);
+  writer.WriteU64(stats.shed_total);
+  writer.WriteU64(stats.deadline_expired_total);
+  writer.WriteU64(stats.faults_injected);
+  const robust::Status status =
+      robust::CheckpointManager(config_.checkpoint_dir, "serve")
+          .Commit(writer.buffer());
+  if (!status.ok()) {
+    // A failed audit snapshot must not turn a clean drain into a
+    // non-zero exit; the responses already went out.
+    std::fprintf(stderr, "mexi_serve: drain checkpoint failed: %s\n",
+                 status.ToString().c_str());
+  } else {
+    obs::Observability::Global().Event(
+        "serve_drain",
+        {obs::F("requests_total", stats.requests_total),
+         obs::F("responses_ok", stats.responses_ok),
+         obs::F("shed_total", stats.shed_total)});
+  }
+}
+
+}  // namespace mexi::serve

@@ -1,0 +1,206 @@
+#ifndef MEXI_SERVE_SERVER_H_
+#define MEXI_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mexi.h"
+#include "parallel/thread_pool.h"
+#include "serve/http.h"
+
+namespace mexi::serve {
+
+/// Tuning knobs of the characterization server. The defaults suit the
+/// chaos drills and local benchmarking; production deployments should
+/// size `queue_max` to the worst tolerable backlog latency.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via Server::port().
+  int port = 0;
+
+  /// Bound on requests admitted but not yet answered (queued + running).
+  /// Beyond it the server sheds with 503 + Retry-After instead of
+  /// buffering without limit.
+  std::size_t queue_max = 32;
+  /// Default per-request compute budget; a client may lower (or raise,
+  /// capped at 10 minutes) its own via the `X-Deadline-Ms` header.
+  /// Expiry surfaces as 504.
+  int deadline_ms = 2000;
+  /// A connection with no complete request for this long is dropped.
+  int read_timeout_ms = 5000;
+  /// A connection making no write progress for this long (slow or
+  /// stalled client) is dropped.
+  int write_timeout_ms = 5000;
+  /// Advisory Retry-After seconds on shed (503) responses.
+  int retry_after_s = 1;
+  /// Stall applied by an injected `slow_write` fault — long enough to
+  /// trip the write timeout in tests, bounded so nothing hangs.
+  int fault_stall_ms = 50;
+
+  /// Worker threads computing characterizations (the model is const
+  /// after load, so any number may share it).
+  std::size_t num_workers = 1;
+
+  /// Directory for the graceful-drain checkpoint ("" skips it). The
+  /// payload records the serve counters plus the bundle fingerprint so
+  /// an operator can audit what a drained server had done.
+  std::string checkpoint_dir;
+};
+
+/// Point-in-time serve counters (also mirrored into obs::Registry()
+/// under `serve.*` names, so /metrics and the JSONL sinks see them).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_client_error = 0;
+  std::uint64_t responses_server_error = 0;
+  std::uint64_t shed_total = 0;
+  std::uint64_t deadline_expired_total = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t inflight = 0;
+};
+
+/// Dependency-free HTTP/1.1 characterization server over one loaded
+/// model bundle.
+///
+/// Endpoints:
+///   GET  /status        small JSON: state, fingerprint, counters
+///   GET  /metrics       JSON rendering of the obs metrics snapshot
+///   POST /characterize?rows=N&cols=M
+///                       body: decisions CSV [+ "%%" line + movements
+///                       CSV]; responds one JSONL line per matcher
+///                       (batch answer, `"final":true`)
+///   POST /stream?rows=N&cols=M
+///                       same body; chunked JSONL, one line per
+///                       decision per matcher plus the exact Finalize
+///                       line — byte-identical schema to `mexi_cli
+///                       stream`
+///
+/// Threading: one poll thread owns every socket; workers (a private
+/// deterministic ThreadPool) compute complete response byte strings and
+/// hand them back through a completion queue + self-pipe wakeup. A
+/// generation counter guards against a completion landing on a
+/// recycled fd.
+///
+/// Robustness contract (exercised by tests/serve_chaos.sh):
+///   * admission bound: queue_max exceeded => immediate 503 +
+///     Retry-After, connection closed — bounded memory, no hang;
+///   * deadlines: expiry => 504 within 2x the configured budget;
+///   * slow clients: read/write timeouts drop the connection;
+///   * fault injection: every accept/read/write consults the global
+///     FaultInjector (sites net_accept/net_read/net_write; kinds
+///     conn_reset, slow_write, kill, abort);
+///   * graceful drain: RequestShutdown() (or SIGTERM via
+///     InstallSignalHandlers) stops accepting, finishes or
+///     deadline-outs in-flight work, commits the drain checkpoint, and
+///     Run() returns — a restarted server answers byte-identically.
+class Server {
+ public:
+  /// Takes ownership of the fitted model (typically from LoadBundle).
+  Server(ServerConfig config, Mexi model, std::uint64_t bundle_fingerprint);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. Throws robust::StatusError(kIoError) on
+  /// failure. After Start(), port() is the bound port.
+  void Start();
+  int port() const { return port_; }
+
+  /// Serves until shutdown is requested, then drains and returns.
+  void Run();
+
+  /// Thread- and signal-safe drain request.
+  void RequestShutdown();
+
+  /// Routes SIGTERM/SIGINT to server->RequestShutdown() semantics via a
+  /// self-pipe write (async-signal-safe). One server per process.
+  static void InstallSignalHandlers(Server* server);
+
+  /// Counter snapshot (for tests and the drain checkpoint).
+  ServerStats Stats() const;
+
+  std::uint64_t bundle_fingerprint() const { return fingerprint_; }
+
+ private:
+  struct Connection {
+    std::uint64_t generation = 0;
+    HttpRequestParser parser;
+    std::string outbuf;
+    std::size_t outpos = 0;
+    bool in_flight = false;
+    bool close_after_write = false;
+    std::chrono::steady_clock::time_point last_read;
+    std::chrono::steady_clock::time_point last_write_progress;
+  };
+
+  struct Completion {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  void PollOnce(int timeout_ms);
+  void AcceptNew();
+  void ReadFrom(int fd);
+  void WriteTo(int fd);
+  void CloseConn(int fd);
+  /// Acts on a parsed request (or parser error) for `fd`; re-arms the
+  /// parser for keep-alive and keeps going while pipelined requests are
+  /// already complete.
+  void DispatchReady(int fd);
+  /// Runs on a worker: computes the full response bytes for `request`
+  /// under `deadline` and enqueues the completion. `want_close` carries
+  /// the client's `Connection: close` preference into the response.
+  void ComputeResponse(int fd, std::uint64_t generation, HttpRequest request,
+                       std::chrono::steady_clock::time_point deadline,
+                       bool want_close);
+  void PushCompletion(Completion completion);
+  void DrainCompletions();
+  void SweepTimeouts();
+  void EnqueueInline(int fd, std::string bytes, bool close_after);
+  std::string StatusJson() const;
+  std::string MetricsJson() const;
+  void CommitDrainCheckpoint();
+
+  ServerConfig config_;
+  Mexi model_;
+  std::uint64_t fingerprint_ = 0;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  /// Self-pipe: workers write 'C' on completion, signal handlers and
+  /// RequestShutdown write 'S'.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::map<int, Connection> conns_;
+  std::uint64_t next_generation_ = 1;
+
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> inflight_{0};
+};
+
+/// Formats one emission in the exact JSONL schema of `mexi_cli stream`
+/// (`%.17g` doubles, so restart byte-identity is a `cmp`). Exposed for
+/// the server handlers and unit tests.
+std::string FormatEmissionLine(int matcher_id, std::size_t decision_index,
+                               bool is_final, const ExpertLabel& label,
+                               const std::vector<double>& probabilities);
+
+}  // namespace mexi::serve
+
+#endif  // MEXI_SERVE_SERVER_H_

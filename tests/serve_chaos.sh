@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Serving chaos drill: the mexi_serve robustness contract end to end.
+#
+#   1. conn_reset injected at net_write: the client's first response is
+#      torn away mid-write; the retrying bench client must recover and
+#      the recovered body must be byte-identical to the baseline.
+#   2. kill injected at net_write: the server dies with a real
+#      _Exit(137) mid-response; a restarted server loaded from the same
+#      bundle must answer byte-identically to the baseline.
+#   3. SIGTERM under load: a drain requested while a request is in
+#      flight must let that request finish (client exit 0, identical
+#      body), commit the drain checkpoint, and exit 0.
+set -u
+
+MEXI_SERVE="${MEXI_SERVE:?path to the mexi_serve binary (set by ctest)}"
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+BENCH="${BENCH_CLIENT:?path to the mexi_bench_client binary (set by ctest)}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "${SERVER_PID}" ] && kill -9 "${SERVER_PID}" 2> /dev/null
+  rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_chaos: FAIL: $*" >&2; exit 1; }
+
+# --- Training data and a sealed bundle --------------------------------
+DATA="${WORKDIR}/data"
+"${MEXI_CLI}" simulate --out "${DATA}" --matchers 12 --seed 47 --task po \
+    > "${WORKDIR}/simulate.log" || fail "simulate exited $?"
+read -r ROWS COLS < <(sed -n \
+    's/^rerun with: --rows \([0-9]*\) --cols \([0-9]*\)$/\1 \2/p' \
+    "${WORKDIR}/simulate.log")
+[ -n "${ROWS:-}" ] && [ -n "${COLS:-}" ] || fail "could not parse task dims"
+
+BUNDLE="${WORKDIR}/model.mxbn"
+"${MEXI_CLI}" bundle --dir "${DATA}" --out "${BUNDLE}" \
+    --rows "${ROWS}" --cols "${COLS}" > "${WORKDIR}/bundle.log" \
+    || fail "bundle exited $?"
+
+BODY="${WORKDIR}/traces.txt"
+cat "${DATA}/decisions.csv" > "${BODY}"
+printf '%%%%\n' >> "${BODY}"
+cat "${DATA}/movements.csv" >> "${BODY}"
+PATH_Q="/characterize?rows=${ROWS}&cols=${COLS}"
+
+# start_server <logfile> [extra env assignments as VAR=VALUE ...]
+# Launches mexi_serve on an ephemeral port, waits for readiness, and
+# sets SERVER_PID / SERVER_PORT.
+start_server() {
+  local log="$1"; shift
+  env "$@" "${MEXI_SERVE}" --bundle "${BUNDLE}" --port 0 \
+      --checkpoint-dir "${WORKDIR}/ckpt" > "${log}" 2>&1 &
+  SERVER_PID=$!
+  SERVER_PORT=""
+  for _ in $(seq 1 100); do
+    SERVER_PORT="$(sed -n \
+        's/^mexi_serve: listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+        "${log}" 2> /dev/null)"
+    [ -n "${SERVER_PORT}" ] && return 0
+    kill -0 "${SERVER_PID}" 2> /dev/null || fail "server died at startup: $(cat "${log}")"
+    sleep 0.1
+  done
+  fail "server never became ready: $(cat "${log}")"
+}
+
+stop_server() {
+  kill -TERM "${SERVER_PID}" 2> /dev/null
+  wait "${SERVER_PID}" 2> /dev/null
+  SERVER_PID=""
+}
+
+# --- Baseline ---------------------------------------------------------
+start_server "${WORKDIR}/server.base.log"
+"${BENCH}" --port "${SERVER_PORT}" --path "${PATH_Q}" \
+    --body-file "${BODY}" > "${WORKDIR}/baseline.jsonl" \
+    || fail "baseline request exited $?"
+LINES=$(wc -l < "${WORKDIR}/baseline.jsonl")
+[ "${LINES}" -eq 12 ] || fail "expected 12 baseline lines, got ${LINES}"
+stop_server
+
+# --- 1. conn_reset at net_write: retry recovers, byte-identical -------
+start_server "${WORKDIR}/server.reset.log" MEXI_FAULTS="conn_reset@net_write:1"
+"${BENCH}" --port "${SERVER_PORT}" --path "${PATH_Q}" \
+    --body-file "${BODY}" --retries 5 \
+    > "${WORKDIR}/reset.jsonl" 2> "${WORKDIR}/reset.err" \
+    || fail "client did not recover from conn_reset: $(cat "${WORKDIR}/reset.err")"
+cmp "${WORKDIR}/baseline.jsonl" "${WORKDIR}/reset.jsonl" \
+    || fail "recovered response differs from baseline"
+stop_server
+
+# --- 2. kill at net_write, then restart byte-identity -----------------
+start_server "${WORKDIR}/server.kill.log" MEXI_FAULTS="kill@net_write:1"
+"${BENCH}" --port "${SERVER_PORT}" --path "${PATH_Q}" \
+    --body-file "${BODY}" --retries 2 --base-backoff-ms 20 \
+    > /dev/null 2>&1
+wait "${SERVER_PID}" 2> /dev/null
+RC=$?
+SERVER_PID=""
+[ "${RC}" -eq 137 ] || fail "expected server exit 137 after kill fault, got ${RC}"
+
+start_server "${WORKDIR}/server.restart.log"
+"${BENCH}" --port "${SERVER_PORT}" --path "${PATH_Q}" \
+    --body-file "${BODY}" > "${WORKDIR}/restart.jsonl" \
+    || fail "restarted server request exited $?"
+cmp "${WORKDIR}/baseline.jsonl" "${WORKDIR}/restart.jsonl" \
+    || fail "restarted server is not byte-identical to baseline"
+stop_server
+
+# --- 3. SIGTERM under load: drain, checkpoint, exit 0 -----------------
+rm -rf "${WORKDIR}/ckpt"
+start_server "${WORKDIR}/server.drain.log"
+"${BENCH}" --port "${SERVER_PORT}" --path "${PATH_Q}" \
+    --body-file "${BODY}" > "${WORKDIR}/drain.jsonl" \
+    2> "${WORKDIR}/drain.err" &
+CLIENT_PID=$!
+sleep 0.3  # let the request land in flight
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" 2> /dev/null
+RC=$?
+SERVER_PID=""
+[ "${RC}" -eq 0 ] || fail "drain exit code ${RC}: $(cat "${WORKDIR}/server.drain.log")"
+wait "${CLIENT_PID}"
+CLIENT_RC=$?
+[ "${CLIENT_RC}" -eq 0 ] \
+    || fail "in-flight client lost its response during drain: $(cat "${WORKDIR}/drain.err")"
+cmp "${WORKDIR}/baseline.jsonl" "${WORKDIR}/drain.jsonl" \
+    || fail "drained in-flight response differs from baseline"
+[ -f "${WORKDIR}/ckpt/serve.bin" ] \
+    || fail "drain checkpoint was not committed"
+grep -q "drained" "${WORKDIR}/server.drain.log" \
+    || fail "no drain summary line in server log"
+
+echo "serve_chaos: PASS"

@@ -1,0 +1,174 @@
+#include "serve/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/mexi.h"
+#include "core/streaming.h"
+#include "robust/status.h"
+#include "test_fixtures.h"
+
+namespace mexi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Same fast training recipe as test_streaming.cc — bundle semantics are
+/// shape-independent.
+MexiConfig FastConfig() {
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  return config;
+}
+
+class BundleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(12, 47).release();
+    const auto measures = ComputeAllMeasures(fixture_->input);
+    const ExpertThresholds thresholds = FitThresholds(measures);
+    const auto labels = LabelsFromMeasures(measures, thresholds);
+    model_ = new Mexi(FastConfig());
+    model_->Fit(fixture_->input.matchers, labels, fixture_->input.context);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete fixture_;
+    model_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mexi_bundle_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string BundlePath() const { return (dir_ / "model.mxbn").string(); }
+
+  static void FlipByte(const std::string& path, std::size_t offset) {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  static testing::StudyFixture* fixture_;
+  static Mexi* model_;
+  fs::path dir_;
+};
+
+testing::StudyFixture* BundleTest::fixture_ = nullptr;
+Mexi* BundleTest::model_ = nullptr;
+
+/// The serve contract: a loaded bundle answers bitwise-identically to
+/// the model that wrote it — labels and probabilities, EXPECT_EQ on
+/// doubles, every matcher.
+TEST_F(BundleTest, RoundTripIsBitwiseIdentical) {
+  SaveBundle(BundlePath(), *model_);
+  std::uint64_t fingerprint = 0;
+  Mexi loaded = LoadBundle(BundlePath(), &fingerprint);
+  EXPECT_EQ(fingerprint, model_->ConfigFingerprint());
+
+  for (const MatcherView& view : fixture_->input.matchers) {
+    const ExpertLabel want_label = model_->Characterize(view);
+    const std::vector<double> want_proba = model_->CharacterizeProba(view);
+    EXPECT_EQ(loaded.Characterize(view).ToVector(), want_label.ToVector());
+    const std::vector<double> got_proba = loaded.CharacterizeProba(view);
+    ASSERT_EQ(got_proba.size(), want_proba.size());
+    for (std::size_t c = 0; c < want_proba.size(); ++c) {
+      EXPECT_EQ(got_proba[c], want_proba[c]) << "label " << c;
+    }
+  }
+}
+
+/// A reloaded bundle streams exactly like the original — the serve
+/// restart byte-identity guarantee rests on this.
+TEST_F(BundleTest, RoundTripStreamsIdentically) {
+  SaveBundle(BundlePath(), *model_);
+  Mexi loaded = LoadBundle(BundlePath());
+  const MatcherView& view = fixture_->input.matchers[0];
+  auto run = [&view](Mexi& m) {
+    StreamingCharacterizer stream = m.OpenStream(
+        view.source_size, view.target_size, view.movement->screen_width(),
+        view.movement->screen_height());
+    std::vector<StreamEmission> out;
+    for (std::size_t k = 0; k < view.history->size(); ++k) {
+      out.push_back(stream.PushDecision(view.history->at(k)));
+    }
+    out.push_back(stream.Finalize());
+    return out;
+  };
+  const auto want = run(*model_);
+  const auto got = run(loaded);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(got[k].confidence, want[k].confidence) << "emission " << k;
+    ASSERT_EQ(got[k].probabilities.size(), want[k].probabilities.size());
+    for (std::size_t c = 0; c < want[k].probabilities.size(); ++c) {
+      EXPECT_EQ(got[k].probabilities[c], want[k].probabilities[c]);
+    }
+  }
+}
+
+TEST_F(BundleTest, SavingAnUnfittedModelThrowsInvalidArgument) {
+  Mexi unfitted(FastConfig());
+  try {
+    SaveBundle(BundlePath(), unfitted);
+    FAIL() << "expected StatusError";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kInvalidArgument);
+  }
+  EXPECT_FALSE(fs::exists(BundlePath()));
+}
+
+TEST_F(BundleTest, MissingFileIsNotFound) {
+  try {
+    LoadBundle(BundlePath());
+    FAIL() << "expected StatusError";
+  } catch (const robust::StatusError& e) {
+    EXPECT_EQ(e.status().code(), robust::StatusCode::kNotFound);
+  }
+}
+
+/// Every byte of the bundle is covered by the envelope checksum: flip
+/// any one and the load is rejected as corruption, never served.
+TEST_F(BundleTest, SingleBitFlipAnywhereIsRejected) {
+  SaveBundle(BundlePath(), *model_);
+  const std::uintmax_t size = fs::file_size(BundlePath());
+  ASSERT_GT(size, 64u);
+  // Probe a spread of offsets: envelope header, bundle header (tag,
+  // version, fingerprint live right after the 16-byte envelope), and
+  // deep payload.
+  const std::size_t offsets[] = {0, 4, 8, 16, 20, 24, 28,
+                                 static_cast<std::size_t>(size / 2),
+                                 static_cast<std::size_t>(size - 1)};
+  for (const std::size_t offset : offsets) {
+    SCOPED_TRACE(offset);
+    SaveBundle(BundlePath(), *model_);
+    FlipByte(BundlePath(), offset);
+    EXPECT_THROW(LoadBundle(BundlePath()), robust::StatusError);
+  }
+}
+
+}  // namespace
+}  // namespace mexi::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "robust/status.h"
 
 namespace mexi::robust {
@@ -104,12 +106,14 @@ TEST(FaultInjectionTest, NamesRoundTripInSpec) {
   const FaultKind kinds[] = {FaultKind::kShortWrite, FaultKind::kBitFlip,
                              FaultKind::kEnospc,     FaultKind::kNan,
                              FaultKind::kAbort,      FaultKind::kKill,
-                             FaultKind::kTornRead,   FaultKind::kEintr};
+                             FaultKind::kTornRead,   FaultKind::kEintr,
+                             FaultKind::kConnReset,  FaultKind::kSlowWrite};
   const FaultSite sites[] = {
       FaultSite::kCheckpointWrite, FaultSite::kLstmGradient,
       FaultSite::kCnnGradient,     FaultSite::kLogRegGradient,
       FaultSite::kEpochEnd,        FaultSite::kFoldEnd,
-      FaultSite::kIoRead};
+      FaultSite::kIoRead,          FaultSite::kNetAccept,
+      FaultSite::kNetRead,         FaultSite::kNetWrite};
   for (FaultKind kind : kinds) {
     for (FaultSite site : sites) {
       FaultInjector injector;
@@ -119,6 +123,49 @@ TEST(FaultInjectionTest, NamesRoundTripInSpec) {
       EXPECT_EQ(injector.Hit(site), kind) << spec;
     }
   }
+}
+
+TEST(FaultInjectionTest, NetworkSitesKeepIndependentCounters) {
+  // The serving edges are three distinct sites: a clause armed at
+  // net_write must not fire from reads or accepts, and each site's hit
+  // counter advances on its own.
+  FaultInjector injector;
+  injector.Configure(
+      "conn_reset@net_write:2,slow_write@net_read:1,kill@net_accept:3");
+  EXPECT_EQ(injector.Hit(FaultSite::kNetRead), FaultKind::kSlowWrite);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetWrite), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetAccept), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetWrite), FaultKind::kConnReset);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetAccept), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetAccept), FaultKind::kKill);
+  // Every clause fired exactly once; all three sites are quiet now.
+  EXPECT_EQ(injector.Hit(FaultSite::kNetRead), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetWrite), FaultKind::kNone);
+  EXPECT_EQ(injector.Hit(FaultSite::kNetAccept), FaultKind::kNone);
+}
+
+TEST(FaultInjectionTest, ConnResetAndSlowWriteAreReplayable) {
+  // Same spec + seed -> the same firing pattern, run after run. The
+  // serve chaos harness leans on this to make network faults
+  // deterministic for a fixed request schedule.
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector;
+    injector.Configure("conn_reset@net_write:3,slow_write@net_write:5", 7);
+    std::vector<FaultKind> fired;
+    for (int i = 0; i < 6; ++i) fired.push_back(injector.Hit(FaultSite::kNetWrite));
+    const std::vector<FaultKind> want = {
+        FaultKind::kNone,      FaultKind::kNone, FaultKind::kConnReset,
+        FaultKind::kNone,      FaultKind::kSlowWrite, FaultKind::kNone};
+    EXPECT_EQ(fired, want) << "run " << run;
+  }
+}
+
+TEST(FaultInjectionTest, NetworkSpecNamesRoundTrip) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kConnReset), "conn_reset");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSlowWrite), "slow_write");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kNetAccept), "net_accept");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kNetRead), "net_read");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kNetWrite), "net_write");
 }
 
 }  // namespace

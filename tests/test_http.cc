@@ -1,0 +1,177 @@
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "robust/status.h"
+
+namespace mexi::serve {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State FeedAll(HttpRequestParser& parser, const std::string& bytes) {
+  return parser.Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParser, ParsesRequestLineQueryAndHeaders) {
+  HttpRequestParser parser;
+  const State state = FeedAll(
+      parser,
+      "GET /characterize?rows=4&cols=6 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Deadline-Ms:  250 \r\n"
+      "\r\n");
+  ASSERT_EQ(state, State::kDone);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/characterize");
+  EXPECT_EQ(request.query, "rows=4&cols=6");
+  // Lookup is case-insensitive and values are trimmed.
+  EXPECT_EQ(request.Header("x-deadline-ms"), "250");
+  EXPECT_EQ(request.Header("X-DEADLINE-MS"), "250");
+  EXPECT_EQ(request.Header("absent"), "");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpParser, AssemblesBodyAcrossByteAtATimeFeeds) {
+  const std::string wire =
+      "POST /stream HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  HttpRequestParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.Feed(&wire[i], 1), State::kReading) << "byte " << i;
+  }
+  ASSERT_EQ(parser.Feed(&wire[wire.size() - 1], 1), State::kDone);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpParser, ResetPreservesPipelinedBytes) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "GET /status HTTP/1.1\r\n\r\n"
+                    "GET /metrics HTTP/1.1\r\n\r\n"),
+            State::kDone);
+  EXPECT_EQ(parser.request().path, "/status");
+  parser.Reset();
+  // The second request was already buffered and parses without new bytes.
+  ASSERT_EQ(parser.state(), State::kDone);
+  EXPECT_EQ(parser.request().path, "/metrics");
+  parser.Reset();
+  EXPECT_EQ(parser.state(), State::kReading);
+}
+
+TEST(HttpParser, RejectsBadGrammarWithRightStatuses) {
+  {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(parser, "NONSENSE\r\n\r\n"), State::kError);
+    EXPECT_EQ(parser.http_error(), 400);
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(parser, "GET /x HTTP/0.9\r\n\r\n"), State::kError);
+    EXPECT_EQ(parser.http_error(), 505);
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(parser, "GET noslash HTTP/1.1\r\n\r\n"), State::kError);
+    EXPECT_EQ(parser.http_error(), 400);
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(parser,
+                      "GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+              State::kError);
+    EXPECT_EQ(parser.http_error(), 400);
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_EQ(
+        FeedAll(parser,
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+        State::kError);
+    EXPECT_EQ(parser.http_error(), 400);
+  }
+}
+
+TEST(HttpParser, BoundsHeaderAndBodySizes) {
+  {
+    // An unterminated header block larger than the limit parks in kError
+    // before buffering more.
+    HttpRequestParser parser;
+    const std::string flood(HttpRequestParser::kMaxHeaderBytes + 64, 'a');
+    EXPECT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\nX: " + flood),
+              State::kError);
+    EXPECT_EQ(parser.http_error(), 431);
+  }
+  {
+    // A declared body beyond the cap is rejected from the header alone —
+    // the bytes are never accumulated.
+    HttpRequestParser parser;
+    EXPECT_EQ(
+        FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: " +
+                            std::to_string(HttpRequestParser::kMaxBodyBytes +
+                                           1) +
+                            "\r\n\r\n"),
+        State::kError);
+    EXPECT_EQ(parser.http_error(), 413);
+  }
+}
+
+TEST(HttpParser, ErrorStateIgnoresFurtherBytes) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "BAD\r\n\r\n"), State::kError);
+  EXPECT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\n\r\n"), State::kError);
+  parser.Reset();
+  EXPECT_EQ(parser.http_error(), 0);
+}
+
+TEST(HttpHelpers, QueryParamFindsTokens) {
+  EXPECT_EQ(QueryParam("rows=4&cols=6", "rows"), "4");
+  EXPECT_EQ(QueryParam("rows=4&cols=6", "cols"), "6");
+  EXPECT_EQ(QueryParam("rows=4&cols=6", "depth"), "");
+  EXPECT_EQ(QueryParam("", "rows"), "");
+  EXPECT_EQ(QueryParam("flag&rows=9", "rows"), "9");
+}
+
+TEST(HttpHelpers, FormatsFixedLengthResponses) {
+  const std::string response = FormatHttpResponse(
+      503, "application/json", "{}", {{"Retry-After", "1"}}, /*close=*/true);
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 6), "\r\n\r\n{}");
+}
+
+TEST(HttpHelpers, ChunkedEncodingRoundTrips) {
+  EXPECT_EQ(EncodeChunk("abc"), "3\r\nabc\r\n");
+  // 26 bytes => hex "1a".
+  EXPECT_EQ(EncodeChunk(std::string(26, 'x')),
+            "1a\r\n" + std::string(26, 'x') + "\r\n");
+  // An empty chunk would terminate the stream early, so it encodes to
+  // nothing; termination is explicit via FinalChunk.
+  EXPECT_EQ(EncodeChunk(""), "");
+  EXPECT_EQ(FinalChunk(), "0\r\n\r\n");
+  const std::string header = FormatChunkedHeader(200, "application/x-ndjson");
+  EXPECT_NE(header.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(header.find("Content-Length"), std::string::npos);
+}
+
+TEST(HttpHelpers, StatusCodeMappingCoversEveryCategory) {
+  using robust::StatusCode;
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kParseError), 400);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kResourceExhausted), 503);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kAborted), 503);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kIoError), 500);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kCorruption), 500);
+  EXPECT_EQ(HttpStatusFromCode(StatusCode::kDivergence), 500);
+}
+
+}  // namespace
+}  // namespace mexi::serve

@@ -1,0 +1,488 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mexi.h"
+#include "matching/io.h"
+#include "robust/checkpoint.h"
+#include "robust/serialize.h"
+#include "serve/bundle.h"
+#include "serve/http.h"
+#include "test_fixtures.h"
+
+namespace mexi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+MexiConfig FastConfig() {
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.seq.lstm.epochs = 3;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 2;
+  config.spa.pretrain_images = 8;
+  config.spa.pretrain_epochs = 1;
+  return config;
+}
+
+/// A decoded HTTP response from the raw-socket test client.
+struct RawResponse {
+  bool ok = false;  // transport-level success + parseable header block
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;                            // de-chunked
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string ReadToEof(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+RawResponse ParseResponse(const std::string& wire) {
+  RawResponse response;
+  const std::size_t header_end = wire.find("\r\n\r\n");
+  if (header_end == std::string::npos) return response;
+  std::istringstream head(wire.substr(0, header_end));
+  std::string line;
+  if (!std::getline(head, line)) return response;
+  if (line.rfind("HTTP/1.1 ", 0) != 0) return response;
+  response.status = std::atoi(line.c_str() + 9);
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    const std::size_t start = value.find_first_not_of(' ');
+    value = start == std::string::npos ? "" : value.substr(start);
+    response.headers[Lower(line.substr(0, colon))] = value;
+  }
+  std::string raw_body = wire.substr(header_end + 4);
+  if (response.headers.count("transfer-encoding")) {
+    // De-chunk: <hex>\r\n<bytes>\r\n ... 0\r\n\r\n
+    std::string decoded;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t eol = raw_body.find("\r\n", pos);
+      if (eol == std::string::npos) return response;  // truncated
+      const long size = std::strtol(raw_body.c_str() + pos, nullptr, 16);
+      if (size < 0) return response;
+      if (size == 0) break;
+      pos = eol + 2;
+      if (pos + static_cast<std::size_t>(size) + 2 > raw_body.size()) {
+        return response;  // truncated chunk
+      }
+      decoded.append(raw_body, pos, static_cast<std::size_t>(size));
+      pos += static_cast<std::size_t>(size) + 2;
+    }
+    response.body = std::move(decoded);
+  } else {
+    response.body = std::move(raw_body);
+  }
+  response.ok = true;
+  return response;
+}
+
+/// One-shot request with Connection: close, reading the socket to EOF.
+RawResponse Fetch(int port, const std::string& method, const std::string& path,
+                  const std::string& body = "",
+                  const std::vector<std::pair<std::string, std::string>>&
+                      extra_headers = {}) {
+  const int fd = ConnectTo(port);
+  if (fd < 0) return {};
+  std::string request = method + " " + path + " HTTP/1.1\r\n" +
+                        "Host: 127.0.0.1\r\nConnection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  RawResponse response;
+  if (SendAll(fd, request)) response = ParseResponse(ReadToEof(fd));
+  ::close(fd);
+  return response;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = testing::MakeSmallPoFixture(12, 47).release();
+    const auto measures = ComputeAllMeasures(fixture_->input);
+    const ExpertThresholds thresholds = FitThresholds(measures);
+    const auto labels = LabelsFromMeasures(measures, thresholds);
+    model_ = new Mexi(FastConfig());
+    model_->Fit(fixture_->input.matchers, labels, fixture_->input.context);
+    robust::BinaryWriter writer;
+    model_->SaveState(writer);
+    model_bytes_ = new std::vector<std::uint8_t>(writer.buffer());
+  }
+  static void TearDownTestSuite() {
+    delete model_bytes_;
+    delete model_;
+    delete fixture_;
+    model_bytes_ = nullptr;
+    model_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  /// Starts a server over a deserialized copy of the shared model
+  /// (Mexi is move-only) and runs its poll loop on a background thread.
+  void StartServer(ServerConfig config) {
+    config.host = "127.0.0.1";
+    config.port = 0;
+    Mexi copy;
+    robust::BinaryReader reader(*model_bytes_);
+    copy.LoadState(reader);
+    server_ = std::make_unique<Server>(config, std::move(copy),
+                                       model_->ConfigFingerprint());
+    server_->Start();
+    runner_ = std::thread([this] { server_->Run(); });
+  }
+
+  void StopServer() {
+    if (server_ && runner_.joinable()) {
+      server_->RequestShutdown();
+      runner_.join();
+    }
+    server_.reset();
+  }
+
+  void TearDown() override { StopServer(); }
+
+  int Port() const { return server_->port(); }
+
+  /// The POST body for `matchers`: decisions CSV + "%%" + movements CSV,
+  /// written at full precision so the server parses the same doubles.
+  static std::string TracesBody(
+      const std::vector<matching::LoadedMatcher>& matchers) {
+    std::ostringstream decisions;
+    decisions << std::setprecision(17);
+    matching::WriteDecisionsCsv(matchers, decisions);
+    std::ostringstream movements;
+    movements << std::setprecision(17);
+    matching::WriteMovementsCsv(matchers, movements);
+    return decisions.str() + "%%\n" + movements.str();
+  }
+
+  /// Round-trips `body` through the same CSV readers the server uses, so
+  /// expected answers are computed on bit-identical parsed inputs.
+  static std::vector<matching::LoadedMatcher> Reparse(
+      const std::string& body) {
+    const std::size_t sep = body.find("\n%%\n");
+    std::istringstream decisions(body.substr(0, sep + 1));
+    auto matchers = matching::ReadDecisionsCsv(decisions);
+    std::istringstream movements(body.substr(sep + 4));
+    matching::ReadMovementsCsv(movements, &matchers);
+    return matchers;
+  }
+
+  static std::size_t Rows() { return fixture_->input.matchers[0].source_size; }
+  static std::size_t Cols() { return fixture_->input.matchers[0].target_size; }
+  static std::string CharacterizePath() {
+    return "/characterize?rows=" + std::to_string(Rows()) +
+           "&cols=" + std::to_string(Cols());
+  }
+  static std::string StreamPath() {
+    return "/stream?rows=" + std::to_string(Rows()) +
+           "&cols=" + std::to_string(Cols());
+  }
+
+  static std::vector<matching::LoadedMatcher> FirstMatchers(std::size_t n) {
+    std::vector<matching::LoadedMatcher> out;
+    for (std::size_t i = 0; i < n && i < fixture_->input.matchers.size();
+         ++i) {
+      const MatcherView& view = fixture_->input.matchers[i];
+      matching::LoadedMatcher lm;
+      lm.id = static_cast<int>(i);
+      lm.history = *view.history;
+      lm.movement = *view.movement;
+      out.push_back(std::move(lm));
+    }
+    return out;
+  }
+
+  static testing::StudyFixture* fixture_;
+  static Mexi* model_;
+  static std::vector<std::uint8_t>* model_bytes_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+testing::StudyFixture* ServeTest::fixture_ = nullptr;
+Mexi* ServeTest::model_ = nullptr;
+std::vector<std::uint8_t>* ServeTest::model_bytes_ = nullptr;
+
+TEST_F(ServeTest, StatusAndMetricsServeInline) {
+  StartServer({});
+  const RawResponse status = Fetch(Port(), "GET", "/status");
+  ASSERT_TRUE(status.ok);
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"state\":\"serving\""), std::string::npos);
+  EXPECT_NE(status.body.find(std::to_string(model_->ConfigFingerprint())),
+            std::string::npos);
+  EXPECT_EQ(status.headers.at("content-type"), "application/json");
+
+  const RawResponse metrics = Fetch(Port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("\"counters\""), std::string::npos);
+}
+
+/// The batch endpoint answers byte-identically to local inference on the
+/// same parsed traces — the restart-identity guarantee in miniature.
+TEST_F(ServeTest, CharacterizeMatchesLocalInferenceByteForByte) {
+  StartServer({});
+  const std::string body = TracesBody(FirstMatchers(3));
+  const RawResponse response =
+      Fetch(Port(), "POST", CharacterizePath(), body);
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.headers.at("content-type"), "application/x-ndjson");
+
+  std::string expected;
+  for (const matching::LoadedMatcher& lm : Reparse(body)) {
+    MatcherView view;
+    view.history = &lm.history;
+    view.movement = &lm.movement;
+    view.source_size = Rows();
+    view.target_size = Cols();
+    expected += FormatEmissionLine(lm.id, lm.history.size(), true,
+                                   model_->Characterize(view),
+                                   model_->CharacterizeProba(view));
+  }
+  EXPECT_EQ(response.body, expected);
+}
+
+/// /stream emits one chunked JSONL line per decision plus the Finalize
+/// line, whose probabilities equal the batch answer bitwise.
+TEST_F(ServeTest, StreamEmitsPerDecisionLinesAndExactFinal) {
+  StartServer({});
+  const std::string body = TracesBody(FirstMatchers(1));
+  const RawResponse response =
+      Fetch(Port(), "POST", StreamPath(), body);
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.headers.at("transfer-encoding"), "chunked");
+
+  std::vector<std::string> lines;
+  std::istringstream in(response.body);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  const auto matchers = Reparse(body);
+  ASSERT_EQ(lines.size(), matchers[0].history.size() + 1);
+  for (std::size_t k = 0; k + 1 < lines.size(); ++k) {
+    EXPECT_NE(lines[k].find("\"final\":false"), std::string::npos) << k;
+  }
+
+  MatcherView view;
+  view.history = &matchers[0].history;
+  view.movement = &matchers[0].movement;
+  view.source_size = Rows();
+  view.target_size = Cols();
+  const std::string expected_final = FormatEmissionLine(
+      matchers[0].id, matchers[0].history.size(), true,
+      model_->Characterize(view), model_->CharacterizeProba(view));
+  EXPECT_EQ(lines.back() + "\n", expected_final);
+}
+
+TEST_F(ServeTest, MalformedRequestsGetClientErrors) {
+  StartServer({});
+  // Unknown path.
+  EXPECT_EQ(Fetch(Port(), "GET", "/nope").status, 404);
+  // Wrong method on a POST endpoint.
+  EXPECT_EQ(Fetch(Port(), "GET", "/characterize?rows=2&cols=2").status, 405);
+  // Missing the task shape.
+  const std::string body = TracesBody(FirstMatchers(1));
+  EXPECT_EQ(Fetch(Port(), "POST", "/characterize", body).status, 400);
+  // Garbage payload.
+  EXPECT_EQ(Fetch(Port(), "POST", CharacterizePath(),
+                  "not,a,csv")
+                .status,
+            400);
+  // Unparseable request line.
+  const int fd = ConnectTo(Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "BOGUS\r\n\r\n"));
+  const RawResponse bad = ParseResponse(ReadToEof(fd));
+  ::close(fd);
+  ASSERT_TRUE(bad.ok);
+  EXPECT_EQ(bad.status, 400);
+}
+
+/// An expired budget surfaces as 504: a 1 ms deadline queued behind a
+/// slow request on the single worker has already expired when the worker
+/// reaches it.
+TEST_F(ServeTest, ExpiredDeadlineReturns504) {
+  ServerConfig config;
+  config.num_workers = 1;
+  config.queue_max = 8;
+  StartServer(config);
+  const std::string slow_body = TracesBody(FirstMatchers(12));
+  const std::string fast_body = TracesBody(FirstMatchers(1));
+
+  // Occupy the worker, then race the doomed request in behind it.
+  std::thread slow([&] {
+    Fetch(Port(), "POST", CharacterizePath(), slow_body);
+  });
+  RawResponse doomed;
+  const auto start = std::chrono::steady_clock::now();
+  doomed = Fetch(Port(), "POST", CharacterizePath(), fast_body,
+                 {{"X-Deadline-Ms", "1"}});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  slow.join();
+  ASSERT_TRUE(doomed.ok);
+  // The doomed request either queued behind the slow one (504) or won
+  // the race to the worker and finished inside its budget (200); both
+  // are legal — but a 504 must arrive promptly, never hang.
+  if (doomed.status == 504) {
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                  .count(),
+              10000);
+    EXPECT_NE(doomed.body.find("deadline"), std::string::npos);
+  } else {
+    EXPECT_EQ(doomed.status, 200);
+  }
+}
+
+/// Admission control: beyond queue_max the server sheds immediately with
+/// 503 + Retry-After instead of buffering without bound.
+TEST_F(ServeTest, FullQueueShedsWith503RetryAfter) {
+  ServerConfig config;
+  config.num_workers = 1;
+  config.queue_max = 1;
+  config.retry_after_s = 7;
+  StartServer(config);
+  const std::string slow_body = TracesBody(FirstMatchers(12));
+
+  std::thread slow([&] {
+    Fetch(Port(), "POST", CharacterizePath(), slow_body);
+  });
+  // Wait until the slow request is admitted (inflight >= 1), then any
+  // further admission must shed.
+  bool admitted = false;
+  for (int i = 0; i < 200 && !admitted; ++i) {
+    const RawResponse status = Fetch(Port(), "GET", "/status");
+    if (status.ok && status.body.find("\"inflight\":0") == std::string::npos) {
+      admitted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  RawResponse shed;
+  if (admitted) {
+    shed = Fetch(Port(), "POST", CharacterizePath(),
+                 TracesBody(FirstMatchers(1)));
+  }
+  slow.join();
+  if (!admitted) GTEST_SKIP() << "slow request finished before observation";
+  ASSERT_TRUE(shed.ok);
+  // The slow request may have completed between the /status poll and the
+  // shed probe; only a genuine overlap must produce the 503.
+  if (shed.status == 503) {
+    EXPECT_EQ(shed.headers.at("retry-after"), "7");
+  } else {
+    EXPECT_EQ(shed.status, 200);
+  }
+}
+
+/// Graceful drain: RequestShutdown stops the loop, Run() returns, and
+/// the drain checkpoint (fingerprint + counters) is committed.
+TEST_F(ServeTest, DrainCommitsCheckpointAndStops) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "mexi_serve_drain_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ServerConfig config;
+  config.checkpoint_dir = dir.string();
+  StartServer(config);
+  EXPECT_EQ(Fetch(Port(), "GET", "/status").status, 200);
+  StopServer();
+
+  robust::CheckpointManager manager(dir.string(), "serve");
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(manager.LoadLatest(&payload).ok());
+  ASSERT_GE(payload.size(), 4u + 8u);
+  EXPECT_EQ(std::string(payload.begin(), payload.begin() + 4), "MXSV");
+  fs::remove_all(dir);
+}
+
+/// A drained server leaves no background threads: StartServer/StopServer
+/// twice over the same model is clean (Run() returns, sockets release).
+TEST_F(ServeTest, RestartOnSamePortPatternIsClean) {
+  StartServer({});
+  const std::string body = TracesBody(FirstMatchers(1));
+  const RawResponse first =
+      Fetch(Port(), "POST", CharacterizePath(), body);
+  ASSERT_EQ(first.status, 200);
+  StopServer();
+
+  StartServer({});
+  const RawResponse second =
+      Fetch(Port(), "POST", CharacterizePath(), body);
+  ASSERT_EQ(second.status, 200);
+  // Restarted server answers byte-identically.
+  EXPECT_EQ(second.body, first.body);
+}
+
+}  // namespace
+}  // namespace mexi::serve

@@ -8,6 +8,7 @@
 #include "core/mexi.h"
 #include "ml/vmath/vmath.h"
 #include "parallel/parallel_for.h"
+#include "robust/status.h"
 #include "test_fixtures.h"
 
 namespace mexi {
@@ -297,6 +298,125 @@ TEST_F(StreamingTest, OpenStreamBeforeFitThrows) {
   Mexi unfitted(FastConfig());
   EXPECT_THROW(unfitted.OpenStream(10, 10, 1920.0, 1080.0),
                std::logic_error);
+}
+
+/// Defensive edge: Finalize on a stream that has seen nothing is legal
+/// and matches the batch answer for an empty trace — a server draining
+/// a connection that opened a stream but never sent a decision must not
+/// crash or emit garbage.
+TEST_F(StreamingTest, FinalizeAfterZeroDecisionsMatchesBatchOnEmptyTrace) {
+  const MatcherView& view = fixture_->input.matchers[0];
+  StreamingCharacterizer stream = model_->OpenStream(
+      view.source_size, view.target_size, view.movement->screen_width(),
+      view.movement->screen_height());
+  const StreamEmission final = stream.Finalize();
+  EXPECT_TRUE(final.is_final);
+  EXPECT_EQ(final.decision_index, 0u);
+
+  const matching::DecisionHistory empty_history = view.history->Prefix(0);
+  const matching::MovementMap empty_slice = view.movement->TimeSlice(1.0, 0.0);
+  MatcherView empty_view = view;
+  empty_view.history = &empty_history;
+  empty_view.movement = &empty_slice;
+  const std::vector<double> batch_proba =
+      model_->CharacterizeProba(empty_view);
+  ASSERT_EQ(final.probabilities.size(), batch_proba.size());
+  for (std::size_t c = 0; c < batch_proba.size(); ++c) {
+    EXPECT_EQ(final.probabilities[c], batch_proba[c]) << "label " << c;
+  }
+  EXPECT_EQ(final.label.ToVector(),
+            model_->Characterize(empty_view).ToVector());
+}
+
+/// Defensive edge: Finalize twice in a row is idempotent — bitwise
+/// identical emissions, no state consumed.
+TEST_F(StreamingTest, DoubleFinalizeIsBitwiseIdempotent) {
+  const MatcherView& view = fixture_->input.matchers[2];
+  ASSERT_GT(view.history->size(), 3u);
+  StreamingCharacterizer stream = model_->OpenStream(
+      view.source_size, view.target_size, view.movement->screen_width(),
+      view.movement->screen_height());
+  for (std::size_t k = 0; k < 3; ++k) stream.PushDecision(view.history->at(k));
+  const StreamEmission first = stream.Finalize();
+  const StreamEmission second = stream.Finalize();
+  ExpectBitwiseEqual(first, second);
+}
+
+/// Defensive edge: a rejected PushDecision must leave the stream exactly
+/// as it was — validation happens before any accumulator mutation, so
+/// the next Finalize still describes the accepted prefix bitwise and a
+/// subsequent valid push works. Exercises every rejection class.
+TEST_F(StreamingTest, RejectedPushLeavesStreamUntouched) {
+  const MatcherView& view = fixture_->input.matchers[0];
+  ASSERT_GT(view.history->size(), 3u);
+  StreamingCharacterizer stream = model_->OpenStream(
+      view.source_size, view.target_size, view.movement->screen_width(),
+      view.movement->screen_height());
+  for (std::size_t k = 0; k < 2; ++k) stream.PushDecision(view.history->at(k));
+  const StreamEmission before = stream.Finalize();
+  const double last_ts = view.history->at(1).timestamp;
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  matching::Decision bad;
+  bad.source = 0;
+  bad.target = 0;
+  bad.confidence = 0.5;
+  bad.timestamp = last_ts + 1.0;
+
+  auto expect_rejected = [&stream](const matching::Decision& d) {
+    try {
+      stream.PushDecision(d);
+      FAIL() << "expected StatusError";
+    } catch (const robust::StatusError& e) {
+      EXPECT_EQ(e.status().code(), robust::StatusCode::kInvalidArgument);
+    }
+  };
+
+  {
+    matching::Decision d = bad;
+    d.confidence = nan;
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.confidence = 1.5;
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.confidence = -0.25;
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.timestamp = nan;
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.timestamp = last_ts - 1.0;  // regressing clock
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.source = view.source_size;  // off the end of the task
+    expect_rejected(d);
+  }
+  {
+    matching::Decision d = bad;
+    d.target = view.target_size;
+    expect_rejected(d);
+  }
+
+  // Nothing leaked into the accumulators: the emission for the accepted
+  // prefix is unchanged, bit for bit.
+  const StreamEmission after = stream.Finalize();
+  ExpectBitwiseEqual(before, after);
+
+  // And the stream still advances on valid input.
+  const StreamEmission next = stream.PushDecision(view.history->at(2));
+  EXPECT_EQ(next.decision_index, 3u);
+  EXPECT_FALSE(next.is_final);
 }
 
 }  // namespace

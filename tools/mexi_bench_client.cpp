@@ -1,0 +1,276 @@
+// mexi_bench_client — a small retrying HTTP client for mexi_serve.
+//
+// Speaks just enough HTTP/1.1 to drive the serve endpoints from shell
+// scripts and chaos drills: POST a trace body (or GET a status page),
+// parse Content-Length or chunked responses, and retry transient
+// failures — connect errors, resets mid-response, and 503 sheds — with
+// capped exponential backoff plus deterministic jitter. A 503 carrying
+// Retry-After sleeps at least that long, as the server asked.
+//
+//   mexi_bench_client --port 8080 --path /status
+//   mexi_bench_client --port 8080 --path '/characterize?rows=6&cols=6' \
+//       --body-file traces.csv --deadline-ms 5000 --retries 5
+//
+// Exit codes: 0 = final attempt got 2xx; 1 = exhausted retries or a
+// non-retryable (4xx/5xx other than 503) answer; 2 = usage.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "stats/rng.h"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string path = "/status";
+  std::string body_file;     // empty = GET
+  long deadline_ms = 0;      // 0 = server default (no header)
+  int retries = 5;           // retry attempts after the first try
+  long base_backoff_ms = 50; // doubled per attempt, capped below
+  long max_backoff_ms = 2000;
+  std::uint64_t seed = 1;    // jitter stream (deterministic)
+  bool quiet = false;        // suppress the response body
+};
+
+struct Response {
+  bool transport_ok = false;  // full response parsed off the wire
+  int status = 0;
+  std::string retry_after;
+  std::string body;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mexi_bench_client [--host H] --port N [--path P]\n"
+      "  [--body-file F] [--deadline-ms N] [--retries N]\n"
+      "  [--base-backoff-ms N] [--max-backoff-ms N] [--seed S] [--quiet]\n"
+      "POSTs F (GET without --body-file) to P, retrying connect errors,\n"
+      "resets, and 503 sheds with capped exponential backoff + jitter,\n"
+      "honoring Retry-After.\n");
+  return 2;
+}
+
+int ConnectTo(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads and parses one HTTP response (Content-Length or chunked).
+Response ReadResponse(int fd) {
+  Response response;
+  std::string data;
+  char buffer[16384];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return response;  // reset/EOF before the header block: retryable
+    }
+    data.append(buffer, static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+
+  const std::string head = data.substr(0, header_end);
+  std::string rest = data.substr(header_end + 4);
+  if (head.size() < 12 || head.compare(0, 5, "HTTP/") != 0) return response;
+  response.status = std::atoi(head.c_str() + 9);
+
+  std::size_t content_length = 0;
+  bool chunked = false;
+  std::istringstream head_in(head);
+  std::string line;
+  std::getline(head_in, line);  // status line
+  while (std::getline(head_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    std::string value = line.substr(colon + 1);
+    const std::size_t start = value.find_first_not_of(" \t");
+    value = start == std::string::npos ? "" : value.substr(start);
+    if (name == "content-length") {
+      content_length = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (name == "transfer-encoding" && value == "chunked") {
+      chunked = true;
+    } else if (name == "retry-after") {
+      response.retry_after = value;
+    }
+  }
+
+  auto read_more = [&]() -> bool {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return false;
+    rest.append(buffer, static_cast<std::size_t>(n));
+    return true;
+  };
+
+  if (!chunked) {
+    while (rest.size() < content_length) {
+      if (!read_more()) return response;  // truncated: retryable
+    }
+    response.body = rest.substr(0, content_length);
+    response.transport_ok = true;
+    return response;
+  }
+
+  // Chunked: decode until the zero-length terminator.
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t line_end;
+    while ((line_end = rest.find("\r\n", pos)) == std::string::npos) {
+      if (!read_more()) return response;
+    }
+    const std::size_t chunk_size = static_cast<std::size_t>(
+        std::strtoul(rest.c_str() + pos, nullptr, 16));
+    pos = line_end + 2;
+    if (chunk_size == 0) {
+      response.transport_ok = true;
+      return response;
+    }
+    while (rest.size() < pos + chunk_size + 2) {
+      if (!read_more()) return response;
+    }
+    response.body.append(rest, pos, chunk_size);
+    pos += chunk_size + 2;  // skip the trailing CRLF
+  }
+}
+
+Response DoRequest(const Options& options, const std::string& body) {
+  Response response;
+  const int fd = ConnectTo(options.host, options.port);
+  if (fd < 0) return response;
+  const char* method = options.body_file.empty() ? "GET" : "POST";
+  std::string request = std::string(method) + " " + options.path +
+                        " HTTP/1.1\r\nHost: " + options.host +
+                        "\r\nConnection: close\r\n";
+  if (options.deadline_ms > 0) {
+    request += "X-Deadline-Ms: " + std::to_string(options.deadline_ms) + "\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  if (SendAll(fd, request)) response = ReadResponse(fd);
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--path" && has_value) {
+      options.path = argv[++i];
+    } else if (arg == "--body-file" && has_value) {
+      options.body_file = argv[++i];
+    } else if (arg == "--deadline-ms" && has_value) {
+      options.deadline_ms = std::atol(argv[++i]);
+    } else if (arg == "--retries" && has_value) {
+      options.retries = std::atoi(argv[++i]);
+    } else if (arg == "--base-backoff-ms" && has_value) {
+      options.base_backoff_ms = std::atol(argv[++i]);
+    } else if (arg == "--max-backoff-ms" && has_value) {
+      options.max_backoff_ms = std::atol(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port <= 0) return Usage();
+
+  std::string body;
+  if (!options.body_file.empty()) {
+    std::ifstream in(options.body_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "mexi_bench_client: cannot read %s\n",
+                   options.body_file.c_str());
+      return 1;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    body = contents.str();
+  }
+
+  mexi::stats::Rng rng(options.seed);
+  long backoff_ms = options.base_backoff_ms;
+  for (int attempt = 0; attempt <= options.retries; ++attempt) {
+    const Response response = DoRequest(options, body);
+    if (response.transport_ok && response.status / 100 == 2) {
+      if (!options.quiet) std::fwrite(response.body.data(), 1,
+                                      response.body.size(), stdout);
+      return 0;
+    }
+    const bool retryable = !response.transport_ok || response.status == 503;
+    if (!retryable || attempt == options.retries) {
+      std::fprintf(stderr,
+                   "mexi_bench_client: giving up after attempt %d "
+                   "(status=%d transport_ok=%d)\n%s",
+                   attempt + 1, response.status,
+                   response.transport_ok ? 1 : 0, response.body.c_str());
+      return 1;
+    }
+    // Backoff: the server's Retry-After is a floor; jitter spreads
+    // synchronized retriers (full jitter over [backoff/2, backoff]).
+    long sleep_ms =
+        backoff_ms / 2 + static_cast<long>(rng.UniformIndex(
+                             static_cast<std::size_t>(backoff_ms / 2 + 1)));
+    if (!response.retry_after.empty()) {
+      const long retry_after_ms = std::atol(response.retry_after.c_str()) * 1000;
+      if (retry_after_ms > sleep_ms) sleep_ms = retry_after_ms;
+    }
+    std::fprintf(stderr,
+                 "mexi_bench_client: attempt %d failed (status=%d), "
+                 "retrying in %ldms\n",
+                 attempt + 1, response.status, sleep_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms);
+  }
+  return 1;
+}
