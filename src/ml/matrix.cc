@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "ml/kernels.h"
@@ -10,7 +11,14 @@
 namespace mexi::ml {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols) {
+  // rows*cols wrapping past size_t would build an undersized buffer
+  // that unchecked operator() then writes past; refuse instead.
+  if (cols != 0 && rows > std::numeric_limits<std::size_t>::max() / cols) {
+    throw std::length_error("Matrix: rows*cols overflows std::size_t");
+  }
+  data_.assign(rows * cols, fill);
+}
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();

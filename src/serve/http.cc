@@ -34,6 +34,17 @@ const std::string& HttpRequest::Header(const std::string& name) const {
   return it == headers.end() ? kEmpty : it->second;
 }
 
+bool HeaderHasToken(const std::string& value, const std::string& token) {
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    if (ToLower(Trim(value.substr(pos, comma - pos))) == token) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 HttpRequestParser::State HttpRequestParser::Fail(int http_status,
                                                  const std::string& reason) {
   state_ = State::kError;
@@ -88,6 +99,7 @@ void HttpRequestParser::TryParseHeaders() {
     Fail(505, "unsupported version '" + version + "'");
     return;
   }
+  request_.http10 = version == "HTTP/1.0";
   if (target.empty() || target[0] != '/') {
     Fail(400, "bad request target '" + target + "'");
     return;

@@ -16,6 +16,9 @@ struct HttpRequest {
   std::string method;  // "GET", "POST", ...
   std::string path;    // without the query string
   std::string query;   // raw bytes after '?', may be empty
+  /// True when the request line said HTTP/1.0; such connections default
+  /// to close unless the client explicitly asks for keep-alive.
+  bool http10 = false;
   /// Header names lowercased; last occurrence wins.
   std::map<std::string, std::string> headers;
   std::string body;
@@ -23,6 +26,11 @@ struct HttpRequest {
   /// Case-insensitive header lookup; empty string when absent.
   const std::string& Header(const std::string& name) const;
 };
+
+/// True when `value` — a comma-separated HTTP token list such as a
+/// Connection header — contains `token` as a whole token, ignoring case
+/// and surrounding whitespace. `token` must be lowercase.
+bool HeaderHasToken(const std::string& value, const std::string& token);
 
 /// Incremental HTTP/1.1 request parser.
 ///

@@ -77,18 +77,43 @@ struct ParsedTraces {
   std::size_t cols = 0;
 };
 
-ParsedTraces ParseTracesBody(const HttpRequest& request) {
-  const std::string rows_text = QueryParam(request.query, "rows");
-  const std::string cols_text = QueryParam(request.query, "cols");
+/// Upper bounds on the task shape accepted over the wire. rows*cols
+/// sizes dense ml::Matrix allocations (streaming state, consensus
+/// features), so unchecked values are a remote OOM — or, past size_t
+/// overflow, heap-corruption — primitive. The caps keep one request's
+/// matrix memory to a few megabytes while dwarfing any real schema.
+constexpr long kMaxTaskDim = 4096;
+constexpr long kMaxTaskCells = 1L << 20;
+
+/// Strict positive-integer parse: the whole token must be digits (no
+/// trailing garbage, no overflow). Returns -1 on any failure.
+long ParsePositiveLong(const std::string& text) {
+  if (text.empty()) return -1;
   char* end = nullptr;
-  const long rows =
-      rows_text.empty() ? 0 : std::strtol(rows_text.c_str(), &end, 10);
-  const long cols =
-      cols_text.empty() ? 0 : std::strtol(cols_text.c_str(), &end, 10);
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || value <= 0) {
+    return -1;
+  }
+  return value;
+}
+
+ParsedTraces ParseTracesBody(const HttpRequest& request) {
+  const long rows = ParsePositiveLong(QueryParam(request.query, "rows"));
+  const long cols = ParsePositiveLong(QueryParam(request.query, "cols"));
   if (rows <= 0 || cols <= 0) {
     robust::ThrowStatus(
         robust::StatusCode::kInvalidArgument,
-        "the task shape is required: ?rows=<sources>&cols=<targets>");
+        "the task shape is required: ?rows=<sources>&cols=<targets>, "
+        "both positive integers");
+  }
+  if (rows > kMaxTaskDim || cols > kMaxTaskDim ||
+      rows > kMaxTaskCells / cols) {
+    robust::ThrowStatus(
+        robust::StatusCode::kInvalidArgument,
+        "task shape too large: rows and cols must each be <= " +
+            std::to_string(kMaxTaskDim) + " and rows*cols <= " +
+            std::to_string(kMaxTaskCells));
   }
 
   ParsedTraces parsed;
@@ -565,15 +590,15 @@ void Server::DispatchReady(int fd) {
     conn.parser.Reset();
     ServeCounter(kRequestsCounter).Add();
 
-    // Honor the client's connection preference: "Connection: close"
-    // means the response (whatever its status) closes the socket after
-    // it flushes, so one-shot clients see a prompt EOF instead of
-    // waiting out the idle timeout.
-    std::string conn_pref = request.Header("connection");
-    for (char& c : conn_pref) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    const bool want_close = conn_pref == "close";
+    // Honor the client's connection preference: a "close" token
+    // anywhere in the Connection list means the response (whatever its
+    // status) closes the socket after it flushes, so one-shot clients
+    // see a prompt EOF instead of waiting out the idle timeout.
+    // HTTP/1.0 defaults to close unless keep-alive is asked for.
+    const std::string& conn_pref = request.Header("connection");
+    const bool want_close =
+        HeaderHasToken(conn_pref, "close") ||
+        (request.http10 && !HeaderHasToken(conn_pref, "keep-alive"));
 
     if (request.method == "GET" && request.path == "/status") {
       ServeCounter(kOkCounter).Add();
@@ -645,15 +670,18 @@ void Server::DispatchReady(int fd) {
       return;
     }
 
-    // Admit: budget from X-Deadline-Ms (clamped to [1, 600000]) or the
-    // configured default.
+    // Admit: budget from X-Deadline-Ms or the configured default. A
+    // client may only lower its budget — raising it would let a request
+    // outlive the drain window Run() sizes from config_.deadline_ms,
+    // leaving a worker busy past the advertised shutdown deadline.
     long budget_ms = config_.deadline_ms;
     const std::string& header = request.Header("x-deadline-ms");
     if (!header.empty()) {
       char* end = nullptr;
       const long parsed = std::strtol(header.c_str(), &end, 10);
       if (end != header.c_str() && *end == '\0') {
-        budget_ms = std::clamp(parsed, 1L, 600000L);
+        budget_ms =
+            std::clamp(parsed, 1L, static_cast<long>(config_.deadline_ms));
       }
     }
     const Clock::time_point deadline =

@@ -28,9 +28,11 @@ struct ServerConfig {
   /// Beyond it the server sheds with 503 + Retry-After instead of
   /// buffering without limit.
   std::size_t queue_max = 32;
-  /// Default per-request compute budget; a client may lower (or raise,
-  /// capped at 10 minutes) its own via the `X-Deadline-Ms` header.
-  /// Expiry surfaces as 504.
+  /// Per-request compute budget and the hard maximum: a client may
+  /// lower its own via the `X-Deadline-Ms` header (clamped to
+  /// [1, deadline_ms]) but never raise it, so the graceful-drain window
+  /// sized from this value bounds every admitted request. Expiry
+  /// surfaces as 504.
   int deadline_ms = 2000;
   /// A connection with no complete request for this long is dropped.
   int read_timeout_ms = 5000;

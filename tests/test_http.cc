@@ -33,6 +33,28 @@ TEST(HttpParser, ParsesRequestLineQueryAndHeaders) {
   EXPECT_EQ(request.Header("X-DEADLINE-MS"), "250");
   EXPECT_EQ(request.Header("absent"), "");
   EXPECT_TRUE(request.body.empty());
+  EXPECT_FALSE(request.http10);
+}
+
+TEST(HttpParser, RecordsHttp10Version) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /status HTTP/1.0\r\n\r\n"), State::kDone);
+  EXPECT_TRUE(parser.request().http10);
+  // The flag resets with the request on keep-alive reuse.
+  parser.Reset();
+  ASSERT_EQ(FeedAll(parser, "GET /status HTTP/1.1\r\n\r\n"), State::kDone);
+  EXPECT_FALSE(parser.request().http10);
+}
+
+TEST(HttpHelpers, HeaderHasTokenMatchesWholeTokensInLists) {
+  EXPECT_TRUE(HeaderHasToken("close", "close"));
+  EXPECT_TRUE(HeaderHasToken("Close", "close"));
+  EXPECT_TRUE(HeaderHasToken("  close  ", "close"));
+  EXPECT_TRUE(HeaderHasToken("close, te", "close"));
+  EXPECT_TRUE(HeaderHasToken("te , Keep-Alive", "keep-alive"));
+  EXPECT_FALSE(HeaderHasToken("", "close"));
+  EXPECT_FALSE(HeaderHasToken("closed", "close"));
+  EXPECT_FALSE(HeaderHasToken("keep-alive", "close"));
 }
 
 TEST(HttpParser, AssemblesBodyAcrossByteAtATimeFeeds) {

@@ -1,6 +1,8 @@
 #include "ml/matrix.h"
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,18 @@ TEST(MatrixTest, ConstructionAndAccess) {
   EXPECT_DOUBLE_EQ(m.At(0, 0), 7.0);
   EXPECT_THROW(m.At(2, 0), std::out_of_range);
   EXPECT_THROW(m.At(0, 3), std::out_of_range);
+}
+
+TEST(MatrixTest, RejectsShapesWhoseElementCountOverflows) {
+  // rows*cols wrapping size_t would silently build an undersized buffer
+  // behind unchecked operator(); the constructor must refuse instead.
+  const std::size_t huge = std::size_t{1} << 33;
+  EXPECT_THROW(Matrix(huge, huge), std::length_error);
+  EXPECT_THROW(Matrix(3, std::numeric_limits<std::size_t>::max() / 2),
+               std::length_error);
+  // Degenerate-but-valid shapes still work.
+  EXPECT_EQ(Matrix(0, huge).size(), 0u);
+  EXPECT_EQ(Matrix(huge, 0).size(), 0u);
 }
 
 TEST(MatrixTest, FromRowsAndIdentity) {

@@ -359,6 +359,29 @@ TEST_F(ServeTest, MalformedRequestsGetClientErrors) {
                   "not,a,csv")
                 .status,
             400);
+  // Trailing garbage in the shape is rejected, not silently truncated.
+  EXPECT_EQ(Fetch(Port(), "POST", "/characterize?rows=6junk&cols=2", body)
+                .status,
+            400);
+  // Non-positive shape.
+  EXPECT_EQ(Fetch(Port(), "POST", "/characterize?rows=-3&cols=2", body)
+                .status,
+            400);
+  // A shape whose product would wrap size_t (2^32 * 2^32) must be
+  // refused before it sizes any dense matrix allocation.
+  EXPECT_EQ(Fetch(Port(), "POST",
+                  "/characterize?rows=4294967296&cols=4294967296", body)
+                .status,
+            400);
+  // Huge-but-representable shapes are shed too: ~80 GB of dense matrix
+  // would break the bounded-memory contract.
+  EXPECT_EQ(Fetch(Port(), "POST", "/characterize?rows=100000&cols=100000",
+                  body)
+                .status,
+            400);
+  EXPECT_EQ(Fetch(Port(), "POST", "/stream?rows=100000&cols=100000", body)
+                .status,
+            400);
   // Unparseable request line.
   const int fd = ConnectTo(Port());
   ASSERT_GE(fd, 0);
@@ -367,6 +390,61 @@ TEST_F(ServeTest, MalformedRequestsGetClientErrors) {
   ::close(fd);
   ASSERT_TRUE(bad.ok);
   EXPECT_EQ(bad.status, 400);
+}
+
+/// An HTTP/1.0 request without a Connection header defaults to close:
+/// the one-shot client sees a prompt EOF with the response instead of
+/// waiting out the idle read timeout.
+TEST_F(ServeTest, Http10DefaultsToConnectionClose) {
+  StartServer({});
+  const int fd = ConnectTo(Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "GET /status HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n"));
+  const auto start = std::chrono::steady_clock::now();
+  const RawResponse response = ParseResponse(ReadToEof(fd));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(fd);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(response.headers.count("connection"));
+  EXPECT_EQ(response.headers.at("connection"), "close");
+  // Well under the 5 s idle timeout the old keep-alive default waited.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+/// "close" is honored as a comma-separated token, not only as the whole
+/// header value.
+TEST_F(ServeTest, ConnectionCloseHonoredInsideTokenList) {
+  StartServer({});
+  const int fd = ConnectTo(Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd,
+                      "GET /status HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                      "Connection: Close, TE\r\n\r\n"));
+  const RawResponse response = ParseResponse(ReadToEof(fd));
+  ::close(fd);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(response.headers.count("connection"));
+  EXPECT_EQ(response.headers.at("connection"), "close");
+}
+
+/// X-Deadline-Ms may only lower the budget. With a 1 ms server ceiling,
+/// a client demanding 10 minutes still deadlines out: 12 matchers of
+/// LSTM+CNN inference cannot finish inside 1 ms, so the clamped budget
+/// expires mid-compute and surfaces as 504.
+TEST_F(ServeTest, DeadlineHeaderCannotRaiseConfiguredBudget) {
+  ServerConfig config;
+  config.deadline_ms = 1;
+  StartServer(config);
+  const std::string body = TracesBody(FirstMatchers(12));
+  const RawResponse response = Fetch(Port(), "POST", CharacterizePath(), body,
+                                     {{"X-Deadline-Ms", "600000"}});
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.status, 504) << response.body;
+  EXPECT_NE(response.body.find("deadline"), std::string::npos);
 }
 
 /// An expired budget surfaces as 504: a 1 ms deadline queued behind a
