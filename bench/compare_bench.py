@@ -61,6 +61,14 @@ GATE_KEYS = ("num_cpus", "mexi_build", "mexi_simd")
 RATIO_GATES = (
     ("BM_CharacterizeThroughput/1", "BM_CharacterizeThroughput/64", 1.30),
     ("BM_LstmPredictBatch/1", "BM_LstmPredictBatch/64", 1.40),
+    # Population sweep end to end: the /1-vs-/64 arms differ only in
+    # MexiConfig::batch_size, so the ratio checks the sweep driver
+    # actually routes shards through the batched engine. Simulation and
+    # measure extraction ride along identically in both arms and dilute
+    # the serve-path ratio: calm-window measurements on the 1-core dev
+    # box put it at ~1.5x; the floor leaves the same contention margin
+    # as the characterize gate above.
+    ("BM_SweepThroughput/1", "BM_SweepThroughput/64", 1.15),
     # Streaming characterization: re-running batch Characterize on every
     # prefix replays Sum(k)=T(T+1)/2 LSTM steps where the stream's
     # carried state pays T, so at T=100 the per-decision estimates must

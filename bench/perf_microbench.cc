@@ -12,6 +12,7 @@
 #include "core/features/aggregated_features.h"
 #include "core/mexi.h"
 #include "core/streaming.h"
+#include "core/sweep.h"
 #include "matching/predictors.h"
 #include "matching/similarity.h"
 #include "ml/matrix.h"
@@ -493,6 +494,44 @@ void BM_CharacterizeThroughput(benchmark::State& state) {
       state.iterations() * study.input.matchers.size()));
 }
 BENCHMARK(BM_CharacterizeThroughput)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end population-sweep throughput in matchers/sec: one trained
+// PopulationSweeper re-running its full shard loop (simulate from the
+// wide mixture, preprocess, measure, characterize, fold into the
+// streamed aggregates) over a 128-matcher population. Arg is
+// MexiConfig::batch_size — 1 serves each trace individually, 64 routes
+// shards through the batched engine — at the same serving-heavy LSTM
+// shape as BM_CharacterizeThroughput, so the /1-vs-/64 ratio gates that
+// the sweep actually inherits the engine's advantage end to end
+// (simulation and measure extraction ride along identically in both
+// arms). Training happens once, outside the timed loop.
+void BM_SweepThroughput(benchmark::State& state) {
+  SweepConfig config;
+  config.population = 128;
+  config.shard_size = 64;
+  config.train_matchers = 16;
+  config.seed = 19;
+  config.model = MexiConfig();
+  config.model.submatcher_mode = SubmatcherMode::kNone;
+  config.model.seq.lstm.epochs = 1;
+  config.model.seq.lstm.hidden_dim = 128;
+  config.model.seq.lstm.dense_dim = 100;
+  config.model.spa.cnn.epochs = 1;
+  config.model.spa.pretrain_images = 0;
+  config.model.batch_size = static_cast<std::size_t>(state.range(0));
+  PopulationSweeper sweeper(config);
+
+  ml::vmath::SetFastMath(true);
+  for (auto _ : state) {
+    sweeper.Reset();
+    benchmark::DoNotOptimize(sweeper.Run());
+  }
+  ml::vmath::SetFastMath(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * config.population));
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 // Shared fixture for the streaming-vs-rerun pair: one fitted MExI and

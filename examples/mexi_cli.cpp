@@ -26,6 +26,15 @@
 //               labels + probabilities) plus a final exact line that is
 //               byte-identical to what --engine batch prints from the
 //               batch Characterize path.
+//   sweep       --out FILE [--population N] [--shard-size N] [--seed S]
+//               [--task po|oaei|er] [--mix wide|paper]
+//               [--checkpoint-dir DIR] [--resume] [--batch-size B]
+//               Population-scale sweep: train MExI_50 on a paper-mix
+//               study, then generate + characterize a large synthetic
+//               population (including the adversarial archetypes) in
+//               bounded-memory shards, streaming per-archetype label
+//               confusions, score quantile sketches and calibration
+//               buckets into a byte-stable aggregate JSON report.
 //
 // The CSV formats are documented in matching/io.h; `simulate` produces
 // them, and any real study exported in the same shape works unchanged.
@@ -42,6 +51,7 @@
 #include "core/evaluation.h"
 #include "core/mexi.h"
 #include "core/streaming.h"
+#include "core/sweep.h"
 #include "matching/io.h"
 #include "ml/vmath/vmath.h"
 #include "obs/obs.h"
@@ -116,6 +126,16 @@ int Usage() {
       "  mexi_cli bundle       --dir DIR --rows N --cols M --out PATH\n"
       "                        train MExI_50 on the study and write the\n"
       "                        versioned serve bundle mexi_serve loads.\n"
+      "  mexi_cli sweep        --out FILE [--population N]\n"
+      "                        [--shard-size N] [--seed S]\n"
+      "                        [--task po|oaei|er] [--mix wide|paper]\n"
+      "                        [--train-matchers N] [--batch-size B]\n"
+      "                        [--checkpoint-dir DIR] [--resume]\n"
+      "                        population-scale generate + characterize\n"
+      "                        sweep in bounded-memory shards; writes a\n"
+      "                        byte-stable aggregate JSON report that is\n"
+      "                        identical at every thread count, shard\n"
+      "                        size, and across kill/--resume.\n"
       "global options:\n"
       "  --threads N   worker threads for parallel stages (0 = auto,\n"
       "                1 = sequential; default: MEXI_THREADS or auto).\n"
@@ -130,9 +150,9 @@ int Usage() {
       "                MEXI_STATUS_FILE).\n"
       "  --fast-math   allow ULP-bounded SIMD transcendentals and fused\n"
       "                products on Predict/inference paths (env:\n"
-      "                MEXI_FAST_MATH). Default ON for characterize and\n"
-      "                stream (the serve paths); other commands default\n"
-      "                exact.\n"
+      "                MEXI_FAST_MATH). Default ON for characterize,\n"
+      "                stream and sweep (the serve paths); other\n"
+      "                commands default exact.\n"
       "                Training always stays exact; simulate output and\n"
       "                fitted models are unchanged, predictions may\n"
       "                differ in the last bits.\n"
@@ -445,6 +465,66 @@ int CmdBundle(const Args& args) {
   return 0;
 }
 
+int CmdSweep(const Args& args) {
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  SweepConfig config;
+  config.population =
+      static_cast<std::size_t>(args.GetLong("population", 2000));
+  config.shard_size =
+      static_cast<std::size_t>(args.GetLong("shard-size", 512));
+  config.train_matchers =
+      static_cast<std::size_t>(args.GetLong("train-matchers", 64));
+  config.seed = static_cast<std::uint64_t>(args.GetLong("seed", 42));
+  config.task = args.Get("task", "po");
+  const std::string mix = args.Get("mix", "wide");
+  if (mix == "wide") {
+    config.mix = sim::WidePopulationMix();
+  } else if (mix == "paper") {
+    config.mix = sim::PopulationMix();
+  } else {
+    return Usage();
+  }
+  config.checkpoint_dir = args.Get("checkpoint-dir");
+  config.resume = args.Has("resume");
+  const long batch_size = args.GetLong("batch-size", 64);
+  if (batch_size < 1) return Usage();
+  config.model.batch_size = static_cast<std::size_t>(batch_size);
+
+  PopulationSweeper sweeper(config);
+  const SweepAggregates& aggregates = sweeper.Run();
+
+  const std::string json = aggregates.ToJson();
+  std::FILE* file = std::fopen(out.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+
+  std::printf("sweep: %llu matchers, %llu decisions "
+              "(%zu shards of %zu, task %s)\n",
+              static_cast<unsigned long long>(aggregates.matchers()),
+              static_cast<unsigned long long>(aggregates.decisions()),
+              sweeper.num_shards(), config.shard_size,
+              config.task.c_str());
+  for (std::size_t a = 0; a < sim::kNumArchetypes; ++a) {
+    const auto& agg =
+        aggregates.archetype(static_cast<sim::Archetype>(a));
+    if (agg.matchers == 0) continue;
+    std::printf("  %-22s %8llu matchers  full experts: "
+                "true %llu / predicted %llu\n",
+                sim::ArchetypeName(static_cast<sim::Archetype>(a)).c_str(),
+                static_cast<unsigned long long>(agg.matchers),
+                static_cast<unsigned long long>(agg.true_full_expert),
+                static_cast<unsigned long long>(agg.predicted_full_expert));
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -466,6 +546,7 @@ int RunCommand(const Args& args) {
   if (args.command == "fuse") return CmdFuse(args);
   if (args.command == "stream") return CmdStream(args);
   if (args.command == "bundle") return CmdBundle(args);
+  if (args.command == "sweep") return CmdSweep(args);
   return Usage();
 }
 
@@ -488,7 +569,8 @@ int main(int argc, char** argv) {
       mexi::ml::vmath::SetFastMath(false);
     } else if (args.Has("fast-math")) {
       mexi::ml::vmath::SetFastMath(true);
-    } else if (args.command == "characterize" || args.command == "stream") {
+    } else if (args.command == "characterize" || args.command == "stream" ||
+               args.command == "sweep") {
       const char* env = std::getenv("MEXI_FAST_MATH");
       const bool env_off = env != nullptr && env[0] == '0' && env[1] == '\0';
       if (!env_off) mexi::ml::vmath::SetFastMath(true);

@@ -1,0 +1,637 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.h"
+#include "parallel/parallel_for.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
+#include "schema/generators.h"
+#include "stats/rng.h"
+
+namespace mexi {
+
+namespace {
+
+/// Sub-stream of the sweep seed that matcher streams fork from. Streams
+/// 1-3 are the PO/OAEI/ER task generators (sim/study.cc, mexi_cli).
+constexpr std::uint64_t kSweepMatcherStream = 4;
+
+/// Entity-resolution task stream (mirrors `mexi_cli simulate --task er`).
+constexpr std::uint64_t kEntityResolutionTaskStream = 3;
+
+/// Preprocessing applied to every sweep trace: same warm-up removal and
+/// elapsed-time outlier filter as the study pipeline (StudyConfig
+/// defaults).
+constexpr std::size_t kWarmupDecisions = 3;
+constexpr double kOutlierSigma = 2.0;
+
+/// Checkpoint stem and payload tag.
+constexpr char kCheckpointStem[] = "sweep";
+
+void AppendF(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {
+  if (!(hi > lo)) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "QuantileSketch needs hi > lo");
+  }
+}
+
+void QuantileSketch::Add(double value) {
+  const double clamped = std::min(hi_, std::max(lo_, value));
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::size_t bin = static_cast<std::size_t>((clamped - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  if (count_ == 0) {
+    min_ = clamped;
+    max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  ++count_;
+  sum_ += clamped;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "QuantileSketch::Merge shape mismatch");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) {
+      const double within =
+          (target - before) / static_cast<double>(counts_[i]);
+      const double left = lo_ + static_cast<double>(i) * width;
+      const double value = left + within * width;
+      return std::min(max_, std::max(min_, value));
+    }
+  }
+  return max_;
+}
+
+double QuantileSketch::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void QuantileSketch::Save(robust::BinaryWriter& writer) const {
+  writer.WriteTag("QSKT");
+  writer.WriteDouble(lo_);
+  writer.WriteDouble(hi_);
+  writer.WriteU64(counts_.size());
+  for (const std::uint64_t c : counts_) writer.WriteU64(c);
+  writer.WriteU64(count_);
+  writer.WriteDouble(sum_);
+  writer.WriteDouble(min_);
+  writer.WriteDouble(max_);
+}
+
+void QuantileSketch::Load(robust::BinaryReader& reader) {
+  reader.ExpectTag("QSKT");
+  lo_ = reader.ReadDouble();
+  hi_ = reader.ReadDouble();
+  const std::uint64_t bins = reader.ReadU64();
+  if (bins == 0 || bins > reader.remaining() / 8) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "bad sketch bin count");
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  for (auto& c : counts_) c = reader.ReadU64();
+  count_ = reader.ReadU64();
+  sum_ = reader.ReadDouble();
+  min_ = reader.ReadDouble();
+  max_ = reader.ReadDouble();
+}
+
+// ---------------------------------------------------------------------
+// LabelConfusion / ArchetypeAggregate
+
+void LabelConfusion::Fold(bool truth, bool predicted) {
+  if (truth && predicted) {
+    ++tp;
+  } else if (!truth && predicted) {
+    ++fp;
+  } else if (truth && !predicted) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+void LabelConfusion::Merge(const LabelConfusion& other) {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+}
+
+double LabelConfusion::Accuracy() const {
+  const std::uint64_t total = Total();
+  if (total == 0) return 1.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+void ArchetypeAggregate::Merge(const ArchetypeAggregate& other) {
+  matchers += other.matchers;
+  decisions += other.decisions;
+  for (std::size_t c = 0; c < confusion.size(); ++c) {
+    confusion[c].Merge(other.confusion[c]);
+  }
+  true_full_expert += other.true_full_expert;
+  predicted_full_expert += other.predicted_full_expert;
+}
+
+// ---------------------------------------------------------------------
+// SweepAggregates
+
+SweepAggregates::SweepAggregates()
+    : precision_(0.0, 1.0),
+      recall_(0.0, 1.0),
+      resolution_(-1.0, 1.0),
+      calibration_(-1.0, 1.0) {}
+
+void SweepAggregates::Fold(sim::Archetype archetype,
+                           const ExpertMeasures& measures,
+                           const ExpertLabel& truth,
+                           const ExpertLabel& predicted,
+                           std::size_t num_decisions) {
+  ++matchers_;
+  decisions_ += num_decisions;
+
+  ArchetypeAggregate& agg = archetypes_[static_cast<std::size_t>(archetype)];
+  ++agg.matchers;
+  agg.decisions += num_decisions;
+  const auto truth_bits = truth.ToVector();
+  const auto predicted_bits = predicted.ToVector();
+  for (std::size_t c = 0; c < agg.confusion.size(); ++c) {
+    agg.confusion[c].Fold(truth_bits[c] != 0, predicted_bits[c] != 0);
+  }
+  if (truth.IsFullExpert()) ++agg.true_full_expert;
+  if (predicted.IsFullExpert()) ++agg.predicted_full_expert;
+
+  precision_.Add(measures.precision);
+  recall_.Add(measures.recall);
+  resolution_.Add(measures.resolution);
+  calibration_.Add(measures.calibration);
+
+  // Reliability-diagram bucket keyed by the history-wide mean reported
+  // confidence (Cal = mean confidence - precision, Eq. 5).
+  const double mean_confidence = measures.calibration + measures.precision;
+  const double clamped = std::min(1.0, std::max(0.0, mean_confidence));
+  std::size_t bucket = static_cast<std::size_t>(
+      clamped * static_cast<double>(kCalibrationBuckets));
+  bucket = std::min(bucket, kCalibrationBuckets - 1);
+  ++buckets_[bucket].count;
+  buckets_[bucket].sum_confidence += mean_confidence;
+  buckets_[bucket].sum_precision += measures.precision;
+}
+
+void SweepAggregates::Merge(const SweepAggregates& other) {
+  matchers_ += other.matchers_;
+  decisions_ += other.decisions_;
+  for (std::size_t a = 0; a < archetypes_.size(); ++a) {
+    archetypes_[a].Merge(other.archetypes_[a]);
+  }
+  precision_.Merge(other.precision_);
+  recall_.Merge(other.recall_);
+  resolution_.Merge(other.resolution_);
+  calibration_.Merge(other.calibration_);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b].count += other.buckets_[b].count;
+    buckets_[b].sum_confidence += other.buckets_[b].sum_confidence;
+    buckets_[b].sum_precision += other.buckets_[b].sum_precision;
+  }
+}
+
+namespace {
+
+void AppendSketchJson(std::string& out, const char* name,
+                      const QuantileSketch& sketch) {
+  AppendF(out, "\"%s\":{\"count\":%llu,\"mean\":%.17g,\"min\":%.17g,"
+               "\"max\":%.17g,\"p10\":%.17g,\"p50\":%.17g,\"p90\":%.17g}",
+          name, static_cast<unsigned long long>(sketch.count()),
+          sketch.Mean(), sketch.min(), sketch.max(), sketch.Quantile(0.1),
+          sketch.Quantile(0.5), sketch.Quantile(0.9));
+}
+
+}  // namespace
+
+std::string SweepAggregates::ToJson() const {
+  std::string out;
+  out.reserve(4096);
+  AppendF(out, "{\"schema_version\":1,\"matchers\":%llu,\"decisions\":%llu,",
+          static_cast<unsigned long long>(matchers_),
+          static_cast<unsigned long long>(decisions_));
+
+  out += "\"archetypes\":{";
+  for (std::size_t a = 0; a < archetypes_.size(); ++a) {
+    const ArchetypeAggregate& agg = archetypes_[a];
+    if (a != 0) out += ",";
+    AppendF(out, "\"%s\":{\"matchers\":%llu,\"decisions\":%llu,"
+                 "\"true_full_expert\":%llu,\"predicted_full_expert\":%llu,"
+                 "\"confusion\":{",
+            sim::ArchetypeName(static_cast<sim::Archetype>(a)).c_str(),
+            static_cast<unsigned long long>(agg.matchers),
+            static_cast<unsigned long long>(agg.decisions),
+            static_cast<unsigned long long>(agg.true_full_expert),
+            static_cast<unsigned long long>(agg.predicted_full_expert));
+    const auto& names = CharacteristicNames();
+    for (std::size_t c = 0; c < agg.confusion.size(); ++c) {
+      const LabelConfusion& conf = agg.confusion[c];
+      if (c != 0) out += ",";
+      AppendF(out, "\"%s\":{\"tp\":%llu,\"fp\":%llu,\"fn\":%llu,"
+                   "\"tn\":%llu,\"accuracy\":%.17g}",
+              names[c].c_str(), static_cast<unsigned long long>(conf.tp),
+              static_cast<unsigned long long>(conf.fp),
+              static_cast<unsigned long long>(conf.fn),
+              static_cast<unsigned long long>(conf.tn), conf.Accuracy());
+    }
+    out += "}}";
+  }
+  out += "},";
+
+  out += "\"scores\":{";
+  AppendSketchJson(out, "precision", precision_);
+  out += ",";
+  AppendSketchJson(out, "recall", recall_);
+  out += ",";
+  AppendSketchJson(out, "resolution", resolution_);
+  out += ",";
+  AppendSketchJson(out, "calibration", calibration_);
+  out += "},";
+
+  out += "\"calibration_buckets\":[";
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const CalibrationBucket& bucket = buckets_[b];
+    const double n = static_cast<double>(bucket.count);
+    if (b != 0) out += ",";
+    AppendF(out, "{\"count\":%llu,\"mean_confidence\":%.17g,"
+                 "\"mean_precision\":%.17g}",
+            static_cast<unsigned long long>(bucket.count),
+            bucket.count == 0 ? 0.0 : bucket.sum_confidence / n,
+            bucket.count == 0 ? 0.0 : bucket.sum_precision / n);
+  }
+  out += "]}";
+  return out;
+}
+
+void SweepAggregates::Save(robust::BinaryWriter& writer) const {
+  writer.WriteTag("SWAG");
+  writer.WriteU64(matchers_);
+  writer.WriteU64(decisions_);
+  writer.WriteU64(archetypes_.size());
+  for (const ArchetypeAggregate& agg : archetypes_) {
+    writer.WriteU64(agg.matchers);
+    writer.WriteU64(agg.decisions);
+    for (const LabelConfusion& conf : agg.confusion) {
+      writer.WriteU64(conf.tp);
+      writer.WriteU64(conf.fp);
+      writer.WriteU64(conf.fn);
+      writer.WriteU64(conf.tn);
+    }
+    writer.WriteU64(agg.true_full_expert);
+    writer.WriteU64(agg.predicted_full_expert);
+  }
+  precision_.Save(writer);
+  recall_.Save(writer);
+  resolution_.Save(writer);
+  calibration_.Save(writer);
+  writer.WriteU64(buckets_.size());
+  for (const CalibrationBucket& bucket : buckets_) {
+    writer.WriteU64(bucket.count);
+    writer.WriteDouble(bucket.sum_confidence);
+    writer.WriteDouble(bucket.sum_precision);
+  }
+}
+
+void SweepAggregates::Load(robust::BinaryReader& reader) {
+  reader.ExpectTag("SWAG");
+  matchers_ = reader.ReadU64();
+  decisions_ = reader.ReadU64();
+  if (reader.ReadU64() != archetypes_.size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "sweep aggregate archetype count mismatch");
+  }
+  for (ArchetypeAggregate& agg : archetypes_) {
+    agg.matchers = reader.ReadU64();
+    agg.decisions = reader.ReadU64();
+    for (LabelConfusion& conf : agg.confusion) {
+      conf.tp = reader.ReadU64();
+      conf.fp = reader.ReadU64();
+      conf.fn = reader.ReadU64();
+      conf.tn = reader.ReadU64();
+    }
+    agg.true_full_expert = reader.ReadU64();
+    agg.predicted_full_expert = reader.ReadU64();
+  }
+  precision_.Load(reader);
+  recall_.Load(reader);
+  resolution_.Load(reader);
+  calibration_.Load(reader);
+  if (reader.ReadU64() != buckets_.size()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "sweep aggregate bucket count mismatch");
+  }
+  for (CalibrationBucket& bucket : buckets_) {
+    bucket.count = reader.ReadU64();
+    bucket.sum_confidence = reader.ReadDouble();
+    bucket.sum_precision = reader.ReadDouble();
+  }
+}
+
+// ---------------------------------------------------------------------
+// PopulationSweeper
+
+PopulationSweeper::PopulationSweeper(const SweepConfig& config)
+    : config_(config), model_(config.model) {
+  if (config_.population == 0 || config_.shard_size == 0) {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "sweep needs population > 0 and shard_size > 0");
+  }
+  const obs::Span span("sweep.train");
+
+  sim::StudyConfig train_config;
+  train_config.num_matchers = config_.train_matchers;
+  train_config.seed = config_.seed;
+  if (config_.task == "po") {
+    study_ = sim::BuildPurchaseOrderStudy(train_config);
+  } else if (config_.task == "oaei") {
+    study_ = sim::BuildOaeiStudy(train_config);
+  } else if (config_.task == "er") {
+    study_ = sim::BuildStudy(
+        schema::GenerateEntityResolutionTask(
+            stats::Rng(config_.seed).SubSeed(kEntityResolutionTaskStream)),
+        train_config);
+  } else {
+    robust::ThrowStatus(robust::StatusCode::kInvalidArgument,
+                        "unknown sweep task '" + config_.task +
+                            "' (want po|oaei|er)");
+  }
+  task_.pair = &study_.task;
+  task_.similarity = &study_.similarity;
+  task_.reference = &study_.reference;
+
+  const std::size_t source_size = study_.task.source.size();
+  const std::size_t target_size = study_.task.target.size();
+
+  std::vector<MatcherView> train_views;
+  std::vector<ExpertMeasures> train_measures;
+  train_views.reserve(study_.matchers.size());
+  train_measures.reserve(study_.matchers.size());
+  for (const sim::SimulatedMatcher& m : study_.matchers) {
+    MatcherView view;
+    view.history = &m.history;
+    view.movement = &m.movement;
+    view.warmup_history = &m.warmup_history;
+    view.source_size = source_size;
+    view.target_size = target_size;
+    train_views.push_back(view);
+    train_measures.push_back(ComputeMeasures(m.history, source_size,
+                                             target_size,
+                                             study_.reference));
+  }
+  thresholds_ = FitThresholds(train_measures);
+
+  std::vector<ExpertLabel> train_labels;
+  train_labels.reserve(train_measures.size());
+  for (const ExpertMeasures& m : train_measures) {
+    train_labels.push_back(Characterize(m, thresholds_));
+  }
+
+  TaskContext context;
+  context.source_size = source_size;
+  context.target_size = target_size;
+  context.warmup_source_size = study_.warmup_task.source.size();
+  context.warmup_target_size = study_.warmup_task.target.size();
+  context.warmup_reference = &study_.warmup_reference;
+  model_.Fit(train_views, train_labels, context);
+
+  // Matcher streams fork off a dedicated sub-stream of the sweep seed:
+  // Fork(i) is a pure function of the matcher index, so traces are
+  // independent of thread schedule AND shard boundaries.
+  matcher_stream_seed_ =
+      stats::Rng(config_.seed).SubSeed(kSweepMatcherStream);
+
+  if (!config_.checkpoint_dir.empty()) {
+    if (config_.resume) {
+      TryResume();
+    } else {
+      robust::CheckpointManager(config_.checkpoint_dir, kCheckpointStem)
+          .Discard();
+    }
+  }
+}
+
+PopulationSweeper::~PopulationSweeper() = default;
+
+std::size_t PopulationSweeper::num_shards() const {
+  return (config_.population + config_.shard_size - 1) / config_.shard_size;
+}
+
+std::uint64_t PopulationSweeper::ConfigFingerprint() const {
+  robust::BinaryWriter writer;
+  writer.WriteU64(config_.population);
+  writer.WriteU64(config_.shard_size);
+  writer.WriteU64(config_.train_matchers);
+  writer.WriteU64(config_.seed);
+  writer.WriteString(config_.task);
+  for (std::size_t a = 0; a < sim::kNumArchetypes; ++a) {
+    writer.WriteDouble(
+        config_.mix.Weight(static_cast<sim::Archetype>(a)));
+  }
+  writer.WriteU64(model_.ConfigFingerprint());
+  return robust::Fnv1a(writer.buffer().data(), writer.buffer().size());
+}
+
+void PopulationSweeper::Reset() {
+  aggregates_ = SweepAggregates();
+  next_shard_ = 0;
+}
+
+void PopulationSweeper::TryResume() {
+  robust::CheckpointManager manager(config_.checkpoint_dir,
+                                    kCheckpointStem);
+  std::vector<std::uint8_t> payload;
+  const robust::Status status = manager.LoadLatest(&payload);
+  if (status.code() == robust::StatusCode::kNotFound) return;
+  robust::ThrowIfError(status);
+
+  robust::BinaryReader reader(payload);
+  reader.ExpectTag("SWPC");
+  const std::uint64_t fingerprint = reader.ReadU64();
+  if (fingerprint != ConfigFingerprint()) {
+    robust::ThrowStatus(
+        robust::StatusCode::kInvalidArgument,
+        "sweep checkpoint was written under a different configuration; "
+        "rerun without --resume");
+  }
+  const std::uint64_t next = reader.ReadU64();
+  if (next > num_shards()) {
+    robust::ThrowStatus(robust::StatusCode::kCorruption,
+                        "sweep checkpoint shard index out of range");
+  }
+  SweepAggregates restored;
+  restored.Load(reader);
+  aggregates_ = restored;
+  next_shard_ = static_cast<std::size_t>(next);
+}
+
+void PopulationSweeper::CommitCheckpoint() {
+  robust::BinaryWriter writer;
+  writer.WriteTag("SWPC");
+  writer.WriteU64(ConfigFingerprint());
+  writer.WriteU64(next_shard_);
+  aggregates_.Save(writer);
+  robust::CheckpointManager manager(config_.checkpoint_dir,
+                                    kCheckpointStem);
+  robust::ThrowIfError(manager.Commit(writer.buffer()));
+}
+
+void PopulationSweeper::RunShard(std::size_t shard) {
+  const obs::Span span("sweep.shard");
+  const std::size_t begin = shard * config_.shard_size;
+  const std::size_t end =
+      std::min(config_.population, begin + config_.shard_size);
+  const std::size_t count = end - begin;
+  const std::size_t source_size = study_.task.source.size();
+  const std::size_t target_size = study_.task.target.size();
+
+  // Per-matcher slots, written disjointly by the parallel loop (the
+  // ParallelFor determinism contract) and freed when the shard ends —
+  // the sweep's whole per-matcher footprint lives here.
+  struct Slot {
+    sim::Archetype archetype = sim::Archetype::kMixed;
+    matching::DecisionHistory history;
+    matching::MovementMap movement{1280.0, 800.0};
+    ExpertMeasures measures;
+    ExpertLabel truth;
+    std::size_t decisions = 0;
+  };
+  std::vector<Slot> slots(count);
+  const stats::Rng stream_base(matcher_stream_seed_);
+  parallel::ParallelFor(0, count, 1, [&](std::size_t j) {
+    const std::size_t index = begin + j;
+    stats::Rng rng = stream_base.Fork(index);
+    Slot& slot = slots[j];
+    slot.archetype = sim::SampleArchetype(config_.mix, rng);
+    const sim::MatcherProfile base =
+        sim::SampleProfile(slot.archetype, rng);
+    // Cross-task matchers express a partially decorrelated profile on
+    // the sweep task (everyone else passes through, drawing nothing).
+    const sim::MatcherProfile profile = sim::PerTaskProfile(base, rng);
+    sim::SimulatedTrace trace = sim::SimulateMatcher(task_, profile, rng);
+    slot.history = trace.history.Preprocessed(kWarmupDecisions,
+                                              kOutlierSigma);
+    slot.movement = std::move(trace.movement);
+    slot.decisions = slot.history.size();
+    slot.measures = ComputeMeasures(slot.history, source_size, target_size,
+                                    study_.reference);
+    slot.truth = Characterize(slot.measures, thresholds_);
+  });
+
+  std::vector<MatcherView> views(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    views[j].history = &slots[j].history;
+    views[j].movement = &slots[j].movement;
+    views[j].source_size = source_size;
+    views[j].target_size = target_size;
+  }
+  const std::vector<ExpertLabel> predicted = model_.CharacterizeAll(views);
+
+  // Population-order fold: ascending matcher index, independent of
+  // shard boundaries, so the double accumulators see one canonical
+  // summation order.
+  std::uint64_t shard_decisions = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    aggregates_.Fold(slots[j].archetype, slots[j].measures, slots[j].truth,
+                     predicted[j], slots[j].decisions);
+    shard_decisions += slots[j].decisions;
+  }
+
+  if (obs::MetricsEnabled()) {
+    auto& hub = obs::Observability::Global();
+    hub.registry().GetCounter("sweep.matchers").Add(count);
+    hub.registry().GetCounter("sweep.decisions").Add(shard_decisions);
+  }
+}
+
+const SweepAggregates& PopulationSweeper::Run() {
+  const std::size_t total_shards = num_shards();
+  for (std::size_t shard = next_shard_; shard < total_shards; ++shard) {
+    RunShard(shard);
+    next_shard_ = shard + 1;
+    if (!config_.checkpoint_dir.empty()) CommitCheckpoint();
+
+    // Chaos hook: fires after the shard's state is durable, so a kill
+    // here loses no folded work and --resume replays from the next
+    // shard to the byte-identical aggregate.
+    switch (robust::FaultInjector::Global().Hit(
+        robust::FaultSite::kSweepShard)) {
+      case robust::FaultKind::kAbort:
+        robust::ThrowStatus(robust::StatusCode::kAborted,
+                            "injected abort at sweep_shard");
+      case robust::FaultKind::kKill:
+        std::_Exit(137);
+      default:
+        break;
+    }
+
+    if (auto* status = obs::Observability::Global().status()) {
+      obs::StatusUpdate update;
+      update.phase = "sweep";
+      update.done = static_cast<std::int64_t>(next_shard_);
+      update.total = static_cast<std::int64_t>(total_shards);
+      status->Update(update);
+    }
+  }
+  return aggregates_;
+}
+
+}  // namespace mexi

@@ -1,0 +1,245 @@
+#ifndef MEXI_CORE_SWEEP_H_
+#define MEXI_CORE_SWEEP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expert_model.h"
+#include "core/mexi.h"
+#include "robust/serialize.h"
+#include "sim/matcher_sim.h"
+#include "sim/study.h"
+
+namespace mexi {
+
+/// Fixed-bin quantile sketch for streamed score distributions.
+///
+/// Values are clamped into [lo, hi] and counted into equal-width bins;
+/// count / sum / min / max are exact, quantiles are answered by linear
+/// interpolation within the covering bin (error bounded by one bin
+/// width). Add and Merge are associative-exact on the integer counts,
+/// and the double accumulators are folded in population order by the
+/// sweep, so aggregates are bitwise-independent of shard boundaries.
+class QuantileSketch {
+ public:
+  QuantileSketch() : QuantileSketch(0.0, 1.0) {}
+  QuantileSketch(double lo, double hi, std::size_t bins = 128);
+
+  void Add(double value);
+  /// Folds `other` into this sketch. Both must share [lo, hi] and the
+  /// bin count; throws StatusError(kInvalidArgument) otherwise.
+  /// Counts, min and max merge associative-exact (so quantiles match a
+  /// single-fold sketch bitwise); the running double sum is summed in
+  /// merge order and may differ from the fold order in the last bits.
+  void Merge(const QuantileSketch& other);
+
+  /// Approximate q-quantile (q in [0, 1]); exact min/max at the ends.
+  /// Returns 0 on an empty sketch.
+  double Quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  void Save(robust::BinaryWriter& writer) const;
+  void Load(robust::BinaryReader& reader);
+
+  bool operator==(const QuantileSketch& other) const = default;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// 2x2 confusion counts of one predicted-vs-true label bit.
+struct LabelConfusion {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+  std::uint64_t tn = 0;
+
+  void Fold(bool truth, bool predicted);
+  void Merge(const LabelConfusion& other);
+  std::uint64_t Total() const { return tp + fp + fn + tn; }
+  /// (tp + tn) / total; 1 on an empty confusion.
+  double Accuracy() const;
+
+  bool operator==(const LabelConfusion& other) const = default;
+};
+
+/// Streamed per-archetype tallies: population counts, decision volume,
+/// one confusion per expertise characteristic, and full-expert counts
+/// under both the ground-truth thresholds and the model.
+struct ArchetypeAggregate {
+  std::uint64_t matchers = 0;
+  std::uint64_t decisions = 0;
+  std::array<LabelConfusion, 4> confusion;
+  std::uint64_t true_full_expert = 0;
+  std::uint64_t predicted_full_expert = 0;
+
+  void Merge(const ArchetypeAggregate& other);
+
+  bool operator==(const ArchetypeAggregate& other) const = default;
+};
+
+/// One reliability-diagram bucket keyed by mean reported confidence.
+struct CalibrationBucket {
+  std::uint64_t count = 0;
+  double sum_confidence = 0.0;
+  double sum_precision = 0.0;
+
+  bool operator==(const CalibrationBucket& other) const = default;
+};
+
+inline constexpr std::size_t kCalibrationBuckets = 10;
+
+/// Streamed sweep aggregates: everything `mexi_cli sweep` reports about
+/// a population, in O(archetypes + bins) memory regardless of
+/// population size. Fold() consumes one matcher; the sweep driver folds
+/// in population order (ascending matcher index across shards), which
+/// makes every double accumulator — and therefore ToJson() — bitwise
+/// identical for any shard size and thread count. Merge() folds a
+/// disjoint population range's aggregates; its counting state is
+/// associative-exact, while the double score sums inherit the sketch's
+/// merge-order caveat — which is exactly why the sweep driver folds
+/// rather than merging per-shard partials.
+class SweepAggregates {
+ public:
+  SweepAggregates();
+
+  /// Folds one characterized matcher into the aggregates.
+  void Fold(sim::Archetype archetype, const ExpertMeasures& measures,
+            const ExpertLabel& truth, const ExpertLabel& predicted,
+            std::size_t num_decisions);
+
+  /// Folds `other` (an aggregate over a *later* population range) into
+  /// this one.
+  void Merge(const SweepAggregates& other);
+
+  std::uint64_t matchers() const { return matchers_; }
+  std::uint64_t decisions() const { return decisions_; }
+  const ArchetypeAggregate& archetype(sim::Archetype a) const {
+    return archetypes_[static_cast<std::size_t>(a)];
+  }
+  const QuantileSketch& precision_sketch() const { return precision_; }
+  const QuantileSketch& recall_sketch() const { return recall_; }
+  const QuantileSketch& resolution_sketch() const { return resolution_; }
+  const QuantileSketch& calibration_sketch() const { return calibration_; }
+  const std::array<CalibrationBucket, kCalibrationBuckets>&
+  calibration_buckets() const {
+    return buckets_;
+  }
+
+  /// Byte-stable JSON report (doubles via %.17g): totals, per-archetype
+  /// label confusions, score quantiles, calibration buckets. Equal
+  /// aggregate state produces byte-identical JSON.
+  std::string ToJson() const;
+
+  void Save(robust::BinaryWriter& writer) const;
+  void Load(robust::BinaryReader& reader);
+
+  bool operator==(const SweepAggregates& other) const = default;
+
+ private:
+  std::uint64_t matchers_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::array<ArchetypeAggregate, sim::kNumArchetypes> archetypes_;
+  QuantileSketch precision_;
+  QuantileSketch recall_;
+  QuantileSketch resolution_;
+  QuantileSketch calibration_;
+  std::array<CalibrationBucket, kCalibrationBuckets> buckets_;
+};
+
+/// Configuration of one population-scale sweep.
+struct SweepConfig {
+  /// Matchers to generate and characterize.
+  std::size_t population = 100000;
+  /// Matchers simulated, characterized, aggregated and *freed* per
+  /// shard — the resident-memory bound.
+  std::size_t shard_size = 512;
+  /// Size of the paper-mix training study the model is fitted on.
+  std::size_t train_matchers = 64;
+  std::uint64_t seed = 42;
+  /// Task family: "po", "oaei" or "er" (the CLI task streams).
+  std::string task = "po";
+  /// Mixture the population is drawn from (default: the wide mix with
+  /// the adversarial archetypes).
+  sim::PopulationMix mix = sim::WidePopulationMix();
+  /// Non-empty enables per-shard checkpointing into this directory.
+  std::string checkpoint_dir;
+  /// Resume from the checkpoint instead of discarding it.
+  bool resume = false;
+  /// Model configuration; batch_size > 1 routes shard characterization
+  /// through the batched inference engine.
+  MexiConfig model = Mexi50Config();
+};
+
+/// Population-scale sweep driver.
+///
+/// Construction generates the task, builds a paper-mix training study,
+/// fits the ground-truth thresholds and trains the MExI model — all
+/// deterministic in `config.seed`. Run() then streams the population
+/// through bounded-memory shards: each shard derives its matchers'
+/// profiles and traces from order-independent forked streams
+/// (Rng(sweep seed).Fork(matcher index), a pure function of the index),
+/// characterizes them via CharacterizeAll, folds the results into the
+/// aggregates in population order and frees the traces, so resident
+/// memory is O(shard) while the aggregates are bitwise identical at any
+/// shard size and thread count. With checkpointing enabled every shard
+/// boundary commits {config fingerprint, next shard, aggregates}
+/// through the two-generation CheckpointManager, and a resumed run
+/// replays only the remaining shards to the byte-identical result.
+class PopulationSweeper {
+ public:
+  explicit PopulationSweeper(const SweepConfig& config);
+  ~PopulationSweeper();
+
+  /// Runs all remaining shards and returns the final aggregates.
+  const SweepAggregates& Run();
+
+  /// Clears the aggregates and rewinds to shard 0 (in-memory only; used
+  /// by benchmarks to re-run one trained sweeper).
+  void Reset();
+
+  const SweepAggregates& aggregates() const { return aggregates_; }
+  std::size_t num_shards() const;
+  std::size_t next_shard() const { return next_shard_; }
+  const ExpertThresholds& thresholds() const { return thresholds_; }
+  const Mexi& model() const { return model_; }
+
+  /// FNV-1a fingerprint of everything that shapes the sweep's output;
+  /// resumed runs reject checkpoints written under a different config.
+  std::uint64_t ConfigFingerprint() const;
+
+ private:
+  void RunShard(std::size_t shard);
+  void CommitCheckpoint();
+  void TryResume();
+
+  SweepConfig config_;
+  sim::Study study_;
+  sim::SimulationTask task_;
+  ExpertThresholds thresholds_;
+  Mexi model_;
+  std::uint64_t matcher_stream_seed_ = 0;
+  SweepAggregates aggregates_;
+  std::size_t next_shard_ = 0;
+};
+
+}  // namespace mexi
+
+#endif  // MEXI_CORE_SWEEP_H_

@@ -38,6 +38,7 @@ constexpr SiteEntry kSites[] = {
     {"net_accept", FaultSite::kNetAccept},
     {"net_read", FaultSite::kNetRead},
     {"net_write", FaultSite::kNetWrite},
+    {"sweep_shard", FaultSite::kSweepShard},
 };
 
 FaultKind ParseKind(const std::string& text) {
@@ -58,7 +59,7 @@ FaultSite ParseSite(const std::string& text) {
               "unknown fault site '" + text +
                   "' (want ckpt_write|lstm_grad|cnn_grad|logreg_grad|"
                   "epoch|fold|io_read|matchers_write|stream_emit|"
-                  "net_accept|net_read|net_write)");
+                  "net_accept|net_read|net_write|sweep_shard)");
 }
 
 }  // namespace

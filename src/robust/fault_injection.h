@@ -59,8 +59,9 @@ enum class FaultSite {
   kNetAccept,            // serve::Server, per accepted connection
   kNetRead,              // serve::Server, per socket read
   kNetWrite,             // serve::Server, per socket write
+  kSweepShard,           // PopulationSweeper, after a shard's checkpoint
 };
-inline constexpr std::size_t kNumFaultSites = 12;
+inline constexpr std::size_t kNumFaultSites = 13;
 
 /// Deterministic, seed-driven fault injector.
 ///
@@ -73,7 +74,7 @@ inline constexpr std::size_t kNumFaultSites = 12;
 ///            | torn_read | eintr | conn_reset | slow_write
 ///   site    := ckpt_write | lstm_grad | cnn_grad | logreg_grad
 ///            | epoch | fold | io_read | matchers_write | stream_emit
-///            | net_accept | net_read | net_write
+///            | net_accept | net_read | net_write | sweep_shard
 ///
 /// `occurrence` is the 1-based hit count at which the clause fires,
 /// once: `nan@lstm_grad:37` poisons the 37th training sample the LSTM

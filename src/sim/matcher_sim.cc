@@ -98,6 +98,12 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
   double t = rng.Uniform(5.0, 20.0);
   std::vector<Decision> declared;  // for review pass
 
+  // Session progress in [0, 1) at the latest examined element; the
+  // within-trace dynamics hooks (fatigue, confidence drift) read it.
+  // Guarded so profiles with the hooks at their defaults evaluate the
+  // exact expressions — and consume the exact draws — they always have.
+  double session_progress = 0.0;
+
   auto report_confidence = [&](bool correct, double perceived) {
     const double correctness_signal = correct ? 0.84 : 0.40;
     const double similarity_signal =
@@ -105,9 +111,14 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
     const double base =
         profile.resolution_skill * correctness_signal +
         (1.0 - profile.resolution_skill) * similarity_signal;
+    double bias = profile.confidence_bias;
+    if (profile.confidence_drift != 0.0) {
+      // Late-session overconfidence: reported confidence inflates as
+      // the matcher tires, regardless of correctness.
+      bias += profile.confidence_drift * session_progress;
+    }
     return stats::Clamp(
-        base + profile.confidence_bias +
-            rng.Gaussian(0.0, profile.confidence_noise),
+        base + bias + rng.Gaussian(0.0, profile.confidence_noise),
         0.02, 1.0);
   };
 
@@ -148,6 +159,11 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
     const std::size_t j = scan_order[k];
     const double progress = static_cast<double>(k) /
                             static_cast<double>(examined_count);
+    session_progress = progress;
+    // Fatigue factor: 1 at session start, 1 + fatigue_rate at the end.
+    const double fatigue =
+        profile.fatigue_rate > 0.0 ? 1.0 + profile.fatigue_rate * progress
+                                   : 1.0;
     const double list_position =
         static_cast<double>(k) / static_cast<double>(num_leaves);
 
@@ -156,6 +172,7 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
         2.0, rng.Gaussian(profile.seconds_per_decision,
                           0.3 * profile.seconds_per_decision));
     if (rng.Bernoulli(0.02)) step_seconds += 5.0 * profile.seconds_per_decision;
+    if (profile.fatigue_rate > 0.0) step_seconds *= fatigue;
     const double t_next = t + step_seconds;
     double mt = t;
     auto advance = [&]() {
@@ -179,8 +196,13 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
     // Skilled humans recognize semantic correspondences beyond string
     // similarity (instances, position, domain knowledge); model that as
     // an insight bonus on true pairs that shrinks with perception noise.
+    // Fatigue widens perception noise late in the session (and with it
+    // shrinks the semantic-insight bonus below).
+    const double perception_noise_now =
+        profile.fatigue_rate > 0.0 ? profile.perception_noise * fatigue
+                                   : profile.perception_noise;
     const double insight = stats::Clamp(
-        1.0 - profile.perception_noise * 2.2, 0.0, 1.0);
+        1.0 - perception_noise_now * 2.2, 0.0, 1.0);
     Candidate best, second;
     best.perceived = -1.0;
     second.perceived = -1.0;
@@ -188,13 +210,23 @@ SimulatedTrace SimulateMatcher(const SimulationTask& task,
       const double s = sim.At(i, j);
       const double perceived =
           s + 0.22 * insight * (ref.At(i, j) > 0.0 ? 1.0 : 0.0) +
-          rng.Gaussian(0.0, profile.perception_noise);
+          rng.Gaussian(0.0, perception_noise_now);
       if (perceived > best.perceived) {
         second = best;
         best = Candidate{i, perceived, s};
       } else if (perceived > second.perceived) {
         second = Candidate{i, perceived, s};
       }
+    }
+    // Adversarial spam: declare a uniformly random shortlist candidate
+    // regardless of what perception ranked (perceived pinned to 1.0 so
+    // the threshold below cannot filter it).
+    if (profile.random_declare_rate > 0.0 && !shortlist[j].empty() &&
+        rng.Bernoulli(profile.random_declare_rate)) {
+      const std::size_t pick = rng.UniformIndex(shortlist[j].size());
+      best.source = shortlist[j][pick];
+      best.true_similarity = sim.At(best.source, j);
+      best.perceived = 1.0;
     }
     if (best.perceived < 0.0) {
       t = t_next;

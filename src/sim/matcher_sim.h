@@ -52,6 +52,14 @@ struct SimulatedTrace {
 /// `resolution_skill` and whose level is shifted by `confidence_bias`,
 /// revisits earlier pairs (`mind_change_rate`, review pass), and moves
 /// the mouse through the UI regions according to its attention profile.
+///
+/// Within-trace dynamics (population-sweep archetypes): when armed in
+/// the profile, `fatigue_rate` widens perception noise and slows the
+/// pace as the session progresses, `confidence_drift` inflates reported
+/// confidence late in the trace, and `random_declare_rate` injects
+/// adversarial spam declarations at pinned-high perceived similarity.
+/// All three default to inert values under which the simulation draws
+/// and emits exactly what it did before they existed.
 SimulatedTrace SimulateMatcher(const SimulationTask& task,
                                const MatcherProfile& profile,
                                stats::Rng& rng);

@@ -27,6 +27,12 @@ std::string ArchetypeName(Archetype archetype) {
       return "D:strong+unreliable";
     case Archetype::kMixed:
       return "mixed";
+    case Archetype::kSpammerE:
+      return "E:adversarial-spammer";
+    case Archetype::kDrifterF:
+      return "F:drift+fatigue";
+    case Archetype::kCrossTaskG:
+      return "G:cross-task";
   }
   return "unknown";
 }
@@ -99,6 +105,69 @@ MatcherProfile SampleProfile(Archetype archetype, stats::Rng& rng) {
       p.seconds_per_decision = Jitter(rng, 45.0, 10.0, 25.0, 90.0);
       p.scroll_tendency = Jitter(rng, 0.55, 0.12, 0.25, 0.9);
       break;
+    case Archetype::kSpammerE:
+      // Rapid-fire near-random declarations, reported with uniformly
+      // high confidence: precision and resolution collapse while the
+      // declared volume (and so apparent coverage) stays high.
+      p.perception_noise = Jitter(rng, 0.45, 0.06, 0.3, 0.6);
+      p.coverage = Jitter(rng, 0.75, 0.1, 0.5, 1.0);
+      p.decision_threshold = Jitter(rng, 0.18, 0.04, 0.08, 0.3);
+      p.second_candidate_rate = Jitter(rng, 0.55, 0.12, 0.25, 0.9);
+      p.resolution_skill = Jitter(rng, 0.03, 0.02, 0.0, 0.08);
+      p.confidence_bias = Jitter(rng, 0.5, 0.06, 0.35, 0.65);
+      p.confidence_noise = Jitter(rng, 0.08, 0.02, 0.03, 0.15);
+      p.threshold_drift = Jitter(rng, 0.05, 0.03, 0.0, 0.15);
+      p.mind_change_rate = Jitter(rng, 0.03, 0.02, 0.0, 0.08);
+      p.review_pass_rate = Jitter(rng, 0.05, 0.03, 0.0, 0.12);
+      p.metadata_attention = Jitter(rng, 0.06, 0.03, 0.0, 0.15);
+      p.exploration_depth = Jitter(rng, 0.85, 0.08, 0.6, 1.0);
+      p.seconds_per_decision = Jitter(rng, 5.0, 1.5, 2.0, 10.0);
+      p.scroll_tendency = Jitter(rng, 0.15, 0.06, 0.05, 0.35);
+      p.random_declare_rate = Jitter(rng, 0.65, 0.12, 0.35, 0.95);
+      break;
+    case Archetype::kDrifterF:
+      // Starts near archetype-A competence but depletes within the
+      // trace: perception noise and pace grow with fatigue, confidence
+      // drifts up while the declaration threshold decays — the late
+      // slice of the session looks like a different (worse) matcher.
+      p.perception_noise = Jitter(rng, 0.1, 0.03, 0.04, 0.18);
+      p.coverage = Jitter(rng, 0.7, 0.09, 0.5, 0.9);
+      p.decision_threshold = Jitter(rng, 0.44, 0.04, 0.32, 0.56);
+      p.second_candidate_rate = Jitter(rng, 0.5, 0.1, 0.25, 0.8);
+      p.resolution_skill = Jitter(rng, 0.55, 0.09, 0.3, 0.8);
+      p.confidence_bias = Jitter(rng, 0.02, 0.05, -0.1, 0.14);
+      p.confidence_noise = Jitter(rng, 0.18, 0.04, 0.1, 0.3);
+      p.threshold_drift = Jitter(rng, 0.38, 0.07, 0.2, 0.55);
+      p.mind_change_rate = Jitter(rng, 0.25, 0.05, 0.1, 0.4);
+      p.review_pass_rate = Jitter(rng, 0.25, 0.08, 0.05, 0.5);
+      p.metadata_attention = Jitter(rng, 0.75, 0.1, 0.5, 1.0);
+      p.exploration_depth = Jitter(rng, 0.85, 0.08, 0.6, 1.0);
+      p.seconds_per_decision = Jitter(rng, 40.0, 8.0, 20.0, 75.0);
+      p.scroll_tendency = Jitter(rng, 0.45, 0.1, 0.2, 0.8);
+      p.fatigue_rate = Jitter(rng, 1.1, 0.25, 0.6, 1.8);
+      p.confidence_drift = Jitter(rng, 0.3, 0.07, 0.15, 0.5);
+      break;
+    case Archetype::kCrossTaskG:
+      // Mid-skill base profile whose per-task expression only partially
+      // correlates with it (HumanAL's cross-task observation): on any
+      // one task this matcher may present anywhere between its base and
+      // a fresh same-family draw.
+      p.perception_noise = Jitter(rng, 0.14, 0.04, 0.05, 0.26);
+      p.coverage = Jitter(rng, 0.6, 0.1, 0.35, 0.85);
+      p.decision_threshold = Jitter(rng, 0.45, 0.05, 0.32, 0.58);
+      p.second_candidate_rate = Jitter(rng, 0.45, 0.12, 0.15, 0.8);
+      p.resolution_skill = Jitter(rng, 0.5, 0.12, 0.2, 0.8);
+      p.confidence_bias = Jitter(rng, 0.08, 0.07, -0.1, 0.28);
+      p.confidence_noise = Jitter(rng, 0.2, 0.04, 0.1, 0.32);
+      p.threshold_drift = Jitter(rng, 0.12, 0.05, 0.0, 0.28);
+      p.mind_change_rate = Jitter(rng, 0.3, 0.06, 0.12, 0.5);
+      p.review_pass_rate = Jitter(rng, 0.55, 0.12, 0.2, 0.9);
+      p.metadata_attention = Jitter(rng, 0.7, 0.12, 0.4, 1.0);
+      p.exploration_depth = Jitter(rng, 0.8, 0.1, 0.5, 1.0);
+      p.seconds_per_decision = Jitter(rng, 45.0, 10.0, 25.0, 85.0);
+      p.scroll_tendency = Jitter(rng, 0.45, 0.12, 0.15, 0.85);
+      p.task_skill_correlation = Jitter(rng, 0.7, 0.08, 0.45, 0.9);
+      break;
     case Archetype::kMixed:
       p.perception_noise = rng.Uniform(0.05, 0.3);
       p.coverage = rng.Uniform(0.15, 0.9);
@@ -119,34 +188,107 @@ MatcherProfile SampleProfile(Archetype archetype, stats::Rng& rng) {
   return p;
 }
 
+MatcherProfile PerTaskProfile(const MatcherProfile& base, stats::Rng& rng) {
+  if (base.task_skill_correlation >= 1.0) return base;
+  const double rho = stats::Clamp(base.task_skill_correlation, 0.0, 1.0);
+  // Fresh same-archetype draw; skill parameters regress toward it.
+  const MatcherProfile fresh = SampleProfile(base.archetype, rng);
+  MatcherProfile out = base;
+  auto blend = [rho](double base_value, double fresh_value) {
+    return rho * base_value + (1.0 - rho) * fresh_value;
+  };
+  out.perception_noise = blend(base.perception_noise, fresh.perception_noise);
+  out.coverage = blend(base.coverage, fresh.coverage);
+  out.decision_threshold =
+      blend(base.decision_threshold, fresh.decision_threshold);
+  out.second_candidate_rate =
+      blend(base.second_candidate_rate, fresh.second_candidate_rate);
+  out.resolution_skill = blend(base.resolution_skill, fresh.resolution_skill);
+  out.confidence_bias = blend(base.confidence_bias, fresh.confidence_bias);
+  out.threshold_drift = blend(base.threshold_drift, fresh.threshold_drift);
+  // Attention/motor style and the remaining cognitive texture are
+  // trait-like (they travel with the person, not the task): keep base.
+  return out;
+}
+
+double PopulationMix::Weight(Archetype archetype) const {
+  switch (archetype) {
+    case Archetype::kExpertA:
+      return expert_a;
+    case Archetype::kSloppyB:
+      return sloppy_b;
+    case Archetype::kNarrowC:
+      return narrow_c;
+    case Archetype::kUnreliableD:
+      return unreliable_d;
+    case Archetype::kMixed:
+      return mixed;
+    case Archetype::kSpammerE:
+      return spammer_e;
+    case Archetype::kDrifterF:
+      return drifter_f;
+    case Archetype::kCrossTaskG:
+      return crosstask_g;
+  }
+  return 0.0;
+}
+
+double PopulationMix::Total() const {
+  return expert_a + sloppy_b + narrow_c + unreliable_d + mixed + spammer_e +
+         drifter_f + crosstask_g;
+}
+
+PopulationMix WidePopulationMix() {
+  PopulationMix mix;
+  mix.expert_a = 0.136;
+  mix.sloppy_b = 0.176;
+  mix.narrow_c = 0.216;
+  mix.unreliable_d = 0.112;
+  mix.mixed = 0.16;
+  mix.spammer_e = 0.08;
+  mix.drifter_f = 0.07;
+  mix.crosstask_g = 0.05;
+  return mix;
+}
+
+namespace {
+
+/// Mixture-bucket order for SamplePopulation. The paper archetypes come
+/// first in their historical cascade order and kMixed stays the final
+/// (else) bucket, so a mix with zero sweep weights draws bitwise the
+/// same populations it always has.
+constexpr Archetype kMixtureOrder[kNumArchetypes] = {
+    Archetype::kExpertA,    Archetype::kSloppyB,  Archetype::kNarrowC,
+    Archetype::kUnreliableD, Archetype::kSpammerE, Archetype::kDrifterF,
+    Archetype::kCrossTaskG, Archetype::kMixed,
+};
+
+}  // namespace
+
+Archetype SampleArchetype(const PopulationMix& mix, stats::Rng& rng) {
+  const double total = mix.Total();
+  if (total <= 0.0) {
+    throw std::invalid_argument("SamplePopulation: empty mixture");
+  }
+  const double u = rng.Uniform(0.0, total);
+  double edge = 0.0;
+  for (std::size_t b = 0; b + 1 < kNumArchetypes; ++b) {
+    edge += mix.Weight(kMixtureOrder[b]);
+    if (u < edge) return kMixtureOrder[b];
+  }
+  return kMixtureOrder[kNumArchetypes - 1];
+}
+
 std::vector<MatcherProfile> SamplePopulation(std::size_t count,
                                              const PopulationMix& mix,
                                              stats::Rng& rng) {
-  const double total =
-      mix.expert_a + mix.sloppy_b + mix.narrow_c + mix.unreliable_d +
-      mix.mixed;
-  if (total <= 0.0) {
+  if (mix.Total() <= 0.0) {
     throw std::invalid_argument("SamplePopulation: empty mixture");
   }
   std::vector<MatcherProfile> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const double u = rng.Uniform(0.0, total);
-    Archetype archetype;
-    if (u < mix.expert_a) {
-      archetype = Archetype::kExpertA;
-    } else if (u < mix.expert_a + mix.sloppy_b) {
-      archetype = Archetype::kSloppyB;
-    } else if (u < mix.expert_a + mix.sloppy_b + mix.narrow_c) {
-      archetype = Archetype::kNarrowC;
-    } else if (u <
-               mix.expert_a + mix.sloppy_b + mix.narrow_c +
-                   mix.unreliable_d) {
-      archetype = Archetype::kUnreliableD;
-    } else {
-      archetype = Archetype::kMixed;
-    }
-    out.push_back(SampleProfile(archetype, rng));
+    out.push_back(SampleProfile(SampleArchetype(mix, rng), rng));
   }
   return out;
 }

@@ -13,7 +13,30 @@ namespace mexi::sim {
 /// (Section I-A and Figures 1/4/5): A precise+thorough expert, B
 /// imprecise+incomplete, C precise but incomplete, D quantitatively
 /// strong but cognitively unreliable, plus free mixtures.
-enum class Archetype { kExpertA = 0, kSloppyB, kNarrowC, kUnreliableD, kMixed };
+///
+/// The population-scale sweep widens the family beyond the paper's
+/// study with three adversarial/off-population profiles (appended after
+/// kMixed so the paper archetypes keep their values):
+///   E  an adversarial spammer — near-random rapid-fire declarations
+///      reported at uniformly high confidence (crowdsourcing's classic
+///      attack profile);
+///   F  a drift/fatigue matcher — starts competent, but perception
+///      noise, pace, and overconfidence all degrade within the trace
+///      (Ackerman-style depletion taken to its extreme);
+///   G  a HumanAL-style cross-task matcher — per-task skill is only
+///      partially correlated with the latent base profile, so the
+///      warm-up task is an imperfect predictor of main-task behavior.
+enum class Archetype {
+  kExpertA = 0,
+  kSloppyB,
+  kNarrowC,
+  kUnreliableD,
+  kMixed,
+  kSpammerE,
+  kDrifterF,
+  kCrossTaskG,
+};
+inline constexpr std::size_t kNumArchetypes = 8;
 
 /// Printable archetype name.
 std::string ArchetypeName(Archetype archetype);
@@ -67,7 +90,36 @@ struct MatcherProfile {
   double seconds_per_decision = 45.0;
   /// Extra scrolling when uncertain (scroll features signal uncertainty).
   double scroll_tendency = 0.5;
+
+  // -- Adversarial / within-trace dynamics ----------------------------
+  // These default to values that make SimulateMatcher consume exactly
+  // the draw sequence it always has (every new hook is guarded), so the
+  // paper archetypes above — and every golden hash downstream — are
+  // bitwise unchanged.
+  /// Probability per examined element of declaring a uniformly random
+  /// shortlist candidate regardless of perceived similarity (spammer
+  /// behavior; 0 = never).
+  double random_declare_rate = 0.0;
+  /// Within-trace fatigue: perception noise and per-decision time grow
+  /// by this fraction over the session (0 = no fatigue).
+  double fatigue_rate = 0.0;
+  /// Within-trace confidence drift: additive confidence bias gained
+  /// linearly over the session (late overconfidence; 0 = none).
+  double confidence_drift = 0.0;
+  /// HumanAL-style cross-task skill correlation rho in [0, 1]: how much
+  /// of this matcher's skill carries over to a *new* task.
+  /// PerTaskProfile blends skill parameters as
+  ///   rho * base + (1 - rho) * fresh same-archetype draw;
+  /// 1 (default) reproduces the base profile exactly and consumes no
+  /// randomness.
+  double task_skill_correlation = 1.0;
 };
+
+/// Derives the profile this matcher exhibits on a *different* task:
+/// skill parameters regress toward a fresh same-archetype draw by
+/// (1 - task_skill_correlation). With correlation >= 1 the base profile
+/// is returned unchanged and `rng` is untouched.
+MatcherProfile PerTaskProfile(const MatcherProfile& base, stats::Rng& rng);
 
 /// Draws a profile of the given archetype; parameters are jittered so no
 /// two matchers are identical.
@@ -75,14 +127,35 @@ MatcherProfile SampleProfile(Archetype archetype, stats::Rng& rng);
 
 /// Mixture weights over archetypes used for population sampling.
 /// Defaults are calibrated so the simulated population reproduces the
-/// paper's Figure 8/9 marginals (see bench/fig8_population).
+/// paper's Figure 8/9 marginals (see bench/fig8_population); the three
+/// sweep archetypes default to weight 0 so existing populations are
+/// drawn bitwise-unchanged.
 struct PopulationMix {
   double expert_a = 0.17;
   double sloppy_b = 0.22;
   double narrow_c = 0.27;
   double unreliable_d = 0.14;
   double mixed = 0.20;
+  double spammer_e = 0.0;
+  double drifter_f = 0.0;
+  double crosstask_g = 0.0;
+
+  /// The weight of one archetype.
+  double Weight(Archetype archetype) const;
+  /// Sum of all weights over the widened enum.
+  double Total() const;
 };
+
+/// Mixture used by population-scale sweeps: the paper's marginals
+/// re-normalized to 80% with the remaining 20% split across the
+/// adversarial/off-population archetypes.
+PopulationMix WidePopulationMix();
+
+/// Draws one archetype from the mixture (one Uniform draw). The paper
+/// archetypes occupy their historical bucket order with kMixed as the
+/// final bucket, so zero sweep weights reproduce historical draws
+/// bitwise. Throws std::invalid_argument on an empty mixture.
+Archetype SampleArchetype(const PopulationMix& mix, stats::Rng& rng);
 
 /// Samples `count` profiles from the mixture.
 std::vector<MatcherProfile> SamplePopulation(std::size_t count,

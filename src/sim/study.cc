@@ -106,7 +106,13 @@ Study BuildStudy(const schema::GeneratedPair& pair,
     matcher.warmup_history =
         SimulateWarmup(warmup_task, profiles[i], matcher_rng);
 
-    SimulatedTrace trace = SimulateMatcher(main_task, profiles[i],
+    // Cross-task matchers (task_skill_correlation < 1) express a
+    // partially decorrelated skill profile on the main task, so their
+    // warm-up trace is an imperfect predictor of it — everyone else
+    // passes through unchanged, consuming no extra randomness.
+    const MatcherProfile main_profile =
+        PerTaskProfile(profiles[i], matcher_rng);
+    SimulatedTrace trace = SimulateMatcher(main_task, main_profile,
                                            matcher_rng);
     matcher.raw_history = trace.history;
     matcher.history =

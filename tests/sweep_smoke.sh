@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Population-sweep smoke drill (also the CI sweep-smoke job):
+#
+# 1. Run `mexi_cli sweep` over a population drawn from the wide mixture
+#    (all archetypes) at 1 thread and at 4 threads — the aggregate JSON
+#    must be byte-for-byte identical.
+# 2. Re-run with MEXI_FAULTS=kill@sweep_shard:2 — the process
+#    _Exit(137)s right after the second shard's checkpoint commits.
+# 3. Re-run with --resume: the remaining shards are replayed and the
+#    final aggregate JSON must again be byte-identical to the
+#    uninterrupted run.
+#
+# SWEEP_POPULATION overrides the population size (CI uses 2000).
+# SWEEP_ARTIFACT_DIR keeps the aggregate JSONs in that directory instead
+# of a throwaway tempdir, so CI can upload them when the drill fails.
+set -u
+
+MEXI_CLI="${MEXI_CLI:?path to the mexi_cli binary (set by ctest)}"
+POPULATION="${SWEEP_POPULATION:-2000}"
+SHARD_SIZE=256
+if [ -n "${SWEEP_ARTIFACT_DIR:-}" ]; then
+  WORKDIR="${SWEEP_ARTIFACT_DIR}"
+  mkdir -p "${WORKDIR}"
+else
+  WORKDIR="$(mktemp -d)"
+  trap 'rm -rf "${WORKDIR}"' EXIT
+fi
+
+fail() { echo "sweep_smoke: FAIL: $*" >&2; exit 1; }
+
+SWEEP=("${MEXI_CLI}" sweep --population "${POPULATION}" \
+    --shard-size "${SHARD_SIZE}" --seed 5 --task po --mix wide)
+
+# Reference: uninterrupted, 1 thread.
+"${SWEEP[@]}" --out "${WORKDIR}/agg_1t.json" --threads 1 \
+    > "${WORKDIR}/sweep_1t.log" || fail "1-thread sweep exited $?"
+grep -q "\"matchers\":${POPULATION}," "${WORKDIR}/agg_1t.json" \
+    || fail "aggregate JSON does not count the full population"
+# The wide mixture must actually populate the adversarial archetypes.
+grep -q '"E:adversarial-spammer":{"matchers":0,' "${WORKDIR}/agg_1t.json" \
+    && fail "no spammer matchers drawn from the wide mixture"
+
+# Thread invariance: 4 threads, byte-for-byte identical JSON.
+"${SWEEP[@]}" --out "${WORKDIR}/agg_4t.json" --threads 4 \
+    > /dev/null || fail "4-thread sweep exited $?"
+cmp "${WORKDIR}/agg_1t.json" "${WORKDIR}/agg_4t.json" \
+    || fail "aggregate JSON differs between 1 and 4 threads"
+
+# Kill-and-resume: the injected kill fires after shard 2's checkpoint
+# committed — a real mid-run death leaving durable state behind.
+CKPT="${WORKDIR}/ckpt"
+MEXI_FAULTS=kill@sweep_shard:2 \
+    "${SWEEP[@]}" --out "${WORKDIR}/agg_killed.json" --threads 1 \
+    --checkpoint-dir "${CKPT}" > "${WORKDIR}/killed.log" 2>&1
+STATUS=$?
+[ "${STATUS}" -eq 137 ] || fail "expected exit 137 from the kill, got ${STATUS}"
+ls "${CKPT}"/sweep*.bin > /dev/null 2>&1 \
+    || fail "killed sweep left no checkpoint behind"
+[ ! -s "${WORKDIR}/agg_killed.json" ] \
+    || fail "killed sweep wrote an aggregate JSON it should not have"
+
+# Resume replays shards 3..N and must reproduce the reference bytes.
+"${SWEEP[@]}" --out "${WORKDIR}/agg_resumed.json" --threads 1 \
+    --checkpoint-dir "${CKPT}" --resume \
+    > /dev/null || fail "resumed sweep exited $?"
+cmp "${WORKDIR}/agg_1t.json" "${WORKDIR}/agg_resumed.json" \
+    || fail "resumed aggregate JSON differs from the uninterrupted run"
+
+echo "sweep_smoke: PASS"

@@ -1,0 +1,603 @@
+// Population-scale sweep: quantile sketches, widened archetype family,
+// streamed-aggregation exactness against a naive hold-everything
+// computation, shard/thread invariance in exact and fast math, and
+// checkpointed abort/resume identity.
+
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "matching/similarity.h"
+#include "ml/vmath/vmath.h"
+#include "parallel/parallel_for.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
+#include "schema/generators.h"
+#include "sim/study.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace mexi;
+namespace fs = std::filesystem;
+
+// -------------------------------------------------------------------
+// QuantileSketch
+
+TEST(QuantileSketch, CountsSumAndExtremesAreExact) {
+  QuantileSketch sketch(0.0, 1.0, 10);
+  const std::vector<double> values = {0.05, 0.15, 0.25, 0.95, 0.5, -2.0,
+                                      3.0};
+  for (const double v : values) sketch.Add(v);
+  EXPECT_EQ(sketch.count(), values.size());
+  // Out-of-range values clamp into [lo, hi] before every accumulator.
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.05 + 0.15 + 0.25 + 0.95 + 0.5 + 0.0 +
+                                     1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), sketch.max());
+}
+
+TEST(QuantileSketch, QuantilesAreMonotoneAndBinAccurate) {
+  QuantileSketch sketch(0.0, 1.0, 100);
+  stats::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) sketch.Add(rng.Uniform());
+  double previous = sketch.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = sketch.Quantile(q);
+    EXPECT_GE(value, previous);
+    // Uniform data: the q-quantile is q, up to a bin width + sampling.
+    EXPECT_NEAR(value, q, 0.05);
+    previous = value;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesSingleFold) {
+  QuantileSketch all(0.0, 1.0, 32);
+  QuantileSketch left(0.0, 1.0, 32);
+  QuantileSketch right(0.0, 1.0, 32);
+  stats::Rng rng(12);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.Uniform();
+    all.Add(v);
+    (i < 150 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  // Integer state (bin counts) and min/max are associative-exact, so
+  // every quantile answer matches the single-fold sketch bitwise. The
+  // double running sum is summed in a different order and may differ in
+  // the last bits — which is why the sweep folds in population order
+  // instead of merging per-shard partials.
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), all.Quantile(q));
+  }
+  EXPECT_NEAR(left.sum(), all.sum(), 1e-9 * std::abs(all.sum()));
+}
+
+TEST(QuantileSketch, MergeRejectsShapeMismatch) {
+  QuantileSketch a(0.0, 1.0, 32);
+  QuantileSketch b(-1.0, 1.0, 32);
+  QuantileSketch c(0.0, 1.0, 64);
+  EXPECT_THROW(a.Merge(b), robust::StatusError);
+  EXPECT_THROW(a.Merge(c), robust::StatusError);
+}
+
+TEST(QuantileSketch, SaveLoadRoundTripsBitwise) {
+  QuantileSketch sketch(-1.0, 1.0, 64);
+  stats::Rng rng(13);
+  for (int i = 0; i < 300; ++i) sketch.Add(rng.Gaussian(0.0, 0.4));
+  robust::BinaryWriter writer;
+  sketch.Save(writer);
+  robust::BinaryReader reader(writer.buffer());
+  QuantileSketch restored;
+  restored.Load(reader);
+  EXPECT_EQ(restored, sketch);
+}
+
+// -------------------------------------------------------------------
+// Widened mixture
+
+TEST(PopulationMix, WeightCoversTheWholeEnumAndTotalSumsIt) {
+  const sim::PopulationMix wide = sim::WidePopulationMix();
+  double sum = 0.0;
+  for (std::size_t a = 0; a < sim::kNumArchetypes; ++a) {
+    sum += wide.Weight(static_cast<sim::Archetype>(a));
+  }
+  EXPECT_DOUBLE_EQ(sum, wide.Total());
+  EXPECT_NEAR(wide.Total(), 1.0, 1e-12);
+  EXPECT_GT(wide.Weight(sim::Archetype::kSpammerE), 0.0);
+  EXPECT_GT(wide.Weight(sim::Archetype::kDrifterF), 0.0);
+  EXPECT_GT(wide.Weight(sim::Archetype::kCrossTaskG), 0.0);
+
+  // The paper-default mix gives the sweep archetypes zero weight.
+  const sim::PopulationMix paper;
+  EXPECT_DOUBLE_EQ(paper.Weight(sim::Archetype::kSpammerE), 0.0);
+  EXPECT_DOUBLE_EQ(paper.Weight(sim::Archetype::kDrifterF), 0.0);
+  EXPECT_DOUBLE_EQ(paper.Weight(sim::Archetype::kCrossTaskG), 0.0);
+}
+
+TEST(PopulationMix, SamplePopulationTracksWideMixtureWeights) {
+  const sim::PopulationMix mix = sim::WidePopulationMix();
+  stats::Rng rng(77);
+  const auto profiles = sim::SamplePopulation(4000, mix, rng);
+  std::array<std::size_t, sim::kNumArchetypes> counts{};
+  for (const auto& p : profiles) {
+    ++counts[static_cast<std::size_t>(p.archetype)];
+  }
+  for (std::size_t a = 0; a < sim::kNumArchetypes; ++a) {
+    const double expected =
+        4000.0 * mix.Weight(static_cast<sim::Archetype>(a)) / mix.Total();
+    // 4-sigma binomial envelope around the expectation.
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(static_cast<double>(counts[a]), expected,
+                4.0 * sigma + 1.0)
+        << sim::ArchetypeName(static_cast<sim::Archetype>(a));
+  }
+}
+
+TEST(PopulationMix, PaperMixtureNeverDrawsSweepArchetypes) {
+  stats::Rng rng(78);
+  const auto profiles =
+      sim::SamplePopulation(2000, sim::PopulationMix(), rng);
+  for (const auto& p : profiles) {
+    EXPECT_NE(p.archetype, sim::Archetype::kSpammerE);
+    EXPECT_NE(p.archetype, sim::Archetype::kDrifterF);
+    EXPECT_NE(p.archetype, sim::Archetype::kCrossTaskG);
+    // Paper profiles keep the inert within-trace dynamics defaults that
+    // guarantee bitwise-unchanged traces.
+    EXPECT_EQ(p.random_declare_rate, 0.0);
+    EXPECT_EQ(p.fatigue_rate, 0.0);
+    EXPECT_EQ(p.confidence_drift, 0.0);
+    EXPECT_EQ(p.task_skill_correlation, 1.0);
+  }
+}
+
+TEST(PopulationMix, EmptyMixtureThrows) {
+  sim::PopulationMix empty;
+  empty.expert_a = empty.sloppy_b = empty.narrow_c = 0.0;
+  empty.unreliable_d = empty.mixed = 0.0;
+  stats::Rng rng(79);
+  EXPECT_THROW(sim::SampleArchetype(empty, rng), std::invalid_argument);
+  EXPECT_THROW(sim::SamplePopulation(4, empty, rng),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------------
+// Archetype-level ground-truth distinguishability
+
+struct ArchetypeStats {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_resolution = 0.0;
+  double mean_calibration = 0.0;
+  double precise_rate = 0.0;
+  double thorough_rate = 0.0;
+  double correlated_rate = 0.0;
+  double calibrated_rate = 0.0;
+};
+
+class ArchetypeDistinguishabilityTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPerArchetype = 40;
+
+  void SetUp() override {
+    pair_ = schema::GeneratePurchaseOrderTask(31);
+    similarity_ =
+        matching::BuildSimilarityMatrix(pair_.source, pair_.target);
+    reference_ = matching::MatchMatrix::FromReference(
+        pair_.reference, pair_.source.size(), pair_.target.size());
+    task_.pair = &pair_;
+    task_.similarity = &similarity_;
+    task_.reference = &reference_;
+
+    // Thresholds from a paper-mix population (the sweep's protocol).
+    stats::Rng rng(32);
+    const auto profiles =
+        sim::SamplePopulation(80, sim::PopulationMix(), rng);
+    std::vector<ExpertMeasures> train;
+    for (const auto& profile : profiles) {
+      train.push_back(MeasuresFor(profile, rng));
+    }
+    thresholds_ = FitThresholds(train);
+  }
+
+  ExpertMeasures MeasuresFor(const sim::MatcherProfile& profile,
+                             stats::Rng& rng) {
+    sim::SimulatedTrace trace = sim::SimulateMatcher(task_, profile, rng);
+    const matching::DecisionHistory history =
+        trace.history.Preprocessed(3, 2.0);
+    return ComputeMeasures(history, pair_.source.size(),
+                           pair_.target.size(), reference_);
+  }
+
+  ArchetypeStats StatsFor(sim::Archetype archetype) {
+    ArchetypeStats stats;
+    stats::Rng base(33 + static_cast<std::uint64_t>(archetype));
+    for (std::size_t i = 0; i < kPerArchetype; ++i) {
+      stats::Rng rng = base.Fork(i);
+      sim::MatcherProfile profile = sim::SampleProfile(archetype, rng);
+      profile = sim::PerTaskProfile(profile, rng);
+      const ExpertMeasures m = MeasuresFor(profile, rng);
+      const ExpertLabel label = Characterize(m, thresholds_);
+      stats.mean_precision += m.precision;
+      stats.mean_recall += m.recall;
+      stats.mean_resolution += m.resolution;
+      stats.mean_calibration += m.calibration;
+      stats.precise_rate += label.precise ? 1.0 : 0.0;
+      stats.thorough_rate += label.thorough ? 1.0 : 0.0;
+      stats.correlated_rate += label.correlated ? 1.0 : 0.0;
+      stats.calibrated_rate += label.calibrated ? 1.0 : 0.0;
+    }
+    const double n = static_cast<double>(kPerArchetype);
+    stats.mean_precision /= n;
+    stats.mean_recall /= n;
+    stats.mean_resolution /= n;
+    stats.mean_calibration /= n;
+    stats.precise_rate /= n;
+    stats.thorough_rate /= n;
+    stats.correlated_rate /= n;
+    stats.calibrated_rate /= n;
+    return stats;
+  }
+
+  schema::GeneratedPair pair_;
+  matching::MatchMatrix similarity_;
+  matching::MatchMatrix reference_;
+  sim::SimulationTask task_;
+  ExpertThresholds thresholds_;
+};
+
+TEST_F(ArchetypeDistinguishabilityTest, SpammerIsImpreciseAndOverconfident) {
+  const ArchetypeStats expert = StatsFor(sim::Archetype::kExpertA);
+  const ArchetypeStats sloppy = StatsFor(sim::Archetype::kSloppyB);
+  const ArchetypeStats spammer = StatsFor(sim::Archetype::kSpammerE);
+
+  // Random rapid-fire declarations: precision collapses below even the
+  // sloppy archetype, and the precise bit all but vanishes.
+  EXPECT_LT(spammer.mean_precision, sloppy.mean_precision - 0.05);
+  EXPECT_LT(spammer.mean_precision, expert.mean_precision - 0.25);
+  EXPECT_LT(spammer.precise_rate, expert.precise_rate - 0.5);
+  // Pinned-high reported confidence on mostly-wrong matches: strong
+  // positive calibration error (overconfidence).
+  EXPECT_GT(spammer.mean_calibration, expert.mean_calibration + 0.2);
+  EXPECT_GT(spammer.mean_calibration, 0.3);
+}
+
+TEST_F(ArchetypeDistinguishabilityTest, DrifterDegradesWithinTheTrace) {
+  const ArchetypeStats expert = StatsFor(sim::Archetype::kExpertA);
+  const ArchetypeStats drifter = StatsFor(sim::Archetype::kDrifterF);
+
+  // Starts A-like but fatigue widens perception noise and the late
+  // confidence drift inflates reported confidence: lower precision,
+  // more overconfident, and the cognitive bits (correlated/calibrated)
+  // collapse relative to the expert.
+  EXPECT_LT(drifter.mean_precision, expert.mean_precision - 0.05);
+  EXPECT_GT(drifter.mean_calibration, expert.mean_calibration + 0.05);
+  EXPECT_LT(drifter.correlated_rate, expert.correlated_rate - 0.2);
+  EXPECT_LT(drifter.calibrated_rate, expert.calibrated_rate - 0.3);
+}
+
+TEST_F(ArchetypeDistinguishabilityTest, CrossTaskSitsBetweenExpertAndSloppy) {
+  const ArchetypeStats expert = StatsFor(sim::Archetype::kExpertA);
+  const ArchetypeStats sloppy = StatsFor(sim::Archetype::kSloppyB);
+  const ArchetypeStats cross = StatsFor(sim::Archetype::kCrossTaskG);
+
+  // Mid-skill base blended toward a fresh draw: recall and resolution
+  // sit clearly between the expert and the sloppy archetype (precision
+  // is non-monotone on this task and not a discriminator for G), and
+  // the label bits separate it from both neighbors.
+  EXPECT_LT(cross.mean_recall, expert.mean_recall - 0.1);
+  EXPECT_GT(cross.mean_recall, sloppy.mean_recall + 0.1);
+  EXPECT_LT(cross.mean_resolution, expert.mean_resolution - 0.1);
+  EXPECT_GT(cross.mean_resolution, sloppy.mean_resolution + 0.2);
+  EXPECT_LT(cross.thorough_rate, expert.thorough_rate - 0.3);
+  EXPECT_GT(cross.calibrated_rate, sloppy.calibrated_rate + 0.15);
+}
+
+// -------------------------------------------------------------------
+// Streamed-aggregation exactness
+
+MexiConfig TinyModelConfig() {
+  MexiConfig config;
+  config.submatcher_mode = SubmatcherMode::kNone;
+  config.seq.lstm.epochs = 1;
+  config.seq.lstm.hidden_dim = 8;
+  config.seq.lstm.dense_dim = 8;
+  config.spa.cnn.epochs = 1;
+  config.spa.pretrain_images = 0;
+  config.batch_size = 8;
+  return config;
+}
+
+SweepConfig TinySweepConfig() {
+  SweepConfig config;
+  config.population = 48;
+  config.shard_size = 16;
+  config.train_matchers = 10;
+  config.seed = 21;
+  config.model = TinyModelConfig();
+  return config;
+}
+
+/// Naive hold-everything computation: simulate the WHOLE population
+/// resident, characterize it in one CharacterizeAll call, fold in
+/// population order. The sweep's contract is bitwise identity with
+/// this. Re-derives the per-matcher streams from the documented seed
+/// derivation (sweep matcher stream = SubSeed(4) of the sweep seed).
+SweepAggregates NaiveSweep(const SweepConfig& config,
+                           const PopulationSweeper& sweeper) {
+  sim::StudyConfig train_config;
+  train_config.num_matchers = config.train_matchers;
+  train_config.seed = config.seed;
+  const sim::Study study = sim::BuildPurchaseOrderStudy(train_config);
+  sim::SimulationTask task;
+  task.pair = &study.task;
+  task.similarity = &study.similarity;
+  task.reference = &study.reference;
+  const std::size_t rows = study.task.source.size();
+  const std::size_t cols = study.task.target.size();
+
+  struct Slot {
+    sim::Archetype archetype = sim::Archetype::kMixed;
+    matching::DecisionHistory history;
+    matching::MovementMap movement{1280.0, 800.0};
+    ExpertMeasures measures;
+    ExpertLabel truth;
+  };
+  const stats::Rng stream_base(stats::Rng(config.seed).SubSeed(4));
+  std::vector<Slot> slots(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    stats::Rng rng = stream_base.Fork(i);
+    Slot& slot = slots[i];
+    slot.archetype = sim::SampleArchetype(config.mix, rng);
+    sim::MatcherProfile profile =
+        sim::SampleProfile(slot.archetype, rng);
+    profile = sim::PerTaskProfile(profile, rng);
+    sim::SimulatedTrace trace = sim::SimulateMatcher(task, profile, rng);
+    slot.history = trace.history.Preprocessed(3, 2.0);
+    slot.movement = std::move(trace.movement);
+    slot.measures =
+        ComputeMeasures(slot.history, rows, cols, study.reference);
+    slot.truth = Characterize(slot.measures, sweeper.thresholds());
+  }
+
+  std::vector<MatcherView> views(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    views[i].history = &slots[i].history;
+    views[i].movement = &slots[i].movement;
+    views[i].source_size = rows;
+    views[i].target_size = cols;
+  }
+  const auto predicted = sweeper.model().CharacterizeAll(views);
+
+  SweepAggregates aggregates;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    aggregates.Fold(slots[i].archetype, slots[i].measures, slots[i].truth,
+                    predicted[i], slots[i].history.size());
+  }
+  return aggregates;
+}
+
+class SweepExactnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ml::vmath::SetFastMath(false);
+    parallel::SetThreads(0);
+  }
+
+  /// Sweep aggregate JSON at a given thread count and math mode.
+  std::string SweepJson(std::size_t threads, bool fast_math,
+                        std::size_t shard_size,
+                        const SweepAggregates** naive_check = nullptr) {
+    parallel::SetThreads(threads);
+    ml::vmath::SetFastMath(fast_math);
+    SweepConfig config = TinySweepConfig();
+    config.shard_size = shard_size;
+    PopulationSweeper sweeper(config);
+    sweeper.Run();
+    if (naive_check != nullptr) {
+      naive_ = NaiveSweep(config, sweeper);
+      *naive_check = &naive_;
+    }
+    return sweeper.aggregates().ToJson();
+  }
+
+  SweepAggregates naive_;
+};
+
+TEST_F(SweepExactnessTest, MatchesNaiveAndIsShardAndThreadInvariantExact) {
+  const SweepAggregates* naive = nullptr;
+  const std::string sharded_1t = SweepJson(1, false, 16, &naive);
+  // Bitwise identical to the hold-everything computation...
+  EXPECT_EQ(sharded_1t, naive->ToJson());
+  // ...at 8 threads...
+  EXPECT_EQ(sharded_1t, SweepJson(8, false, 16));
+  // ...and with the whole population in one shard.
+  EXPECT_EQ(sharded_1t, SweepJson(8, false, 48));
+}
+
+TEST_F(SweepExactnessTest, MatchesNaiveAndIsShardAndThreadInvariantFast) {
+  const SweepAggregates* naive = nullptr;
+  const std::string sharded_1t = SweepJson(1, true, 16, &naive);
+  EXPECT_EQ(sharded_1t, naive->ToJson());
+  EXPECT_EQ(sharded_1t, SweepJson(8, true, 16));
+  EXPECT_EQ(sharded_1t, SweepJson(8, true, 48));
+}
+
+TEST(SweepAggregates, MergeMatchesPopulationOrderFold) {
+  // Synthetic fold inputs; no model needed for Merge/Fold parity.
+  stats::Rng rng(55);
+  SweepAggregates all;
+  SweepAggregates left;
+  SweepAggregates right;
+  for (int i = 0; i < 200; ++i) {
+    ExpertMeasures m;
+    m.precision = rng.Uniform();
+    m.recall = rng.Uniform();
+    m.resolution = rng.Uniform(-1.0, 1.0);
+    m.calibration = rng.Uniform(-0.5, 0.5);
+    ExpertLabel truth;
+    truth.precise = rng.Bernoulli(0.4);
+    truth.thorough = rng.Bernoulli(0.4);
+    truth.correlated = rng.Bernoulli(0.3);
+    truth.calibrated = rng.Bernoulli(0.3);
+    ExpertLabel predicted;
+    predicted.precise = rng.Bernoulli(0.4);
+    predicted.thorough = rng.Bernoulli(0.4);
+    predicted.correlated = rng.Bernoulli(0.3);
+    predicted.calibrated = rng.Bernoulli(0.3);
+    const auto archetype = static_cast<sim::Archetype>(
+        rng.UniformIndex(sim::kNumArchetypes));
+    const std::size_t decisions = 20 + rng.UniformIndex(80);
+    all.Fold(archetype, m, truth, predicted, decisions);
+    (i < 90 ? left : right).Fold(archetype, m, truth, predicted,
+                                 decisions);
+  }
+  left.Merge(right);
+  // All counting state — totals, per-archetype confusions, full-expert
+  // tallies, sketch bins, bucket counts — is associative-exact; the
+  // double score sums may differ in the last bits (see the sketch
+  // test), so the parity claim here is on the exact parts.
+  EXPECT_EQ(left.matchers(), all.matchers());
+  EXPECT_EQ(left.decisions(), all.decisions());
+  for (std::size_t a = 0; a < sim::kNumArchetypes; ++a) {
+    EXPECT_EQ(left.archetype(static_cast<sim::Archetype>(a)),
+              all.archetype(static_cast<sim::Archetype>(a)));
+  }
+  EXPECT_EQ(left.precision_sketch().count(),
+            all.precision_sketch().count());
+  EXPECT_DOUBLE_EQ(left.precision_sketch().Quantile(0.5),
+                   all.precision_sketch().Quantile(0.5));
+  EXPECT_DOUBLE_EQ(left.resolution_sketch().Quantile(0.9),
+                   all.resolution_sketch().Quantile(0.9));
+  for (std::size_t b = 0; b < kCalibrationBuckets; ++b) {
+    EXPECT_EQ(left.calibration_buckets()[b].count,
+              all.calibration_buckets()[b].count);
+    EXPECT_NEAR(left.calibration_buckets()[b].sum_confidence,
+                all.calibration_buckets()[b].sum_confidence, 1e-12);
+  }
+}
+
+TEST(SweepAggregates, SaveLoadRoundTripsBitwise) {
+  stats::Rng rng(56);
+  SweepAggregates aggregates;
+  for (int i = 0; i < 64; ++i) {
+    ExpertMeasures m;
+    m.precision = rng.Uniform();
+    m.recall = rng.Uniform();
+    m.resolution = rng.Uniform(-1.0, 1.0);
+    m.calibration = rng.Uniform(-0.5, 0.5);
+    ExpertLabel truth;
+    truth.precise = rng.Bernoulli(0.5);
+    ExpertLabel predicted;
+    predicted.precise = rng.Bernoulli(0.5);
+    aggregates.Fold(static_cast<sim::Archetype>(
+                        rng.UniformIndex(sim::kNumArchetypes)),
+                    m, truth, predicted, 10 + rng.UniformIndex(50));
+  }
+  robust::BinaryWriter writer;
+  aggregates.Save(writer);
+  robust::BinaryReader reader(writer.buffer());
+  SweepAggregates restored;
+  restored.Load(reader);
+  EXPECT_EQ(restored, aggregates);
+  EXPECT_EQ(restored.ToJson(), aggregates.ToJson());
+}
+
+// -------------------------------------------------------------------
+// Checkpointed abort / resume
+
+class SweepResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("sweep_resume_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir_);
+    parallel::SetThreads(1);
+  }
+  void TearDown() override {
+    robust::FaultInjector::Global().Clear();
+    parallel::SetThreads(0);
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SweepResumeTest, AbortedSweepResumesBitwiseIdentically) {
+  SweepConfig config = TinySweepConfig();
+
+  // Uninterrupted reference (no checkpointing).
+  PopulationSweeper reference(config);
+  const std::string expected = reference.Run().ToJson();
+
+  // Aborted run: the injected abort fires after shard 2's checkpoint
+  // committed, so two shards of folded work are durable.
+  config.checkpoint_dir = dir_.string();
+  robust::FaultInjector::Global().Configure("abort@sweep_shard:2");
+  PopulationSweeper aborted(config);
+  try {
+    aborted.Run();
+    FAIL() << "expected the injected abort to throw";
+  } catch (const robust::StatusError& error) {
+    EXPECT_EQ(error.status().code(), robust::StatusCode::kAborted);
+  }
+  robust::FaultInjector::Global().Clear();
+  EXPECT_EQ(aborted.next_shard(), 2u);
+
+  // Resume: loads the two committed shards, replays the third.
+  config.resume = true;
+  PopulationSweeper resumed(config);
+  EXPECT_EQ(resumed.next_shard(), 2u);
+  EXPECT_EQ(resumed.Run().ToJson(), expected);
+}
+
+TEST_F(SweepResumeTest, ResumeRejectsConfigMismatch) {
+  SweepConfig config = TinySweepConfig();
+  config.checkpoint_dir = dir_.string();
+  robust::FaultInjector::Global().Configure("abort@sweep_shard:1");
+  PopulationSweeper aborted(config);
+  EXPECT_THROW(aborted.Run(), robust::StatusError);
+  robust::FaultInjector::Global().Clear();
+
+  // A resumed run under a different population must refuse the
+  // checkpoint instead of blending incompatible aggregates.
+  SweepConfig other = config;
+  other.resume = true;
+  other.population = 64;
+  try {
+    PopulationSweeper sweeper(other);
+    FAIL() << "expected the config-mismatch rejection to throw";
+  } catch (const robust::StatusError& error) {
+    EXPECT_EQ(error.status().code(),
+              robust::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(SweepResumeTest, FreshRunDiscardsStaleCheckpoints) {
+  SweepConfig config = TinySweepConfig();
+  config.checkpoint_dir = dir_.string();
+  robust::FaultInjector::Global().Configure("abort@sweep_shard:1");
+  PopulationSweeper aborted(config);
+  EXPECT_THROW(aborted.Run(), robust::StatusError);
+  robust::FaultInjector::Global().Clear();
+
+  // Without --resume the stale checkpoint is discarded and the full
+  // population recomputed; a fresh construction starts at shard 0.
+  PopulationSweeper fresh(config);
+  EXPECT_EQ(fresh.next_shard(), 0u);
+}
+
+}  // namespace
